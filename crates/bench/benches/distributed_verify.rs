@@ -1,0 +1,34 @@
+//! A3: centralized verification vs the distributed partial-result scheme
+//! of §5, as the network grows.
+
+use cpvr_bench::scaled_scenario;
+use cpvr_types::Ipv4Prefix;
+use cpvr_verify::distributed::distributed_verify;
+use cpvr_verify::{verify, Policy};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("distributed_verify");
+    g.sample_size(10);
+    let prefix: Ipv4Prefix = "100.0.0.0/8".parse().unwrap();
+    for n in [4usize, 8, 12] {
+        let sim = scaled_scenario(n, 30, 3);
+        let policies = vec![Policy::Reachable { prefix }];
+        g.bench_with_input(BenchmarkId::new("centralized", n), &sim, |b, sim| {
+            b.iter(|| verify(sim.topology(), sim.dataplane(), &policies))
+        });
+        g.bench_with_input(BenchmarkId::new("distributed", n), &sim, |b, sim| {
+            b.iter(|| distributed_verify(sim.topology(), sim.dataplane(), &policies))
+        });
+        // Print the message/work tradeoff once per size.
+        let (_, stats) = distributed_verify(sim.topology(), sim.dataplane(), &policies);
+        println!(
+            "[n={n}] dist msgs={} dist max-node-work={} central work={} snapshot entries={}",
+            stats.dist_messages, stats.dist_max_node_work, stats.central_work, stats.central_snapshot_entries
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! A1 machinery: equivalence-class computation vs prefix count.
+
+use cpvr_bench::scaled_scenario;
+use cpvr_verify::ec::{behavior_classes, equivalence_classes};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ec_scaling");
+    g.sample_size(10);
+    for k in [50usize, 200, 1000] {
+        let sim = scaled_scenario(3, k, 2);
+        let dp = sim.dataplane().clone();
+        g.bench_with_input(BenchmarkId::new("forwarding_ecs", k), &dp, |b, dp| {
+            b.iter(|| equivalence_classes(dp))
+        });
+        g.bench_with_input(BenchmarkId::new("behavior_classes", k), &dp, |b, dp| {
+            b.iter(|| behavior_classes(dp))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

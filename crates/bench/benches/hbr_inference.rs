@@ -1,0 +1,38 @@
+//! A2 machinery: rule matching and pattern application cost vs trace
+//! size.
+
+use cpvr_bench::scaled_scenario;
+use cpvr_core::infer::{infer_hbg, InferConfig, PatternMiner};
+use cpvr_types::SimTime;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hbr_inference");
+    g.sample_size(10);
+    for (n, k) in [(3usize, 20usize), (5, 50), (8, 100)] {
+        let sim = scaled_scenario(n, k, 1);
+        let trace = sim.trace().clone();
+        let mut miner = PatternMiner::new(SimTime::from_millis(50), 3);
+        miner.train(&trace);
+        g.bench_with_input(
+            BenchmarkId::new("rules", format!("{}ev", trace.len())),
+            &trace,
+            |b, t| {
+                b.iter(|| infer_hbg(t, &InferConfig { rules: true, patterns: None, min_confidence: 0.0, proximate: false }))
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("patterns", format!("{}ev", trace.len())),
+            &trace,
+            |b, t| {
+                b.iter(|| {
+                    infer_hbg(t, &InferConfig { rules: false, patterns: Some(&miner), min_confidence: 0.6, proximate: false })
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! A5 machinery: end-to-end latency of the guarded detect→trace→repair
+//! loop on the Fig. 2 incident.
+
+use cpvr_bench::{converged_paper, paper_policy};
+use cpvr_bgp::{ConfigChange, PeerRef, RouteMap, SetAction};
+use cpvr_core::ControlLoop;
+use cpvr_sim::{CaptureProfile, LatencyProfile};
+use cpvr_types::{RouterId, SimTime};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("repair");
+    g.sample_size(10);
+    g.bench_function("fig2_detect_trace_repair", |b| {
+        b.iter(|| {
+            let mut s = converged_paper(LatencyProfile::fast(), CaptureProfile::ideal(), 21);
+            let change = ConfigChange::SetImport {
+                peer: PeerRef::External(s.ext_r2),
+                map: RouteMap::set_all(vec![SetAction::LocalPref(10)]),
+            };
+            s.sim
+                .schedule_config(s.sim.now() + SimTime::from_millis(20), RouterId(1), change);
+            let guard = ControlLoop::new(vec![paper_policy(&s)]);
+            let report = guard.run(&mut s.sim, SimTime::from_secs(2));
+            assert!(report.final_ok);
+            report.repairs()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! E2 machinery: cost of the §5 consistency check and snapshot assembly
+//! as the trace grows.
+
+use cpvr_bench::scaled_scenario;
+use cpvr_core::snapshot::{consistency_check, snapshot_arrived_by};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("snapshot_consistency");
+    g.sample_size(10);
+    for (n, k) in [(3usize, 20usize), (5, 50), (8, 100)] {
+        let sim = scaled_scenario(n, k, 1);
+        let horizon = sim.now();
+        g.bench_with_input(
+            BenchmarkId::new("consistency_check", format!("{n}r_{k}p_{}ev", sim.trace().len())),
+            &sim,
+            |b, sim| b.iter(|| consistency_check(sim.trace(), horizon)),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("snapshot_assembly", format!("{n}r_{k}p")),
+            &sim,
+            |b, sim| b.iter(|| snapshot_arrived_by(sim.trace(), n, horizon)),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

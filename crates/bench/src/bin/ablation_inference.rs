@@ -1,0 +1,15 @@
+//! A2 — HBR inference accuracy: rule matching vs pattern mining vs both,
+//! graded against the simulator's ground-truth dependency edges.
+
+use cpvr_bench::inference_accuracy;
+
+fn main() {
+    println!("=== A2: HBR inference accuracy (Fig. 2 scenario) ===");
+    println!("{:<16} {:>10} {:>8} {:>7}", "technique", "precision", "recall", "edges");
+    for row in inference_accuracy(3) {
+        println!(
+            "{:<16} {:>10.3} {:>8.3} {:>7}",
+            row.technique, row.precision, row.recall, row.edges
+        );
+    }
+}

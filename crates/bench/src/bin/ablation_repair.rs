@@ -1,0 +1,15 @@
+//! A5 — repair outcomes across fault types: revertible config errors get
+//! rolled back; hardware/external faults get operator notifications.
+
+use cpvr_bench::repair_battery;
+
+fn main() {
+    println!("=== A5: guarded-loop outcomes per fault type ===");
+    println!("{:<40} {:>8} {:>9} {:>9}", "fault", "repairs", "notifies", "final ok");
+    for row in repair_battery(50) {
+        println!(
+            "{:<40} {:>8} {:>9} {:>9}",
+            row.fault, row.repairs, row.notifications, row.final_ok
+        );
+    }
+}

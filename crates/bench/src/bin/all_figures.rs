@@ -1,0 +1,62 @@
+//! Runs every figure experiment in sequence — the one-command artifact
+//! reproduction (`cargo run -p cpvr-bench --bin all_figures`).
+
+use cpvr_bench::*;
+
+fn main() {
+    println!("############ E1: Fig. 1a/1b ############");
+    let r = fig1_convergence(11);
+    for (name, rib, fib) in r.after_1a.iter().chain(&r.after_1b) {
+        println!("{name:<6} {rib:<28} {fib}");
+    }
+    println!("\n############ E2: Fig. 1c ############");
+    let r = fig1c_snapshot_sweep(0..4);
+    println!(
+        "horizons {} | naive false alarms {} | HBG false alarms {} | waits {}",
+        r.horizons, r.naive_false_alarms, r.hbg_false_alarms, r.waits
+    );
+    println!("\n############ E3+E4: Fig. 2a/2b ############");
+    let r = fig2_violation_and_blocking(5);
+    println!(
+        "violations {} | blocked {} | divergence {} | blocked-after-failure {} | control {}",
+        r.violations_detected,
+        r.blocked_updates,
+        r.divergence_entries,
+        r.blocked_outcome_after_failure,
+        r.unblocked_outcome_after_failure
+    );
+    println!("\n############ E5: Fig. 4 ############");
+    let r = fig4_hbg_and_root_cause(6);
+    println!(
+        "root is R2 config: {} | repaired & compliant: {}",
+        r.root_is_r2_config, r.repaired_and_ok
+    );
+    println!("\n############ E6: Fig. 5 ############");
+    let r = fig5_feasibility(7);
+    println!(
+        "config→soft {} | soft→fib {} | advert prop {} | withdraws follow: {}",
+        r.config_to_soft, r.soft_to_fib, r.advert_propagation, r.withdraws_followed
+    );
+    println!("\n############ A1: equivalence classes ############");
+    for n in [100usize, 1000] {
+        let r = ec_scaling(n, 8, 9);
+        println!(
+            "prefixes {:>5} -> behavior classes {:>2}, forwarding ECs {:>5}",
+            r.prefixes, r.behavior_classes, r.forwarding_ecs
+        );
+    }
+    println!("\n############ A2: inference accuracy ############");
+    for row in inference_accuracy(3) {
+        println!(
+            "{:<20} precision {:.3} recall {:.3} edges {}",
+            row.technique, row.precision, row.recall, row.edges
+        );
+    }
+    println!("\n############ A5: repair battery ############");
+    for row in repair_battery(50) {
+        println!(
+            "{:<40} repairs {} notifies {} final-ok {}",
+            row.fault, row.repairs, row.notifications, row.final_ok
+        );
+    }
+}

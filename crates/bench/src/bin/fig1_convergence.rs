@@ -1,0 +1,24 @@
+//! E1 — regenerates Fig. 1a/1b: RIB and FIB state of the three routers
+//! before and after the R2 uplink route appears.
+
+use cpvr_bench::fig1_convergence;
+
+fn main() {
+    let r = fig1_convergence(11);
+    println!("=== Fig. 1a: only the route via R1 is available ===");
+    println!("{:<6} {:<28} {:<20}", "router", "BGP Loc-RIB (best)", "FIB");
+    for (name, rib, fib) in &r.after_1a {
+        println!("{name:<6} {rib:<28} {fib:<20}");
+    }
+    println!();
+    println!("=== Fig. 1b: route via R2 becomes available (LP 30 > 20) ===");
+    println!("{:<6} {:<28} {:<20}", "router", "BGP Loc-RIB (best)", "FIB");
+    for (name, rib, fib) in &r.after_1b {
+        println!("{name:<6} {rib:<28} {fib:<20}");
+    }
+    println!();
+    println!("=== forwarding paths for 8.8.8.8 after Fig. 1b ===");
+    for p in &r.paths_1b {
+        println!("  {p}");
+    }
+}

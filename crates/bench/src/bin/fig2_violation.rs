@@ -1,0 +1,13 @@
+//! E3 — regenerates Fig. 2a: the ill-considered localpref change makes
+//! every router exit via R1 while R2's uplink is up, and the verifier
+//! detects the violation.
+
+use cpvr_bench::fig2_violation_and_blocking;
+
+fn main() {
+    let r = fig2_violation_and_blocking(5);
+    println!("=== Fig. 2a: LP 10 misconfiguration on R2's uplink ===");
+    println!("violations detected by the verifier : {}", r.violations_detected);
+    println!("probe traffic now                   : {}", r.exit_after_change);
+    println!("(policy: exit via R2's uplink while it is up — violated)");
+}

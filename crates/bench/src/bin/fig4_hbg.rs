@@ -1,0 +1,18 @@
+//! E5 — regenerates Fig. 4: the happens-before graph of the Fig. 2
+//! scenario, the provenance walk from R1's problematic FIB install, and
+//! the automatic rollback.
+
+use cpvr_bench::fig4_hbg_and_root_cause;
+
+fn main() {
+    let r = fig4_hbg_and_root_cause(6);
+    println!("=== Fig. 4: happens-before graph (post-change, prefix P) ===");
+    println!("{}", r.rendered);
+    println!("traced from fault: {}", r.traced_from);
+    println!("root causes:");
+    for root in &r.roots {
+        println!("  {root}");
+    }
+    println!("top root is R2's config change : {}", r.root_is_r2_config);
+    println!("guard repaired & policy holds  : {}", r.repaired_and_ok);
+}

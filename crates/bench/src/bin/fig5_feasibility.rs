@@ -1,0 +1,14 @@
+//! E6 — regenerates Fig. 5: the feasibility timeline under the
+//! Cisco-calibrated latency profile (paper §7: GNS3 + IOS images).
+
+use cpvr_bench::fig5_feasibility;
+
+fn main() {
+    let r = fig5_feasibility(7);
+    println!("=== Fig. 5: HBG timeline, Cisco latency profile ===");
+    println!("{}", r.timeline);
+    println!("config TTY -> soft reconfiguration : {} (paper: ~25s)", r.config_to_soft);
+    println!("soft reconfig -> FIB install       : {} (paper: ~4ms)", r.soft_to_fib);
+    println!("advert propagation R1 -> peer      : {} (paper: ~8ms)", r.advert_propagation);
+    println!("withdraws after new route installs : {} (paper: bottom rows)", r.withdraws_followed);
+}

@@ -1,0 +1,310 @@
+//! BGP RIB structures: Adj-RIB-In, Loc-RIB, Adj-RIB-Out.
+//!
+//! Adj-RIB-In stores routes **as received**, before import policy. That is
+//! what makes *soft reconfiguration* possible: when a policy changes, the
+//! router re-runs the decision process over the stored raw routes without
+//! needing the peers to re-advertise — the 25-second "soft reconfiguration"
+//! event in the paper's Fig. 5 feasibility study is exactly this.
+//!
+//! Entries are keyed by `(peer, prefix, originator)` so that BGP Add-Path
+//! (multiple paths per prefix per peer, distinguished by originating
+//! border router) uses the same structure; without Add-Path each peer
+//! simply never contributes more than one entry per prefix.
+
+use crate::route::{BgpRoute, PeerRef};
+use cpvr_types::{Ipv4Prefix, RouterId};
+use std::collections::BTreeMap;
+
+/// Raw routes received from peers, with arrival sequence numbers.
+#[derive(Clone, Debug, Default)]
+pub struct AdjRibIn {
+    routes: BTreeMap<(PeerRef, Ipv4Prefix, RouterId), (BgpRoute, u64)>,
+    next_seq: u64,
+}
+
+impl AdjRibIn {
+    /// An empty Adj-RIB-In.
+    pub fn new() -> Self {
+        AdjRibIn::default()
+    }
+
+    /// Records an announcement from `peer`. If `add_path` is false, any
+    /// other paths for the prefix from this peer are implicitly replaced.
+    /// Returns the arrival sequence number.
+    pub fn announce(&mut self, peer: PeerRef, route: BgpRoute, add_path: bool) -> u64 {
+        if !add_path {
+            self.routes
+                .retain(|(pr, px, _), _| !(*pr == peer && *px == route.prefix));
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.routes
+            .insert((peer, route.prefix, route.originator), (route, seq));
+        seq
+    }
+
+    /// Removes paths for `prefix` from `peer`. With `originator` given,
+    /// only that path; otherwise all of the peer's paths for the prefix.
+    /// Returns how many entries were removed.
+    pub fn withdraw(
+        &mut self,
+        peer: PeerRef,
+        prefix: Ipv4Prefix,
+        originator: Option<RouterId>,
+    ) -> usize {
+        let before = self.routes.len();
+        match originator {
+            Some(o) => {
+                self.routes.remove(&(peer, prefix, o));
+            }
+            None => {
+                self.routes
+                    .retain(|(pr, px, _), _| !(*pr == peer && *px == prefix));
+            }
+        }
+        before - self.routes.len()
+    }
+
+    /// Drops every path learned from `peer` (session teardown). Returns
+    /// the prefixes affected.
+    pub fn drop_peer(&mut self, peer: PeerRef) -> Vec<Ipv4Prefix> {
+        let mut affected: Vec<Ipv4Prefix> = self
+            .routes
+            .keys()
+            .filter(|(pr, _, _)| *pr == peer)
+            .map(|(_, px, _)| *px)
+            .collect();
+        affected.sort();
+        affected.dedup();
+        self.routes.retain(|(pr, _, _), _| *pr != peer);
+        affected
+    }
+
+    /// All paths for `prefix`, in key order: `(peer, route, seq)`.
+    pub fn paths_for(&self, prefix: Ipv4Prefix) -> Vec<(PeerRef, &BgpRoute, u64)> {
+        self.routes
+            .iter()
+            .filter(|((_, px, _), _)| *px == prefix)
+            .map(|((pr, _, _), (route, seq))| (*pr, route, *seq))
+            .collect()
+    }
+
+    /// Every prefix with at least one path, deduplicated, sorted.
+    pub fn prefixes(&self) -> Vec<Ipv4Prefix> {
+        let mut v: Vec<Ipv4Prefix> = self.routes.keys().map(|(_, px, _)| *px).collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+
+    /// Total number of stored paths.
+    pub fn len(&self) -> usize {
+        self.routes.len()
+    }
+
+    /// True if nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.routes.is_empty()
+    }
+}
+
+/// The selected best route per prefix (post-import-policy).
+pub type LocRib = BTreeMap<Ipv4Prefix, BgpRoute>;
+
+/// What has been advertised to each peer: `(peer, prefix, originator) →
+/// route`. Needed to emit precise withdrawals and suppress duplicate
+/// announcements.
+#[derive(Clone, Debug, Default)]
+pub struct AdjRibOut {
+    routes: BTreeMap<(PeerRef, Ipv4Prefix, RouterId), BgpRoute>,
+}
+
+impl AdjRibOut {
+    /// An empty Adj-RIB-Out.
+    pub fn new() -> Self {
+        AdjRibOut::default()
+    }
+
+    /// Records that `route` was advertised to `peer`. Returns the
+    /// previously advertised route for the same key, if any.
+    pub fn record(&mut self, peer: PeerRef, route: BgpRoute) -> Option<BgpRoute> {
+        self.routes.insert((peer, route.prefix, route.originator), route)
+    }
+
+    /// Was exactly this route already advertised to `peer`?
+    pub fn already_sent(&self, peer: PeerRef, route: &BgpRoute) -> bool {
+        self.routes
+            .get(&(peer, route.prefix, route.originator))
+            .is_some_and(|r| r == route)
+    }
+
+    /// Clears the advertisement record for `(peer, prefix, originator)`,
+    /// returning whether one existed. `originator = None` clears all
+    /// originators for the prefix and returns whether any existed.
+    pub fn clear(&mut self, peer: PeerRef, prefix: Ipv4Prefix, originator: Option<RouterId>) -> bool {
+        match originator {
+            Some(o) => self.routes.remove(&(peer, prefix, o)).is_some(),
+            None => {
+                let before = self.routes.len();
+                self.routes
+                    .retain(|(pr, px, _), _| !(*pr == peer && *px == prefix));
+                self.routes.len() != before
+            }
+        }
+    }
+
+    /// Everything currently advertised to `peer`, sorted by key.
+    pub fn sent_to(&self, peer: PeerRef) -> Vec<&BgpRoute> {
+        self.routes
+            .iter()
+            .filter(|((pr, _, _), _)| *pr == peer)
+            .map(|(_, r)| r)
+            .collect()
+    }
+
+    /// Advertised originators for `(peer, prefix)`.
+    pub fn originators(&self, peer: PeerRef, prefix: Ipv4Prefix) -> Vec<RouterId> {
+        self.routes
+            .keys()
+            .filter(|(pr, px, _)| *pr == peer && *px == prefix)
+            .map(|(_, _, o)| *o)
+            .collect()
+    }
+
+    /// Total number of advertisement records.
+    pub fn len(&self) -> usize {
+        self.routes.len()
+    }
+
+    /// True if nothing has been advertised.
+    pub fn is_empty(&self) -> bool {
+        self.routes.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::route::{NextHop, Origin};
+    use cpvr_topo::ExtPeerId;
+    use cpvr_types::AsNum;
+    use std::collections::BTreeSet;
+
+    fn p(s: &str) -> Ipv4Prefix {
+        s.parse().unwrap()
+    }
+
+    fn route(prefix: &str, originator: u32) -> BgpRoute {
+        BgpRoute {
+            prefix: p(prefix),
+            next_hop: NextHop::Router(RouterId(originator)),
+            local_pref: 100,
+            as_path: vec![AsNum(100)],
+            origin: Origin::Igp,
+            med: 0,
+            communities: BTreeSet::new(),
+            originator: RouterId(originator),
+        }
+    }
+
+    fn ext(n: u32) -> PeerRef {
+        PeerRef::External(ExtPeerId(n))
+    }
+
+    fn int(n: u32) -> PeerRef {
+        PeerRef::Internal(RouterId(n))
+    }
+
+    #[test]
+    fn announce_replaces_without_add_path() {
+        let mut rib = AdjRibIn::new();
+        rib.announce(ext(0), route("8.8.8.0/24", 0), false);
+        rib.announce(ext(0), route("8.8.8.0/24", 1), false);
+        assert_eq!(rib.len(), 1, "non-add-path peers hold one path per prefix");
+        assert_eq!(rib.paths_for(p("8.8.8.0/24"))[0].1.originator, RouterId(1));
+    }
+
+    #[test]
+    fn announce_accumulates_with_add_path() {
+        let mut rib = AdjRibIn::new();
+        rib.announce(int(1), route("8.8.8.0/24", 0), true);
+        rib.announce(int(1), route("8.8.8.0/24", 1), true);
+        assert_eq!(rib.len(), 2);
+    }
+
+    #[test]
+    fn seq_is_monotonic() {
+        let mut rib = AdjRibIn::new();
+        let s1 = rib.announce(ext(0), route("8.8.8.0/24", 0), false);
+        let s2 = rib.announce(ext(1), route("8.8.8.0/24", 1), false);
+        assert!(s2 > s1);
+    }
+
+    #[test]
+    fn withdraw_specific_and_all() {
+        let mut rib = AdjRibIn::new();
+        rib.announce(int(1), route("8.8.8.0/24", 0), true);
+        rib.announce(int(1), route("8.8.8.0/24", 1), true);
+        assert_eq!(rib.withdraw(int(1), p("8.8.8.0/24"), Some(RouterId(0))), 1);
+        assert_eq!(rib.len(), 1);
+        assert_eq!(rib.withdraw(int(1), p("8.8.8.0/24"), None), 1);
+        assert!(rib.is_empty());
+        assert_eq!(rib.withdraw(int(1), p("8.8.8.0/24"), None), 0);
+    }
+
+    #[test]
+    fn drop_peer_reports_affected_prefixes() {
+        let mut rib = AdjRibIn::new();
+        rib.announce(int(1), route("8.8.8.0/24", 0), false);
+        rib.announce(int(1), route("9.9.9.0/24", 0), false);
+        rib.announce(int(2), route("8.8.8.0/24", 1), false);
+        let affected = rib.drop_peer(int(1));
+        assert_eq!(affected, vec![p("8.8.8.0/24"), p("9.9.9.0/24")]);
+        assert_eq!(rib.len(), 1);
+    }
+
+    #[test]
+    fn paths_for_filters_by_prefix() {
+        let mut rib = AdjRibIn::new();
+        rib.announce(int(1), route("8.8.8.0/24", 0), false);
+        rib.announce(int(2), route("9.9.9.0/24", 1), false);
+        assert_eq!(rib.paths_for(p("8.8.8.0/24")).len(), 1);
+        assert_eq!(rib.prefixes(), vec![p("8.8.8.0/24"), p("9.9.9.0/24")]);
+    }
+
+    #[test]
+    fn adj_out_dedup() {
+        let mut out = AdjRibOut::new();
+        let r = route("8.8.8.0/24", 0);
+        assert!(!out.already_sent(int(1), &r));
+        out.record(int(1), r.clone());
+        assert!(out.already_sent(int(1), &r));
+        // Different attributes → counts as new.
+        let mut r2 = r.clone();
+        r2.local_pref = 50;
+        assert!(!out.already_sent(int(1), &r2));
+    }
+
+    #[test]
+    fn adj_out_clear() {
+        let mut out = AdjRibOut::new();
+        out.record(int(1), route("8.8.8.0/24", 0));
+        out.record(int(1), route("8.8.8.0/24", 1));
+        assert_eq!(out.originators(int(1), p("8.8.8.0/24")).len(), 2);
+        assert!(out.clear(int(1), p("8.8.8.0/24"), Some(RouterId(0))));
+        assert_eq!(out.len(), 1);
+        assert!(out.clear(int(1), p("8.8.8.0/24"), None));
+        assert!(out.is_empty());
+        assert!(!out.clear(int(1), p("8.8.8.0/24"), None));
+    }
+
+    #[test]
+    fn sent_to_lists_per_peer() {
+        let mut out = AdjRibOut::new();
+        out.record(int(1), route("8.8.8.0/24", 0));
+        out.record(int(2), route("9.9.9.0/24", 0));
+        assert_eq!(out.sent_to(int(1)).len(), 1);
+        assert_eq!(out.sent_to(int(2)).len(), 1);
+        assert_eq!(out.sent_to(int(3)).len(), 0);
+    }
+}

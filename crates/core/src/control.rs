@@ -1,0 +1,325 @@
+//! The integrated loop of the paper's Fig. 3.
+//!
+//! `capture control-plane I/Os → consistent data-plane snapshot →
+//! data-plane verifier → trace provenance → repair root cause`.
+//!
+//! [`ControlLoop::run`] drives a live [`Simulation`] in fixed steps. At
+//! each step it checks whether the verifier's view is causally closed
+//! (§5); if not it *waits* — never raising alarms on inconsistent
+//! snapshots. On a consistent view it verifies the policies; on a
+//! violation it infers the HBG from the arrived records, walks to the
+//! root causes (§6), and schedules the inverse of a root-cause
+//! configuration change. Non-revertible causes become operator
+//! notifications.
+
+use crate::infer::{infer_hbg, InferConfig};
+use crate::provenance::{root_causes, RootCauseKind};
+use crate::repair::{propose_repairs, RepairAction, RepairPlan};
+use crate::snapshot::{consistency_check, snapshot_arrived_by, SnapshotStatus};
+use cpvr_bgp::ConfigChange;
+use cpvr_sim::{EventId, IoKind, Simulation};
+use cpvr_types::{RouterId, SimTime};
+use cpvr_verify::{verify, Policy};
+use std::collections::BTreeSet;
+
+/// One entry in the guard's timeline.
+#[derive(Clone, Debug)]
+pub enum GuardAction {
+    /// The snapshot was not causally closed; the verifier waited for
+    /// records from these routers.
+    Waited {
+        /// The routers whose records were outstanding.
+        for_routers: Vec<RouterId>,
+    },
+    /// A consistent snapshot violated the policies.
+    Detected {
+        /// Number of violations.
+        violations: usize,
+    },
+    /// A root cause was reverted.
+    Repaired {
+        /// The plan that was applied.
+        plan: RepairPlan,
+    },
+    /// A non-revertible root cause was reported.
+    Notified {
+        /// The plan describing the notification.
+        plan: RepairPlan,
+    },
+}
+
+/// The outcome of a guarded run.
+#[derive(Clone, Debug, Default)]
+pub struct GuardReport {
+    /// What happened, in order, with timestamps.
+    pub timeline: Vec<(SimTime, GuardAction)>,
+    /// Whether the live data plane satisfied every policy at the end.
+    pub final_ok: bool,
+}
+
+impl GuardReport {
+    /// Number of repairs applied.
+    pub fn repairs(&self) -> usize {
+        self.timeline
+            .iter()
+            .filter(|(_, a)| matches!(a, GuardAction::Repaired { .. }))
+            .count()
+    }
+
+    /// Number of wait decisions (false alarms avoided).
+    pub fn waits(&self) -> usize {
+        self.timeline
+            .iter()
+            .filter(|(_, a)| matches!(a, GuardAction::Waited { .. }))
+            .count()
+    }
+
+    /// Renders the timeline for humans.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        for (t, a) in &self.timeline {
+            let line = match a {
+                GuardAction::Waited { for_routers } => {
+                    format!("[{t}] snapshot inconsistent; waiting for {for_routers:?}")
+                }
+                GuardAction::Detected { violations } => {
+                    format!("[{t}] VIOLATION: {violations} policy check(s) failed")
+                }
+                GuardAction::Repaired { plan } => format!("[{t}] REPAIR: {plan}"),
+                GuardAction::Notified { plan } => format!("[{t}] NOTIFY: {plan}"),
+            };
+            s.push_str(&line);
+            s.push('\n');
+        }
+        s.push_str(&format!("final: {}\n", if self.final_ok { "compliant" } else { "VIOLATING" }));
+        s
+    }
+}
+
+/// Configuration of the guarded verification/repair loop.
+#[derive(Clone, Debug)]
+pub struct ControlLoop {
+    /// Policies to enforce.
+    pub policies: Vec<Policy>,
+    /// Minimum HBR confidence to act on (§4.2's thresholding).
+    pub min_confidence: f64,
+    /// Verification cadence.
+    pub interval: SimTime,
+}
+
+impl ControlLoop {
+    /// A loop with a sensible default cadence for the given policies.
+    pub fn new(policies: Vec<Policy>) -> Self {
+        ControlLoop {
+            policies,
+            min_confidence: 0.8,
+            interval: SimTime::from_millis(50),
+        }
+    }
+
+    /// Runs the guard for `budget` of simulated time, then drains the
+    /// simulation and issues a final verdict against the live data plane.
+    pub fn run(&self, sim: &mut Simulation, budget: SimTime) -> GuardReport {
+        let mut report = GuardReport::default();
+        let mut repaired_roots: BTreeSet<EventId> = BTreeSet::new();
+        let mut notified_roots: BTreeSet<EventId> = BTreeSet::new();
+        let mut own_changes: Vec<ConfigChange> = Vec::new();
+        let end = sim.now() + budget;
+        let mut t = sim.now();
+        while t < end {
+            t = (t + self.interval).min(end);
+            sim.run_until(t);
+            // §5: only verify causally closed views.
+            match consistency_check(sim.trace(), t) {
+                SnapshotStatus::WaitFor(rs) => {
+                    report.timeline.push((t, GuardAction::Waited { for_routers: rs }));
+                    continue;
+                }
+                SnapshotStatus::Consistent => {}
+            }
+            let n = sim.topology().num_routers();
+            let dp = snapshot_arrived_by(sim.trace(), n, t);
+            let vr = verify(sim.topology(), &dp, &self.policies);
+            if vr.ok() {
+                continue;
+            }
+            report
+                .timeline
+                .push((t, GuardAction::Detected { violations: vr.violations.len() }));
+            // Locate the problematic FIB update: the most recent arrived
+            // FIB event touching a violated policy's prefix.
+            let violated_prefixes: Vec<_> =
+                vr.violations.iter().map(|v| v.policy.prefix()).collect();
+            let arrived = sim.trace().arrived_by(t);
+            let bad_fib = arrived
+                .iter()
+                .filter(|e| {
+                    matches!(
+                        &e.kind,
+                        IoKind::FibInstall { prefix, .. } | IoKind::FibRemove { prefix }
+                            if violated_prefixes.iter().any(|vp| vp.overlaps(prefix))
+                    )
+                })
+                .max_by_key(|e| (e.time, e.id));
+            let Some(bad_fib) = bad_fib else { continue };
+            // Infer the HBG from what has arrived (deployment view), then
+            // walk to root causes.
+            let hbg = infer_hbg(
+                sim.trace(),
+                &InferConfig { rules: true, patterns: None, min_confidence: self.min_confidence, proximate: false },
+            );
+            let causes = root_causes(sim.trace(), &hbg, bad_fib.id, self.min_confidence);
+            // Never "repair" our own repairs, and never repeat one.
+            let fresh: Vec<_> = causes
+                .into_iter()
+                .filter(|c| !repaired_roots.contains(&c.event))
+                .filter(|c| match &c.kind {
+                    RootCauseKind::ConfigChange { change: Some(ch), .. } => {
+                        !own_changes.contains(ch)
+                    }
+                    _ => true,
+                })
+                .collect();
+            let plans = propose_repairs(&fresh, self.min_confidence);
+            let mut acted = false;
+            for plan in plans {
+                match &plan.action {
+                    RepairAction::RevertConfig(inv) => {
+                        if acted {
+                            continue; // one repair at a time; reassess after
+                        }
+                        sim.schedule_config(sim.now(), plan.router, inv.clone());
+                        own_changes.push(inv.clone());
+                        repaired_roots.insert(plan.root.event);
+                        report.timeline.push((t, GuardAction::Repaired { plan }));
+                        acted = true;
+                    }
+                    RepairAction::NotifyOperator(_) => {
+                        if notified_roots.insert(plan.root.event) {
+                            report.timeline.push((t, GuardAction::Notified { plan }));
+                        }
+                    }
+                }
+            }
+        }
+        sim.run_to_quiescence(1_000_000);
+        let final_report = verify(sim.topology(), sim.dataplane(), &self.policies);
+        report.final_ok = final_report.ok();
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpvr_bgp::{PeerRef, RouteMap, SetAction};
+    use cpvr_sim::scenario::paper_scenario;
+    use cpvr_sim::{CaptureProfile, LatencyProfile};
+
+    /// The full paper story, end to end: misconfiguration → detection on
+    /// a consistent snapshot → root cause → automatic rollback → policy
+    /// holds again.
+    #[test]
+    fn fig2_violation_is_detected_and_repaired() {
+        let mut s = paper_scenario(LatencyProfile::fast(), CaptureProfile::ideal(), 21);
+        s.sim.start();
+        s.sim.run_to_quiescence(100_000);
+        s.sim.schedule_ext_announce(s.sim.now() + SimTime::from_millis(1), s.ext_r1, &[s.prefix]);
+        s.sim.schedule_ext_announce(s.sim.now() + SimTime::from_millis(100), s.ext_r2, &[s.prefix]);
+        s.sim.run_to_quiescence(100_000);
+        // The ill-considered change (Fig. 2a).
+        let change = cpvr_bgp::ConfigChange::SetImport {
+            peer: PeerRef::External(s.ext_r2),
+            map: RouteMap::set_all(vec![SetAction::LocalPref(10)]),
+        };
+        s.sim.schedule_config(s.sim.now() + SimTime::from_millis(20), RouterId(1), change);
+        let guard = ControlLoop::new(vec![Policy::PreferredExit {
+            prefix: s.prefix,
+            primary: s.ext_r2,
+            backup: s.ext_r1,
+        }]);
+        let report = guard.run(&mut s.sim, SimTime::from_secs(2));
+        assert!(report.repairs() >= 1, "timeline:\n{}", report.render());
+        assert!(report.final_ok, "timeline:\n{}", report.render());
+        // The repair must be the inverse of the bad change: LP back to 30.
+        let repaired = report
+            .timeline
+            .iter()
+            .find_map(|(_, a)| match a {
+                GuardAction::Repaired { plan } => Some(plan.clone()),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(repaired.router, RouterId(1));
+        match &repaired.action {
+            RepairAction::RevertConfig(cpvr_bgp::ConfigChange::SetImport { peer, map }) => {
+                assert_eq!(*peer, PeerRef::External(s.ext_r2));
+                assert_eq!(*map, RouteMap::set_all(vec![SetAction::LocalPref(30)]));
+            }
+            other => panic!("unexpected repair action {other:?}"),
+        }
+    }
+
+    /// A compliant network stays untouched.
+    #[test]
+    fn no_violation_no_action() {
+        let mut s = paper_scenario(LatencyProfile::fast(), CaptureProfile::ideal(), 22);
+        s.sim.start();
+        s.sim.run_to_quiescence(100_000);
+        s.sim.schedule_ext_announce(s.sim.now() + SimTime::from_millis(1), s.ext_r1, &[s.prefix]);
+        s.sim.schedule_ext_announce(s.sim.now() + SimTime::from_millis(5), s.ext_r2, &[s.prefix]);
+        let guard = ControlLoop::new(vec![Policy::PreferredExit {
+            prefix: s.prefix,
+            primary: s.ext_r2,
+            backup: s.ext_r1,
+        }]);
+        let report = guard.run(&mut s.sim, SimTime::from_secs(1));
+        assert_eq!(report.repairs(), 0, "timeline:\n{}", report.render());
+        assert!(report.final_ok);
+    }
+
+    /// An uplink failure is a hardware root cause: not revertible, the
+    /// operator gets notified, and no bogus repair fires (§8 limitation).
+    #[test]
+    fn uplink_failure_notifies_instead_of_repairing() {
+        let mut s = paper_scenario(LatencyProfile::fast(), CaptureProfile::ideal(), 23);
+        s.sim.start();
+        s.sim.run_to_quiescence(100_000);
+        // Only R2's uplink has the route; when it dies, traffic blackholes
+        // and nothing can be reverted.
+        s.sim.schedule_ext_announce(s.sim.now() + SimTime::from_millis(1), s.ext_r2, &[s.prefix]);
+        s.sim.run_to_quiescence(100_000);
+        s.sim.schedule_ext_peer_change(s.sim.now() + SimTime::from_millis(30), s.ext_r2, false);
+        let guard = ControlLoop::new(vec![Policy::Reachable { prefix: s.prefix }]);
+        let report = guard.run(&mut s.sim, SimTime::from_secs(1));
+        assert_eq!(report.repairs(), 0, "timeline:\n{}", report.render());
+        let notified = report
+            .timeline
+            .iter()
+            .any(|(_, a)| matches!(a, GuardAction::Notified { .. }));
+        assert!(notified, "timeline:\n{}", report.render());
+        assert!(!report.final_ok, "the route is genuinely gone");
+    }
+
+    /// With skewed capture, the guard waits instead of false-alarming.
+    #[test]
+    fn skewed_capture_causes_waits_not_false_repairs() {
+        let mut s = paper_scenario(LatencyProfile::cisco(), CaptureProfile::syslog(), 24);
+        s.sim.start();
+        s.sim.run_to_quiescence(100_000);
+        s.sim.schedule_ext_announce(s.sim.now() + SimTime::from_millis(1), s.ext_r1, &[s.prefix]);
+        s.sim.schedule_ext_announce(s.sim.now() + SimTime::from_millis(200), s.ext_r2, &[s.prefix]);
+        let guard = ControlLoop {
+            policies: vec![Policy::PreferredExit {
+                prefix: s.prefix,
+                primary: s.ext_r2,
+                backup: s.ext_r1,
+            }],
+            min_confidence: 0.8,
+            interval: SimTime::from_millis(10),
+        };
+        let report = guard.run(&mut s.sim, SimTime::from_secs(1));
+        assert_eq!(report.repairs(), 0, "timeline:\n{}", report.render());
+        assert!(report.final_ok);
+    }
+}

@@ -1,0 +1,67 @@
+//! Trace persistence.
+//!
+//! Captured traces are the system's primary artifact: they feed offline
+//! analysis, the what-if replayer, and the experiment records in
+//! `EXPERIMENTS.md`. This module serializes a [`Trace`] (events plus
+//! ground-truth edges) to JSON and back, losslessly.
+
+use cpvr_sim::Trace;
+
+/// Serializes a trace to pretty-printed JSON.
+pub fn trace_to_json(trace: &Trace) -> String {
+    serde_json::to_string_pretty(trace).expect("trace serialization cannot fail")
+}
+
+/// Deserializes a trace from JSON.
+pub fn trace_from_json(json: &str) -> Result<Trace, serde_json::Error> {
+    serde_json::from_str(json)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpvr_bgp::{ConfigChange, PeerRef, RouteMap, SetAction};
+    use cpvr_sim::scenario::paper_scenario;
+    use cpvr_sim::{CaptureProfile, LatencyProfile};
+    use cpvr_types::{RouterId, SimTime};
+
+    fn sample() -> Trace {
+        let mut s = paper_scenario(LatencyProfile::fast(), CaptureProfile::syslog(), 3);
+        s.sim.start();
+        s.sim.run_to_quiescence(100_000);
+        s.sim
+            .schedule_ext_announce(s.sim.now() + SimTime::from_millis(1), s.ext_r1, &[s.prefix]);
+        let change = ConfigChange::SetImport {
+            peer: PeerRef::External(s.ext_r2),
+            map: RouteMap::set_all(vec![SetAction::LocalPref(10)]),
+        };
+        s.sim
+            .schedule_config(s.sim.now() + SimTime::from_millis(5), RouterId(1), change);
+        s.sim.run_to_quiescence(100_000);
+        s.sim.trace().clone()
+    }
+
+    #[test]
+    fn roundtrip_is_lossless() {
+        let original = sample();
+        let json = trace_to_json(&original);
+        let back = trace_from_json(&json).expect("parses");
+        assert_eq!(original.events, back.events);
+        assert_eq!(original.truth_edges, back.truth_edges);
+    }
+
+    #[test]
+    fn json_contains_readable_fields() {
+        let json = trace_to_json(&sample());
+        // Structured config change, prefixes, and peers all survive.
+        assert!(json.contains("SetImport"));
+        assert!(json.contains("FibInstall"));
+        assert!(json.contains("truth_edges"));
+    }
+
+    #[test]
+    fn garbage_fails_cleanly() {
+        assert!(trace_from_json("not json").is_err());
+        assert!(trace_from_json("{\"events\": 3}").is_err());
+    }
+}

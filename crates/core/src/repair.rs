@@ -1,0 +1,295 @@
+//! Repairing policy violations (§6).
+//!
+//! The paper's first-line repair is "reverting the root cause event,
+//! prior to installing any problematic FIB updates": walk the HBG to the
+//! leaves, and if a leaf is a configuration change, apply its inverse and
+//! report it to the operator. Some root causes are *not* revertible —
+//! an external withdrawal because a provider link died cannot be undone
+//! (§8's first limitation) — so plans distinguish revertible actions from
+//! operator notifications.
+//!
+//! The module also quantifies why the naive alternative — blocking FIB
+//! updates — is dangerous: [`blocking_divergence`] measures the
+//! control/data-plane gap that blocking creates (the Fig. 2b hazard).
+
+use crate::provenance::{RootCause, RootCauseKind};
+use cpvr_bgp::ConfigChange;
+use cpvr_dataplane::DataPlane;
+use cpvr_sim::{IoKind, Trace};
+use cpvr_types::{Ipv4Prefix, RouterId, SimTime};
+use std::fmt;
+
+/// What the repair engine wants done about one root cause.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RepairAction {
+    /// Apply this (inverse) configuration change on the router.
+    RevertConfig(ConfigChange),
+    /// Nothing can be reverted; tell the operator what happened. Used
+    /// for hardware events, external routes, and config changes whose
+    /// inverse is unknown.
+    NotifyOperator(String),
+}
+
+/// A proposed repair for one root cause.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RepairPlan {
+    /// The router to act on.
+    pub router: RouterId,
+    /// The action.
+    pub action: RepairAction,
+    /// The root cause being addressed.
+    pub root: RootCause,
+    /// Why this plan follows from the root cause.
+    pub rationale: String,
+}
+
+impl RepairPlan {
+    /// True if the plan actually changes the network (vs. notifying).
+    pub fn is_actionable(&self) -> bool {
+        matches!(self.action, RepairAction::RevertConfig(_))
+    }
+}
+
+impl fmt::Display for RepairPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.action {
+            RepairAction::RevertConfig(c) => {
+                write!(f, "on {}: revert via `{c}` — {}", self.router, self.rationale)
+            }
+            RepairAction::NotifyOperator(msg) => {
+                write!(f, "notify operator about {}: {msg}", self.router)
+            }
+        }
+    }
+}
+
+/// Turns root causes into repair plans, most-confident first. Root
+/// causes below `min_confidence` are skipped entirely (the §4.2 plan:
+/// only act when confidence is high enough).
+pub fn propose_repairs(causes: &[RootCause], min_confidence: f64) -> Vec<RepairPlan> {
+    let mut out = Vec::new();
+    for root in causes {
+        if root.confidence < min_confidence {
+            continue;
+        }
+        let plan = match &root.kind {
+            RootCauseKind::ConfigChange { change, inverse } => match inverse {
+                Some(inv) => RepairPlan {
+                    router: root.router,
+                    action: RepairAction::RevertConfig(inv.clone()),
+                    root: root.clone(),
+                    rationale: format!(
+                        "configuration change `{}` is the root cause; rolling back",
+                        change
+                            .as_ref()
+                            .map(|c| c.to_string())
+                            .unwrap_or_else(|| "?".into())
+                    ),
+                },
+                None => RepairPlan {
+                    router: root.router,
+                    action: RepairAction::NotifyOperator(
+                        "root cause is a configuration change with no recorded inverse".into(),
+                    ),
+                    root: root.clone(),
+                    rationale: "no version-system entry to roll back to".into(),
+                },
+            },
+            RootCauseKind::Hardware { up, link, peer } => RepairPlan {
+                router: root.router,
+                action: RepairAction::NotifyOperator(format!(
+                    "hardware event ({}{} went {}) cannot be reverted in software",
+                    link.map(|l| l.to_string()).unwrap_or_default(),
+                    peer.map(|p| p.to_string()).unwrap_or_default(),
+                    if *up { "up" } else { "down" },
+                )),
+                root: root.clone(),
+                rationale: "blocking a withdrawal caused by a dead link would blackhole traffic anyway (§8)".into(),
+            },
+            RootCauseKind::ExternalRoute { peer, prefix, withdraw } => RepairPlan {
+                router: root.router,
+                action: RepairAction::NotifyOperator(format!(
+                    "external {} for {} from {} — outside our control",
+                    if *withdraw { "withdrawal" } else { "announcement" },
+                    prefix.map(|p| p.to_string()).unwrap_or_else(|| "?".into()),
+                    peer.map(|p| p.to_string()).unwrap_or_else(|| "?".into()),
+                )),
+                root: root.clone(),
+                rationale: "the Internet changed; adapt policy if intended".into(),
+            },
+            RootCauseKind::ProtocolStart | RootCauseKind::Unexplained => RepairPlan {
+                router: root.router,
+                action: RepairAction::NotifyOperator(
+                    "root cause could not be attributed to an operator action".into(),
+                ),
+                root: root.clone(),
+                rationale: "boot-time or unexplained provenance".into(),
+            },
+        };
+        out.push(plan);
+    }
+    out
+}
+
+/// Measures the control-plane/data-plane divergence created by blocking:
+/// entries where the *intended* FIB (what the control plane believes,
+/// reconstructed from all captured FIB events up to `horizon` by event
+/// time) differs from the *live* hardware FIB. Each divergent
+/// `(router, prefix)` is a place where the Fig. 2b hazard is armed.
+pub fn blocking_divergence(
+    trace: &Trace,
+    live: &DataPlane,
+    horizon: SimTime,
+) -> Vec<(RouterId, Ipv4Prefix)> {
+    let mut intended = DataPlane::new(live.num_routers());
+    let mut events: Vec<&cpvr_sim::IoEvent> = trace.events.iter().collect();
+    events.sort_by_key(|e| (e.time, e.id));
+    for e in events {
+        if e.time > horizon {
+            break;
+        }
+        match &e.kind {
+            IoKind::FibInstall { prefix, action } => {
+                intended.fib_mut(e.router).install(
+                    *prefix,
+                    cpvr_dataplane::FibEntry { action: *action, installed_at: e.time },
+                );
+            }
+            IoKind::FibRemove { prefix } => {
+                intended.fib_mut(e.router).remove(prefix);
+            }
+            _ => {}
+        }
+    }
+    let mut out = Vec::new();
+    for r in 0..live.num_routers() as u32 {
+        let rid = RouterId(r);
+        let mut prefixes: Vec<Ipv4Prefix> = intended.fib(rid).prefixes();
+        prefixes.extend(live.fib(rid).prefixes());
+        prefixes.sort();
+        prefixes.dedup();
+        for p in prefixes {
+            let want = intended.fib(rid).get(&p).map(|e| e.action);
+            let have = live.fib(rid).get(&p).map(|e| e.action);
+            if want != have {
+                out.push((rid, p));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpvr_dataplane::{FibAction, FibEntry};
+    use cpvr_sim::{EventId, IoEvent};
+
+    fn root(kind: RootCauseKind, conf: f64) -> RootCause {
+        RootCause {
+            event: EventId(0),
+            router: RouterId(1),
+            time: SimTime::from_millis(5),
+            kind,
+            confidence: conf,
+        }
+    }
+
+    #[test]
+    fn config_root_yields_revert_plan() {
+        let causes = vec![root(
+            RootCauseKind::ConfigChange {
+                change: Some(ConfigChange::SetAddPath(true)),
+                inverse: Some(ConfigChange::SetAddPath(false)),
+            },
+            1.0,
+        )];
+        let plans = propose_repairs(&causes, 0.5);
+        assert_eq!(plans.len(), 1);
+        assert!(plans[0].is_actionable());
+        assert_eq!(
+            plans[0].action,
+            RepairAction::RevertConfig(ConfigChange::SetAddPath(false))
+        );
+        assert_eq!(plans[0].router, RouterId(1));
+    }
+
+    #[test]
+    fn hardware_and_external_roots_notify() {
+        let causes = vec![
+            root(RootCauseKind::Hardware { up: false, link: None, peer: Some(cpvr_topo::ExtPeerId(1)) }, 1.0),
+            root(
+                RootCauseKind::ExternalRoute {
+                    peer: Some(cpvr_topo::ExtPeerId(0)),
+                    prefix: Some("8.8.8.0/24".parse().unwrap()),
+                    withdraw: true,
+                },
+                1.0,
+            ),
+        ];
+        let plans = propose_repairs(&causes, 0.5);
+        assert_eq!(plans.len(), 2);
+        assert!(plans.iter().all(|p| !p.is_actionable()));
+    }
+
+    #[test]
+    fn low_confidence_roots_skipped() {
+        let causes = vec![root(
+            RootCauseKind::ConfigChange {
+                change: Some(ConfigChange::SetAddPath(true)),
+                inverse: Some(ConfigChange::SetAddPath(false)),
+            },
+            0.3,
+        )];
+        assert!(propose_repairs(&causes, 0.5).is_empty());
+        assert_eq!(propose_repairs(&causes, 0.2).len(), 1);
+    }
+
+    #[test]
+    fn missing_inverse_degrades_to_notification() {
+        let causes = vec![root(
+            RootCauseKind::ConfigChange { change: Some(ConfigChange::SetAddPath(true)), inverse: None },
+            1.0,
+        )];
+        let plans = propose_repairs(&causes, 0.5);
+        assert!(!plans[0].is_actionable());
+    }
+
+    #[test]
+    fn divergence_detects_blocked_updates() {
+        let p: Ipv4Prefix = "8.8.8.0/24".parse().unwrap();
+        let mut trace = Trace::default();
+        trace.events.push(IoEvent {
+            id: EventId(0),
+            router: RouterId(0),
+            time: SimTime::from_millis(10),
+            arrived_at: Some(SimTime::from_millis(10)),
+            kind: IoKind::FibInstall { prefix: p, action: FibAction::Drop },
+        });
+        // Live data plane never got the update (it was blocked).
+        let live = DataPlane::new(1);
+        let div = blocking_divergence(&trace, &live, SimTime::from_millis(100));
+        assert_eq!(div, vec![(RouterId(0), p)]);
+        // With the update applied, no divergence.
+        let mut live2 = DataPlane::new(1);
+        live2
+            .fib_mut(RouterId(0))
+            .install(p, FibEntry { action: FibAction::Drop, installed_at: SimTime::from_millis(10) });
+        assert!(blocking_divergence(&trace, &live2, SimTime::from_millis(100)).is_empty());
+    }
+
+    #[test]
+    fn divergence_respects_horizon() {
+        let p: Ipv4Prefix = "8.8.8.0/24".parse().unwrap();
+        let mut trace = Trace::default();
+        trace.events.push(IoEvent {
+            id: EventId(0),
+            router: RouterId(0),
+            time: SimTime::from_millis(500),
+            arrived_at: Some(SimTime::from_millis(500)),
+            kind: IoKind::FibInstall { prefix: p, action: FibAction::Drop },
+        });
+        let live = DataPlane::new(1);
+        assert!(blocking_divergence(&trace, &live, SimTime::from_millis(100)).is_empty());
+    }
+}

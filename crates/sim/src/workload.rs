@@ -1,0 +1,151 @@
+//! Workload generators for benchmarks and large-scale experiments.
+
+use cpvr_topo::builder::TopologyBuilder;
+use cpvr_topo::{ExtPeerId, Topology};
+use cpvr_types::{AsNum, Ipv4Prefix, RouterId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// `n` disjoint /24 prefixes under `100.0.0.0/8` — a synthetic external
+/// routing table.
+pub fn prefix_block(n: usize) -> Vec<Ipv4Prefix> {
+    assert!(n <= 65536, "only 2^16 /24s under a /8");
+    (0..n as u32)
+        .map(|i| Ipv4Prefix::from_bits(u32::from_be_bytes([100, (i >> 8) as u8, i as u8, 0]), 24))
+        .collect()
+}
+
+/// Assigns each prefix to one of `classes` policy classes. Prefixes in
+/// the same class receive identical treatment everywhere, so the
+/// verifier's equivalence-class slicing should discover ≈`classes`
+/// classes — the §6 observation (citing [7]) that even 100K-prefix
+/// networks have <15 ECs.
+///
+/// Returns `class_of[prefix_index] ∈ 0..classes`, assigned with a skewed
+/// distribution (most prefixes in few classes, like real policy data).
+pub fn policy_classes(n_prefixes: usize, classes: usize, seed: u64) -> Vec<usize> {
+    assert!(classes >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n_prefixes)
+        .map(|_| {
+            // Geometric-ish skew: class k gets ~2^-k of the mass.
+            let mut k = 0;
+            while k + 1 < classes && rng.gen_bool(0.5) {
+                k += 1;
+            }
+            k
+        })
+        .collect()
+}
+
+/// A random connected topology: a uniform spanning tree plus `extra`
+/// random additional links, with `uplinks` external peers attached to
+/// random routers. Unit IGP costs.
+pub fn random_topology(n: usize, extra: usize, uplinks: usize, seed: u64) -> (Topology, Vec<ExtPeerId>) {
+    assert!(n >= 2);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = TopologyBuilder::new(AsNum(65000));
+    let ids: Vec<RouterId> = (0..n).map(|i| b.router(&format!("R{}", i + 1))).collect();
+    // Random spanning tree: attach each new node to a random earlier one.
+    for i in 1..n {
+        let j = rng.gen_range(0..i);
+        b.link(ids[i], ids[j], 10);
+    }
+    // Extra links between distinct random pairs (skip duplicates
+    // opportunistically; parallel links are legal but unhelpful here).
+    let mut added = 0;
+    let mut guard = 0;
+    while added < extra && guard < extra * 20 + 20 {
+        guard += 1;
+        let i = rng.gen_range(0..n);
+        let j = rng.gen_range(0..n);
+        if i != j {
+            b.link(ids[i], ids[j], 10);
+            added += 1;
+        }
+    }
+    let peers: Vec<ExtPeerId> = (0..uplinks)
+        .map(|k| {
+            let r = ids[rng.gen_range(0..n)];
+            b.external_peer(&format!("Up{k}"), AsNum(100 + k as u32), r)
+        })
+        .collect();
+    (b.build(), peers)
+}
+
+/// A deterministic churn plan: a sequence of `(time offset in ms, peer
+/// index, prefix index, announce?)` tuples for stress runs.
+pub fn churn_plan(
+    events: usize,
+    n_peers: usize,
+    n_prefixes: usize,
+    seed: u64,
+) -> Vec<(u64, usize, usize, bool)> {
+    assert!(n_peers > 0 && n_prefixes > 0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = 0u64;
+    (0..events)
+        .map(|_| {
+            t += rng.gen_range(1..50);
+            (
+                t,
+                rng.gen_range(0..n_peers),
+                rng.gen_range(0..n_prefixes),
+                rng.gen_bool(0.7),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefix_block_disjoint() {
+        let ps = prefix_block(300);
+        assert_eq!(ps.len(), 300);
+        for w in ps.windows(2) {
+            assert!(!w[0].overlaps(&w[1]));
+        }
+        // All under 100.0.0.0/8.
+        let root: Ipv4Prefix = "100.0.0.0/8".parse().unwrap();
+        assert!(ps.iter().all(|p| root.covers(p)));
+    }
+
+    #[test]
+    fn policy_classes_in_range_and_skewed() {
+        let classes = policy_classes(10_000, 8, 42);
+        assert_eq!(classes.len(), 10_000);
+        assert!(classes.iter().all(|c| *c < 8));
+        // Class 0 should hold roughly half the prefixes.
+        let c0 = classes.iter().filter(|c| **c == 0).count();
+        assert!((4000..6000).contains(&c0), "skew off: {c0}");
+    }
+
+    #[test]
+    fn random_topology_is_connected() {
+        for seed in 0..5 {
+            let (topo, peers) = random_topology(20, 10, 3, seed);
+            assert_eq!(topo.num_routers(), 20);
+            assert_eq!(peers.len(), 3);
+            assert!(cpvr_topo::graph::is_connected(&topo));
+        }
+    }
+
+    #[test]
+    fn churn_plan_is_monotonic_and_deterministic() {
+        let a = churn_plan(100, 2, 50, 7);
+        let b = churn_plan(100, 2, 50, 7);
+        assert_eq!(a, b);
+        for w in a.windows(2) {
+            assert!(w[0].0 < w[1].0);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn too_many_prefixes_panics() {
+        prefix_block(70_000);
+    }
+}

@@ -1,0 +1,111 @@
+//! Identifier newtypes.
+//!
+//! Routers, autonomous systems, and interfaces are all "just numbers", which
+//! is exactly why they deserve distinct types: mixing a router id with an AS
+//! number is a classic source of silent configuration bugs, and the paper's
+//! happens-before events are keyed by router identity.
+
+use std::fmt;
+
+/// Identifies a router within a [`Topology`](https://docs.rs/cpvr-topo).
+///
+/// Router ids are dense small integers assigned by the topology builder in
+/// creation order, which keeps them usable as vector indices. The `Display`
+/// form is `R<n+1>` to match the paper's figures (the first router created
+/// prints as `R1`).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+pub struct RouterId(pub u32);
+
+impl RouterId {
+    /// Returns the id as a `usize`, for indexing per-router tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for RouterId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "R{}", self.0 + 1)
+    }
+}
+
+impl fmt::Debug for RouterId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "R{}", self.0 + 1)
+    }
+}
+
+/// An autonomous-system number (2- or 4-byte; we store 4).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+pub struct AsNum(pub u32);
+
+impl fmt::Display for AsNum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AS{}", self.0)
+    }
+}
+
+impl fmt::Debug for AsNum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AS{}", self.0)
+    }
+}
+
+/// Identifies an interface local to one router.
+///
+/// Interface ids are only meaningful relative to their owning router; the
+/// pair `(RouterId, IfaceId)` is globally unique.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+pub struct IfaceId(pub u32);
+
+impl IfaceId {
+    /// Returns the id as a `usize`, for indexing per-interface tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for IfaceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "if{}", self.0)
+    }
+}
+
+impl fmt::Debug for IfaceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "if{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn router_id_displays_one_based() {
+        assert_eq!(RouterId(0).to_string(), "R1");
+        assert_eq!(RouterId(2).to_string(), "R3");
+    }
+
+    #[test]
+    fn ids_order_by_value() {
+        assert!(RouterId(1) < RouterId(2));
+        assert!(AsNum(64512) < AsNum(64513));
+        assert!(IfaceId(0) < IfaceId(7));
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        assert_eq!(RouterId(42).index(), 42);
+        assert_eq!(IfaceId(3).index(), 3);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(AsNum(65000).to_string(), "AS65000");
+        assert_eq!(IfaceId(1).to_string(), "if1");
+        assert_eq!(format!("{:?}", RouterId(0)), "R1");
+    }
+}

@@ -1,0 +1,31 @@
+//! Fundamental network types for the CPVR workspace.
+//!
+//! This crate provides the addressing substrate everything else builds on:
+//!
+//! * [`Ipv4Prefix`] — an IPv4 prefix with the host bits masked off,
+//!   supporting containment and overlap tests ([`prefix`]).
+//! * [`PrefixTrie`] — a binary trie keyed by prefixes with
+//!   longest-prefix-match lookup, the core data structure behind FIBs,
+//!   RIBs, and equivalence-class computation ([`trie`]).
+//! * Identifier newtypes ([`RouterId`], [`AsNum`], [`IfaceId`]) that keep
+//!   router numbers, AS numbers, and interface indices from being mixed up
+//!   ([`ids`]).
+//! * [`SimTime`] — the simulation clock: nanosecond-resolution, totally
+//!   ordered, and printable in the units the paper's Fig. 5 uses ([`time`]).
+//!
+//! The crate is deliberately dependency-free (per the workspace design
+//! rules) and fully deterministic: no hashing with random state leaks into
+//! iteration orders that other crates rely on.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ids;
+pub mod prefix;
+pub mod time;
+pub mod trie;
+
+pub use ids::{AsNum, IfaceId, RouterId};
+pub use prefix::{Ipv4Prefix, PrefixParseError};
+pub use time::SimTime;
+pub use trie::PrefixTrie;

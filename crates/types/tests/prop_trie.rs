@@ -1,0 +1,116 @@
+//! Property-based tests: the trie must behave exactly like a model
+//! implementation built on a sorted map with linear-scan LPM.
+
+use cpvr_types::{Ipv4Prefix, PrefixTrie};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::net::Ipv4Addr;
+
+/// Strategy producing an arbitrary prefix, biased toward short masks so
+/// containment relationships actually occur.
+fn arb_prefix() -> impl Strategy<Value = Ipv4Prefix> {
+    (any::<u32>(), 0u8..=32).prop_map(|(bits, len)| Ipv4Prefix::from_bits(bits, len))
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(Ipv4Prefix, u32),
+    Remove(Ipv4Prefix),
+    Lookup(u32),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (arb_prefix(), any::<u32>()).prop_map(|(p, v)| Op::Insert(p, v)),
+        arb_prefix().prop_map(Op::Remove),
+        any::<u32>().prop_map(Op::Lookup),
+    ]
+}
+
+/// Model LPM: scan all entries, keep the longest containing prefix.
+fn model_lpm(model: &BTreeMap<Ipv4Prefix, u32>, addr: Ipv4Addr) -> Option<(Ipv4Prefix, u32)> {
+    model
+        .iter()
+        .filter(|(p, _)| p.contains_addr(addr))
+        .max_by_key(|(p, _)| p.len())
+        .map(|(p, v)| (*p, *v))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn trie_matches_model(ops in prop::collection::vec(arb_op(), 1..200)) {
+        let mut trie = PrefixTrie::new();
+        let mut model: BTreeMap<Ipv4Prefix, u32> = BTreeMap::new();
+        for op in ops {
+            match op {
+                Op::Insert(p, v) => {
+                    prop_assert_eq!(trie.insert(p, v), model.insert(p, v));
+                }
+                Op::Remove(p) => {
+                    prop_assert_eq!(trie.remove(&p), model.remove(&p));
+                }
+                Op::Lookup(bits) => {
+                    let addr = Ipv4Addr::from(bits);
+                    let got = trie.longest_match(addr).map(|(p, v)| (p, *v));
+                    prop_assert_eq!(got, model_lpm(&model, addr));
+                }
+            }
+            prop_assert_eq!(trie.len(), model.len());
+        }
+    }
+
+    #[test]
+    fn iter_matches_sorted_model(entries in prop::collection::btree_map(arb_prefix(), any::<u32>(), 0..64)) {
+        let trie: PrefixTrie<u32> = entries.iter().map(|(p, v)| (*p, *v)).collect();
+        let got: Vec<(Ipv4Prefix, u32)> = trie.iter().into_iter().map(|(p, v)| (p, *v)).collect();
+        let want: Vec<(Ipv4Prefix, u32)> = entries.into_iter().collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn matches_agrees_with_lpm(entries in prop::collection::btree_map(arb_prefix(), any::<u32>(), 1..64), bits in any::<u32>()) {
+        let trie: PrefixTrie<u32> = entries.iter().map(|(p, v)| (*p, *v)).collect();
+        let addr = Ipv4Addr::from(bits);
+        let all = trie.matches(addr);
+        // Every reported prefix must contain the address, in increasing
+        // specificity, and the last one must equal the LPM result.
+        for w in all.windows(2) {
+            prop_assert!(w[0].0.len() < w[1].0.len());
+        }
+        for (p, _) in &all {
+            prop_assert!(p.contains_addr(addr));
+        }
+        prop_assert_eq!(
+            all.last().map(|(p, v)| (*p, **v)),
+            trie.longest_match(addr).map(|(p, v)| (p, *v))
+        );
+    }
+
+    #[test]
+    fn covers_is_consistent_with_contains(p1 in arb_prefix(), p2 in arb_prefix()) {
+        // If p1 covers p2, then p1 contains both endpoints of p2.
+        if p1.covers(&p2) {
+            prop_assert!(p1.contains_addr(p2.first_addr()));
+            prop_assert!(p1.contains_addr(p2.last_addr()));
+        }
+        // covers is a partial order: reflexive + antisymmetric.
+        prop_assert!(p1.covers(&p1));
+        if p1.covers(&p2) && p2.covers(&p1) {
+            prop_assert_eq!(p1, p2);
+        }
+    }
+
+    #[test]
+    fn parent_covers_child(p in arb_prefix()) {
+        if let Some(parent) = p.parent() {
+            prop_assert!(parent.covers(&p));
+        }
+        if let Some((l, r)) = p.children() {
+            prop_assert!(p.covers(&l));
+            prop_assert!(p.covers(&r));
+            prop_assert!(!l.overlaps(&r));
+        }
+    }
+}

@@ -1,0 +1,239 @@
+//! Equivalence classes of the destination address space.
+//!
+//! Two notions, both from the literature the paper builds on:
+//!
+//! 1. **Forwarding equivalence classes** ([`equivalence_classes`]):
+//!    VeriFlow-style atoms. Every FIB is a set of prefixes; the union of
+//!    all prefixes partitions the address space into regions where the
+//!    set of covering prefixes — and therefore every router's LPM result —
+//!    is constant. Verifying one representative address per class is
+//!    exhaustive.
+//! 2. **Behavioral classes** ([`behavior_classes`]): group the *prefixes*
+//!    by their network-wide forwarding vector (what every router does
+//!    with them). This is the §6 observation (citing [7]) that large
+//!    networks treat most destinations identically — <15 classes for
+//!    100K prefixes — which makes outcome prediction for early blocking
+//!    feasible.
+
+use cpvr_dataplane::{DataPlane, FibAction};
+use cpvr_types::{Ipv4Prefix, RouterId};
+use std::collections::BTreeMap;
+use std::net::Ipv4Addr;
+
+/// One forwarding equivalence class.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EquivClass {
+    /// The owning prefix: the most specific prefix covering the class.
+    pub prefix: Ipv4Prefix,
+    /// A representative destination address inside the class.
+    pub representative: Ipv4Addr,
+}
+
+/// Computes the forwarding equivalence classes of a set of prefixes.
+///
+/// Each input prefix `p` contributes one class for the part of its
+/// address space not covered by any more-specific input prefix (if that
+/// part is non-empty). Addresses covered by no prefix at all form no
+/// class — they are uniformly unroutable and never interesting to a
+/// policy keyed on known prefixes.
+pub fn equivalence_classes_of(prefixes: &[Ipv4Prefix]) -> Vec<EquivClass> {
+    let mut sorted: Vec<Ipv4Prefix> = prefixes.to_vec();
+    sorted.sort();
+    sorted.dedup();
+    let mut out = Vec::new();
+    for (i, p) in sorted.iter().enumerate() {
+        // More-specific prefixes are contiguous after p in sorted order
+        // only partially; scan all (n is the number of *distinct*
+        // prefixes, typically small relative to addresses).
+        let children: Vec<Ipv4Prefix> = sorted
+            .iter()
+            .enumerate()
+            .filter(|(j, q)| *j != i && p.covers(q))
+            .map(|(_, q)| *q)
+            .collect();
+        if let Some(rep) = uncovered_address(*p, &children) {
+            out.push(EquivClass { prefix: *p, representative: rep });
+        }
+    }
+    out
+}
+
+/// Equivalence classes of everything installed anywhere in the data
+/// plane.
+pub fn equivalence_classes(dp: &DataPlane) -> Vec<EquivClass> {
+    equivalence_classes_of(&dp.all_prefixes())
+}
+
+/// Finds the lowest address in `p` not covered by any prefix in `children`
+/// (all of which are covered by `p`).
+fn uncovered_address(p: Ipv4Prefix, children: &[Ipv4Prefix]) -> Option<Ipv4Addr> {
+    // Collect maximal children as disjoint [start, end] ranges.
+    let mut ranges: Vec<(u32, u32)> = children
+        .iter()
+        .map(|c| (u32::from(c.first_addr()), u32::from(c.last_addr())))
+        .collect();
+    ranges.sort();
+    let mut cursor = u32::from(p.first_addr());
+    let end = u32::from(p.last_addr());
+    for (s, e) in ranges {
+        if s > cursor {
+            return Some(Ipv4Addr::from(cursor));
+        }
+        // Overlapping/nested ranges: advance past this child.
+        cursor = cursor.max(e.checked_add(1)?);
+        if cursor > end {
+            return None;
+        }
+    }
+    if cursor <= end {
+        Some(Ipv4Addr::from(cursor))
+    } else {
+        None
+    }
+}
+
+/// The network-wide behavior vector of one prefix: what each router's FIB
+/// does with its representative traffic. `None` = no entry on that
+/// router.
+pub type BehaviorVector = Vec<Option<FibAction>>;
+
+/// Groups every installed prefix by its behavior vector. The map's size
+/// is the number of behavioral classes.
+pub fn behavior_classes(dp: &DataPlane) -> BTreeMap<Vec<String>, Vec<Ipv4Prefix>> {
+    let mut out: BTreeMap<Vec<String>, Vec<Ipv4Prefix>> = BTreeMap::new();
+    for prefix in dp.all_prefixes() {
+        // Use the prefix's own first address as the probe.
+        let probe = prefix.first_addr();
+        let vector: Vec<String> = (0..dp.num_routers())
+            .map(|r| {
+                match dp.fib(RouterId(r as u32)).lookup(probe) {
+                    // Only count hits whose matched prefix is the one in
+                    // question or a covering one — i.e. the real LPM
+                    // behavior for this destination.
+                    Some((_, e)) => format!("{:?}", e.action),
+                    None => "none".to_string(),
+                }
+            })
+            .collect();
+        out.entry(vector).or_default().push(prefix);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpvr_dataplane::FibEntry;
+    use cpvr_topo::LinkId;
+    use cpvr_types::SimTime;
+
+    fn p(s: &str) -> Ipv4Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn disjoint_prefixes_one_class_each() {
+        let ecs = equivalence_classes_of(&[p("10.0.0.0/8"), p("11.0.0.0/8")]);
+        assert_eq!(ecs.len(), 2);
+        assert_eq!(ecs[0].representative, "10.0.0.0".parse::<Ipv4Addr>().unwrap());
+    }
+
+    #[test]
+    fn nested_prefix_splits_class() {
+        let ecs = equivalence_classes_of(&[p("10.0.0.0/8"), p("10.0.0.0/16")]);
+        assert_eq!(ecs.len(), 2);
+        // The /8's own class must have a representative outside the /16.
+        let coarse = ecs.iter().find(|e| e.prefix == p("10.0.0.0/8")).unwrap();
+        assert!(!p("10.0.0.0/16").contains_addr(coarse.representative));
+        assert!(p("10.0.0.0/8").contains_addr(coarse.representative));
+    }
+
+    #[test]
+    fn fully_covered_parent_has_no_class() {
+        let ecs = equivalence_classes_of(&[p("10.0.0.0/8"), p("10.0.0.0/9"), p("10.128.0.0/9")]);
+        // The /8 is fully covered by its two /9 children.
+        assert_eq!(ecs.len(), 2);
+        assert!(ecs.iter().all(|e| e.prefix != p("10.0.0.0/8")));
+    }
+
+    #[test]
+    fn duplicates_and_order_do_not_matter() {
+        let a = equivalence_classes_of(&[p("10.0.0.0/8"), p("10.1.0.0/16")]);
+        let b = equivalence_classes_of(&[p("10.1.0.0/16"), p("10.0.0.0/8"), p("10.0.0.0/8")]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn deep_nesting_chain() {
+        let ecs = equivalence_classes_of(&[
+            p("10.0.0.0/8"),
+            p("10.0.0.0/16"),
+            p("10.0.0.0/24"),
+            p("10.0.0.0/32"),
+        ]);
+        assert_eq!(ecs.len(), 4);
+        // Each representative must match exactly its owner under LPM.
+        for ec in &ecs {
+            for other in &ecs {
+                if other.prefix.len() > ec.prefix.len() {
+                    assert!(!other.prefix.contains_addr(ec.representative));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn default_route_class() {
+        let ecs = equivalence_classes_of(&[Ipv4Prefix::DEFAULT, p("10.0.0.0/8")]);
+        assert_eq!(ecs.len(), 2);
+        let default_ec = ecs.iter().find(|e| e.prefix == Ipv4Prefix::DEFAULT).unwrap();
+        assert!(!p("10.0.0.0/8").contains_addr(default_ec.representative));
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(equivalence_classes_of(&[]).is_empty());
+    }
+
+    #[test]
+    fn behavior_classes_group_identically_treated_prefixes() {
+        let mut dp = DataPlane::new(2);
+        let act = FibAction::Forward(LinkId(0));
+        let entry = FibEntry { action: act, installed_at: SimTime::ZERO };
+        // Three prefixes, two behaviors: first two identical everywhere.
+        for s in ["20.0.0.0/24", "20.0.1.0/24"] {
+            dp.fib_mut(RouterId(0)).install(p(s), entry);
+            dp.fib_mut(RouterId(1)).install(p(s), entry);
+        }
+        dp.fib_mut(RouterId(0)).install(p("20.0.2.0/24"), FibEntry {
+            action: FibAction::Drop,
+            installed_at: SimTime::ZERO,
+        });
+        let classes = behavior_classes(&dp);
+        assert_eq!(classes.len(), 2);
+        let sizes: Vec<usize> = classes.values().map(|v| v.len()).collect();
+        assert!(sizes.contains(&2) && sizes.contains(&1));
+    }
+
+    #[test]
+    fn behavior_classes_scale_with_policy_not_prefix_count() {
+        // 1000 prefixes, 3 distinct behaviors → 3 classes.
+        let mut dp = DataPlane::new(3);
+        for i in 0..1000u32 {
+            let prefix = Ipv4Prefix::from_bits(u32::from_be_bytes([100, (i >> 8) as u8, i as u8, 0]), 24);
+            let class = i % 3;
+            for r in 0..3u32 {
+                let action = match class {
+                    0 => FibAction::Forward(LinkId(0)),
+                    1 => FibAction::Forward(LinkId(1)),
+                    _ => FibAction::Drop,
+                };
+                dp.fib_mut(RouterId(r)).install(prefix, FibEntry {
+                    action,
+                    installed_at: SimTime::ZERO,
+                });
+            }
+        }
+        assert_eq!(behavior_classes(&dp).len(), 3);
+    }
+}

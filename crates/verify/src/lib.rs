@@ -1,0 +1,34 @@
+//! A data-plane verifier in the HSA / VeriFlow tradition.
+//!
+//! Data-plane verifiers "sidestep the complexity of the control plane by
+//! verifying the control plane's output" (§1). This crate implements that
+//! layer from scratch:
+//!
+//! * [`ec`] — equivalence-class slicing: carve the destination address
+//!   space into classes whose members are forwarded identically, so each
+//!   class is verified once (VeriFlow's trick). Also computes
+//!   *behavioral* classes (prefixes treated identically network-wide),
+//!   the §6 notion under which 100K-prefix networks collapse to <15
+//!   classes.
+//! * [`policy`] — the policy language: reachability, loop freedom,
+//!   blackhole freedom, waypointing, and the paper's running example
+//!   ("exit via R2 while its uplink is up, else R1") as
+//!   [`Policy::PreferredExit`].
+//! * [`verifier`] — the checker: full and incremental (delta-scoped)
+//!   verification over a [`DataPlane`](cpvr_dataplane::DataPlane)
+//!   snapshot.
+//! * [`distributed`] — the §5 sketch of distributed verification: routers
+//!   exchange partial per-EC results instead of centralizing the
+//!   snapshot; this module models the message/work tradeoff.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod distributed;
+pub mod ec;
+pub mod policy;
+pub mod verifier;
+
+pub use ec::{behavior_classes, equivalence_classes, EquivClass};
+pub use policy::{Policy, Violation};
+pub use verifier::{verify, verify_incremental, VerifyReport};

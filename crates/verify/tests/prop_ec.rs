@@ -1,0 +1,88 @@
+//! Property-based tests of equivalence-class slicing: the soundness
+//! property behind "verify one representative per class".
+
+use cpvr_types::Ipv4Prefix;
+use cpvr_verify::ec::equivalence_classes_of;
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+fn arb_prefix() -> impl Strategy<Value = Ipv4Prefix> {
+    // Narrow pool so nesting happens often.
+    (0u32..16, 8u8..=28).prop_map(|(i, len)| {
+        Ipv4Prefix::from_bits(u32::from(Ipv4Addr::new(10, (i % 4) as u8, (i / 4) as u8, 0)), len)
+    })
+}
+
+/// The LPM owner of `addr` among `prefixes` (longest covering prefix).
+fn lpm_owner(prefixes: &[Ipv4Prefix], addr: Ipv4Addr) -> Option<Ipv4Prefix> {
+    prefixes
+        .iter()
+        .filter(|p| p.contains_addr(addr))
+        .max_by_key(|p| p.len())
+        .copied()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn representative_is_owned_by_its_class(prefixes in prop::collection::vec(arb_prefix(), 1..12)) {
+        let ecs = equivalence_classes_of(&prefixes);
+        for ec in &ecs {
+            // The representative's LPM owner must be exactly the class's
+            // owning prefix — otherwise tracing it would exercise a
+            // different class.
+            prop_assert_eq!(lpm_owner(&prefixes, ec.representative), Some(ec.prefix));
+        }
+    }
+
+    #[test]
+    fn one_class_per_owner(prefixes in prop::collection::vec(arb_prefix(), 1..12)) {
+        let ecs = equivalence_classes_of(&prefixes);
+        let mut owners: Vec<Ipv4Prefix> = ecs.iter().map(|e| e.prefix).collect();
+        let n = owners.len();
+        owners.sort();
+        owners.dedup();
+        prop_assert_eq!(owners.len(), n, "no owner may contribute two classes");
+    }
+
+    #[test]
+    fn every_covered_address_has_a_class_with_same_owner(
+        prefixes in prop::collection::vec(arb_prefix(), 1..12),
+        probe_bits in any::<u32>(),
+    ) {
+        // Soundness: any address covered by some input prefix behaves
+        // like the representative of the class owned by its LPM owner.
+        let addr = Ipv4Addr::from(
+            u32::from(Ipv4Addr::new(10, 0, 0, 0)) | (probe_bits & 0x0003_ffff),
+        );
+        if let Some(owner) = lpm_owner(&prefixes, addr) {
+            let ecs = equivalence_classes_of(&prefixes);
+            let class = ecs.iter().find(|e| e.prefix == owner);
+            prop_assert!(
+                class.is_some(),
+                "address {addr} owned by {owner} but no class has that owner"
+            );
+        }
+    }
+
+    #[test]
+    fn class_count_bounded_by_prefix_count(prefixes in prop::collection::vec(arb_prefix(), 0..16)) {
+        let mut unique = prefixes.clone();
+        unique.sort();
+        unique.dedup();
+        let ecs = equivalence_classes_of(&prefixes);
+        prop_assert!(ecs.len() <= unique.len());
+    }
+
+    #[test]
+    fn classes_are_insensitive_to_duplication_and_order(
+        prefixes in prop::collection::vec(arb_prefix(), 1..10),
+        dup in 0usize..10,
+    ) {
+        let mut noisy = prefixes.clone();
+        noisy.push(prefixes[dup % prefixes.len()]);
+        noisy.reverse();
+        prop_assert_eq!(equivalence_classes_of(&prefixes), equivalence_classes_of(&noisy));
+    }
+}

@@ -1,0 +1,68 @@
+//! What-if analysis before a maintenance window (§8 / CrystalNet-style
+//! replay): test a planned configuration change against a replayed copy
+//! of the network before touching production.
+//!
+//! Run with: `cargo run --example what_if`
+
+use cpvr::bgp::{ConfigChange, PeerRef, RouteMap, SetAction};
+use cpvr::core::whatif::what_if;
+use cpvr::sim::scenario::paper_scenario;
+use cpvr::sim::{CaptureProfile, LatencyProfile, Simulation};
+use cpvr::types::{RouterId, SimTime};
+use cpvr::verify::Policy;
+
+/// Rebuilds "production" deterministically: same scenario, same seed.
+fn production() -> (Simulation, cpvr::types::Ipv4Prefix, cpvr::topo::ExtPeerId, cpvr::topo::ExtPeerId) {
+    let mut s = paper_scenario(LatencyProfile::fast(), CaptureProfile::ideal(), 1234);
+    s.sim.start();
+    s.sim.run_to_quiescence(100_000);
+    s.sim.schedule_ext_announce(s.sim.now() + SimTime::from_millis(1), s.ext_r1, &[s.prefix]);
+    s.sim.schedule_ext_announce(s.sim.now() + SimTime::from_millis(5), s.ext_r2, &[s.prefix]);
+    s.sim.run_to_quiescence(100_000);
+    (s.sim, s.prefix, s.ext_r1, s.ext_r2)
+}
+
+fn main() {
+    let (_live, prefix, ext_r1, ext_r2) = production();
+    let policy = Policy::PreferredExit { prefix, primary: ext_r2, backup: ext_r1 };
+
+    // Planned changes for tonight's window:
+    let candidates: Vec<(&str, ConfigChange)> = vec![
+        (
+            "raise LP on R2's uplink to 40",
+            ConfigChange::SetImport {
+                peer: PeerRef::External(ext_r2),
+                map: RouteMap::set_all(vec![SetAction::LocalPref(40)]),
+            },
+        ),
+        (
+            "lower LP on R2's uplink to 10",
+            ConfigChange::SetImport {
+                peer: PeerRef::External(ext_r2),
+                map: RouteMap::set_all(vec![SetAction::LocalPref(10)]),
+            },
+        ),
+        (
+            "deny-all import on R2's uplink",
+            ConfigChange::SetImport { peer: PeerRef::External(ext_r2), map: RouteMap::deny_any() },
+        ),
+    ];
+
+    println!("what-if results against a replayed copy of production:\n");
+    for (desc, change) in candidates {
+        let result = what_if(
+            || production().0,
+            |sim| sim.schedule_config(sim.now() + SimTime::from_millis(1), RouterId(1), change.clone()),
+            std::slice::from_ref(&policy),
+            200_000,
+        );
+        println!(
+            "  {desc:<38} -> {}",
+            if result.report.ok() {
+                "SAFE (policy holds after convergence)".to_string()
+            } else {
+                format!("WOULD VIOLATE: {}", result.report.violations[0])
+            }
+        );
+    }
+}

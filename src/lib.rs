@@ -1,0 +1,13 @@
+//! Umbrella crate for the CPVR workspace.
+//!
+//! Re-exports every sub-crate under one namespace so examples and
+//! integration tests can use a single dependency.
+
+pub use cpvr_bgp as bgp;
+pub use cpvr_core as core;
+pub use cpvr_dataplane as dataplane;
+pub use cpvr_igp as igp;
+pub use cpvr_sim as sim;
+pub use cpvr_topo as topo;
+pub use cpvr_types as types;
+pub use cpvr_verify as verify;

@@ -1,0 +1,154 @@
+//! Workspace-level end-to-end tests: the full paper pipeline across all
+//! three IGP underlays and both capture regimes.
+
+use cpvr::bgp::{ConfigChange, PeerRef, RouteMap, SetAction};
+use cpvr::core::{ControlLoop, GuardAction};
+use cpvr::dataplane::TraceOutcome;
+use cpvr::sim::scenario::{paper_scenario_with_igp, PaperScenario};
+use cpvr::sim::{CaptureProfile, IgpKind, IoKind, LatencyProfile, Proto};
+use cpvr::types::{RouterId, SimTime};
+use cpvr::verify::{verify, Policy};
+
+const MAX_EVENTS: usize = 400_000;
+
+fn converged(igp: IgpKind, seed: u64) -> PaperScenario {
+    let mut s = paper_scenario_with_igp(LatencyProfile::fast(), CaptureProfile::ideal(), seed, igp);
+    s.sim.start();
+    s.sim.run_to_quiescence(MAX_EVENTS);
+    s.sim.schedule_ext_announce(s.sim.now() + SimTime::from_millis(1), s.ext_r1, &[s.prefix]);
+    s.sim.schedule_ext_announce(s.sim.now() + SimTime::from_millis(50), s.ext_r2, &[s.prefix]);
+    s.sim.run_to_quiescence(MAX_EVENTS);
+    s
+}
+
+#[test]
+fn paper_pipeline_works_over_every_igp() {
+    for igp in [IgpKind::Ospf, IgpKind::Rip, IgpKind::Eigrp] {
+        let mut s = converged(igp, 61);
+        // Converged state satisfies the policy over each underlay.
+        let policy = Policy::PreferredExit { prefix: s.prefix, primary: s.ext_r2, backup: s.ext_r1 };
+        let pre = verify(s.sim.topology(), s.sim.dataplane(), std::slice::from_ref(&policy));
+        assert!(pre.ok(), "{igp:?} pre-change: {:?}", pre.violations);
+        // Inject Fig. 2's bad change; the guard must repair it.
+        let change = ConfigChange::SetImport {
+            peer: PeerRef::External(s.ext_r2),
+            map: RouteMap::set_all(vec![SetAction::LocalPref(10)]),
+        };
+        s.sim.schedule_config(s.sim.now() + SimTime::from_millis(20), RouterId(1), change);
+        let guard = ControlLoop::new(vec![policy]);
+        let report = guard.run(&mut s.sim, SimTime::from_secs(2));
+        assert!(report.repairs() >= 1, "{igp:?}:\n{}", report.render());
+        assert!(report.final_ok, "{igp:?}:\n{}", report.render());
+    }
+}
+
+#[test]
+fn eigrp_underlay_emits_fib_before_send() {
+    // §4.1's protocol-specific rule, observed in a real trace: every
+    // EIGRP per-prefix advertisement follows that prefix's FIB event on
+    // the same router.
+    let s = converged(IgpKind::Eigrp, 62);
+    let trace = s.sim.trace();
+    let mut checked = 0;
+    for e in &trace.events {
+        if let IoKind::SendAdvert { proto: Proto::Eigrp, prefix: Some(p), .. } = &e.kind {
+            // Find the latest FIB event for p on e.router before e.
+            let fib_before = trace.events.iter().any(|f| {
+                f.router == e.router
+                    && f.time <= e.time
+                    && matches!(&f.kind,
+                        IoKind::FibInstall { prefix, .. } | IoKind::FibRemove { prefix } if prefix == p)
+            });
+            if fib_before {
+                checked += 1;
+            }
+        }
+    }
+    assert!(checked > 0, "no EIGRP advert followed a FIB event — rule not exercised");
+}
+
+#[test]
+fn rip_underlay_converges_internal_reachability() {
+    let s = converged(IgpKind::Rip, 63);
+    for r in 0..3u32 {
+        for other in 0..3u32 {
+            if r == other {
+                continue;
+            }
+            let lb = s.sim.topology().router(RouterId(other)).loopback;
+            let t = s.sim.dataplane().trace(s.sim.topology(), RouterId(r), lb);
+            assert_eq!(
+                t.outcome,
+                TraceOutcome::DeliveredLocal(RouterId(other)),
+                "RIP underlay: R{}→R{}",
+                r + 1,
+                other + 1
+            );
+        }
+    }
+}
+
+#[test]
+fn skewed_capture_still_ends_repaired() {
+    // The full pipeline under realistic latencies AND skewed capture: the
+    // guard may wait, but must still converge to detection and repair.
+    let mut s = paper_scenario_with_igp(
+        LatencyProfile::fast(),
+        CaptureProfile::syslog(),
+        64,
+        IgpKind::Ospf,
+    );
+    s.sim.start();
+    s.sim.run_to_quiescence(MAX_EVENTS);
+    s.sim.schedule_ext_announce(s.sim.now() + SimTime::from_millis(1), s.ext_r1, &[s.prefix]);
+    s.sim.schedule_ext_announce(s.sim.now() + SimTime::from_millis(50), s.ext_r2, &[s.prefix]);
+    s.sim.run_to_quiescence(MAX_EVENTS);
+    let change = ConfigChange::SetImport {
+        peer: PeerRef::External(s.ext_r2),
+        map: RouteMap::set_all(vec![SetAction::LocalPref(10)]),
+    };
+    s.sim.schedule_config(s.sim.now() + SimTime::from_millis(20), RouterId(1), change);
+    let guard = ControlLoop::new(vec![Policy::PreferredExit {
+        prefix: s.prefix,
+        primary: s.ext_r2,
+        backup: s.ext_r1,
+    }]);
+    let report = guard.run(&mut s.sim, SimTime::from_secs(5));
+    assert!(report.final_ok, "{}", report.render());
+    assert!(report.repairs() >= 1, "{}", report.render());
+}
+
+#[test]
+fn guard_reports_waits_under_skew() {
+    // Under skewed capture the guard must sometimes defer — and never
+    // fire a repair while its view is inconsistent.
+    let mut any_wait = false;
+    for seed in 0..6u64 {
+        let mut s = paper_scenario_with_igp(
+            LatencyProfile::cisco(),
+            CaptureProfile::syslog(),
+            seed,
+            IgpKind::Ospf,
+        );
+        s.sim.start();
+        s.sim.run_to_quiescence(MAX_EVENTS);
+        s.sim.schedule_ext_announce(s.sim.now() + SimTime::from_millis(1), s.ext_r1, &[s.prefix]);
+        s.sim.schedule_ext_announce(s.sim.now() + SimTime::from_millis(100), s.ext_r2, &[s.prefix]);
+        let guard = ControlLoop {
+            policies: vec![Policy::LoopFree { prefix: s.prefix }],
+            min_confidence: 0.8,
+            interval: SimTime::from_millis(10),
+        };
+        let report = guard.run(&mut s.sim, SimTime::from_secs(1));
+        assert_eq!(report.repairs(), 0, "seed {seed}: no repair is ever warranted here");
+        assert!(report.final_ok);
+        if report.waits() > 0 {
+            any_wait = true;
+        }
+        let premature = report.timeline.iter().any(|(_, a)| {
+            matches!(a, GuardAction::Detected { .. })
+        });
+        assert!(!premature, "seed {seed}: detected a phantom violation:\n{}", report.render());
+    }
+    assert!(any_wait, "skewed capture should cause at least one wait across seeds");
+}

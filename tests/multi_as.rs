@@ -1,0 +1,124 @@
+//! Inter-domain (multi-AS) tests: eBGP between in-domain routers, AS-path
+//! accumulation, loop prevention across the boundary, and the guarded
+//! repair loop working across ASes.
+
+use cpvr::bgp::{ConfigChange, PeerRef, RouteMap};
+use cpvr::core::ControlLoop;
+use cpvr::dataplane::TraceOutcome;
+use cpvr::sim::scenario::two_as_scenario;
+use cpvr::sim::{CaptureProfile, LatencyProfile, Simulation};
+use cpvr::topo::ExtPeerId;
+use cpvr::types::{AsNum, Ipv4Prefix, RouterId, SimTime};
+use cpvr::verify::Policy;
+
+const MAX_EVENTS: usize = 400_000;
+const DST: &str = "8.8.8.8";
+
+fn converged(seed: u64) -> (Simulation, ExtPeerId, Ipv4Prefix) {
+    let (mut sim, provider) = two_as_scenario(LatencyProfile::fast(), CaptureProfile::ideal(), seed);
+    let p: Ipv4Prefix = "8.8.8.0/24".parse().unwrap();
+    sim.start();
+    sim.run_to_quiescence(MAX_EVENTS);
+    sim.schedule_ext_announce(sim.now() + SimTime::from_millis(1), provider, &[p]);
+    sim.run_to_quiescence(MAX_EVENTS);
+    (sim, provider, p)
+}
+
+#[test]
+fn route_propagates_across_the_as_boundary() {
+    let (sim, provider, p) = converged(101);
+    // Every router (including AS 65000's R1, two AS hops away) delivers
+    // traffic out the provider at R4.
+    for r in 0..4u32 {
+        let t = sim.dataplane().trace(sim.topology(), RouterId(r), DST.parse().unwrap());
+        assert_eq!(
+            t.outcome,
+            TraceOutcome::Exited(provider),
+            "R{}: {:?}",
+            r + 1,
+            t.router_path()
+        );
+    }
+    // R1's path walks the whole line.
+    let t = sim.dataplane().trace(sim.topology(), RouterId(0), DST.parse().unwrap());
+    assert_eq!(
+        t.router_path(),
+        vec![RouterId(0), RouterId(1), RouterId(2), RouterId(3)]
+    );
+    let _ = p;
+}
+
+#[test]
+fn as_path_accumulates_per_hop() {
+    let (sim, _provider, p) = converged(102);
+    // R4 learned from the provider: path = [200].
+    let rib4 = sim.router(RouterId(3)).bgp.loc_rib();
+    assert_eq!(rib4[&p].as_path, vec![AsNum(200)]);
+    // R3 over iBGP: path unchanged.
+    let rib3 = sim.router(RouterId(2)).bgp.loc_rib();
+    assert_eq!(rib3[&p].as_path, vec![AsNum(200)]);
+    // R2 over eBGP from AS 65001: path = [65001, 200].
+    let rib2 = sim.router(RouterId(1)).bgp.loc_rib();
+    assert_eq!(rib2[&p].as_path, vec![AsNum(65001), AsNum(200)]);
+    // R1 over iBGP: same as R2's.
+    let rib1 = sim.router(RouterId(0)).bgp.loc_rib();
+    assert_eq!(rib1[&p].as_path, vec![AsNum(65001), AsNum(200)]);
+}
+
+#[test]
+fn next_hop_self_applies_at_each_border() {
+    let (sim, _provider, p) = converged(103);
+    use cpvr::bgp::NextHop;
+    // R1's next hop is its own border router R2 (not R3 or R4).
+    let rib1 = sim.router(RouterId(0)).bgp.loc_rib();
+    assert_eq!(rib1[&p].next_hop, NextHop::Router(RouterId(1)));
+    // R2's next hop is the eBGP neighbor R3.
+    let rib2 = sim.router(RouterId(1)).bgp.loc_rib();
+    assert_eq!(rib2[&p].next_hop, NextHop::Router(RouterId(2)));
+}
+
+#[test]
+fn withdrawal_crosses_the_boundary() {
+    let (mut sim, provider, p) = converged(104);
+    sim.schedule_ext_withdraw(sim.now() + SimTime::from_millis(5), provider, &[p]);
+    sim.run_to_quiescence(MAX_EVENTS);
+    for r in 0..4u32 {
+        assert!(
+            sim.router(RouterId(r)).bgp.loc_rib().is_empty(),
+            "R{} must lose the route",
+            r + 1
+        );
+        let t = sim.dataplane().trace(sim.topology(), RouterId(r), DST.parse().unwrap());
+        assert!(matches!(t.outcome, TraceOutcome::Blackhole(_)));
+    }
+}
+
+#[test]
+fn guard_repairs_across_as_boundaries() {
+    // A deny-all import filter on R2's eBGP session cuts AS 65000 off;
+    // the guard's provenance crosses the boundary and reverts it.
+    let (mut sim, _provider, p) = converged(105);
+    let change = ConfigChange::SetImport {
+        peer: PeerRef::Internal(RouterId(2)),
+        map: RouteMap::deny_any(),
+    };
+    sim.schedule_config(sim.now() + SimTime::from_millis(20), RouterId(1), change);
+    let guard = ControlLoop::new(vec![Policy::Reachable { prefix: p }]);
+    let report = guard.run(&mut sim, SimTime::from_secs(2));
+    assert!(report.repairs() >= 1, "{}", report.render());
+    assert!(report.final_ok, "{}", report.render());
+}
+
+#[test]
+fn ebgp_loop_prevention_across_boundary() {
+    // After convergence, R3 must not have accepted any route whose path
+    // contains its own AS (65001) from R2 — i.e. its own prefix never
+    // came back.
+    let (sim, _provider, p) = converged(106);
+    let rib3 = sim.router(RouterId(2)).bgp.loc_rib();
+    assert_eq!(
+        rib3[&p].as_path,
+        vec![AsNum(200)],
+        "R3 must keep the direct path, never a boomeranged one"
+    );
+}
