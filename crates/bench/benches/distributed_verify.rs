@@ -24,7 +24,10 @@ fn bench(c: &mut Criterion) {
         let (_, stats) = distributed_verify(sim.topology(), sim.dataplane(), &policies);
         println!(
             "[n={n}] dist msgs={} dist max-node-work={} central work={} snapshot entries={}",
-            stats.dist_messages, stats.dist_max_node_work, stats.central_work, stats.central_snapshot_entries
+            stats.dist_messages,
+            stats.dist_max_node_work,
+            stats.central_work,
+            stats.central_snapshot_entries
         );
     }
     g.finish();

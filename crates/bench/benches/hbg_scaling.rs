@@ -2,7 +2,7 @@
 //! churn.
 
 use cpvr_bench::scaled_scenario;
-use cpvr_core::infer::{infer_hbg, InferConfig};
+use cpvr_core::infer::{infer_hbg, infer_hbg_parallel, InferConfig};
 use cpvr_sim::IoKind;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
@@ -12,7 +12,15 @@ fn bench(c: &mut Criterion) {
     for (n, k) in [(3usize, 50usize), (6, 100), (10, 200)] {
         let sim = scaled_scenario(n, k, 4);
         let trace = sim.trace().clone();
-        let hbg = infer_hbg(&trace, &InferConfig { rules: true, patterns: None, min_confidence: 0.0, proximate: false });
+        let hbg = infer_hbg(
+            &trace,
+            &InferConfig {
+                rules: true,
+                patterns: None,
+                min_confidence: 0.0,
+                proximate: false,
+            },
+        );
         let last_fib = trace
             .events
             .iter()
@@ -24,9 +32,42 @@ fn bench(c: &mut Criterion) {
             BenchmarkId::new("construct", format!("{}ev", trace.len())),
             &trace,
             |b, t| {
-                b.iter(|| infer_hbg(t, &InferConfig { rules: true, patterns: None, min_confidence: 0.0, proximate: false }))
+                b.iter(|| {
+                    infer_hbg(
+                        t,
+                        &InferConfig {
+                            rules: true,
+                            patterns: None,
+                            min_confidence: 0.0,
+                            proximate: false,
+                        },
+                    )
+                })
             },
         );
+        for threads in [1usize, 2, 4] {
+            g.bench_with_input(
+                BenchmarkId::new(
+                    format!("construct_par/{threads}t"),
+                    format!("{}ev", trace.len()),
+                ),
+                &trace,
+                |b, t| {
+                    b.iter(|| {
+                        infer_hbg_parallel(
+                            t,
+                            &InferConfig {
+                                rules: true,
+                                patterns: None,
+                                min_confidence: 0.0,
+                                proximate: false,
+                            },
+                            threads,
+                        )
+                    })
+                },
+            );
+        }
         g.bench_with_input(
             BenchmarkId::new("root_ancestors", format!("{}ev", trace.len())),
             &hbg,

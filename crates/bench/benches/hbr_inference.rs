@@ -18,7 +18,17 @@ fn bench(c: &mut Criterion) {
             BenchmarkId::new("rules", format!("{}ev", trace.len())),
             &trace,
             |b, t| {
-                b.iter(|| infer_hbg(t, &InferConfig { rules: true, patterns: None, min_confidence: 0.0, proximate: false }))
+                b.iter(|| {
+                    infer_hbg(
+                        t,
+                        &InferConfig {
+                            rules: true,
+                            patterns: None,
+                            min_confidence: 0.0,
+                            proximate: false,
+                        },
+                    )
+                })
             },
         );
         g.bench_with_input(
@@ -26,7 +36,15 @@ fn bench(c: &mut Criterion) {
             &trace,
             |b, t| {
                 b.iter(|| {
-                    infer_hbg(t, &InferConfig { rules: false, patterns: Some(&miner), min_confidence: 0.6, proximate: false })
+                    infer_hbg(
+                        t,
+                        &InferConfig {
+                            rules: false,
+                            patterns: Some(&miner),
+                            min_confidence: 0.6,
+                            proximate: false,
+                        },
+                    )
                 })
             },
         );

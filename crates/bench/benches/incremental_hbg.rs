@@ -1,0 +1,69 @@
+//! Incremental vs batch HBG maintenance cost.
+//!
+//! The control loop verifies at every epoch; what matters there is the
+//! cost of absorbing the *new* events since the last epoch, not of
+//! rebuilding the whole graph. `incremental_tail` measures ingesting and
+//! folding only the trailing K events into a pre-warmed [`HbgBuilder`];
+//! `batch_rerun` is what the old pipeline paid at the same point — a
+//! full [`infer_hbg`] over the entire trace. The gap between the two is
+//! the point of the builder: tail cost stays O(K) while the rerun grows
+//! with the trace.
+
+use cpvr_bench::scaled_scenario;
+use cpvr_core::builder::HbgBuilder;
+use cpvr_core::infer::{infer_hbg, InferConfig};
+use cpvr_types::SimTime;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+const TAIL: usize = 50;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("incremental_hbg");
+    g.sample_size(10);
+    let cfg = InferConfig {
+        rules: true,
+        patterns: None,
+        min_confidence: 0.0,
+        proximate: false,
+    };
+    for (n, k) in [(3usize, 50usize), (6, 100), (10, 200)] {
+        let sim = scaled_scenario(n, k, 4);
+        let mut events = sim.trace().events.clone();
+        events.sort_by_key(|e| (e.time, e.id));
+        let split = events.len().saturating_sub(TAIL);
+        // Warm a builder over everything except the tail; each iteration
+        // clones it and pays only for the tail.
+        let mut warm = HbgBuilder::new(&cfg);
+        for e in &events[..split] {
+            warm.ingest(e);
+        }
+        if let Some(last) = events[..split].last() {
+            warm.advance(last.time);
+        }
+        let tail = &events[split..];
+        g.bench_with_input(
+            BenchmarkId::new("incremental_tail", format!("{}ev", events.len())),
+            &(&warm, tail),
+            |b, (warm, tail)| {
+                b.iter(|| {
+                    let mut builder = (*warm).clone();
+                    for e in *tail {
+                        builder.ingest(e);
+                    }
+                    builder.advance(SimTime::MAX);
+                    builder.hbg().edges().len()
+                })
+            },
+        );
+        let trace = sim.trace().clone();
+        g.bench_with_input(
+            BenchmarkId::new("batch_rerun", format!("{}ev", events.len())),
+            &trace,
+            |b, t| b.iter(|| infer_hbg(t, &cfg).edges().len()),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

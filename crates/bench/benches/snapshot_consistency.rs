@@ -12,7 +12,10 @@ fn bench(c: &mut Criterion) {
         let sim = scaled_scenario(n, k, 1);
         let horizon = sim.now();
         g.bench_with_input(
-            BenchmarkId::new("consistency_check", format!("{n}r_{k}p_{}ev", sim.trace().len())),
+            BenchmarkId::new(
+                "consistency_check",
+                format!("{n}r_{k}p_{}ev", sim.trace().len()),
+            ),
             &sim,
             |b, sim| b.iter(|| consistency_check(sim.trace(), horizon)),
         );

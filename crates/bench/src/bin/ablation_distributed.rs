@@ -30,7 +30,10 @@ fn main() {
         );
     }
     println!("\n=== A3: distributed provenance (per network size) ===");
-    println!("{:>3} {:>10} {:>18} {:>12}", "n", "messages", "routers involved", "roots");
+    println!(
+        "{:>3} {:>10} {:>18} {:>12}",
+        "n", "messages", "routers involved", "roots"
+    );
     for n in [4usize, 8, 12] {
         let sim = scaled_scenario(n, 10, 4);
         let trace = sim.trace().clone();
@@ -46,7 +49,10 @@ fn main() {
         let (roots, stats) = distributed_root_events(&trace, &subs, bad);
         println!(
             "{:>3} {:>10} {:>18} {:>12}",
-            n, stats.messages, stats.routers_involved, roots.len()
+            n,
+            stats.messages,
+            stats.routers_involved,
+            roots.len()
         );
     }
     println!("\n(distributed spreads the lookup work; the cost is partial-result messages)");

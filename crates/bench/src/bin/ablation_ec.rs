@@ -5,7 +5,10 @@ use cpvr_bench::ec_scaling;
 
 fn main() {
     println!("=== A1: equivalence classes vs prefix count ===");
-    println!("{:>9} {:>15} {:>17} {:>15}", "prefixes", "policy classes", "behavior classes", "forwarding ECs");
+    println!(
+        "{:>9} {:>15} {:>17} {:>15}",
+        "prefixes", "policy classes", "behavior classes", "forwarding ECs"
+    );
     for n in [10usize, 100, 500, 2000] {
         let r = ec_scaling(n, 8, 9);
         println!(

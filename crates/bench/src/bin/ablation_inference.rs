@@ -5,7 +5,10 @@ use cpvr_bench::inference_accuracy;
 
 fn main() {
     println!("=== A2: HBR inference accuracy (Fig. 2 scenario) ===");
-    println!("{:<16} {:>10} {:>8} {:>7}", "technique", "precision", "recall", "edges");
+    println!(
+        "{:<16} {:>10} {:>8} {:>7}",
+        "technique", "precision", "recall", "edges"
+    );
     for row in inference_accuracy(3) {
         println!(
             "{:<16} {:>10.3} {:>8.3} {:>7}",

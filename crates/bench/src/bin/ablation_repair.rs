@@ -5,7 +5,10 @@ use cpvr_bench::repair_battery;
 
 fn main() {
     println!("=== A5: guarded-loop outcomes per fault type ===");
-    println!("{:<40} {:>8} {:>9} {:>9}", "fault", "repairs", "notifies", "final ok");
+    println!(
+        "{:<40} {:>8} {:>9} {:>9}",
+        "fault", "repairs", "notifies", "final ok"
+    );
     for row in repair_battery(50) {
         println!(
             "{:<40} {:>8} {:>9} {:>9}",

@@ -6,7 +6,9 @@ use cpvr_bench::fig1c_snapshot_sweep;
 
 fn main() {
     let r = fig1c_snapshot_sweep(0..8);
-    println!("=== Fig. 1c: snapshot consistency sweep (8 seeds, Cisco latencies, syslog capture) ===");
+    println!(
+        "=== Fig. 1c: snapshot consistency sweep (8 seeds, Cisco latencies, syslog capture) ==="
+    );
     println!("verification horizons examined : {}", r.horizons);
     println!(
         "naive verifier false alarms     : {} ({:.1}% of horizons)",

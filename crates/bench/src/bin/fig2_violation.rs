@@ -7,7 +7,13 @@ use cpvr_bench::fig2_violation_and_blocking;
 fn main() {
     let r = fig2_violation_and_blocking(5);
     println!("=== Fig. 2a: LP 10 misconfiguration on R2's uplink ===");
-    println!("violations detected by the verifier : {}", r.violations_detected);
-    println!("probe traffic now                   : {}", r.exit_after_change);
+    println!(
+        "violations detected by the verifier : {}",
+        r.violations_detected
+    );
+    println!(
+        "probe traffic now                   : {}",
+        r.exit_after_change
+    );
     println!("(policy: exit via R2's uplink while it is up — violated)");
 }

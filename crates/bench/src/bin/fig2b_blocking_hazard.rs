@@ -7,9 +7,21 @@ use cpvr_bench::fig2_violation_and_blocking;
 fn main() {
     let r = fig2_violation_and_blocking(5);
     println!("=== Fig. 2b: the blocking hazard ===");
-    println!("FIB updates blocked by the gate         : {}", r.blocked_updates);
-    println!("control/data-plane divergence entries   : {}", r.divergence_entries);
-    println!("after R2 uplink failure, WITH blocking  : {}", r.blocked_outcome_after_failure);
-    println!("after R2 uplink failure, NO blocking    : {}", r.unblocked_outcome_after_failure);
+    println!(
+        "FIB updates blocked by the gate         : {}",
+        r.blocked_updates
+    );
+    println!(
+        "control/data-plane divergence entries   : {}",
+        r.divergence_entries
+    );
+    println!(
+        "after R2 uplink failure, WITH blocking  : {}",
+        r.blocked_outcome_after_failure
+    );
+    println!(
+        "after R2 uplink failure, NO blocking    : {}",
+        r.unblocked_outcome_after_failure
+    );
     println!("(blocking preserved the policy on paper and blackholed it in practice)");
 }

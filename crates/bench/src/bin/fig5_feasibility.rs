@@ -7,8 +7,20 @@ fn main() {
     let r = fig5_feasibility(7);
     println!("=== Fig. 5: HBG timeline, Cisco latency profile ===");
     println!("{}", r.timeline);
-    println!("config TTY -> soft reconfiguration : {} (paper: ~25s)", r.config_to_soft);
-    println!("soft reconfig -> FIB install       : {} (paper: ~4ms)", r.soft_to_fib);
-    println!("advert propagation R1 -> peer      : {} (paper: ~8ms)", r.advert_propagation);
-    println!("withdraws after new route installs : {} (paper: bottom rows)", r.withdraws_followed);
+    println!(
+        "config TTY -> soft reconfiguration : {} (paper: ~25s)",
+        r.config_to_soft
+    );
+    println!(
+        "soft reconfig -> FIB install       : {} (paper: ~4ms)",
+        r.soft_to_fib
+    );
+    println!(
+        "advert propagation R1 -> peer      : {} (paper: ~8ms)",
+        r.advert_propagation
+    );
+    println!(
+        "withdraws after new route installs : {} (paper: bottom rows)",
+        r.withdraws_followed
+    );
 }

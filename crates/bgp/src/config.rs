@@ -13,7 +13,7 @@ use cpvr_types::{AsNum, RouterId};
 use std::fmt;
 
 /// Configuration of one BGP session.
-#[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SessionCfg {
     /// The peer.
     pub peer: PeerRef,
@@ -51,12 +51,18 @@ impl SessionCfg {
 
     /// An iBGP session to a route-reflector client.
     pub fn ibgp_client(router: cpvr_types::RouterId) -> Self {
-        SessionCfg { rr_client: true, ..SessionCfg::new(PeerRef::Internal(router)) }
+        SessionCfg {
+            rr_client: true,
+            ..SessionCfg::new(PeerRef::Internal(router))
+        }
     }
 
     /// An eBGP session to an in-domain router of another AS.
     pub fn ebgp_to_router(router: cpvr_types::RouterId) -> Self {
-        SessionCfg { ebgp: true, ..SessionCfg::new(PeerRef::Internal(router)) }
+        SessionCfg {
+            ebgp: true,
+            ..SessionCfg::new(PeerRef::Internal(router))
+        }
     }
 }
 
@@ -107,7 +113,7 @@ impl BgpConfig {
 }
 
 /// A runtime change to a router's BGP configuration.
-#[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum ConfigChange {
     /// Replace the import route map of a session.
     SetImport {
@@ -145,15 +151,24 @@ impl ConfigChange {
     /// that does not exist (nothing to invert).
     pub fn inverse(&self, before: &BgpConfig) -> Option<ConfigChange> {
         match self {
-            ConfigChange::SetImport { peer, .. } => before
-                .session(*peer)
-                .map(|s| ConfigChange::SetImport { peer: *peer, map: s.import.clone() }),
-            ConfigChange::SetExport { peer, .. } => before
-                .session(*peer)
-                .map(|s| ConfigChange::SetExport { peer: *peer, map: s.export.clone() }),
-            ConfigChange::SetWeight { peer, .. } => before
-                .session(*peer)
-                .map(|s| ConfigChange::SetWeight { peer: *peer, weight: s.weight }),
+            ConfigChange::SetImport { peer, .. } => {
+                before.session(*peer).map(|s| ConfigChange::SetImport {
+                    peer: *peer,
+                    map: s.import.clone(),
+                })
+            }
+            ConfigChange::SetExport { peer, .. } => {
+                before.session(*peer).map(|s| ConfigChange::SetExport {
+                    peer: *peer,
+                    map: s.export.clone(),
+                })
+            }
+            ConfigChange::SetWeight { peer, .. } => {
+                before.session(*peer).map(|s| ConfigChange::SetWeight {
+                    peer: *peer,
+                    weight: s.weight,
+                })
+            }
             ConfigChange::SetAddPath(_) => Some(ConfigChange::SetAddPath(before.add_path)),
             ConfigChange::AddSession(s) => Some(ConfigChange::RemoveSession(s.peer)),
             ConfigChange::RemoveSession(p) => {
@@ -257,7 +272,10 @@ mod tests {
     #[test]
     fn change_to_missing_session_is_noop() {
         let mut c = cfg();
-        let change = ConfigChange::SetWeight { peer: PeerRef::Internal(RouterId(7)), weight: 5 };
+        let change = ConfigChange::SetWeight {
+            peer: PeerRef::Internal(RouterId(7)),
+            weight: 5,
+        };
         assert!(change.inverse(&c).is_none());
         assert!(!change.apply(&mut c));
     }
@@ -301,7 +319,27 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let change = ConfigChange::SetWeight { peer: PeerRef::Internal(RouterId(0)), weight: 9 };
+        let change = ConfigChange::SetWeight {
+            peer: PeerRef::Internal(RouterId(0)),
+            weight: 9,
+        };
         assert_eq!(change.to_string(), "set weight[R1] = 9");
     }
 }
+
+cpvr_types::impl_json_struct!(SessionCfg {
+    peer,
+    import,
+    export,
+    weight,
+    ebgp,
+    rr_client,
+});
+cpvr_types::impl_json_enum!(ConfigChange {
+    SetImport { peer, map },
+    SetExport { peer, map },
+    SetWeight { peer, weight },
+    SetAddPath(on),
+    AddSession(cfg),
+    RemoveSession(peer),
+});

@@ -12,7 +12,7 @@ use crate::route::{BgpRoute, PeerRef};
 use cpvr_types::RouterId;
 
 /// Which vendor's decision process to emulate.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
 pub enum VendorProfile {
     /// RFC 4271 baseline: no weight, tie-break on originator router id
     /// then peer.
@@ -87,7 +87,9 @@ pub fn best_path(vendor: VendorProfile, cands: &[Candidate]) -> Option<usize> {
         keep_max_by(&mut alive, |i| cands[i].weight);
     }
     keep_max_by(&mut alive, |i| cands[i].route.local_pref);
-    keep_max_by(&mut alive, |i| std::cmp::Reverse(cands[i].route.as_path.len()));
+    keep_max_by(&mut alive, |i| {
+        std::cmp::Reverse(cands[i].route.as_path.len())
+    });
     keep_max_by(&mut alive, |i| std::cmp::Reverse(cands[i].route.origin));
 
     // MED: eliminate any candidate beaten by another from the same
@@ -102,7 +104,9 @@ pub fn best_path(vendor: VendorProfile, cands: &[Candidate]) -> Option<usize> {
     });
 
     keep_max_by(&mut alive, |i| cands[i].is_ebgp());
-    keep_max_by(&mut alive, |i| std::cmp::Reverse(cands[i].igp_metric.unwrap()));
+    keep_max_by(&mut alive, |i| {
+        std::cmp::Reverse(cands[i].igp_metric.unwrap())
+    });
 
     if vendor == VendorProfile::Cisco && alive.iter().all(|&i| cands[i].is_ebgp()) {
         keep_max_by(&mut alive, |i| std::cmp::Reverse(cands[i].seq));
@@ -115,7 +119,7 @@ pub fn best_path(vendor: VendorProfile, cands: &[Candidate]) -> Option<usize> {
 }
 
 /// Convenience: the best candidate itself.
-pub fn select<'a>(vendor: VendorProfile, cands: &'a [Candidate]) -> Option<&'a Candidate> {
+pub fn select(vendor: VendorProfile, cands: &[Candidate]) -> Option<&Candidate> {
     best_path(vendor, cands).map(|i| &cands[i])
 }
 
@@ -170,7 +174,14 @@ mod tests {
     }
 
     fn cand(route: BgpRoute, from: PeerRef) -> Candidate {
-        Candidate { route, from, weight: 0, seq: 0, igp_metric: Some(0), ebgp: from.is_external() }
+        Candidate {
+            route,
+            from,
+            weight: 0,
+            seq: 0,
+            igp_metric: Some(0),
+            ebgp: from.is_external(),
+        }
     }
 
     fn internal(r: u32) -> PeerRef {
@@ -215,7 +226,10 @@ mod tests {
         a.route.med = 50;
         let mut b = cand(base_route(), internal(2));
         b.route.med = 10;
-        assert_eq!(best_path(VendorProfile::Standard, &[a.clone(), b.clone()]), Some(1));
+        assert_eq!(
+            best_path(VendorProfile::Standard, &[a.clone(), b.clone()]),
+            Some(1)
+        );
         // Different neighbor AS: MED ignored; falls to later tie-breaks
         // (lower originator wins).
         a.route.as_path = vec![AsNum(300)];
@@ -258,7 +272,10 @@ mod tests {
         let mut b = cand(base_route(), external(1));
         b.route.local_pref = 200;
         // Cisco: weight decides.
-        assert_eq!(best_path(VendorProfile::Cisco, &[a.clone(), b.clone()]), Some(0));
+        assert_eq!(
+            best_path(VendorProfile::Cisco, &[a.clone(), b.clone()]),
+            Some(0)
+        );
         // Standard ignores weight: local-pref decides.
         assert_eq!(best_path(VendorProfile::Standard, &[a, b]), Some(1));
     }
@@ -275,8 +292,14 @@ mod tests {
         b.route.originator = RouterId(1);
         // This is the paper's vendor-divergence scenario: same inputs,
         // different vendor, different selected route.
-        assert_eq!(best_path(VendorProfile::Cisco, &[a.clone(), b.clone()]), Some(1));
-        assert_eq!(best_path(VendorProfile::Standard, &[a.clone(), b.clone()]), Some(0));
+        assert_eq!(
+            best_path(VendorProfile::Cisco, &[a.clone(), b.clone()]),
+            Some(1)
+        );
+        assert_eq!(
+            best_path(VendorProfile::Standard, &[a.clone(), b.clone()]),
+            Some(0)
+        );
         assert_eq!(best_path(VendorProfile::Juniper, &[a, b]), Some(0));
     }
 

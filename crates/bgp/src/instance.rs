@@ -225,8 +225,12 @@ impl BgpInstance {
     fn candidates(&self, prefix: Ipv4Prefix, igp: &dyn IgpView) -> Vec<Candidate> {
         let mut out = Vec::new();
         for (peer, raw, seq) in self.adj_in.paths_for(prefix) {
-            let Some(session) = self.cfg.session(peer) else { continue };
-            let Some(route) = session.import.apply(raw) else { continue };
+            let Some(session) = self.cfg.session(peer) else {
+                continue;
+            };
+            let Some(route) = session.import.apply(raw) else {
+                continue;
+            };
             let igp_metric = match route.next_hop {
                 NextHop::External(_) => Some(0),
                 NextHop::Router(r) => {
@@ -278,7 +282,10 @@ impl BgpInstance {
                 }
             }
             // FIB delta.
-            let action = self.loc_rib.get(&prefix).and_then(|s| self.resolve(&s.route, igp));
+            let action = self
+                .loc_rib
+                .get(&prefix)
+                .and_then(|s| self.resolve(&s.route, igp));
             let old_action = self.fib_view.get(&prefix).copied();
             if action != old_action {
                 out.fib_changes.push(FibChange { prefix, action });
@@ -358,7 +365,10 @@ impl BgpInstance {
     /// Is the session to `p` an eBGP session? (Sessionless peers are
     /// classified by their reference kind, for robustness.)
     fn session_is_ebgp(&self, p: PeerRef) -> bool {
-        self.cfg.session(p).map(|s| s.ebgp).unwrap_or_else(|| p.is_external())
+        self.cfg
+            .session(p)
+            .map(|s| s.ebgp)
+            .unwrap_or_else(|| p.is_external())
     }
 
     /// The raw (pre-export-policy) routes we want `peer` to have for
@@ -414,11 +424,7 @@ impl BgpInstance {
                         .session(sel.from)
                         .map(|s| s.rr_client)
                         .unwrap_or(false);
-                    let to_client = self
-                        .cfg
-                        .session(peer)
-                        .map(|s| s.rr_client)
-                        .unwrap_or(false);
+                    let to_client = self.cfg.session(peer).map(|s| s.rr_client).unwrap_or(false);
                     if !(learned_ebgp || from_client || to_client) {
                         return Vec::new();
                     }
@@ -491,7 +497,11 @@ mod tests {
             rr_client: false,
         });
         let c3 = mk(2);
-        vec![BgpInstance::new(c1), BgpInstance::new(c2), BgpInstance::new(c3)]
+        vec![
+            BgpInstance::new(c1),
+            BgpInstance::new(c2),
+            BgpInstance::new(c3),
+        ]
     }
 
     /// Triangle IGP: everyone reaches everyone at metric 10 directly.
@@ -499,8 +509,13 @@ mod tests {
         let mut v = StaticIgpView::default();
         for other in 0..3u32 {
             if other != me {
-                v.routes
-                    .insert(RouterId(other), (10, (RouterId(other), LinkId(other.min(me) + other.max(me) - 1))));
+                v.routes.insert(
+                    RouterId(other),
+                    (
+                        10,
+                        (RouterId(other), LinkId(other.min(me) + other.max(me) - 1)),
+                    ),
+                );
             }
         }
         v
@@ -523,7 +538,7 @@ mod tests {
     }
 
     fn announce_external(
-        insts: &mut Vec<BgpInstance>,
+        insts: &mut [BgpInstance],
         router: u32,
         peer: u32,
         peer_as: u32,
@@ -532,7 +547,10 @@ mod tests {
         let igp = igp_for(router);
         let out = insts[router as usize].recv_update(
             ext(peer),
-            BgpUpdate { announce: vec![route], withdraw: vec![] },
+            BgpUpdate {
+                announce: vec![route],
+                withdraw: vec![],
+            },
             &igp,
         );
         let fanout: Vec<(PeerRef, RouterId, BgpUpdate)> = out
@@ -554,11 +572,14 @@ mod tests {
         // R1 installs an exit FIB entry and advertised to R2, R3.
         assert_eq!(
             out.fib_changes,
-            vec![FibChange { prefix: p(PFX), action: Some(FibAction::Exit(ExtPeerId(0))) }]
+            vec![FibChange {
+                prefix: p(PFX),
+                action: Some(FibAction::Exit(ExtPeerId(0)))
+            }]
         );
         // All routers have the route; R2 and R3 forward toward R1.
-        for i in 1..3 {
-            let rib = insts[i].loc_rib();
+        for inst in &insts[1..3] {
+            let rib = inst.loc_rib();
             let best = rib.get(&p(PFX)).unwrap();
             assert_eq!(best.local_pref, 20);
             assert_eq!(best.next_hop, NextHop::Router(RouterId(0)));
@@ -632,13 +653,13 @@ mod tests {
         let igp = igp_for(1);
         let out = insts[1].recv_update(
             ext(1),
-            BgpUpdate { announce: vec![], withdraw: vec![(p(PFX), None)] },
+            BgpUpdate {
+                announce: vec![],
+                withdraw: vec![(p(PFX), None)],
+            },
             &igp,
         );
-        assert!(out
-            .rib_changes
-            .iter()
-            .any(|c| c.prefix == p(PFX)));
+        assert!(out.rib_changes.iter().any(|c| c.prefix == p(PFX)));
         // R2 must withdraw its old advertisement from R1 and R3; once R1
         // hears the withdrawal it announces its own uplink route, and R2
         // falls back to the iBGP route via R1.
@@ -669,14 +690,8 @@ mod tests {
         // R3 got the route from R1 over iBGP; it must not advertise it to
         // R2 (full mesh). Directly inspect: R3 has no adj-out entries to
         // internal peers.
-        assert!(insts[2]
-            .adj_out
-            .sent_to(int(0))
-            .is_empty());
-        assert!(insts[2]
-            .adj_out
-            .sent_to(int(1))
-            .is_empty());
+        assert!(insts[2].adj_out.sent_to(int(0)).is_empty());
+        assert!(insts[2].adj_out.sent_to(int(1)).is_empty());
     }
 
     #[test]
@@ -708,7 +723,10 @@ mod tests {
         let igp = igp_for(0);
         let out = insts[0].recv_update(
             ext(0),
-            BgpUpdate { announce: vec![route], withdraw: vec![] },
+            BgpUpdate {
+                announce: vec![route],
+                withdraw: vec![],
+            },
             &igp,
         );
         assert!(out.is_empty(), "route with own AS must be rejected");
@@ -736,10 +754,7 @@ mod tests {
         assert!(out.rib_changes.iter().any(|c| c.route.is_none()));
         assert!(insts[0].loc_rib().is_empty());
         // Withdrawals propagate to iBGP peers.
-        assert!(out
-            .msgs
-            .iter()
-            .any(|(_, u)| !u.withdraw.is_empty()));
+        assert!(out.msgs.iter().any(|(_, u)| !u.withdraw.is_empty()));
     }
 
     #[test]
@@ -760,7 +775,8 @@ mod tests {
         let igp = igp_for(0);
         let mut msgs_to_r2: Vec<BgpUpdate> = Vec::new();
         for (peer, peer_as) in [(0u32, 100u32), (1, 200)] {
-            let mut route = BgpRoute::external(p(PFX), ExtPeerId(peer), AsNum(peer_as), RouterId(0));
+            let mut route =
+                BgpRoute::external(p(PFX), ExtPeerId(peer), AsNum(peer_as), RouterId(0));
             // Distinguish originators: Add-Path identifies paths by
             // originating border router; same router + two uplinks needs
             // distinct path ids. We approximate by distinct originator only
@@ -769,7 +785,10 @@ mod tests {
             route.med = peer;
             let out = r1.recv_update(
                 ext(peer),
-                BgpUpdate { announce: vec![route], withdraw: vec![] },
+                BgpUpdate {
+                    announce: vec![route],
+                    withdraw: vec![],
+                },
                 &igp,
             );
             for (pr, u) in out.msgs {
@@ -798,7 +817,10 @@ mod tests {
         let igp = igp_for(0);
         let out = insts[0].recv_update(
             ext(0),
-            BgpUpdate { announce: vec![route], withdraw: vec![] },
+            BgpUpdate {
+                announce: vec![route],
+                withdraw: vec![],
+            },
             &igp,
         );
         assert!(out.msgs.is_empty());
@@ -810,7 +832,10 @@ mod tests {
     fn import_deny_filters_route() {
         let mut insts = paper_instances();
         // Deny everything from Ext0.
-        let change = ConfigChange::SetImport { peer: ext(0), map: RouteMap::deny_any() };
+        let change = ConfigChange::SetImport {
+            peer: ext(0),
+            map: RouteMap::deny_any(),
+        };
         let igp = igp_for(0);
         let _ = insts[0].apply_config(&change, &igp);
         let out = announce_external(&mut insts, 0, 0, 100);
@@ -821,7 +846,10 @@ mod tests {
     #[test]
     fn export_deny_blocks_advertisement() {
         let mut insts = paper_instances();
-        let change = ConfigChange::SetExport { peer: int(2), map: RouteMap::deny_any() };
+        let change = ConfigChange::SetExport {
+            peer: int(2),
+            map: RouteMap::deny_any(),
+        };
         let igp = igp_for(0);
         let _ = insts[0].apply_config(&change, &igp);
         let out = announce_external(&mut insts, 0, 0, 100);
@@ -854,12 +882,18 @@ mod tests {
             let mut inst = mk(vendor);
             let _ = inst.recv_update(
                 int(1),
-                BgpUpdate { announce: vec![mk_route(1)], withdraw: vec![] },
+                BgpUpdate {
+                    announce: vec![mk_route(1)],
+                    withdraw: vec![],
+                },
                 &igp,
             );
             let _ = inst.recv_update(
                 int(0),
-                BgpUpdate { announce: vec![mk_route(0)], withdraw: vec![] },
+                BgpUpdate {
+                    announce: vec![mk_route(0)],
+                    withdraw: vec![],
+                },
                 &igp,
             );
             let rib = inst.loc_rib();
@@ -875,23 +909,30 @@ mod tests {
             c.sessions.push(SessionCfg::new(ext(1)));
             BgpInstance::new(c)
         };
-        for (vendor, expect_first_arrival) in
-            [(VendorProfile::Cisco, true), (VendorProfile::Standard, false)]
-        {
+        for (vendor, expect_first_arrival) in [
+            (VendorProfile::Cisco, true),
+            (VendorProfile::Standard, false),
+        ] {
             let mut inst = mk_ext_cfg(vendor);
             // Arrival order: originator R2 first (older), then R1 (lower id).
             let mut ra = BgpRoute::external(p(PFX), ExtPeerId(1), AsNum(100), RouterId(1));
             ra.originator = RouterId(1);
             let _ = inst.recv_update(
                 ext(1),
-                BgpUpdate { announce: vec![ra], withdraw: vec![] },
+                BgpUpdate {
+                    announce: vec![ra],
+                    withdraw: vec![],
+                },
                 &igp,
             );
             let mut rb = BgpRoute::external(p(PFX), ExtPeerId(0), AsNum(100), RouterId(0));
             rb.originator = RouterId(0);
             let _ = inst.recv_update(
                 ext(0),
-                BgpUpdate { announce: vec![rb], withdraw: vec![] },
+                BgpUpdate {
+                    announce: vec![rb],
+                    withdraw: vec![],
+                },
                 &igp,
             );
             let rib = inst.loc_rib();

@@ -14,7 +14,7 @@ use std::fmt;
 
 /// A single match condition inside a clause. All conditions in a clause
 /// must hold for the clause to fire.
-#[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum MatchCond {
     /// The route's prefix is covered by this prefix (e.g. `10.0.0.0/8 le
     /// 32` semantics).
@@ -43,7 +43,7 @@ impl MatchCond {
 }
 
 /// A modification applied by a permitting clause.
-#[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum SetAction {
     /// Set local preference.
     LocalPref(u32),
@@ -79,7 +79,7 @@ impl SetAction {
 }
 
 /// One clause of a route map.
-#[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Clause {
     /// All must match for the clause to fire. Empty = match everything.
     pub matches: Vec<MatchCond>,
@@ -92,17 +92,25 @@ pub struct Clause {
 impl Clause {
     /// A permit-all clause with the given set actions.
     pub fn permit_all(sets: Vec<SetAction>) -> Self {
-        Clause { matches: Vec::new(), permit: true, sets }
+        Clause {
+            matches: Vec::new(),
+            permit: true,
+            sets,
+        }
     }
 
     /// A deny-all clause.
     pub fn deny_all() -> Self {
-        Clause { matches: Vec::new(), permit: false, sets: Vec::new() }
+        Clause {
+            matches: Vec::new(),
+            permit: false,
+            sets: Vec::new(),
+        }
     }
 }
 
 /// An ordered route map.
-#[derive(Clone, Debug, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
 pub struct RouteMap {
     /// Clauses evaluated in order; first full match wins.
     pub clauses: Vec<Clause>,
@@ -111,18 +119,24 @@ pub struct RouteMap {
 impl RouteMap {
     /// The empty route map: permits everything unchanged.
     pub fn permit_any() -> Self {
-        RouteMap { clauses: Vec::new() }
+        RouteMap {
+            clauses: Vec::new(),
+        }
     }
 
     /// A map with a single permit-all clause applying `sets` — the
     /// workhorse for "set local-preference N on this session".
     pub fn set_all(sets: Vec<SetAction>) -> Self {
-        RouteMap { clauses: vec![Clause::permit_all(sets)] }
+        RouteMap {
+            clauses: vec![Clause::permit_all(sets)],
+        }
     }
 
     /// A map that denies everything.
     pub fn deny_any() -> Self {
-        RouteMap { clauses: vec![Clause::deny_all()] }
+        RouteMap {
+            clauses: vec![Clause::deny_all()],
+        }
     }
 
     /// Evaluates the map: `Some(modified route)` on permit, `None` on
@@ -246,7 +260,10 @@ mod tests {
                 sets: Vec::new(),
             }],
         };
-        assert!(m.apply(&r).is_some(), "no community yet: fall through to permit");
+        assert!(
+            m.apply(&r).is_some(),
+            "no community yet: fall through to permit"
+        );
         r.communities.insert(666);
         assert!(m.apply(&r).is_none(), "blackhole community denies");
         let tagger = RouteMap::set_all(vec![SetAction::AddCommunity(7)]);
@@ -288,3 +305,24 @@ mod tests {
         assert!(m.to_string().contains("deny"));
     }
 }
+
+cpvr_types::impl_json_enum!(MatchCond {
+    PrefixIn(p),
+    PrefixEq(p),
+    HasCommunity(c),
+    AsPathContains(a),
+    AsPathLenAtMost(n),
+});
+cpvr_types::impl_json_enum!(SetAction {
+    LocalPref(n),
+    Med(n),
+    AddCommunity(c),
+    RemoveCommunity(c),
+    Prepend(a, n),
+});
+cpvr_types::impl_json_struct!(Clause {
+    matches,
+    permit,
+    sets
+});
+cpvr_types::impl_json_struct!(RouteMap { clauses });

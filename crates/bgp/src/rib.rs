@@ -128,7 +128,8 @@ impl AdjRibOut {
     /// Records that `route` was advertised to `peer`. Returns the
     /// previously advertised route for the same key, if any.
     pub fn record(&mut self, peer: PeerRef, route: BgpRoute) -> Option<BgpRoute> {
-        self.routes.insert((peer, route.prefix, route.originator), route)
+        self.routes
+            .insert((peer, route.prefix, route.originator), route)
     }
 
     /// Was exactly this route already advertised to `peer`?
@@ -141,7 +142,12 @@ impl AdjRibOut {
     /// Clears the advertisement record for `(peer, prefix, originator)`,
     /// returning whether one existed. `originator = None` clears all
     /// originators for the prefix and returns whether any existed.
-    pub fn clear(&mut self, peer: PeerRef, prefix: Ipv4Prefix, originator: Option<RouterId>) -> bool {
+    pub fn clear(
+        &mut self,
+        peer: PeerRef,
+        prefix: Ipv4Prefix,
+        originator: Option<RouterId>,
+    ) -> bool {
         match originator {
             Some(o) => self.routes.remove(&(peer, prefix, o)).is_some(),
             None => {

@@ -7,7 +7,7 @@ use std::fmt;
 
 /// Identifies a BGP peer of some router: either another router in the
 /// domain (iBGP) or an external neighbor (eBGP).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum PeerRef {
     /// An iBGP peer inside the domain.
     Internal(RouterId),
@@ -43,7 +43,7 @@ impl fmt::Debug for PeerRef {
 /// We model next-hop-self at the border: when a border router propagates an
 /// eBGP-learned route over iBGP, the next hop becomes that border router,
 /// so internal routers resolve it through the IGP.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum NextHop {
     /// Traffic exits the domain directly through this external peer
     /// (the route was learned on a local eBGP session).
@@ -69,7 +69,7 @@ impl fmt::Debug for NextHop {
 }
 
 /// BGP origin attribute; lower is preferred.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug, Hash)]
 pub enum Origin {
     /// Route originated from an IGP (`i`).
     Igp,
@@ -80,7 +80,7 @@ pub enum Origin {
 }
 
 /// A BGP route: one path to one prefix, with the standard attributes.
-#[derive(Clone, PartialEq, Eq, Debug, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug, Hash)]
 pub struct BgpRoute {
     /// Destination prefix.
     pub prefix: Ipv4Prefix,
@@ -109,7 +109,12 @@ pub const DEFAULT_LOCAL_PREF: u32 = 100;
 impl BgpRoute {
     /// A minimal eBGP-learned route as it arrives from an external peer:
     /// default local-pref, the peer's AS path, origin IGP, MED 0.
-    pub fn external(prefix: Ipv4Prefix, peer: ExtPeerId, peer_as: AsNum, learned_at: RouterId) -> Self {
+    pub fn external(
+        prefix: Ipv4Prefix,
+        peer: ExtPeerId,
+        peer_as: AsNum,
+        learned_at: RouterId,
+    ) -> Self {
         BgpRoute {
             prefix,
             next_hop: NextHop::External(peer),
@@ -140,7 +145,7 @@ impl fmt::Display for BgpRoute {
 }
 
 /// A BGP update message: announcements plus withdrawals.
-#[derive(Clone, Debug, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
 pub struct BgpUpdate {
     /// Announced routes.
     pub announce: Vec<BgpRoute>,
@@ -193,7 +198,10 @@ mod tests {
     #[test]
     fn empty_update() {
         assert!(BgpUpdate::default().is_empty());
-        let u = BgpUpdate { withdraw: vec![(p("8.8.8.0/24"), None)], ..Default::default() };
+        let u = BgpUpdate {
+            withdraw: vec![(p("8.8.8.0/24"), None)],
+            ..Default::default()
+        };
         assert!(!u.is_empty());
     }
 
@@ -205,3 +213,27 @@ mod tests {
         assert!(s.contains("LP=100"));
     }
 }
+
+cpvr_types::impl_json_enum!(PeerRef {
+    Internal(r),
+    External(p),
+});
+cpvr_types::impl_json_enum!(NextHop {
+    External(p),
+    Router(r),
+});
+cpvr_types::impl_json_enum!(Origin {
+    Igp,
+    Egp,
+    Incomplete,
+});
+cpvr_types::impl_json_struct!(BgpRoute {
+    prefix,
+    next_hop,
+    local_pref,
+    as_path,
+    origin,
+    med,
+    communities,
+    originator,
+});

@@ -32,7 +32,7 @@ prop_compose! {
         metric in prop::option::of(0u32..100),
     ) -> Candidate {
         let mut as_path = vec![AsNum(neighbor_as)];
-        as_path.extend(std::iter::repeat(AsNum(999)).take(path_len - 1));
+        as_path.extend(std::iter::repeat_n(AsNum(999), path_len - 1));
         Candidate {
             ebgp: ext,
             route: BgpRoute {

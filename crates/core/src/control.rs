@@ -12,15 +12,18 @@
 //! configuration change. Non-revertible causes become operator
 //! notifications.
 
-use crate::infer::{infer_hbg, InferConfig};
+use crate::builder::HbgBuilder;
+use crate::infer::InferConfig;
 use crate::provenance::{root_causes, RootCauseKind};
 use crate::repair::{propose_repairs, RepairAction, RepairPlan};
-use crate::snapshot::{consistency_check, snapshot_arrived_by, SnapshotStatus};
+use crate::snapshot::{ConsistencyTracker, SnapshotStatus};
 use cpvr_bgp::ConfigChange;
 use cpvr_sim::{EventId, IoKind, Simulation};
 use cpvr_types::{RouterId, SimTime};
 use cpvr_verify::{verify, Policy};
+use std::cell::RefCell;
 use std::collections::BTreeSet;
+use std::rc::Rc;
 
 /// One entry in the guard's timeline.
 #[derive(Clone, Debug)]
@@ -91,7 +94,14 @@ impl GuardReport {
             s.push_str(&line);
             s.push('\n');
         }
-        s.push_str(&format!("final: {}\n", if self.final_ok { "compliant" } else { "VIOLATING" }));
+        s.push_str(&format!(
+            "final: {}\n",
+            if self.final_ok {
+                "compliant"
+            } else {
+                "VIOLATING"
+            }
+        ));
         s
     }
 }
@@ -119,33 +129,69 @@ impl ControlLoop {
 
     /// Runs the guard for `budget` of simulated time, then drains the
     /// simulation and issues a final verdict against the live data plane.
+    ///
+    /// The guard consumes the capture *stream*, not the accumulated
+    /// trace: it taps the simulator's event sink and feeds an
+    /// incremental [`HbgBuilder`] and [`ConsistencyTracker`], so each
+    /// verification epoch costs time proportional to the events that
+    /// newly arrived — not to the whole history. Both produce
+    /// bit-identical results to the batch paths they replace
+    /// ([`crate::infer::infer_hbg`], [`crate::snapshot::consistency_check`],
+    /// [`crate::snapshot::snapshot_arrived_by`]).
     pub fn run(&self, sim: &mut Simulation, budget: SimTime) -> GuardReport {
         let mut report = GuardReport::default();
         let mut repaired_roots: BTreeSet<EventId> = BTreeSet::new();
         let mut notified_roots: BTreeSet<EventId> = BTreeSet::new();
         let mut own_changes: Vec<ConfigChange> = Vec::new();
+        let n = sim.topology().num_routers();
+        let cfg = InferConfig {
+            rules: true,
+            patterns: None,
+            min_confidence: self.min_confidence,
+            proximate: false,
+        };
+        // Seed the incremental consumers with the history captured before
+        // the guard attached, then tap the live stream.
+        let builder = Rc::new(RefCell::new(HbgBuilder::new(&cfg)));
+        let tracker = Rc::new(RefCell::new(ConsistencyTracker::new(n)));
+        for e in &sim.trace().events {
+            builder.borrow_mut().ingest(e);
+            tracker.borrow_mut().ingest(e);
+        }
+        {
+            let builder = Rc::clone(&builder);
+            let tracker = Rc::clone(&tracker);
+            sim.set_event_sink(Box::new(move |e| {
+                builder.borrow_mut().ingest(e);
+                tracker.borrow_mut().ingest(e);
+            }));
+        }
         let end = sim.now() + budget;
         let mut t = sim.now();
         while t < end {
             t = (t + self.interval).min(end);
             sim.run_until(t);
             // §5: only verify causally closed views.
-            match consistency_check(sim.trace(), t) {
+            match tracker.borrow_mut().advance(t) {
                 SnapshotStatus::WaitFor(rs) => {
-                    report.timeline.push((t, GuardAction::Waited { for_routers: rs }));
+                    report
+                        .timeline
+                        .push((t, GuardAction::Waited { for_routers: rs }));
                     continue;
                 }
                 SnapshotStatus::Consistent => {}
             }
-            let n = sim.topology().num_routers();
-            let dp = snapshot_arrived_by(sim.trace(), n, t);
-            let vr = verify(sim.topology(), &dp, &self.policies);
+            let tracker_ref = tracker.borrow();
+            let vr = verify(sim.topology(), tracker_ref.dataplane(), &self.policies);
             if vr.ok() {
                 continue;
             }
-            report
-                .timeline
-                .push((t, GuardAction::Detected { violations: vr.violations.len() }));
+            report.timeline.push((
+                t,
+                GuardAction::Detected {
+                    violations: vr.violations.len(),
+                },
+            ));
             // Locate the problematic FIB update: the most recent arrived
             // FIB event touching a violated policy's prefix.
             let violated_prefixes: Vec<_> =
@@ -162,21 +208,24 @@ impl ControlLoop {
                 })
                 .max_by_key(|e| (e.time, e.id));
             let Some(bad_fib) = bad_fib else { continue };
-            // Infer the HBG from what has arrived (deployment view), then
-            // walk to root causes.
-            let hbg = infer_hbg(
-                sim.trace(),
-                &InferConfig { rules: true, patterns: None, min_confidence: self.min_confidence, proximate: false },
-            );
-            let causes = root_causes(sim.trace(), &hbg, bad_fib.id, self.min_confidence);
+            drop(tracker_ref);
+            // Fold everything stamped up to the verification horizon into
+            // the incremental HBG, then walk to root causes. Edges never
+            // point backward in time, so the ancestors of an event stamped
+            // ≤ t are complete once the watermark reaches t — the walk
+            // sees exactly the graph batch inference would produce.
+            let mut b = builder.borrow_mut();
+            b.advance(t);
+            let causes = root_causes(sim.trace(), b.hbg(), bad_fib.id, self.min_confidence);
+            drop(b);
             // Never "repair" our own repairs, and never repeat one.
             let fresh: Vec<_> = causes
                 .into_iter()
                 .filter(|c| !repaired_roots.contains(&c.event))
                 .filter(|c| match &c.kind {
-                    RootCauseKind::ConfigChange { change: Some(ch), .. } => {
-                        !own_changes.contains(ch)
-                    }
+                    RootCauseKind::ConfigChange {
+                        change: Some(ch), ..
+                    } => !own_changes.contains(ch),
                     _ => true,
                 })
                 .collect();
@@ -203,6 +252,7 @@ impl ControlLoop {
             }
         }
         sim.run_to_quiescence(1_000_000);
+        sim.clear_event_sink();
         let final_report = verify(sim.topology(), sim.dataplane(), &self.policies);
         report.final_ok = final_report.ok();
         report
@@ -224,15 +274,21 @@ mod tests {
         let mut s = paper_scenario(LatencyProfile::fast(), CaptureProfile::ideal(), 21);
         s.sim.start();
         s.sim.run_to_quiescence(100_000);
-        s.sim.schedule_ext_announce(s.sim.now() + SimTime::from_millis(1), s.ext_r1, &[s.prefix]);
-        s.sim.schedule_ext_announce(s.sim.now() + SimTime::from_millis(100), s.ext_r2, &[s.prefix]);
+        s.sim
+            .schedule_ext_announce(s.sim.now() + SimTime::from_millis(1), s.ext_r1, &[s.prefix]);
+        s.sim.schedule_ext_announce(
+            s.sim.now() + SimTime::from_millis(100),
+            s.ext_r2,
+            &[s.prefix],
+        );
         s.sim.run_to_quiescence(100_000);
         // The ill-considered change (Fig. 2a).
         let change = cpvr_bgp::ConfigChange::SetImport {
             peer: PeerRef::External(s.ext_r2),
             map: RouteMap::set_all(vec![SetAction::LocalPref(10)]),
         };
-        s.sim.schedule_config(s.sim.now() + SimTime::from_millis(20), RouterId(1), change);
+        s.sim
+            .schedule_config(s.sim.now() + SimTime::from_millis(20), RouterId(1), change);
         let guard = ControlLoop::new(vec![Policy::PreferredExit {
             prefix: s.prefix,
             primary: s.ext_r2,
@@ -266,8 +322,10 @@ mod tests {
         let mut s = paper_scenario(LatencyProfile::fast(), CaptureProfile::ideal(), 22);
         s.sim.start();
         s.sim.run_to_quiescence(100_000);
-        s.sim.schedule_ext_announce(s.sim.now() + SimTime::from_millis(1), s.ext_r1, &[s.prefix]);
-        s.sim.schedule_ext_announce(s.sim.now() + SimTime::from_millis(5), s.ext_r2, &[s.prefix]);
+        s.sim
+            .schedule_ext_announce(s.sim.now() + SimTime::from_millis(1), s.ext_r1, &[s.prefix]);
+        s.sim
+            .schedule_ext_announce(s.sim.now() + SimTime::from_millis(5), s.ext_r2, &[s.prefix]);
         let guard = ControlLoop::new(vec![Policy::PreferredExit {
             prefix: s.prefix,
             primary: s.ext_r2,
@@ -287,9 +345,11 @@ mod tests {
         s.sim.run_to_quiescence(100_000);
         // Only R2's uplink has the route; when it dies, traffic blackholes
         // and nothing can be reverted.
-        s.sim.schedule_ext_announce(s.sim.now() + SimTime::from_millis(1), s.ext_r2, &[s.prefix]);
+        s.sim
+            .schedule_ext_announce(s.sim.now() + SimTime::from_millis(1), s.ext_r2, &[s.prefix]);
         s.sim.run_to_quiescence(100_000);
-        s.sim.schedule_ext_peer_change(s.sim.now() + SimTime::from_millis(30), s.ext_r2, false);
+        s.sim
+            .schedule_ext_peer_change(s.sim.now() + SimTime::from_millis(30), s.ext_r2, false);
         let guard = ControlLoop::new(vec![Policy::Reachable { prefix: s.prefix }]);
         let report = guard.run(&mut s.sim, SimTime::from_secs(1));
         assert_eq!(report.repairs(), 0, "timeline:\n{}", report.render());
@@ -307,8 +367,13 @@ mod tests {
         let mut s = paper_scenario(LatencyProfile::cisco(), CaptureProfile::syslog(), 24);
         s.sim.start();
         s.sim.run_to_quiescence(100_000);
-        s.sim.schedule_ext_announce(s.sim.now() + SimTime::from_millis(1), s.ext_r1, &[s.prefix]);
-        s.sim.schedule_ext_announce(s.sim.now() + SimTime::from_millis(200), s.ext_r2, &[s.prefix]);
+        s.sim
+            .schedule_ext_announce(s.sim.now() + SimTime::from_millis(1), s.ext_r1, &[s.prefix]);
+        s.sim.schedule_ext_announce(
+            s.sim.now() + SimTime::from_millis(200),
+            s.ext_r2,
+            &[s.prefix],
+        );
         let guard = ControlLoop {
             policies: vec![Policy::PreferredExit {
                 prefix: s.prefix,

@@ -170,8 +170,11 @@ mod tests {
         s.sim.run_to_quiescence(200_000);
         s.sim
             .schedule_ext_announce(s.sim.now() + SimTime::from_millis(1), s.ext_r1, &[s.prefix]);
-        s.sim
-            .schedule_ext_announce(s.sim.now() + SimTime::from_millis(50), s.ext_r2, &[s.prefix]);
+        s.sim.schedule_ext_announce(
+            s.sim.now() + SimTime::from_millis(50),
+            s.ext_r2,
+            &[s.prefix],
+        );
         s.sim.run_to_quiescence(200_000);
         let t_change = s.sim.now() + SimTime::from_millis(10);
         let change = ConfigChange::SetImport {
@@ -214,9 +217,20 @@ mod tests {
         let (trace, bad) = fig2_trace();
         let subs = partition(&trace);
         let (dist_roots, stats) = distributed_root_events(&trace, &subs, bad);
-        let g = infer_hbg(&trace, &InferConfig { rules: true, patterns: None, min_confidence: 0.0, proximate: false });
+        let g = infer_hbg(
+            &trace,
+            &InferConfig {
+                rules: true,
+                patterns: None,
+                min_confidence: 0.0,
+                proximate: false,
+            },
+        );
         let central: Vec<EventId> = g.root_ancestors(bad, 0.5);
-        assert_eq!(dist_roots, central, "distributed and centralized roots must agree");
+        assert_eq!(
+            dist_roots, central,
+            "distributed and centralized roots must agree"
+        );
         // The fault crossed routers (R2's config → R1's FIB), so messages
         // were exchanged and multiple routers participated.
         assert!(stats.messages > 0);
@@ -228,10 +242,11 @@ mod tests {
         let (trace, bad) = fig2_trace();
         let subs = partition(&trace);
         let (causes, _) = distributed_root_causes(&trace, &subs, bad);
-        assert!(causes
-            .iter()
-            .any(|c| c.router == RouterId(1)
-                && matches!(c.kind, crate::provenance::RootCauseKind::ConfigChange { .. })));
+        assert!(causes.iter().any(|c| c.router == RouterId(1)
+            && matches!(
+                c.kind,
+                crate::provenance::RootCauseKind::ConfigChange { .. }
+            )));
     }
 
     #[test]
@@ -244,9 +259,7 @@ mod tests {
         let boot_fib = trace
             .events
             .iter()
-            .find(|e| {
-                e.router == RouterId(2) && matches!(e.kind, IoKind::FibInstall { .. })
-            })
+            .find(|e| e.router == RouterId(2) && matches!(e.kind, IoKind::FibInstall { .. }))
             .expect("R3 installed something at boot");
         let (_, stats) = distributed_root_events(&trace, &subs, boot_fib.id);
         assert_eq!(stats.messages, 0, "single-router chains need no messages");

@@ -6,15 +6,16 @@
 //! ground-truth edges) to JSON and back, losslessly.
 
 use cpvr_sim::Trace;
+use cpvr_types::json::{self, JsonError};
 
 /// Serializes a trace to pretty-printed JSON.
 pub fn trace_to_json(trace: &Trace) -> String {
-    serde_json::to_string_pretty(trace).expect("trace serialization cannot fail")
+    json::to_string_pretty(trace)
 }
 
 /// Deserializes a trace from JSON.
-pub fn trace_from_json(json: &str) -> Result<Trace, serde_json::Error> {
-    serde_json::from_str(json)
+pub fn trace_from_json(text: &str) -> Result<Trace, JsonError> {
+    json::from_str(text)
 }
 
 #[cfg(test)]

@@ -58,8 +58,7 @@ pub fn install_inline_gate(sim: &mut Simulation, policies: Vec<Policy>) -> Rc<Re
         // slice.
         let mut candidate = st.shadow.clone();
         candidate.apply(update);
-        let report =
-            verify_incremental(&st.topo, &candidate, &st.policies, &[update.prefix]);
+        let report = verify_incremental(&st.topo, &candidate, &st.policies, &[update.prefix]);
         if report.ok() {
             st.shadow = candidate;
             st.stats.borrow_mut().allowed += 1;
@@ -88,8 +87,13 @@ mod tests {
         let mut s = paper_scenario(LatencyProfile::fast(), CaptureProfile::ideal(), 91);
         s.sim.start();
         s.sim.run_to_quiescence(300_000);
-        s.sim.schedule_ext_announce(s.sim.now() + SimTime::from_millis(1), s.ext_r1, &[s.prefix]);
-        s.sim.schedule_ext_announce(s.sim.now() + SimTime::from_millis(50), s.ext_r2, &[s.prefix]);
+        s.sim
+            .schedule_ext_announce(s.sim.now() + SimTime::from_millis(1), s.ext_r1, &[s.prefix]);
+        s.sim.schedule_ext_announce(
+            s.sim.now() + SimTime::from_millis(50),
+            s.ext_r2,
+            &[s.prefix],
+        );
         s.sim.run_to_quiescence(300_000);
         s
     }
@@ -107,12 +111,16 @@ mod tests {
             peer: PeerRef::External(s.ext_r2),
             map: RouteMap::set_all(vec![SetAction::LocalPref(10)]),
         };
-        s.sim.schedule_config(s.sim.now() + SimTime::from_millis(10), RouterId(1), change);
+        s.sim
+            .schedule_config(s.sim.now() + SimTime::from_millis(10), RouterId(1), change);
         s.sim.run_to_quiescence(300_000);
         // The violating reprogrammings were blocked...
         assert!(!stats.borrow().blocked.is_empty());
         // ...so the live data plane still honors the policy.
-        let t = s.sim.dataplane().trace(s.sim.topology(), RouterId(2), DST.parse().unwrap());
+        let t = s
+            .sim
+            .dataplane()
+            .trace(s.sim.topology(), RouterId(2), DST.parse().unwrap());
         assert_eq!(t.outcome, TraceOutcome::Exited(s.ext_r2));
     }
 
@@ -123,12 +131,23 @@ mod tests {
         s.sim.run_to_quiescence(300_000);
         let policy = cpvr_verify::Policy::LoopFree { prefix: s.prefix };
         let stats = install_inline_gate(&mut s.sim, vec![policy]);
-        s.sim.schedule_ext_announce(s.sim.now() + SimTime::from_millis(1), s.ext_r1, &[s.prefix]);
-        s.sim.schedule_ext_announce(s.sim.now() + SimTime::from_millis(50), s.ext_r2, &[s.prefix]);
+        s.sim
+            .schedule_ext_announce(s.sim.now() + SimTime::from_millis(1), s.ext_r1, &[s.prefix]);
+        s.sim.schedule_ext_announce(
+            s.sim.now() + SimTime::from_millis(50),
+            s.ext_r2,
+            &[s.prefix],
+        );
         s.sim.run_to_quiescence(300_000);
         assert!(stats.borrow().allowed > 0);
-        assert!(stats.borrow().blocked.is_empty(), "normal convergence must pass the gate");
-        let t = s.sim.dataplane().trace(s.sim.topology(), RouterId(0), DST.parse().unwrap());
+        assert!(
+            stats.borrow().blocked.is_empty(),
+            "normal convergence must pass the gate"
+        );
+        let t = s
+            .sim
+            .dataplane()
+            .trace(s.sim.topology(), RouterId(0), DST.parse().unwrap());
         assert!(t.outcome.is_delivered());
     }
 
@@ -150,13 +169,18 @@ mod tests {
             peer: PeerRef::External(s.ext_r2),
             map: RouteMap::set_all(vec![SetAction::LocalPref(10)]),
         };
-        s.sim.schedule_config(s.sim.now() + SimTime::from_millis(10), RouterId(1), change);
+        s.sim
+            .schedule_config(s.sim.now() + SimTime::from_millis(10), RouterId(1), change);
         s.sim.run_to_quiescence(300_000);
         let blocked_before_failure = stats.borrow().blocked.len();
         assert!(blocked_before_failure > 0);
-        s.sim.schedule_ext_peer_change(s.sim.now() + SimTime::from_millis(10), s.ext_r2, false);
+        s.sim
+            .schedule_ext_peer_change(s.sim.now() + SimTime::from_millis(10), s.ext_r2, false);
         s.sim.run_to_quiescence(300_000);
-        let t = s.sim.dataplane().trace(s.sim.topology(), RouterId(2), DST.parse().unwrap());
+        let t = s
+            .sim
+            .dataplane()
+            .trace(s.sim.topology(), RouterId(2), DST.parse().unwrap());
         assert_eq!(
             t.outcome,
             TraceOutcome::Blackhole(RouterId(1)),

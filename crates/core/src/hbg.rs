@@ -70,7 +70,12 @@ pub struct Hbg {
 impl Hbg {
     /// An empty graph over `n` events.
     pub fn new(n: usize) -> Self {
-        Hbg { n, edges: Vec::new(), out_adj: vec![Vec::new(); n], in_adj: vec![Vec::new(); n] }
+        Hbg {
+            n,
+            edges: Vec::new(),
+            out_adj: vec![Vec::new(); n],
+            in_adj: vec![Vec::new(); n],
+        }
     }
 
     /// Builds the oracle graph from a trace's ground-truth edges
@@ -78,7 +83,12 @@ impl Hbg {
     pub fn from_truth(trace: &Trace) -> Self {
         let mut g = Hbg::new(trace.len());
         for (a, b) in &trace.truth_edges {
-            g.add(Hbr { from: *a, to: *b, confidence: 1.0, source: HbrSource::Truth });
+            g.add(Hbr {
+                from: *a,
+                to: *b,
+                confidence: 1.0,
+                source: HbrSource::Truth,
+            });
         }
         g
     }
@@ -100,9 +110,11 @@ impl Hbg {
     ///
     /// Panics if either endpoint is out of range.
     pub fn add(&mut self, hbr: Hbr) {
-        assert!(hbr.from.index() < self.n && hbr.to.index() < self.n, "event out of range");
-        if let Some(idx) = self
-            .out_adj[hbr.from.index()]
+        assert!(
+            hbr.from.index() < self.n && hbr.to.index() < self.n,
+            "event out of range"
+        );
+        if let Some(idx) = self.out_adj[hbr.from.index()]
             .iter()
             .copied()
             .find(|&i| self.edges[i].to == hbr.to)
@@ -116,6 +128,28 @@ impl Hbg {
         self.edges.push(hbr);
         self.out_adj[hbr.from.index()].push(idx);
         self.in_adj[hbr.to.index()].push(idx);
+    }
+
+    /// Extends the graph to cover `n` events (no-op if it already does).
+    /// The incremental builder grows the graph as events are ingested,
+    /// before their edges are inferred.
+    pub fn grow_to(&mut self, n: usize) {
+        if n > self.n {
+            self.out_adj.resize_with(n, Vec::new);
+            self.in_adj.resize_with(n, Vec::new);
+            self.n = n;
+        }
+    }
+
+    /// The edges in canonical order — sorted by `(from, to)`, which is
+    /// unique per pair by construction ([`add`](Self::add) dedups). Two
+    /// graphs built from the same trace by different strategies
+    /// (sequential, sharded-parallel, incremental) compare equal exactly
+    /// when their canonical edge lists compare equal.
+    pub fn canonical_edges(&self) -> Vec<Hbr> {
+        let mut out = self.edges.clone();
+        out.sort_by_key(|h| (h.from, h.to));
+        out
     }
 
     /// Direct antecedents of `e` with confidence ≥ `min_conf`.
@@ -198,8 +232,7 @@ impl Hbg {
         for e in trace.by_time() {
             s.push_str(&format!("{e}\n"));
             for p in self.parents(e.id, min_conf) {
-                let edge = self
-                    .in_adj[e.id.index()]
+                let edge = self.in_adj[e.id.index()]
                     .iter()
                     .map(|&i| &self.edges[i])
                     .find(|h| h.from == p)
@@ -228,8 +261,16 @@ impl Hbg {
             .map(|h| (h.from, h.to))
             .collect();
         let tp = mine.intersection(&truth).count();
-        let precision = if mine.is_empty() { 1.0 } else { tp as f64 / mine.len() as f64 };
-        let recall = if truth.is_empty() { 1.0 } else { tp as f64 / truth.len() as f64 };
+        let precision = if mine.is_empty() {
+            1.0
+        } else {
+            tp as f64 / mine.len() as f64
+        };
+        let recall = if truth.is_empty() {
+            1.0
+        } else {
+            tp as f64 / truth.len() as f64
+        };
         (precision, recall, tp)
     }
 }
@@ -262,15 +303,31 @@ mod tests {
     #[test]
     fn ancestors_descendants_transitive() {
         let g = chain(4);
-        assert_eq!(g.ancestors(EventId(3), 0.5), vec![EventId(0), EventId(1), EventId(2)]);
-        assert_eq!(g.descendants(EventId(0), 0.5), vec![EventId(1), EventId(2), EventId(3)]);
+        assert_eq!(
+            g.ancestors(EventId(3), 0.5),
+            vec![EventId(0), EventId(1), EventId(2)]
+        );
+        assert_eq!(
+            g.descendants(EventId(0), 0.5),
+            vec![EventId(1), EventId(2), EventId(3)]
+        );
     }
 
     #[test]
     fn confidence_threshold_filters_edges() {
         let mut g = Hbg::new(3);
-        g.add(Hbr { from: EventId(0), to: EventId(1), confidence: 0.9, source: HbrSource::Pattern });
-        g.add(Hbr { from: EventId(1), to: EventId(2), confidence: 0.3, source: HbrSource::Pattern });
+        g.add(Hbr {
+            from: EventId(0),
+            to: EventId(1),
+            confidence: 0.9,
+            source: HbrSource::Pattern,
+        });
+        g.add(Hbr {
+            from: EventId(1),
+            to: EventId(2),
+            confidence: 0.3,
+            source: HbrSource::Pattern,
+        });
         assert_eq!(g.ancestors(EventId(2), 0.5), vec![]);
         assert_eq!(g.ancestors(EventId(2), 0.2), vec![EventId(0), EventId(1)]);
     }
@@ -278,13 +335,28 @@ mod tests {
     #[test]
     fn duplicate_edge_keeps_higher_confidence() {
         let mut g = Hbg::new(2);
-        g.add(Hbr { from: EventId(0), to: EventId(1), confidence: 0.4, source: HbrSource::Pattern });
-        g.add(Hbr { from: EventId(0), to: EventId(1), confidence: 0.9, source: HbrSource::Rule("r") });
+        g.add(Hbr {
+            from: EventId(0),
+            to: EventId(1),
+            confidence: 0.4,
+            source: HbrSource::Pattern,
+        });
+        g.add(Hbr {
+            from: EventId(0),
+            to: EventId(1),
+            confidence: 0.9,
+            source: HbrSource::Rule("r"),
+        });
         assert_eq!(g.edges().len(), 1);
         assert_eq!(g.edges()[0].confidence, 0.9);
         assert_eq!(g.edges()[0].source, HbrSource::Rule("r"));
         // Lower-confidence re-add does not downgrade.
-        g.add(Hbr { from: EventId(0), to: EventId(1), confidence: 0.1, source: HbrSource::Pattern });
+        g.add(Hbr {
+            from: EventId(0),
+            to: EventId(1),
+            confidence: 0.1,
+            source: HbrSource::Pattern,
+        });
         assert_eq!(g.edges()[0].confidence, 0.9);
     }
 
@@ -293,17 +365,73 @@ mod tests {
         // Diamond: 0 -> 1 -> 3, 2 -> 3; plus isolated root 2.
         let mut g = Hbg::new(4);
         for (a, b) in [(0u32, 1u32), (1, 3), (2, 3)] {
-            g.add(Hbr { from: EventId(a), to: EventId(b), confidence: 1.0, source: HbrSource::Rule("t") });
+            g.add(Hbr {
+                from: EventId(a),
+                to: EventId(b),
+                confidence: 1.0,
+                source: HbrSource::Rule("t"),
+            });
         }
-        assert_eq!(g.root_ancestors(EventId(3), 0.5), vec![EventId(0), EventId(2)]);
-        assert_eq!(g.root_ancestors(EventId(0), 0.5), vec![EventId(0)], "a root is its own root");
+        assert_eq!(
+            g.root_ancestors(EventId(3), 0.5),
+            vec![EventId(0), EventId(2)]
+        );
+        assert_eq!(
+            g.root_ancestors(EventId(0), 0.5),
+            vec![EventId(0)],
+            "a root is its own root"
+        );
+    }
+
+    #[test]
+    fn grow_to_extends_range() {
+        let mut g = Hbg::new(1);
+        g.grow_to(3);
+        assert_eq!(g.num_events(), 3);
+        g.add(Hbr {
+            from: EventId(0),
+            to: EventId(2),
+            confidence: 1.0,
+            source: HbrSource::Truth,
+        });
+        g.grow_to(2); // shrinking is a no-op
+        assert_eq!(g.num_events(), 3);
+        assert_eq!(g.parents(EventId(2), 0.5), vec![EventId(0)]);
+    }
+
+    #[test]
+    fn canonical_edges_sorted_by_endpoints() {
+        let mut g = Hbg::new(3);
+        g.add(Hbr {
+            from: EventId(2),
+            to: EventId(0),
+            confidence: 1.0,
+            source: HbrSource::Truth,
+        });
+        g.add(Hbr {
+            from: EventId(0),
+            to: EventId(1),
+            confidence: 0.5,
+            source: HbrSource::Pattern,
+        });
+        let canon: Vec<(u32, u32)> = g
+            .canonical_edges()
+            .iter()
+            .map(|h| (h.from.0, h.to.0))
+            .collect();
+        assert_eq!(canon, vec![(0, 1), (2, 0)]);
     }
 
     #[test]
     #[should_panic(expected = "out of range")]
     fn out_of_range_edge_panics() {
         let mut g = Hbg::new(1);
-        g.add(Hbr { from: EventId(0), to: EventId(5), confidence: 1.0, source: HbrSource::Truth });
+        g.add(Hbr {
+            from: EventId(0),
+            to: EventId(5),
+            confidence: 1.0,
+            source: HbrSource::Truth,
+        });
     }
 
     #[test]
@@ -316,13 +444,25 @@ mod tests {
                 router: cpvr_types::RouterId(0),
                 time: cpvr_types::SimTime::from_millis(i as u64),
                 arrived_at: None,
-                kind: cpvr_sim::IoKind::SoftReconfig { desc: String::new() },
+                kind: cpvr_sim::IoKind::SoftReconfig {
+                    desc: String::new(),
+                },
             });
         }
         trace.truth_edges = vec![(EventId(0), EventId(1)), (EventId(1), EventId(2))];
         let mut g = Hbg::new(3);
-        g.add(Hbr { from: EventId(0), to: EventId(1), confidence: 1.0, source: HbrSource::Rule("t") });
-        g.add(Hbr { from: EventId(0), to: EventId(2), confidence: 1.0, source: HbrSource::Rule("t") }); // false positive
+        g.add(Hbr {
+            from: EventId(0),
+            to: EventId(1),
+            confidence: 1.0,
+            source: HbrSource::Rule("t"),
+        });
+        g.add(Hbr {
+            from: EventId(0),
+            to: EventId(2),
+            confidence: 1.0,
+            source: HbrSource::Rule("t"),
+        }); // false positive
         let (p, r, tp) = g.score_against_truth(&trace, 0.5);
         assert_eq!(tp, 1);
         assert!((p - 0.5).abs() < 1e-9);

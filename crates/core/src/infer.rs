@@ -16,16 +16,21 @@
 //! against the simulator's ground truth for experiment A2.
 
 use crate::hbg::{Hbg, Hbr, HbrSource};
-use crate::rules::{match_rules, sig, KindClass};
-use cpvr_sim::{IoEvent, Proto, Trace};
+use crate::rules::{match_rules, sig, KindClass, RuleScope, RuleSweep};
+use cpvr_sim::{EventId, IoEvent, IoKind, Proto, Trace};
 use cpvr_types::{Ipv4Prefix, RouterId, SimTime};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
-type Sig = (KindClass, Option<Proto>);
+pub(crate) type Sig = (KindClass, Option<Proto>);
+
+/// A candidate pattern edge for some consequent: `(antecedent time,
+/// relation rank, edge)` — the key [`PatternEngine::retain_proximate`]
+/// maximizes over.
+pub(crate) type Cand = (SimTime, u8, Hbr);
 
 /// How an antecedent relates to its consequent.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug, Hash)]
-enum Relation {
+pub(crate) enum Relation {
     /// Same router, any prefix.
     SameRouter,
     /// Same router, same prefix (prefix filtering, §4.2).
@@ -85,7 +90,8 @@ impl PatternMiner {
     }
 
     /// The learned patterns with their confidences, sorted by descending
-    /// confidence.
+    /// confidence (ties broken by signature, so the order — and
+    /// everything downstream of it — is fully deterministic).
     pub fn patterns(&self) -> Vec<Pattern> {
         let mut out: Vec<Pattern> = self
             .counts
@@ -98,7 +104,11 @@ impl PatternMiner {
                 confidence: *c as f64 / self.totals[b] as f64,
             })
             .collect();
-        out.sort_by(|x, y| y.confidence.total_cmp(&x.confidence));
+        out.sort_by(|x, y| {
+            y.confidence
+                .total_cmp(&x.confidence)
+                .then_with(|| (x.ante, x.cons, x.rel).cmp(&(y.ante, y.cons, y.rel)))
+        });
         out
     }
 
@@ -111,57 +121,20 @@ impl PatternMiner {
     /// little recall for a large precision gain (experiment A2), at no
     /// cost in protocol knowledge.
     pub fn apply_with(&self, events: &[&IoEvent], min_conf: f64, proximate_only: bool) -> Vec<Hbr> {
-        let patterns: Vec<Pattern> = self
-            .patterns()
-            .into_iter()
-            .filter(|p| p.confidence >= min_conf)
-            .collect();
-        let mut by_cons: HashMap<Sig, Vec<&Pattern>> = HashMap::new();
-        for p in &patterns {
-            by_cons.entry(p.cons).or_default().push(p);
-        }
+        let engine = PatternEngine::compile(self, min_conf);
+        let times: HashMap<EventId, SimTime> = events.iter().map(|e| (e.id, e.time)).collect();
         let mut sorted: Vec<&IoEvent> = events.to_vec();
         sorted.sort_by_key(|e| (e.time, e.id));
         let mut state = SweepState::default();
         let mut out = Vec::new();
+        let mut cands: Vec<Cand> = Vec::new();
         for e in &sorted {
-            if let Some(pats) = by_cons.get(&sig(e)) {
-                // Specificity rank: prefix-scoped relations beat the
-                // unscoped same-router relation (prefix filtering, §4.2).
-                let rank = |r: Relation| match r {
-                    Relation::SameRouterPrefix | Relation::CrossRouter => 1u8,
-                    Relation::SameRouter => 0,
-                };
-                let mut cands: Vec<(SimTime, u8, Hbr)> = Vec::new();
-                for p in pats {
-                    for id in state.latest_matching(e, p.ante, p.rel, self.window) {
-                        let t = events
-                            .iter()
-                            .find(|x| x.id == id)
-                            .map(|x| x.time)
-                            .unwrap_or(SimTime::ZERO);
-                        cands.push((
-                            t,
-                            rank(p.rel),
-                            Hbr {
-                                from: id,
-                                to: e.id,
-                                confidence: p.confidence,
-                                source: HbrSource::Pattern,
-                            },
-                        ));
-                    }
-                }
-                if proximate_only {
-                    // Specificity first (a prefix-scoped match is a far
-                    // stronger causal signal than mere adjacency in the
-                    // log), recency second.
-                    if let Some(best) = cands.iter().map(|(t, r, _)| (*r, *t)).max() {
-                        cands.retain(|(t, r, _)| (*r, *t) == best);
-                    }
-                }
-                out.extend(cands.into_iter().map(|(_, _, h)| h));
+            cands.clear();
+            engine.collect(e, &state, &times, true, true, &mut cands);
+            if proximate_only {
+                PatternEngine::retain_proximate(&mut cands);
             }
+            out.extend(cands.drain(..).map(|(_, _, h)| h));
             state.note(e);
         }
         out
@@ -173,9 +146,92 @@ impl PatternMiner {
     }
 }
 
+/// A miner's patterns compiled for application: filtered by confidence
+/// and indexed by consequent signature. One compiled engine is shared by
+/// the batch sweep, the parallel shards, and the incremental builder.
+#[derive(Clone)]
+pub(crate) struct PatternEngine {
+    window: SimTime,
+    by_cons: HashMap<Sig, Vec<Pattern>>,
+}
+
+impl PatternEngine {
+    /// Compiles `miner`'s patterns with confidence ≥ `min_conf`.
+    pub(crate) fn compile(miner: &PatternMiner, min_conf: f64) -> Self {
+        let mut by_cons: HashMap<Sig, Vec<Pattern>> = HashMap::new();
+        for p in miner
+            .patterns()
+            .into_iter()
+            .filter(|p| p.confidence >= min_conf)
+        {
+            by_cons.entry(p.cons).or_default().push(p);
+        }
+        PatternEngine {
+            window: miner.window,
+            by_cons,
+        }
+    }
+
+    /// Specificity rank: prefix-scoped relations beat the unscoped
+    /// same-router relation (prefix filtering, §4.2).
+    fn rank(r: Relation) -> u8 {
+        match r {
+            Relation::SameRouterPrefix | Relation::CrossRouter => 1,
+            Relation::SameRouter => 0,
+        }
+    }
+
+    /// Collects the pattern candidates whose consequent is `e`, as
+    /// `(antecedent time, specificity rank, edge)` triples. `local` and
+    /// `cross` select which relation families to consider — sharded
+    /// application runs the router-local relations and the cross-router
+    /// relation in separate passes and merges per consequent.
+    pub(crate) fn collect(
+        &self,
+        e: &IoEvent,
+        state: &SweepState,
+        times: &HashMap<EventId, SimTime>,
+        local: bool,
+        cross: bool,
+        out: &mut Vec<Cand>,
+    ) {
+        let Some(pats) = self.by_cons.get(&sig(e)) else {
+            return;
+        };
+        for p in pats {
+            let is_cross = p.rel == Relation::CrossRouter;
+            if if is_cross { !cross } else { !local } {
+                continue;
+            }
+            for id in state.latest_matching(e, p.ante, p.rel, self.window) {
+                let t = times.get(&id).copied().unwrap_or(SimTime::ZERO);
+                out.push((
+                    t,
+                    Self::rank(p.rel),
+                    Hbr {
+                        from: id,
+                        to: e.id,
+                        confidence: p.confidence,
+                        source: HbrSource::Pattern,
+                    },
+                ));
+            }
+        }
+    }
+
+    /// The proximate-cause filter over one consequent's candidates:
+    /// specificity first (a prefix-scoped match is a far stronger causal
+    /// signal than mere adjacency in the log), recency second.
+    pub(crate) fn retain_proximate(cands: &mut Vec<Cand>) {
+        if let Some(best) = cands.iter().map(|(t, r, _)| (*r, *t)).max() {
+            cands.retain(|(t, r, _)| (*r, *t) == best);
+        }
+    }
+}
+
 /// Latest occurrence per key during the sweep.
-#[derive(Default)]
-struct SweepState {
+#[derive(Clone, Default)]
+pub(crate) struct SweepState {
     /// (router, sig) → latest (time, ids).
     same: HashMap<(RouterId, Sig), (SimTime, Vec<cpvr_sim::EventId>)>,
     /// (router, prefix, sig) → latest (time, ids).
@@ -185,9 +241,12 @@ struct SweepState {
 }
 
 impl SweepState {
-    fn note(&mut self, e: &IoEvent) {
+    pub(crate) fn note(&mut self, e: &IoEvent) {
         let s = sig(e);
-        let cell = self.same.entry((e.router, s)).or_insert((e.time, Vec::new()));
+        let cell = self
+            .same
+            .entry((e.router, s))
+            .or_insert((e.time, Vec::new()));
         if e.time > cell.0 {
             *cell = (e.time, vec![e.id]);
         } else {
@@ -254,7 +313,7 @@ impl SweepState {
 
     /// Ids of the nearest predecessor(s) of `e` with signature `ante`
     /// under `rel` (for application).
-    fn latest_matching(
+    pub(crate) fn latest_matching(
         &self,
         e: &IoEvent,
         ante: Sig,
@@ -279,7 +338,8 @@ impl SweepState {
                 }
                 _ => Vec::new(),
             },
-            Relation::CrossRouter => match e.kind.prefix().and_then(|p| self.cross.get(&(p, ante))) {
+            Relation::CrossRouter => match e.kind.prefix().and_then(|p| self.cross.get(&(p, ante)))
+            {
                 Some((t, ids, router)) if *router != e.router && *t >= horizon && *t <= e.time => {
                     ids.clone()
                 }
@@ -333,6 +393,178 @@ pub fn infer_hbg(trace: &Trace, cfg: &InferConfig<'_>) -> Hbg {
     g
 }
 
+/// One unit of parallel inference work.
+///
+/// Every rule except send→recv, and every pattern relation except
+/// cross-router, is *router-local*: its candidate state is keyed by the
+/// consequent's router and written only by that router's events. So the
+/// trace partitions cleanly into per-router [`Local`](Shard::Local)
+/// shards plus [`Cross`](Shard::Cross) shards carrying the one
+/// conversation-scoped rule (send→recv, sharded by `(proto, prefix)`
+/// over send/recv events) or the one prefix-scoped pattern relation
+/// (cross-router, sharded by prefix). Each shard reproduces exactly the
+/// candidates the sequential sweep would have produced for its half of
+/// the logic, so the union over shards equals the sequential output.
+enum Shard<'a> {
+    /// All events of one router; runs the router-local half.
+    Local(Vec<&'a IoEvent>),
+    /// The events of one conversation/prefix; runs the cross-router half.
+    Cross(Vec<&'a IoEvent>),
+}
+
+/// Runs `work` over `shards` on up to `threads` OS threads (contiguous
+/// chunks of the shard list per thread) and concatenates the per-shard
+/// outputs **in the original shard order**, so the result is
+/// bit-identical to a serial fold regardless of scheduling.
+fn run_sharded<T, R, F>(shards: Vec<T>, threads: usize, work: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> Vec<R> + Sync,
+{
+    if threads <= 1 || shards.len() <= 1 {
+        return shards.into_iter().flat_map(&work).collect();
+    }
+    let chunk = shards.len().div_ceil(threads);
+    let mut groups: Vec<Vec<T>> = Vec::new();
+    let mut iter = shards.into_iter();
+    loop {
+        let group: Vec<T> = iter.by_ref().take(chunk).collect();
+        if group.is_empty() {
+            break;
+        }
+        groups.push(group);
+    }
+    let work = &work;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = groups
+            .into_iter()
+            .map(|group| s.spawn(move || group.into_iter().flat_map(work).collect::<Vec<R>>()))
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("inference shard panicked"))
+            .collect()
+    })
+}
+
+/// Parallel [`infer_hbg`]: shards the trace by `(router)` and
+/// `(proto/prefix)` partitions and fans the shards across `threads` OS
+/// threads (`0` = use all available cores). Produces the **same edge
+/// set, confidences, and sources** as the sequential path — see
+/// [`Shard`] for why the partition is lossless — so callers can switch
+/// freely between the two; the equivalence proptests in
+/// `tests/equivalence.rs` pin this down.
+pub fn infer_hbg_parallel(trace: &Trace, cfg: &InferConfig<'_>, threads: usize) -> Hbg {
+    let threads = if threads == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        threads
+    };
+    let mut g = Hbg::new(trace.len());
+    let sorted = trace.by_time();
+
+    if cfg.rules {
+        // Local shards see every event of their router; cross shards see
+        // only the send/recv events of their conversation — recv events
+        // match no rule other than send→recv, and the send→recv candidate
+        // map is keyed (sender, addressee, proto, prefix), all of which
+        // the (proto, prefix) grouping holds constant per shard.
+        let mut local: BTreeMap<RouterId, Vec<&IoEvent>> = BTreeMap::new();
+        let mut cross: BTreeMap<(Proto, Option<Ipv4Prefix>), Vec<&IoEvent>> = BTreeMap::new();
+        for e in &sorted {
+            local.entry(e.router).or_default().push(e);
+            match &e.kind {
+                IoKind::SendAdvert { proto, prefix, .. }
+                | IoKind::SendWithdraw { proto, prefix, .. }
+                | IoKind::RecvAdvert { proto, prefix, .. }
+                | IoKind::RecvWithdraw { proto, prefix, .. } => {
+                    cross.entry((*proto, *prefix)).or_default().push(e);
+                }
+                _ => {}
+            }
+        }
+        let shards: Vec<Shard<'_>> = local
+            .into_values()
+            .map(Shard::Local)
+            .chain(cross.into_values().map(Shard::Cross))
+            .collect();
+        let edges = run_sharded(shards, threads, |shard| {
+            let (events, scope) = match shard {
+                Shard::Local(v) => (v, RuleScope::LocalOnly),
+                Shard::Cross(v) => (v, RuleScope::CrossOnly),
+            };
+            let mut sweep = RuleSweep::new();
+            let mut out = Vec::new();
+            for e in events {
+                sweep.step(e, scope, &mut out);
+            }
+            out
+        });
+        for h in edges {
+            g.add(h);
+        }
+    }
+
+    if let Some(miner) = cfg.patterns {
+        let engine = PatternEngine::compile(miner, cfg.min_confidence);
+        let times: HashMap<EventId, SimTime> =
+            trace.events.iter().map(|e| (e.id, e.time)).collect();
+        let mut local: BTreeMap<RouterId, Vec<&IoEvent>> = BTreeMap::new();
+        let mut cross: BTreeMap<Ipv4Prefix, Vec<&IoEvent>> = BTreeMap::new();
+        for e in &sorted {
+            local.entry(e.router).or_default().push(e);
+            if let Some(p) = e.kind.prefix() {
+                cross.entry(p).or_default().push(e);
+            }
+        }
+        let shards: Vec<Shard<'_>> = local
+            .into_values()
+            .map(Shard::Local)
+            .chain(cross.into_values().map(Shard::Cross))
+            .collect();
+        let engine = &engine;
+        let times = &times;
+        // Each shard reports (consequent, candidates) pairs; candidates
+        // from different shards are merged per consequent *before* the
+        // proximate filter, which is what makes the filter see exactly
+        // the candidate set the sequential sweep sees.
+        let per_cons = run_sharded(shards, threads, move |shard| {
+            let (events, is_local) = match shard {
+                Shard::Local(v) => (v, true),
+                Shard::Cross(v) => (v, false),
+            };
+            let mut state = SweepState::default();
+            let mut out: Vec<(EventId, Vec<Cand>)> = Vec::new();
+            for e in events {
+                let mut cands = Vec::new();
+                engine.collect(e, &state, times, is_local, !is_local, &mut cands);
+                if !cands.is_empty() {
+                    out.push((e.id, cands));
+                }
+                state.note(e);
+            }
+            out
+        });
+        let mut merged: HashMap<EventId, Vec<Cand>> = HashMap::new();
+        for (id, cands) in per_cons {
+            merged.entry(id).or_default().extend(cands);
+        }
+        for e in &sorted {
+            if let Some(mut cands) = merged.remove(&e.id) {
+                if cfg.proximate {
+                    PatternEngine::retain_proximate(&mut cands);
+                }
+                for (_, _, h) in cands {
+                    g.add(h);
+                }
+            }
+        }
+    }
+
+    g
+}
+
 /// Grades a graph against ground truth at a confidence threshold.
 pub fn evaluate(g: &Hbg, trace: &Trace, min_conf: f64) -> InferStats {
     let (precision, recall, tp) = g.score_against_truth(trace, min_conf);
@@ -341,7 +573,12 @@ pub fn evaluate(g: &Hbg, trace: &Trace, min_conf: f64) -> InferStats {
         .iter()
         .filter(|h| h.confidence >= min_conf)
         .count();
-    InferStats { precision, recall, true_positives: tp, edges }
+    InferStats {
+        precision,
+        recall,
+        true_positives: tp,
+        edges,
+    }
 }
 
 #[cfg(test)]
@@ -357,8 +594,11 @@ mod tests {
         s.sim.run_to_quiescence(100_000);
         s.sim
             .schedule_ext_announce(s.sim.now() + SimTime::from_millis(5), s.ext_r1, &[s.prefix]);
-        s.sim
-            .schedule_ext_announce(s.sim.now() + SimTime::from_millis(400), s.ext_r2, &[s.prefix]);
+        s.sim.schedule_ext_announce(
+            s.sim.now() + SimTime::from_millis(400),
+            s.ext_r2,
+            &[s.prefix],
+        );
         s.sim.run_to_quiescence(100_000);
         s.sim.trace().clone()
     }
@@ -366,16 +606,18 @@ mod tests {
     #[test]
     fn rule_inference_has_high_accuracy_on_real_trace() {
         let trace = sample_trace(5);
-        let g = infer_hbg(&trace, &InferConfig { rules: true, patterns: None, min_confidence: 0.0, proximate: false });
+        let g = infer_hbg(
+            &trace,
+            &InferConfig {
+                rules: true,
+                patterns: None,
+                min_confidence: 0.0,
+                proximate: false,
+            },
+        );
         let stats = evaluate(&g, &trace, 0.5);
-        assert!(
-            stats.recall > 0.85,
-            "rule recall too low: {stats:?}"
-        );
-        assert!(
-            stats.precision > 0.75,
-            "rule precision too low: {stats:?}"
-        );
+        assert!(stats.recall > 0.85, "rule recall too low: {stats:?}");
+        assert!(stats.precision > 0.75, "rule precision too low: {stats:?}");
     }
 
     #[test]
@@ -408,15 +650,31 @@ mod tests {
         miner.train(&sample_trace(1));
         miner.train(&sample_trace(2));
         let target = sample_trace(9);
-        let rules_g = infer_hbg(&target, &InferConfig { rules: true, patterns: None, min_confidence: 0.0, proximate: false });
+        let rules_g = infer_hbg(
+            &target,
+            &InferConfig {
+                rules: true,
+                patterns: None,
+                min_confidence: 0.0,
+                proximate: false,
+            },
+        );
         let pat_g = infer_hbg(
             &target,
-            &InferConfig { rules: false, patterns: Some(&miner), min_confidence: 0.6, proximate: false },
+            &InferConfig {
+                rules: false,
+                patterns: Some(&miner),
+                min_confidence: 0.6,
+                proximate: false,
+            },
         );
         let rs = evaluate(&rules_g, &target, 0.5);
         let ps = evaluate(&pat_g, &target, 0.5);
         assert!(ps.edges > 0, "patterns must produce edges");
-        assert!(ps.recall > 0.3, "patterns must recover a fair share: {ps:?}");
+        assert!(
+            ps.recall > 0.3,
+            "patterns must recover a fair share: {ps:?}"
+        );
         assert!(
             rs.precision >= ps.precision,
             "rules should be at least as precise: rules {rs:?} vs patterns {ps:?}"
@@ -430,11 +688,21 @@ mod tests {
         let target = sample_trace(9);
         let pat_g = infer_hbg(
             &target,
-            &InferConfig { rules: false, patterns: Some(&miner), min_confidence: 0.6, proximate: false },
+            &InferConfig {
+                rules: false,
+                patterns: Some(&miner),
+                min_confidence: 0.6,
+                proximate: false,
+            },
         );
         let both_g = infer_hbg(
             &target,
-            &InferConfig { rules: true, patterns: Some(&miner), min_confidence: 0.6, proximate: false },
+            &InferConfig {
+                rules: true,
+                patterns: Some(&miner),
+                min_confidence: 0.6,
+                proximate: false,
+            },
         );
         let ps = evaluate(&pat_g, &target, 0.0);
         let bs = evaluate(&both_g, &target, 0.0);
@@ -449,9 +717,41 @@ mod tests {
     }
 
     #[test]
+    fn parallel_matches_sequential_on_real_trace() {
+        let mut miner = PatternMiner::new(SimTime::from_millis(5), 3);
+        miner.train(&sample_trace(1));
+        let target = sample_trace(9);
+        for proximate in [false, true] {
+            let cfg = InferConfig {
+                rules: true,
+                patterns: Some(&miner),
+                min_confidence: 0.6,
+                proximate,
+            };
+            let seq = infer_hbg(&target, &cfg);
+            for threads in [1, 2, 4, 0] {
+                let par = infer_hbg_parallel(&target, &cfg, threads);
+                assert_eq!(
+                    seq.canonical_edges(),
+                    par.canonical_edges(),
+                    "threads={threads} proximate={proximate}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn empty_trace_infers_empty_graph() {
         let trace = Trace::default();
-        let g = infer_hbg(&trace, &InferConfig { rules: true, patterns: None, min_confidence: 0.0, proximate: false });
+        let g = infer_hbg(
+            &trace,
+            &InferConfig {
+                rules: true,
+                patterns: None,
+                min_confidence: 0.0,
+                proximate: false,
+            },
+        );
         assert_eq!(g.edges().len(), 0);
         let stats = evaluate(&g, &trace, 0.5);
         assert_eq!(stats.precision, 1.0);

@@ -30,6 +30,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod builder;
 pub mod control;
 pub mod distributed;
 pub mod export;
@@ -43,13 +44,14 @@ pub mod rules;
 pub mod snapshot;
 pub mod whatif;
 
+pub use builder::HbgBuilder;
 pub use control::{ControlLoop, GuardAction, GuardReport};
-pub use hbg::{Hbg, Hbr, HbrSource};
-pub use infer::{infer_hbg, InferConfig, InferStats, PatternMiner};
-pub use predict::OutcomePredictor;
-pub use provenance::{root_causes, RootCause};
-pub use repair::{propose_repairs, RepairPlan};
-pub use snapshot::{consistency_check, consistent_snapshot, SnapshotStatus};
 pub use distributed::{distributed_root_causes, partition, RouterSubgraph};
 pub use export::{trace_from_json, trace_to_json};
 pub use gate::{install_inline_gate, GateStats};
+pub use hbg::{Hbg, Hbr, HbrSource};
+pub use infer::{infer_hbg, infer_hbg_parallel, InferConfig, InferStats, PatternMiner};
+pub use predict::OutcomePredictor;
+pub use provenance::{root_causes, RootCause};
+pub use repair::{propose_repairs, RepairPlan};
+pub use snapshot::{consistency_check, consistent_snapshot, ConsistencyTracker, SnapshotStatus};

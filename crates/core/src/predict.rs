@@ -52,7 +52,12 @@ fn input_sig(e: &IoEvent) -> Option<InputSig> {
         IoKind::RecvAdvert { route: Some(r), .. } => Some(r.local_pref),
         _ => None,
     };
-    Some(InputSig { router: e.router, class, proto, local_pref })
+    Some(InputSig {
+        router: e.router,
+        class,
+        proto,
+        local_pref,
+    })
 }
 
 /// Learns input → FIB-outcome templates from traces.
@@ -190,7 +195,10 @@ impl OutcomePredictor {
                 Some(a) => {
                     predicted.fib_mut(*router).install(
                         prefix,
-                        FibEntry { action: *a, installed_at: e.time },
+                        FibEntry {
+                            action: *a,
+                            installed_at: e.time,
+                        },
                     );
                 }
                 None => {
@@ -233,7 +241,15 @@ mod tests {
     #[test]
     fn repetition_across_prefixes_collapses_to_few_signatures() {
         let trace = multi_prefix_trace(30, 31);
-        let hbg = infer_hbg(&trace, &InferConfig { rules: true, patterns: None, min_confidence: 0.0, proximate: false });
+        let hbg = infer_hbg(
+            &trace,
+            &InferConfig {
+                rules: true,
+                patterns: None,
+                min_confidence: 0.0,
+                proximate: false,
+            },
+        );
         let mut pred = OutcomePredictor::new();
         pred.train(&trace, &hbg, SimTime::from_millis(5), 0.5);
         // 30 prefixes, but the model stays small — the §6 equivalence-
@@ -248,18 +264,36 @@ mod tests {
     #[test]
     fn predicts_outcomes_for_unseen_prefixes_of_same_class() {
         let train = multi_prefix_trace(20, 32);
-        let hbg_train =
-            infer_hbg(&train, &InferConfig { rules: true, patterns: None, min_confidence: 0.0, proximate: false });
+        let hbg_train = infer_hbg(
+            &train,
+            &InferConfig {
+                rules: true,
+                patterns: None,
+                min_confidence: 0.0,
+                proximate: false,
+            },
+        );
         let mut pred = OutcomePredictor::new();
         pred.train(&train, &hbg_train, SimTime::from_millis(5), 0.5);
         // Held-out run with different prefixes and timing seed.
         let test = multi_prefix_trace(10, 77);
-        let hbg_test =
-            infer_hbg(&test, &InferConfig { rules: true, patterns: None, min_confidence: 0.0, proximate: false });
-        let (hits, misses, _unknown) = pred.evaluate(&test, &hbg_test, SimTime::from_millis(5), 0.5);
+        let hbg_test = infer_hbg(
+            &test,
+            &InferConfig {
+                rules: true,
+                patterns: None,
+                min_confidence: 0.0,
+                proximate: false,
+            },
+        );
+        let (hits, misses, _unknown) =
+            pred.evaluate(&test, &hbg_test, SimTime::from_millis(5), 0.5);
         assert!(hits > 0);
         let accuracy = hits as f64 / (hits + misses).max(1) as f64;
-        assert!(accuracy > 0.7, "accuracy {accuracy} (hits {hits}, misses {misses})");
+        assert!(
+            accuracy > 0.7,
+            "accuracy {accuracy} (hits {hits}, misses {misses})"
+        );
     }
 
     #[test]
@@ -270,7 +304,12 @@ mod tests {
             router: RouterId(0),
             time: SimTime::ZERO,
             arrived_at: None,
-            kind: IoKind::LinkStatus { desc: "x".into(), up: false, link: None, peer: None },
+            kind: IoKind::LinkStatus {
+                desc: "x".into(),
+                up: false,
+                link: None,
+                peer: None,
+            },
         };
         assert!(pred.predict(&e).is_none());
     }
@@ -282,7 +321,9 @@ mod tests {
             router: RouterId(0),
             time: SimTime::ZERO,
             arrived_at: None,
-            kind: IoKind::FibRemove { prefix: "8.8.8.0/24".parse().unwrap() },
+            kind: IoKind::FibRemove {
+                prefix: "8.8.8.0/24".parse().unwrap(),
+            },
         };
         assert!(input_sig(&e).is_none());
     }
@@ -294,7 +335,15 @@ mod tests {
         // the FIBs, then judge a FRESH announcement before its updates
         // land.
         let train = multi_prefix_trace(20, 35);
-        let hbg = infer_hbg(&train, &InferConfig { rules: true, patterns: None, min_confidence: 0.0, proximate: false });
+        let hbg = infer_hbg(
+            &train,
+            &InferConfig {
+                rules: true,
+                patterns: None,
+                min_confidence: 0.0,
+                proximate: false,
+            },
+        );
         let mut pred = OutcomePredictor::new();
         pred.train(&train, &hbg, SimTime::from_millis(5), 0.5);
 
@@ -309,7 +358,8 @@ mod tests {
         // A fresh prefix announced on the LEFT uplink (same input class
         // as training).
         let new_prefix: cpvr_types::Ipv4Prefix = "100.200.0.0/24".parse().unwrap();
-        let route = cpvr_bgp::BgpRoute::external(new_prefix, left, cpvr_types::AsNum(100), RouterId(0));
+        let route =
+            cpvr_bgp::BgpRoute::external(new_prefix, left, cpvr_types::AsNum(100), RouterId(0));
         let incoming = IoEvent {
             id: cpvr_sim::EventId(0),
             router: RouterId(0),
@@ -324,7 +374,10 @@ mod tests {
         };
         // Against a policy demanding the RIGHT exit, the input is
         // predicted to violate — before any FIB update exists.
-        let must_exit_right = Policy::ExitsVia { prefix: new_prefix, peer: right };
+        let must_exit_right = Policy::ExitsVia {
+            prefix: new_prefix,
+            peer: right,
+        };
         assert_eq!(
             pred.would_violate(&incoming, &current, &topo, &[must_exit_right]),
             Some(true),

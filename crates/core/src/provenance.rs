@@ -80,7 +80,11 @@ impl fmt::Display for RootCause {
                 };
                 format!("hardware: {target} {}", if *up { "up" } else { "down" })
             }
-            RootCauseKind::ExternalRoute { peer, prefix, withdraw } => format!(
+            RootCauseKind::ExternalRoute {
+                peer,
+                prefix,
+                withdraw,
+            } => format!(
                 "external {} of {} from {}",
                 if *withdraw { "withdrawal" } else { "route" },
                 prefix.map(|p| p.to_string()).unwrap_or_else(|| "?".into()),
@@ -89,20 +93,31 @@ impl fmt::Display for RootCause {
             RootCauseKind::ProtocolStart => "protocol start".to_string(),
             RootCauseKind::Unexplained => "unexplained leaf".to_string(),
         };
-        write!(f, "{} @{} on {}: {} (conf {:.2})", self.event, self.time, self.router, what, self.confidence)
+        write!(
+            f,
+            "{} @{} on {}: {} (conf {:.2})",
+            self.event, self.time, self.router, what, self.confidence
+        )
     }
 }
 
 /// Classifies a trace event as a root-cause kind.
 fn classify(kind: &IoKind) -> RootCauseKind {
     match kind {
-        IoKind::ConfigChange { change, inverse, .. } => match change {
-            Some(_) => RootCauseKind::ConfigChange { change: change.clone(), inverse: inverse.clone() },
+        IoKind::ConfigChange {
+            change, inverse, ..
+        } => match change {
+            Some(_) => RootCauseKind::ConfigChange {
+                change: change.clone(),
+                inverse: inverse.clone(),
+            },
             None => RootCauseKind::ProtocolStart,
         },
-        IoKind::LinkStatus { up, link, peer, .. } => {
-            RootCauseKind::Hardware { up: *up, link: *link, peer: *peer }
-        }
+        IoKind::LinkStatus { up, link, peer, .. } => RootCauseKind::Hardware {
+            up: *up,
+            link: *link,
+            peer: *peer,
+        },
         IoKind::RecvAdvert { prefix, from, .. } => RootCauseKind::ExternalRoute {
             peer: match from {
                 Some(PeerRef::External(p)) => Some(*p),
@@ -236,19 +251,33 @@ mod tests {
                 change: Some(ConfigChange::SetAddPath(true)),
                 inverse: Some(ConfigChange::SetAddPath(false)),
             },
-            IoKind::SoftReconfig { desc: "lp 10".into() },
-            IoKind::RibInstall { proto: cpvr_sim::Proto::Bgp, prefix: "8.8.8.0/24".parse().unwrap(), route: None },
+            IoKind::SoftReconfig {
+                desc: "lp 10".into(),
+            },
+            IoKind::RibInstall {
+                proto: cpvr_sim::Proto::Bgp,
+                prefix: "8.8.8.0/24".parse().unwrap(),
+                route: None,
+            },
             fib("8.8.8.0/24"),
         ]);
         let mut g = Hbg::new(4);
         for (a, b) in [(0u32, 1u32), (1, 2), (2, 3)] {
-            g.add(Hbr { from: EventId(a), to: EventId(b), confidence: 1.0, source: HbrSource::Rule("t") });
+            g.add(Hbr {
+                from: EventId(a),
+                to: EventId(b),
+                confidence: 1.0,
+                source: HbrSource::Rule("t"),
+            });
         }
         let causes = root_causes(&trace, &g, EventId(3), 0.5);
         assert_eq!(causes.len(), 1);
         assert!(matches!(
             causes[0].kind,
-            RootCauseKind::ConfigChange { inverse: Some(ConfigChange::SetAddPath(false)), .. }
+            RootCauseKind::ConfigChange {
+                inverse: Some(ConfigChange::SetAddPath(false)),
+                ..
+            }
         ));
         assert_eq!(causes[0].confidence, 1.0);
     }
@@ -262,21 +291,44 @@ mod tests {
                 from: Some(PeerRef::External(ExtPeerId(1))),
                 route: None,
             },
-            IoKind::LinkStatus { desc: "L0 down".into(), up: false, link: Some(LinkId(0)), peer: None },
+            IoKind::LinkStatus {
+                desc: "L0 down".into(),
+                up: false,
+                link: Some(LinkId(0)),
+                peer: None,
+            },
             fib("8.8.8.0/24"),
         ]);
         let mut g = Hbg::new(3);
-        g.add(Hbr { from: EventId(0), to: EventId(2), confidence: 1.0, source: HbrSource::Rule("t") });
-        g.add(Hbr { from: EventId(1), to: EventId(2), confidence: 1.0, source: HbrSource::Rule("t") });
+        g.add(Hbr {
+            from: EventId(0),
+            to: EventId(2),
+            confidence: 1.0,
+            source: HbrSource::Rule("t"),
+        });
+        g.add(Hbr {
+            from: EventId(1),
+            to: EventId(2),
+            confidence: 1.0,
+            source: HbrSource::Rule("t"),
+        });
         let causes = root_causes(&trace, &g, EventId(2), 0.5);
         assert_eq!(causes.len(), 2);
         assert!(causes.iter().any(|c| matches!(
             c.kind,
-            RootCauseKind::ExternalRoute { peer: Some(ExtPeerId(1)), withdraw: false, .. }
+            RootCauseKind::ExternalRoute {
+                peer: Some(ExtPeerId(1)),
+                withdraw: false,
+                ..
+            }
         )));
         assert!(causes.iter().any(|c| matches!(
             c.kind,
-            RootCauseKind::Hardware { up: false, link: Some(LinkId(0)), .. }
+            RootCauseKind::Hardware {
+                up: false,
+                link: Some(LinkId(0)),
+                ..
+            }
         )));
     }
 
@@ -285,16 +337,38 @@ mod tests {
         // Two paths from leaf 0 to target 3: via 1 (min 0.9) and via 2
         // (min 0.4). Report 0.9.
         let trace = mk_trace(vec![
-            IoKind::SoftReconfig { desc: "root".into() },
+            IoKind::SoftReconfig {
+                desc: "root".into(),
+            },
             IoKind::SoftReconfig { desc: "a".into() },
             IoKind::SoftReconfig { desc: "b".into() },
             fib("8.8.8.0/24"),
         ]);
         let mut g = Hbg::new(4);
-        g.add(Hbr { from: EventId(0), to: EventId(1), confidence: 0.9, source: HbrSource::Pattern });
-        g.add(Hbr { from: EventId(1), to: EventId(3), confidence: 0.95, source: HbrSource::Pattern });
-        g.add(Hbr { from: EventId(0), to: EventId(2), confidence: 0.4, source: HbrSource::Pattern });
-        g.add(Hbr { from: EventId(2), to: EventId(3), confidence: 1.0, source: HbrSource::Pattern });
+        g.add(Hbr {
+            from: EventId(0),
+            to: EventId(1),
+            confidence: 0.9,
+            source: HbrSource::Pattern,
+        });
+        g.add(Hbr {
+            from: EventId(1),
+            to: EventId(3),
+            confidence: 0.95,
+            source: HbrSource::Pattern,
+        });
+        g.add(Hbr {
+            from: EventId(0),
+            to: EventId(2),
+            confidence: 0.4,
+            source: HbrSource::Pattern,
+        });
+        g.add(Hbr {
+            from: EventId(2),
+            to: EventId(3),
+            confidence: 1.0,
+            source: HbrSource::Pattern,
+        });
         let causes = root_causes(&trace, &g, EventId(3), 0.1);
         assert_eq!(causes.len(), 1);
         assert!((causes[0].confidence - 0.9).abs() < 1e-9);
@@ -302,7 +376,11 @@ mod tests {
 
     #[test]
     fn rootless_target_is_its_own_cause() {
-        let trace = mk_trace(vec![IoKind::ConfigChange { desc: "boot".into(), change: None, inverse: None }]);
+        let trace = mk_trace(vec![IoKind::ConfigChange {
+            desc: "boot".into(),
+            change: None,
+            inverse: None,
+        }]);
         let g = Hbg::new(1);
         let causes = root_causes(&trace, &g, EventId(0), 0.5);
         assert_eq!(causes.len(), 1);
@@ -313,11 +391,18 @@ mod tests {
     #[test]
     fn low_confidence_edges_ignored_at_threshold() {
         let trace = mk_trace(vec![
-            IoKind::SoftReconfig { desc: "weak root".into() },
+            IoKind::SoftReconfig {
+                desc: "weak root".into(),
+            },
             fib("8.8.8.0/24"),
         ]);
         let mut g = Hbg::new(2);
-        g.add(Hbr { from: EventId(0), to: EventId(1), confidence: 0.2, source: HbrSource::Pattern });
+        g.add(Hbr {
+            from: EventId(0),
+            to: EventId(1),
+            confidence: 0.2,
+            source: HbrSource::Pattern,
+        });
         let causes = root_causes(&trace, &g, EventId(1), 0.5);
         // At threshold 0.5 the edge vanishes: the FIB event is its own
         // (unexplained) root.

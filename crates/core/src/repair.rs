@@ -54,7 +54,11 @@ impl fmt::Display for RepairPlan {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match &self.action {
             RepairAction::RevertConfig(c) => {
-                write!(f, "on {}: revert via `{c}` — {}", self.router, self.rationale)
+                write!(
+                    f,
+                    "on {}: revert via `{c}` — {}",
+                    self.router, self.rationale
+                )
             }
             RepairAction::NotifyOperator(msg) => {
                 write!(f, "notify operator about {}: {msg}", self.router)
@@ -152,7 +156,10 @@ pub fn blocking_divergence(
             IoKind::FibInstall { prefix, action } => {
                 intended.fib_mut(e.router).install(
                     *prefix,
-                    cpvr_dataplane::FibEntry { action: *action, installed_at: e.time },
+                    cpvr_dataplane::FibEntry {
+                        action: *action,
+                        installed_at: e.time,
+                    },
                 );
             }
             IoKind::FibRemove { prefix } => {
@@ -217,7 +224,14 @@ mod tests {
     #[test]
     fn hardware_and_external_roots_notify() {
         let causes = vec![
-            root(RootCauseKind::Hardware { up: false, link: None, peer: Some(cpvr_topo::ExtPeerId(1)) }, 1.0),
+            root(
+                RootCauseKind::Hardware {
+                    up: false,
+                    link: None,
+                    peer: Some(cpvr_topo::ExtPeerId(1)),
+                },
+                1.0,
+            ),
             root(
                 RootCauseKind::ExternalRoute {
                     peer: Some(cpvr_topo::ExtPeerId(0)),
@@ -248,7 +262,10 @@ mod tests {
     #[test]
     fn missing_inverse_degrades_to_notification() {
         let causes = vec![root(
-            RootCauseKind::ConfigChange { change: Some(ConfigChange::SetAddPath(true)), inverse: None },
+            RootCauseKind::ConfigChange {
+                change: Some(ConfigChange::SetAddPath(true)),
+                inverse: None,
+            },
             1.0,
         )];
         let plans = propose_repairs(&causes, 0.5);
@@ -264,7 +281,10 @@ mod tests {
             router: RouterId(0),
             time: SimTime::from_millis(10),
             arrived_at: Some(SimTime::from_millis(10)),
-            kind: IoKind::FibInstall { prefix: p, action: FibAction::Drop },
+            kind: IoKind::FibInstall {
+                prefix: p,
+                action: FibAction::Drop,
+            },
         });
         // Live data plane never got the update (it was blocked).
         let live = DataPlane::new(1);
@@ -272,9 +292,13 @@ mod tests {
         assert_eq!(div, vec![(RouterId(0), p)]);
         // With the update applied, no divergence.
         let mut live2 = DataPlane::new(1);
-        live2
-            .fib_mut(RouterId(0))
-            .install(p, FibEntry { action: FibAction::Drop, installed_at: SimTime::from_millis(10) });
+        live2.fib_mut(RouterId(0)).install(
+            p,
+            FibEntry {
+                action: FibAction::Drop,
+                installed_at: SimTime::from_millis(10),
+            },
+        );
         assert!(blocking_divergence(&trace, &live2, SimTime::from_millis(100)).is_empty());
     }
 
@@ -287,7 +311,10 @@ mod tests {
             router: RouterId(0),
             time: SimTime::from_millis(500),
             arrived_at: Some(SimTime::from_millis(500)),
-            kind: IoKind::FibInstall { prefix: p, action: FibAction::Drop },
+            kind: IoKind::FibInstall {
+                prefix: p,
+                action: FibAction::Drop,
+            },
         });
         let live = DataPlane::new(1);
         assert!(blocking_divergence(&trace, &live, SimTime::from_millis(100)).is_empty());

@@ -90,7 +90,7 @@ impl Latest {
 }
 
 /// Nearest-match state maintained during the sweep.
-#[derive(Default)]
+#[derive(Clone, Default)]
 struct Maps {
     /// (router, proto, prefix?) → latest recv (advert or withdraw).
     recv: HashMap<(RouterId, Proto, Option<Ipv4Prefix>), Latest>,
@@ -121,35 +121,95 @@ struct Candidate {
     rule: &'static str,
 }
 
-fn push_candidate(out: &mut Vec<Candidate>, cell: Option<&Latest>, rule: &'static str, before: SimTime) {
+fn push_candidate(
+    out: &mut Vec<Candidate>,
+    cell: Option<&Latest>,
+    rule: &'static str,
+    before: SimTime,
+) {
     if let Some(l) = cell {
         if !l.ids.is_empty() && l.time <= before {
-            out.push(Candidate { time: l.time, ids: l.ids.clone(), rule });
+            out.push(Candidate {
+                time: l.time,
+                ids: l.ids.clone(),
+                rule,
+            });
         }
     }
 }
 
-/// Runs rule matching over a set of events (must be from the same trace;
-/// typically either all events or only those that have arrived at the
-/// verifier). Returns the inferred HBRs.
-pub fn match_rules(events: &[&IoEvent]) -> Vec<Hbr> {
-    let mut sorted: Vec<&IoEvent> = events.to_vec();
-    sorted.sort_by_key(|e| (e.time, e.id));
-    let mut maps = Maps::default();
-    let mut out = Vec::new();
-    for e in &sorted {
+/// Which rule classes a [`RuleSweep`] applies — the knob that makes rule
+/// matching shardable.
+///
+/// Every rule except send→recv relates two events *on the same router*
+/// (all its candidate maps are keyed by the consequent's router and
+/// populated only by that router's events). The send→recv rule is the
+/// sole cross-router rule, and it is the *only* rule that ever fires for
+/// a recv consequent. Splitting on that line lets per-router shards and
+/// per-(proto, prefix) shards each reproduce their half of the sequential
+/// output exactly — including the proximate-cause filter, which never
+/// mixes candidates across the two halves.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RuleScope {
+    /// Apply every rule (the sequential batch and incremental paths).
+    All,
+    /// Router-local rules only; the send→recv rule is skipped. Feed one
+    /// router's events.
+    LocalOnly,
+    /// The send→recv rule only. Feed the send/recv events of one
+    /// (proto, prefix) group — the send map is keyed by
+    /// `(sender, addressee, proto, prefix)`, so lookups never leave the
+    /// group.
+    CrossOnly,
+}
+
+/// A resumable rule-matching sweep.
+///
+/// Feed events in `(time, id)` order via [`step`](RuleSweep::step); each
+/// call appends the HBRs whose consequent is that event. This is the one
+/// code path shared by [`match_rules`] (batch), the parallel shards of
+/// [`infer_hbg_parallel`](crate::infer::infer_hbg_parallel), and the
+/// incremental [`HbgBuilder`](crate::builder::HbgBuilder).
+#[derive(Clone, Default)]
+pub struct RuleSweep {
+    maps: Maps,
+}
+
+impl RuleSweep {
+    /// A fresh sweep with empty nearest-match state.
+    pub fn new() -> Self {
+        RuleSweep::default()
+    }
+
+    /// Processes one event: appends the matched HBRs (consequent `e`) to
+    /// `out`, then folds `e` into the nearest-match maps. Events must be
+    /// fed in `(time, id)` order.
+    pub fn step(&mut self, e: &IoEvent, scope: RuleScope, out: &mut Vec<Hbr>) {
+        let maps = &self.maps;
         let mut cands: Vec<Candidate> = Vec::new();
         let r = e.router;
         let t = e.time;
+        let local = scope != RuleScope::CrossOnly;
+        let cross = scope != RuleScope::LocalOnly;
         match &e.kind {
             IoKind::ConfigChange { .. } | IoKind::LinkStatus { .. } => {
                 // Inputs from outside the control plane: roots.
             }
-            IoKind::SoftReconfig { .. } => {
+            IoKind::SoftReconfig { .. } if local => {
                 push_candidate(&mut cands, maps.config.get(&r), "config->soft", t);
             }
-            IoKind::RecvAdvert { proto, prefix, from, .. }
-            | IoKind::RecvWithdraw { proto, prefix, from, .. } => {
+            IoKind::RecvAdvert {
+                proto,
+                prefix,
+                from,
+                ..
+            }
+            | IoKind::RecvWithdraw {
+                proto,
+                prefix,
+                from,
+                ..
+            } if cross => {
                 // [R' send P to R] → [R recv P from R'].
                 if let Some(PeerRef::Internal(sender)) = from {
                     push_candidate(
@@ -160,7 +220,9 @@ pub fn match_rules(events: &[&IoEvent]) -> Vec<Hbr> {
                     );
                 }
             }
-            IoKind::RibInstall { proto, prefix, .. } | IoKind::RibRemove { proto, prefix } => {
+            IoKind::RibInstall { proto, prefix, .. } | IoKind::RibRemove { proto, prefix }
+                if local =>
+            {
                 // [recv advert P] → [install P in RIB], plus the
                 // non-message triggers: soft reconfig, hardware change,
                 // and (for BGP) IGP RIB changes that re-resolve next hops.
@@ -174,12 +236,7 @@ pub fn match_rules(events: &[&IoEvent]) -> Vec<Hbr> {
                     // Link-state and DV protocols update many prefixes per
                     // message; the message is not per-prefix (OSPF) or may
                     // batch (RIP/EIGRP).
-                    push_candidate(
-                        &mut cands,
-                        maps.recv_any.get(&(r, *proto)),
-                        "recv*->rib",
-                        t,
-                    );
+                    push_candidate(&mut cands, maps.recv_any.get(&(r, *proto)), "recv*->rib", t);
                 }
                 push_candidate(&mut cands, maps.soft.get(&r), "soft->rib", t);
                 push_candidate(&mut cands, maps.link.get(&r), "link->rib", t);
@@ -188,7 +245,7 @@ pub fn match_rules(events: &[&IoEvent]) -> Vec<Hbr> {
                     push_candidate(&mut cands, maps.igp_rib_any.get(&r), "igprib->bgprib", t);
                 }
             }
-            IoKind::FibInstall { prefix, .. } | IoKind::FibRemove { prefix } => {
+            IoKind::FibInstall { prefix, .. } | IoKind::FibRemove { prefix } if local => {
                 // [install P in RIB] → [install P in FIB], any protocol.
                 for proto in [Proto::Bgp, Proto::Ospf, Proto::Rip, Proto::Eigrp] {
                     push_candidate(
@@ -199,7 +256,10 @@ pub fn match_rules(events: &[&IoEvent]) -> Vec<Hbr> {
                     );
                 }
             }
-            IoKind::SendAdvert { proto, prefix, .. } | IoKind::SendWithdraw { proto, prefix, .. } => {
+            IoKind::SendAdvert { proto, prefix, .. }
+            | IoKind::SendWithdraw { proto, prefix, .. }
+                if local =>
+            {
                 match proto {
                     Proto::Eigrp => {
                         // EIGRP: [install P in FIB] → [send P] (§4.1).
@@ -254,6 +314,7 @@ pub fn match_rules(events: &[&IoEvent]) -> Vec<Hbr> {
                     }
                 }
             }
+            _ => {}
         }
         // The most recent candidate class wins (causes are proximate);
         // ties across classes all count.
@@ -272,17 +333,25 @@ pub fn match_rules(events: &[&IoEvent]) -> Vec<Hbr> {
             }
         }
         // Update the maps with this event.
+        let maps = &mut self.maps;
         let id = e.id;
         match &e.kind {
             IoKind::ConfigChange { .. } => maps.config.entry(r).or_default().note(id, t),
             IoKind::SoftReconfig { .. } => maps.soft.entry(r).or_default().note(id, t),
             IoKind::LinkStatus { .. } => maps.link.entry(r).or_default().note(id, t),
-            IoKind::RecvAdvert { proto, prefix, .. } | IoKind::RecvWithdraw { proto, prefix, .. } => {
-                maps.recv.entry((r, *proto, *prefix)).or_default().note(id, t);
+            IoKind::RecvAdvert { proto, prefix, .. }
+            | IoKind::RecvWithdraw { proto, prefix, .. } => {
+                maps.recv
+                    .entry((r, *proto, *prefix))
+                    .or_default()
+                    .note(id, t);
                 maps.recv_any.entry((r, *proto)).or_default().note(id, t);
             }
             IoKind::RibInstall { proto, prefix, .. } | IoKind::RibRemove { proto, prefix } => {
-                maps.rib.entry((r, *proto, *prefix)).or_default().note(id, t);
+                maps.rib
+                    .entry((r, *proto, *prefix))
+                    .or_default()
+                    .note(id, t);
                 if *proto != Proto::Bgp {
                     maps.igp_rib_any.entry(r).or_default().note(id, t);
                 }
@@ -290,7 +359,9 @@ pub fn match_rules(events: &[&IoEvent]) -> Vec<Hbr> {
             IoKind::FibInstall { prefix, .. } | IoKind::FibRemove { prefix } => {
                 maps.fib.entry((r, *prefix)).or_default().note(id, t);
             }
-            IoKind::SendAdvert { proto, prefix, to, .. }
+            IoKind::SendAdvert {
+                proto, prefix, to, ..
+            }
             | IoKind::SendWithdraw { proto, prefix, to } => {
                 if let Some(PeerRef::Internal(addressee)) = to {
                     maps.send
@@ -300,6 +371,19 @@ pub fn match_rules(events: &[&IoEvent]) -> Vec<Hbr> {
                 }
             }
         }
+    }
+}
+
+/// Runs rule matching over a set of events (must be from the same trace;
+/// typically either all events or only those that have arrived at the
+/// verifier). Returns the inferred HBRs.
+pub fn match_rules(events: &[&IoEvent]) -> Vec<Hbr> {
+    let mut sorted: Vec<&IoEvent> = events.to_vec();
+    sorted.sort_by_key(|e| (e.time, e.id));
+    let mut sweep = RuleSweep::new();
+    let mut out = Vec::new();
+    for e in &sorted {
+        sweep.step(e, RuleScope::All, &mut out);
     }
     out
 }
@@ -352,65 +436,115 @@ mod tests {
     fn recv_to_rib_to_fib_to_send_chain() {
         let mut b = TB::new();
         let p = pfx("8.8.8.0/24");
-        let recv = b.ev(0, 0, IoKind::RecvAdvert {
-            proto: Proto::Bgp,
-            prefix: Some(p),
-            from: Some(PeerRef::Internal(RouterId(1))),
-            route: None,
-        });
-        let rib = b.ev(0, 10, IoKind::RibInstall { proto: Proto::Bgp, prefix: p, route: None });
-        let fib = b.ev(0, 20, IoKind::FibInstall {
-            prefix: p,
-            action: cpvr_dataplane::FibAction::Drop,
-        });
-        let send = b.ev(0, 30, IoKind::SendAdvert {
-            proto: Proto::Bgp,
-            prefix: Some(p),
-            to: Some(PeerRef::Internal(RouterId(2))),
-            route: None,
-        });
+        let recv = b.ev(
+            0,
+            0,
+            IoKind::RecvAdvert {
+                proto: Proto::Bgp,
+                prefix: Some(p),
+                from: Some(PeerRef::Internal(RouterId(1))),
+                route: None,
+            },
+        );
+        let rib = b.ev(
+            0,
+            10,
+            IoKind::RibInstall {
+                proto: Proto::Bgp,
+                prefix: p,
+                route: None,
+            },
+        );
+        let fib = b.ev(
+            0,
+            20,
+            IoKind::FibInstall {
+                prefix: p,
+                action: cpvr_dataplane::FibAction::Drop,
+            },
+        );
+        let send = b.ev(
+            0,
+            30,
+            IoKind::SendAdvert {
+                proto: Proto::Bgp,
+                prefix: Some(p),
+                to: Some(PeerRef::Internal(RouterId(2))),
+                route: None,
+            },
+        );
         let hbrs = b.run();
         assert!(has_edge(&hbrs, recv, rib));
         assert!(has_edge(&hbrs, rib, fib));
         assert!(has_edge(&hbrs, rib, send), "BGP sends after RIB install");
-        assert!(!has_edge(&hbrs, fib, send), "BGP send must not hang off the FIB");
+        assert!(
+            !has_edge(&hbrs, fib, send),
+            "BGP send must not hang off the FIB"
+        );
     }
 
     #[test]
     fn eigrp_send_hangs_off_fib() {
         let mut b = TB::new();
         let p = pfx("10.0.0.0/8");
-        let _rib = b.ev(0, 10, IoKind::RibInstall { proto: Proto::Eigrp, prefix: p, route: None });
-        let fib = b.ev(0, 20, IoKind::FibInstall {
-            prefix: p,
-            action: cpvr_dataplane::FibAction::Local,
-        });
-        let send = b.ev(0, 30, IoKind::SendAdvert {
-            proto: Proto::Eigrp,
-            prefix: Some(p),
-            to: Some(PeerRef::Internal(RouterId(1))),
-            route: None,
-        });
+        let _rib = b.ev(
+            0,
+            10,
+            IoKind::RibInstall {
+                proto: Proto::Eigrp,
+                prefix: p,
+                route: None,
+            },
+        );
+        let fib = b.ev(
+            0,
+            20,
+            IoKind::FibInstall {
+                prefix: p,
+                action: cpvr_dataplane::FibAction::Local,
+            },
+        );
+        let send = b.ev(
+            0,
+            30,
+            IoKind::SendAdvert {
+                proto: Proto::Eigrp,
+                prefix: Some(p),
+                to: Some(PeerRef::Internal(RouterId(1))),
+                route: None,
+            },
+        );
         let hbrs = b.run();
-        assert!(has_edge(&hbrs, fib, send), "EIGRP advertises after the FIB install (§4.1)");
+        assert!(
+            has_edge(&hbrs, fib, send),
+            "EIGRP advertises after the FIB install (§4.1)"
+        );
     }
 
     #[test]
     fn cross_router_send_recv() {
         let mut b = TB::new();
         let p = pfx("8.8.8.0/24");
-        let send = b.ev(1, 0, IoKind::SendAdvert {
-            proto: Proto::Bgp,
-            prefix: Some(p),
-            to: Some(PeerRef::Internal(RouterId(0))),
-            route: None,
-        });
-        let recv = b.ev(0, 8000, IoKind::RecvAdvert {
-            proto: Proto::Bgp,
-            prefix: Some(p),
-            from: Some(PeerRef::Internal(RouterId(1))),
-            route: None,
-        });
+        let send = b.ev(
+            1,
+            0,
+            IoKind::SendAdvert {
+                proto: Proto::Bgp,
+                prefix: Some(p),
+                to: Some(PeerRef::Internal(RouterId(0))),
+                route: None,
+            },
+        );
+        let recv = b.ev(
+            0,
+            8000,
+            IoKind::RecvAdvert {
+                proto: Proto::Bgp,
+                prefix: Some(p),
+                from: Some(PeerRef::Internal(RouterId(1))),
+                route: None,
+            },
+        );
         let hbrs = b.run();
         assert!(has_edge(&hbrs, send, recv));
     }
@@ -419,27 +553,53 @@ mod tests {
     fn external_recv_is_root() {
         let mut b = TB::new();
         let p = pfx("8.8.8.0/24");
-        let recv = b.ev(0, 0, IoKind::RecvAdvert {
-            proto: Proto::Bgp,
-            prefix: Some(p),
-            from: Some(PeerRef::External(cpvr_topo::ExtPeerId(0))),
-            route: None,
-        });
+        let recv = b.ev(
+            0,
+            0,
+            IoKind::RecvAdvert {
+                proto: Proto::Bgp,
+                prefix: Some(p),
+                from: Some(PeerRef::External(cpvr_topo::ExtPeerId(0))),
+                route: None,
+            },
+        );
         let hbrs = b.run();
-        assert!(hbrs.iter().all(|h| h.to != recv), "external recv has no antecedent");
+        assert!(
+            hbrs.iter().all(|h| h.to != recv),
+            "external recv has no antecedent"
+        );
     }
 
     #[test]
     fn config_soft_rib_chain() {
         let mut b = TB::new();
         let p = pfx("8.8.8.0/24");
-        let cfg = b.ev(1, 0, IoKind::ConfigChange { desc: "lp".into(), change: None, inverse: None });
+        let cfg = b.ev(
+            1,
+            0,
+            IoKind::ConfigChange {
+                desc: "lp".into(),
+                change: None,
+                inverse: None,
+            },
+        );
         let soft = b.ev(1, 25_000_000, IoKind::SoftReconfig { desc: "lp".into() });
-        let rib = b.ev(1, 25_004_000, IoKind::RibInstall { proto: Proto::Bgp, prefix: p, route: None });
+        let rib = b.ev(
+            1,
+            25_004_000,
+            IoKind::RibInstall {
+                proto: Proto::Bgp,
+                prefix: p,
+                route: None,
+            },
+        );
         let hbrs = b.run();
         assert!(has_edge(&hbrs, cfg, soft));
         assert!(has_edge(&hbrs, soft, rib));
-        assert!(!has_edge(&hbrs, cfg, rib), "rib hangs off the soft reconfig, not the config");
+        assert!(
+            !has_edge(&hbrs, cfg, rib),
+            "rib hangs off the soft reconfig, not the config"
+        );
     }
 
     #[test]
@@ -448,14 +608,26 @@ mod tests {
         // proximate trigger of the RIB change.
         let mut b = TB::new();
         let p = pfx("8.8.8.0/24");
-        let old_recv = b.ev(0, 0, IoKind::RecvAdvert {
-            proto: Proto::Bgp,
-            prefix: Some(p),
-            from: Some(PeerRef::External(cpvr_topo::ExtPeerId(0))),
-            route: None,
-        });
+        let old_recv = b.ev(
+            0,
+            0,
+            IoKind::RecvAdvert {
+                proto: Proto::Bgp,
+                prefix: Some(p),
+                from: Some(PeerRef::External(cpvr_topo::ExtPeerId(0))),
+                route: None,
+            },
+        );
         let soft = b.ev(0, 1_000_000, IoKind::SoftReconfig { desc: "x".into() });
-        let rib = b.ev(0, 1_004_000, IoKind::RibInstall { proto: Proto::Bgp, prefix: p, route: None });
+        let rib = b.ev(
+            0,
+            1_004_000,
+            IoKind::RibInstall {
+                proto: Proto::Bgp,
+                prefix: p,
+                route: None,
+            },
+        );
         let hbrs = b.run();
         assert!(has_edge(&hbrs, soft, rib));
         assert!(!has_edge(&hbrs, old_recv, rib));
@@ -467,18 +639,34 @@ mod tests {
         // the RIB change.
         let mut b = TB::new();
         let p = pfx("8.8.8.0/24");
-        let wd = b.ev(0, 100, IoKind::RecvWithdraw {
-            proto: Proto::Bgp,
-            prefix: Some(p),
-            from: Some(PeerRef::Internal(RouterId(1))),
-        });
-        let ad = b.ev(0, 100, IoKind::RecvAdvert {
-            proto: Proto::Bgp,
-            prefix: Some(p),
-            from: Some(PeerRef::Internal(RouterId(1))),
-            route: None,
-        });
-        let rib = b.ev(0, 110, IoKind::RibInstall { proto: Proto::Bgp, prefix: p, route: None });
+        let wd = b.ev(
+            0,
+            100,
+            IoKind::RecvWithdraw {
+                proto: Proto::Bgp,
+                prefix: Some(p),
+                from: Some(PeerRef::Internal(RouterId(1))),
+            },
+        );
+        let ad = b.ev(
+            0,
+            100,
+            IoKind::RecvAdvert {
+                proto: Proto::Bgp,
+                prefix: Some(p),
+                from: Some(PeerRef::Internal(RouterId(1))),
+                route: None,
+            },
+        );
+        let rib = b.ev(
+            0,
+            110,
+            IoKind::RibInstall {
+                proto: Proto::Bgp,
+                prefix: p,
+                route: None,
+            },
+        );
         let hbrs = b.run();
         assert!(has_edge(&hbrs, wd, rib));
         assert!(has_edge(&hbrs, ad, rib));
@@ -488,13 +676,25 @@ mod tests {
     fn ospf_rib_matches_prefixless_recv() {
         let mut b = TB::new();
         let p = pfx("10.255.0.2/32");
-        let recv = b.ev(0, 0, IoKind::RecvAdvert {
-            proto: Proto::Ospf,
-            prefix: None,
-            from: Some(PeerRef::Internal(RouterId(1))),
-            route: None,
-        });
-        let rib = b.ev(0, 10, IoKind::RibInstall { proto: Proto::Ospf, prefix: p, route: None });
+        let recv = b.ev(
+            0,
+            0,
+            IoKind::RecvAdvert {
+                proto: Proto::Ospf,
+                prefix: None,
+                from: Some(PeerRef::Internal(RouterId(1))),
+                route: None,
+            },
+        );
+        let rib = b.ev(
+            0,
+            10,
+            IoKind::RibInstall {
+                proto: Proto::Ospf,
+                prefix: p,
+                route: None,
+            },
+        );
         let hbrs = b.run();
         assert!(has_edge(&hbrs, recv, rib));
     }
@@ -503,13 +703,25 @@ mod tests {
     fn antecedent_must_not_be_later() {
         let mut b = TB::new();
         let p = pfx("8.8.8.0/24");
-        let rib = b.ev(0, 0, IoKind::RibInstall { proto: Proto::Bgp, prefix: p, route: None });
-        let _late_recv = b.ev(0, 10, IoKind::RecvAdvert {
-            proto: Proto::Bgp,
-            prefix: Some(p),
-            from: Some(PeerRef::Internal(RouterId(1))),
-            route: None,
-        });
+        let rib = b.ev(
+            0,
+            0,
+            IoKind::RibInstall {
+                proto: Proto::Bgp,
+                prefix: p,
+                route: None,
+            },
+        );
+        let _late_recv = b.ev(
+            0,
+            10,
+            IoKind::RecvAdvert {
+                proto: Proto::Bgp,
+                prefix: Some(p),
+                from: Some(PeerRef::Internal(RouterId(1))),
+                route: None,
+            },
+        );
         let hbrs = b.run();
         assert!(hbrs.iter().all(|h| h.to != rib));
     }

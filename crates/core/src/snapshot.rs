@@ -57,13 +57,39 @@ pub fn consistency_check_events(arrived: &[&IoEvent]) -> SnapshotStatus {
     let mut recvs: BTreeMap<Key, Vec<SimTime>> = BTreeMap::new();
     for e in arrived {
         match &e.kind {
-            IoKind::SendAdvert { proto, prefix, to: Some(PeerRef::Internal(to)), .. }
-            | IoKind::SendWithdraw { proto, prefix, to: Some(PeerRef::Internal(to)), .. } => {
-                sends.entry((e.router, *to, *proto, *prefix)).or_default().push(e.time);
+            IoKind::SendAdvert {
+                proto,
+                prefix,
+                to: Some(PeerRef::Internal(to)),
+                ..
             }
-            IoKind::RecvAdvert { proto, prefix, from: Some(PeerRef::Internal(from)), .. }
-            | IoKind::RecvWithdraw { proto, prefix, from: Some(PeerRef::Internal(from)), .. } => {
-                recvs.entry((*from, e.router, *proto, *prefix)).or_default().push(e.time);
+            | IoKind::SendWithdraw {
+                proto,
+                prefix,
+                to: Some(PeerRef::Internal(to)),
+                ..
+            } => {
+                sends
+                    .entry((e.router, *to, *proto, *prefix))
+                    .or_default()
+                    .push(e.time);
+            }
+            IoKind::RecvAdvert {
+                proto,
+                prefix,
+                from: Some(PeerRef::Internal(from)),
+                ..
+            }
+            | IoKind::RecvWithdraw {
+                proto,
+                prefix,
+                from: Some(PeerRef::Internal(from)),
+                ..
+            } => {
+                recvs
+                    .entry((*from, e.router, *proto, *prefix))
+                    .or_default()
+                    .push(e.time);
             }
             _ => {}
         }
@@ -89,6 +115,254 @@ pub fn consistency_check_events(arrived: &[&IoEvent]) -> SnapshotStatus {
         SnapshotStatus::Consistent
     } else {
         SnapshotStatus::WaitFor(missing)
+    }
+}
+
+/// A send/recv conversation: `(sender, addressee, proto, prefix)`.
+type ConvKey = (RouterId, RouterId, Proto, Option<Ipv4Prefix>);
+
+/// What the tracker needs to remember about one event after ingest.
+#[derive(Clone)]
+enum Digest {
+    Send(ConvKey),
+    Recv(ConvKey),
+    FibInstall(Ipv4Prefix, FibAction),
+    FibRemove(Ipv4Prefix),
+    Other,
+}
+
+/// One ingested record on a router's export stream.
+#[derive(Clone)]
+struct StreamRecord {
+    time: SimTime,
+    id: cpvr_sim::EventId,
+    /// Raw sampled arrival; `None` = the record was lost.
+    raw: Option<SimTime>,
+    digest: Digest,
+}
+
+/// One router's export stream: records in `(time, id)` order plus the
+/// consumption frontier.
+#[derive(Clone, Default)]
+struct RouterStream {
+    records: Vec<StreamRecord>,
+    /// Records before this index are consumed (arrived and applied) or
+    /// permanently lost.
+    next: usize,
+    /// Running maximum of raw arrivals — the FIFO-export clamp of
+    /// [`Trace::effective_arrivals`].
+    high: Option<SimTime>,
+}
+
+/// Incremental consistency checking and snapshot assembly.
+///
+/// [`consistency_check`] + [`snapshot_arrived_by`] re-scan the whole
+/// trace at every verification epoch. The tracker instead ingests each
+/// [`IoEvent`] once (as the capture stream delivers it) and answers
+/// [`advance`](Self::advance) in time proportional to the records that
+/// *newly arrived* since the previous horizon.
+///
+/// Correctness rests on two monotonicity facts. First, capture delay is
+/// non-negative, so a record's (FIFO-clamped) arrival is never before
+/// its event time; combined with per-router FIFO export this makes the
+/// arrived set of each router a *prefix* of its `(time, id)`-ordered
+/// stream, so a per-router frontier pointer suffices — and because FIB
+/// state and capture times are per-router, replaying each router's
+/// prefix independently reconstructs exactly the
+/// [`snapshot_arrived_by`] data plane. Second, both sides of a
+/// conversation key live on a single router each, so per-key send/recv
+/// time lists grow append-only and only keys that gained records need
+/// their causal-closure verdict rechecked.
+#[derive(Clone)]
+pub struct ConsistencyTracker {
+    streams: Vec<RouterStream>,
+    sends: BTreeMap<ConvKey, Vec<SimTime>>,
+    recvs: BTreeMap<ConvKey, Vec<SimTime>>,
+    /// Keys that gained a record since their last recheck.
+    dirty: std::collections::BTreeSet<ConvKey>,
+    /// Keys currently failing causal closure.
+    bad: std::collections::BTreeSet<ConvKey>,
+    dp: DataPlane,
+}
+
+impl ConsistencyTracker {
+    /// A tracker for a network of `n_routers`.
+    pub fn new(n_routers: usize) -> Self {
+        ConsistencyTracker {
+            streams: vec![RouterStream::default(); n_routers],
+            sends: BTreeMap::new(),
+            recvs: BTreeMap::new(),
+            dirty: std::collections::BTreeSet::new(),
+            bad: std::collections::BTreeSet::new(),
+            dp: DataPlane::new(n_routers),
+        }
+    }
+
+    /// Buffers one captured event (cheap; nothing is applied until its
+    /// record *arrives*, i.e. until [`advance`](Self::advance) passes its
+    /// arrival time). Events must be stamped after the last advanced
+    /// horizon — the simulator guarantees this for a live tap, since
+    /// everything stamped ≤ `t` has been emitted once the clock reaches
+    /// `t`.
+    pub fn ingest(&mut self, e: &IoEvent) {
+        let digest = match &e.kind {
+            IoKind::SendAdvert {
+                proto,
+                prefix,
+                to: Some(PeerRef::Internal(to)),
+                ..
+            }
+            | IoKind::SendWithdraw {
+                proto,
+                prefix,
+                to: Some(PeerRef::Internal(to)),
+                ..
+            } => Digest::Send((e.router, *to, *proto, *prefix)),
+            IoKind::RecvAdvert {
+                proto,
+                prefix,
+                from: Some(PeerRef::Internal(from)),
+                ..
+            }
+            | IoKind::RecvWithdraw {
+                proto,
+                prefix,
+                from: Some(PeerRef::Internal(from)),
+                ..
+            } => Digest::Recv((*from, e.router, *proto, *prefix)),
+            IoKind::FibInstall { prefix, action } => Digest::FibInstall(*prefix, *action),
+            IoKind::FibRemove { prefix } => Digest::FibRemove(*prefix),
+            _ => Digest::Other,
+        };
+        let stream = &mut self.streams[e.router.index()];
+        let rec = StreamRecord {
+            time: e.time,
+            id: e.id,
+            raw: e.arrived_at,
+            digest,
+        };
+        let pos = stream
+            .records
+            .partition_point(|r| (r.time, r.id) < (rec.time, rec.id));
+        debug_assert!(
+            pos >= stream.next,
+            "event {} at {} ingested behind the consumption frontier",
+            e.id,
+            e.time
+        );
+        stream.records.insert(pos, rec);
+    }
+
+    /// Advances the verification horizon: applies every record that has
+    /// arrived by `horizon`, rechecks the conversations they touched, and
+    /// returns the causal-closure verdict — identical to
+    /// [`consistency_check`] over the same events.
+    pub fn advance(&mut self, horizon: SimTime) -> SnapshotStatus {
+        for (r, stream) in self.streams.iter_mut().enumerate() {
+            let router = RouterId(r as u32);
+            while let Some(rec) = stream.records.get(stream.next) {
+                let Some(raw) = rec.raw else {
+                    // Lost: never arrives, never clamps later records.
+                    // Step over it permanently — but only once the
+                    // horizon has passed its event time, so that a
+                    // not-yet-ingested event with an earlier stamp (a
+                    // future-stamped loss can precede one) cannot land
+                    // behind the frontier. Nothing is missed by stopping:
+                    // records after it are stamped even later, so none of
+                    // them can have arrived by this horizon either.
+                    if rec.time > horizon {
+                        break;
+                    }
+                    stream.next += 1;
+                    continue;
+                };
+                let eff = stream.high.map_or(raw, |h| h.max(raw));
+                if eff > horizon {
+                    // Effective arrivals are monotone along the stream,
+                    // so nothing further has arrived either.
+                    break;
+                }
+                stream.high = Some(eff);
+                match &rec.digest {
+                    Digest::Send(key) => {
+                        self.sends.entry(*key).or_default().push(rec.time);
+                        self.dirty.insert(*key);
+                    }
+                    Digest::Recv(key) => {
+                        self.recvs.entry(*key).or_default().push(rec.time);
+                        self.dirty.insert(*key);
+                    }
+                    Digest::FibInstall(prefix, action) => {
+                        self.dp.apply(&FibUpdate {
+                            router,
+                            prefix: *prefix,
+                            kind: UpdateKind::Install,
+                            action: *action,
+                            at: rec.time,
+                        });
+                    }
+                    Digest::FibRemove(prefix) => {
+                        self.dp.apply(&FibUpdate {
+                            router,
+                            prefix: *prefix,
+                            kind: UpdateKind::Remove,
+                            action: FibAction::Drop,
+                            at: rec.time,
+                        });
+                    }
+                    Digest::Other => {}
+                }
+                self.dp
+                    .set_taken_at(router, rec.time.max(self.dp.taken_at(router)));
+                stream.next += 1;
+            }
+        }
+        self.recheck_dirty();
+        self.status()
+    }
+
+    fn recheck_dirty(&mut self) {
+        for key in std::mem::take(&mut self.dirty) {
+            let rs = self.recvs.get(&key).map_or(&[][..], |v| &v[..]);
+            let ss = self.sends.get(&key).map_or(&[][..], |v| &v[..]);
+            // The i-th recv (time order) needs at least i+1 sends no
+            // later than it. Both lists are append-only sorted.
+            let mut avail = 0usize;
+            let mut si = 0usize;
+            let mut ok = true;
+            for (i, rt) in rs.iter().enumerate() {
+                while si < ss.len() && ss[si] <= *rt {
+                    si += 1;
+                    avail += 1;
+                }
+                if avail < i + 1 {
+                    ok = false;
+                    break;
+                }
+            }
+            if ok {
+                self.bad.remove(&key);
+            } else {
+                self.bad.insert(key);
+            }
+        }
+    }
+
+    /// The verdict at the current horizon, without advancing.
+    pub fn status(&self) -> SnapshotStatus {
+        if self.bad.is_empty() {
+            SnapshotStatus::Consistent
+        } else {
+            let mut missing: Vec<RouterId> = self.bad.iter().map(|k| k.0).collect();
+            missing.dedup(); // BTreeSet iteration is sorted by (sender, ..)
+            SnapshotStatus::WaitFor(missing)
+        }
+    }
+
+    /// The data plane assembled from the arrived FIB records — identical
+    /// to [`snapshot_arrived_by`] at the current horizon.
+    pub fn dataplane(&self) -> &DataPlane {
+        &self.dp
     }
 }
 
@@ -171,7 +445,6 @@ pub fn verify_when_consistent(
         }
     }
 }
-
 
 /// A sweep of the data plane's true state across an interval: one
 /// verification after every FIB change.
@@ -273,7 +546,9 @@ mod tests {
 
     impl TB {
         fn new() -> Self {
-            TB { trace: Trace::default() }
+            TB {
+                trace: Trace::default(),
+            }
         }
         fn ev(&mut self, router: u32, t_ms: u64, arrived_ms: Option<u64>, kind: IoKind) -> EventId {
             let id = EventId(self.trace.events.len() as u32);
@@ -355,12 +630,17 @@ mod tests {
     fn external_recvs_do_not_require_sends() {
         let mut b = TB::new();
         let p = pfx("8.8.8.0/24");
-        b.ev(0, 5, Some(6), IoKind::RecvAdvert {
-            proto: Proto::Bgp,
-            prefix: Some(p),
-            from: Some(PeerRef::External(cpvr_topo::ExtPeerId(0))),
-            route: None,
-        });
+        b.ev(
+            0,
+            5,
+            Some(6),
+            IoKind::RecvAdvert {
+                proto: Proto::Bgp,
+                prefix: Some(p),
+                from: Some(PeerRef::External(cpvr_topo::ExtPeerId(0))),
+                route: None,
+            },
+        );
         assert!(consistency_check(&b.trace, SimTime::from_millis(100)).is_consistent());
     }
 
@@ -377,11 +657,109 @@ mod tests {
     fn snapshot_uses_arrivals_not_event_times() {
         let mut b = TB::new();
         let p = pfx("8.8.8.0/24");
-        b.ev(0, 10, Some(100), IoKind::FibInstall { prefix: p, action: FibAction::Drop });
+        b.ev(
+            0,
+            10,
+            Some(100),
+            IoKind::FibInstall {
+                prefix: p,
+                action: FibAction::Drop,
+            },
+        );
         let dp50 = snapshot_arrived_by(&b.trace, 1, SimTime::from_millis(50));
         assert!(dp50.fib(RouterId(0)).is_empty(), "record not arrived yet");
         let dp150 = snapshot_arrived_by(&b.trace, 1, SimTime::from_millis(150));
         assert_eq!(dp150.fib(RouterId(0)).len(), 1);
+    }
+
+    fn dataplanes_equal(a: &DataPlane, b: &DataPlane) -> bool {
+        a.num_routers() == b.num_routers()
+            && (0..a.num_routers()).all(|i| {
+                let r = RouterId(i as u32);
+                a.fib(r).entries() == b.fib(r).entries() && a.taken_at(r) == b.taken_at(r)
+            })
+    }
+
+    /// The tracker must agree with the batch check and batch snapshot at
+    /// every horizon, on a skewed-capture trace where waits actually
+    /// happen.
+    #[test]
+    fn tracker_matches_batch_across_horizons() {
+        use cpvr_sim::scenario::paper_scenario;
+        use cpvr_sim::{CaptureProfile, LatencyProfile};
+        for seed in [1u64, 7, 42] {
+            let mut s = paper_scenario(LatencyProfile::cisco(), CaptureProfile::syslog(), seed);
+            s.sim.start();
+            s.sim.run_to_quiescence(100_000);
+            s.sim.schedule_ext_announce(
+                s.sim.now() + SimTime::from_millis(5),
+                s.ext_r1,
+                &[s.prefix],
+            );
+            s.sim.schedule_ext_announce(
+                s.sim.now() + SimTime::from_millis(100),
+                s.ext_r2,
+                &[s.prefix],
+            );
+            s.sim.run_to_quiescence(100_000);
+            let trace = s.sim.trace().clone();
+            let n = 3;
+            let mut tracker = ConsistencyTracker::new(n);
+            for e in &trace.events {
+                tracker.ingest(e);
+            }
+            let end = trace.events.iter().map(|e| e.time).max().unwrap();
+            let mut saw_wait = false;
+            for step in 0..40 {
+                let horizon = SimTime::from_nanos(end.as_nanos() / 40 * step + 1);
+                let got = tracker.advance(horizon);
+                let want = consistency_check(&trace, horizon);
+                assert_eq!(got, want, "seed {seed} horizon {horizon}");
+                saw_wait |= !got.is_consistent();
+                assert!(
+                    dataplanes_equal(
+                        tracker.dataplane(),
+                        &snapshot_arrived_by(&trace, n, horizon)
+                    ),
+                    "seed {seed} horizon {horizon}: snapshots diverge"
+                );
+            }
+            assert!(
+                saw_wait,
+                "seed {seed}: skewed capture should force at least one wait"
+            );
+            // Syslog capture loses nothing, so once every record has
+            // arrived the view must be consistent.
+            assert!(tracker.advance(SimTime::MAX).is_consistent());
+        }
+    }
+
+    /// Ingest may interleave with advances (the live-stream pattern) and
+    /// lost records must neither block nor clamp later ones.
+    #[test]
+    fn tracker_handles_interleaving_and_loss() {
+        let mut b = TB::new();
+        let p = pfx("8.8.8.0/24");
+        b.ev(1, 10, None, send(0, p)); // lost send
+        b.ev(0, 18, Some(19), recv(1, p));
+        b.ev(1, 30, Some(31), send(0, p));
+        let mut tracker = ConsistencyTracker::new(2);
+        tracker.ingest(&b.trace.events[0]);
+        assert!(tracker.advance(SimTime::from_millis(15)).is_consistent());
+        tracker.ingest(&b.trace.events[1]);
+        assert_eq!(
+            tracker.advance(SimTime::from_millis(25)),
+            SnapshotStatus::WaitFor(vec![RouterId(1)]),
+            "orphan recv: its send record was lost"
+        );
+        tracker.ingest(&b.trace.events[2]);
+        // The later send arrives (the lost record does not clamp it), but
+        // it is *after* the recv, so the key stays unsatisfied — matching
+        // the batch verdict.
+        assert_eq!(
+            tracker.advance(SimTime::from_secs(10)),
+            consistency_check(&b.trace, SimTime::from_secs(10))
+        );
     }
 
     #[test]
@@ -390,7 +768,15 @@ mod tests {
         let p = pfx("8.8.8.0/24");
         // Raw arrivals inverted (20ms event sampled to arrive before the
         // 10ms one); FIFO export must clamp the later event's arrival.
-        b.ev(0, 10, Some(90), IoKind::FibInstall { prefix: p, action: FibAction::Drop });
+        b.ev(
+            0,
+            10,
+            Some(90),
+            IoKind::FibInstall {
+                prefix: p,
+                action: FibAction::Drop,
+            },
+        );
         b.ev(0, 20, Some(30), IoKind::FibRemove { prefix: p });
         let dp = snapshot_arrived_by(&b.trace, 1, SimTime::from_millis(50));
         assert!(
@@ -398,6 +784,9 @@ mod tests {
             "neither record is visible: the remove cannot overtake the install"
         );
         let dp = snapshot_arrived_by(&b.trace, 1, SimTime::from_millis(95));
-        assert!(dp.fib(RouterId(0)).is_empty(), "both visible: install then remove");
+        assert!(
+            dp.fib(RouterId(0)).is_empty(),
+            "both visible: install then remove"
+        );
     }
 }

@@ -35,7 +35,11 @@ pub fn what_if(
     inject(&mut sim);
     sim.run_to_quiescence(max_events);
     let report = verify(sim.topology(), sim.dataplane(), policies);
-    WhatIfResult { report, trace_len: sim.trace().len(), sim }
+    WhatIfResult {
+        report,
+        trace_len: sim.trace().len(),
+        sim,
+    }
 }
 
 #[cfg(test)]
@@ -50,8 +54,10 @@ mod tests {
         let mut s = paper_scenario(LatencyProfile::fast(), CaptureProfile::ideal(), seed);
         s.sim.start();
         s.sim.run_to_quiescence(100_000);
-        s.sim.schedule_ext_announce(s.sim.now() + SimTime::from_millis(1), s.ext_r1, &[s.prefix]);
-        s.sim.schedule_ext_announce(s.sim.now() + SimTime::from_millis(5), s.ext_r2, &[s.prefix]);
+        s.sim
+            .schedule_ext_announce(s.sim.now() + SimTime::from_millis(1), s.ext_r1, &[s.prefix]);
+        s.sim
+            .schedule_ext_announce(s.sim.now() + SimTime::from_millis(5), s.ext_r2, &[s.prefix]);
         s.sim.run_to_quiescence(100_000);
         s
     }
@@ -77,7 +83,10 @@ mod tests {
             std::slice::from_ref(&policy),
             200_000,
         );
-        assert!(!result.report.ok(), "the what-if must predict the Fig. 2 violation");
+        assert!(
+            !result.report.ok(),
+            "the what-if must predict the Fig. 2 violation"
+        );
         // And a benign change predicts compliance.
         let result = what_if(
             || baseline(40).sim,

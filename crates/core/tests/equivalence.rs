@@ -1,0 +1,251 @@
+//! Equivalence properties of the three HBG construction strategies.
+//!
+//! The parallel sharded path ([`infer_hbg_parallel`]) and the
+//! incremental builder ([`HbgBuilder`]) both promise **bit-identical**
+//! output to sequential batch inference ([`infer_hbg`]) — same edge set,
+//! same confidences, same sources. These properties pin that promise
+//! down on adversarial inputs: randomized traces with clustered
+//! timestamps (plenty of ties), shared prefixes across routers, events
+//! with and without prefixes, and every I/O kind — far messier than any
+//! simulator run.
+
+use cpvr_bgp::PeerRef;
+use cpvr_core::builder::HbgBuilder;
+use cpvr_core::infer::{infer_hbg, infer_hbg_parallel, InferConfig, PatternMiner};
+use cpvr_core::Hbg;
+use cpvr_dataplane::FibAction;
+use cpvr_sim::scenario::two_exit_scenario;
+use cpvr_sim::{CaptureProfile, EventId, IoEvent, IoKind, LatencyProfile, Proto, Trace};
+use cpvr_types::{Ipv4Prefix, RouterId, SimTime};
+use proptest::prelude::*;
+
+const ROUTERS: u32 = 4;
+
+fn prefix_pool() -> Vec<Ipv4Prefix> {
+    ["8.8.8.0/24", "10.0.0.0/8", "192.168.1.0/24"]
+        .iter()
+        .map(|s| s.parse().unwrap())
+        .collect()
+}
+
+const PROTOS: [Proto; 4] = [Proto::Bgp, Proto::Ospf, Proto::Rip, Proto::Eigrp];
+
+/// One random event row: `(router, time µs, kind, prefix idx, proto idx,
+/// peer)`. Times are drawn from a small range so ties and near-ties are
+/// common — the regime where ordering bugs live.
+type Row = (u32, u64, usize, usize, usize, u32);
+
+fn build_trace(rows: Vec<Row>) -> Trace {
+    let pool = prefix_pool();
+    let mut trace = Trace::default();
+    for (i, (router, t_us, kind_sel, pidx, proto_idx, peer)) in rows.into_iter().enumerate() {
+        let proto = PROTOS[proto_idx % PROTOS.len()];
+        // Recv/send prefixes are optional on the wire (OSPF LSAs carry
+        // none); index 2 maps to `None` to exercise that path.
+        let opt_prefix = if pidx == 2 {
+            None
+        } else {
+            Some(pool[pidx % pool.len()])
+        };
+        let prefix = pool[pidx % pool.len()];
+        let from = Some(PeerRef::Internal(RouterId(peer % ROUTERS)));
+        let kind = match kind_sel % 11 {
+            0 => IoKind::ConfigChange {
+                desc: "cfg".into(),
+                change: None,
+                inverse: None,
+            },
+            1 => IoKind::SoftReconfig {
+                desc: "soft".into(),
+            },
+            2 => IoKind::LinkStatus {
+                desc: "link".into(),
+                up: kind_sel % 2 == 0,
+                link: None,
+                peer: None,
+            },
+            3 => IoKind::RecvAdvert {
+                proto,
+                prefix: opt_prefix,
+                from,
+                route: None,
+            },
+            4 => IoKind::RecvWithdraw {
+                proto,
+                prefix: opt_prefix,
+                from,
+            },
+            5 => IoKind::RibInstall {
+                proto,
+                prefix,
+                route: None,
+            },
+            6 => IoKind::RibRemove { proto, prefix },
+            7 => IoKind::FibInstall {
+                prefix,
+                action: FibAction::Drop,
+            },
+            8 => IoKind::FibRemove { prefix },
+            9 => IoKind::SendAdvert {
+                proto,
+                prefix: opt_prefix,
+                to: from,
+                route: None,
+            },
+            _ => IoKind::SendWithdraw {
+                proto,
+                prefix: opt_prefix,
+                to: from,
+            },
+        };
+        let time = SimTime::from_micros(t_us);
+        trace.events.push(IoEvent {
+            id: EventId(i as u32),
+            router: RouterId(router % ROUTERS),
+            time,
+            arrived_at: Some(time),
+            kind,
+        });
+    }
+    trace
+}
+
+fn arb_rows(max_len: usize) -> impl Strategy<Value = Vec<Row>> {
+    prop::collection::vec(
+        (
+            0u32..ROUTERS,
+            0u64..2000,
+            0usize..11,
+            0usize..3,
+            0usize..4,
+            0u32..ROUTERS,
+        ),
+        0..max_len,
+    )
+}
+
+fn assert_same(a: &Hbg, b: &Hbg, what: &str) {
+    assert_eq!(a.canonical_edges(), b.canonical_edges(), "{what}");
+}
+
+/// Builds incrementally: ingest everything, then advance through
+/// `steps` intermediate watermarks before the final infinite one.
+fn incremental(trace: &Trace, cfg: &InferConfig<'_>, steps: u64) -> Hbg {
+    let mut b = HbgBuilder::new(cfg);
+    for e in &trace.events {
+        b.ingest(e);
+    }
+    let end = trace
+        .events
+        .iter()
+        .map(|e| e.time)
+        .max()
+        .unwrap_or(SimTime::ZERO);
+    for i in 1..=steps {
+        b.advance(SimTime::from_nanos(end.as_nanos() / steps * i));
+    }
+    b.advance(SimTime::MAX);
+    assert_eq!(b.pending(), 0);
+    assert_eq!(b.processed(), trace.len());
+    b.hbg().clone()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Rules only: sequential, parallel at several thread counts, and
+    /// incremental (single and stepped watermarks) all agree.
+    #[test]
+    fn rules_all_strategies_agree(rows in arb_rows(120)) {
+        let trace = build_trace(rows);
+        let cfg = InferConfig { rules: true, patterns: None, min_confidence: 0.0, proximate: false };
+        let seq = infer_hbg(&trace, &cfg);
+        for threads in [1usize, 2, 3, 8] {
+            assert_same(&seq, &infer_hbg_parallel(&trace, &cfg, threads), "parallel");
+        }
+        assert_same(&seq, &incremental(&trace, &cfg, 1), "incremental");
+        assert_same(&seq, &incremental(&trace, &cfg, 9), "incremental stepped");
+    }
+
+    /// Rules + mined patterns, with and without the proximate-cause
+    /// filter: every strategy produces the same graph.
+    #[test]
+    fn patterns_all_strategies_agree(
+        train in arb_rows(120),
+        target in arb_rows(90),
+        proximate in any::<bool>(),
+    ) {
+        let mut miner = PatternMiner::new(SimTime::from_micros(500), 2);
+        miner.train(&build_trace(train));
+        let trace = build_trace(target);
+        let cfg = InferConfig {
+            rules: true,
+            patterns: Some(&miner),
+            min_confidence: 0.3,
+            proximate,
+        };
+        let seq = infer_hbg(&trace, &cfg);
+        for threads in [1usize, 2, 3, 8] {
+            assert_same(&seq, &infer_hbg_parallel(&trace, &cfg, threads), "parallel");
+        }
+        assert_same(&seq, &incremental(&trace, &cfg, 1), "incremental");
+        assert_same(&seq, &incremental(&trace, &cfg, 7), "incremental stepped");
+    }
+
+    /// The builder is insensitive to *when* the watermark advances
+    /// relative to ingestion, as long as events are delivered in stream
+    /// order: advancing behind a live (time, id)-ordered delivery gives
+    /// the same graph as one big advance at the end.
+    #[test]
+    fn interleaved_delivery_agrees(rows in arb_rows(100)) {
+        let trace = build_trace(rows);
+        let cfg = InferConfig { rules: true, patterns: None, min_confidence: 0.0, proximate: false };
+        let seq = infer_hbg(&trace, &cfg);
+        let mut b = HbgBuilder::new(&cfg);
+        let mut sorted: Vec<&IoEvent> = trace.events.iter().collect();
+        sorted.sort_by_key(|e| (e.time, e.id));
+        let mut prev = SimTime::ZERO;
+        for e in sorted {
+            if e.time > prev {
+                b.advance(prev);
+                prev = e.time;
+            }
+            b.ingest(e);
+        }
+        b.advance(SimTime::MAX);
+        assert_same(&seq, b.hbg(), "interleaved");
+    }
+
+    /// The same equivalences on real simulator traces (with the miner
+    /// trained on a different seed), where event structure is causal
+    /// rather than adversarial.
+    #[test]
+    fn real_traces_agree(seed in 0u64..12) {
+        let run = |seed: u64| {
+            let (mut sim, left, right) =
+                two_exit_scenario(3, LatencyProfile::fast(), CaptureProfile::ideal(), seed);
+            sim.start();
+            sim.run_to_quiescence(200_000);
+            let p: Ipv4Prefix = "8.8.8.0/24".parse().unwrap();
+            sim.schedule_ext_announce(sim.now() + SimTime::from_millis(1), left, &[p]);
+            sim.schedule_ext_announce(sim.now() + SimTime::from_millis(30), right, &[p]);
+            sim.run_to_quiescence(200_000);
+            sim.trace().clone()
+        };
+        let mut miner = PatternMiner::new(SimTime::from_millis(5), 3);
+        miner.train(&run(seed + 100));
+        let trace = run(seed);
+        for (patterns, proximate) in [(None, false), (Some(&miner), false), (Some(&miner), true)] {
+            let cfg = InferConfig { rules: true, patterns, min_confidence: 0.5, proximate };
+            let seq = infer_hbg(&trace, &cfg);
+            prop_assert!(
+                patterns.is_none() || !seq.edges().is_empty(),
+                "sanity: real traces must produce edges"
+            );
+            for threads in [2usize, 8] {
+                assert_same(&seq, &infer_hbg_parallel(&trace, &cfg, threads), "parallel");
+            }
+            assert_same(&seq, &incremental(&trace, &cfg, 5), "incremental");
+        }
+    }
+}

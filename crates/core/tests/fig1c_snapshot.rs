@@ -22,12 +22,18 @@ const MAX_EVENTS: usize = 200_000;
 
 /// Runs the Fig. 1a→1b transition with the given capture profile; returns
 /// the simulation plus the window during which updates were in flight.
-fn run_transition(capture: CaptureProfile, seed: u64) -> (Simulation, Ipv4Prefix, SimTime, SimTime) {
+fn run_transition(
+    capture: CaptureProfile,
+    seed: u64,
+) -> (Simulation, Ipv4Prefix, SimTime, SimTime) {
     let mut s = paper_scenario(LatencyProfile::cisco(), capture, seed);
     s.sim.start();
     s.sim.run_to_quiescence(MAX_EVENTS);
-    s.sim
-        .schedule_ext_announce(s.sim.now() + SimTime::from_millis(10), s.ext_r1, &[s.prefix]);
+    s.sim.schedule_ext_announce(
+        s.sim.now() + SimTime::from_millis(10),
+        s.ext_r1,
+        &[s.prefix],
+    );
     s.sim.run_to_quiescence(MAX_EVENTS);
     let t_start = s.sim.now();
     s.sim
@@ -47,14 +53,17 @@ fn naive_snapshot_reports_a_loop_that_never_existed() {
         let policy = Policy::LoopFree { prefix };
         let mut t = t_start;
         while t <= t_end + SimTime::from_millis(200) {
-            let report = naive_verify_at(sim.trace(), sim.topology(), &[policy.clone()], t);
+            let report = naive_verify_at(
+                sim.trace(),
+                sim.topology(),
+                std::slice::from_ref(&policy),
+                t,
+            );
             if !report.ok() {
                 // The naive verifier claims a loop. Ground truth: the live
                 // data plane never looped at any point (check the actual
                 // event-time snapshot at this instant).
-                let actual = sim
-                    .trace()
-                    .fib_snapshot_at(3, t);
+                let actual = sim.trace().fib_snapshot_at(3, t);
                 let live_trace =
                     actual.trace(sim.topology(), RouterId(0), "8.8.8.8".parse().unwrap());
                 assert!(
@@ -114,15 +123,15 @@ fn consistency_check_names_the_laggard_router() {
                     assert!(r.index() < 3);
                     // The named router really does have records that have
                     // not arrived yet.
-                    let outstanding = sim
-                        .trace()
-                        .events
-                        .iter()
-                        .filter(|e| e.router == *r)
-                        .any(|e| match e.arrived_at {
-                            None => true,
-                            Some(a) => a > t,
-                        });
+                    let outstanding =
+                        sim.trace()
+                            .events
+                            .iter()
+                            .filter(|e| e.router == *r)
+                            .any(|e| match e.arrived_at {
+                                None => true,
+                                Some(a) => a > t,
+                            });
                     assert!(outstanding, "seed {seed}: {r} named but fully caught up");
                 }
                 return;
@@ -164,7 +173,14 @@ fn false_positive_rates_naive_vs_hbg() {
         let mut t = t_start;
         while t <= t_end + SimTime::from_millis(100) {
             horizons += 1;
-            if !naive_verify_at(sim.trace(), sim.topology(), std::slice::from_ref(&policy), t).ok() {
+            if !naive_verify_at(
+                sim.trace(),
+                sim.topology(),
+                std::slice::from_ref(&policy),
+                t,
+            )
+            .ok()
+            {
                 naive_alarms += 1;
             }
             if let Some((_, rep)) = verify_when_consistent(
@@ -182,6 +198,9 @@ fn false_positive_rates_naive_vs_hbg() {
             t += SimTime::from_millis(10);
         }
     }
-    assert!(naive_alarms > 0, "expected naive false alarms over {horizons} horizons");
+    assert!(
+        naive_alarms > 0,
+        "expected naive false alarms over {horizons} horizons"
+    );
     assert_eq!(hbg_alarms, 0, "HBG-gated verifier must never false-alarm");
 }

@@ -27,8 +27,13 @@ fn setup() -> (Trace, Hbg, Ipv4Prefix, SimTime) {
     let mut s = paper_scenario(LatencyProfile::fast(), CaptureProfile::ideal(), 17);
     s.sim.start();
     s.sim.run_to_quiescence(300_000);
-    s.sim.schedule_ext_announce(s.sim.now() + SimTime::from_millis(1), s.ext_r1, &[s.prefix]);
-    s.sim.schedule_ext_announce(s.sim.now() + SimTime::from_millis(50), s.ext_r2, &[s.prefix]);
+    s.sim
+        .schedule_ext_announce(s.sim.now() + SimTime::from_millis(1), s.ext_r1, &[s.prefix]);
+    s.sim.schedule_ext_announce(
+        s.sim.now() + SimTime::from_millis(50),
+        s.ext_r2,
+        &[s.prefix],
+    );
     s.sim.run_to_quiescence(300_000);
     let t_change = s.sim.now() + SimTime::from_millis(10);
     let change = ConfigChange::SetImport {
@@ -38,7 +43,15 @@ fn setup() -> (Trace, Hbg, Ipv4Prefix, SimTime) {
     s.sim.schedule_config(t_change, RouterId(1), change);
     s.sim.run_to_quiescence(300_000);
     let trace = s.sim.trace().clone();
-    let hbg = infer_hbg(&trace, &InferConfig { rules: true, patterns: None, min_confidence: 0.0, proximate: false });
+    let hbg = infer_hbg(
+        &trace,
+        &InferConfig {
+            rules: true,
+            patterns: None,
+            min_confidence: 0.0,
+            proximate: false,
+        },
+    );
     (trace, hbg, s.prefix, t_change)
 }
 
@@ -65,7 +78,14 @@ fn inferred_graph_contains_the_fig4_chain() {
 
     // Vertex 1: "cause — R2 config change".
     let config = find(&trace, t0, |e| {
-        e.router == r2 && matches!(&e.kind, IoKind::ConfigChange { change: Some(_), .. })
+        e.router == r2
+            && matches!(
+                &e.kind,
+                IoKind::ConfigChange {
+                    change: Some(_),
+                    ..
+                }
+            )
     });
     // (Our capture also logs the soft-reconfiguration marker between the
     // console event and its consequences, as in Fig. 5.)
@@ -121,18 +141,27 @@ fn inferred_graph_contains_the_fig4_chain() {
 
     // The edges, exactly as drawn (with the soft-reconfig hop).
     assert!(has_edge(&hbg, config, soft), "config → soft reconfig");
-    assert!(has_edge(&hbg, soft, r2_rib), "soft reconfig → R2 RIB update");
+    assert!(
+        has_edge(&hbg, soft, r2_rib),
+        "soft reconfig → R2 RIB update"
+    );
     assert!(has_edge(&hbg, r2_rib, r2_send_r1), "R2 RIB → send to R1");
     assert!(has_edge(&hbg, r2_rib, r2_send_r3), "R2 RIB → send to R3");
     assert!(has_edge(&hbg, r2_send_r1, r1_recv), "R2 send → R1 recv");
     assert!(has_edge(&hbg, r2_send_r3, r3_recv), "R2 send → R3 recv");
     assert!(has_edge(&hbg, r1_recv, r1_rib), "R1 recv → R1 RIB update");
-    assert!(has_edge(&hbg, r1_rib, r1_fib), "R1 RIB → R1 FIB install (fault)");
+    assert!(
+        has_edge(&hbg, r1_rib, r1_fib),
+        "R1 RIB → R1 FIB install (fault)"
+    );
 
     // And the figure's punchline: walking up from the fault reaches the
     // config change.
     let anc = hbg.ancestors(r1_fib, 0.5);
-    assert!(anc.contains(&config), "the fault's ancestry must contain the root cause");
+    assert!(
+        anc.contains(&config),
+        "the fault's ancestry must contain the root cause"
+    );
 }
 
 #[test]

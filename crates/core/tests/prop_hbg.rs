@@ -12,16 +12,14 @@ use proptest::prelude::*;
 /// Builds a random DAG over `n` nodes: edges only from lower to higher
 /// ids, so acyclicity is guaranteed.
 fn arb_dag(n: usize) -> impl Strategy<Value = Vec<(u32, u32, f64)>> {
-    prop::collection::vec(
-        (0u32..n as u32, 0u32..n as u32, 0.05f64..1.0),
-        0..n * 3,
+    prop::collection::vec((0u32..n as u32, 0u32..n as u32, 0.05f64..1.0), 0..n * 3).prop_map(
+        |edges| {
+            edges
+                .into_iter()
+                .filter(|(a, b, _)| a < b)
+                .collect::<Vec<_>>()
+        },
     )
-    .prop_map(|edges| {
-        edges
-            .into_iter()
-            .filter(|(a, b, _)| a < b)
-            .collect::<Vec<_>>()
-    })
 }
 
 fn graph_from(n: usize, edges: &[(u32, u32, f64)]) -> Hbg {

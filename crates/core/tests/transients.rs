@@ -18,18 +18,28 @@ fn withdrawal_reconvergence_has_a_transient_blackhole() {
     let mut s = paper_scenario(LatencyProfile::cisco(), CaptureProfile::ideal(), 77);
     s.sim.start();
     s.sim.run_to_quiescence(MAX_EVENTS);
-    s.sim.schedule_ext_announce(s.sim.now() + SimTime::from_millis(1), s.ext_r1, &[s.prefix]);
+    s.sim
+        .schedule_ext_announce(s.sim.now() + SimTime::from_millis(1), s.ext_r1, &[s.prefix]);
     s.sim.run_to_quiescence(MAX_EVENTS);
-    s.sim.schedule_ext_announce(s.sim.now() + SimTime::from_millis(10), s.ext_r2, &[s.prefix]);
+    s.sim.schedule_ext_announce(
+        s.sim.now() + SimTime::from_millis(10),
+        s.ext_r2,
+        &[s.prefix],
+    );
     s.sim.run_to_quiescence(MAX_EVENTS);
     let t_withdraw = s.sim.now() + SimTime::from_millis(10);
-    s.sim.schedule_ext_withdraw(t_withdraw, s.ext_r2, &[s.prefix]);
+    s.sim
+        .schedule_ext_withdraw(t_withdraw, s.ext_r2, &[s.prefix]);
     s.sim.run_to_quiescence(MAX_EVENTS);
     let t_end = s.sim.now();
 
     let policy = Policy::Reachable { prefix: s.prefix };
     // Final state: fully compliant (failed over to R1's uplink).
-    let final_report = verify(s.sim.topology(), s.sim.dataplane(), std::slice::from_ref(&policy));
+    let final_report = verify(
+        s.sim.topology(),
+        s.sim.dataplane(),
+        std::slice::from_ref(&policy),
+    );
     assert!(final_report.ok(), "{:?}", final_report.violations);
 
     // But the sweep over the reconvergence window finds the transient:
@@ -60,9 +70,14 @@ fn clean_convergence_has_no_transients_for_loopfreedom() {
     s.sim.start();
     s.sim.run_to_quiescence(MAX_EVENTS);
     let t0 = s.sim.now();
-    s.sim.schedule_ext_announce(t0 + SimTime::from_millis(1), s.ext_r1, &[s.prefix]);
+    s.sim
+        .schedule_ext_announce(t0 + SimTime::from_millis(1), s.ext_r1, &[s.prefix]);
     s.sim.run_to_quiescence(MAX_EVENTS);
-    s.sim.schedule_ext_announce(s.sim.now() + SimTime::from_millis(10), s.ext_r2, &[s.prefix]);
+    s.sim.schedule_ext_announce(
+        s.sim.now() + SimTime::from_millis(10),
+        s.ext_r2,
+        &[s.prefix],
+    );
     s.sim.run_to_quiescence(MAX_EVENTS);
     let sweep = verify_throughout(
         s.sim.trace(),
@@ -72,7 +87,11 @@ fn clean_convergence_has_no_transients_for_loopfreedom() {
         s.sim.now(),
     );
     assert!(sweep.checkpoints > 0);
-    assert!(sweep.ok(), "no instant of the real sequence may loop: {:?}", sweep.violating);
+    assert!(
+        sweep.ok(),
+        "no instant of the real sequence may loop: {:?}",
+        sweep.violating
+    );
 }
 
 #[test]
@@ -81,7 +100,8 @@ fn sweep_respects_the_window() {
     s.sim.start();
     s.sim.run_to_quiescence(MAX_EVENTS);
     let t_mid = s.sim.now();
-    s.sim.schedule_ext_announce(t_mid + SimTime::from_millis(1), s.ext_r1, &[s.prefix]);
+    s.sim
+        .schedule_ext_announce(t_mid + SimTime::from_millis(1), s.ext_r1, &[s.prefix]);
     s.sim.run_to_quiescence(MAX_EVENTS);
     // A window before any FIB events for P: zero checkpoints for the
     // policy's prefix... the boot-time IGP fib events still count as

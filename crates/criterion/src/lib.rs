@@ -1,0 +1,241 @@
+//! A minimal, dependency-free subset of the Criterion benchmarking API,
+//! vendored in-tree so `cargo bench` works without network access.
+//!
+//! It implements the surface the workspace's benches use — benchmark
+//! groups, `bench_function` / `bench_with_input`, `BenchmarkId`,
+//! `sample_size`, and the `criterion_group!` / `criterion_main!` macros
+//! — with a straightforward measurement loop: warm up briefly, then time
+//! `sample_size` samples and report min / median / mean wall-clock time
+//! per iteration. No statistics beyond that, no HTML reports.
+//!
+//! Environment knobs:
+//! - `CPVR_BENCH_SAMPLES` overrides every group's sample size.
+//! - `CPVR_BENCH_WARMUP_MS` overrides the warm-up budget (default 300).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Identifies one benchmark within a group: a function name plus a
+/// parameter rendering, e.g. `construct/1423ev`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// A benchmark id `function_name/parameter`.
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// Timing harness handed to each benchmark closure.
+pub struct Bencher {
+    samples: usize,
+    warmup: Duration,
+    /// Per-sample mean nanoseconds per iteration, filled by `iter`.
+    results: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times `routine`, storing per-iteration wall-clock samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm up and size the batch so one sample costs ~warmup/samples.
+        let warm_start = Instant::now();
+        let mut iters_done = 0u64;
+        while warm_start.elapsed() < self.warmup {
+            std::hint::black_box(routine());
+            iters_done += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / iters_done as f64;
+        let target_sample_secs = (self.warmup.as_secs_f64() / self.samples as f64).max(1e-3);
+        let batch = ((target_sample_secs / per_iter).ceil() as u64).max(1);
+
+        self.results.clear();
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            let dt = t0.elapsed().as_secs_f64();
+            self.results.push(dt * 1e9 / batch as f64);
+        }
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        if self.criterion.sample_override.is_none() {
+            self.sample_size = n.max(2);
+        }
+        self
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(&id.to_string(), |b| f(b));
+        self
+    }
+
+    /// Benchmarks `f` under `id`, passing `input` through.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(&id.to_string(), |b| f(b, input));
+        self
+    }
+
+    fn run(&mut self, id: &str, f: impl FnOnce(&mut Bencher)) {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            warmup: self.criterion.warmup,
+            results: Vec::new(),
+        };
+        f(&mut b);
+        report(&self.name, id, &b.results);
+    }
+
+    /// Ends the group. (No cross-group state to flush in this subset.)
+    pub fn finish(&mut self) {}
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+fn report(group: &str, id: &str, samples: &[f64]) {
+    if samples.is_empty() {
+        println!("{group}/{id}: no samples");
+        return;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let min = sorted[0];
+    let median = sorted[sorted.len() / 2];
+    let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+    println!(
+        "{group}/{id}: min {}  median {}  mean {}  ({} samples)",
+        fmt_ns(min),
+        fmt_ns(median),
+        fmt_ns(mean),
+        sorted.len()
+    );
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_override: Option<usize>,
+    warmup: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let sample_override = std::env::var("CPVR_BENCH_SAMPLES")
+            .ok()
+            .and_then(|s| s.parse::<usize>().ok())
+            .map(|n| n.max(2));
+        let warmup_ms = std::env::var("CPVR_BENCH_WARMUP_MS")
+            .ok()
+            .and_then(|s| s.parse::<u64>().ok())
+            .unwrap_or(300);
+        Criterion {
+            sample_override,
+            warmup: Duration::from_millis(warmup_ms),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_override.unwrap_or(10);
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size,
+        }
+    }
+}
+
+/// Declares a benchmark group function, mirroring Criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench entry point, mirroring Criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something_positive() {
+        std::env::set_var("CPVR_BENCH_WARMUP_MS", "5");
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("smoke");
+        g.sample_size(3);
+        g.bench_function("noop", |b| b.iter(|| 1 + 1));
+        g.bench_with_input(BenchmarkId::new("sum", 100), &100u64, |b, n| {
+            b.iter(|| (0..*n).sum::<u64>())
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn id_renders_like_criterion() {
+        assert_eq!(
+            BenchmarkId::new("construct", "1423ev").to_string(),
+            "construct/1423ev"
+        );
+    }
+}

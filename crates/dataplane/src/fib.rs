@@ -6,7 +6,7 @@ use std::fmt;
 use std::net::Ipv4Addr;
 
 /// What a router does with a packet that matched a FIB entry.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum FibAction {
     /// Forward to the neighbor across this link.
     Forward(LinkId),
@@ -36,7 +36,7 @@ impl fmt::Display for FibAction {
 }
 
 /// One FIB entry: the action plus bookkeeping for provenance.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct FibEntry {
     /// The forwarding action.
     pub action: FibAction,
@@ -45,7 +45,7 @@ pub struct FibEntry {
 }
 
 /// Install or remove?
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
 pub enum UpdateKind {
     /// The entry was installed or replaced.
     Install,
@@ -55,7 +55,7 @@ pub enum UpdateKind {
 
 /// A single FIB delta — the unit of data-plane change the paper's verifier
 /// gates on before letting it reach hardware.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct FibUpdate {
     /// The router whose FIB changed.
     pub router: RouterId,
@@ -78,7 +78,9 @@ pub struct Fib {
 impl Fib {
     /// An empty FIB.
     pub fn new() -> Self {
-        Fib { entries: PrefixTrie::new() }
+        Fib {
+            entries: PrefixTrie::new(),
+        }
     }
 
     /// Number of entries.
@@ -113,7 +115,11 @@ impl Fib {
 
     /// All entries in prefix order.
     pub fn entries(&self) -> Vec<(Ipv4Prefix, FibEntry)> {
-        self.entries.iter().into_iter().map(|(p, e)| (p, *e)).collect()
+        self.entries
+            .iter()
+            .into_iter()
+            .map(|(p, e)| (p, *e))
+            .collect()
     }
 
     /// All prefixes with an entry, in prefix order.
@@ -126,7 +132,13 @@ impl Fib {
     pub fn apply(&mut self, u: &FibUpdate) {
         match u.kind {
             UpdateKind::Install => {
-                self.install(u.prefix, FibEntry { action: u.action, installed_at: u.at });
+                self.install(
+                    u.prefix,
+                    FibEntry {
+                        action: u.action,
+                        installed_at: u.at,
+                    },
+                );
             }
             UpdateKind::Remove => {
                 self.remove(&u.prefix);
@@ -144,7 +156,10 @@ mod tests {
     }
 
     fn e(action: FibAction) -> FibEntry {
-        FibEntry { action, installed_at: SimTime::ZERO }
+        FibEntry {
+            action,
+            installed_at: SimTime::ZERO,
+        }
     }
 
     #[test]
@@ -194,8 +209,14 @@ mod tests {
             at: SimTime::from_millis(5),
         };
         f.apply(&u1);
-        assert_eq!(f.get(&p("10.0.0.0/8")).unwrap().installed_at, SimTime::from_millis(5));
-        let u2 = FibUpdate { kind: UpdateKind::Remove, ..u1 };
+        assert_eq!(
+            f.get(&p("10.0.0.0/8")).unwrap().installed_at,
+            SimTime::from_millis(5)
+        );
+        let u2 = FibUpdate {
+            kind: UpdateKind::Remove,
+            ..u1
+        };
         f.apply(&u2);
         assert!(f.is_empty());
     }
@@ -208,3 +229,10 @@ mod tests {
         assert_eq!(FibAction::Drop.to_string(), "drop");
     }
 }
+
+cpvr_types::impl_json_enum!(FibAction {
+    Forward(l),
+    Exit(p),
+    Local,
+    Drop,
+});

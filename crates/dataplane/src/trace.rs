@@ -40,7 +40,10 @@ pub enum TraceOutcome {
 impl TraceOutcome {
     /// True if the packet reached *some* destination (exited or delivered).
     pub fn is_delivered(&self) -> bool {
-        matches!(self, TraceOutcome::Exited(_) | TraceOutcome::DeliveredLocal(_))
+        matches!(
+            self,
+            TraceOutcome::Exited(_) | TraceOutcome::DeliveredLocal(_)
+        )
     }
 }
 
@@ -108,7 +111,10 @@ pub struct DataPlane {
 impl DataPlane {
     /// An empty data plane for `n` routers.
     pub fn new(n: usize) -> Self {
-        DataPlane { fibs: vec![Fib::new(); n], taken_at: vec![SimTime::ZERO; n] }
+        DataPlane {
+            fibs: vec![Fib::new(); n],
+            taken_at: vec![SimTime::ZERO; n],
+        }
     }
 
     /// Number of routers.
@@ -162,25 +168,49 @@ impl DataPlane {
         let mut cur = ingress;
         loop {
             if visited[cur.index()] {
-                hops.push(Hop { router: cur, matched: None, action: None });
-                return TraceResult { hops, outcome: TraceOutcome::Loop(cur) };
+                hops.push(Hop {
+                    router: cur,
+                    matched: None,
+                    action: None,
+                });
+                return TraceResult {
+                    hops,
+                    outcome: TraceOutcome::Loop(cur),
+                };
             }
             visited[cur.index()] = true;
             let hit = self.fibs[cur.index()].lookup(dst);
             let (matched, entry) = match hit {
                 Some((p, e)) => (Some(p), e),
                 None => {
-                    hops.push(Hop { router: cur, matched: None, action: None });
-                    return TraceResult { hops, outcome: TraceOutcome::Blackhole(cur) };
+                    hops.push(Hop {
+                        router: cur,
+                        matched: None,
+                        action: None,
+                    });
+                    return TraceResult {
+                        hops,
+                        outcome: TraceOutcome::Blackhole(cur),
+                    };
                 }
             };
-            hops.push(Hop { router: cur, matched, action: Some(entry.action) });
+            hops.push(Hop {
+                router: cur,
+                matched,
+                action: Some(entry.action),
+            });
             match entry.action {
                 FibAction::Local => {
-                    return TraceResult { hops, outcome: TraceOutcome::DeliveredLocal(cur) };
+                    return TraceResult {
+                        hops,
+                        outcome: TraceOutcome::DeliveredLocal(cur),
+                    };
                 }
                 FibAction::Drop => {
-                    return TraceResult { hops, outcome: TraceOutcome::Blackhole(cur) };
+                    return TraceResult {
+                        hops,
+                        outcome: TraceOutcome::Blackhole(cur),
+                    };
                 }
                 FibAction::Exit(p) => {
                     let outcome = if topo.ext_peer(p).state.is_up() {
@@ -193,7 +223,10 @@ impl DataPlane {
                 FibAction::Forward(l) => {
                     let link = topo.link(l);
                     if !link.state.is_up() {
-                        return TraceResult { hops, outcome: TraceOutcome::Blackhole(cur) };
+                        return TraceResult {
+                            hops,
+                            outcome: TraceOutcome::Blackhole(cur),
+                        };
                     }
                     cur = link.other_end(cur).0;
                 }
@@ -224,7 +257,10 @@ mod tests {
     }
 
     fn entry(action: FibAction) -> FibEntry {
-        FibEntry { action, installed_at: SimTime::ZERO }
+        FibEntry {
+            action,
+            installed_at: SimTime::ZERO,
+        }
     }
 
     /// Line R1—R2—R3 with an exit at R3 for 8.8.8.0/24.
@@ -234,9 +270,12 @@ mod tests {
         let mut dp = DataPlane::new(3);
         let l12 = topo.link_between(RouterId(0), RouterId(1)).unwrap().id;
         let l23 = topo.link_between(RouterId(1), RouterId(2)).unwrap().id;
-        dp.fib_mut(RouterId(0)).install(p("8.8.8.0/24"), entry(FibAction::Forward(l12)));
-        dp.fib_mut(RouterId(1)).install(p("8.8.8.0/24"), entry(FibAction::Forward(l23)));
-        dp.fib_mut(RouterId(2)).install(p("8.8.8.0/24"), entry(FibAction::Exit(e2)));
+        dp.fib_mut(RouterId(0))
+            .install(p("8.8.8.0/24"), entry(FibAction::Forward(l12)));
+        dp.fib_mut(RouterId(1))
+            .install(p("8.8.8.0/24"), entry(FibAction::Forward(l23)));
+        dp.fib_mut(RouterId(2))
+            .install(p("8.8.8.0/24"), entry(FibAction::Exit(e2)));
         (topo, dp)
     }
 
@@ -264,7 +303,8 @@ mod tests {
     #[test]
     fn null_route_blackholes() {
         let (topo, mut dp) = line_dp();
-        dp.fib_mut(RouterId(1)).install(p("8.8.8.0/24"), entry(FibAction::Drop));
+        dp.fib_mut(RouterId(1))
+            .install(p("8.8.8.0/24"), entry(FibAction::Drop));
         let t = dp.trace(&topo, RouterId(0), "8.8.8.8".parse().unwrap());
         assert_eq!(t.outcome, TraceOutcome::Blackhole(RouterId(1)));
     }
@@ -274,7 +314,8 @@ mod tests {
         let (topo, mut dp) = line_dp();
         let l12 = topo.link_between(RouterId(0), RouterId(1)).unwrap().id;
         // R2 points back at R1: classic two-node loop.
-        dp.fib_mut(RouterId(1)).install(p("8.8.8.0/24"), entry(FibAction::Forward(l12)));
+        dp.fib_mut(RouterId(1))
+            .install(p("8.8.8.0/24"), entry(FibAction::Forward(l12)));
         let t = dp.trace(&topo, RouterId(0), "8.8.8.8".parse().unwrap());
         assert_eq!(t.outcome, TraceOutcome::Loop(RouterId(0)));
         assert_eq!(t.router_path(), vec![RouterId(0), RouterId(1), RouterId(0)]);
@@ -301,7 +342,8 @@ mod tests {
     #[test]
     fn local_delivery() {
         let (topo, mut dp) = line_dp();
-        dp.fib_mut(RouterId(0)).install(p("10.255.0.1/32"), entry(FibAction::Local));
+        dp.fib_mut(RouterId(0))
+            .install(p("10.255.0.1/32"), entry(FibAction::Local));
         let t = dp.trace(&topo, RouterId(0), "10.255.0.1".parse().unwrap());
         assert_eq!(t.outcome, TraceOutcome::DeliveredLocal(RouterId(0)));
     }
@@ -324,7 +366,8 @@ mod tests {
     #[test]
     fn all_prefixes_dedupes_and_sorts() {
         let (_, mut dp) = line_dp();
-        dp.fib_mut(RouterId(0)).install(p("1.0.0.0/8"), entry(FibAction::Drop));
+        dp.fib_mut(RouterId(0))
+            .install(p("1.0.0.0/8"), entry(FibAction::Drop));
         let all = dp.all_prefixes();
         assert_eq!(all, vec![p("1.0.0.0/8"), p("8.8.8.0/24")]);
     }

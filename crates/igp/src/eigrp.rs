@@ -79,7 +79,11 @@ pub struct EigrpInstance {
 impl EigrpInstance {
     /// Creates an instance for router `me`.
     pub fn new(me: RouterId) -> Self {
-        EigrpInstance { me, state: BTreeMap::new(), table: BTreeMap::new() }
+        EigrpInstance {
+            me,
+            state: BTreeMap::new(),
+            table: BTreeMap::new(),
+        }
     }
 
     /// The router this instance runs on.
@@ -162,7 +166,10 @@ impl EigrpInstance {
                 // Always answer with our own (post-rebuild) distance.
                 out.msgs.push((
                     from,
-                    EigrpMsg::Reply { prefix, rd: self.own_distance(&prefix) },
+                    EigrpMsg::Reply {
+                        prefix,
+                        rd: self.own_distance(&prefix),
+                    },
                 ));
                 out
             }
@@ -187,7 +194,10 @@ impl EigrpInstance {
     /// Distance this router would advertise for `prefix`, or
     /// [`UNREACHABLE`].
     fn own_distance(&self, prefix: &Ipv4Prefix) -> u32 {
-        self.table.get(prefix).map(|r| r.metric).unwrap_or(UNREACHABLE)
+        self.table
+            .get(prefix)
+            .map(|r| r.metric)
+            .unwrap_or(UNREACHABLE)
     }
 
     /// Recomputes successors under DUAL. Returns the outputs (deltas only)
@@ -205,7 +215,13 @@ impl EigrpInstance {
             if let Some(c) = st.local {
                 st.fd = Some(c);
                 st.active = false;
-                new_table.insert(*prefix, IgpRoute { metric: c, next_hop: None });
+                new_table.insert(
+                    *prefix,
+                    IgpRoute {
+                        metric: c,
+                        next_hop: None,
+                    },
+                );
                 continue;
             }
             // Candidate distances via each live neighbor.
@@ -230,7 +246,10 @@ impl EigrpInstance {
                             st.fd = Some(fd.min(dist));
                             new_table.insert(
                                 *prefix,
-                                IgpRoute { metric: dist, next_hop: Some((nb, link)) },
+                                IgpRoute {
+                                    metric: dist,
+                                    next_hop: Some((nb, link)),
+                                },
                             );
                         }
                         None => {
@@ -253,7 +272,10 @@ impl EigrpInstance {
                             st.active = false;
                             new_table.insert(
                                 *prefix,
-                                IgpRoute { metric: dist, next_hop: Some((nb, link)) },
+                                IgpRoute {
+                                    metric: dist,
+                                    next_hop: Some((nb, link)),
+                                },
                             );
                         }
                         None => {
@@ -270,7 +292,13 @@ impl EigrpInstance {
         }
         let deltas = diff_tables(&self.table, &new_table);
         self.table = new_table;
-        (IgpOutputs { msgs: Vec::new(), deltas }, to_query)
+        (
+            IgpOutputs {
+                msgs: Vec::new(),
+                deltas,
+            },
+            to_query,
+        )
     }
 
     /// Appends Query messages for newly active prefixes, to all up
@@ -315,7 +343,11 @@ impl EigrpInstance {
                             self.table.get(p).and_then(|r| r.next_hop),
                             Some((v, _)) if v == nb
                         );
-                        let d = if through_nb { UNREACHABLE } else { self.own_distance(p) };
+                        let d = if through_nb {
+                            UNREACHABLE
+                        } else {
+                            self.own_distance(p)
+                        };
                         (*p, d)
                     })
                     .collect();
@@ -416,10 +448,15 @@ mod tests {
         let out = insts[0].recv(
             &topo,
             RouterId(1),
-            EigrpMsg::Update { routes: vec![(lb3, UNREACHABLE)] },
+            EigrpMsg::Update {
+                routes: vec![(lb3, UNREACHABLE)],
+            },
         );
         assert!(!insts[0].table().contains_key(&lb3));
-        assert!(out.deltas.iter().any(|d| d.prefix == lb3 && d.route.is_none()));
+        assert!(out
+            .deltas
+            .iter()
+            .any(|d| d.prefix == lb3 && d.route.is_none()));
         // With no alternatives, the prefix went active: queries go out.
         assert!(out
             .msgs
@@ -457,7 +494,9 @@ mod tests {
         let ads = insts[1].full_update_msgs(&topo);
         let lb1 = loopback(&topo, RouterId(0));
         for (to, msg) in ads {
-            let EigrpMsg::Update { routes } = msg else { panic!() };
+            let EigrpMsg::Update { routes } = msg else {
+                panic!()
+            };
             let d = routes.iter().find(|(p, _)| *p == lb1).unwrap().1;
             if to == RouterId(0) {
                 assert_eq!(d, UNREACHABLE);
@@ -477,12 +516,20 @@ mod tests {
         let _ = insts[2].recv(
             &topo,
             RouterId(1),
-            EigrpMsg::Update { routes: vec![(lb1, UNREACHABLE)] },
+            EigrpMsg::Update {
+                routes: vec![(lb1, UNREACHABLE)],
+            },
         );
         assert!(!insts[2].table().contains_key(&lb1));
         // A fresh advertisement later is accepted (active state accepts
         // any candidate and resets FD).
-        let _ = insts[2].recv(&topo, RouterId(1), EigrpMsg::Update { routes: vec![(lb1, 10)] });
+        let _ = insts[2].recv(
+            &topo,
+            RouterId(1),
+            EigrpMsg::Update {
+                routes: vec![(lb1, 10)],
+            },
+        );
         assert_eq!(insts[2].table()[&lb1].metric, 20);
     }
 
@@ -495,12 +542,30 @@ mod tests {
         let mut a = EigrpInstance::new(RouterId(0));
         let _ = a.start(&topo);
         let p: Ipv4Prefix = "99.0.0.0/8".parse().unwrap();
-        let _ = a.recv(&topo, RouterId(1), EigrpMsg::Update { routes: vec![(p, 0)] });
+        let _ = a.recv(
+            &topo,
+            RouterId(1),
+            EigrpMsg::Update {
+                routes: vec![(p, 0)],
+            },
+        );
         assert_eq!(a.table()[&p].metric, 10); // FD = 10
-        // R3 claims RD 50 ≥ FD → not feasible.
-        let _ = a.recv(&topo, RouterId(2), EigrpMsg::Update { routes: vec![(p, 50)] });
+                                              // R3 claims RD 50 ≥ FD → not feasible.
+        let _ = a.recv(
+            &topo,
+            RouterId(2),
+            EigrpMsg::Update {
+                routes: vec![(p, 50)],
+            },
+        );
         assert_eq!(a.table()[&p].next_hop.unwrap().0, RouterId(1));
-        let out = a.recv(&topo, RouterId(1), EigrpMsg::Update { routes: vec![(p, UNREACHABLE)] });
+        let out = a.recv(
+            &topo,
+            RouterId(1),
+            EigrpMsg::Update {
+                routes: vec![(p, UNREACHABLE)],
+            },
+        );
         assert!(
             !a.table().contains_key(&p),
             "infeasible successor must not be used synchronously"
@@ -524,9 +589,21 @@ mod tests {
         let mut a = EigrpInstance::new(RouterId(0));
         let _ = a.start(&topo);
         let p: Ipv4Prefix = "99.0.0.0/8".parse().unwrap();
-        let _ = a.recv(&topo, RouterId(1), EigrpMsg::Update { routes: vec![(p, 40)] });
+        let _ = a.recv(
+            &topo,
+            RouterId(1),
+            EigrpMsg::Update {
+                routes: vec![(p, 40)],
+            },
+        );
         assert_eq!(a.table()[&p].metric, 50);
-        let _ = a.recv(&topo, RouterId(2), EigrpMsg::Update { routes: vec![(p, 5)] });
+        let _ = a.recv(
+            &topo,
+            RouterId(2),
+            EigrpMsg::Update {
+                routes: vec![(p, 5)],
+            },
+        );
         assert_eq!(a.table()[&p].metric, 15);
         assert_eq!(a.table()[&p].next_hop.unwrap().0, RouterId(2));
     }

@@ -63,7 +63,10 @@ pub struct IgpOutputs<M> {
 impl<M> IgpOutputs<M> {
     /// No messages, no deltas.
     pub fn empty() -> Self {
-        IgpOutputs { msgs: Vec::new(), deltas: Vec::new() }
+        IgpOutputs {
+            msgs: Vec::new(),
+            deltas: Vec::new(),
+        }
     }
 }
 
@@ -78,12 +81,18 @@ pub fn diff_tables(
     let mut out = Vec::new();
     for (p, r) in new {
         if old.get(p) != Some(r) {
-            out.push(IgpDelta { prefix: *p, route: Some(*r) });
+            out.push(IgpDelta {
+                prefix: *p,
+                route: Some(*r),
+            });
         }
     }
     for p in old.keys() {
         if !new.contains_key(p) {
-            out.push(IgpDelta { prefix: *p, route: None });
+            out.push(IgpDelta {
+                prefix: *p,
+                route: None,
+            });
         }
     }
     out
@@ -98,7 +107,10 @@ mod tests {
     }
 
     fn r(metric: u32) -> IgpRoute {
-        IgpRoute { metric, next_hop: Some((RouterId(1), LinkId(0))) }
+        IgpRoute {
+            metric,
+            next_hop: Some((RouterId(1), LinkId(0))),
+        }
     }
 
     #[test]
@@ -109,13 +121,31 @@ mod tests {
         let mut new = BTreeMap::new();
         new.insert(p("10.0.0.0/8"), r(15)); // changed
         new.insert(p("12.0.0.0/8"), r(5)); // added
-        // 11.0.0.0/8 removed
+                                           // 11.0.0.0/8 removed
         let mut d = diff_tables(&old, &new);
         d.sort_by_key(|d| d.prefix);
         assert_eq!(d.len(), 3);
-        assert_eq!(d[0], IgpDelta { prefix: p("10.0.0.0/8"), route: Some(r(15)) });
-        assert_eq!(d[1], IgpDelta { prefix: p("11.0.0.0/8"), route: None });
-        assert_eq!(d[2], IgpDelta { prefix: p("12.0.0.0/8"), route: Some(r(5)) });
+        assert_eq!(
+            d[0],
+            IgpDelta {
+                prefix: p("10.0.0.0/8"),
+                route: Some(r(15))
+            }
+        );
+        assert_eq!(
+            d[1],
+            IgpDelta {
+                prefix: p("11.0.0.0/8"),
+                route: None
+            }
+        );
+        assert_eq!(
+            d[2],
+            IgpDelta {
+                prefix: p("12.0.0.0/8"),
+                route: Some(r(5))
+            }
+        );
     }
 
     #[test]

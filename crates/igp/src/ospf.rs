@@ -16,7 +16,7 @@ use crate::{diff_tables, IgpDelta, IgpOutputs, IgpRoute};
 use cpvr_topo::{LinkId, Topology};
 use cpvr_types::{Ipv4Prefix, RouterId};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, BTreeMap};
+use std::collections::{BTreeMap, BinaryHeap};
 
 /// A router link-state advertisement.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -53,7 +53,12 @@ impl OspfInstance {
     /// Creates an instance for router `me`. Call
     /// [`start`](OspfInstance::start) to originate the first LSA.
     pub fn new(me: RouterId) -> Self {
-        OspfInstance { me, seq: 0, lsdb: BTreeMap::new(), table: BTreeMap::new() }
+        OspfInstance {
+            me,
+            seq: 0,
+            lsdb: BTreeMap::new(),
+            table: BTreeMap::new(),
+        }
     }
 
     /// The router this instance runs on.
@@ -98,14 +103,18 @@ impl OspfInstance {
         links.sort();
         links.dedup_by_key(|e| e.0); // parallel links: keep cheapest-by-id
         let me = topo.router(self.me);
-        let mut stubs: Vec<(Ipv4Prefix, u32)> =
-            vec![(Ipv4Prefix::host(me.loopback), 0)];
+        let mut stubs: Vec<(Ipv4Prefix, u32)> = vec![(Ipv4Prefix::host(me.loopback), 0)];
         for iface in &me.ifaces {
             stubs.push((iface.subnet, 0));
         }
         stubs.sort();
         stubs.dedup();
-        Lsa { origin: self.me, seq: self.seq, links, stubs }
+        Lsa {
+            origin: self.me,
+            seq: self.seq,
+            links,
+            stubs,
+        }
     }
 
     /// Starts the instance: originates the initial LSA, floods it, and
@@ -170,7 +179,9 @@ impl OspfInstance {
             .collect();
         nbs.sort();
         nbs.dedup();
-        nbs.into_iter().map(|nb| (nb, OspfMsg::Flood(lsa.clone()))).collect()
+        nbs.into_iter()
+            .map(|nb| (nb, OspfMsg::Flood(lsa.clone())))
+            .collect()
     }
 
     /// SPF over the LSDB and table rebuild; returns deltas.
@@ -184,7 +195,9 @@ impl OspfInstance {
             nb_link.entry(nb).or_insert(l);
         }
         for (node, (d, first)) in &dist {
-            let Some(lsa) = self.lsdb.get(node) else { continue };
+            let Some(lsa) = self.lsdb.get(node) else {
+                continue;
+            };
             let next_hop = match first {
                 None => None,
                 // If the first-hop link vanished between origination and
@@ -208,7 +221,10 @@ impl OspfInstance {
         }
         let deltas: Vec<IgpDelta> = diff_tables(&self.table, &new_table);
         self.table = new_table;
-        IgpOutputs { msgs: Vec::new(), deltas }
+        IgpOutputs {
+            msgs: Vec::new(),
+            deltas,
+        }
     }
 
     /// Dijkstra over the LSDB with a bidirectionality check (an edge
@@ -228,7 +244,9 @@ impl OspfInstance {
                 Some((best, _)) if *best < d => continue,
                 _ => {}
             }
-            let Some(lsa) = self.lsdb.get(&node_id) else { continue };
+            let Some(lsa) = self.lsdb.get(&node_id) else {
+                continue;
+            };
             for (nb, cost) in &lsa.links {
                 // Bidirectional check: nb's LSA must list node back.
                 let back = self
@@ -246,7 +264,17 @@ impl OspfInstance {
                     Some((old, _)) => nd < *old,
                 };
                 if better {
-                    out.insert(*nb, (nd, if first == u32::MAX { None } else { Some(RouterId(first)) }));
+                    out.insert(
+                        *nb,
+                        (
+                            nd,
+                            if first == u32::MAX {
+                                None
+                            } else {
+                                Some(RouterId(first))
+                            },
+                        ),
+                    );
                     heap.push(Reverse((nd, nb.0, first)));
                 }
             }
@@ -295,8 +323,7 @@ mod tests {
     #[test]
     fn line_converges_to_shortest_paths() {
         let topo = shapes::line(4);
-        let mut insts: Vec<OspfInstance> =
-            topo.router_ids().map(OspfInstance::new).collect();
+        let mut insts: Vec<OspfInstance> = topo.router_ids().map(OspfInstance::new).collect();
         converge(&topo, &mut insts);
         // R1's metric to R4's loopback is 30 (3 hops * 10).
         assert_eq!(insts[0].metric_to(&topo, RouterId(3)), Some(30));
@@ -311,8 +338,7 @@ mod tests {
     #[test]
     fn all_pairs_reachable_on_ring() {
         let topo = shapes::ring(6);
-        let mut insts: Vec<OspfInstance> =
-            topo.router_ids().map(OspfInstance::new).collect();
+        let mut insts: Vec<OspfInstance> = topo.router_ids().map(OspfInstance::new).collect();
         converge(&topo, &mut insts);
         for a in topo.router_ids() {
             for b in topo.router_ids() {
@@ -329,8 +355,7 @@ mod tests {
     #[test]
     fn spf_matches_topology_dijkstra() {
         let topo = shapes::grid(3, 3);
-        let mut insts: Vec<OspfInstance> =
-            topo.router_ids().map(OspfInstance::new).collect();
+        let mut insts: Vec<OspfInstance> = topo.router_ids().map(OspfInstance::new).collect();
         converge(&topo, &mut insts);
         for src in topo.router_ids() {
             let truth = cpvr_topo::graph::dijkstra(&topo, src);
@@ -350,8 +375,7 @@ mod tests {
     #[test]
     fn link_failure_reroutes() {
         let mut topo = shapes::ring(4);
-        let mut insts: Vec<OspfInstance> =
-            topo.router_ids().map(OspfInstance::new).collect();
+        let mut insts: Vec<OspfInstance> = topo.router_ids().map(OspfInstance::new).collect();
         converge(&topo, &mut insts);
         assert_eq!(insts[0].metric_to(&topo, RouterId(1)), Some(10));
         // Fail R1—R2; both endpoints notice and re-originate.
@@ -367,7 +391,10 @@ mod tests {
         pump(&topo, &mut insts, queue);
         // Now the path R1→R2 goes around: 0→3→2→1 = 30.
         assert_eq!(insts[0].metric_to(&topo, RouterId(1)), Some(30));
-        assert_eq!(insts[0].next_hop_to(&topo, RouterId(1)).unwrap().0, RouterId(3));
+        assert_eq!(
+            insts[0].next_hop_to(&topo, RouterId(1)).unwrap().0,
+            RouterId(3)
+        );
     }
 
     #[test]
@@ -376,8 +403,7 @@ mod tests {
         // their old (now wrong) routes — the transient the paper's
         // verifier must reason about.
         let mut topo = shapes::line(3);
-        let mut insts: Vec<OspfInstance> =
-            topo.router_ids().map(OspfInstance::new).collect();
+        let mut insts: Vec<OspfInstance> = topo.router_ids().map(OspfInstance::new).collect();
         converge(&topo, &mut insts);
         let l = topo.link_between(RouterId(1), RouterId(2)).unwrap().id;
         topo.set_link_state(l, LinkState::Down);
@@ -393,8 +419,7 @@ mod tests {
     #[test]
     fn duplicate_lsa_is_not_reflooded() {
         let topo = shapes::line(2);
-        let mut insts: Vec<OspfInstance> =
-            topo.router_ids().map(OspfInstance::new).collect();
+        let mut insts: Vec<OspfInstance> = topo.router_ids().map(OspfInstance::new).collect();
         let out0 = insts[0].start(&topo);
         let (to, msg) = out0.msgs[0].clone();
         assert_eq!(to, RouterId(1));
@@ -410,8 +435,7 @@ mod tests {
     #[test]
     fn table_contains_connected_subnets() {
         let topo = shapes::line(2);
-        let mut insts: Vec<OspfInstance> =
-            topo.router_ids().map(OspfInstance::new).collect();
+        let mut insts: Vec<OspfInstance> = topo.router_ids().map(OspfInstance::new).collect();
         converge(&topo, &mut insts);
         let link_subnet = topo.links()[0].subnet;
         assert!(insts[0].table().contains_key(&link_subnet));

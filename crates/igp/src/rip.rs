@@ -44,7 +44,11 @@ pub struct RipInstance {
 impl RipInstance {
     /// Creates an instance for router `me`.
     pub fn new(me: RouterId) -> Self {
-        RipInstance { me, entries: BTreeMap::new(), table: BTreeMap::new() }
+        RipInstance {
+            me,
+            entries: BTreeMap::new(),
+            table: BTreeMap::new(),
+        }
     }
 
     /// The router this instance runs on.
@@ -62,10 +66,19 @@ impl RipInstance {
         let me = topo.router(self.me);
         self.entries.insert(
             Ipv4Prefix::host(me.loopback),
-            RipEntry { metric: 0, via: None },
+            RipEntry {
+                metric: 0,
+                via: None,
+            },
         );
         for iface in &me.ifaces {
-            self.entries.insert(iface.subnet, RipEntry { metric: 0, via: None });
+            self.entries.insert(
+                iface.subnet,
+                RipEntry {
+                    metric: 0,
+                    via: None,
+                },
+            );
         }
         let mut out = self.rebuild();
         out.msgs = self.advertisements(topo);
@@ -111,12 +124,11 @@ impl RipInstance {
             match self.entries.get(prefix) {
                 // Update from the current successor: always accept (it may
                 // be a poison / worsening).
-                Some(e) if e.via == via && e.metric < INFINITY => {
-                    if e.metric != metric {
-                        self.entries.insert(*prefix, RipEntry { metric, via });
-                        changed = true;
-                    }
+                Some(e) if e.via == via && e.metric < INFINITY && e.metric != metric => {
+                    self.entries.insert(*prefix, RipEntry { metric, via });
+                    changed = true;
                 }
+                Some(e) if e.via == via && e.metric < INFINITY => {}
                 // Better than what we have (tombstones count as INFINITY):
                 // switch.
                 Some(e) if metric < e.metric => {
@@ -142,7 +154,10 @@ impl RipInstance {
     /// Periodic refresh: re-advertise the full table (the simulator calls
     /// this on RIP's update timer).
     pub fn tick(&mut self, topo: &Topology) -> IgpOutputs<RipMsg> {
-        IgpOutputs { msgs: self.advertisements(topo), deltas: Vec::new() }
+        IgpOutputs {
+            msgs: self.advertisements(topo),
+            deltas: Vec::new(),
+        }
     }
 
     /// Builds per-neighbor advertisements with split horizon + poisoned
@@ -182,11 +197,22 @@ impl RipInstance {
             .entries
             .iter()
             .filter(|(_, e)| e.metric < INFINITY)
-            .map(|(p, e)| (*p, IgpRoute { metric: e.metric, next_hop: e.via }))
+            .map(|(p, e)| {
+                (
+                    *p,
+                    IgpRoute {
+                        metric: e.metric,
+                        next_hop: e.via,
+                    },
+                )
+            })
             .collect();
         let deltas = diff_tables(&self.table, &new_table);
         self.table = new_table;
-        IgpOutputs { msgs: Vec::new(), deltas }
+        IgpOutputs {
+            msgs: Vec::new(),
+            deltas,
+        }
     }
 }
 
@@ -280,7 +306,9 @@ mod tests {
         let topo = shapes::line(2);
         let mut a = RipInstance::new(RouterId(0));
         let _ = a.start(&topo);
-        let msg = RipMsg { routes: vec![("99.0.0.0/8".parse().unwrap(), 15)] };
+        let msg = RipMsg {
+            routes: vec![("99.0.0.0/8".parse().unwrap(), 15)],
+        };
         let out = a.recv(&topo, RouterId(1), msg);
         assert!(out.deltas.is_empty());
         assert!(!a.table().contains_key(&"99.0.0.0/8".parse().unwrap()));
@@ -292,14 +320,32 @@ mod tests {
         let mut a = RipInstance::new(RouterId(0));
         let _ = a.start(&topo);
         let p: Ipv4Prefix = "99.0.0.0/8".parse().unwrap();
-        let _ = a.recv(&topo, RouterId(1), RipMsg { routes: vec![(p, 5)] });
+        let _ = a.recv(
+            &topo,
+            RouterId(1),
+            RipMsg {
+                routes: vec![(p, 5)],
+            },
+        );
         assert_eq!(a.table()[&p].metric, 6);
         // Worse offer from another neighbor: ignored.
-        let _ = a.recv(&topo, RouterId(2), RipMsg { routes: vec![(p, 9)] });
+        let _ = a.recv(
+            &topo,
+            RouterId(2),
+            RipMsg {
+                routes: vec![(p, 9)],
+            },
+        );
         assert_eq!(a.table()[&p].metric, 6);
         assert_eq!(a.table()[&p].next_hop.unwrap().0, RouterId(1));
         // Better offer: switch.
-        let _ = a.recv(&topo, RouterId(2), RipMsg { routes: vec![(p, 2)] });
+        let _ = a.recv(
+            &topo,
+            RouterId(2),
+            RipMsg {
+                routes: vec![(p, 2)],
+            },
+        );
         assert_eq!(a.table()[&p].metric, 3);
         assert_eq!(a.table()[&p].next_hop.unwrap().0, RouterId(2));
     }
@@ -310,10 +356,26 @@ mod tests {
         let mut a = RipInstance::new(RouterId(0));
         let _ = a.start(&topo);
         let p: Ipv4Prefix = "99.0.0.0/8".parse().unwrap();
-        let _ = a.recv(&topo, RouterId(1), RipMsg { routes: vec![(p, 2)] });
+        let _ = a.recv(
+            &topo,
+            RouterId(1),
+            RipMsg {
+                routes: vec![(p, 2)],
+            },
+        );
         assert_eq!(a.table()[&p].metric, 3);
-        let _ = a.recv(&topo, RouterId(1), RipMsg { routes: vec![(p, 7)] });
-        assert_eq!(a.table()[&p].metric, 8, "current successor may worsen the route");
+        let _ = a.recv(
+            &topo,
+            RouterId(1),
+            RipMsg {
+                routes: vec![(p, 7)],
+            },
+        );
+        assert_eq!(
+            a.table()[&p].metric,
+            8,
+            "current successor may worsen the route"
+        );
     }
 
     #[test]
@@ -322,9 +384,21 @@ mod tests {
         let mut a = RipInstance::new(RouterId(0));
         let _ = a.start(&topo);
         let p: Ipv4Prefix = "99.0.0.0/8".parse().unwrap();
-        let _ = a.recv(&topo, RouterId(1), RipMsg { routes: vec![(p, 2)] });
+        let _ = a.recv(
+            &topo,
+            RouterId(1),
+            RipMsg {
+                routes: vec![(p, 2)],
+            },
+        );
         assert!(a.table().contains_key(&p));
-        let out = a.recv(&topo, RouterId(1), RipMsg { routes: vec![(p, INFINITY)] });
+        let out = a.recv(
+            &topo,
+            RouterId(1),
+            RipMsg {
+                routes: vec![(p, INFINITY)],
+            },
+        );
         assert!(!a.table().contains_key(&p));
         // The triggered update must carry the poison onward.
         let poisons: Vec<u32> = out
@@ -363,7 +437,9 @@ mod tests {
         let out = a.recv(
             &topo,
             RouterId(1),
-            RipMsg { routes: vec![("99.0.0.0/8".parse().unwrap(), 1)] },
+            RipMsg {
+                routes: vec![("99.0.0.0/8".parse().unwrap(), 1)],
+            },
         );
         assert!(out.msgs.is_empty());
         assert!(out.deltas.is_empty());

@@ -17,8 +17,8 @@ use cpvr_topo::{ExtPeerId, LinkId, LinkState, Topology};
 use cpvr_types::{Ipv4Prefix, RouterId, SimTime};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::collections::BinaryHeap;
 use std::collections::BTreeMap;
+use std::collections::BinaryHeap;
 
 /// Decides whether a FIB update may reach the hardware. Returning `false`
 /// blocks it: the control plane believes the update happened, the data
@@ -70,7 +70,10 @@ enum SimEvent {
         withdraw_causes: Vec<Option<EventId>>,
     },
     /// An operator enters a configuration change (e.g. on the console).
-    ConfigEntered { router: RouterId, change: ConfigChange },
+    ConfigEntered {
+        router: RouterId,
+        change: ConfigChange,
+    },
     /// The control plane begins applying a previously entered change
     /// (soft reconfiguration).
     ApplyConfig {
@@ -100,7 +103,14 @@ pub struct Simulation {
     trace: Trace,
     fib_gate: Option<FibGate>,
     blocked: Vec<FibUpdate>,
+    sink: Option<EventSink>,
 }
+
+/// A callback invoked for every captured I/O event, at the moment it is
+/// recorded. This is the streaming tap incremental consumers (an HBG
+/// builder, a consistency tracker) attach so they never have to re-scan
+/// the trace.
+pub type EventSink = Box<dyn FnMut(&IoEvent)>;
 
 impl Simulation {
     /// Builds a simulation. `configs[i]` configures router `i`; the
@@ -132,7 +142,21 @@ impl Simulation {
             trace: Trace::default(),
             fib_gate: None,
             blocked: Vec::new(),
+            sink: None,
         }
+    }
+
+    /// Installs a callback that observes every subsequently captured
+    /// event (replacing any previous sink). Events already in the trace
+    /// are not replayed; seed the consumer from
+    /// [`trace`](Self::trace) first if it needs history.
+    pub fn set_event_sink(&mut self, sink: EventSink) {
+        self.sink = Some(sink);
+    }
+
+    /// Removes the event sink, if any, and returns it.
+    pub fn clear_event_sink(&mut self) -> Option<EventSink> {
+        self.sink.take()
     }
 
     // ---- accessors ------------------------------------------------------
@@ -196,7 +220,11 @@ impl Simulation {
             let root = self.emit(
                 rid,
                 now,
-                IoKind::ConfigChange { desc: format!("start {} instance", self.routers[r].igp.proto()), change: None, inverse: None },
+                IoKind::ConfigChange {
+                    desc: format!("start {} instance", self.routers[r].igp.proto()),
+                    change: None,
+                    inverse: None,
+                },
                 &[],
             );
             let out = self.routers[r].igp.start(&self.topo);
@@ -225,7 +253,10 @@ impl Simulation {
             SimEvent::DeliverBgp {
                 from: PeerRef::External(peer),
                 to: router,
-                update: BgpUpdate { announce, withdraw: vec![] },
+                update: BgpUpdate {
+                    announce,
+                    withdraw: vec![],
+                },
                 announce_causes: vec![None; n],
                 withdraw_causes: vec![],
             },
@@ -244,7 +275,10 @@ impl Simulation {
             SimEvent::DeliverBgp {
                 from: PeerRef::External(peer),
                 to: router,
-                update: BgpUpdate { announce: vec![], withdraw },
+                update: BgpUpdate {
+                    announce: vec![],
+                    withdraw,
+                },
                 announce_causes: vec![],
                 withdraw_causes: vec![None; n],
             },
@@ -301,10 +335,25 @@ impl Simulation {
     // ---- internals ------------------------------------------------------
 
     /// Captures one I/O event and its truth edges; returns the new id.
-    fn emit(&mut self, router: RouterId, time: SimTime, kind: IoKind, parents: &[EventId]) -> EventId {
+    fn emit(
+        &mut self,
+        router: RouterId,
+        time: SimTime,
+        kind: IoKind,
+        parents: &[EventId],
+    ) -> EventId {
         let id = EventId(self.trace.events.len() as u32);
         let arrived_at = self.capture.sample(time, &mut self.rng);
-        self.trace.events.push(IoEvent { id, router, time, arrived_at, kind });
+        self.trace.events.push(IoEvent {
+            id,
+            router,
+            time,
+            arrived_at,
+            kind,
+        });
+        if let Some(sink) = &mut self.sink {
+            sink(self.trace.events.last().expect("just pushed"));
+        }
         for p in parents {
             self.trace.truth_edges.push((*p, id));
         }
@@ -313,12 +362,21 @@ impl Simulation {
 
     fn dispatch(&mut self, ev: SimEvent, t: SimTime) {
         match ev {
-            SimEvent::DeliverIgp { from, to, msg, causes } => {
+            SimEvent::DeliverIgp {
+                from,
+                to,
+                msg,
+                causes,
+            } => {
                 let proto = self.routers[to.index()].igp.proto();
                 let mut recv_ids = Vec::new();
                 for (prefix, is_withdraw) in msg.captured_prefixes() {
                     let kind = if is_withdraw {
-                        IoKind::RecvWithdraw { proto, prefix, from: Some(PeerRef::Internal(from)) }
+                        IoKind::RecvWithdraw {
+                            proto,
+                            prefix,
+                            from: Some(PeerRef::Internal(from)),
+                        }
                     } else {
                         IoKind::RecvAdvert {
                             proto,
@@ -332,7 +390,13 @@ impl Simulation {
                 let out = self.routers[to.index()].igp.recv(&self.topo, from, msg);
                 self.process_igp_outputs(to, t, out, recv_ids);
             }
-            SimEvent::DeliverBgp { from, to, update, announce_causes, withdraw_causes } => {
+            SimEvent::DeliverBgp {
+                from,
+                to,
+                update,
+                announce_causes,
+                withdraw_causes,
+            } => {
                 // Emit recv events, tracking parents per prefix.
                 let mut parents: BTreeMap<Ipv4Prefix, Vec<EventId>> = BTreeMap::new();
                 for (i, (prefix, _orig)) in update.withdraw.iter().enumerate() {
@@ -340,7 +404,11 @@ impl Simulation {
                     let id = self.emit(
                         to,
                         t,
-                        IoKind::RecvWithdraw { proto: Proto::Bgp, prefix: Some(*prefix), from: Some(from) },
+                        IoKind::RecvWithdraw {
+                            proto: Proto::Bgp,
+                            prefix: Some(*prefix),
+                            from: Some(from),
+                        },
                         cause.as_slice(),
                     );
                     parents.entry(*prefix).or_default().push(id);
@@ -382,13 +450,26 @@ impl Simulation {
                     &[],
                 );
                 let delay = self.latency.config_apply.sample(&mut self.rng);
-                self.push(t + delay, SimEvent::ApplyConfig { router, change, cause: Some(id) });
+                self.push(
+                    t + delay,
+                    SimEvent::ApplyConfig {
+                        router,
+                        change,
+                        cause: Some(id),
+                    },
+                );
             }
-            SimEvent::ApplyConfig { router, change, cause } => {
+            SimEvent::ApplyConfig {
+                router,
+                change,
+                cause,
+            } => {
                 let soft = self.emit(
                     router,
                     t,
-                    IoKind::SoftReconfig { desc: change.to_string() },
+                    IoKind::SoftReconfig {
+                        desc: change.to_string(),
+                    },
                     cause.as_slice(),
                 );
                 let out = {
@@ -480,8 +561,15 @@ impl Simulation {
         let had_deltas = !out.deltas.is_empty();
         for d in &out.deltas {
             let kind = match d.route {
-                Some(_) => IoKind::RibInstall { proto, prefix: d.prefix, route: None },
-                None => IoKind::RibRemove { proto, prefix: d.prefix },
+                Some(_) => IoKind::RibInstall {
+                    proto,
+                    prefix: d.prefix,
+                    route: None,
+                },
+                None => IoKind::RibRemove {
+                    proto,
+                    prefix: d.prefix,
+                },
             };
             let id = self.emit(router, t_rib, kind, &parents);
             rib_ids.insert(d.prefix, id);
@@ -494,7 +582,13 @@ impl Simulation {
                         None => FibAction::Local,
                         Some((_, link)) => FibAction::Forward(link),
                     };
-                    (IoKind::FibInstall { prefix: d.prefix, action }, Some(action))
+                    (
+                        IoKind::FibInstall {
+                            prefix: d.prefix,
+                            action,
+                        },
+                        Some(action),
+                    )
                 }
                 None => (IoKind::FibRemove { prefix: d.prefix }, None),
             };
@@ -503,7 +597,11 @@ impl Simulation {
             let update = FibUpdate {
                 router,
                 prefix: d.prefix,
-                kind: if action.is_some() { UpdateKind::Install } else { UpdateKind::Remove },
+                kind: if action.is_some() {
+                    UpdateKind::Install
+                } else {
+                    UpdateKind::Remove
+                },
                 action: action.unwrap_or(FibAction::Drop),
                 at: t_fib,
             };
@@ -518,22 +616,40 @@ impl Simulation {
                 // Parent: the RIB (or FIB for EIGRP) event for this
                 // prefix when one exists, otherwise the batch parents.
                 let own: Vec<EventId> = match prefix.and_then(|p| {
-                    if after_fib { fib_ids.get(&p) } else { rib_ids.get(&p) }
+                    if after_fib {
+                        fib_ids.get(&p)
+                    } else {
+                        rib_ids.get(&p)
+                    }
                 }) {
                     Some(id) => vec![*id],
                     None => parents.clone(),
                 };
                 let kind = if is_withdraw {
-                    IoKind::SendWithdraw { proto, prefix, to: Some(PeerRef::Internal(to)) }
+                    IoKind::SendWithdraw {
+                        proto,
+                        prefix,
+                        to: Some(PeerRef::Internal(to)),
+                    }
                 } else {
-                    IoKind::SendAdvert { proto, prefix, to: Some(PeerRef::Internal(to)), route: None }
+                    IoKind::SendAdvert {
+                        proto,
+                        prefix,
+                        to: Some(PeerRef::Internal(to)),
+                        route: None,
+                    }
                 };
                 send_ids.push(self.emit(router, t_send, kind, &own));
             }
             let prop = self.latency.link_prop.sample(&mut self.rng);
             self.push(
                 t_send + prop,
-                SimEvent::DeliverIgp { from: router, to, msg, causes: send_ids },
+                SimEvent::DeliverIgp {
+                    from: router,
+                    to,
+                    msg,
+                    causes: send_ids,
+                },
             );
         }
         // IGP table changed → BGP must re-resolve next hops.
@@ -579,7 +695,10 @@ impl Simulation {
                     prefix: c.prefix,
                     route: Some(r.clone()),
                 },
-                None => IoKind::RibRemove { proto: Proto::Bgp, prefix: c.prefix },
+                None => IoKind::RibRemove {
+                    proto: Proto::Bgp,
+                    prefix: c.prefix,
+                },
             };
             let id = self.emit(router, t_rib, kind, &parents);
             rib_ids.insert(c.prefix, id);
@@ -591,14 +710,21 @@ impl Simulation {
                 None => lookup(c.prefix, parents_by_prefix),
             };
             let kind = match c.action {
-                Some(a) => IoKind::FibInstall { prefix: c.prefix, action: a },
+                Some(a) => IoKind::FibInstall {
+                    prefix: c.prefix,
+                    action: a,
+                },
                 None => IoKind::FibRemove { prefix: c.prefix },
             };
             let _fid = self.emit(router, t_fib, kind, &parents);
             let update = FibUpdate {
                 router,
                 prefix: c.prefix,
-                kind: if c.action.is_some() { UpdateKind::Install } else { UpdateKind::Remove },
+                kind: if c.action.is_some() {
+                    UpdateKind::Install
+                } else {
+                    UpdateKind::Remove
+                },
                 action: c.action.unwrap_or(FibAction::Drop),
                 at: t_fib,
             };
@@ -617,7 +743,11 @@ impl Simulation {
                 let id = self.emit(
                     router,
                     t_send,
-                    IoKind::SendWithdraw { proto: Proto::Bgp, prefix: Some(*prefix), to: Some(peer) },
+                    IoKind::SendWithdraw {
+                        proto: Proto::Bgp,
+                        prefix: Some(*prefix),
+                        to: Some(peer),
+                    },
                     &parents,
                 );
                 withdraw_causes.push(Some(id));

@@ -12,7 +12,7 @@ use cpvr_types::{Ipv4Prefix, RouterId, SimTime};
 use std::fmt;
 
 /// Index of an event in its [`Trace`].
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct EventId(pub u32);
 
 impl EventId {
@@ -35,7 +35,7 @@ impl fmt::Debug for EventId {
 }
 
 /// Which protocol an event belongs to.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug, Hash)]
 pub enum Proto {
     /// Border Gateway Protocol.
     Bgp,
@@ -71,7 +71,7 @@ impl fmt::Display for Proto {
 /// and the routes it produces.
 ///
 /// [`SoftReconfig`]: IoKind::SoftReconfig
-#[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum IoKind {
     /// Input: a configuration change was entered (e.g. on the console).
     ConfigChange {
@@ -225,24 +225,42 @@ impl IoKind {
             IoKind::ConfigChange { desc, .. } => format!("config: {desc}"),
             IoKind::SoftReconfig { desc } => format!("soft-reconfig: {desc}"),
             IoKind::LinkStatus { desc, .. } => format!("link: {desc}"),
-            IoKind::RecvAdvert { proto, prefix, from, .. } => format!(
+            IoKind::RecvAdvert {
+                proto,
+                prefix,
+                from,
+                ..
+            } => format!(
                 "recv {proto} advert {} from {}",
                 opt_pfx(prefix),
                 opt_disp(from)
             ),
-            IoKind::RecvWithdraw { proto, prefix, from } => format!(
+            IoKind::RecvWithdraw {
+                proto,
+                prefix,
+                from,
+            } => format!(
                 "recv {proto} withdraw {} from {}",
                 opt_pfx(prefix),
                 opt_disp(from)
             ),
-            IoKind::RibInstall { proto, prefix, route } => match route {
-                Some(r) => format!("install {prefix} LP={} via {} in {proto} RIB", r.local_pref, r.next_hop),
+            IoKind::RibInstall {
+                proto,
+                prefix,
+                route,
+            } => match route {
+                Some(r) => format!(
+                    "install {prefix} LP={} via {} in {proto} RIB",
+                    r.local_pref, r.next_hop
+                ),
                 None => format!("install {prefix} in {proto} RIB"),
             },
             IoKind::RibRemove { proto, prefix } => format!("remove {prefix} from {proto} RIB"),
             IoKind::FibInstall { prefix, action } => format!("install {prefix} -> {action} in FIB"),
             IoKind::FibRemove { prefix } => format!("remove {prefix} from FIB"),
-            IoKind::SendAdvert { proto, prefix, to, .. } => format!(
+            IoKind::SendAdvert {
+                proto, prefix, to, ..
+            } => format!(
                 "send {proto} advert {} to {}",
                 opt_pfx(prefix),
                 opt_disp(to)
@@ -271,7 +289,7 @@ fn opt_disp<T: fmt::Display>(v: &Option<T>) -> String {
 }
 
 /// One captured control-plane I/O.
-#[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct IoEvent {
     /// Capture id (index in the trace).
     pub id: EventId,
@@ -288,14 +306,21 @@ pub struct IoEvent {
 
 impl fmt::Display for IoEvent {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "[{} @{}] {} {}", self.id, self.time, self.router, self.kind.label())
+        write!(
+            f,
+            "[{} @{}] {} {}",
+            self.id,
+            self.time,
+            self.router,
+            self.kind.label()
+        )
     }
 }
 
 /// The full capture of a run: every I/O event plus the simulator's
 /// ground-truth causal edges (used only for evaluating inference, never by
 /// the inference itself).
-#[derive(Clone, Debug, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct Trace {
     /// All events; `events[i].id == EventId(i)`.
     pub events: Vec<IoEvent>,
@@ -450,8 +475,15 @@ impl Trace {
             counts[idx] += 1;
         }
         const LABELS: [&str; 9] = [
-            "config", "soft-reconfig", "link-status", "recv-advert", "recv-withdraw",
-            "rib", "fib", "send-advert", "send-withdraw",
+            "config",
+            "soft-reconfig",
+            "link-status",
+            "recv-advert",
+            "recv-withdraw",
+            "rib",
+            "fib",
+            "send-advert",
+            "send-withdraw",
         ];
         LABELS.iter().copied().zip(counts).collect()
     }
@@ -488,15 +520,30 @@ mod tests {
 
     #[test]
     fn kind_classification() {
-        assert!(IoKind::ConfigChange { desc: "x".into(), change: None, inverse: None }.is_input());
-        assert!(!IoKind::FibRemove { prefix: pfx("8.8.8.0/24") }.is_input());
+        assert!(IoKind::ConfigChange {
+            desc: "x".into(),
+            change: None,
+            inverse: None
+        }
+        .is_input());
+        assert!(!IoKind::FibRemove {
+            prefix: pfx("8.8.8.0/24")
+        }
+        .is_input());
         assert_eq!(
-            IoKind::FibRemove { prefix: pfx("8.8.8.0/24") }.prefix(),
+            IoKind::FibRemove {
+                prefix: pfx("8.8.8.0/24")
+            }
+            .prefix(),
             Some(pfx("8.8.8.0/24"))
         );
         assert_eq!(IoKind::SoftReconfig { desc: "x".into() }.prefix(), None);
         assert_eq!(
-            IoKind::RibRemove { proto: Proto::Bgp, prefix: pfx("8.8.8.0/24") }.proto(),
+            IoKind::RibRemove {
+                proto: Proto::Bgp,
+                prefix: pfx("8.8.8.0/24")
+            }
+            .proto(),
             Some(Proto::Bgp)
         );
     }
@@ -504,8 +551,10 @@ mod tests {
     #[test]
     fn trace_time_ordering() {
         let mut tr = Trace::default();
-        tr.events.push(ev(0, 0, 10, IoKind::SoftReconfig { desc: "a".into() }));
-        tr.events.push(ev(1, 1, 5, IoKind::SoftReconfig { desc: "b".into() }));
+        tr.events
+            .push(ev(0, 0, 10, IoKind::SoftReconfig { desc: "a".into() }));
+        tr.events
+            .push(ev(1, 1, 5, IoKind::SoftReconfig { desc: "b".into() }));
         let order: Vec<u32> = tr.by_time().iter().map(|e| e.id.0).collect();
         assert_eq!(order, vec![1, 0]);
     }
@@ -513,11 +562,13 @@ mod tests {
     #[test]
     fn arrived_by_respects_loss_and_delay() {
         let mut tr = Trace::default();
-        tr.events.push(ev(0, 0, 10, IoKind::SoftReconfig { desc: "a".into() }));
+        tr.events
+            .push(ev(0, 0, 10, IoKind::SoftReconfig { desc: "a".into() }));
         let mut lost = ev(1, 0, 12, IoKind::SoftReconfig { desc: "b".into() });
         lost.arrived_at = None;
         tr.events.push(lost);
-        tr.events.push(ev(2, 0, 100, IoKind::SoftReconfig { desc: "c".into() }));
+        tr.events
+            .push(ev(2, 0, 100, IoKind::SoftReconfig { desc: "c".into() }));
         let got: Vec<u32> = tr
             .arrived_by(SimTime::from_millis(50))
             .iter()
@@ -530,8 +581,24 @@ mod tests {
     fn snapshot_applies_cutoffs_per_router() {
         let mut tr = Trace::default();
         let act = FibAction::Forward(LinkId(0));
-        tr.events.push(ev(0, 0, 10, IoKind::FibInstall { prefix: pfx("8.8.8.0/24"), action: act }));
-        tr.events.push(ev(1, 1, 20, IoKind::FibInstall { prefix: pfx("8.8.8.0/24"), action: act }));
+        tr.events.push(ev(
+            0,
+            0,
+            10,
+            IoKind::FibInstall {
+                prefix: pfx("8.8.8.0/24"),
+                action: act,
+            },
+        ));
+        tr.events.push(ev(
+            1,
+            1,
+            20,
+            IoKind::FibInstall {
+                prefix: pfx("8.8.8.0/24"),
+                action: act,
+            },
+        ));
         // Cut router 0 at 15ms (sees its install), router 1 at 15ms (does
         // not).
         let dp = tr.fib_snapshot(&[SimTime::from_millis(15), SimTime::from_millis(15)]);
@@ -546,8 +613,23 @@ mod tests {
     fn snapshot_applies_removals() {
         let mut tr = Trace::default();
         let act = FibAction::Forward(LinkId(0));
-        tr.events.push(ev(0, 0, 10, IoKind::FibInstall { prefix: pfx("8.8.8.0/24"), action: act }));
-        tr.events.push(ev(1, 0, 20, IoKind::FibRemove { prefix: pfx("8.8.8.0/24") }));
+        tr.events.push(ev(
+            0,
+            0,
+            10,
+            IoKind::FibInstall {
+                prefix: pfx("8.8.8.0/24"),
+                action: act,
+            },
+        ));
+        tr.events.push(ev(
+            1,
+            0,
+            20,
+            IoKind::FibRemove {
+                prefix: pfx("8.8.8.0/24"),
+            },
+        ));
         let dp = tr.fib_snapshot_at(1, SimTime::from_millis(30));
         assert_eq!(dp.fib(RouterId(0)).len(), 0);
     }
@@ -556,7 +638,14 @@ mod tests {
     fn truth_ancestors_transitive() {
         let mut tr = Trace::default();
         for i in 0..4 {
-            tr.events.push(ev(i, 0, i as u64, IoKind::SoftReconfig { desc: String::new() }));
+            tr.events.push(ev(
+                i,
+                0,
+                i as u64,
+                IoKind::SoftReconfig {
+                    desc: String::new(),
+                },
+            ));
         }
         tr.truth_edges.push((EventId(0), EventId(1)));
         tr.truth_edges.push((EventId(1), EventId(2)));
@@ -588,12 +677,25 @@ mod tests {
     #[test]
     fn stats_count_event_classes() {
         let mut tr = Trace::default();
-        tr.events.push(ev(0, 0, 1, IoKind::SoftReconfig { desc: "a".into() }));
-        tr.events.push(ev(1, 0, 2, IoKind::FibRemove { prefix: pfx("8.8.8.0/24") }));
-        tr.events.push(ev(2, 0, 3, IoKind::FibInstall {
-            prefix: pfx("8.8.8.0/24"),
-            action: FibAction::Drop,
-        }));
+        tr.events
+            .push(ev(0, 0, 1, IoKind::SoftReconfig { desc: "a".into() }));
+        tr.events.push(ev(
+            1,
+            0,
+            2,
+            IoKind::FibRemove {
+                prefix: pfx("8.8.8.0/24"),
+            },
+        ));
+        tr.events.push(ev(
+            2,
+            0,
+            3,
+            IoKind::FibInstall {
+                prefix: pfx("8.8.8.0/24"),
+                action: FibAction::Drop,
+            },
+        ));
         let stats = tr.stats();
         let get = |label: &str| stats.iter().find(|(l, _)| *l == label).unwrap().1;
         assert_eq!(get("soft-reconfig"), 1);
@@ -602,3 +704,35 @@ mod tests {
         assert_eq!(stats.iter().map(|(_, c)| c).sum::<usize>(), 3);
     }
 }
+
+cpvr_types::impl_json_newtype!(crate::io, EventId);
+cpvr_types::impl_json_enum!(Proto {
+    Bgp,
+    Ospf,
+    Rip,
+    Eigrp,
+});
+cpvr_types::impl_json_enum!(IoKind {
+    ConfigChange { desc, change, inverse },
+    SoftReconfig { desc },
+    LinkStatus { desc, up, link, peer },
+    RecvAdvert { proto, prefix, from, route },
+    RecvWithdraw { proto, prefix, from },
+    RibInstall { proto, prefix, route },
+    RibRemove { proto, prefix },
+    FibInstall { prefix, action },
+    FibRemove { prefix },
+    SendAdvert { proto, prefix, to, route },
+    SendWithdraw { proto, prefix, to },
+});
+cpvr_types::impl_json_struct!(IoEvent {
+    id,
+    router,
+    time,
+    arrived_at,
+    kind,
+});
+cpvr_types::impl_json_struct!(Trace {
+    events,
+    truth_edges
+});

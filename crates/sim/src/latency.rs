@@ -26,7 +26,10 @@ pub struct Delay {
 impl Delay {
     /// A constant (jitter-free) delay.
     pub const fn fixed(t: SimTime) -> Self {
-        Delay { base: t, jitter: SimTime::ZERO }
+        Delay {
+            base: t,
+            jitter: SimTime::ZERO,
+        }
     }
 
     /// Samples the delay.
@@ -118,7 +121,10 @@ pub struct CaptureProfile {
 impl CaptureProfile {
     /// Instant, lossless capture — the idealized setting.
     pub fn ideal() -> Self {
-        CaptureProfile { delay: Delay::fixed(SimTime::ZERO), loss: 0.0 }
+        CaptureProfile {
+            delay: Delay::fixed(SimTime::ZERO),
+            loss: 0.0,
+        }
     }
 
     /// Syslog-ish capture: tens of milliseconds of skew, no loss.
@@ -134,7 +140,10 @@ impl CaptureProfile {
 
     /// Lossy capture for stress experiments.
     pub fn lossy(loss: f64) -> Self {
-        CaptureProfile { delay: CaptureProfile::syslog().delay, loss }
+        CaptureProfile {
+            delay: CaptureProfile::syslog().delay,
+            loss,
+        }
     }
 
     /// Samples the arrival time at the verifier for an event at `t`;
@@ -165,16 +174,25 @@ mod tests {
     #[test]
     fn jittered_delay_stays_in_bounds() {
         let mut rng = StdRng::seed_from_u64(2);
-        let d = Delay { base: SimTime::from_millis(8), jitter: SimTime::from_millis(2) };
+        let d = Delay {
+            base: SimTime::from_millis(8),
+            jitter: SimTime::from_millis(2),
+        };
         for _ in 0..1000 {
             let s = d.sample(&mut rng);
-            assert!(s >= SimTime::from_millis(6) && s <= SimTime::from_millis(10), "{s}");
+            assert!(
+                s >= SimTime::from_millis(6) && s <= SimTime::from_millis(10),
+                "{s}"
+            );
         }
     }
 
     #[test]
     fn deterministic_given_seed() {
-        let d = Delay { base: SimTime::from_millis(8), jitter: SimTime::from_millis(2) };
+        let d = Delay {
+            base: SimTime::from_millis(8),
+            jitter: SimTime::from_millis(2),
+        };
         let seq1: Vec<SimTime> = {
             let mut rng = StdRng::seed_from_u64(42);
             (0..20).map(|_| d.sample(&mut rng)).collect()

@@ -39,7 +39,7 @@ pub mod router;
 pub mod scenario;
 pub mod workload;
 
-pub use engine::{FibGate, Simulation};
+pub use engine::{EventSink, FibGate, Simulation};
 pub use io::{EventId, IoEvent, IoKind, Proto, Trace};
 pub use latency::{CaptureProfile, LatencyProfile};
 pub use router::{IgpKind, RouterConfig};

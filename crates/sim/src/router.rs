@@ -213,7 +213,10 @@ mod tests {
             assert_eq!(r.proto(), proto);
             assert_eq!(r.adverts_after_fib(), after_fib);
             let out = r.start(&topo);
-            assert!(!out.deltas.is_empty(), "{kind:?} must install local prefixes");
+            assert!(
+                !out.deltas.is_empty(),
+                "{kind:?} must install local prefixes"
+            );
             assert!(!r.table().is_empty());
         }
     }
@@ -223,11 +226,7 @@ mod tests {
         let topo = shapes::line(2);
         let mut r = IgpRunner::new(IgpKind::Ospf, RouterId(0));
         let _ = r.start(&topo);
-        let out = r.recv(
-            &topo,
-            RouterId(1),
-            IgpMsg::Rip(RipMsg { routes: vec![] }),
-        );
+        let out = r.recv(&topo, RouterId(1), IgpMsg::Rip(RipMsg { routes: vec![] }));
         assert!(out.msgs.is_empty() && out.deltas.is_empty());
     }
 
@@ -248,13 +247,19 @@ mod tests {
         let view = IgpTableView::new(a.table(), &topo);
         assert_eq!(view.metric_to(RouterId(1)), Some(10));
         assert_eq!(view.next_hop_to(RouterId(1)).unwrap().0, RouterId(1));
-        assert_eq!(view.metric_to(RouterId(0)), Some(0), "self loopback is local");
+        assert_eq!(
+            view.metric_to(RouterId(0)),
+            Some(0),
+            "self loopback is local"
+        );
     }
 
     #[test]
     fn captured_prefixes_classify_withdrawals() {
         let p: Ipv4Prefix = "10.0.0.0/8".parse().unwrap();
-        let m = IgpMsg::Rip(RipMsg { routes: vec![(p, 3), (p, cpvr_igp::rip::INFINITY)] });
+        let m = IgpMsg::Rip(RipMsg {
+            routes: vec![(p, 3), (p, cpvr_igp::rip::INFINITY)],
+        });
         let got = m.captured_prefixes();
         assert_eq!(got, vec![(Some(p), false), (Some(p), true)]);
         let q = IgpMsg::Eigrp(EigrpMsg::Query { prefix: p });

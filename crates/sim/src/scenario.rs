@@ -3,7 +3,7 @@
 use crate::engine::Simulation;
 use crate::latency::{CaptureProfile, LatencyProfile};
 use crate::router::{IgpKind, RouterConfig};
-use cpvr_bgp::{BgpConfig, RouteMap, SessionCfg, SetAction, PeerRef, VendorProfile};
+use cpvr_bgp::{BgpConfig, PeerRef, RouteMap, SessionCfg, SetAction, VendorProfile};
 use cpvr_topo::builder::shapes;
 use cpvr_topo::ExtPeerId;
 use cpvr_types::{AsNum, Ipv4Prefix, RouterId};
@@ -48,7 +48,8 @@ pub fn paper_scenario_with_igp(
         bgp.vendor = VendorProfile::Cisco;
         for other in 0..3u32 {
             if other != r {
-                bgp.sessions.push(SessionCfg::new(PeerRef::Internal(RouterId(other))));
+                bgp.sessions
+                    .push(SessionCfg::new(PeerRef::Internal(RouterId(other))));
             }
         }
         configs.push(RouterConfig { bgp, igp });
@@ -94,10 +95,14 @@ pub fn two_exit_scenario(
         let mut bgp = BgpConfig::new(RouterId(r), asn);
         for other in 0..n as u32 {
             if other != r {
-                bgp.sessions.push(SessionCfg::new(PeerRef::Internal(RouterId(other))));
+                bgp.sessions
+                    .push(SessionCfg::new(PeerRef::Internal(RouterId(other))));
             }
         }
-        configs.push(RouterConfig { bgp, igp: IgpKind::Ospf });
+        configs.push(RouterConfig {
+            bgp,
+            igp: IgpKind::Ospf,
+        });
     }
     configs[0].bgp.sessions.push(SessionCfg {
         peer: PeerRef::External(left),
@@ -117,26 +122,6 @@ pub fn two_exit_scenario(
     });
     let sim = Simulation::new(topo, configs, latency, capture, seed);
     (sim, left, right)
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn paper_scenario_shape() {
-        let s = paper_scenario(LatencyProfile::fast(), CaptureProfile::ideal(), 1);
-        assert_eq!(s.sim.topology().num_routers(), 3);
-        assert_eq!(s.sim.topology().num_ext_peers(), 2);
-        assert_eq!(s.prefix.to_string(), "8.8.8.0/24");
-    }
-
-    #[test]
-    fn two_exit_scales() {
-        let (sim, l, r) = two_exit_scenario(8, LatencyProfile::fast(), CaptureProfile::ideal(), 1);
-        assert_eq!(sim.topology().num_routers(), 8);
-        assert_ne!(l, r);
-    }
 }
 
 /// A two-AS inter-domain scenario: AS 65000 (R1—R2) peers with AS 65001
@@ -181,7 +166,29 @@ pub fn two_as_scenario(
     c3.bgp.sessions.push(SessionCfg::ebgp_to_router(r2));
     let mut c4 = mk(r4, as_b);
     c4.bgp.sessions.push(SessionCfg::new(PeerRef::Internal(r3)));
-    c4.bgp.sessions.push(SessionCfg::new(PeerRef::External(provider)));
+    c4.bgp
+        .sessions
+        .push(SessionCfg::new(PeerRef::External(provider)));
     let sim = Simulation::new(topo, vec![c1, c2, c3, c4], latency, capture, seed);
     (sim, provider)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scenario_shape() {
+        let s = paper_scenario(LatencyProfile::fast(), CaptureProfile::ideal(), 1);
+        assert_eq!(s.sim.topology().num_routers(), 3);
+        assert_eq!(s.sim.topology().num_ext_peers(), 2);
+        assert_eq!(s.prefix.to_string(), "8.8.8.0/24");
+    }
+
+    #[test]
+    fn two_exit_scales() {
+        let (sim, l, r) = two_exit_scenario(8, LatencyProfile::fast(), CaptureProfile::ideal(), 1);
+        assert_eq!(sim.topology().num_routers(), 8);
+        assert_ne!(l, r);
+    }
 }

@@ -41,7 +41,12 @@ pub fn policy_classes(n_prefixes: usize, classes: usize, seed: u64) -> Vec<usize
 /// A random connected topology: a uniform spanning tree plus `extra`
 /// random additional links, with `uplinks` external peers attached to
 /// random routers. Unit IGP costs.
-pub fn random_topology(n: usize, extra: usize, uplinks: usize, seed: u64) -> (Topology, Vec<ExtPeerId>) {
+pub fn random_topology(
+    n: usize,
+    extra: usize,
+    uplinks: usize,
+    seed: u64,
+) -> (Topology, Vec<ExtPeerId>) {
     assert!(n >= 2);
     let mut rng = StdRng::seed_from_u64(seed);
     let mut b = TopologyBuilder::new(AsNum(65000));

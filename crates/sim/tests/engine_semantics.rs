@@ -15,7 +15,8 @@ fn run_until_stops_at_the_horizon_and_resumes() {
     let t0 = s.sim.now();
     // Announcement propagates over ~tens of ms under the cisco profile;
     // run only 1 ms past the injection.
-    s.sim.schedule_ext_announce(t0 + SimTime::from_millis(5), s.ext_r1, &[s.prefix]);
+    s.sim
+        .schedule_ext_announce(t0 + SimTime::from_millis(5), s.ext_r1, &[s.prefix]);
     s.sim.run_until(t0 + SimTime::from_millis(6));
     assert_eq!(s.sim.now(), t0 + SimTime::from_millis(6));
     assert!(!s.sim.is_quiescent(), "propagation must still be in flight");
@@ -25,7 +26,10 @@ fn run_until_stops_at_the_horizon_and_resumes() {
     // be later than horizon + the max processing pipeline (~seconds).
     s.sim.run_to_quiescence(MAX_EVENTS);
     assert!(s.sim.is_quiescent());
-    assert!(s.sim.trace().len() > mid_events, "resume must process the rest");
+    assert!(
+        s.sim.trace().len() > mid_events,
+        "resume must process the rest"
+    );
     // Full convergence reached despite the split run.
     let t = s
         .sim
@@ -40,8 +44,13 @@ fn split_runs_equal_single_run() {
         let mut s = paper_scenario(LatencyProfile::cisco(), CaptureProfile::syslog(), 56);
         s.sim.start();
         s.sim.run_to_quiescence(MAX_EVENTS);
-        s.sim.schedule_ext_announce(s.sim.now() + SimTime::from_millis(5), s.ext_r1, &[s.prefix]);
-        s.sim.schedule_ext_announce(s.sim.now() + SimTime::from_millis(200), s.ext_r2, &[s.prefix]);
+        s.sim
+            .schedule_ext_announce(s.sim.now() + SimTime::from_millis(5), s.ext_r1, &[s.prefix]);
+        s.sim.schedule_ext_announce(
+            s.sim.now() + SimTime::from_millis(200),
+            s.ext_r2,
+            &[s.prefix],
+        );
         s
     };
     let mut a = build();
@@ -49,7 +58,8 @@ fn split_runs_equal_single_run() {
     let mut b = build();
     // Drive b in small steps instead.
     for i in 1..200 {
-        b.sim.run_until(b.sim.now() + SimTime::from_millis(i % 7 + 1));
+        b.sim
+            .run_until(b.sim.now() + SimTime::from_millis(i % 7 + 1));
     }
     b.sim.run_to_quiescence(MAX_EVENTS);
     assert_eq!(a.sim.trace().render(), b.sim.trace().render());
@@ -64,15 +74,26 @@ fn gate_lifecycle() {
     // re-announce on the other uplink: updates flow again.
     let p = s.prefix;
     s.sim.set_fib_gate(Box::new(move |u| u.prefix != p));
-    s.sim.schedule_ext_announce(s.sim.now() + SimTime::from_millis(1), s.ext_r1, &[s.prefix]);
+    s.sim
+        .schedule_ext_announce(s.sim.now() + SimTime::from_millis(1), s.ext_r1, &[s.prefix]);
     s.sim.run_to_quiescence(MAX_EVENTS);
     let blocked = s.sim.blocked_updates().len();
     assert!(blocked > 0);
-    assert!(s.sim.dataplane().fib(RouterId(0)).lookup("8.8.8.8".parse().unwrap()).is_none());
+    assert!(s
+        .sim
+        .dataplane()
+        .fib(RouterId(0))
+        .lookup("8.8.8.8".parse().unwrap())
+        .is_none());
     s.sim.clear_fib_gate();
-    s.sim.schedule_ext_announce(s.sim.now() + SimTime::from_millis(1), s.ext_r2, &[s.prefix]);
+    s.sim
+        .schedule_ext_announce(s.sim.now() + SimTime::from_millis(1), s.ext_r2, &[s.prefix]);
     s.sim.run_to_quiescence(MAX_EVENTS);
-    assert_eq!(s.sim.blocked_updates().len(), blocked, "no new blocks after clearing");
+    assert_eq!(
+        s.sim.blocked_updates().len(),
+        blocked,
+        "no new blocks after clearing"
+    );
     let t = s
         .sim
         .dataplane()
@@ -109,7 +130,15 @@ fn soft_reconfig_follows_every_config_entry() {
         .trace()
         .events
         .iter()
-        .filter(|e| matches!(&e.kind, IoKind::ConfigChange { change: Some(_), .. }))
+        .filter(|e| {
+            matches!(
+                &e.kind,
+                IoKind::ConfigChange {
+                    change: Some(_),
+                    ..
+                }
+            )
+        })
         .count();
     let softs = s
         .sim

@@ -16,8 +16,16 @@ fn converged_paper() -> cpvr_sim::scenario::PaperScenario {
     let mut s = paper_scenario(LatencyProfile::fast(), CaptureProfile::ideal(), 7);
     s.sim.start();
     s.sim.run_to_quiescence(MAX_EVENTS);
-    s.sim.schedule_ext_announce(s.sim.now() + SimTime::from_millis(10), s.ext_r1, &[s.prefix]);
-    s.sim.schedule_ext_announce(s.sim.now() + SimTime::from_millis(500), s.ext_r2, &[s.prefix]);
+    s.sim.schedule_ext_announce(
+        s.sim.now() + SimTime::from_millis(10),
+        s.ext_r1,
+        &[s.prefix],
+    );
+    s.sim.schedule_ext_announce(
+        s.sim.now() + SimTime::from_millis(500),
+        s.ext_r2,
+        &[s.prefix],
+    );
     s.sim.run_to_quiescence(MAX_EVENTS);
     s
 }
@@ -47,7 +55,11 @@ fn fig1a_intermediate_state_via_r1() {
     let mut s = paper_scenario(LatencyProfile::fast(), CaptureProfile::ideal(), 7);
     s.sim.start();
     s.sim.run_to_quiescence(MAX_EVENTS);
-    s.sim.schedule_ext_announce(s.sim.now() + SimTime::from_millis(10), s.ext_r1, &[s.prefix]);
+    s.sim.schedule_ext_announce(
+        s.sim.now() + SimTime::from_millis(10),
+        s.ext_r1,
+        &[s.prefix],
+    );
     s.sim.run_to_quiescence(MAX_EVENTS);
     for r in 0..3u32 {
         let t = s.sim.dataplane().trace(s.sim.topology(), RouterId(r), DST);
@@ -63,7 +75,8 @@ fn fig2a_bad_localpref_shifts_exit_to_r1() {
         peer: PeerRef::External(s.ext_r2),
         map: RouteMap::set_all(vec![SetAction::LocalPref(10)]),
     };
-    s.sim.schedule_config(s.sim.now() + SimTime::from_millis(10), RouterId(1), change);
+    s.sim
+        .schedule_config(s.sim.now() + SimTime::from_millis(10), RouterId(1), change);
     s.sim.run_to_quiescence(MAX_EVENTS);
     // Policy violated: traffic now exits via R1 although R2's uplink is up.
     for r in 0..3u32 {
@@ -84,17 +97,22 @@ fn fig2b_blocking_fib_updates_blackholes_after_withdrawal() {
         peer: PeerRef::External(s.ext_r2),
         map: RouteMap::set_all(vec![SetAction::LocalPref(10)]),
     };
-    s.sim.schedule_config(s.sim.now() + SimTime::from_millis(10), RouterId(1), change);
+    s.sim
+        .schedule_config(s.sim.now() + SimTime::from_millis(10), RouterId(1), change);
     s.sim.run_to_quiescence(MAX_EVENTS);
     // Data plane still sends via R2 (updates were blocked) — policy looks
     // preserved...
     let t = s.sim.dataplane().trace(s.sim.topology(), RouterId(2), DST);
     assert_eq!(t.outcome, TraceOutcome::Exited(s.ext_r2));
-    assert!(!s.sim.blocked_updates().is_empty(), "gate must have blocked updates");
+    assert!(
+        !s.sim.blocked_updates().is_empty(),
+        "gate must have blocked updates"
+    );
     // ...but now R2's uplink fails and the withdrawal propagates. The
     // control plane thinks the FIBs point at R1 already, so nothing gets
     // reprogrammed — and the stale FIBs blackhole at R2 (Fig. 2b).
-    s.sim.schedule_ext_peer_change(s.sim.now() + SimTime::from_millis(10), s.ext_r2, false);
+    s.sim
+        .schedule_ext_peer_change(s.sim.now() + SimTime::from_millis(10), s.ext_r2, false);
     s.sim.run_to_quiescence(MAX_EVENTS);
     let t = s.sim.dataplane().trace(s.sim.topology(), RouterId(2), DST);
     assert_eq!(
@@ -109,7 +127,8 @@ fn fig2b_blocking_fib_updates_blackholes_after_withdrawal() {
 fn without_blocking_withdrawal_fails_over_cleanly() {
     // Control for fig2b: no gate, same failure → clean failover to R1.
     let mut s = converged_paper();
-    s.sim.schedule_ext_peer_change(s.sim.now() + SimTime::from_millis(10), s.ext_r2, false);
+    s.sim
+        .schedule_ext_peer_change(s.sim.now() + SimTime::from_millis(10), s.ext_r2, false);
     s.sim.run_to_quiescence(MAX_EVENTS);
     for r in 0..3u32 {
         let t = s.sim.dataplane().trace(s.sim.topology(), RouterId(r), DST);
@@ -124,8 +143,10 @@ fn trace_captures_all_io_classes() {
         peer: PeerRef::External(s.ext_r2),
         map: RouteMap::set_all(vec![SetAction::LocalPref(10)]),
     };
-    s.sim.schedule_config(s.sim.now() + SimTime::from_millis(10), RouterId(1), change);
-    s.sim.schedule_ext_peer_change(s.sim.now() + SimTime::from_secs(100), s.ext_r2, false);
+    s.sim
+        .schedule_config(s.sim.now() + SimTime::from_millis(10), RouterId(1), change);
+    s.sim
+        .schedule_ext_peer_change(s.sim.now() + SimTime::from_secs(100), s.ext_r2, false);
     s.sim.run_to_quiescence(MAX_EVENTS);
     let tr = s.sim.trace();
     let mut saw = [false; 8];
@@ -154,7 +175,10 @@ fn truth_edges_are_causal_in_time() {
         assert!(
             ea.time <= eb.time,
             "cause {} at {} after effect {} at {}",
-            ea, ea.time, eb, eb.time
+            ea,
+            ea.time,
+            eb,
+            eb.time
         );
     }
 }
@@ -165,14 +189,21 @@ fn bgp_sends_follow_rib_installs_in_truth() {
     let s = converged_paper();
     let tr = s.sim.trace();
     for e in &tr.events {
-        if let IoKind::SendAdvert { proto: Proto::Bgp, .. } = e.kind {
+        if let IoKind::SendAdvert {
+            proto: Proto::Bgp, ..
+        } = e.kind
+        {
             let anc = tr.truth_ancestors(e.id);
             let has_rib_or_recv = anc.iter().any(|a| {
                 matches!(
                     tr.events[a.index()].kind,
-                    IoKind::RibInstall { proto: Proto::Bgp, .. }
-                        | IoKind::RecvAdvert { proto: Proto::Bgp, .. }
-                        | IoKind::SoftReconfig { .. }
+                    IoKind::RibInstall {
+                        proto: Proto::Bgp,
+                        ..
+                    } | IoKind::RecvAdvert {
+                        proto: Proto::Bgp,
+                        ..
+                    } | IoKind::SoftReconfig { .. }
                 )
             });
             assert!(has_rib_or_recv, "BGP send without BGP cause: {e}");
@@ -186,8 +217,13 @@ fn determinism_same_seed_same_trace() {
         let mut s = paper_scenario(LatencyProfile::cisco(), CaptureProfile::syslog(), seed);
         s.sim.start();
         s.sim.run_to_quiescence(MAX_EVENTS);
-        s.sim.schedule_ext_announce(s.sim.now() + SimTime::from_millis(10), s.ext_r1, &[s.prefix]);
-        s.sim.schedule_ext_announce(s.sim.now() + SimTime::from_secs(2), s.ext_r2, &[s.prefix]);
+        s.sim.schedule_ext_announce(
+            s.sim.now() + SimTime::from_millis(10),
+            s.ext_r1,
+            &[s.prefix],
+        );
+        s.sim
+            .schedule_ext_announce(s.sim.now() + SimTime::from_secs(2), s.ext_r2, &[s.prefix]);
         s.sim.run_to_quiescence(MAX_EVENTS);
         s.sim.trace().render()
     };
@@ -205,7 +241,8 @@ fn cisco_profile_produces_fig5_timescales() {
         peer: PeerRef::External(s.ext_r1),
         map: RouteMap::set_all(vec![SetAction::LocalPref(200)]),
     };
-    s.sim.schedule_config(t0 + SimTime::from_millis(100), RouterId(0), change);
+    s.sim
+        .schedule_config(t0 + SimTime::from_millis(100), RouterId(0), change);
     s.sim.run_to_quiescence(MAX_EVENTS);
     let tr = s.sim.trace();
     let config_t = tr
@@ -254,7 +291,8 @@ fn igp_convergence_installs_internal_routes() {
 
 #[test]
 fn link_failure_converges_and_reroutes() {
-    let (mut sim, left, right) = two_exit_scenario(4, LatencyProfile::fast(), CaptureProfile::ideal(), 5);
+    let (mut sim, left, right) =
+        two_exit_scenario(4, LatencyProfile::fast(), CaptureProfile::ideal(), 5);
     let p: cpvr_types::Ipv4Prefix = "8.8.8.0/24".parse().unwrap();
     sim.start();
     sim.run_to_quiescence(MAX_EVENTS);
@@ -302,7 +340,8 @@ fn lossy_capture_loses_events() {
     let mut s = paper_scenario(LatencyProfile::fast(), CaptureProfile::lossy(0.3), 11);
     s.sim.start();
     s.sim.run_to_quiescence(MAX_EVENTS);
-    s.sim.schedule_ext_announce(s.sim.now(), s.ext_r1, &[s.prefix]);
+    s.sim
+        .schedule_ext_announce(s.sim.now(), s.ext_r1, &[s.prefix]);
     s.sim.run_to_quiescence(MAX_EVENTS);
     let tr = s.sim.trace();
     let lost = tr.events.iter().filter(|e| e.arrived_at.is_none()).count();

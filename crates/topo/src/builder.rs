@@ -66,10 +66,21 @@ impl TopologyBuilder {
         id
     }
 
-    fn add_iface(&mut self, r: RouterId, addr: Ipv4Addr, subnet: Ipv4Prefix, att: Attachment) -> IfaceId {
+    fn add_iface(
+        &mut self,
+        r: RouterId,
+        addr: Ipv4Addr,
+        subnet: Ipv4Prefix,
+        att: Attachment,
+    ) -> IfaceId {
         let router = self.topo.router_mut(r);
         let id = IfaceId(router.ifaces.len() as u32);
-        router.ifaces.push(Iface { id, addr, subnet, attachment: att });
+        router.ifaces.push(Iface {
+            id,
+            addr,
+            subnet,
+            attachment: att,
+        });
         id
     }
 

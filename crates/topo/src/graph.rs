@@ -92,7 +92,11 @@ pub fn dijkstra(topo: &Topology, source: RouterId) -> ShortestPaths {
             }
         }
     }
-    ShortestPaths { source, dist, first_hop }
+    ShortestPaths {
+        source,
+        dist,
+        first_hop,
+    }
 }
 
 /// True if every router can reach every other router over up links.

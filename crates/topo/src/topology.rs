@@ -5,7 +5,7 @@ use std::fmt;
 use std::net::Ipv4Addr;
 
 /// Identifies a point-to-point link between two router interfaces.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct LinkId(pub u32);
 
 impl LinkId {
@@ -28,7 +28,7 @@ impl fmt::Debug for LinkId {
 }
 
 /// Identifies an external peer (an eBGP neighbor outside the domain).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ExtPeerId(pub u32);
 
 impl ExtPeerId {
@@ -51,7 +51,7 @@ impl fmt::Debug for ExtPeerId {
 }
 
 /// Administrative/operational state of a link or interface.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub enum LinkState {
     /// Link is passing traffic.
     #[default]
@@ -434,12 +434,19 @@ mod tests {
     fn subnets_are_disjoint() {
         let t = triangle();
         let mut subnets: Vec<Ipv4Prefix> = t.links().iter().map(|l| l.subnet).collect();
-        subnets.extend(t.ext_peers().iter().map(|p| {
-            t.iface(p.attach.0, p.attach.1).subnet
-        }));
+        subnets.extend(
+            t.ext_peers()
+                .iter()
+                .map(|p| t.iface(p.attach.0, p.attach.1).subnet),
+        );
         for i in 0..subnets.len() {
             for j in (i + 1)..subnets.len() {
-                assert!(!subnets[i].overlaps(&subnets[j]), "{} vs {}", subnets[i], subnets[j]);
+                assert!(
+                    !subnets[i].overlaps(&subnets[j]),
+                    "{} vs {}",
+                    subnets[i],
+                    subnets[j]
+                );
             }
         }
     }
@@ -452,3 +459,6 @@ mod tests {
         assert_eq!(t.link(l).igp_cost, 55);
     }
 }
+
+cpvr_types::impl_json_newtype!(crate::topology, LinkId);
+cpvr_types::impl_json_newtype!(crate::topology, ExtPeerId);

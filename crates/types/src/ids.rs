@@ -13,7 +13,7 @@ use std::fmt;
 /// creation order, which keeps them usable as vector indices. The `Display`
 /// form is `R<n+1>` to match the paper's figures (the first router created
 /// prints as `R1`).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct RouterId(pub u32);
 
 impl RouterId {
@@ -37,7 +37,7 @@ impl fmt::Debug for RouterId {
 }
 
 /// An autonomous-system number (2- or 4-byte; we store 4).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct AsNum(pub u32);
 
 impl fmt::Display for AsNum {
@@ -56,7 +56,7 @@ impl fmt::Debug for AsNum {
 ///
 /// Interface ids are only meaningful relative to their owning router; the
 /// pair `(RouterId, IfaceId)` is globally unique.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct IfaceId(pub u32);
 
 impl IfaceId {

@@ -21,6 +21,7 @@
 #![warn(missing_docs)]
 
 pub mod ids;
+pub mod json;
 pub mod prefix;
 pub mod time;
 pub mod trie;

@@ -23,7 +23,7 @@ use std::str::FromStr;
 /// assert!(p.contains_addr("10.1.2.3".parse().unwrap()));
 /// assert!(p.covers(&"10.128.0.0/9".parse().unwrap()));
 /// ```
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Ipv4Prefix {
     bits: u32,
     len: u8,
@@ -53,12 +53,18 @@ impl Ipv4Prefix {
     /// Panics if `len > 32`.
     pub fn from_bits(bits: u32, len: u8) -> Self {
         assert!(len <= 32, "prefix length {len} out of range");
-        Ipv4Prefix { bits: bits & mask(len), len }
+        Ipv4Prefix {
+            bits: bits & mask(len),
+            len,
+        }
     }
 
     /// A /32 host prefix for a single address.
     pub fn host(addr: Ipv4Addr) -> Self {
-        Ipv4Prefix { bits: u32::from(addr), len: 32 }
+        Ipv4Prefix {
+            bits: u32::from(addr),
+            len: 32,
+        }
     }
 
     /// The network address.
@@ -72,6 +78,7 @@ impl Ipv4Prefix {
     }
 
     /// The mask length.
+    #[allow(clippy::len_without_is_empty)] // a /0 prefix is not "empty"
     pub fn len(&self) -> u8 {
         self.len
     }
@@ -130,7 +137,10 @@ impl Ipv4Prefix {
         if self.len == 32 {
             return None;
         }
-        let left = Ipv4Prefix { bits: self.bits, len: self.len + 1 };
+        let left = Ipv4Prefix {
+            bits: self.bits,
+            len: self.len + 1,
+        };
         let right = Ipv4Prefix {
             bits: self.bits | (1u32 << (31 - self.len)),
             len: self.len + 1,
@@ -230,10 +240,22 @@ mod tests {
 
     #[test]
     fn parse_errors() {
-        assert_eq!("10.0.0.0".parse::<Ipv4Prefix>(), Err(PrefixParseError::MissingSlash));
-        assert_eq!("10.0.0/8".parse::<Ipv4Prefix>(), Err(PrefixParseError::BadAddress));
-        assert_eq!("10.0.0.0/33".parse::<Ipv4Prefix>(), Err(PrefixParseError::BadLength));
-        assert_eq!("10.0.0.0/x".parse::<Ipv4Prefix>(), Err(PrefixParseError::BadLength));
+        assert_eq!(
+            "10.0.0.0".parse::<Ipv4Prefix>(),
+            Err(PrefixParseError::MissingSlash)
+        );
+        assert_eq!(
+            "10.0.0/8".parse::<Ipv4Prefix>(),
+            Err(PrefixParseError::BadAddress)
+        );
+        assert_eq!(
+            "10.0.0.0/33".parse::<Ipv4Prefix>(),
+            Err(PrefixParseError::BadLength)
+        );
+        assert_eq!(
+            "10.0.0.0/x".parse::<Ipv4Prefix>(),
+            Err(PrefixParseError::BadLength)
+        );
     }
 
     #[test]

@@ -20,12 +20,16 @@ use std::ops::{Add, AddAssign, Sub};
 /// let t = SimTime::from_millis(4);
 /// assert_eq!((t + SimTime::from_millis(8)).to_string(), "12ms");
 /// ```
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimTime(pub u64);
 
 impl SimTime {
     /// Time zero: the start of the simulation.
     pub const ZERO: SimTime = SimTime(0);
+
+    /// The largest representable time — useful as an "infinite" horizon
+    /// or watermark.
+    pub const MAX: SimTime = SimTime(u64::MAX);
 
     /// Builds a time from whole seconds.
     pub const fn from_secs(s: u64) -> Self {
@@ -93,11 +97,11 @@ impl fmt::Display for SimTime {
         let ns = self.0;
         if ns == 0 {
             write!(f, "0ms")
-        } else if ns >= 1_000_000_000 && ns % 1_000_000_000 == 0 {
+        } else if ns >= 1_000_000_000 && ns.is_multiple_of(1_000_000_000) {
             write!(f, "{}s", ns / 1_000_000_000)
         } else if ns >= 1_000_000_000 {
             write!(f, "{:.3}s", self.as_secs_f64())
-        } else if ns % 1_000_000 == 0 {
+        } else if ns.is_multiple_of(1_000_000) {
             write!(f, "{}ms", ns / 1_000_000)
         } else if ns >= 100_000 {
             write!(f, "{:.1}ms", self.as_millis_f64())
@@ -147,7 +151,11 @@ mod tests {
 
     #[test]
     fn ordering_is_total() {
-        let mut v = vec![SimTime::from_secs(1), SimTime::ZERO, SimTime::from_millis(5)];
+        let mut v = [
+            SimTime::from_secs(1),
+            SimTime::ZERO,
+            SimTime::from_millis(5),
+        ];
         v.sort();
         assert_eq!(v[0], SimTime::ZERO);
         assert_eq!(v[2], SimTime::from_secs(1));

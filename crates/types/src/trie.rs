@@ -19,7 +19,10 @@ struct Node<V> {
 
 impl<V> Node<V> {
     fn new() -> Self {
-        Node { children: [NO_NODE, NO_NODE], value: None }
+        Node {
+            children: [NO_NODE, NO_NODE],
+            value: None,
+        }
     }
 }
 
@@ -51,7 +54,11 @@ impl<V> Default for PrefixTrie<V> {
 impl<V> PrefixTrie<V> {
     /// Creates an empty trie.
     pub fn new() -> Self {
-        PrefixTrie { nodes: vec![Node::new()], free: Vec::new(), len: 0 }
+        PrefixTrie {
+            nodes: vec![Node::new()],
+            free: Vec::new(),
+            len: 0,
+        }
     }
 
     /// The number of prefixes stored.
@@ -234,12 +241,7 @@ impl<V> PrefixTrie<V> {
         self.iter().into_iter().map(|(p, _)| p).collect()
     }
 
-    fn walk<'a>(
-        &'a self,
-        node: u32,
-        prefix: Ipv4Prefix,
-        f: &mut impl FnMut(Ipv4Prefix, &'a V),
-    ) {
+    fn walk<'a>(&'a self, node: u32, prefix: Ipv4Prefix, f: &mut impl FnMut(Ipv4Prefix, &'a V)) {
         let nd = &self.nodes[node as usize];
         if let Some(v) = nd.value.as_ref() {
             f(prefix, v);
@@ -323,7 +325,11 @@ mod tests {
         t.insert(p("10.0.0.0/8"), 8);
         t.insert(p("10.1.0.0/16"), 16);
         t.insert(p("10.2.0.0/16"), 99);
-        let m: Vec<u8> = t.matches(a("10.1.2.3")).into_iter().map(|(_, v)| *v).collect();
+        let m: Vec<u8> = t
+            .matches(a("10.1.2.3"))
+            .into_iter()
+            .map(|(_, v)| *v)
+            .collect();
         assert_eq!(m, vec![0, 8, 16]);
     }
 
@@ -355,7 +361,12 @@ mod tests {
         let order: Vec<Ipv4Prefix> = t.prefixes();
         assert_eq!(
             order,
-            vec![p("0.0.0.0/0"), p("10.0.0.0/8"), p("10.0.0.0/9"), p("10.128.0.0/9")]
+            vec![
+                p("0.0.0.0/0"),
+                p("10.0.0.0/8"),
+                p("10.0.0.0/9"),
+                p("10.128.0.0/9")
+            ]
         );
     }
 

@@ -14,7 +14,7 @@
 use crate::ec::equivalence_classes;
 use crate::policy::Policy;
 use crate::verifier::{verify, VerifyReport};
-use cpvr_dataplane::{DataPlane, FibAction, TraceOutcome, TraceResult, Hop};
+use cpvr_dataplane::{DataPlane, FibAction, Hop, TraceOutcome, TraceResult};
 use cpvr_topo::Topology;
 use cpvr_types::RouterId;
 
@@ -108,18 +108,19 @@ pub fn distributed_verify(
         stats.central_snapshot_entries += dp.fib(RouterId(r)).len();
     }
     let report = verify(topo, dp, policies);
-    stats.central_work = report.traces_run
-        + report
-            .violations
-            .len()
-            .min(report.traces_run); // violation bookkeeping, bounded
-    // Count per-hop lookups of the central tracer too, for a fair
-    // work-total comparison.
+    stats.central_work = report.traces_run + report.violations.len().min(report.traces_run); // violation bookkeeping, bounded
+                                                                                             // Count per-hop lookups of the central tracer too, for a fair
+                                                                                             // work-total comparison.
     let mut central_lookups = 0usize;
     for ec in &ecs {
         for ingress in 0..dp.num_routers() as u32 {
             let t: TraceResult = dp.trace(topo, RouterId(ingress), ec.representative);
-            central_lookups += t.hops.iter().filter(|h: &&Hop| h.matched.is_some()).count().max(1);
+            central_lookups += t
+                .hops
+                .iter()
+                .filter(|h: &&Hop| h.matched.is_some())
+                .count()
+                .max(1);
             // Sanity: the distributed walk and the central trace agree on
             // delivery. (Loops differ only in where they stop counting.)
             if let TraceOutcome::Exited(_) | TraceOutcome::DeliveredLocal(_) = t.outcome {}
@@ -141,7 +142,10 @@ mod tests {
     }
 
     fn entry(action: FibAction) -> FibEntry {
-        FibEntry { action, installed_at: SimTime::ZERO }
+        FibEntry {
+            action,
+            installed_at: SimTime::ZERO,
+        }
     }
 
     /// A line of n routers all forwarding 8.8.8.0/24 to the right exit.
@@ -153,16 +157,21 @@ mod tests {
                 .link_between(RouterId(i as u32), RouterId(i as u32 + 1))
                 .unwrap()
                 .id;
-            dp.fib_mut(RouterId(i as u32)).install(p("8.8.8.0/24"), entry(FibAction::Forward(link)));
+            dp.fib_mut(RouterId(i as u32))
+                .install(p("8.8.8.0/24"), entry(FibAction::Forward(link)));
         }
-        dp.fib_mut(RouterId(n as u32 - 1)).install(p("8.8.8.0/24"), entry(FibAction::Exit(r)));
+        dp.fib_mut(RouterId(n as u32 - 1))
+            .install(p("8.8.8.0/24"), entry(FibAction::Exit(r)));
         (topo, dp, r)
     }
 
     #[test]
     fn distributed_matches_centralized_verdict() {
         let (topo, dp, r) = line_dp(5);
-        let pol = Policy::ExitsVia { prefix: p("8.8.8.0/24"), peer: r };
+        let pol = Policy::ExitsVia {
+            prefix: p("8.8.8.0/24"),
+            peer: r,
+        };
         let (report, stats) = distributed_verify(&topo, &dp, &[pol]);
         assert!(report.ok(), "{:?}", report.violations);
         assert!(stats.dist_messages > 0);
@@ -173,7 +182,9 @@ mod tests {
     fn message_count_scales_with_path_length() {
         let (t5, d5, _) = line_dp(5);
         let (t10, d10, _) = line_dp(10);
-        let pol5 = Policy::Reachable { prefix: p("8.8.8.0/24") };
+        let pol5 = Policy::Reachable {
+            prefix: p("8.8.8.0/24"),
+        };
         let (_, s5) = distributed_verify(&t5, &d5, std::slice::from_ref(&pol5));
         let (_, s10) = distributed_verify(&t10, &d10, std::slice::from_ref(&pol5));
         assert!(s10.dist_messages > s5.dist_messages);
@@ -183,7 +194,9 @@ mod tests {
     #[test]
     fn central_bottleneck_vs_distributed_spread() {
         let (topo, dp, _) = line_dp(8);
-        let pol = Policy::Reachable { prefix: p("8.8.8.0/24") };
+        let pol = Policy::Reachable {
+            prefix: p("8.8.8.0/24"),
+        };
         let (_, stats) = distributed_verify(&topo, &dp, &[pol]);
         // Central does all lookups at one node; distributed spreads them.
         assert!(stats.dist_max_node_work < stats.central_work);
@@ -194,7 +207,9 @@ mod tests {
     #[test]
     fn snapshot_cost_counts_entries() {
         let (topo, dp, _) = line_dp(4);
-        let pol = Policy::Reachable { prefix: p("8.8.8.0/24") };
+        let pol = Policy::Reachable {
+            prefix: p("8.8.8.0/24"),
+        };
         let (_, stats) = distributed_verify(&topo, &dp, &[pol]);
         assert_eq!(stats.central_snapshot_entries, 4);
     }
@@ -204,8 +219,11 @@ mod tests {
         let (topo, mut dp, _) = line_dp(3);
         // R2 points back at R1.
         let l12 = topo.link_between(RouterId(0), RouterId(1)).unwrap().id;
-        dp.fib_mut(RouterId(1)).install(p("8.8.8.0/24"), entry(FibAction::Forward(l12)));
-        let pol = Policy::LoopFree { prefix: p("8.8.8.0/24") };
+        dp.fib_mut(RouterId(1))
+            .install(p("8.8.8.0/24"), entry(FibAction::Forward(l12)));
+        let pol = Policy::LoopFree {
+            prefix: p("8.8.8.0/24"),
+        };
         let (report, stats) = distributed_verify(&topo, &dp, &[pol]);
         assert!(!report.ok());
         assert!(stats.dist_messages < 100, "walk must terminate");

@@ -52,7 +52,10 @@ pub fn equivalence_classes_of(prefixes: &[Ipv4Prefix]) -> Vec<EquivClass> {
             .map(|(_, q)| *q)
             .collect();
         if let Some(rep) = uncovered_address(*p, &children) {
-            out.push(EquivClass { prefix: *p, representative: rep });
+            out.push(EquivClass {
+                prefix: *p,
+                representative: rep,
+            });
         }
     }
     out
@@ -135,7 +138,10 @@ mod tests {
     fn disjoint_prefixes_one_class_each() {
         let ecs = equivalence_classes_of(&[p("10.0.0.0/8"), p("11.0.0.0/8")]);
         assert_eq!(ecs.len(), 2);
-        assert_eq!(ecs[0].representative, "10.0.0.0".parse::<Ipv4Addr>().unwrap());
+        assert_eq!(
+            ecs[0].representative,
+            "10.0.0.0".parse::<Ipv4Addr>().unwrap()
+        );
     }
 
     #[test]
@@ -186,7 +192,10 @@ mod tests {
     fn default_route_class() {
         let ecs = equivalence_classes_of(&[Ipv4Prefix::DEFAULT, p("10.0.0.0/8")]);
         assert_eq!(ecs.len(), 2);
-        let default_ec = ecs.iter().find(|e| e.prefix == Ipv4Prefix::DEFAULT).unwrap();
+        let default_ec = ecs
+            .iter()
+            .find(|e| e.prefix == Ipv4Prefix::DEFAULT)
+            .unwrap();
         assert!(!p("10.0.0.0/8").contains_addr(default_ec.representative));
     }
 
@@ -199,16 +208,22 @@ mod tests {
     fn behavior_classes_group_identically_treated_prefixes() {
         let mut dp = DataPlane::new(2);
         let act = FibAction::Forward(LinkId(0));
-        let entry = FibEntry { action: act, installed_at: SimTime::ZERO };
+        let entry = FibEntry {
+            action: act,
+            installed_at: SimTime::ZERO,
+        };
         // Three prefixes, two behaviors: first two identical everywhere.
         for s in ["20.0.0.0/24", "20.0.1.0/24"] {
             dp.fib_mut(RouterId(0)).install(p(s), entry);
             dp.fib_mut(RouterId(1)).install(p(s), entry);
         }
-        dp.fib_mut(RouterId(0)).install(p("20.0.2.0/24"), FibEntry {
-            action: FibAction::Drop,
-            installed_at: SimTime::ZERO,
-        });
+        dp.fib_mut(RouterId(0)).install(
+            p("20.0.2.0/24"),
+            FibEntry {
+                action: FibAction::Drop,
+                installed_at: SimTime::ZERO,
+            },
+        );
         let classes = behavior_classes(&dp);
         assert_eq!(classes.len(), 2);
         let sizes: Vec<usize> = classes.values().map(|v| v.len()).collect();
@@ -220,7 +235,8 @@ mod tests {
         // 1000 prefixes, 3 distinct behaviors → 3 classes.
         let mut dp = DataPlane::new(3);
         for i in 0..1000u32 {
-            let prefix = Ipv4Prefix::from_bits(u32::from_be_bytes([100, (i >> 8) as u8, i as u8, 0]), 24);
+            let prefix =
+                Ipv4Prefix::from_bits(u32::from_be_bytes([100, (i >> 8) as u8, i as u8, 0]), 24);
             let class = i % 3;
             for r in 0..3u32 {
                 let action = match class {
@@ -228,10 +244,13 @@ mod tests {
                     1 => FibAction::Forward(LinkId(1)),
                     _ => FibAction::Drop,
                 };
-                dp.fib_mut(RouterId(r)).install(prefix, FibEntry {
-                    action,
-                    installed_at: SimTime::ZERO,
-                });
+                dp.fib_mut(RouterId(r)).install(
+                    prefix,
+                    FibEntry {
+                        action,
+                        installed_at: SimTime::ZERO,
+                    },
+                );
             }
         }
         assert_eq!(behavior_classes(&dp).len(), 3);

@@ -78,7 +78,11 @@ impl fmt::Display for Policy {
             Policy::Reachable { prefix } => write!(f, "{prefix} reachable"),
             Policy::LoopFree { prefix } => write!(f, "{prefix} loop-free"),
             Policy::ExitsVia { prefix, peer } => write!(f, "{prefix} exits via {peer}"),
-            Policy::PreferredExit { prefix, primary, backup } => {
+            Policy::PreferredExit {
+                prefix,
+                primary,
+                backup,
+            } => {
                 write!(f, "{prefix} exits via {primary} (else {backup})")
             }
             Policy::Waypoint { from, prefix, via } => {
@@ -132,14 +136,27 @@ mod tests {
             backup: ExtPeerId(0),
         };
         assert_eq!(pol.prefix(), p("8.8.8.0/24"));
-        assert_eq!(Policy::Reachable { prefix: p("9.9.9.0/24") }.prefix(), p("9.9.9.0/24"));
+        assert_eq!(
+            Policy::Reachable {
+                prefix: p("9.9.9.0/24")
+            }
+            .prefix(),
+            p("9.9.9.0/24")
+        );
     }
 
     #[test]
     fn display_forms() {
-        let pol = Policy::ExitsVia { prefix: p("8.8.8.0/24"), peer: ExtPeerId(1) };
+        let pol = Policy::ExitsVia {
+            prefix: p("8.8.8.0/24"),
+            peer: ExtPeerId(1),
+        };
         assert_eq!(pol.to_string(), "8.8.8.0/24 exits via Ext1");
-        let w = Policy::Waypoint { from: RouterId(0), prefix: p("8.8.8.0/24"), via: RouterId(2) };
+        let w = Policy::Waypoint {
+            from: RouterId(0),
+            prefix: p("8.8.8.0/24"),
+            via: RouterId(2),
+        };
         assert_eq!(w.to_string(), "8.8.8.0/24 from R1 waypoints R3");
     }
 
@@ -147,7 +164,9 @@ mod tests {
     fn violation_display() {
         let v = Violation {
             policy_idx: 0,
-            policy: Policy::LoopFree { prefix: p("8.8.8.0/24") },
+            policy: Policy::LoopFree {
+                prefix: p("8.8.8.0/24"),
+            },
             ingress: RouterId(1),
             representative: "8.8.8.1".parse().unwrap(),
             observed: "loop at R1".into(),

@@ -127,7 +127,9 @@ fn check_policy(
                 TraceOutcome::Exited(p) if p == *peer => None,
                 _ => Some(trace.outcome.to_string()),
             },
-            Policy::PreferredExit { primary, backup, .. } => {
+            Policy::PreferredExit {
+                primary, backup, ..
+            } => {
                 let want = if topo.ext_peer(*primary).state.is_up() {
                     Some(*primary)
                 } else if topo.ext_peer(*backup).state.is_up() {
@@ -149,7 +151,10 @@ fn check_policy(
                 } else if trace.router_path().contains(via) {
                     None
                 } else {
-                    Some(format!("path {:?} skips waypoint {via}", trace.router_path()))
+                    Some(format!(
+                        "path {:?} skips waypoint {via}",
+                        trace.router_path()
+                    ))
                 }
             }
             Policy::Isolation { forbidden, .. } => match trace.outcome {
@@ -184,7 +189,10 @@ mod tests {
     }
 
     fn entry(action: FibAction) -> FibEntry {
-        FibEntry { action, installed_at: SimTime::ZERO }
+        FibEntry {
+            action,
+            installed_at: SimTime::ZERO,
+        }
     }
 
     /// Paper triangle with all traffic for P exiting via R2's uplink.
@@ -193,14 +201,21 @@ mod tests {
         let mut dp = DataPlane::new(3);
         let l12 = topo.link_between(RouterId(0), RouterId(1)).unwrap().id;
         let l23 = topo.link_between(RouterId(1), RouterId(2)).unwrap().id;
-        dp.fib_mut(RouterId(0)).install(p("8.8.8.0/24"), entry(FibAction::Forward(l12)));
-        dp.fib_mut(RouterId(1)).install(p("8.8.8.0/24"), entry(FibAction::Exit(e2)));
-        dp.fib_mut(RouterId(2)).install(p("8.8.8.0/24"), entry(FibAction::Forward(l23)));
+        dp.fib_mut(RouterId(0))
+            .install(p("8.8.8.0/24"), entry(FibAction::Forward(l12)));
+        dp.fib_mut(RouterId(1))
+            .install(p("8.8.8.0/24"), entry(FibAction::Exit(e2)));
+        dp.fib_mut(RouterId(2))
+            .install(p("8.8.8.0/24"), entry(FibAction::Forward(l23)));
         (topo, dp, e1, e2)
     }
 
     fn paper_policy(e1: ExtPeerId, e2: ExtPeerId) -> Policy {
-        Policy::PreferredExit { prefix: p("8.8.8.0/24"), primary: e2, backup: e1 }
+        Policy::PreferredExit {
+            prefix: p("8.8.8.0/24"),
+            primary: e2,
+            backup: e1,
+        }
     }
 
     #[test]
@@ -218,7 +233,8 @@ mod tests {
         // R2 now exits via... wait, R1 exits directly via its own uplink:
         // the Fig. 2 violation (traffic leaves via R1 while R2's uplink is
         // up).
-        dp.fib_mut(RouterId(0)).install(p("8.8.8.0/24"), entry(FibAction::Exit(e1)));
+        dp.fib_mut(RouterId(0))
+            .install(p("8.8.8.0/24"), entry(FibAction::Exit(e1)));
         let report = verify(&topo, &dp, &[paper_policy(e1, e2)]);
         assert!(!report.ok());
         assert!(report.violations.iter().any(|v| v.ingress == RouterId(0)));
@@ -233,9 +249,12 @@ mod tests {
         // clause.
         let l21 = topo.link_between(RouterId(1), RouterId(0)).unwrap().id;
         let l31 = topo.link_between(RouterId(2), RouterId(0)).unwrap().id;
-        dp.fib_mut(RouterId(0)).install(p("8.8.8.0/24"), entry(FibAction::Exit(e1)));
-        dp.fib_mut(RouterId(1)).install(p("8.8.8.0/24"), entry(FibAction::Forward(l21)));
-        dp.fib_mut(RouterId(2)).install(p("8.8.8.0/24"), entry(FibAction::Forward(l31)));
+        dp.fib_mut(RouterId(0))
+            .install(p("8.8.8.0/24"), entry(FibAction::Exit(e1)));
+        dp.fib_mut(RouterId(1))
+            .install(p("8.8.8.0/24"), entry(FibAction::Forward(l21)));
+        dp.fib_mut(RouterId(2))
+            .install(p("8.8.8.0/24"), entry(FibAction::Forward(l31)));
         let report = verify(&topo, &dp, &[paper_policy(e1, e2)]);
         assert!(report.ok(), "{:?}", report.violations);
         // Both uplinks down → vacuous.
@@ -249,8 +268,15 @@ mod tests {
         let (topo, mut dp, _e1, _e2) = good_paper_dp();
         // Make R2 point back at R1 → R1→R2→R1 loop.
         let l12 = topo.link_between(RouterId(0), RouterId(1)).unwrap().id;
-        dp.fib_mut(RouterId(1)).install(p("8.8.8.0/24"), entry(FibAction::Forward(l12)));
-        let report = verify(&topo, &dp, &[Policy::LoopFree { prefix: p("8.8.8.0/24") }]);
+        dp.fib_mut(RouterId(1))
+            .install(p("8.8.8.0/24"), entry(FibAction::Forward(l12)));
+        let report = verify(
+            &topo,
+            &dp,
+            &[Policy::LoopFree {
+                prefix: p("8.8.8.0/24"),
+            }],
+        );
         assert!(!report.ok());
         assert!(report.violations[0].observed.contains("loop"));
     }
@@ -259,22 +285,39 @@ mod tests {
     fn blackhole_detection_via_reachable() {
         let (topo, mut dp, _e1, _e2) = good_paper_dp();
         dp.fib_mut(RouterId(1)).remove(&p("8.8.8.0/24"));
-        let report = verify(&topo, &dp, &[Policy::Reachable { prefix: p("8.8.8.0/24") }]);
+        let report = verify(
+            &topo,
+            &dp,
+            &[Policy::Reachable {
+                prefix: p("8.8.8.0/24"),
+            }],
+        );
         assert!(!report.ok());
-        assert!(report.violations.iter().any(|v| v.observed.contains("blackhole")));
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.observed.contains("blackhole")));
     }
 
     #[test]
     fn waypoint_enforced() {
         let (topo, dp, _e1, _e2) = good_paper_dp();
         // R1's path to the exit is R1→R2: waypoint R3 is skipped.
-        let pol = Policy::Waypoint { from: RouterId(0), prefix: p("8.8.8.0/24"), via: RouterId(2) };
+        let pol = Policy::Waypoint {
+            from: RouterId(0),
+            prefix: p("8.8.8.0/24"),
+            via: RouterId(2),
+        };
         let report = verify(&topo, &dp, &[pol]);
         assert!(!report.ok());
         assert!(report.violations[0].observed.contains("skips waypoint"));
         // R3's own traffic goes R3→R2 — from R3 the waypoint IS on the
         // path.
-        let pol = Policy::Waypoint { from: RouterId(2), prefix: p("8.8.8.0/24"), via: RouterId(2) };
+        let pol = Policy::Waypoint {
+            from: RouterId(2),
+            prefix: p("8.8.8.0/24"),
+            via: RouterId(2),
+        };
         assert!(verify(&topo, &dp, &[pol]).ok());
     }
 
@@ -282,7 +325,8 @@ mod tests {
     fn more_specific_prefix_induces_second_class() {
         let (topo, mut dp, e1, e2) = good_paper_dp();
         // A more-specific /25 on R1 hijacks half the space to Ext0.
-        dp.fib_mut(RouterId(0)).install(p("8.8.8.0/25"), entry(FibAction::Exit(e1)));
+        dp.fib_mut(RouterId(0))
+            .install(p("8.8.8.0/25"), entry(FibAction::Exit(e1)));
         let report = verify(&topo, &dp, &[paper_policy(e1, e2)]);
         assert_eq!(report.ecs_checked, 2, "the /25 must split the /24's class");
         // Violations only for the hijacked half, only from R1.
@@ -297,7 +341,9 @@ mod tests {
         let (topo, dp, e1, e2) = good_paper_dp();
         let policies = vec![
             paper_policy(e1, e2),
-            Policy::Reachable { prefix: p("9.9.9.0/24") },
+            Policy::Reachable {
+                prefix: p("9.9.9.0/24"),
+            },
         ];
         let full = verify(&topo, &dp, &policies);
         let inc = verify_incremental(&topo, &dp, &policies, &[p("8.8.8.0/24")]);
@@ -312,9 +358,12 @@ mod tests {
     #[test]
     fn incremental_preserves_original_policy_indices() {
         let (topo, mut dp, e1, e2) = good_paper_dp();
-        dp.fib_mut(RouterId(0)).install(p("8.8.8.0/24"), entry(FibAction::Drop));
+        dp.fib_mut(RouterId(0))
+            .install(p("8.8.8.0/24"), entry(FibAction::Drop));
         let policies = vec![
-            Policy::Reachable { prefix: p("9.9.9.0/24") },
+            Policy::Reachable {
+                prefix: p("9.9.9.0/24"),
+            },
             paper_policy(e1, e2),
         ];
         let inc = verify_incremental(&topo, &dp, &policies, &[p("8.8.8.0/24")]);
@@ -335,14 +384,28 @@ mod tests {
         let (topo, dp, _e1, e2) = good_paper_dp();
         // Everything exits via e2; forbidding e2 violates, forbidding a
         // different peer does not.
-        let bad = Policy::Isolation { prefix: p("8.8.8.0/24"), forbidden: e2 };
+        let bad = Policy::Isolation {
+            prefix: p("8.8.8.0/24"),
+            forbidden: e2,
+        };
         let report = verify(&topo, &dp, &[bad]);
         assert!(!report.ok());
         assert!(report.violations[0].observed.contains("forbidden"));
-        let fine = Policy::Isolation { prefix: p("8.8.8.0/24"), forbidden: ExtPeerId(0) };
+        let fine = Policy::Isolation {
+            prefix: p("8.8.8.0/24"),
+            forbidden: ExtPeerId(0),
+        };
         assert!(verify(&topo, &dp, &[fine]).ok());
         // Blackholed traffic trivially satisfies isolation.
         let empty = DataPlane::new(3);
-        assert!(verify(&topo, &empty, &[Policy::Isolation { prefix: p("8.8.8.0/24"), forbidden: e2 }]).ok());
+        assert!(verify(
+            &topo,
+            &empty,
+            &[Policy::Isolation {
+                prefix: p("8.8.8.0/24"),
+                forbidden: e2
+            }]
+        )
+        .ok());
     }
 }

@@ -9,7 +9,10 @@ use std::net::Ipv4Addr;
 fn arb_prefix() -> impl Strategy<Value = Ipv4Prefix> {
     // Narrow pool so nesting happens often.
     (0u32..16, 8u8..=28).prop_map(|(i, len)| {
-        Ipv4Prefix::from_bits(u32::from(Ipv4Addr::new(10, (i % 4) as u8, (i / 4) as u8, 0)), len)
+        Ipv4Prefix::from_bits(
+            u32::from(Ipv4Addr::new(10, (i % 4) as u8, (i / 4) as u8, 0)),
+            len,
+        )
     })
 }
 

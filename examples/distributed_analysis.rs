@@ -28,14 +28,30 @@ fn main() {
     sim.run_to_quiescence(500_000);
 
     // --- distributed data-plane verification --------------------------
-    let policy = Policy::PreferredExit { prefix: p, primary: right, backup: left };
-    let (report, stats) = distributed_verify(sim.topology(), sim.dataplane(), &[policy.clone()]);
+    let policy = Policy::PreferredExit {
+        prefix: p,
+        primary: right,
+        backup: left,
+    };
+    let (report, stats) = distributed_verify(
+        sim.topology(),
+        sim.dataplane(),
+        std::slice::from_ref(&policy),
+    );
     println!("distributed verification of '{policy}':");
-    println!("  verdict                  : {}", if report.ok() { "compliant" } else { "VIOLATED" });
+    println!(
+        "  verdict                  : {}",
+        if report.ok() { "compliant" } else { "VIOLATED" }
+    );
     println!("  partial-result messages  : {}", stats.dist_messages);
-    println!("  busiest node lookups     : {} (centralized does all {})",
-        stats.dist_max_node_work, stats.central_work);
-    println!("  snapshot entries avoided : {}", stats.central_snapshot_entries);
+    println!(
+        "  busiest node lookups     : {} (centralized does all {})",
+        stats.dist_max_node_work, stats.central_work
+    );
+    println!(
+        "  snapshot entries avoided : {}",
+        stats.central_snapshot_entries
+    );
 
     // --- inject the fault and do distributed provenance ----------------
     let t_change = sim.now() + SimTime::from_millis(10);
@@ -59,9 +75,15 @@ fn main() {
 
     let subs = partition(&trace);
     let (causes, pstats) = distributed_root_causes(&trace, &subs, bad);
-    println!("\ndistributed provenance from {}:", trace.events[bad.index()]);
+    println!(
+        "\ndistributed provenance from {}:",
+        trace.events[bad.index()]
+    );
     println!("  partial-path messages    : {}", pstats.messages);
-    println!("  routers involved         : {} of 8", pstats.routers_involved);
+    println!(
+        "  routers involved         : {} of 8",
+        pstats.routers_involved
+    );
     println!("  root causes:");
     for c in &causes {
         println!("    {c}");

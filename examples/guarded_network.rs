@@ -17,8 +17,13 @@ fn main() {
     let mut s = paper_scenario(LatencyProfile::fast(), CaptureProfile::ideal(), 7);
     s.sim.start();
     s.sim.run_to_quiescence(100_000);
-    s.sim.schedule_ext_announce(s.sim.now() + SimTime::from_millis(1), s.ext_r1, &[s.prefix]);
-    s.sim.schedule_ext_announce(s.sim.now() + SimTime::from_millis(50), s.ext_r2, &[s.prefix]);
+    s.sim
+        .schedule_ext_announce(s.sim.now() + SimTime::from_millis(1), s.ext_r1, &[s.prefix]);
+    s.sim.schedule_ext_announce(
+        s.sim.now() + SimTime::from_millis(50),
+        s.ext_r2,
+        &[s.prefix],
+    );
     s.sim.run_to_quiescence(100_000);
     println!("network converged; policy: exit via R2's uplink while it is up\n");
 
@@ -28,7 +33,8 @@ fn main() {
         map: RouteMap::set_all(vec![SetAction::LocalPref(10)]),
     };
     println!("operator applies on R2: {change}\n");
-    s.sim.schedule_config(s.sim.now() + SimTime::from_millis(20), RouterId(1), change);
+    s.sim
+        .schedule_config(s.sim.now() + SimTime::from_millis(20), RouterId(1), change);
 
     // The guard: verify continuously, trace violations to root causes,
     // revert what can be reverted.
@@ -50,7 +56,11 @@ fn main() {
         "\nsummary: {} repair(s), {} wait(s), final state {}",
         report.repairs(),
         report.waits(),
-        if report.final_ok { "compliant" } else { "VIOLATING" }
+        if report.final_ok {
+            "compliant"
+        } else {
+            "VIOLATING"
+        }
     );
     assert!(repaired && report.final_ok, "the demo should end repaired");
 

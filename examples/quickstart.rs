@@ -18,8 +18,10 @@ fn main() {
     s.sim.run_to_quiescence(100_000);
 
     // 3. Both uplinks announce the external prefix P.
-    s.sim.schedule_ext_announce(s.sim.now() + SimTime::from_millis(1), s.ext_r1, &[s.prefix]);
-    s.sim.schedule_ext_announce(s.sim.now() + SimTime::from_millis(5), s.ext_r2, &[s.prefix]);
+    s.sim
+        .schedule_ext_announce(s.sim.now() + SimTime::from_millis(1), s.ext_r1, &[s.prefix]);
+    s.sim
+        .schedule_ext_announce(s.sim.now() + SimTime::from_millis(5), s.ext_r2, &[s.prefix]);
     s.sim.run_to_quiescence(100_000);
 
     // 4. Where does traffic for 8.8.8.8 go from each router?
@@ -28,11 +30,20 @@ fn main() {
     for r in 0..3u32 {
         let trace = s.sim.dataplane().trace(s.sim.topology(), RouterId(r), dst);
         let path: Vec<String> = trace.router_path().iter().map(|r| r.to_string()).collect();
-        println!("  from R{}: {} => {}", r + 1, path.join(" -> "), trace.outcome);
+        println!(
+            "  from R{}: {} => {}",
+            r + 1,
+            path.join(" -> "),
+            trace.outcome
+        );
     }
 
     // 5. Verify the paper's policy: exit via R2's uplink while it is up.
-    let policy = Policy::PreferredExit { prefix: s.prefix, primary: s.ext_r2, backup: s.ext_r1 };
+    let policy = Policy::PreferredExit {
+        prefix: s.prefix,
+        primary: s.ext_r2,
+        backup: s.ext_r1,
+    };
     let report = verify(s.sim.topology(), s.sim.dataplane(), &[policy]);
     println!(
         "\npolicy check: {} ({} equivalence classes, {} traces)",
@@ -45,7 +56,10 @@ fn main() {
     }
 
     // 6. Everything that just happened was captured as control-plane I/O.
-    println!("\ncaptured {} control-plane I/O events; first five:", s.sim.trace().len());
+    println!(
+        "\ncaptured {} control-plane I/O events; first five:",
+        s.sim.trace().len()
+    );
     for e in s.sim.trace().by_time().iter().take(5) {
         println!("  {e}");
     }

@@ -21,17 +21,27 @@ fn main() {
         let mut s = paper_scenario(LatencyProfile::cisco(), CaptureProfile::syslog(), seed);
         s.sim.start();
         s.sim.run_to_quiescence(200_000);
-        s.sim.schedule_ext_announce(s.sim.now() + SimTime::from_millis(10), s.ext_r1, &[s.prefix]);
+        s.sim.schedule_ext_announce(
+            s.sim.now() + SimTime::from_millis(10),
+            s.ext_r1,
+            &[s.prefix],
+        );
         s.sim.run_to_quiescence(200_000);
         let t_start = s.sim.now();
-        s.sim.schedule_ext_announce(t_start + SimTime::from_millis(10), s.ext_r2, &[s.prefix]);
+        s.sim
+            .schedule_ext_announce(t_start + SimTime::from_millis(10), s.ext_r2, &[s.prefix]);
         s.sim.run_to_quiescence(200_000);
         let t_end = s.sim.now() + SimTime::from_millis(150);
 
         let policy = Policy::LoopFree { prefix: s.prefix };
         let mut t = t_start;
         while t <= t_end {
-            let naive = naive_verify_at(s.sim.trace(), s.sim.topology(), std::slice::from_ref(&policy), t);
+            let naive = naive_verify_at(
+                s.sim.trace(),
+                s.sim.topology(),
+                std::slice::from_ref(&policy),
+                t,
+            );
             if !naive.ok() {
                 println!("seed {seed}, horizon {t}:");
                 println!("  naive verifier : {}", naive.violations[0]);
@@ -58,7 +68,11 @@ fn main() {
                 .expect("consistency is eventually reached");
                 println!(
                     "  HBG verifier   : verified at {at} instead: {}",
-                    if rep.ok() { "no loop — the alarm was false" } else { "loop confirmed" }
+                    if rep.ok() {
+                        "no loop — the alarm was false"
+                    } else {
+                        "loop confirmed"
+                    }
                 );
                 return;
             }

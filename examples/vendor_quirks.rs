@@ -18,11 +18,17 @@ fn main() {
     println!("two eBGP sessions announce {prefix} with identical attributes;");
     println!("the route from the HIGHER-id originator arrives FIRST.\n");
 
-    for vendor in [VendorProfile::Cisco, VendorProfile::Juniper, VendorProfile::Standard] {
+    for vendor in [
+        VendorProfile::Cisco,
+        VendorProfile::Juniper,
+        VendorProfile::Standard,
+    ] {
         let mut cfg = BgpConfig::new(RouterId(2), AsNum(65000));
         cfg.vendor = vendor;
-        cfg.sessions.push(SessionCfg::new(PeerRef::External(ExtPeerId(0))));
-        cfg.sessions.push(SessionCfg::new(PeerRef::External(ExtPeerId(1))));
+        cfg.sessions
+            .push(SessionCfg::new(PeerRef::External(ExtPeerId(0))));
+        cfg.sessions
+            .push(SessionCfg::new(PeerRef::External(ExtPeerId(1))));
         let mut speaker = BgpInstance::new(cfg);
 
         // Older route from originator R2 (higher id), then newer from R1.
@@ -30,14 +36,20 @@ fn main() {
         older.originator = RouterId(1);
         let _ = speaker.recv_update(
             PeerRef::External(ExtPeerId(1)),
-            BgpUpdate { announce: vec![older], withdraw: vec![] },
+            BgpUpdate {
+                announce: vec![older],
+                withdraw: vec![],
+            },
             &igp,
         );
         let mut newer = BgpRoute::external(prefix, ExtPeerId(0), AsNum(100), RouterId(0));
         newer.originator = RouterId(0);
         let _ = speaker.recv_update(
             PeerRef::External(ExtPeerId(0)),
-            BgpUpdate { announce: vec![newer], withdraw: vec![] },
+            BgpUpdate {
+                announce: vec![newer],
+                withdraw: vec![],
+            },
             &igp,
         );
 
@@ -47,7 +59,10 @@ fn main() {
             VendorProfile::Cisco => "Cisco keeps the OLDEST eBGP route",
             _ => "standard rule: lowest originator router-id wins",
         };
-        println!("  {vendor:?}: best path originator = {} ({why})", best.originator);
+        println!(
+            "  {vendor:?}: best path originator = {} ({why})",
+            best.originator
+        );
     }
 
     println!("\nweight is Cisco-only: give the worse route weight 100 and only");
@@ -73,10 +88,14 @@ fn main() {
         });
         let mut speaker = BgpInstance::new(cfg);
         for peer in [0u32, 1] {
-            let route = BgpRoute::external(prefix, ExtPeerId(peer), AsNum(100 + peer), RouterId(peer));
+            let route =
+                BgpRoute::external(prefix, ExtPeerId(peer), AsNum(100 + peer), RouterId(peer));
             let _ = speaker.recv_update(
                 PeerRef::External(ExtPeerId(peer)),
-                BgpUpdate { announce: vec![route], withdraw: vec![] },
+                BgpUpdate {
+                    announce: vec![route],
+                    withdraw: vec![],
+                },
                 &igp,
             );
         }
@@ -84,8 +103,7 @@ fn main() {
         let best = rib.get(&prefix).unwrap();
         println!(
             "  {vendor:?}: selected LP={} via {:?}",
-            best.local_pref,
-            best.next_hop
+            best.local_pref, best.next_hop
         );
     }
 }

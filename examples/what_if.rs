@@ -12,19 +12,30 @@ use cpvr::types::{RouterId, SimTime};
 use cpvr::verify::Policy;
 
 /// Rebuilds "production" deterministically: same scenario, same seed.
-fn production() -> (Simulation, cpvr::types::Ipv4Prefix, cpvr::topo::ExtPeerId, cpvr::topo::ExtPeerId) {
+fn production() -> (
+    Simulation,
+    cpvr::types::Ipv4Prefix,
+    cpvr::topo::ExtPeerId,
+    cpvr::topo::ExtPeerId,
+) {
     let mut s = paper_scenario(LatencyProfile::fast(), CaptureProfile::ideal(), 1234);
     s.sim.start();
     s.sim.run_to_quiescence(100_000);
-    s.sim.schedule_ext_announce(s.sim.now() + SimTime::from_millis(1), s.ext_r1, &[s.prefix]);
-    s.sim.schedule_ext_announce(s.sim.now() + SimTime::from_millis(5), s.ext_r2, &[s.prefix]);
+    s.sim
+        .schedule_ext_announce(s.sim.now() + SimTime::from_millis(1), s.ext_r1, &[s.prefix]);
+    s.sim
+        .schedule_ext_announce(s.sim.now() + SimTime::from_millis(5), s.ext_r2, &[s.prefix]);
     s.sim.run_to_quiescence(100_000);
     (s.sim, s.prefix, s.ext_r1, s.ext_r2)
 }
 
 fn main() {
     let (_live, prefix, ext_r1, ext_r2) = production();
-    let policy = Policy::PreferredExit { prefix, primary: ext_r2, backup: ext_r1 };
+    let policy = Policy::PreferredExit {
+        prefix,
+        primary: ext_r2,
+        backup: ext_r1,
+    };
 
     // Planned changes for tonight's window:
     let candidates: Vec<(&str, ConfigChange)> = vec![
@@ -44,7 +55,10 @@ fn main() {
         ),
         (
             "deny-all import on R2's uplink",
-            ConfigChange::SetImport { peer: PeerRef::External(ext_r2), map: RouteMap::deny_any() },
+            ConfigChange::SetImport {
+                peer: PeerRef::External(ext_r2),
+                map: RouteMap::deny_any(),
+            },
         ),
     ];
 
@@ -52,7 +66,13 @@ fn main() {
     for (desc, change) in candidates {
         let result = what_if(
             || production().0,
-            |sim| sim.schedule_config(sim.now() + SimTime::from_millis(1), RouterId(1), change.clone()),
+            |sim| {
+                sim.schedule_config(
+                    sim.now() + SimTime::from_millis(1),
+                    RouterId(1),
+                    change.clone(),
+                )
+            },
             std::slice::from_ref(&policy),
             200_000,
         );

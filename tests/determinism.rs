@@ -20,8 +20,10 @@ use cpvr::types::{AsNum, Ipv4Prefix, RouterId, SimTime};
 fn speaker(vendor: VendorProfile) -> BgpInstance {
     let mut cfg = BgpConfig::new(RouterId(9), AsNum(65000));
     cfg.vendor = vendor;
-    cfg.sessions.push(SessionCfg::new(PeerRef::External(ExtPeerId(0))));
-    cfg.sessions.push(SessionCfg::new(PeerRef::External(ExtPeerId(1))));
+    cfg.sessions
+        .push(SessionCfg::new(PeerRef::External(ExtPeerId(0))));
+    cfg.sessions
+        .push(SessionCfg::new(PeerRef::External(ExtPeerId(1))));
     BgpInstance::new(cfg)
 }
 
@@ -31,7 +33,10 @@ fn announce(inst: &mut BgpInstance, peer: u32, originator: u32, prefix: Ipv4Pref
     r.originator = RouterId(originator);
     let _ = inst.recv_update(
         PeerRef::External(ExtPeerId(peer)),
-        BgpUpdate { announce: vec![r], withdraw: vec![] },
+        BgpUpdate {
+            announce: vec![r],
+            withdraw: vec![],
+        },
         &igp,
     );
 }
@@ -107,21 +112,28 @@ fn full_simulation_rollback_restores_dataplane() {
         let mut s = paper_scenario(LatencyProfile::fast(), CaptureProfile::ideal(), 88);
         s.sim.start();
         s.sim.run_to_quiescence(400_000);
-        s.sim.schedule_ext_announce(s.sim.now() + SimTime::from_millis(1), s.ext_r1, &[s.prefix]);
-        s.sim.schedule_ext_announce(s.sim.now() + SimTime::from_millis(50), s.ext_r2, &[s.prefix]);
+        s.sim
+            .schedule_ext_announce(s.sim.now() + SimTime::from_millis(1), s.ext_r1, &[s.prefix]);
+        s.sim.schedule_ext_announce(
+            s.sim.now() + SimTime::from_millis(50),
+            s.ext_r2,
+            &[s.prefix],
+        );
         s.sim.run_to_quiescence(400_000);
         if with_fault_and_revert {
             let change = ConfigChange::SetImport {
                 peer: PeerRef::External(s.ext_r2),
                 map: RouteMap::set_all(vec![SetAction::LocalPref(10)]),
             };
-            s.sim.schedule_config(s.sim.now() + SimTime::from_millis(10), RouterId(1), change);
+            s.sim
+                .schedule_config(s.sim.now() + SimTime::from_millis(10), RouterId(1), change);
             s.sim.run_to_quiescence(400_000);
             let revert = ConfigChange::SetImport {
                 peer: PeerRef::External(s.ext_r2),
                 map: RouteMap::set_all(vec![SetAction::LocalPref(30)]),
             };
-            s.sim.schedule_config(s.sim.now() + SimTime::from_millis(10), RouterId(1), revert);
+            s.sim
+                .schedule_config(s.sim.now() + SimTime::from_millis(10), RouterId(1), revert);
             s.sim.run_to_quiescence(400_000);
         }
         // Extract FIB action maps.
@@ -139,5 +151,8 @@ fn full_simulation_rollback_restores_dataplane() {
     };
     let clean = run(false);
     let reverted = run(true);
-    assert_eq!(clean, reverted, "fault + rollback must restore the exact data plane");
+    assert_eq!(
+        clean, reverted,
+        "fault + rollback must restore the exact data plane"
+    );
 }

@@ -15,8 +15,13 @@ fn converged(igp: IgpKind, seed: u64) -> PaperScenario {
     let mut s = paper_scenario_with_igp(LatencyProfile::fast(), CaptureProfile::ideal(), seed, igp);
     s.sim.start();
     s.sim.run_to_quiescence(MAX_EVENTS);
-    s.sim.schedule_ext_announce(s.sim.now() + SimTime::from_millis(1), s.ext_r1, &[s.prefix]);
-    s.sim.schedule_ext_announce(s.sim.now() + SimTime::from_millis(50), s.ext_r2, &[s.prefix]);
+    s.sim
+        .schedule_ext_announce(s.sim.now() + SimTime::from_millis(1), s.ext_r1, &[s.prefix]);
+    s.sim.schedule_ext_announce(
+        s.sim.now() + SimTime::from_millis(50),
+        s.ext_r2,
+        &[s.prefix],
+    );
     s.sim.run_to_quiescence(MAX_EVENTS);
     s
 }
@@ -26,15 +31,24 @@ fn paper_pipeline_works_over_every_igp() {
     for igp in [IgpKind::Ospf, IgpKind::Rip, IgpKind::Eigrp] {
         let mut s = converged(igp, 61);
         // Converged state satisfies the policy over each underlay.
-        let policy = Policy::PreferredExit { prefix: s.prefix, primary: s.ext_r2, backup: s.ext_r1 };
-        let pre = verify(s.sim.topology(), s.sim.dataplane(), std::slice::from_ref(&policy));
+        let policy = Policy::PreferredExit {
+            prefix: s.prefix,
+            primary: s.ext_r2,
+            backup: s.ext_r1,
+        };
+        let pre = verify(
+            s.sim.topology(),
+            s.sim.dataplane(),
+            std::slice::from_ref(&policy),
+        );
         assert!(pre.ok(), "{igp:?} pre-change: {:?}", pre.violations);
         // Inject Fig. 2's bad change; the guard must repair it.
         let change = ConfigChange::SetImport {
             peer: PeerRef::External(s.ext_r2),
             map: RouteMap::set_all(vec![SetAction::LocalPref(10)]),
         };
-        s.sim.schedule_config(s.sim.now() + SimTime::from_millis(20), RouterId(1), change);
+        s.sim
+            .schedule_config(s.sim.now() + SimTime::from_millis(20), RouterId(1), change);
         let guard = ControlLoop::new(vec![policy]);
         let report = guard.run(&mut s.sim, SimTime::from_secs(2));
         assert!(report.repairs() >= 1, "{igp:?}:\n{}", report.render());
@@ -51,7 +65,12 @@ fn eigrp_underlay_emits_fib_before_send() {
     let trace = s.sim.trace();
     let mut checked = 0;
     for e in &trace.events {
-        if let IoKind::SendAdvert { proto: Proto::Eigrp, prefix: Some(p), .. } = &e.kind {
+        if let IoKind::SendAdvert {
+            proto: Proto::Eigrp,
+            prefix: Some(p),
+            ..
+        } = &e.kind
+        {
             // Find the latest FIB event for p on e.router before e.
             let fib_before = trace.events.iter().any(|f| {
                 f.router == e.router
@@ -64,7 +83,10 @@ fn eigrp_underlay_emits_fib_before_send() {
             }
         }
     }
-    assert!(checked > 0, "no EIGRP advert followed a FIB event — rule not exercised");
+    assert!(
+        checked > 0,
+        "no EIGRP advert followed a FIB event — rule not exercised"
+    );
 }
 
 #[test]
@@ -100,14 +122,20 @@ fn skewed_capture_still_ends_repaired() {
     );
     s.sim.start();
     s.sim.run_to_quiescence(MAX_EVENTS);
-    s.sim.schedule_ext_announce(s.sim.now() + SimTime::from_millis(1), s.ext_r1, &[s.prefix]);
-    s.sim.schedule_ext_announce(s.sim.now() + SimTime::from_millis(50), s.ext_r2, &[s.prefix]);
+    s.sim
+        .schedule_ext_announce(s.sim.now() + SimTime::from_millis(1), s.ext_r1, &[s.prefix]);
+    s.sim.schedule_ext_announce(
+        s.sim.now() + SimTime::from_millis(50),
+        s.ext_r2,
+        &[s.prefix],
+    );
     s.sim.run_to_quiescence(MAX_EVENTS);
     let change = ConfigChange::SetImport {
         peer: PeerRef::External(s.ext_r2),
         map: RouteMap::set_all(vec![SetAction::LocalPref(10)]),
     };
-    s.sim.schedule_config(s.sim.now() + SimTime::from_millis(20), RouterId(1), change);
+    s.sim
+        .schedule_config(s.sim.now() + SimTime::from_millis(20), RouterId(1), change);
     let guard = ControlLoop::new(vec![Policy::PreferredExit {
         prefix: s.prefix,
         primary: s.ext_r2,
@@ -132,23 +160,40 @@ fn guard_reports_waits_under_skew() {
         );
         s.sim.start();
         s.sim.run_to_quiescence(MAX_EVENTS);
-        s.sim.schedule_ext_announce(s.sim.now() + SimTime::from_millis(1), s.ext_r1, &[s.prefix]);
-        s.sim.schedule_ext_announce(s.sim.now() + SimTime::from_millis(100), s.ext_r2, &[s.prefix]);
+        s.sim
+            .schedule_ext_announce(s.sim.now() + SimTime::from_millis(1), s.ext_r1, &[s.prefix]);
+        s.sim.schedule_ext_announce(
+            s.sim.now() + SimTime::from_millis(100),
+            s.ext_r2,
+            &[s.prefix],
+        );
         let guard = ControlLoop {
             policies: vec![Policy::LoopFree { prefix: s.prefix }],
             min_confidence: 0.8,
             interval: SimTime::from_millis(10),
         };
         let report = guard.run(&mut s.sim, SimTime::from_secs(1));
-        assert_eq!(report.repairs(), 0, "seed {seed}: no repair is ever warranted here");
+        assert_eq!(
+            report.repairs(),
+            0,
+            "seed {seed}: no repair is ever warranted here"
+        );
         assert!(report.final_ok);
         if report.waits() > 0 {
             any_wait = true;
         }
-        let premature = report.timeline.iter().any(|(_, a)| {
-            matches!(a, GuardAction::Detected { .. })
-        });
-        assert!(!premature, "seed {seed}: detected a phantom violation:\n{}", report.render());
+        let premature = report
+            .timeline
+            .iter()
+            .any(|(_, a)| matches!(a, GuardAction::Detected { .. }));
+        assert!(
+            !premature,
+            "seed {seed}: detected a phantom violation:\n{}",
+            report.render()
+        );
     }
-    assert!(any_wait, "skewed capture should cause at least one wait across seeds");
+    assert!(
+        any_wait,
+        "skewed capture should cause at least one wait across seeds"
+    );
 }

@@ -15,7 +15,8 @@ const MAX_EVENTS: usize = 400_000;
 const DST: &str = "8.8.8.8";
 
 fn converged(seed: u64) -> (Simulation, ExtPeerId, Ipv4Prefix) {
-    let (mut sim, provider) = two_as_scenario(LatencyProfile::fast(), CaptureProfile::ideal(), seed);
+    let (mut sim, provider) =
+        two_as_scenario(LatencyProfile::fast(), CaptureProfile::ideal(), seed);
     let p: Ipv4Prefix = "8.8.8.0/24".parse().unwrap();
     sim.start();
     sim.run_to_quiescence(MAX_EVENTS);
@@ -30,7 +31,9 @@ fn route_propagates_across_the_as_boundary() {
     // Every router (including AS 65000's R1, two AS hops away) delivers
     // traffic out the provider at R4.
     for r in 0..4u32 {
-        let t = sim.dataplane().trace(sim.topology(), RouterId(r), DST.parse().unwrap());
+        let t = sim
+            .dataplane()
+            .trace(sim.topology(), RouterId(r), DST.parse().unwrap());
         assert_eq!(
             t.outcome,
             TraceOutcome::Exited(provider),
@@ -40,7 +43,9 @@ fn route_propagates_across_the_as_boundary() {
         );
     }
     // R1's path walks the whole line.
-    let t = sim.dataplane().trace(sim.topology(), RouterId(0), DST.parse().unwrap());
+    let t = sim
+        .dataplane()
+        .trace(sim.topology(), RouterId(0), DST.parse().unwrap());
     assert_eq!(
         t.router_path(),
         vec![RouterId(0), RouterId(1), RouterId(2), RouterId(3)]
@@ -88,7 +93,9 @@ fn withdrawal_crosses_the_boundary() {
             "R{} must lose the route",
             r + 1
         );
-        let t = sim.dataplane().trace(sim.topology(), RouterId(r), DST.parse().unwrap());
+        let t = sim
+            .dataplane()
+            .trace(sim.topology(), RouterId(r), DST.parse().unwrap());
         assert!(matches!(t.outcome, TraceOutcome::Blackhole(_)));
     }
 }

@@ -34,16 +34,32 @@ fn star(with_reflection: bool, seed: u64) -> (Simulation, ExtPeerId) {
             SessionCfg::new(PeerRef::Internal(*s))
         });
     }
-    let mut configs = vec![RouterConfig { bgp: hub_cfg, igp: IgpKind::Ospf }];
+    let mut configs = vec![RouterConfig {
+        bgp: hub_cfg,
+        igp: IgpKind::Ospf,
+    }];
     for s in &spokes {
         let mut cfg = BgpConfig::new(*s, asn);
         cfg.sessions.push(SessionCfg::new(PeerRef::Internal(hub)));
         if *s == spokes[0] {
-            cfg.sessions.push(SessionCfg::new(PeerRef::External(provider)));
+            cfg.sessions
+                .push(SessionCfg::new(PeerRef::External(provider)));
         }
-        configs.push(RouterConfig { bgp: cfg, igp: IgpKind::Ospf });
+        configs.push(RouterConfig {
+            bgp: cfg,
+            igp: IgpKind::Ospf,
+        });
     }
-    (Simulation::new(topo, configs, LatencyProfile::fast(), CaptureProfile::ideal(), seed), provider)
+    (
+        Simulation::new(
+            topo,
+            configs,
+            LatencyProfile::fast(),
+            CaptureProfile::ideal(),
+            seed,
+        ),
+        provider,
+    )
 }
 
 fn converge(sim: &mut Simulation, provider: ExtPeerId, p: Ipv4Prefix) {
@@ -82,7 +98,9 @@ fn reflection_distributes_routes_with_correct_next_hop() {
     // border spoke R2, NOT the reflector.
     for r in 0..4u32 {
         let rib = sim.router(RouterId(r)).bgp.loc_rib();
-        let route = rib.get(&p).unwrap_or_else(|| panic!("R{} missing route", r + 1));
+        let route = rib
+            .get(&p)
+            .unwrap_or_else(|| panic!("R{} missing route", r + 1));
         if r == 1 {
             assert_eq!(route.next_hop, NextHop::External(provider));
         } else {
@@ -95,7 +113,9 @@ fn reflection_distributes_routes_with_correct_next_hop() {
         }
     }
     // And traffic actually flows: spoke R4 → hub → R2 → provider.
-    let t = sim.dataplane().trace(sim.topology(), RouterId(3), "8.8.8.8".parse().unwrap());
+    let t = sim
+        .dataplane()
+        .trace(sim.topology(), RouterId(3), "8.8.8.8".parse().unwrap());
     assert_eq!(t.outcome, TraceOutcome::Exited(provider));
     assert_eq!(t.router_path(), vec![RouterId(3), RouterId(0), RouterId(1)]);
 }

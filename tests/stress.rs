@@ -15,7 +15,12 @@ const MAX_EVENTS: usize = 2_000_000;
 
 /// Builds a random-topology simulation with full iBGP mesh and the given
 /// uplink count.
-fn build(n: usize, extra: usize, uplinks: usize, seed: u64) -> (Simulation, Vec<cpvr::topo::ExtPeerId>) {
+fn build(
+    n: usize,
+    extra: usize,
+    uplinks: usize,
+    seed: u64,
+) -> (Simulation, Vec<cpvr::topo::ExtPeerId>) {
     let (topo, peers) = random_topology(n, extra, uplinks, seed);
     let asn = AsNum(65000);
     let mut configs = Vec::new();
@@ -23,10 +28,14 @@ fn build(n: usize, extra: usize, uplinks: usize, seed: u64) -> (Simulation, Vec<
         let mut bgp = BgpConfig::new(RouterId(r), asn);
         for other in 0..n as u32 {
             if other != r {
-                bgp.sessions.push(SessionCfg::new(PeerRef::Internal(RouterId(other))));
+                bgp.sessions
+                    .push(SessionCfg::new(PeerRef::Internal(RouterId(other))));
             }
         }
-        configs.push(RouterConfig { bgp, igp: IgpKind::Ospf });
+        configs.push(RouterConfig {
+            bgp,
+            igp: IgpKind::Ospf,
+        });
     }
     for peer in &peers {
         let attach = topo.ext_peer(*peer).attach.0;
@@ -40,7 +49,16 @@ fn build(n: usize, extra: usize, uplinks: usize, seed: u64) -> (Simulation, Vec<
     // events share timestamps, which honestly degrades inference
     // precision (timestamps only *filter*, §4.2) but is not how router
     // logs look.
-    (Simulation::new(topo, configs, LatencyProfile::cisco(), CaptureProfile::ideal(), seed), peers)
+    (
+        Simulation::new(
+            topo,
+            configs,
+            LatencyProfile::cisco(),
+            CaptureProfile::ideal(),
+            seed,
+        ),
+        peers,
+    )
 }
 
 #[test]
@@ -63,7 +81,11 @@ fn twenty_routers_converge_and_verify() {
         .map(|p| Policy::Reachable { prefix: *p })
         .collect();
     let report = verify(sim.topology(), sim.dataplane(), &policies);
-    assert!(report.ok(), "violations: {:?}", &report.violations[..report.violations.len().min(3)]);
+    assert!(
+        report.ok(),
+        "violations: {:?}",
+        &report.violations[..report.violations.len().min(3)]
+    );
     // Loop-free everywhere, too.
     let loops: Vec<Policy> = prefixes
         .iter()
@@ -79,10 +101,28 @@ fn twenty_routers_converge_and_verify() {
     // the inference imprecision the paper warns about (§4.2) and the
     // reason it attaches confidences and thresholds to HBRs.
     assert!(consistency_check(sim.trace(), sim.now()).is_consistent());
-    let g = infer_hbg(sim.trace(), &InferConfig { rules: true, patterns: None, min_confidence: 0.0, proximate: false });
+    let g = infer_hbg(
+        sim.trace(),
+        &InferConfig {
+            rules: true,
+            patterns: None,
+            min_confidence: 0.0,
+            proximate: false,
+        },
+    );
     let st = evaluate(&g, sim.trace(), 0.5);
-    assert!(st.recall > 0.6, "recall {:.3} on {} events", st.recall, sim.trace().len());
-    assert!(st.precision > 0.55, "precision {:.3} on {} events", st.precision, sim.trace().len());
+    assert!(
+        st.recall > 0.6,
+        "recall {:.3} on {} events",
+        st.recall,
+        sim.trace().len()
+    );
+    assert!(
+        st.precision > 0.55,
+        "precision {:.3} on {} events",
+        st.precision,
+        sim.trace().len()
+    );
 }
 
 #[test]
@@ -104,7 +144,11 @@ fn churn_storm_ends_consistent() {
     sim.run_to_quiescence(MAX_EVENTS);
     // After the storm: no loops anywhere, all installed prefixes deliver.
     for p in &prefixes {
-        let rep = verify(sim.topology(), sim.dataplane(), &[Policy::LoopFree { prefix: *p }]);
+        let rep = verify(
+            sim.topology(),
+            sim.dataplane(),
+            &[Policy::LoopFree { prefix: *p }],
+        );
         assert!(rep.ok(), "loop after churn on {p}");
     }
     for p in sim.dataplane().all_prefixes() {
@@ -128,8 +172,16 @@ fn link_failures_never_leave_loops() {
     sim.start();
     sim.run_to_quiescence(MAX_EVENTS);
     let prefixes = prefix_block(6);
-    sim.schedule_ext_announce(sim.now() + SimTime::from_millis(1), peers[0], &prefixes[..3]);
-    sim.schedule_ext_announce(sim.now() + SimTime::from_millis(2), peers[1], &prefixes[3..]);
+    sim.schedule_ext_announce(
+        sim.now() + SimTime::from_millis(1),
+        peers[0],
+        &prefixes[..3],
+    );
+    sim.schedule_ext_announce(
+        sim.now() + SimTime::from_millis(2),
+        peers[1],
+        &prefixes[3..],
+    );
     sim.run_to_quiescence(MAX_EVENTS);
     // Fail three random-ish links (deterministically chosen), one by one,
     // re-converging each time.
