@@ -19,11 +19,23 @@ use crate::repair::{propose_repairs, RepairAction, RepairPlan};
 use crate::snapshot::{ConsistencyTracker, SnapshotStatus};
 use cpvr_bgp::ConfigChange;
 use cpvr_sim::{EventId, IoKind, Simulation};
+use cpvr_topo::Topology;
 use cpvr_types::{RouterId, SimTime};
-use cpvr_verify::{verify, Policy};
+use cpvr_verify::{verify, IncrementalVerifier, Policy};
 use std::cell::RefCell;
 use std::collections::BTreeSet;
 use std::rc::Rc;
+
+/// The topology state verification verdicts depend on: the up/down state
+/// of every link and external peer. Traces consult nothing else, so an
+/// unchanged signature means cached per-class verdicts stay valid.
+fn topo_signature(topo: &Topology) -> Vec<bool> {
+    topo.links()
+        .iter()
+        .map(|l| l.state.is_up())
+        .chain(topo.ext_peers().iter().map(|p| p.state.is_up()))
+        .collect()
+}
 
 /// One entry in the guard's timeline.
 #[derive(Clone, Debug)]
@@ -166,6 +178,11 @@ impl ControlLoop {
                 tracker.borrow_mut().ingest(e);
             }));
         }
+        // The resident verifier mirrors the tracker's data plane via
+        // drained FIB deltas; it is rebuilt only when the topology state
+        // the verdicts depend on changes.
+        let mut verifier: Option<IncrementalVerifier> = None;
+        let mut last_sig: Vec<bool> = Vec::new();
         let end = sim.now() + budget;
         let mut t = sim.now();
         while t < end {
@@ -181,8 +198,30 @@ impl ControlLoop {
                 }
                 SnapshotStatus::Consistent => {}
             }
-            let tracker_ref = tracker.borrow();
-            let vr = verify(sim.topology(), tracker_ref.dataplane(), &self.policies);
+            // Feed the deltas that arrived since the last consistent
+            // epoch into the incremental engine (deltas accumulate
+            // harmlessly across waits). A topology-state change
+            // invalidates every cached verdict → rebuild from the
+            // tracker's current snapshot instead (discarding the drained
+            // deltas, which that snapshot already contains).
+            let deltas = tracker.borrow_mut().drain_applied();
+            let sig = topo_signature(sim.topology());
+            match &mut verifier {
+                Some(v) if sig == last_sig => {
+                    for u in &deltas {
+                        v.apply(u);
+                    }
+                }
+                _ => {
+                    verifier = Some(IncrementalVerifier::new(
+                        sim.topology().clone(),
+                        tracker.borrow().dataplane().clone(),
+                        self.policies.clone(),
+                    ));
+                    last_sig = sig;
+                }
+            }
+            let vr = verifier.as_ref().expect("just built").report();
             if vr.ok() {
                 continue;
             }
@@ -208,7 +247,6 @@ impl ControlLoop {
                 })
                 .max_by_key(|e| (e.time, e.id));
             let Some(bad_fib) = bad_fib else { continue };
-            drop(tracker_ref);
             // Fold everything stamped up to the verification horizon into
             // the incremental HBG, then walk to root causes. Edges never
             // point backward in time, so the ancestors of an event stamped

@@ -12,10 +12,9 @@
 //! accumulate control/data-plane divergence, and a later legitimate
 //! withdrawal blackholes.
 
-use cpvr_dataplane::{DataPlane, FibUpdate};
+use cpvr_dataplane::FibUpdate;
 use cpvr_sim::{FibGate, Simulation};
-use cpvr_topo::Topology;
-use cpvr_verify::{verify_incremental, Policy};
+use cpvr_verify::{IncrementalVerifier, Policy};
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -29,15 +28,15 @@ pub struct GateStats {
 }
 
 struct GateState {
-    shadow: DataPlane,
-    topo: Topology,
-    policies: Vec<Policy>,
+    verifier: IncrementalVerifier,
     stats: Rc<RefCell<GateStats>>,
 }
 
 /// Installs an inline verifier gate on the simulation: every FIB update
-/// is applied to a shadow data plane, the affected policies re-verified
-/// incrementally, and the update blocked if the result violates.
+/// is tentatively applied to a resident [`IncrementalVerifier`] (which
+/// keeps the shadow data plane, equivalence classes, and per-class
+/// verdicts live), and blocked — rolled back — if the delta check
+/// violates.
 ///
 /// Returns a handle to the gate's statistics. The shadow starts from the
 /// live data plane at installation time, and the topology (incl. link
@@ -47,25 +46,24 @@ struct GateState {
 pub fn install_inline_gate(sim: &mut Simulation, policies: Vec<Policy>) -> Rc<RefCell<GateStats>> {
     let stats = Rc::new(RefCell::new(GateStats::default()));
     let state = RefCell::new(GateState {
-        shadow: sim.dataplane().clone(),
-        topo: sim.topology().clone(),
-        policies,
+        verifier: IncrementalVerifier::new(
+            sim.topology().clone(),
+            sim.dataplane().clone(),
+            policies,
+        ),
         stats: stats.clone(),
     });
     let gate: FibGate = Box::new(move |update: &FibUpdate| {
         let mut st = state.borrow_mut();
-        // Tentatively apply to the shadow and re-verify the affected
-        // slice.
-        let mut candidate = st.shadow.clone();
-        candidate.apply(update);
-        let report = verify_incremental(&st.topo, &candidate, &st.policies, &[update.prefix]);
-        if report.ok() {
-            st.shadow = candidate;
-            st.stats.borrow_mut().allowed += 1;
-            true
-        } else {
-            st.stats.borrow_mut().blocked.push(*update);
-            false
+        match st.verifier.gate(update) {
+            Ok(_) => {
+                st.stats.borrow_mut().allowed += 1;
+                true
+            }
+            Err(_) => {
+                st.stats.borrow_mut().blocked.push(*update);
+                false
+            }
         }
     });
     sim.set_fib_gate(gate);

@@ -183,6 +183,10 @@ pub struct ConsistencyTracker {
     /// Keys currently failing causal closure.
     bad: std::collections::BTreeSet<ConvKey>,
     dp: DataPlane,
+    /// FIB updates applied to `dp` since the last
+    /// [`drain_applied`](Self::drain_applied) — the delta feed for an
+    /// incremental verifier mirroring this tracker's data plane.
+    applied: Vec<FibUpdate>,
 }
 
 impl ConsistencyTracker {
@@ -195,6 +199,7 @@ impl ConsistencyTracker {
             dirty: std::collections::BTreeSet::new(),
             bad: std::collections::BTreeSet::new(),
             dp: DataPlane::new(n_routers),
+            applied: Vec::new(),
         }
     }
 
@@ -293,22 +298,26 @@ impl ConsistencyTracker {
                         self.dirty.insert(*key);
                     }
                     Digest::FibInstall(prefix, action) => {
-                        self.dp.apply(&FibUpdate {
+                        let u = FibUpdate {
                             router,
                             prefix: *prefix,
                             kind: UpdateKind::Install,
                             action: *action,
                             at: rec.time,
-                        });
+                        };
+                        self.dp.apply(&u);
+                        self.applied.push(u);
                     }
                     Digest::FibRemove(prefix) => {
-                        self.dp.apply(&FibUpdate {
+                        let u = FibUpdate {
                             router,
                             prefix: *prefix,
                             kind: UpdateKind::Remove,
                             action: FibAction::Drop,
                             at: rec.time,
-                        });
+                        };
+                        self.dp.apply(&u);
+                        self.applied.push(u);
                     }
                     Digest::Other => {}
                 }
@@ -363,6 +372,14 @@ impl ConsistencyTracker {
     /// to [`snapshot_arrived_by`] at the current horizon.
     pub fn dataplane(&self) -> &DataPlane {
         &self.dp
+    }
+
+    /// Takes the FIB updates applied since the last drain, in application
+    /// order. Replaying them against a mirror of the previous drain's
+    /// data plane reproduces [`dataplane`](Self::dataplane) exactly,
+    /// which is how the control loop feeds its incremental verifier.
+    pub fn drain_applied(&mut self) -> Vec<FibUpdate> {
+        std::mem::take(&mut self.applied)
     }
 }
 
@@ -759,6 +776,59 @@ mod tests {
         assert_eq!(
             tracker.advance(SimTime::from_secs(10)),
             consistency_check(&b.trace, SimTime::from_secs(10))
+        );
+    }
+
+    #[test]
+    fn drain_applied_replays_to_the_tracker_dataplane() {
+        let mut b = TB::new();
+        let p = pfx("8.8.8.0/24");
+        let q = pfx("9.9.9.0/24");
+        b.ev(
+            0,
+            10,
+            Some(11),
+            IoKind::FibInstall {
+                prefix: p,
+                action: FibAction::Drop,
+            },
+        );
+        b.ev(
+            0,
+            20,
+            Some(21),
+            IoKind::FibInstall {
+                prefix: q,
+                action: FibAction::Local,
+            },
+        );
+        b.ev(0, 30, Some(90), IoKind::FibRemove { prefix: q });
+        let mut tracker = ConsistencyTracker::new(1);
+        for e in &b.trace.events {
+            tracker.ingest(e);
+        }
+        let mut mirror = DataPlane::new(1);
+        tracker.advance(SimTime::from_millis(50));
+        let batch = tracker.drain_applied();
+        assert_eq!(batch.len(), 2, "only the arrived installs");
+        for u in &batch {
+            mirror.fib_mut(u.router).apply(u);
+        }
+        assert_eq!(
+            mirror.fib(RouterId(0)).entries(),
+            tracker.dataplane().fib(RouterId(0)).entries()
+        );
+        // Drain is destructive; the next advance delivers only the rest.
+        assert!(tracker.drain_applied().is_empty());
+        tracker.advance(SimTime::from_millis(100));
+        let rest = tracker.drain_applied();
+        assert_eq!(rest.len(), 1);
+        for u in &rest {
+            mirror.fib_mut(u.router).apply(u);
+        }
+        assert_eq!(
+            mirror.fib(RouterId(0)).entries(),
+            tracker.dataplane().fib(RouterId(0)).entries()
         );
     }
 

@@ -127,6 +127,13 @@ impl Fib {
         self.entries.prefixes()
     }
 
+    /// The underlying prefix trie, for callers that want to walk the
+    /// table structurally (equivalence-class slicing) without collecting
+    /// intermediate vectors.
+    pub fn trie(&self) -> &PrefixTrie<FibEntry> {
+        &self.entries
+    }
+
     /// Applies a [`FibUpdate`] to this table. The update's router field is
     /// not checked; callers route updates to the right FIB.
     pub fn apply(&mut self, u: &FibUpdate) {

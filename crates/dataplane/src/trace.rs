@@ -7,7 +7,7 @@
 
 use crate::fib::{Fib, FibAction, FibUpdate};
 use cpvr_topo::{ExtPeerId, Topology};
-use cpvr_types::{Ipv4Prefix, RouterId, SimTime};
+use cpvr_types::{Ipv4Prefix, PrefixTrie, RouterId, SimTime};
 use std::fmt;
 use std::net::Ipv4Addr;
 
@@ -237,11 +237,27 @@ impl DataPlane {
     /// The union of all prefixes present in any FIB, deduplicated, in
     /// prefix order. This is the input to equivalence-class slicing.
     pub fn all_prefixes(&self) -> Vec<Ipv4Prefix> {
-        let mut set = std::collections::BTreeSet::new();
+        self.prefix_union().prefixes()
+    }
+
+    /// The union of all installed prefixes as a trie, each mapped to the
+    /// number of routers holding an entry for it. This is the structure
+    /// the trie-driven equivalence-class computation walks, and the one
+    /// an incremental verifier keeps live across [`FibUpdate`]s (the
+    /// refcount tells it when a prefix leaves the union entirely).
+    pub fn prefix_union(&self) -> PrefixTrie<usize> {
+        let mut t: PrefixTrie<usize> = PrefixTrie::new();
         for f in &self.fibs {
-            set.extend(f.prefixes());
+            for (p, _) in f.trie().iter() {
+                match t.get_mut(&p) {
+                    Some(c) => *c += 1,
+                    None => {
+                        t.insert(p, 1);
+                    }
+                }
+            }
         }
-        set.into_iter().collect()
+        t
     }
 }
 
@@ -370,6 +386,17 @@ mod tests {
             .install(p("1.0.0.0/8"), entry(FibAction::Drop));
         let all = dp.all_prefixes();
         assert_eq!(all, vec![p("1.0.0.0/8"), p("8.8.8.0/24")]);
+    }
+
+    #[test]
+    fn prefix_union_refcounts_installations() {
+        let (_, mut dp) = line_dp();
+        dp.fib_mut(RouterId(0))
+            .install(p("1.0.0.0/8"), entry(FibAction::Drop));
+        let u = dp.prefix_union();
+        assert_eq!(u.get(&p("8.8.8.0/24")), Some(&3));
+        assert_eq!(u.get(&p("1.0.0.0/8")), Some(&1));
+        assert_eq!(u.len(), 2);
     }
 
     #[test]

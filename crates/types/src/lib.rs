@@ -29,4 +29,4 @@ pub mod trie;
 pub use ids::{AsNum, IfaceId, RouterId};
 pub use prefix::{Ipv4Prefix, PrefixParseError};
 pub use time::SimTime;
-pub use trie::PrefixTrie;
+pub use trie::{Covering, PrefixTrie};

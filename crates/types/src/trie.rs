@@ -218,6 +218,95 @@ impl<V> PrefixTrie<V> {
         out
     }
 
+    /// The *maximal* stored proper descendants of `prefix`: every stored
+    /// prefix strictly covered by `prefix` that has no stored ancestor
+    /// strictly between itself and `prefix`. Their address ranges are
+    /// pairwise disjoint and returned in ascending order, which is
+    /// exactly what equivalence-class slicing needs to find the space a
+    /// prefix owns itself.
+    ///
+    /// Each trie node below `prefix` is visited at most once and descent
+    /// stops at the first stored value, so a full sweep calling this for
+    /// every stored prefix costs O(nodes) = O(n·W) total, not O(n²).
+    ///
+    /// ```
+    /// use cpvr_types::{Ipv4Prefix, PrefixTrie};
+    ///
+    /// let mut t = PrefixTrie::new();
+    /// for s in ["10.0.0.0/8", "10.0.0.0/16", "10.0.1.0/24", "10.128.0.0/9"] {
+    ///     t.insert(s.parse::<Ipv4Prefix>().unwrap(), s);
+    /// }
+    /// let kids: Vec<String> = t
+    ///     .children_of(&"10.0.0.0/8".parse().unwrap())
+    ///     .into_iter()
+    ///     .map(|(p, _)| p.to_string())
+    ///     .collect();
+    /// // The /24 is hidden behind the /16; the /8 itself is excluded.
+    /// assert_eq!(kids, vec!["10.0.0.0/16", "10.128.0.0/9"]);
+    /// ```
+    pub fn children_of(&self, prefix: &Ipv4Prefix) -> Vec<(Ipv4Prefix, &V)> {
+        let Some(start) = self.find_node(prefix) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        if let Some((l, r)) = prefix.children() {
+            let nd = &self.nodes[start as usize];
+            if nd.children[0] != NO_NODE {
+                self.walk_maximal(nd.children[0], l, &mut out);
+            }
+            if nd.children[1] != NO_NODE {
+                self.walk_maximal(nd.children[1], r, &mut out);
+            }
+        }
+        out
+    }
+
+    fn walk_maximal<'a>(
+        &'a self,
+        node: u32,
+        prefix: Ipv4Prefix,
+        out: &mut Vec<(Ipv4Prefix, &'a V)>,
+    ) {
+        let nd = &self.nodes[node as usize];
+        if let Some(v) = nd.value.as_ref() {
+            out.push((prefix, v));
+            return; // maximal: never descend past a stored prefix
+        }
+        if let Some((l, r)) = prefix.children() {
+            if nd.children[0] != NO_NODE {
+                self.walk_maximal(nd.children[0], l, out);
+            }
+            if nd.children[1] != NO_NODE {
+                self.walk_maximal(nd.children[1], r, out);
+            }
+        }
+    }
+
+    /// Lazily iterates over every stored entry whose prefix contains
+    /// `addr`, least specific first — the allocation-free sibling of
+    /// [`matches`](Self::matches), for hot paths that usually stop early
+    /// (e.g. collecting the stored ancestors of an updated prefix).
+    ///
+    /// ```
+    /// use cpvr_types::{Ipv4Prefix, PrefixTrie};
+    ///
+    /// let mut t = PrefixTrie::new();
+    /// t.insert("0.0.0.0/0".parse::<Ipv4Prefix>().unwrap(), 0u8);
+    /// t.insert("10.0.0.0/8".parse().unwrap(), 8);
+    /// t.insert("10.1.0.0/16".parse().unwrap(), 16);
+    /// t.insert("11.0.0.0/8".parse().unwrap(), 99);
+    /// let lens: Vec<u8> = t.covering("10.1.2.3".parse().unwrap()).map(|(_, v)| *v).collect();
+    /// assert_eq!(lens, vec![0, 8, 16]);
+    /// ```
+    pub fn covering(&self, addr: Ipv4Addr) -> Covering<'_, V> {
+        Covering {
+            trie: self,
+            bits: u32::from(addr),
+            node: 0,
+            depth: 0,
+        }
+    }
+
     /// All stored entries covered by `root` (including `root` itself),
     /// in depth-first prefix order.
     pub fn covered_by(&self, root: &Ipv4Prefix) -> Vec<(Ipv4Prefix, &V)> {
@@ -256,6 +345,40 @@ impl<V> PrefixTrie<V> {
                 }
             }
         }
+    }
+}
+
+/// Iterator over the stored entries containing one address, least
+/// specific first. Created by [`PrefixTrie::covering`].
+pub struct Covering<'a, V> {
+    trie: &'a PrefixTrie<V>,
+    bits: u32,
+    /// The next node to examine; `NO_NODE` when exhausted.
+    node: u32,
+    depth: u8,
+}
+
+impl<'a, V> Iterator for Covering<'a, V> {
+    type Item = (Ipv4Prefix, &'a V);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        while self.node != NO_NODE {
+            let nd = &self.trie.nodes[self.node as usize];
+            let depth = self.depth;
+            // Step down along the address's bit path before yielding, so
+            // the cursor is already positioned for the next call.
+            if depth < 32 {
+                let b = ((self.bits >> (31 - depth)) & 1) as usize;
+                self.node = nd.children[b];
+                self.depth = depth + 1;
+            } else {
+                self.node = NO_NODE;
+            }
+            if let Some(v) = nd.value.as_ref() {
+                return Some((Ipv4Prefix::new(Ipv4Addr::from(self.bits), depth), v));
+            }
+        }
+        None
     }
 }
 
@@ -410,6 +533,62 @@ mod tests {
         }
         assert_eq!(t.nodes.len(), cap, "freed nodes should be reused");
         assert_eq!(t.len(), 100);
+    }
+
+    #[test]
+    fn children_of_returns_maximal_descendants() {
+        let mut t = PrefixTrie::new();
+        for s in [
+            "10.0.0.0/8",
+            "10.0.0.0/16",
+            "10.0.0.0/24",
+            "10.64.0.0/16",
+            "10.128.0.0/9",
+            "11.0.0.0/8",
+        ] {
+            t.insert(p(s), ());
+        }
+        let kids: Vec<Ipv4Prefix> = t
+            .children_of(&p("10.0.0.0/8"))
+            .into_iter()
+            .map(|(c, _)| c)
+            .collect();
+        // The /24 is shadowed by the /16; 11/8 is outside; ranges ascend.
+        assert_eq!(
+            kids,
+            vec![p("10.0.0.0/16"), p("10.64.0.0/16"), p("10.128.0.0/9")]
+        );
+        // A prefix with no stored path below it has no children.
+        assert!(t.children_of(&p("12.0.0.0/8")).is_empty());
+        // Children of a non-stored prefix on a stored path still work.
+        let kids: Vec<Ipv4Prefix> = t
+            .children_of(&p("10.0.0.0/12"))
+            .into_iter()
+            .map(|(c, _)| c)
+            .collect();
+        assert_eq!(kids, vec![p("10.0.0.0/16")]);
+    }
+
+    #[test]
+    fn covering_iterates_lazily_and_matches_matches() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("0.0.0.0/0"), 0u32);
+        t.insert(p("10.0.0.0/8"), 8);
+        t.insert(p("10.1.0.0/16"), 16);
+        t.insert(p("10.2.0.0/16"), 99);
+        let addr = a("10.1.2.3");
+        let lazy: Vec<(Ipv4Prefix, u32)> = t.covering(addr).map(|(c, v)| (c, *v)).collect();
+        let eager: Vec<(Ipv4Prefix, u32)> =
+            t.matches(addr).into_iter().map(|(c, v)| (c, *v)).collect();
+        assert_eq!(lazy, eager);
+        // Early termination is cheap: take(1) yields the default route.
+        assert_eq!(
+            t.covering(addr).next().map(|(c, _)| c),
+            Some(p("0.0.0.0/0"))
+        );
+        // No covering entries at all.
+        let empty: PrefixTrie<()> = PrefixTrie::new();
+        assert_eq!(empty.covering(addr).count(), 0);
     }
 
     #[test]

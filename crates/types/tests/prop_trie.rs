@@ -89,6 +89,43 @@ proptest! {
     }
 
     #[test]
+    fn covering_agrees_with_matches(entries in prop::collection::btree_map(arb_prefix(), any::<u32>(), 0..64), bits in any::<u32>()) {
+        let trie: PrefixTrie<u32> = entries.iter().map(|(p, v)| (*p, *v)).collect();
+        let addr = Ipv4Addr::from(bits);
+        let lazy: Vec<(Ipv4Prefix, u32)> = trie.covering(addr).map(|(p, v)| (p, *v)).collect();
+        let eager: Vec<(Ipv4Prefix, u32)> =
+            trie.matches(addr).into_iter().map(|(p, v)| (p, *v)).collect();
+        prop_assert_eq!(lazy, eager);
+    }
+
+    #[test]
+    fn children_of_are_maximal_proper_descendants(
+        entries in prop::collection::btree_map(arb_prefix(), any::<u32>(), 0..64),
+        root in arb_prefix(),
+    ) {
+        let trie: PrefixTrie<u32> = entries.iter().map(|(p, v)| (*p, *v)).collect();
+        let kids: Vec<Ipv4Prefix> = trie.children_of(&root).into_iter().map(|(p, _)| p).collect();
+        // Model: stored q strictly under root with no stored r strictly
+        // between root and q.
+        let model: Vec<Ipv4Prefix> = entries
+            .keys()
+            .filter(|q| root.covers(q) && **q != root)
+            .filter(|q| {
+                !entries
+                    .keys()
+                    .any(|r| *r != root && r != *q && root.covers(r) && r.covers(q))
+            })
+            .copied()
+            .collect();
+        prop_assert_eq!(&kids, &model);
+        // Maximal children are pairwise disjoint and ascend by range.
+        for w in kids.windows(2) {
+            prop_assert!(!w[0].overlaps(&w[1]));
+            prop_assert!(w[0].last_addr() < w[1].first_addr());
+        }
+    }
+
+    #[test]
     fn covers_is_consistent_with_contains(p1 in arb_prefix(), p2 in arb_prefix()) {
         // If p1 covers p2, then p1 contains both endpoints of p2.
         if p1.covers(&p2) {

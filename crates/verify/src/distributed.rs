@@ -11,12 +11,12 @@
 //! each applying only its local FIB — and tallies the costs of both
 //! schemes so experiment A3 can compare them.
 
-use crate::ec::equivalence_classes;
+use crate::ec::{equivalence_classes, EquivClass};
 use crate::policy::Policy;
-use crate::verifier::{verify, VerifyReport};
+use crate::verifier::{verify, verify_incremental, VerifyReport};
 use cpvr_dataplane::{DataPlane, FibAction, Hop, TraceOutcome, TraceResult};
 use cpvr_topo::Topology;
-use cpvr_types::RouterId;
+use cpvr_types::{Ipv4Prefix, RouterId};
 
 /// Cost tallies for one verification pass under both schemes.
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -54,12 +54,42 @@ pub fn distributed_verify(
     dp: &DataPlane,
     policies: &[Policy],
 ) -> (VerifyReport, DistStats) {
+    let ecs = equivalence_classes(dp);
+    let stats = tally_schemes(topo, dp, &ecs);
+    let report = verify(topo, dp, policies);
+    (report, stats)
+}
+
+/// The delta flavor of [`distributed_verify`]: the partial-result walks
+/// (and the centralized comparison) cover only equivalence classes whose
+/// owning prefix overlaps one of the `changed` prefixes, and the verdict
+/// comes from [`verify_incremental`] with the same scope. This models §5
+/// composed with the incremental engine: after a FIB update, routers
+/// re-exchange partial results only for the affected slices of the
+/// address space.
+pub fn distributed_verify_delta(
+    topo: &Topology,
+    dp: &DataPlane,
+    policies: &[Policy],
+    changed: &[Ipv4Prefix],
+) -> (VerifyReport, DistStats) {
+    let ecs: Vec<EquivClass> = equivalence_classes(dp)
+        .into_iter()
+        .filter(|ec| changed.iter().any(|c| c.overlaps(&ec.prefix)))
+        .collect();
+    let stats = tally_schemes(topo, dp, &ecs);
+    let report = verify_incremental(topo, dp, policies, changed);
+    (report, stats)
+}
+
+/// Executes the distributed partial-result walks over `ecs` and tallies
+/// the costs of the distributed and centralized schemes.
+fn tally_schemes(topo: &Topology, dp: &DataPlane, ecs: &[EquivClass]) -> DistStats {
     let mut stats = DistStats::default();
     let mut node_work = vec![0usize; dp.num_routers()];
 
     // --- distributed execution: per-EC, per-ingress partial results ----
-    let ecs = equivalence_classes(dp);
-    for ec in &ecs {
+    for ec in ecs {
         for ingress in 0..dp.num_routers() as u32 {
             let mut partial = PartialResult {
                 representative: ec.representative,
@@ -107,12 +137,10 @@ pub fn distributed_verify(
     for r in 0..dp.num_routers() as u32 {
         stats.central_snapshot_entries += dp.fib(RouterId(r)).len();
     }
-    let report = verify(topo, dp, policies);
-    stats.central_work = report.traces_run + report.violations.len().min(report.traces_run); // violation bookkeeping, bounded
-                                                                                             // Count per-hop lookups of the central tracer too, for a fair
-                                                                                             // work-total comparison.
+    // Count per-hop lookups of the central tracer, for a fair work-total
+    // comparison.
     let mut central_lookups = 0usize;
-    for ec in &ecs {
+    for ec in ecs {
         for ingress in 0..dp.num_routers() as u32 {
             let t: TraceResult = dp.trace(topo, RouterId(ingress), ec.representative);
             central_lookups += t
@@ -127,7 +155,7 @@ pub fn distributed_verify(
         }
     }
     stats.central_work = central_lookups;
-    (report, stats)
+    stats
 }
 
 #[cfg(test)]
@@ -212,6 +240,42 @@ mod tests {
         };
         let (_, stats) = distributed_verify(&topo, &dp, &[pol]);
         assert_eq!(stats.central_snapshot_entries, 4);
+    }
+
+    #[test]
+    fn delta_walks_only_affected_classes() {
+        let (topo, mut dp, r) = line_dp(5);
+        // A second, unrelated prefix doubles the full walk cost.
+        for i in 0..5u32 {
+            let action = dp
+                .fib(RouterId(i))
+                .get(&p("8.8.8.0/24"))
+                .map(|e| e.action)
+                .unwrap();
+            dp.fib_mut(RouterId(i))
+                .install(p("9.9.9.0/24"), entry(action));
+        }
+        let pols = vec![
+            Policy::ExitsVia {
+                prefix: p("8.8.8.0/24"),
+                peer: r,
+            },
+            Policy::ExitsVia {
+                prefix: p("9.9.9.0/24"),
+                peer: r,
+            },
+        ];
+        let (full_report, full) = distributed_verify(&topo, &dp, &pols);
+        let (delta_report, delta) = distributed_verify_delta(&topo, &dp, &pols, &[p("8.8.8.0/24")]);
+        assert!(full_report.ok() && delta_report.ok());
+        // Half the classes → half the messages and work.
+        assert_eq!(delta.dist_messages * 2, full.dist_messages);
+        assert_eq!(delta.dist_total_work * 2, full.dist_total_work);
+        assert!(delta_report.traces_run < full_report.traces_run);
+        // Verdict scoping matches verify_incremental exactly.
+        let scoped = verify_incremental(&topo, &dp, &pols, &[p("8.8.8.0/24")]);
+        assert_eq!(delta_report.violations, scoped.violations);
+        assert_eq!(delta_report.ecs_checked, scoped.ecs_checked);
     }
 
     #[test]

@@ -15,9 +15,9 @@
 //!    100K prefixes — which makes outcome prediction for early blocking
 //!    feasible.
 
-use cpvr_dataplane::{DataPlane, FibAction};
-use cpvr_types::{Ipv4Prefix, RouterId};
-use std::collections::BTreeMap;
+use cpvr_dataplane::{DataPlane, FibAction, FibUpdate};
+use cpvr_types::{Ipv4Prefix, PrefixTrie, RouterId};
+use std::collections::{BTreeMap, BTreeSet};
 use std::net::Ipv4Addr;
 
 /// One forwarding equivalence class.
@@ -36,53 +36,60 @@ pub struct EquivClass {
 /// part is non-empty). Addresses covered by no prefix at all form no
 /// class — they are uniformly unroutable and never interesting to a
 /// policy keyed on known prefixes.
+///
+/// Implemented by inserting the prefixes into a [`PrefixTrie`] and
+/// walking it ([`equivalence_classes_in`]) — O(n·W) for n prefixes of
+/// width ≤ W bits, replacing the all-pairs `covers()` scan this crate
+/// started with.
 pub fn equivalence_classes_of(prefixes: &[Ipv4Prefix]) -> Vec<EquivClass> {
-    let mut sorted: Vec<Ipv4Prefix> = prefixes.to_vec();
-    sorted.sort();
-    sorted.dedup();
-    let mut out = Vec::new();
-    for (i, p) in sorted.iter().enumerate() {
-        // More-specific prefixes are contiguous after p in sorted order
-        // only partially; scan all (n is the number of *distinct*
-        // prefixes, typically small relative to addresses).
-        let children: Vec<Ipv4Prefix> = sorted
-            .iter()
-            .enumerate()
-            .filter(|(j, q)| *j != i && p.covers(q))
-            .map(|(_, q)| *q)
-            .collect();
-        if let Some(rep) = uncovered_address(*p, &children) {
-            out.push(EquivClass {
-                prefix: *p,
-                representative: rep,
-            });
-        }
-    }
-    out
+    let trie: PrefixTrie<()> = prefixes.iter().map(|p| (*p, ())).collect();
+    equivalence_classes_in(&trie)
+}
+
+/// The trie-driven core shared by the batch and incremental paths: each
+/// stored prefix owns one class for the space its maximal stored
+/// descendants leave uncovered. Stored order is prefix order, so the
+/// output matches [`equivalence_classes_of`] on the same prefix set.
+pub fn equivalence_classes_in<V>(trie: &PrefixTrie<V>) -> Vec<EquivClass> {
+    trie.iter()
+        .into_iter()
+        .filter_map(|(p, _)| class_of(trie, p))
+        .collect()
+}
+
+/// The class owned by `prefix` given the prefixes stored in `trie`, or
+/// `None` when its maximal stored descendants cover it entirely.
+/// `prefix` itself need not be stored — a policy scope gets its class
+/// the same way.
+pub fn class_of<V>(trie: &PrefixTrie<V>, prefix: Ipv4Prefix) -> Option<EquivClass> {
+    // children_of returns maximal descendants: pairwise disjoint ranges
+    // in ascending order, exactly what the cursor sweep needs.
+    let ranges: Vec<(u32, u32)> = trie
+        .children_of(&prefix)
+        .into_iter()
+        .map(|(c, _)| (u32::from(c.first_addr()), u32::from(c.last_addr())))
+        .collect();
+    uncovered_address(prefix, &ranges).map(|rep| EquivClass {
+        prefix,
+        representative: rep,
+    })
 }
 
 /// Equivalence classes of everything installed anywhere in the data
 /// plane.
 pub fn equivalence_classes(dp: &DataPlane) -> Vec<EquivClass> {
-    equivalence_classes_of(&dp.all_prefixes())
+    equivalence_classes_in(&dp.prefix_union())
 }
 
-/// Finds the lowest address in `p` not covered by any prefix in `children`
-/// (all of which are covered by `p`).
-fn uncovered_address(p: Ipv4Prefix, children: &[Ipv4Prefix]) -> Option<Ipv4Addr> {
-    // Collect maximal children as disjoint [start, end] ranges.
-    let mut ranges: Vec<(u32, u32)> = children
-        .iter()
-        .map(|c| (u32::from(c.first_addr()), u32::from(c.last_addr())))
-        .collect();
-    ranges.sort();
+/// Finds the lowest address in `p` not covered by any of the disjoint,
+/// ascending `[start, end]` ranges (all inside `p`).
+fn uncovered_address(p: Ipv4Prefix, ranges: &[(u32, u32)]) -> Option<Ipv4Addr> {
     let mut cursor = u32::from(p.first_addr());
     let end = u32::from(p.last_addr());
     for (s, e) in ranges {
-        if s > cursor {
+        if *s > cursor {
             return Some(Ipv4Addr::from(cursor));
         }
-        // Overlapping/nested ranges: advance past this child.
         cursor = cursor.max(e.checked_add(1)?);
         if cursor > end {
             return None;
@@ -105,22 +112,102 @@ pub type BehaviorVector = Vec<Option<FibAction>>;
 pub fn behavior_classes(dp: &DataPlane) -> BTreeMap<Vec<String>, Vec<Ipv4Prefix>> {
     let mut out: BTreeMap<Vec<String>, Vec<Ipv4Prefix>> = BTreeMap::new();
     for prefix in dp.all_prefixes() {
-        // Use the prefix's own first address as the probe.
-        let probe = prefix.first_addr();
-        let vector: Vec<String> = (0..dp.num_routers())
-            .map(|r| {
-                match dp.fib(RouterId(r as u32)).lookup(probe) {
-                    // Only count hits whose matched prefix is the one in
-                    // question or a covering one — i.e. the real LPM
-                    // behavior for this destination.
-                    Some((_, e)) => format!("{:?}", e.action),
-                    None => "none".to_string(),
-                }
-            })
-            .collect();
-        out.entry(vector).or_default().push(prefix);
+        out.entry(behavior_vector(dp, prefix))
+            .or_default()
+            .push(prefix);
     }
     out
+}
+
+/// The network-wide behavior vector of one prefix, probed at its first
+/// address: what each router's LPM does with traffic to it.
+fn behavior_vector(dp: &DataPlane, prefix: Ipv4Prefix) -> Vec<String> {
+    let probe = prefix.first_addr();
+    (0..dp.num_routers())
+        .map(|r| match dp.fib(RouterId(r as u32)).lookup(probe) {
+            Some((_, e)) => format!("{:?}", e.action),
+            None => "none".to_string(),
+        })
+        .collect()
+}
+
+/// A cache over [`behavior_classes`] with dirty-region invalidation.
+///
+/// A [`FibUpdate`] to prefix `u` can only change the behavior vector of
+/// installed prefixes whose probe address `u` could match — i.e. prefixes
+/// overlapping `u`. [`BehaviorCache::invalidate`] records `u` as a dirty
+/// region; the next [`BehaviorCache::classes`] call recomputes vectors
+/// only inside dirty regions and reuses everything else.
+#[derive(Clone, Debug, Default)]
+pub struct BehaviorCache {
+    /// Cached behavior vector per installed prefix.
+    vectors: BTreeMap<Ipv4Prefix, Vec<String>>,
+    /// Address regions touched by updates since the last refresh.
+    dirty: BTreeSet<Ipv4Prefix>,
+    /// False until the first full computation.
+    primed: bool,
+}
+
+impl BehaviorCache {
+    /// An empty, unprimed cache; the first [`classes`](Self::classes)
+    /// call computes everything.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Marks the address region touched by `update` dirty.
+    pub fn invalidate(&mut self, update: &FibUpdate) {
+        self.invalidate_region(update.prefix);
+    }
+
+    /// Marks every cached prefix overlapping `region` for recomputation.
+    pub fn invalidate_region(&mut self, region: Ipv4Prefix) {
+        self.dirty.insert(region);
+    }
+
+    /// Drops everything; the next refresh recomputes from scratch.
+    pub fn clear(&mut self) {
+        self.vectors.clear();
+        self.dirty.clear();
+        self.primed = false;
+    }
+
+    /// The current behavior classes, refreshing only dirty regions.
+    pub fn classes(&mut self, dp: &DataPlane) -> BTreeMap<Vec<String>, Vec<Ipv4Prefix>> {
+        self.refresh(dp);
+        let mut out: BTreeMap<Vec<String>, Vec<Ipv4Prefix>> = BTreeMap::new();
+        for (prefix, vector) in &self.vectors {
+            out.entry(vector.clone()).or_default().push(*prefix);
+        }
+        out
+    }
+
+    fn refresh(&mut self, dp: &DataPlane) {
+        if !self.primed {
+            self.vectors = dp
+                .all_prefixes()
+                .into_iter()
+                .map(|p| (p, behavior_vector(dp, p)))
+                .collect();
+            self.dirty.clear();
+            self.primed = true;
+            return;
+        }
+        if self.dirty.is_empty() {
+            return;
+        }
+        let dirty: Vec<Ipv4Prefix> = std::mem::take(&mut self.dirty).into_iter().collect();
+        // Drop cached vectors inside any dirty region (covers removals),
+        // then recompute vectors for installed prefixes in those regions
+        // (covers installs and reroutes).
+        self.vectors
+            .retain(|p, _| !dirty.iter().any(|d| d.overlaps(p)));
+        for prefix in dp.all_prefixes() {
+            if dirty.iter().any(|d| d.overlaps(&prefix)) {
+                self.vectors.insert(prefix, behavior_vector(dp, prefix));
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -228,6 +315,50 @@ mod tests {
         assert_eq!(classes.len(), 2);
         let sizes: Vec<usize> = classes.values().map(|v| v.len()).collect();
         assert!(sizes.contains(&2) && sizes.contains(&1));
+    }
+
+    #[test]
+    fn behavior_cache_tracks_batch_under_invalidation() {
+        use cpvr_dataplane::UpdateKind;
+        let mut dp = DataPlane::new(2);
+        let entry = FibEntry {
+            action: FibAction::Forward(LinkId(0)),
+            installed_at: SimTime::ZERO,
+        };
+        for s in ["30.0.0.0/24", "30.0.1.0/24", "40.0.0.0/16"] {
+            dp.fib_mut(RouterId(0)).install(p(s), entry);
+            dp.fib_mut(RouterId(1)).install(p(s), entry);
+        }
+        let mut cache = BehaviorCache::new();
+        assert_eq!(cache.classes(&dp), behavior_classes(&dp));
+        // Reroute one prefix on one router; invalidate only that region.
+        let u = FibUpdate {
+            router: RouterId(1),
+            prefix: p("30.0.1.0/24"),
+            kind: UpdateKind::Install,
+            action: FibAction::Drop,
+            at: SimTime::ZERO,
+        };
+        dp.fib_mut(u.router).apply(&u);
+        cache.invalidate(&u);
+        assert_eq!(cache.classes(&dp), behavior_classes(&dp));
+        // Remove a prefix entirely — cached vector must disappear.
+        let r = FibUpdate {
+            router: RouterId(0),
+            prefix: p("40.0.0.0/16"),
+            kind: UpdateKind::Remove,
+            action: FibAction::Forward(LinkId(0)),
+            at: SimTime::ZERO,
+        };
+        dp.fib_mut(r.router).apply(&r);
+        let r2 = FibUpdate {
+            router: RouterId(1),
+            ..r
+        };
+        dp.fib_mut(r2.router).apply(&r2);
+        cache.invalidate(&r);
+        cache.invalidate(&r2);
+        assert_eq!(cache.classes(&dp), behavior_classes(&dp));
     }
 
     #[test]

@@ -14,21 +14,45 @@
 //!   blackhole freedom, waypointing, and the paper's running example
 //!   ("exit via R2 while its uplink is up, else R1") as
 //!   [`Policy::PreferredExit`].
-//! * [`verifier`] — the checker: full and incremental (delta-scoped)
-//!   verification over a [`DataPlane`](cpvr_dataplane::DataPlane)
-//!   snapshot.
+//! * [`verifier`] — the checker: full ([`verify`]), parallel
+//!   ([`verify_parallel`]), and incremental (delta-scoped,
+//!   [`verify_incremental`]) verification over a
+//!   [`DataPlane`](cpvr_dataplane::DataPlane) snapshot.
+//! * [`incremental`] — the resident engine: [`IncrementalVerifier`]
+//!   keeps the equivalence classes and per-class verdicts live across a
+//!   stream of FIB updates, re-checking only classes whose address space
+//!   intersects each update.
 //! * [`distributed`] — the §5 sketch of distributed verification: routers
 //!   exchange partial per-EC results instead of centralizing the
 //!   snapshot; this module models the message/work tradeoff.
+//!
+//! # Batch-equivalence invariant
+//!
+//! Every fast path in this crate is defined by equivalence to the slow
+//! one. [`verify_parallel`] at any thread count returns bit-for-bit the
+//! report [`verify`] returns. [`IncrementalVerifier::report`] after any
+//! sequence of applied updates equals [`verify`] run from scratch on the
+//! same snapshot — same violations in the same order, same `ecs_checked`,
+//! same `traces_run`. The property tests in `tests/prop_incremental.rs`
+//! pin both under randomized install/remove sequences; performance work
+//! must never buy speed with a weaker verdict.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod distributed;
 pub mod ec;
+pub mod incremental;
 pub mod policy;
 pub mod verifier;
 
-pub use ec::{behavior_classes, equivalence_classes, EquivClass};
+pub use distributed::{distributed_verify, distributed_verify_delta, DistStats};
+pub use ec::{
+    behavior_classes, class_of, equivalence_classes, equivalence_classes_in, BehaviorCache,
+    EquivClass,
+};
+pub use incremental::{IncrementalStats, IncrementalVerifier};
 pub use policy::{Policy, Violation};
-pub use verifier::{verify, verify_incremental, VerifyReport};
+pub use verifier::{
+    policy_equivalence_classes, verify, verify_incremental, verify_parallel, VerifyReport,
+};

@@ -1,10 +1,10 @@
-//! The data-plane checker: full and incremental verification.
+//! The data-plane checker: full, parallel, and incremental verification.
 
-use crate::ec::{equivalence_classes_of, EquivClass};
+use crate::ec::{class_of, EquivClass};
 use crate::policy::{Policy, Violation};
 use cpvr_dataplane::{DataPlane, TraceOutcome};
 use cpvr_topo::Topology;
-use cpvr_types::{Ipv4Prefix, RouterId};
+use cpvr_types::{Ipv4Prefix, PrefixTrie, RouterId};
 
 /// The result of a verification pass.
 #[derive(Clone, Debug, Default)]
@@ -48,69 +48,170 @@ impl VerifyReport {
 /// assert_eq!(report.violations.len(), 2);
 /// ```
 pub fn verify(topo: &Topology, dp: &DataPlane, policies: &[Policy]) -> VerifyReport {
-    let mut report = VerifyReport::default();
-    let all_prefixes = dp.all_prefixes();
+    verify_parallel(topo, dp, policies, 1)
+}
+
+/// Like [`verify`], but fans the independent per-class checks across
+/// `threads` scoped worker threads (`0` = one per available core).
+///
+/// Each (policy, class) pair traces its own representative through an
+/// immutable data-plane snapshot, so the checks share no state; results
+/// are concatenated in job order, making the report identical to the
+/// sequential one.
+pub fn verify_parallel(
+    topo: &Topology,
+    dp: &DataPlane,
+    policies: &[Policy],
+    threads: usize,
+) -> VerifyReport {
+    let union = dp.prefix_union();
+    let mut jobs: Vec<(usize, EquivClass)> = Vec::new();
     for (idx, policy) in policies.iter().enumerate() {
-        let scope = policy.prefix();
-        // ECs within the policy's scope: slice the installed prefixes plus
-        // the scope itself, keep classes owned inside the scope.
-        let mut input: Vec<Ipv4Prefix> = all_prefixes
-            .iter()
-            .filter(|p| p.overlaps(&scope))
-            .copied()
-            .collect();
-        input.push(scope);
-        let ecs: Vec<EquivClass> = equivalence_classes_of(&input)
-            .into_iter()
-            .filter(|ec| scope.covers(&ec.prefix))
-            .collect();
-        report.ecs_checked += ecs.len();
-        for ec in &ecs {
-            check_policy(topo, dp, idx, policy, ec, &mut report);
+        for ec in classes_under(&union, policy.prefix()) {
+            jobs.push((idx, ec));
         }
+    }
+    let mut report = VerifyReport {
+        ecs_checked: jobs.len(),
+        ..VerifyReport::default()
+    };
+    for (violations, traces) in run_class_checks(topo, dp, policies, &jobs, threads) {
+        report.traces_run += traces;
+        report.violations.extend(violations);
     }
     report
 }
 
-/// Incremental verification: like [`verify`], but only policies whose
-/// scope overlaps one of the `changed` prefixes are re-checked — the
-/// VeriFlow-style fast path used when gating a single FIB update.
+/// The equivalence classes a policy with scope `scope` must check, given
+/// the union trie of installed prefixes: the scope's own class (the part
+/// of `scope` no installed more-specific prefix covers) followed by the
+/// classes of every installed prefix under the scope, in prefix order.
+///
+/// This is exactly the class set the original sort-and-scan computed
+/// from `installed ∩ overlapping(scope) ∪ {scope}` filtered to owners
+/// inside `scope`: installed prefixes *above* the scope never own a kept
+/// class and never shrink one (their space lies outside every kept
+/// owner's children).
+pub(crate) fn classes_under<V>(trie: &PrefixTrie<V>, scope: Ipv4Prefix) -> Vec<EquivClass> {
+    let mut out = Vec::new();
+    if let Some(ec) = class_of(trie, scope) {
+        out.push(ec);
+    }
+    for (p, _) in trie.covered_by(&scope) {
+        if p == scope {
+            continue; // already emitted as the scope's own class
+        }
+        if let Some(ec) = class_of(trie, p) {
+            out.push(ec);
+        }
+    }
+    out
+}
+
+/// The equivalence classes a policy scoped to `scope` would check against
+/// this data plane. Exposed for tests and tooling that want to inspect
+/// the slicing without running traces.
+pub fn policy_equivalence_classes(dp: &DataPlane, scope: Ipv4Prefix) -> Vec<EquivClass> {
+    classes_under(&dp.prefix_union(), scope)
+}
+
+/// Runs `(policy index, class)` jobs, each yielding its violations and
+/// trace count, preserving job order. `threads == 0` uses one thread per
+/// available core; `threads <= 1` runs inline.
+pub(crate) fn run_class_checks(
+    topo: &Topology,
+    dp: &DataPlane,
+    policies: &[Policy],
+    jobs: &[(usize, EquivClass)],
+    threads: usize,
+) -> Vec<(Vec<Violation>, usize)> {
+    let threads = if threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        threads
+    };
+    let threads = threads.min(jobs.len().max(1));
+    if threads <= 1 {
+        return jobs
+            .iter()
+            .map(|(idx, ec)| check_class(topo, dp, *idx, &policies[*idx], ec))
+            .collect();
+    }
+    // Contiguous chunks + in-order joins keep the concatenation equal to
+    // the sequential result (same idiom as `infer_hbg_parallel`).
+    let chunk = jobs.len().div_ceil(threads);
+    let mut out = Vec::with_capacity(jobs.len());
+    std::thread::scope(|s| {
+        let handles: Vec<_> = jobs
+            .chunks(chunk)
+            .map(|part| {
+                s.spawn(move || {
+                    part.iter()
+                        .map(|(idx, ec)| check_class(topo, dp, *idx, &policies[*idx], ec))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            out.extend(h.join().expect("class-check worker panicked"));
+        }
+    });
+    out
+}
+
+/// Incremental verification: like [`verify`], but re-checks only the
+/// equivalence classes whose owning prefix overlaps one of the `changed`
+/// prefixes — the VeriFlow-style fast path used when gating a single FIB
+/// update. A class whose owner is disjoint from every changed prefix
+/// kept both its shape (its children are inside the owner) and its
+/// forwarding vector (its representative's LPM never consults a disjoint
+/// prefix), so skipping it cannot hide a new violation.
 pub fn verify_incremental(
     topo: &Topology,
     dp: &DataPlane,
     policies: &[Policy],
     changed: &[Ipv4Prefix],
 ) -> VerifyReport {
-    let affected: Vec<Policy> = policies
-        .iter()
-        .filter(|p| changed.iter().any(|c| c.overlaps(&p.prefix())))
-        .cloned()
-        .collect();
-    // Re-map indices onto the original list for stable reporting.
-    let mut report = verify(topo, dp, &affected);
-    for v in &mut report.violations {
-        if let Some(orig) = policies.iter().position(|p| *p == v.policy) {
-            v.policy_idx = orig;
+    let union = dp.prefix_union();
+    let mut jobs: Vec<(usize, EquivClass)> = Vec::new();
+    for (idx, policy) in policies.iter().enumerate() {
+        for ec in classes_under(&union, policy.prefix()) {
+            if changed.iter().any(|c| c.overlaps(&ec.prefix)) {
+                jobs.push((idx, ec));
+            }
         }
+    }
+    let mut report = VerifyReport {
+        ecs_checked: jobs.len(),
+        ..VerifyReport::default()
+    };
+    for (violations, traces) in run_class_checks(topo, dp, policies, &jobs, 1) {
+        report.traces_run += traces;
+        report.violations.extend(violations);
     }
     report
 }
 
-fn check_policy(
+/// Checks one policy against one equivalence class, returning the
+/// violations found and the number of traces run.
+pub(crate) fn check_class(
     topo: &Topology,
     dp: &DataPlane,
     idx: usize,
     policy: &Policy,
     ec: &EquivClass,
-    report: &mut VerifyReport,
-) {
+) -> (Vec<Violation>, usize) {
+    let mut violations = Vec::new();
+    let mut traces = 0usize;
     let ingresses: Vec<RouterId> = match policy {
         Policy::Waypoint { from, .. } => vec![*from],
         _ => (0..dp.num_routers() as u32).map(RouterId).collect(),
     };
     for ingress in ingresses {
         let trace = dp.trace(topo, ingress, ec.representative);
-        report.traces_run += 1;
+        traces += 1;
         let bad: Option<String> = match policy {
             Policy::Reachable { .. } => {
                 if trace.outcome.is_delivered() {
@@ -165,7 +266,7 @@ fn check_policy(
             },
         };
         if let Some(observed) = bad {
-            report.violations.push(Violation {
+            violations.push(Violation {
                 policy_idx: idx,
                 policy: policy.clone(),
                 ingress,
@@ -174,6 +275,7 @@ fn check_policy(
             });
         }
     }
+    (violations, traces)
 }
 
 #[cfg(test)]
@@ -334,6 +436,46 @@ mod tests {
         for v in &report.violations {
             assert!(p("8.8.8.0/25").contains_addr(v.representative));
         }
+    }
+
+    #[test]
+    fn parallel_verify_matches_sequential() {
+        let (topo, mut dp, e1, e2) = good_paper_dp();
+        dp.fib_mut(RouterId(0))
+            .install(p("8.8.8.0/25"), entry(FibAction::Exit(e1)));
+        let policies = vec![
+            paper_policy(e1, e2),
+            Policy::Reachable {
+                prefix: p("8.8.8.0/24"),
+            },
+            Policy::LoopFree {
+                prefix: p("8.8.8.0/24"),
+            },
+        ];
+        let seq = verify(&topo, &dp, &policies);
+        for threads in [0, 2, 4, 8] {
+            let par = verify_parallel(&topo, &dp, &policies, threads);
+            assert_eq!(par.violations, seq.violations, "threads={threads}");
+            assert_eq!(par.ecs_checked, seq.ecs_checked);
+            assert_eq!(par.traces_run, seq.traces_run);
+        }
+    }
+
+    #[test]
+    fn policy_classes_scope_first_then_specifics() {
+        let (_, mut dp, e1, _) = good_paper_dp();
+        dp.fib_mut(RouterId(0))
+            .install(p("8.8.8.0/25"), entry(FibAction::Exit(e1)));
+        let ecs = policy_equivalence_classes(&dp, p("8.8.8.0/24"));
+        assert_eq!(ecs.len(), 2);
+        assert_eq!(ecs[0].prefix, p("8.8.8.0/24"));
+        // The scope's own class dodges the /25 hijack.
+        assert!(!p("8.8.8.0/25").contains_addr(ecs[0].representative));
+        assert_eq!(ecs[1].prefix, p("8.8.8.0/25"));
+        // A scope with no installed routes still gets its own class.
+        let bare = policy_equivalence_classes(&dp, p("9.9.9.0/24"));
+        assert_eq!(bare.len(), 1);
+        assert_eq!(bare[0].prefix, p("9.9.9.0/24"));
     }
 
     #[test]

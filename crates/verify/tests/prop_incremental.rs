@@ -1,0 +1,198 @@
+//! Property-based tests of the batch-equivalence invariant: an
+//! [`IncrementalVerifier`] fed a randomized install/remove sequence must,
+//! after every single update, report exactly what a from-scratch batch
+//! [`verify`] reports on a mirror data plane — same violations in the
+//! same order, same classes, same trace counts — and its delta report
+//! must equal [`verify_incremental`] scoped to the updated prefix.
+
+use cpvr_dataplane::{DataPlane, FibAction, FibUpdate, UpdateKind};
+use cpvr_topo::builder::shapes;
+use cpvr_topo::Topology;
+use cpvr_types::{Ipv4Prefix, RouterId, SimTime};
+use cpvr_verify::{verify, verify_incremental, IncrementalVerifier, Policy};
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+/// Narrow prefix pool around 10.0.0.0/8 so nesting and collisions happen
+/// often.
+fn arb_prefix() -> impl Strategy<Value = Ipv4Prefix> {
+    (0u32..16, 8u8..=28).prop_map(|(i, len)| {
+        Ipv4Prefix::from_bits(
+            u32::from(Ipv4Addr::new(10, (i % 4) as u8, (i / 4) as u8, 0)),
+            len,
+        )
+    })
+}
+
+/// One step of the update stream: who, what, install-or-remove, and an
+/// action selector (exit via one of the two uplinks, forward on a link,
+/// or drop).
+fn arb_step() -> impl Strategy<Value = (u32, Ipv4Prefix, bool, u8)> {
+    (0u32..3, arb_prefix(), any::<bool>(), 0u8..4)
+}
+
+fn fixture() -> (Topology, Vec<Policy>) {
+    let (topo, e1, e2) = shapes::paper_triangle();
+    let policies = vec![
+        Policy::Reachable {
+            prefix: "10.0.0.0/8".parse().unwrap(),
+        },
+        Policy::PreferredExit {
+            prefix: "10.1.0.0/16".parse().unwrap(),
+            primary: e2,
+            backup: e1,
+        },
+        Policy::LoopFree {
+            prefix: "10.0.0.0/10".parse().unwrap(),
+        },
+    ];
+    (topo, policies)
+}
+
+fn step_to_update(topo: &Topology, step: &(u32, Ipv4Prefix, bool, u8), at: usize) -> FibUpdate {
+    let (router, prefix, install, sel) = *step;
+    let router = RouterId(router);
+    let action = match sel {
+        0 => FibAction::Exit(topo.ext_peers()[0].id),
+        1 => FibAction::Exit(topo.ext_peers()[1].id),
+        2 => {
+            // Forward on a link actually attached to this router.
+            let attached: Vec<_> = topo
+                .links()
+                .iter()
+                .filter(|l| l.a.0 == router || l.b.0 == router)
+                .collect();
+            FibAction::Forward(attached[at % attached.len()].id)
+        }
+        _ => FibAction::Drop,
+    };
+    FibUpdate {
+        router,
+        prefix,
+        kind: if install {
+            UpdateKind::Install
+        } else {
+            UpdateKind::Remove
+        },
+        action,
+        at: SimTime::from_millis(at as u64 + 1),
+    }
+}
+
+fn assert_reports_equal(
+    live: &cpvr_verify::VerifyReport,
+    batch: &cpvr_verify::VerifyReport,
+    what: &str,
+) {
+    assert_eq!(live.violations, batch.violations, "{what}: violations");
+    assert_eq!(live.ecs_checked, batch.ecs_checked, "{what}: ecs_checked");
+    assert_eq!(live.traces_run, batch.traces_run, "{what}: traces_run");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn incremental_equals_batch_under_random_update_streams(
+        steps in prop::collection::vec(arb_step(), 1..40),
+    ) {
+        let (topo, policies) = fixture();
+        let mut iv = IncrementalVerifier::new(topo.clone(), DataPlane::new(3), policies.clone());
+        let mut mirror = DataPlane::new(3);
+        for (at, step) in steps.iter().enumerate() {
+            let update = step_to_update(&topo, step, at);
+            let delta = iv.apply(&update);
+            mirror.fib_mut(update.router).apply(&update);
+            // Delta report == scoped incremental verify on the mirror.
+            let scoped = verify_incremental(&topo, &mirror, &policies, &[update.prefix]);
+            assert_reports_equal(&delta, &scoped, "delta vs verify_incremental");
+            // Full live report == from-scratch batch verify.
+            let batch = verify(&topo, &mirror, &policies);
+            assert_reports_equal(&iv.report(), &batch, "report vs batch verify");
+            prop_assert_eq!(iv.ok(), batch.ok());
+        }
+    }
+
+    #[test]
+    fn gate_preserves_batch_equivalence(
+        steps in prop::collection::vec(arb_step(), 1..24),
+    ) {
+        let (topo, policies) = fixture();
+        let mut iv = IncrementalVerifier::new(topo.clone(), DataPlane::new(3), policies.clone());
+        let mut mirror = DataPlane::new(3);
+        for (at, step) in steps.iter().enumerate() {
+            let update = step_to_update(&topo, step, at);
+            // The gate admits an update iff its delta check is clean;
+            // blocked updates must leave no trace on the mirror state.
+            match iv.gate(&update) {
+                Ok(delta) => {
+                    prop_assert!(delta.ok());
+                    mirror.fib_mut(update.router).apply(&update);
+                }
+                Err(delta) => prop_assert!(!delta.ok()),
+            }
+            let batch = verify(&topo, &mirror, &policies);
+            assert_reports_equal(&iv.report(), &batch, "gated report vs batch");
+        }
+    }
+}
+
+/// Regression: remove a covering prefix (whose space a more-specific
+/// prefix partially shadows), then reinstall it. The remove must merge
+/// the shadowed class back into nothing (the /16 keeps its own class, the
+/// /8's class vanishes), and the reinstall must resplit — with verdicts
+/// identical to batch at every step. An earlier design that diffed owners
+/// only on refcount transitions missed the resplit when another router
+/// still held the /16.
+#[test]
+fn remove_then_reinstall_covering_prefix() {
+    let (topo, policies) = fixture();
+    let p8: Ipv4Prefix = "10.0.0.0/8".parse().unwrap();
+    let p16: Ipv4Prefix = "10.1.0.0/16".parse().unwrap();
+    let e2 = topo.ext_peers()[1].id;
+
+    let mut iv = IncrementalVerifier::new(topo.clone(), DataPlane::new(3), policies.clone());
+    let mut mirror = DataPlane::new(3);
+    let mut at = 0u64;
+    let mut step = |iv: &mut IncrementalVerifier,
+                    mirror: &mut DataPlane,
+                    router: u32,
+                    prefix: Ipv4Prefix,
+                    kind: UpdateKind| {
+        at += 1;
+        let u = FibUpdate {
+            router: RouterId(router),
+            prefix,
+            kind,
+            action: FibAction::Exit(e2),
+            at: SimTime::from_millis(at),
+        };
+        iv.apply(&u);
+        mirror.fib_mut(u.router).apply(&u);
+    };
+
+    // Install the /8 on all routers and the /16 on router 1 only.
+    for r in 0..3 {
+        step(&mut iv, &mut mirror, r, p8, UpdateKind::Install);
+    }
+    step(&mut iv, &mut mirror, 1, p16, UpdateKind::Install);
+    let split = verify(&topo, &mirror, &policies);
+    assert_eq!(iv.report().ecs_checked, split.ecs_checked);
+
+    // Remove the covering /8 everywhere: its classes disappear, the /16
+    // class survives.
+    for r in 0..3 {
+        step(&mut iv, &mut mirror, r, p8, UpdateKind::Remove);
+    }
+    let removed = verify(&topo, &mirror, &policies);
+    assert_eq!(iv.report().violations, removed.violations);
+    assert_eq!(iv.report().ecs_checked, removed.ecs_checked);
+    assert_eq!(iv.report().traces_run, removed.traces_run);
+
+    // Reinstall the /8 on one router: the split must come back exactly.
+    step(&mut iv, &mut mirror, 0, p8, UpdateKind::Install);
+    let resplit = verify(&topo, &mirror, &policies);
+    assert_eq!(iv.report().violations, resplit.violations);
+    assert_eq!(iv.report().ecs_checked, resplit.ecs_checked);
+    assert_eq!(iv.report().traces_run, resplit.traces_run);
+}
