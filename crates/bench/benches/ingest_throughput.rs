@@ -1,0 +1,122 @@
+//! A7: networked ingest throughput — how fast the TCP collector can
+//! move captured events from 8 concurrent router connections through
+//! the codec, the (optional) WAL, and the incremental verification
+//! pipeline. One "session" is the full life cycle: start a collector on
+//! loopback, stream `TOTAL_EVENTS` across the connections with periodic
+//! watermarks, drain to the final watermark, shut down.
+
+use cpvr_collector::collector::{Collector, CollectorConfig};
+use cpvr_collector::wal::{wait_for, FsyncPolicy, TempDir, WalConfig};
+use cpvr_collector::SocketSink;
+use cpvr_dataplane::FibAction;
+use cpvr_sim::{EventId, IoEvent, IoKind};
+use cpvr_types::{Ipv4Prefix, RouterId, SimTime};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+const N_CONNS: u32 = 8;
+const TOTAL_EVENTS: usize = 40_000;
+const WATERMARK_EVERY: usize = 500;
+
+/// The synthetic per-router event stream: FIB churn over a rolling
+/// prefix set, ids globally unique, times strictly increasing.
+fn events_for(conn: u32) -> Vec<IoEvent> {
+    let per = TOTAL_EVENTS / N_CONNS as usize;
+    (0..per)
+        .map(|j| {
+            let time = SimTime::from_micros(10 * (j as u64 + 1));
+            let prefix: Ipv4Prefix = format!("10.{}.{}.0/24", j % 256, conn)
+                .parse()
+                .expect("valid prefix");
+            IoEvent {
+                id: EventId((j as u32) * N_CONNS + conn),
+                router: RouterId(conn),
+                time,
+                arrived_at: Some(time),
+                kind: if j % 7 == 6 {
+                    IoKind::FibRemove { prefix }
+                } else {
+                    IoKind::FibInstall {
+                        prefix,
+                        action: FibAction::Local,
+                    }
+                },
+            }
+        })
+        .collect()
+}
+
+/// Runs one full collector session and returns the events moved.
+fn run_session(wal: Option<WalConfig>) -> u64 {
+    let mut cfg = CollectorConfig::new(N_CONNS);
+    cfg.wal = wal;
+    let handle = Collector::start(cfg, "127.0.0.1:0").expect("bind loopback");
+    let addr = handle.local_addr();
+    let mut threads = Vec::new();
+    for conn in 0..N_CONNS {
+        threads.push(std::thread::spawn(move || {
+            let mut sink = SocketSink::connect(addr, RouterId(conn), N_CONNS).expect("connect");
+            for (j, e) in events_for(conn).iter().enumerate() {
+                sink.send(e).expect("send");
+                if (j + 1) % WATERMARK_EVERY == 0 {
+                    sink.watermark(e.time).expect("watermark");
+                }
+            }
+            sink.bye().expect("bye");
+        }));
+    }
+    for t in threads {
+        t.join().unwrap();
+    }
+    let total = (TOTAL_EVENTS / N_CONNS as usize * N_CONNS as usize) as u64;
+    assert!(
+        wait_for(Duration::from_secs(60), || {
+            let s = handle.stats();
+            s.events == total && s.watermark == Some(SimTime::MAX)
+        }),
+        "collector did not drain: {:?}",
+        handle.stats()
+    );
+    let report = handle.shutdown().expect("shutdown");
+    assert_eq!(report.stats.decode_errors, 0);
+    report.stats.events
+}
+
+fn bench(c: &mut Criterion) {
+    // Headline numbers for EXPERIMENTS.md A7: one timed session per
+    // configuration, reported as events/second.
+    for (name, wal) in [
+        ("no-wal", None),
+        ("wal-everyn", Some(FsyncPolicy::EveryN(256))),
+        ("wal-never", Some(FsyncPolicy::Never)),
+    ] {
+        let tmp = TempDir::new("ingest-bench").unwrap();
+        let wal = wal.map(|fsync| {
+            let mut w = WalConfig::new(tmp.path());
+            w.fsync = fsync;
+            w
+        });
+        let t0 = std::time::Instant::now();
+        let moved = run_session(wal);
+        let dt = t0.elapsed().as_secs_f64();
+        println!(
+            "[A7 {name}] {moved} events / {N_CONNS} conns in {dt:.3}s = {:.0} events/sec",
+            moved as f64 / dt
+        );
+    }
+
+    let mut g = c.benchmark_group("ingest_throughput");
+    g.sample_size(10);
+    g.bench_function("loopback-8conns-no-wal", |b| b.iter(|| run_session(None)));
+    g.bench_function("loopback-8conns-wal", |b| {
+        // Fresh directory per session so replay-at-start stays empty.
+        b.iter(|| {
+            let tmp = TempDir::new("ingest-bench-wal").unwrap();
+            run_session(Some(WalConfig::new(tmp.path())))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

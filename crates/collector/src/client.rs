@@ -1,0 +1,119 @@
+//! The sender side: a socket-backed [`EventSink`] a router (or the
+//! simulator standing in for one) plugs into its capture tap.
+//!
+//! One [`SocketSink`] speaks for one router. The driving loop is:
+//! connect (which sends the hello), feed events as the tap emits them,
+//! call [`watermark`](SocketSink::watermark) whenever the local clock
+//! guarantees everything stamped ≤ `t` has been emitted, and
+//! [`bye`](SocketSink::bye) at the end of the stream.
+//!
+//! `EventSink::on_event` cannot return an error, so I/O failures are
+//! latched: the first error sticks, later sends become no-ops, and the
+//! driver observes it via [`take_error`](SocketSink::take_error) (or
+//! the next fallible call). A capture tap must never take down the
+//! control plane it is observing — shedding the stream is the designed
+//! failure mode.
+
+use crate::codec::{write_frame, Frame, Hello};
+use cpvr_sim::{EventSink, IoEvent};
+use cpvr_types::{RouterId, SimTime};
+use std::io::{self, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A buffered TCP connection to the collector, usable directly or as an
+/// [`EventSink`].
+pub struct SocketSink {
+    stream: BufWriter<TcpStream>,
+    source: RouterId,
+    /// First I/O error, latched; everything after it is dropped.
+    error: Option<io::Error>,
+    /// Events written (accepted into the buffer) so far.
+    sent: u64,
+}
+
+impl SocketSink {
+    /// Connects and performs the hello handshake for `source`.
+    pub fn connect(addr: impl ToSocketAddrs, source: RouterId, n_routers: u32) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let mut sink = SocketSink {
+            stream: BufWriter::new(stream),
+            source,
+            error: None,
+            sent: 0,
+        };
+        write_frame(&mut sink.stream, &Frame::Hello(Hello { source, n_routers }))?;
+        sink.stream.flush()?;
+        Ok(sink)
+    }
+
+    /// The router this connection speaks for.
+    pub fn source(&self) -> RouterId {
+        self.source
+    }
+
+    /// Events accepted so far.
+    pub fn sent(&self) -> u64 {
+        self.sent
+    }
+
+    fn write(&mut self, f: &Frame) -> io::Result<()> {
+        if let Some(e) = self.error.take() {
+            self.error = Some(io::Error::new(e.kind(), e.to_string()));
+            return Err(e);
+        }
+        write_frame(&mut self.stream, f).inspect_err(|e| {
+            self.error = Some(io::Error::new(e.kind(), e.to_string()));
+        })
+    }
+
+    /// Sends one event (buffered).
+    pub fn send(&mut self, e: &IoEvent) -> io::Result<()> {
+        self.write(&Frame::Event(e.clone()))?;
+        self.sent += 1;
+        Ok(())
+    }
+
+    /// Promises that every event stamped ≤ `t` has been sent, and
+    /// flushes so the collector can act on the promise immediately.
+    pub fn watermark(&mut self, t: SimTime) -> io::Result<()> {
+        self.write(&Frame::Watermark(t))?;
+        self.stream.flush()
+    }
+
+    /// Announces end-of-stream and flushes. The connection stays open
+    /// (drop the sink to close it).
+    pub fn bye(&mut self) -> io::Result<()> {
+        self.write(&Frame::Bye)?;
+        self.stream.flush()
+    }
+
+    /// Flushes buffered frames to the socket.
+    pub fn flush(&mut self) -> io::Result<()> {
+        if self.error.is_some() {
+            return Ok(()); // already latched; nothing useful to do
+        }
+        self.stream.flush().inspect_err(|e| {
+            self.error = Some(io::Error::new(e.kind(), e.to_string()));
+        })
+    }
+
+    /// Takes the latched error, if any. After this the sink tries to
+    /// send again (usually to fail and latch once more).
+    pub fn take_error(&mut self) -> Option<io::Error> {
+        self.error.take()
+    }
+}
+
+impl EventSink for SocketSink {
+    fn on_event(&mut self, e: &IoEvent) {
+        if self.error.is_some() {
+            return; // latched: shed the stream, never panic the tap
+        }
+        let _ = self.send(e);
+    }
+
+    fn flush(&mut self) {
+        let _ = SocketSink::flush(self);
+    }
+}

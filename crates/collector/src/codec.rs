@@ -1,0 +1,447 @@
+//! The versioned wire codec framing captured I/O events.
+//!
+//! Routers (or, here, the simulator acting as a load generator) stream
+//! frames to the collector over TCP. A frame is a fixed 12-byte header
+//! followed by a payload:
+//!
+//! ```text
+//! +----+----+---------+------+-----------+----------+-- - - - --+
+//! | 'C'| 'W'| version | kind | len (LE)  | crc (LE) |  payload  |
+//! +----+----+---------+------+-----------+----------+-- - - - --+
+//!   1    1      1        1       4            4        len bytes
+//! ```
+//!
+//! The CRC-32 (IEEE, [`cpvr_types::crc32`]) covers the kind byte and the
+//! payload, so neither can be corrupted undetected; the length field is
+//! implicitly covered because a wrong length misaligns the payload and
+//! fails the check. Payloads are the workspace's hand-rolled JSON
+//! ([`cpvr_types::json`]) for structured frames ([`Frame::Hello`],
+//! [`Frame::Event`]) and raw little-endian nanoseconds for the
+//! high-frequency [`Frame::Watermark`].
+//!
+//! The same encoding doubles as the WAL record format
+//! ([`crate::wal`]): a recovered log is just a frame stream read from
+//! disk instead of a socket, so one decoder serves both paths.
+
+use cpvr_sim::IoEvent;
+use cpvr_types::crc32;
+use cpvr_types::json::{from_str, to_string_compact, JsonError};
+use cpvr_types::{RouterId, SimTime};
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// First two bytes of every frame.
+pub const MAGIC: [u8; 2] = *b"CW";
+
+/// Current protocol version. Bump on any incompatible change to the
+/// header or payload encodings; the collector rejects mismatches at the
+/// [`Frame::Hello`] handshake and on every frame header.
+pub const VERSION: u8 = 1;
+
+/// Frames larger than this are rejected before allocation — a corrupt or
+/// hostile length field must not OOM the collector.
+pub const MAX_FRAME_LEN: u32 = 1 << 24;
+
+/// Header size in bytes.
+pub const HEADER_LEN: usize = 12;
+
+/// The connection handshake: the first frame on every connection.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Hello {
+    /// The router whose log records this connection carries.
+    pub source: RouterId,
+    /// How many routers the sender believes the network has; the
+    /// collector rejects the connection if this disagrees with its own
+    /// configuration (a mis-wired deployment).
+    pub n_routers: u32,
+}
+
+cpvr_types::impl_json_struct!(Hello { source, n_routers });
+
+/// One unit of the wire protocol.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Frame {
+    /// Handshake; must be the first frame of a connection.
+    Hello(Hello),
+    /// One captured control-plane I/O event.
+    Event(IoEvent),
+    /// A promise: every event of this connection's router stamped at or
+    /// before this time has already been sent. The collector folds
+    /// events into the HBG only up to the *minimum* watermark across all
+    /// router connections — the merge point that reconstructs the
+    /// `(time, id)` order `HbgBuilder::advance` requires.
+    Watermark(SimTime),
+    /// Graceful end-of-stream: no further events will ever come from
+    /// this router (its watermark effectively jumps to infinity).
+    Bye,
+}
+
+impl Frame {
+    /// The kind byte identifying this frame on the wire.
+    pub fn kind(&self) -> u8 {
+        match self {
+            Frame::Hello(_) => 0,
+            Frame::Event(_) => 1,
+            Frame::Watermark(_) => 2,
+            Frame::Bye => 3,
+        }
+    }
+}
+
+/// A decode failure. I/O errors pass through; everything else names the
+/// way the bytes were malformed.
+#[derive(Debug)]
+pub enum CodecError {
+    /// The underlying reader/writer failed.
+    Io(io::Error),
+    /// The first two bytes were not [`MAGIC`].
+    BadMagic([u8; 2]),
+    /// The version byte disagrees with [`VERSION`].
+    BadVersion(u8),
+    /// An unknown kind byte.
+    BadKind(u8),
+    /// The length field exceeds [`MAX_FRAME_LEN`].
+    TooLarge(u32),
+    /// The checksum over kind + payload did not match.
+    BadCrc {
+        /// CRC stated in the header.
+        expected: u32,
+        /// CRC computed over the received bytes.
+        got: u32,
+    },
+    /// The payload failed to parse.
+    Json(JsonError),
+    /// The payload had the wrong shape for its kind (e.g. a watermark
+    /// frame whose payload is not exactly 8 bytes).
+    BadPayload(&'static str),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Io(e) => write!(f, "i/o error: {e}"),
+            CodecError::BadMagic(m) => write!(f, "bad magic {m:02x?}"),
+            CodecError::BadVersion(v) => {
+                write!(f, "protocol version {v} (this build speaks {VERSION})")
+            }
+            CodecError::BadKind(k) => write!(f, "unknown frame kind {k}"),
+            CodecError::TooLarge(n) => write!(f, "frame length {n} exceeds {MAX_FRAME_LEN}"),
+            CodecError::BadCrc { expected, got } => {
+                write!(
+                    f,
+                    "crc mismatch: header says {expected:#010x}, bytes hash to {got:#010x}"
+                )
+            }
+            CodecError::Json(e) => write!(f, "payload parse: {e}"),
+            CodecError::BadPayload(what) => write!(f, "malformed payload: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+impl From<io::Error> for CodecError {
+    fn from(e: io::Error) -> Self {
+        CodecError::Io(e)
+    }
+}
+
+impl From<JsonError> for CodecError {
+    fn from(e: JsonError) -> Self {
+        CodecError::Json(e)
+    }
+}
+
+/// A frame as raw bytes: validated header + undecoded payload. This is
+/// what the collector's reader threads hand to the merger, so the WAL
+/// can append the already-encoded bytes without re-serializing, and
+/// decoding can stay on the (parallel) reader side via
+/// [`decode`](RawFrame::decode).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RawFrame {
+    /// The kind byte (already validated to be a known kind).
+    pub kind: u8,
+    /// The payload bytes (CRC already verified).
+    pub payload: Vec<u8>,
+}
+
+impl RawFrame {
+    /// Decodes the payload into a typed [`Frame`].
+    pub fn decode(&self) -> Result<Frame, CodecError> {
+        match self.kind {
+            0 => {
+                let text = std::str::from_utf8(&self.payload)
+                    .map_err(|_| CodecError::BadPayload("hello payload is not utf-8"))?;
+                Ok(Frame::Hello(from_str(text)?))
+            }
+            1 => {
+                let text = std::str::from_utf8(&self.payload)
+                    .map_err(|_| CodecError::BadPayload("event payload is not utf-8"))?;
+                Ok(Frame::Event(from_str(text)?))
+            }
+            2 => {
+                let bytes: [u8; 8] = self
+                    .payload
+                    .as_slice()
+                    .try_into()
+                    .map_err(|_| CodecError::BadPayload("watermark payload is not 8 bytes"))?;
+                Ok(Frame::Watermark(SimTime::from_nanos(u64::from_le_bytes(
+                    bytes,
+                ))))
+            }
+            3 => {
+                if self.payload.is_empty() {
+                    Ok(Frame::Bye)
+                } else {
+                    Err(CodecError::BadPayload("bye carries no payload"))
+                }
+            }
+            k => Err(CodecError::BadKind(k)),
+        }
+    }
+
+    /// The full wire encoding (header + payload) of this frame — also
+    /// the WAL record payload format.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut crc = crc32::Crc32::new();
+        crc.update(&[self.kind]);
+        crc.update(&self.payload);
+        let mut out = Vec::with_capacity(HEADER_LEN + self.payload.len());
+        out.extend_from_slice(&MAGIC);
+        out.push(VERSION);
+        out.push(self.kind);
+        out.extend_from_slice(&(self.payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&crc.finish().to_le_bytes());
+        out.extend_from_slice(&self.payload);
+        out
+    }
+}
+
+/// Serializes a typed frame to its raw form.
+pub fn raw_frame(f: &Frame) -> RawFrame {
+    let payload = match f {
+        Frame::Hello(h) => to_string_compact(h).into_bytes(),
+        Frame::Event(e) => to_string_compact(e).into_bytes(),
+        Frame::Watermark(t) => t.as_nanos().to_le_bytes().to_vec(),
+        Frame::Bye => Vec::new(),
+    };
+    RawFrame {
+        kind: f.kind(),
+        payload,
+    }
+}
+
+/// Encodes a frame to wire bytes.
+pub fn encode_frame(f: &Frame) -> Vec<u8> {
+    raw_frame(f).encode()
+}
+
+/// Writes one frame.
+pub fn write_frame<W: Write>(w: &mut W, f: &Frame) -> io::Result<()> {
+    w.write_all(&encode_frame(f))
+}
+
+/// Parses one frame from the front of `bytes`; returns the frame and how
+/// many bytes it consumed. `Ok(None)` means `bytes` is a clean prefix of
+/// a frame (more data needed) — the torn-tail signal during WAL replay.
+pub fn decode_frame(bytes: &[u8]) -> Result<Option<(RawFrame, usize)>, CodecError> {
+    if bytes.len() < HEADER_LEN {
+        return Ok(None);
+    }
+    let header = &bytes[..HEADER_LEN];
+    if header[0..2] != MAGIC {
+        return Err(CodecError::BadMagic([header[0], header[1]]));
+    }
+    if header[2] != VERSION {
+        return Err(CodecError::BadVersion(header[2]));
+    }
+    let kind = header[3];
+    if kind > 3 {
+        return Err(CodecError::BadKind(kind));
+    }
+    let len = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
+    if len > MAX_FRAME_LEN {
+        return Err(CodecError::TooLarge(len));
+    }
+    let expected = u32::from_le_bytes(header[8..12].try_into().expect("4 bytes"));
+    let end = HEADER_LEN + len as usize;
+    if bytes.len() < end {
+        return Ok(None);
+    }
+    let payload = &bytes[HEADER_LEN..end];
+    let mut crc = crc32::Crc32::new();
+    crc.update(&[kind]);
+    crc.update(payload);
+    let got = crc.finish();
+    if got != expected {
+        return Err(CodecError::BadCrc { expected, got });
+    }
+    Ok(Some((
+        RawFrame {
+            kind,
+            payload: payload.to_vec(),
+        },
+        end,
+    )))
+}
+
+/// Reads one frame from a blocking reader. `Ok(None)` signals a clean
+/// end-of-stream (EOF exactly at a frame boundary); EOF mid-frame is an
+/// [`CodecError::Io`] with `UnexpectedEof`.
+pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<RawFrame>, CodecError> {
+    let mut header = [0u8; HEADER_LEN];
+    // Distinguish clean EOF (no bytes at all) from a truncated header.
+    let mut filled = 0;
+    while filled < HEADER_LEN {
+        match r.read(&mut header[filled..])? {
+            0 if filled == 0 => return Ok(None),
+            0 => {
+                return Err(CodecError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "eof inside frame header",
+                )))
+            }
+            n => filled += n,
+        }
+    }
+    if header[0..2] != MAGIC {
+        return Err(CodecError::BadMagic([header[0], header[1]]));
+    }
+    if header[2] != VERSION {
+        return Err(CodecError::BadVersion(header[2]));
+    }
+    let kind = header[3];
+    if kind > 3 {
+        return Err(CodecError::BadKind(kind));
+    }
+    let len = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
+    if len > MAX_FRAME_LEN {
+        return Err(CodecError::TooLarge(len));
+    }
+    let expected = u32::from_le_bytes(header[8..12].try_into().expect("4 bytes"));
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    let mut crc = crc32::Crc32::new();
+    crc.update(&[kind]);
+    crc.update(&payload);
+    let got = crc.finish();
+    if got != expected {
+        return Err(CodecError::BadCrc { expected, got });
+    }
+    Ok(Some(RawFrame { kind, payload }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpvr_sim::{EventId, IoKind};
+
+    fn sample_event() -> IoEvent {
+        IoEvent {
+            id: EventId(7),
+            router: RouterId(2),
+            time: SimTime::from_millis(42),
+            arrived_at: Some(SimTime::from_millis(43)),
+            kind: IoKind::FibRemove {
+                prefix: "10.0.0.0/8".parse().unwrap(),
+            },
+        }
+    }
+
+    #[test]
+    fn frames_roundtrip_through_bytes() {
+        let frames = vec![
+            Frame::Hello(Hello {
+                source: RouterId(1),
+                n_routers: 3,
+            }),
+            Frame::Event(sample_event()),
+            Frame::Watermark(SimTime::from_micros(987_654)),
+            Frame::Bye,
+        ];
+        for f in &frames {
+            let bytes = encode_frame(f);
+            let (raw, used) = decode_frame(&bytes).unwrap().expect("complete frame");
+            assert_eq!(used, bytes.len());
+            assert_eq!(&raw.decode().unwrap(), f);
+        }
+    }
+
+    #[test]
+    fn frames_roundtrip_through_a_stream() {
+        let mut buf = Vec::new();
+        let frames = vec![
+            Frame::Hello(Hello {
+                source: RouterId(0),
+                n_routers: 1,
+            }),
+            Frame::Event(sample_event()),
+            Frame::Bye,
+        ];
+        for f in &frames {
+            write_frame(&mut buf, f).unwrap();
+        }
+        let mut r = buf.as_slice();
+        for f in &frames {
+            let raw = read_frame(&mut r).unwrap().expect("frame present");
+            assert_eq!(&raw.decode().unwrap(), f);
+        }
+        assert!(read_frame(&mut r).unwrap().is_none(), "clean eof");
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let mut bytes = encode_frame(&Frame::Event(sample_event()));
+        // Flip one payload byte: CRC must catch it.
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        assert!(matches!(
+            decode_frame(&bytes),
+            Err(CodecError::BadCrc { .. })
+        ));
+        // Flip the kind byte: also covered by the CRC.
+        let mut bytes = encode_frame(&Frame::Bye);
+        bytes[3] = 2;
+        assert!(matches!(
+            decode_frame(&bytes),
+            Err(CodecError::BadCrc { .. })
+        ));
+    }
+
+    #[test]
+    fn header_validation() {
+        let good = encode_frame(&Frame::Bye);
+        let mut bad = good.clone();
+        bad[0] = b'X';
+        assert!(matches!(decode_frame(&bad), Err(CodecError::BadMagic(_))));
+        let mut bad = good.clone();
+        bad[2] = VERSION + 1;
+        assert!(matches!(decode_frame(&bad), Err(CodecError::BadVersion(_))));
+        let mut bad = good;
+        bad[4..8].copy_from_slice(&(MAX_FRAME_LEN + 1).to_le_bytes());
+        assert!(matches!(decode_frame(&bad), Err(CodecError::TooLarge(_))));
+    }
+
+    #[test]
+    fn truncated_frames_ask_for_more() {
+        let bytes = encode_frame(&Frame::Event(sample_event()));
+        for cut in [0, 1, HEADER_LEN - 1, HEADER_LEN, bytes.len() - 1] {
+            assert!(
+                decode_frame(&bytes[..cut]).unwrap().is_none(),
+                "cut at {cut} must be a clean prefix"
+            );
+        }
+        // A truncated stream read is an UnexpectedEof error, not a frame.
+        let mut r = &bytes[..bytes.len() - 1];
+        assert!(matches!(read_frame(&mut r), Err(CodecError::Io(_))));
+    }
+
+    #[test]
+    fn watermark_payload_is_exactly_eight_bytes() {
+        let raw = RawFrame {
+            kind: 2,
+            payload: vec![1, 2, 3],
+        };
+        assert!(matches!(raw.decode(), Err(CodecError::BadPayload(_))));
+    }
+}

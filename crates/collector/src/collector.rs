@@ -1,0 +1,609 @@
+//! The threaded TCP collector: accepts one connection per router,
+//! merges the per-router frame streams into watermark order, journals
+//! everything through the WAL, and drives the [`IngestPipeline`].
+//!
+//! ## Threading model
+//!
+//! Plain `std` threads, no async runtime:
+//!
+//! - an **accept thread** polls a nonblocking listener and spawns one
+//!   **reader thread** per connection;
+//! - reader threads decode frames (the CPU-heavy JSON parse happens
+//!   here, in parallel across connections) and push typed messages into
+//!   a **bounded** channel — when the merger falls behind, readers
+//!   block, TCP windows fill, and backpressure reaches the senders;
+//! - a single **merger thread** owns the WAL and the pipeline. It
+//!   tracks a watermark per source router and folds events only up to
+//!   the *minimum* watermark over all `n_routers` sources, which is the
+//!   merge point at which the global `(time, id)` order is known — the
+//!   precondition for [`HbgBuilder::advance`]'s deterministic sweep.
+//!
+//! ## Durability ordering
+//!
+//! The merger appends an event's wire frame to the WAL *before*
+//! ingesting it, and appends a (global) watermark frame *before*
+//! advancing. The log is therefore always at least as complete as the
+//! in-memory state, so replaying it (see
+//! [`IngestPipeline::recover`]) reconstructs the pre-crash pipeline
+//! exactly: at-least-once logging plus a deterministic fold is
+//! effectively exactly-once recovery.
+//!
+//! [`HbgBuilder::advance`]: cpvr_core::builder::HbgBuilder::advance
+
+use crate::codec::{encode_frame, read_frame, CodecError, Frame, Hello, VERSION};
+use crate::pipeline::{IngestPipeline, PipelineConfig, RecoveryReport};
+use crate::wal::{Wal, WalConfig};
+use cpvr_sim::IoEvent;
+use cpvr_types::{RouterId, SimTime};
+use std::collections::HashMap;
+use std::io::{self, Read};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// Collector tuning knobs.
+#[derive(Clone, Debug)]
+pub struct CollectorConfig {
+    /// Deployment shape handed to the pipeline; also the number of
+    /// distinct sources that must report before any event is folded.
+    pub pipeline: PipelineConfig,
+    /// Bounded channel capacity between readers and the merger. Full
+    /// channel = blocked readers = TCP backpressure.
+    pub channel_capacity: usize,
+    /// A connection that stays silent this long is dropped.
+    pub idle_timeout: Duration,
+    /// Poll tick for the nonblocking accept loop and reader-side stop /
+    /// idle checks.
+    pub poll_interval: Duration,
+    /// Where to journal frames; `None` runs without durability.
+    pub wal: Option<WalConfig>,
+}
+
+impl CollectorConfig {
+    /// A config for `n_routers` with default tuning and no WAL.
+    pub fn new(n_routers: u32) -> Self {
+        CollectorConfig {
+            pipeline: PipelineConfig::new(n_routers),
+            channel_capacity: 1024,
+            idle_timeout: Duration::from_secs(30),
+            poll_interval: Duration::from_millis(10),
+            wal: None,
+        }
+    }
+
+    /// Enables the WAL.
+    pub fn with_wal(mut self, wal: WalConfig) -> Self {
+        self.wal = Some(wal);
+        self
+    }
+}
+
+/// Live counters, observable while the collector runs.
+#[derive(Default)]
+struct SharedStats {
+    connections: AtomicU64,
+    events: AtomicU64,
+    bytes: AtomicU64,
+    decode_errors: AtomicU64,
+    late_events: AtomicU64,
+    /// Nanos of the last globally advanced watermark; only meaningful
+    /// once `watermark_set` is true (zero is a valid watermark, so it
+    /// cannot double as the "never advanced" sentinel).
+    watermark_nanos: AtomicU64,
+    watermark_set: AtomicBool,
+}
+
+impl SharedStats {
+    fn set_watermark(&self, wm: SimTime) {
+        self.watermark_nanos.store(wm.as_nanos(), Ordering::Relaxed);
+        self.watermark_set.store(true, Ordering::Release);
+    }
+}
+
+/// A point-in-time copy of the collector's counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CollectorStats {
+    /// Connections accepted over the collector's lifetime.
+    pub connections: u64,
+    /// Events ingested into the pipeline.
+    pub events: u64,
+    /// Payload bytes received across all frames.
+    pub bytes: u64,
+    /// Frames that failed to decode (connection is closed on the first).
+    pub decode_errors: u64,
+    /// Events dropped for arriving at or behind the advanced watermark.
+    pub late_events: u64,
+    /// The last globally advanced watermark.
+    pub watermark: Option<SimTime>,
+}
+
+impl SharedStats {
+    fn snapshot(&self) -> CollectorStats {
+        let watermark = self
+            .watermark_set
+            .load(Ordering::Acquire)
+            .then(|| SimTime::from_nanos(self.watermark_nanos.load(Ordering::Relaxed)));
+        CollectorStats {
+            connections: self.connections.load(Ordering::Relaxed),
+            events: self.events.load(Ordering::Relaxed),
+            bytes: self.bytes.load(Ordering::Relaxed),
+            decode_errors: self.decode_errors.load(Ordering::Relaxed),
+            late_events: self.late_events.load(Ordering::Relaxed),
+            watermark,
+        }
+    }
+}
+
+/// One decoded event, carrying its wire encoding for the WAL when one
+/// is configured (re-encoding in the merger would serialize the cost).
+struct EventRec {
+    event: IoEvent,
+    raw: Option<Vec<u8>>,
+}
+
+/// What a reader thread hands to the merger.
+///
+/// Events travel in batches: nothing is folded until the next
+/// watermark anyway, so a reader may hold events back until it sees a
+/// watermark (or the batch cap) with zero semantic cost — and the
+/// channel carries hundreds of messages instead of one per event,
+/// which is what keeps the single merger from becoming the contention
+/// point.
+enum Msg {
+    Hello { conn: u64, hello: Hello },
+    Events { batch: Vec<EventRec> },
+    Watermark { conn: u64, t: SimTime },
+    Closed { conn: u64 },
+}
+
+/// Cap on events per channel message; bounds merger-side latency and
+/// channel memory (capacity × batch × event size).
+const EVENT_BATCH_MAX: usize = 256;
+
+/// The final accounting returned by [`CollectorHandle::shutdown`].
+pub struct CollectorReport {
+    /// The verification state at shutdown.
+    pub pipeline: IngestPipeline,
+    /// Final counters.
+    pub stats: CollectorStats,
+    /// What WAL recovery found at startup (`Some` iff a WAL was
+    /// configured).
+    pub recovery: Option<RecoveryReport>,
+}
+
+/// A running collector. Dropping the handle without calling
+/// [`shutdown`](Self::shutdown) detaches the threads (they stop once
+/// every connection closes and the handle's stop flag is never set);
+/// call `shutdown` to stop deterministically and collect the state.
+pub struct CollectorHandle {
+    addr: std::net::SocketAddr,
+    stop: Arc<AtomicBool>,
+    stats: Arc<SharedStats>,
+    accept: Option<JoinHandle<()>>,
+    merger: Option<JoinHandle<(IngestPipeline, Option<io::Error>)>>,
+    recovery: Option<RecoveryReport>,
+}
+
+/// The collector entry point.
+pub struct Collector;
+
+impl Collector {
+    /// Binds `addr`, recovers from the WAL if one is configured, and
+    /// starts the accept/reader/merger threads.
+    pub fn start(cfg: CollectorConfig, addr: impl ToSocketAddrs) -> io::Result<CollectorHandle> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+
+        let (pipeline, recovery, wal) = match &cfg.wal {
+            Some(wal_cfg) => {
+                let (pipeline, report) = IngestPipeline::recover(cfg.pipeline, &wal_cfg.dir)?;
+                let wal = Wal::open(wal_cfg.clone())?;
+                (pipeline, Some(report), Some(wal))
+            }
+            None => (IngestPipeline::new(cfg.pipeline), None, None),
+        };
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let stats = Arc::new(SharedStats::default());
+        let (tx, rx) = std::sync::mpsc::sync_channel::<Msg>(cfg.channel_capacity.max(1));
+
+        let merger = {
+            let stats = Arc::clone(&stats);
+            let n_routers = cfg.pipeline.n_routers;
+            thread::Builder::new()
+                .name("cpvr-merger".into())
+                .spawn(move || merger_loop(rx, pipeline, wal, n_routers, &stats))?
+        };
+
+        let accept = {
+            let stop = Arc::clone(&stop);
+            let stats = Arc::clone(&stats);
+            let cfg = cfg.clone();
+            thread::Builder::new()
+                .name("cpvr-accept".into())
+                .spawn(move || accept_loop(listener, tx, stop, stats, cfg))?
+        };
+
+        Ok(CollectorHandle {
+            addr: local,
+            stop,
+            stats,
+            accept: Some(accept),
+            merger: Some(merger),
+            recovery,
+        })
+    }
+}
+
+impl CollectorHandle {
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// A snapshot of the live counters.
+    pub fn stats(&self) -> CollectorStats {
+        self.stats.snapshot()
+    }
+
+    /// What WAL recovery found at startup, if a WAL was configured.
+    pub fn recovery(&self) -> Option<&RecoveryReport> {
+        self.recovery.as_ref()
+    }
+
+    /// Stops accepting, drains every connection, closes the WAL, and
+    /// returns the final pipeline state.
+    pub fn shutdown(mut self) -> io::Result<CollectorReport> {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        let (pipeline, wal_err) = match self.merger.take() {
+            Some(h) => h
+                .join()
+                .map_err(|_| io::Error::other("merger thread panicked"))?,
+            None => unreachable!("shutdown consumes self"),
+        };
+        if let Some(e) = wal_err {
+            return Err(e);
+        }
+        Ok(CollectorReport {
+            pipeline,
+            stats: self.stats.snapshot(),
+            recovery: self.recovery.take(),
+        })
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    tx: SyncSender<Msg>,
+    stop: Arc<AtomicBool>,
+    stats: Arc<SharedStats>,
+    cfg: CollectorConfig,
+) {
+    let mut readers: Vec<JoinHandle<()>> = Vec::new();
+    let mut next_conn: u64 = 0;
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let conn = next_conn;
+                next_conn += 1;
+                stats.connections.fetch_add(1, Ordering::Relaxed);
+                let tx = tx.clone();
+                let stop = Arc::clone(&stop);
+                let stats = Arc::clone(&stats);
+                let idle = cfg.idle_timeout;
+                let poll = cfg.poll_interval;
+                let expect_n = cfg.pipeline.n_routers;
+                let wal_enabled = cfg.wal.is_some();
+                let h = thread::Builder::new()
+                    .name(format!("cpvr-reader-{conn}"))
+                    .spawn(move || {
+                        reader_loop(
+                            stream,
+                            conn,
+                            tx,
+                            stop,
+                            stats,
+                            idle,
+                            poll,
+                            expect_n,
+                            wal_enabled,
+                        )
+                    })
+                    .expect("spawn reader thread");
+                readers.push(h);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                thread::sleep(cfg.poll_interval);
+            }
+            Err(_) => thread::sleep(cfg.poll_interval),
+        }
+        readers.retain(|h| !h.is_finished());
+    }
+    for h in readers {
+        let _ = h.join();
+    }
+    // `tx` drops here; once every reader's clone is gone the merger's
+    // receive loop ends and it returns the pipeline.
+}
+
+/// A `Read` adapter over a nonblocking-timeout socket that turns
+/// `WouldBlock` ticks into stop-flag and idle-deadline checks, so
+/// `read_frame` can block "interruptibly" without losing partial
+/// progress (progress lives in `read_exact`'s buffer, not here).
+struct PollingReader<'a> {
+    stream: &'a TcpStream,
+    stop: &'a AtomicBool,
+    idle: Duration,
+    last_data: Instant,
+}
+
+impl Read for PollingReader<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        loop {
+            if self.stop.load(Ordering::SeqCst) {
+                return Err(io::Error::other("collector shutting down"));
+            }
+            match self.stream.read(buf) {
+                Ok(0) => return Ok(0),
+                Ok(n) => {
+                    self.last_data = Instant::now();
+                    return Ok(n);
+                }
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    if self.last_data.elapsed() >= self.idle {
+                        return Err(io::Error::new(
+                            io::ErrorKind::TimedOut,
+                            "connection idle past the timeout",
+                        ));
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn reader_loop(
+    stream: TcpStream,
+    conn: u64,
+    tx: SyncSender<Msg>,
+    stop: Arc<AtomicBool>,
+    stats: Arc<SharedStats>,
+    idle: Duration,
+    poll: Duration,
+    expect_n_routers: u32,
+    wal_enabled: bool,
+) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(poll));
+    // Buffer above the polling layer: frames are small (~100–300 bytes)
+    // and unbuffered reads would cost two syscalls each.
+    let mut r = io::BufReader::with_capacity(
+        64 * 1024,
+        PollingReader {
+            stream: &stream,
+            stop: &stop,
+            idle,
+            last_data: Instant::now(),
+        },
+    );
+    let mut greeted = false;
+    let mut batch: Vec<EventRec> = Vec::new();
+    // The loop's break value describes why the connection ended; it is
+    // currently only useful to a debugger, but the plumbing keeps the
+    // failure paths honest about what went wrong.
+    let _why_closed: Option<String> = loop {
+        let raw = match read_frame(&mut r) {
+            Ok(Some(raw)) => raw,
+            Ok(None) => break None, // clean EOF at a frame boundary
+            Err(CodecError::Io(e)) => break Some(e.to_string()),
+            Err(e) => {
+                stats.decode_errors.fetch_add(1, Ordering::Relaxed);
+                break Some(e.to_string());
+            }
+        };
+        stats.bytes.fetch_add(
+            (raw.payload.len() + crate::codec::HEADER_LEN) as u64,
+            Ordering::Relaxed,
+        );
+        let frame = match raw.decode() {
+            Ok(f) => f,
+            Err(e) => {
+                stats.decode_errors.fetch_add(1, Ordering::Relaxed);
+                break Some(e.to_string());
+            }
+        };
+        let msg = match frame {
+            Frame::Hello(hello) => {
+                if greeted {
+                    stats.decode_errors.fetch_add(1, Ordering::Relaxed);
+                    break Some("duplicate hello".into());
+                }
+                if hello.n_routers != expect_n_routers {
+                    stats.decode_errors.fetch_add(1, Ordering::Relaxed);
+                    break Some(format!(
+                        "peer believes the network has {} routers, collector is configured for {} \
+                         (protocol v{VERSION})",
+                        hello.n_routers, expect_n_routers
+                    ));
+                }
+                greeted = true;
+                Msg::Hello { conn, hello }
+            }
+            _ if !greeted => {
+                stats.decode_errors.fetch_add(1, Ordering::Relaxed);
+                break Some("first frame was not a hello".into());
+            }
+            Frame::Event(e) => {
+                batch.push(EventRec {
+                    event: e,
+                    raw: wal_enabled.then(|| raw.encode()),
+                });
+                if batch.len() >= EVENT_BATCH_MAX
+                    && tx
+                        .send(Msg::Events {
+                            batch: std::mem::take(&mut batch),
+                        })
+                        .is_err()
+                {
+                    return; // merger is gone; nothing left to report to
+                }
+                continue;
+            }
+            Frame::Watermark(t) => Msg::Watermark { conn, t },
+            // A graceful goodbye: this source will never emit again, so
+            // its watermark jumps to infinity and stops gating the
+            // global merge.
+            Frame::Bye => Msg::Watermark {
+                conn,
+                t: SimTime::MAX,
+            },
+        };
+        // Pending events must land before the control frame that
+        // follows them — a watermark's promise covers them.
+        if !batch.is_empty()
+            && tx
+                .send(Msg::Events {
+                    batch: std::mem::take(&mut batch),
+                })
+                .is_err()
+        {
+            return;
+        }
+        if tx.send(msg).is_err() {
+            return; // merger is gone; nothing left to report to
+        }
+    };
+    if !batch.is_empty() {
+        let _ = tx.send(Msg::Events { batch });
+    }
+    let _ = tx.send(Msg::Closed { conn });
+}
+
+fn merger_loop(
+    rx: Receiver<Msg>,
+    mut pipeline: IngestPipeline,
+    mut wal: Option<Wal>,
+    n_routers: u32,
+    stats: &SharedStats,
+) -> (IngestPipeline, Option<io::Error>) {
+    // Which router each live connection speaks for, and the most recent
+    // watermark promised per router. A reconnect replaces the
+    // connection but keeps the router's watermark monotone.
+    let mut conn_source: HashMap<u64, RouterId> = HashMap::new();
+    // `None` = connected but has not promised anything yet. The entry
+    // must NOT default to time zero: that would let the other sources'
+    // watermarks advance the global fold to 0 before this source's
+    // own zero-stamped events arrive, dropping them as late.
+    let mut source_wm: HashMap<RouterId, Option<SimTime>> = HashMap::new();
+    let mut wal_err: Option<io::Error> = None;
+
+    // Resuming after recovery: the recovered watermark keeps gating
+    // late events even before sources reconnect.
+    let mut advanced: Option<SimTime> = pipeline.watermark();
+    if let Some(wm) = advanced {
+        stats.set_watermark(wm);
+    }
+
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            Msg::Hello { conn, hello } => {
+                conn_source.insert(conn, hello.source);
+                source_wm.entry(hello.source).or_insert(None);
+            }
+            Msg::Events { batch } => {
+                let mut ingested = 0u64;
+                let mut late = 0u64;
+                for rec in &batch {
+                    // Events at or behind the advanced watermark would
+                    // land behind the fold frontier; drop them (they
+                    // can only occur on sloppy reconnects that re-send
+                    // history).
+                    if advanced.is_some_and(|wm| rec.event.time <= wm) {
+                        late += 1;
+                        continue;
+                    }
+                    if wal_err.is_none() {
+                        if let (Some(w), Some(raw)) = (wal.as_mut(), rec.raw.as_ref()) {
+                            // Journal before ingesting: the log must
+                            // never lag the in-memory state.
+                            if let Err(e) = w.append(raw) {
+                                wal_err = Some(e);
+                            }
+                        }
+                    }
+                    pipeline.ingest(&rec.event);
+                    ingested += 1;
+                }
+                stats.events.fetch_add(ingested, Ordering::Relaxed);
+                if late > 0 {
+                    stats.late_events.fetch_add(late, Ordering::Relaxed);
+                }
+            }
+            Msg::Watermark { conn, t } => {
+                let Some(source) = conn_source.get(&conn) else {
+                    continue;
+                };
+                let wm = source_wm.entry(*source).or_insert(None);
+                *wm = Some(wm.map_or(t, |prev| prev.max(t)));
+                // Fold only once every router has connected AND made a
+                // first promise: before that, a straggler's events are
+                // still unordered against the rest and any fold would
+                // be premature (or, worse, ahead of its zero-stamped
+                // startup events).
+                if source_wm.len() < n_routers as usize {
+                    continue;
+                }
+                let Some(global) = source_wm
+                    .values()
+                    .copied()
+                    .min()
+                    .expect("n_routers > 0 sources present")
+                else {
+                    continue;
+                };
+                if advanced.is_some_and(|wm| global <= wm) {
+                    continue;
+                }
+                if wal_err.is_none() {
+                    if let Some(w) = wal.as_mut() {
+                        // Journal the *global* watermark before
+                        // advancing, so recovery re-advances to exactly
+                        // the folded horizon.
+                        let frame = encode_frame(&Frame::Watermark(global));
+                        if let Err(e) = w.append(&frame) {
+                            wal_err = Some(e);
+                        }
+                    }
+                }
+                pipeline.advance(global);
+                advanced = Some(global);
+                stats.set_watermark(global);
+            }
+            Msg::Closed { conn, .. } => {
+                // Keep the router's last watermark: an abnormal close
+                // stalls the global merge at its promise, which is the
+                // conservative (correct) choice.
+                conn_source.remove(&conn);
+            }
+        }
+    }
+    if let Some(w) = wal {
+        if let (Err(e), None) = (w.close(), &wal_err) {
+            wal_err = Some(e);
+        }
+    }
+    (pipeline, wal_err)
+}

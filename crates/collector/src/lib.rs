@@ -1,0 +1,58 @@
+//! Networked event ingestion for the CPVR pipeline.
+//!
+//! The paper's architecture (Fig. 3) assumes the verifier receives a
+//! *stream* of captured control-plane I/Os from every router — "most
+//! commercial router platforms provide a mechanism for logging control
+//! plane I/Os" (§4.2). The rest of this workspace drives that stream
+//! through an in-process callback; this crate is the missing deployment
+//! seam: routers ship their logs over TCP, and the collector turns the
+//! per-router streams back into the globally ordered feed the
+//! incremental verification machinery requires — surviving crashes on
+//! the way.
+//!
+//! Four layers, bottom up:
+//!
+//! * [`codec`] — a versioned, CRC-protected wire format framing
+//!   [`IoEvent`](cpvr_sim::IoEvent)s in the workspace's own JSON
+//!   encoding, plus the `Hello` / `Watermark` / `Bye` control frames.
+//! * [`wal`] — a segmented append-only write-ahead log whose records
+//!   are exactly the wire frames, with configurable fsync policy and
+//!   torn-tail detection on replay.
+//! * [`pipeline`] + [`collector`] — the threaded TCP server: one reader
+//!   thread per router connection, a bounded channel for backpressure,
+//!   and a single merger thread that journals to the WAL, tracks
+//!   per-source watermarks, and folds events into
+//!   [`HbgBuilder`](cpvr_core::builder::HbgBuilder) and
+//!   [`ConsistencyTracker`](cpvr_core::snapshot::ConsistencyTracker)
+//!   only up to the minimum watermark across all sources — the merge
+//!   point where the global `(time, id)` order is known.
+//! * [`client`] — [`SocketSink`], an
+//!   [`EventSink`](cpvr_sim::EventSink) that ships a router's tap over
+//!   a socket, so a simulation doubles as a load generator for a real
+//!   collector process (see the `collectord` example).
+//!
+//! Crash recovery is the point of the WAL: the merger journals every
+//! event before ingesting it and every global watermark before
+//! advancing, so the log is always at least as complete as the
+//! in-memory state. Replaying it (ingest everything, advance once to
+//! the last logged watermark) reconstructs the pre-crash pipeline
+//! *bit-identically* — the fold is deterministic in `(time, id)` order
+//! no matter how the advances were batched. The `crash_recovery`
+//! integration test kills a run at every record boundary and proves the
+//! recovered state finishes the stream exactly like an uninterrupted
+//! run.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod codec;
+pub mod collector;
+pub mod pipeline;
+pub mod wal;
+
+pub use client::SocketSink;
+pub use codec::{Frame, Hello, RawFrame};
+pub use collector::{Collector, CollectorConfig, CollectorHandle, CollectorReport, CollectorStats};
+pub use pipeline::{IngestPipeline, PipelineConfig, RecoveryReport};
+pub use wal::{FsyncPolicy, Wal, WalConfig, WalReplay};

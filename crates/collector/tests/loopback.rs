@@ -1,0 +1,174 @@
+//! End-to-end loopback test: stream a real simulation trace through the
+//! TCP collector — one concurrent connection per router, stepped
+//! watermarks — and require the resulting verification state to be
+//! bit-identical to an in-process run over the same events.
+
+use cpvr_collector::client::SocketSink;
+use cpvr_collector::collector::{Collector, CollectorConfig};
+use cpvr_collector::pipeline::{IngestPipeline, PipelineConfig};
+use cpvr_collector::wal::wait_for;
+use cpvr_dataplane::{DataPlane, FibEntry};
+use cpvr_sim::scenario::paper_scenario;
+use cpvr_sim::{CaptureProfile, IoEvent, LatencyProfile};
+use cpvr_types::{Ipv4Prefix, RouterId, SimTime};
+use std::time::Duration;
+
+const N_ROUTERS: u32 = 3;
+
+/// A comparable rendering of every FIB entry and capture time.
+type DpFingerprint = Vec<(u32, Vec<(Ipv4Prefix, FibEntry)>, SimTime)>;
+
+fn dataplane_fingerprint(dp: &DataPlane) -> DpFingerprint {
+    (0..dp.num_routers() as u32)
+        .map(|r| {
+            let r = RouterId(r);
+            (r.0, dp.fib(r).entries(), dp.taken_at(r))
+        })
+        .collect()
+}
+
+/// Runs the paper scenario to quiescence twice (announce, re-announce)
+/// and returns the full capture trace.
+fn sample_events(seed: u64) -> Vec<IoEvent> {
+    let mut s = paper_scenario(LatencyProfile::fast(), CaptureProfile::ideal(), seed);
+    s.sim.start();
+    s.sim.run_to_quiescence(100_000);
+    s.sim
+        .schedule_ext_announce(s.sim.now() + SimTime::from_millis(5), s.ext_r1, &[s.prefix]);
+    s.sim.schedule_ext_announce(
+        s.sim.now() + SimTime::from_millis(400),
+        s.ext_r2,
+        &[s.prefix],
+    );
+    s.sim.run_to_quiescence(100_000);
+    s.sim.trace().events.clone()
+}
+
+#[test]
+fn concurrent_streams_match_in_process_pipeline() {
+    let events = sample_events(7);
+    assert!(events.len() > 100, "scenario should produce a real trace");
+
+    // Reference: the uninterrupted in-process pipeline.
+    let mut reference = IngestPipeline::new(PipelineConfig::new(N_ROUTERS));
+    for e in &events {
+        reference.ingest(e);
+    }
+    let ref_status = reference.advance(SimTime::MAX);
+
+    // Collector under test.
+    let handle =
+        Collector::start(CollectorConfig::new(N_ROUTERS), "127.0.0.1:0").expect("bind loopback");
+    let addr = handle.local_addr();
+
+    // One client thread per router, each stepping through the shared
+    // schedule independently: send everything stamped within the step,
+    // then promise the step boundary. No cross-client synchronization —
+    // the collector's min-watermark merge must absorb the skew.
+    let end = events.iter().map(|e| e.time).max().unwrap();
+    let steps: Vec<SimTime> = (1..=20)
+        .map(|i| SimTime::from_nanos(end.as_nanos() / 20 * i))
+        .collect();
+    let mut handles = Vec::new();
+    for r in 0..N_ROUTERS {
+        let router = RouterId(r);
+        let mut mine: Vec<IoEvent> = events
+            .iter()
+            .filter(|e| e.router == router)
+            .cloned()
+            .collect();
+        mine.sort_by_key(|e| (e.time, e.id));
+        let steps = steps.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut sink =
+                SocketSink::connect(addr, router, N_ROUTERS).expect("connect to collector");
+            let mut next = 0usize;
+            for &t in &steps {
+                while next < mine.len() && mine[next].time <= t {
+                    sink.send(&mine[next]).expect("send event");
+                    next += 1;
+                }
+                sink.watermark(t).expect("send watermark");
+            }
+            while next < mine.len() {
+                sink.send(&mine[next]).expect("send event");
+                next += 1;
+            }
+            sink.bye().expect("send bye");
+            sink.sent()
+        }));
+    }
+    let sent: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+    assert_eq!(sent as usize, events.len());
+
+    // Wait until the merger has folded everything (the Byes push every
+    // source watermark, and hence the global one, to MAX).
+    assert!(
+        wait_for(Duration::from_secs(30), || {
+            let s = handle.stats();
+            s.events == sent && s.watermark == Some(SimTime::MAX)
+        }),
+        "collector did not reach the final watermark: {:?}",
+        handle.stats()
+    );
+
+    let report = handle.shutdown().expect("clean shutdown");
+    assert_eq!(report.stats.connections, u64::from(N_ROUTERS));
+    assert_eq!(report.stats.events, sent);
+    assert_eq!(report.stats.decode_errors, 0);
+    assert_eq!(report.stats.late_events, 0);
+
+    // Bit-identical verification state.
+    let got = report.pipeline;
+    assert_eq!(got.events(), reference.events());
+    assert_eq!(got.builder().processed(), reference.builder().processed());
+    assert_eq!(got.builder().pending(), 0);
+    assert_eq!(
+        got.builder().hbg().canonical_edges(),
+        reference.builder().hbg().canonical_edges(),
+        "HBG must match the in-process run edge for edge"
+    );
+    assert_eq!(got.status(), ref_status);
+    assert_eq!(
+        dataplane_fingerprint(got.tracker().dataplane()),
+        dataplane_fingerprint(reference.tracker().dataplane()),
+        "assembled data plane must match"
+    );
+}
+
+#[test]
+fn hello_mismatch_is_rejected_without_poisoning_the_collector() {
+    let handle =
+        Collector::start(CollectorConfig::new(N_ROUTERS), "127.0.0.1:0").expect("bind loopback");
+    let addr = handle.local_addr();
+
+    // Wrong n_routers: the collector must drop the connection...
+    let mut bad = SocketSink::connect(addr, RouterId(0), N_ROUTERS + 1).expect("tcp connect");
+    assert!(
+        wait_for(Duration::from_secs(10), || handle.stats().decode_errors > 0),
+        "mismatched hello was not rejected"
+    );
+    // ...and the write side eventually observes the reset.
+    let _ = bad.watermark(SimTime::ZERO);
+
+    // A well-formed client still works afterwards.
+    let mut good = SocketSink::connect(addr, RouterId(1), N_ROUTERS).expect("tcp connect");
+    good.watermark(SimTime::from_millis(1)).expect("watermark");
+    good.bye().expect("bye");
+    // `connect` only needs the listener backlog, so wait until the
+    // accept thread has actually picked the connection up before
+    // shutting down.
+    assert!(
+        wait_for(Duration::from_secs(10), || handle.stats().connections == 2),
+        "second connection was never accepted"
+    );
+    drop(good);
+    drop(bad);
+
+    let report = handle.shutdown().expect("clean shutdown");
+    assert_eq!(report.stats.connections, 2);
+    assert_eq!(report.stats.decode_errors, 1);
+    // Only one of three sources ever reported, so nothing was folded.
+    assert_eq!(report.stats.watermark, None);
+    assert_eq!(report.pipeline.events(), 0);
+}

@@ -188,6 +188,28 @@ impl HbgBuilder {
     pub fn pending(&self) -> usize {
         self.queue.len()
     }
+
+    /// Rebuilds a builder from a durably logged history: ingests every
+    /// event, then advances once to `watermark`. Because
+    /// [`advance`](Self::advance) folds in `(time, id)` order regardless
+    /// of how its work was split across calls, the result is identical
+    /// to the builder that processed the same events live with any
+    /// interleaving of advances up to the same watermark — the property
+    /// crash recovery from a write-ahead log depends on.
+    ///
+    /// Events stamped after `watermark` stay buffered, exactly as they
+    /// would have in the live run.
+    pub fn recover<'a, I>(cfg: &InferConfig<'_>, events: I, watermark: SimTime) -> Self
+    where
+        I: IntoIterator<Item = &'a IoEvent>,
+    {
+        let mut b = Self::new(cfg);
+        for e in events {
+            b.ingest(e);
+        }
+        b.advance(watermark);
+        b
+    }
 }
 
 #[cfg(test)]

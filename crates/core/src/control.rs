@@ -173,7 +173,7 @@ impl ControlLoop {
         {
             let builder = Rc::clone(&builder);
             let tracker = Rc::clone(&tracker);
-            sim.set_event_sink(Box::new(move |e| {
+            sim.set_event_sink(Box::new(move |e: &cpvr_sim::IoEvent| {
                 builder.borrow_mut().ingest(e);
                 tracker.borrow_mut().ingest(e);
             }));

@@ -381,6 +381,29 @@ impl ConsistencyTracker {
     pub fn drain_applied(&mut self) -> Vec<FibUpdate> {
         std::mem::take(&mut self.applied)
     }
+
+    /// Rebuilds a tracker from a durably logged history: ingests every
+    /// event, then advances once to `horizon`. The verdict, data plane,
+    /// and per-router frontiers come out identical to a tracker that
+    /// processed the same events live with any interleaving of advances
+    /// up to the same horizon — application order within one `advance`
+    /// is the per-stream `(time, id)` order either way. The only live
+    /// state *not* reproduced is the [`drain_applied`](Self::drain_applied)
+    /// delta feed (a recovering verifier rebuilds from
+    /// [`dataplane`](Self::dataplane) instead), so recovery drains and
+    /// discards it.
+    pub fn recover<'a, I>(n_routers: usize, events: I, horizon: SimTime) -> Self
+    where
+        I: IntoIterator<Item = &'a IoEvent>,
+    {
+        let mut t = Self::new(n_routers);
+        for e in events {
+            t.ingest(e);
+        }
+        t.advance(horizon);
+        t.drain_applied();
+        t
+    }
 }
 
 /// Assembles the FIB state from the FIB events that arrived by `horizon`

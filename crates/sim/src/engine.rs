@@ -10,6 +10,7 @@
 use crate::io::{EventId, IoEvent, IoKind, Proto, Trace};
 use crate::latency::{CaptureProfile, LatencyProfile};
 use crate::router::{IgpMsg, IgpTableView, RouterConfig, SimRouter};
+use crate::sink::EventSink;
 use cpvr_bgp::{BgpOutputs, BgpUpdate, ConfigChange, PeerRef};
 use cpvr_dataplane::{DataPlane, FibAction, FibUpdate, UpdateKind};
 use cpvr_igp::IgpOutputs;
@@ -103,14 +104,8 @@ pub struct Simulation {
     trace: Trace,
     fib_gate: Option<FibGate>,
     blocked: Vec<FibUpdate>,
-    sink: Option<EventSink>,
+    sink: Option<Box<dyn EventSink>>,
 }
-
-/// A callback invoked for every captured I/O event, at the moment it is
-/// recorded. This is the streaming tap incremental consumers (an HBG
-/// builder, a consistency tracker) attach so they never have to re-scan
-/// the trace.
-pub type EventSink = Box<dyn FnMut(&IoEvent)>;
 
 impl Simulation {
     /// Builds a simulation. `configs[i]` configures router `i`; the
@@ -146,17 +141,21 @@ impl Simulation {
         }
     }
 
-    /// Installs a callback that observes every subsequently captured
-    /// event (replacing any previous sink). Events already in the trace
-    /// are not replayed; seed the consumer from
-    /// [`trace`](Self::trace) first if it needs history.
-    pub fn set_event_sink(&mut self, sink: EventSink) {
+    /// Installs a sink that observes every subsequently captured event
+    /// (replacing any previous sink). Events already in the trace are not
+    /// replayed; seed the consumer from [`trace`](Self::trace) first if
+    /// it needs history. Any `FnMut(&IoEvent)` closure is a valid sink.
+    pub fn set_event_sink(&mut self, sink: Box<dyn EventSink>) {
         self.sink = Some(sink);
     }
 
-    /// Removes the event sink, if any, and returns it.
-    pub fn clear_event_sink(&mut self) -> Option<EventSink> {
-        self.sink.take()
+    /// Removes the event sink, if any, and returns it (flushed).
+    pub fn clear_event_sink(&mut self) -> Option<Box<dyn EventSink>> {
+        let mut sink = self.sink.take();
+        if let Some(s) = &mut sink {
+            s.flush();
+        }
+        sink
     }
 
     // ---- accessors ------------------------------------------------------
@@ -352,7 +351,7 @@ impl Simulation {
             kind,
         });
         if let Some(sink) = &mut self.sink {
-            sink(self.trace.events.last().expect("just pushed"));
+            sink.on_event(self.trace.events.last().expect("just pushed"));
         }
         for p in parents {
             self.trace.truth_edges.push((*p, id));

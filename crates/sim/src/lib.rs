@@ -37,10 +37,12 @@ pub mod io;
 pub mod latency;
 pub mod router;
 pub mod scenario;
+pub mod sink;
 pub mod workload;
 
-pub use engine::{EventSink, FibGate, Simulation};
+pub use engine::{FibGate, Simulation};
 pub use io::{EventId, IoEvent, IoKind, Proto, Trace};
 pub use latency::{CaptureProfile, LatencyProfile};
 pub use router::{IgpKind, RouterConfig};
 pub use scenario::paper_scenario;
+pub use sink::{EventSink, RecordingSink, RouterShardSink};

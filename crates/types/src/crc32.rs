@@ -1,0 +1,149 @@
+//! CRC-32 (IEEE 802.3) checksums.
+//!
+//! The collector's wire codec and its write-ahead log both need a cheap,
+//! well-known integrity check over byte payloads; this module provides
+//! the standard reflected CRC-32 (polynomial `0xEDB88320`, initial value
+//! and final XOR `0xFFFFFFFF`) — the variant used by Ethernet, gzip, and
+//! zlib — with a compile-time lookup table and an incremental
+//! [`Crc32`] hasher for streaming use.
+//!
+//! ```
+//! use cpvr_types::crc32;
+//!
+//! // The canonical IEEE check value.
+//! assert_eq!(crc32::checksum(b"123456789"), 0xCBF4_3926);
+//! // Streaming over chunks matches the one-shot digest.
+//! let mut h = crc32::Crc32::new();
+//! h.update(b"1234");
+//! h.update(b"56789");
+//! assert_eq!(h.finish(), crc32::checksum(b"123456789"));
+//! ```
+
+/// The reflected IEEE polynomial.
+const POLY: u32 = 0xEDB8_8320;
+
+/// 256-entry lookup table, computed at compile time.
+const TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ POLY
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// An incremental CRC-32 hasher.
+///
+/// ```
+/// use cpvr_types::crc32::Crc32;
+///
+/// let mut h = Crc32::new();
+/// h.update(b"");
+/// assert_eq!(h.finish(), 0, "CRC-32 of the empty message is zero");
+/// ```
+#[derive(Clone, Debug)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Crc32 {
+    /// A fresh hasher.
+    pub fn new() -> Self {
+        Crc32 { state: 0xFFFF_FFFF }
+    }
+
+    /// Folds `bytes` into the running checksum.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let mut crc = self.state;
+        for &b in bytes {
+            crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+        }
+        self.state = crc;
+    }
+
+    /// The checksum of everything updated so far. Does not consume the
+    /// hasher; further updates continue from the same state.
+    pub fn finish(&self) -> u32 {
+        self.state ^ 0xFFFF_FFFF
+    }
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Crc32::new()
+    }
+}
+
+/// One-shot CRC-32 of `bytes`.
+///
+/// ```
+/// use cpvr_types::crc32::checksum;
+///
+/// // Test vector from RFC 3720 appendix / common CRC catalogues.
+/// assert_eq!(
+///     checksum(b"The quick brown fox jumps over the lazy dog"),
+///     0x414F_A339
+/// );
+/// ```
+pub fn checksum(bytes: &[u8]) -> u32 {
+    let mut h = Crc32::new();
+    h.update(bytes);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Canonical vectors from the CRC catalogue (CRC-32/ISO-HDLC).
+    #[test]
+    fn ieee_test_vectors() {
+        assert_eq!(checksum(b""), 0x0000_0000);
+        assert_eq!(checksum(b"a"), 0xE8B7_BE43);
+        assert_eq!(checksum(b"abc"), 0x3524_41C2);
+        assert_eq!(checksum(b"123456789"), 0xCBF4_3926);
+        assert_eq!(checksum(b"message digest"), 0x2015_9D7F);
+        assert_eq!(checksum(b"abcdefghijklmnopqrstuvwxyz"), 0x4C27_50BD);
+        assert_eq!(
+            checksum(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn streaming_matches_one_shot_at_every_split() {
+        let msg = b"123456789";
+        for split in 0..=msg.len() {
+            let mut h = Crc32::new();
+            h.update(&msg[..split]);
+            h.update(&msg[split..]);
+            assert_eq!(h.finish(), 0xCBF4_3926, "split at {split}");
+        }
+    }
+
+    #[test]
+    fn finish_is_non_destructive() {
+        let mut h = Crc32::new();
+        h.update(b"1234");
+        let _ = h.finish();
+        h.update(b"56789");
+        assert_eq!(h.finish(), checksum(b"123456789"));
+    }
+
+    #[test]
+    fn distinct_inputs_distinct_checksums() {
+        assert_ne!(checksum(b"abc"), checksum(b"abd"));
+        assert_ne!(checksum(b"abc"), checksum(b"cba"));
+    }
+}

@@ -12,6 +12,8 @@
 //!   ([`ids`]).
 //! * [`SimTime`] — the simulation clock: nanosecond-resolution, totally
 //!   ordered, and printable in the units the paper's Fig. 5 uses ([`time`]).
+//! * CRC-32 (IEEE) checksums ([`crc32`]) — the integrity check shared by
+//!   the collector's wire codec and its write-ahead log.
 //!
 //! The crate is deliberately dependency-free (per the workspace design
 //! rules) and fully deterministic: no hashing with random state leaks into
@@ -20,6 +22,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod crc32;
 pub mod ids;
 pub mod json;
 pub mod prefix;
