@@ -100,8 +100,24 @@ fn main() -> std::io::Result<()> {
     for sink in &sinks {
         let mut sink = sink.borrow_mut();
         sink.bye()?;
+        // Delivery is only guaranteed once every event is acked (acked
+        // ⇒ journaled); drain retransmits across reconnects if needed.
+        if !sink.drain(Duration::from_secs(30))? {
+            eprintln!(
+                "router {}: drain timed out with {} events unacked",
+                sink.source().0,
+                sink.unacked()
+            );
+        }
         if let Some(e) = sink.take_error() {
             eprintln!("router {} tap shed its stream: {e}", sink.source().0);
+        }
+        if sink.reconnects() > 0 {
+            println!(
+                "router {}: survived {} reconnect(s)",
+                sink.source().0,
+                sink.reconnects()
+            );
         }
         streamed += sink.sent();
     }
@@ -128,6 +144,21 @@ fn main() -> std::io::Result<()> {
         report.stats.late_events,
         report.stats.decode_errors,
     );
+    println!(
+        "fault tolerance: {} corrupt frames quarantined, {} duplicates, {} gaps, \
+         {} evictions, {} readmissions",
+        report.stats.corrupt_frames,
+        report.stats.duplicate_events,
+        report.stats.gap_events,
+        report.stats.evictions,
+        report.stats.readmissions,
+    );
+    if !report.stalled.is_empty() {
+        println!(
+            "sources still gating the watermark at shutdown: {:?}",
+            report.stalled
+        );
+    }
     let p = &report.pipeline;
     println!(
         "pipeline: watermark {:?}, {} events folded, {} HBG edges, verdict {:?}",

@@ -15,13 +15,37 @@
 //! payload, so neither can be corrupted undetected; the length field is
 //! implicitly covered because a wrong length misaligns the payload and
 //! fails the check. Payloads are the workspace's hand-rolled JSON
-//! ([`cpvr_types::json`]) for structured frames ([`Frame::Hello`],
-//! [`Frame::Event`]) and raw little-endian nanoseconds for the
-//! high-frequency [`Frame::Watermark`].
+//! ([`cpvr_types::json`]) for structured frames ([`Frame::Hello`], the
+//! event part of [`Frame::Event`]) and raw little-endian integers for
+//! the high-frequency control frames.
+//!
+//! Protocol **v2** adds fault tolerance to the framing:
+//!
+//! * every [`Frame::Event`] carries a per-session **sequence number**,
+//!   so the collector can detect duplicates (re-sent after a reconnect)
+//!   and gaps (frames lost to corruption) and the client can replay
+//!   exactly what was never acknowledged;
+//! * [`Frame::Ack`] flows collector → client, acknowledging the
+//!   contiguously received event prefix, which is what lets the client
+//!   prune its bounded replay buffer;
+//! * [`Frame::Watermark`] and [`Frame::Bye`] carry the sender's send
+//!   **frontier** (the sequence number after the last event sent), so a
+//!   promise can be held back until everything it covers has actually
+//!   arrived — a watermark must never outrun events lost in flight;
+//! * [`Frame::Heartbeat`] keeps a source's liveness lease fresh while
+//!   it has nothing to say;
+//! * [`Frame::Evict`] / [`Frame::Admit`] never travel on a socket: the
+//!   collector journals them so a recovered pipeline remembers which
+//!   stragglers were evicted from the watermark gate.
 //!
 //! The same encoding doubles as the WAL record format
 //! ([`crate::wal`]): a recovered log is just a frame stream read from
 //! disk instead of a socket, so one decoder serves both paths.
+//!
+//! For byte streams that may be damaged in flight, [`Decoder`] decodes
+//! incrementally and **resynchronizes**: a corrupt frame is counted and
+//! skipped by scanning forward to the next plausible header instead of
+//! poisoning the whole connection.
 
 use cpvr_sim::IoEvent;
 use cpvr_types::crc32;
@@ -35,8 +59,9 @@ pub const MAGIC: [u8; 2] = *b"CW";
 
 /// Current protocol version. Bump on any incompatible change to the
 /// header or payload encodings; the collector rejects mismatches at the
-/// [`Frame::Hello`] handshake and on every frame header.
-pub const VERSION: u8 = 1;
+/// [`Frame::Hello`] handshake and on every frame header. v2 added event
+/// sequence numbers, ack/heartbeat frames, and watermark frontiers.
+pub const VERSION: u8 = 2;
 
 /// Frames larger than this are rejected before allocation — a corrupt or
 /// hostile length field must not OOM the collector.
@@ -44,6 +69,9 @@ pub const MAX_FRAME_LEN: u32 = 1 << 24;
 
 /// Header size in bytes.
 pub const HEADER_LEN: usize = 12;
+
+/// Highest valid kind byte.
+const MAX_KIND: u8 = 8;
 
 /// The connection handshake: the first frame on every connection.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -54,26 +82,90 @@ pub struct Hello {
     /// collector rejects the connection if this disagrees with its own
     /// configuration (a mis-wired deployment).
     pub n_routers: u32,
+    /// Identifies the client *instance*. A client that reconnects after
+    /// a dropped connection keeps its session (and its sequence
+    /// numbering), so the collector can deduplicate its replay; a
+    /// restarted client presents a fresh session, telling the collector
+    /// its numbering starts over.
+    pub session: u64,
+    /// The sequence number of the first event this connection will
+    /// send: 0 for a fresh stream, the oldest unacknowledged sequence
+    /// for a reconnect replay.
+    pub first_seq: u64,
 }
 
-cpvr_types::impl_json_struct!(Hello { source, n_routers });
+cpvr_types::impl_json_struct!(Hello {
+    source,
+    n_routers,
+    session,
+    first_seq
+});
 
 /// One unit of the wire protocol.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Frame {
     /// Handshake; must be the first frame of a connection.
     Hello(Hello),
-    /// One captured control-plane I/O event.
-    Event(IoEvent),
+    /// One captured control-plane I/O event, tagged with its position
+    /// in the session's send order so the collector can detect
+    /// duplicates and gaps.
+    Event {
+        /// Session-scoped sequence number, starting at the session's
+        /// `first_seq` and incrementing by one per event.
+        seq: u64,
+        /// The captured event.
+        event: IoEvent,
+    },
     /// A promise: every event of this connection's router stamped at or
-    /// before this time has already been sent. The collector folds
-    /// events into the HBG only up to the *minimum* watermark across all
-    /// router connections — the merge point that reconstructs the
-    /// `(time, id)` order `HbgBuilder::advance` requires.
-    Watermark(SimTime),
+    /// before `t` has already been *sent*. `frontier` is the sequence
+    /// number after the last event sent, so the collector applies the
+    /// promise only once it has contiguously *received* that prefix —
+    /// events lost to corruption are retransmitted before the fold can
+    /// pass them. The collector folds events into the HBG only up to
+    /// the *minimum* applied watermark across all router sources.
+    Watermark {
+        /// The promised time bound.
+        t: SimTime,
+        /// The session send frontier backing the promise.
+        frontier: u64,
+    },
     /// Graceful end-of-stream: no further events will ever come from
-    /// this router (its watermark effectively jumps to infinity).
-    Bye,
+    /// this router (its watermark effectively jumps to infinity once
+    /// everything up to `frontier` has been received).
+    Bye {
+        /// The session's final send frontier.
+        frontier: u64,
+    },
+    /// Collector → client: every event with sequence number `< upto`
+    /// has been received and accepted. Cumulative; the client prunes
+    /// its replay buffer up to here.
+    Ack {
+        /// One past the highest contiguously received sequence number.
+        upto: u64,
+    },
+    /// Client → collector: "still alive, nothing to report". Refreshes
+    /// the source's liveness lease and solicits an ack.
+    Heartbeat,
+    /// WAL-only: the collector evicted this source from the watermark
+    /// gate after its liveness lease lapsed. Journaled so recovery
+    /// reconstructs the gate.
+    Evict {
+        /// The evicted source.
+        source: RouterId,
+    },
+    /// WAL-only: a previously evicted source reconnected and was
+    /// re-admitted to the watermark gate.
+    Admit {
+        /// The re-admitted source.
+        source: RouterId,
+    },
+    /// Collector → client: the source's [`Frame::Bye`] promise has been
+    /// *applied* (its final frontier arrived in full). Byes carry no
+    /// sequence number, so without this acknowledgment a bye lost in
+    /// flight would strand the global watermark forever while the
+    /// client believes it is done; a draining client re-sends its bye
+    /// until the fin arrives.
+    Fin,
 }
 
 impl Frame {
@@ -81,9 +173,14 @@ impl Frame {
     pub fn kind(&self) -> u8 {
         match self {
             Frame::Hello(_) => 0,
-            Frame::Event(_) => 1,
-            Frame::Watermark(_) => 2,
-            Frame::Bye => 3,
+            Frame::Event { .. } => 1,
+            Frame::Watermark { .. } => 2,
+            Frame::Bye { .. } => 3,
+            Frame::Ack { .. } => 4,
+            Frame::Heartbeat => 5,
+            Frame::Evict { .. } => 6,
+            Frame::Admit { .. } => 7,
+            Frame::Fin => 8,
         }
     }
 }
@@ -112,7 +209,7 @@ pub enum CodecError {
     /// The payload failed to parse.
     Json(JsonError),
     /// The payload had the wrong shape for its kind (e.g. a watermark
-    /// frame whose payload is not exactly 8 bytes).
+    /// frame whose payload is not exactly 16 bytes).
     BadPayload(&'static str),
 }
 
@@ -165,6 +262,16 @@ pub struct RawFrame {
     pub payload: Vec<u8>,
 }
 
+fn le_u64(bytes: &[u8], what: &'static str) -> Result<u64, CodecError> {
+    let arr: [u8; 8] = bytes.try_into().map_err(|_| CodecError::BadPayload(what))?;
+    Ok(u64::from_le_bytes(arr))
+}
+
+fn le_u32(bytes: &[u8], what: &'static str) -> Result<u32, CodecError> {
+    let arr: [u8; 4] = bytes.try_into().map_err(|_| CodecError::BadPayload(what))?;
+    Ok(u32::from_le_bytes(arr))
+}
+
 impl RawFrame {
     /// Decodes the payload into a typed [`Frame`].
     pub fn decode(&self) -> Result<Frame, CodecError> {
@@ -175,25 +282,50 @@ impl RawFrame {
                 Ok(Frame::Hello(from_str(text)?))
             }
             1 => {
-                let text = std::str::from_utf8(&self.payload)
+                if self.payload.len() < 8 {
+                    return Err(CodecError::BadPayload("event payload shorter than its seq"));
+                }
+                let seq = le_u64(&self.payload[..8], "event seq")?;
+                let text = std::str::from_utf8(&self.payload[8..])
                     .map_err(|_| CodecError::BadPayload("event payload is not utf-8"))?;
-                Ok(Frame::Event(from_str(text)?))
+                Ok(Frame::Event {
+                    seq,
+                    event: from_str(text)?,
+                })
             }
             2 => {
-                let bytes: [u8; 8] = self
-                    .payload
-                    .as_slice()
-                    .try_into()
-                    .map_err(|_| CodecError::BadPayload("watermark payload is not 8 bytes"))?;
-                Ok(Frame::Watermark(SimTime::from_nanos(u64::from_le_bytes(
-                    bytes,
-                ))))
+                if self.payload.len() != 16 {
+                    return Err(CodecError::BadPayload("watermark payload is not 16 bytes"));
+                }
+                Ok(Frame::Watermark {
+                    t: SimTime::from_nanos(le_u64(&self.payload[..8], "watermark time")?),
+                    frontier: le_u64(&self.payload[8..], "watermark frontier")?,
+                })
             }
-            3 => {
+            3 => Ok(Frame::Bye {
+                frontier: le_u64(&self.payload, "bye frontier")?,
+            }),
+            4 => Ok(Frame::Ack {
+                upto: le_u64(&self.payload, "ack upto")?,
+            }),
+            5 => {
                 if self.payload.is_empty() {
-                    Ok(Frame::Bye)
+                    Ok(Frame::Heartbeat)
                 } else {
-                    Err(CodecError::BadPayload("bye carries no payload"))
+                    Err(CodecError::BadPayload("heartbeat carries no payload"))
+                }
+            }
+            6 => Ok(Frame::Evict {
+                source: RouterId(le_u32(&self.payload, "evict source")?),
+            }),
+            7 => Ok(Frame::Admit {
+                source: RouterId(le_u32(&self.payload, "admit source")?),
+            }),
+            8 => {
+                if self.payload.is_empty() {
+                    Ok(Frame::Fin)
+                } else {
+                    Err(CodecError::BadPayload("fin carries no payload"))
                 }
             }
             k => Err(CodecError::BadKind(k)),
@@ -221,9 +353,25 @@ impl RawFrame {
 pub fn raw_frame(f: &Frame) -> RawFrame {
     let payload = match f {
         Frame::Hello(h) => to_string_compact(h).into_bytes(),
-        Frame::Event(e) => to_string_compact(e).into_bytes(),
-        Frame::Watermark(t) => t.as_nanos().to_le_bytes().to_vec(),
-        Frame::Bye => Vec::new(),
+        Frame::Event { seq, event } => {
+            let json = to_string_compact(event);
+            let mut p = Vec::with_capacity(8 + json.len());
+            p.extend_from_slice(&seq.to_le_bytes());
+            p.extend_from_slice(json.as_bytes());
+            p
+        }
+        Frame::Watermark { t, frontier } => {
+            let mut p = Vec::with_capacity(16);
+            p.extend_from_slice(&t.as_nanos().to_le_bytes());
+            p.extend_from_slice(&frontier.to_le_bytes());
+            p
+        }
+        Frame::Bye { frontier } => frontier.to_le_bytes().to_vec(),
+        Frame::Ack { upto } => upto.to_le_bytes().to_vec(),
+        Frame::Heartbeat => Vec::new(),
+        Frame::Evict { source } => source.0.to_le_bytes().to_vec(),
+        Frame::Admit { source } => source.0.to_le_bytes().to_vec(),
+        Frame::Fin => Vec::new(),
     };
     RawFrame {
         kind: f.kind(),
@@ -234,6 +382,15 @@ pub fn raw_frame(f: &Frame) -> RawFrame {
 /// Encodes a frame to wire bytes.
 pub fn encode_frame(f: &Frame) -> Vec<u8> {
     raw_frame(f).encode()
+}
+
+/// Encodes an event frame without cloning the event.
+pub fn encode_event(seq: u64, event: &IoEvent) -> Vec<u8> {
+    let json = to_string_compact(event);
+    let mut payload = Vec::with_capacity(8 + json.len());
+    payload.extend_from_slice(&seq.to_le_bytes());
+    payload.extend_from_slice(json.as_bytes());
+    RawFrame { kind: 1, payload }.encode()
 }
 
 /// Writes one frame.
@@ -256,7 +413,7 @@ pub fn decode_frame(bytes: &[u8]) -> Result<Option<(RawFrame, usize)>, CodecErro
         return Err(CodecError::BadVersion(header[2]));
     }
     let kind = header[3];
-    if kind > 3 {
+    if kind > MAX_KIND {
         return Err(CodecError::BadKind(kind));
     }
     let len = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
@@ -287,7 +444,10 @@ pub fn decode_frame(bytes: &[u8]) -> Result<Option<(RawFrame, usize)>, CodecErro
 
 /// Reads one frame from a blocking reader. `Ok(None)` signals a clean
 /// end-of-stream (EOF exactly at a frame boundary); EOF mid-frame is an
-/// [`CodecError::Io`] with `UnexpectedEof`.
+/// [`CodecError::Io`] with `UnexpectedEof`. This strict reader is for
+/// *trusted* streams (tests, tooling); connection readers facing
+/// possibly damaged bytes should use [`Decoder`], which resynchronizes
+/// instead of failing.
 pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<RawFrame>, CodecError> {
     let mut header = [0u8; HEADER_LEN];
     // Distinguish clean EOF (no bytes at all) from a truncated header.
@@ -311,7 +471,7 @@ pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<RawFrame>, CodecError> {
         return Err(CodecError::BadVersion(header[2]));
     }
     let kind = header[3];
-    if kind > 3 {
+    if kind > MAX_KIND {
         return Err(CodecError::BadKind(kind));
     }
     let len = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
@@ -331,10 +491,177 @@ pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<RawFrame>, CodecError> {
     Ok(Some(RawFrame { kind, payload }))
 }
 
+/// An incremental, resynchronizing frame decoder for byte streams that
+/// may arrive damaged (bit flips, dropped ranges, duplicated chunks).
+///
+/// Feed it raw bytes as they arrive ([`feed`](Decoder::feed)) and pop
+/// intact frames ([`next_frame`](Decoder::next_frame)). A frame that fails
+/// validation is *quarantined*: counted in
+/// [`corrupt_frames`](Decoder::corrupt_frames), skipped, and the
+/// decoder scans forward for the next plausible header instead of
+/// giving up on the stream. Bytes discarded during the hunt are counted
+/// in [`skipped_bytes`](Decoder::skipped_bytes). Because every accepted
+/// frame passed its CRC, resynchronization can only ever *drop* data,
+/// never invent it — and the sequence-number layer above recovers the
+/// drops by retransmission.
+#[derive(Debug, Default)]
+pub struct Decoder {
+    buf: Vec<u8>,
+    pos: usize,
+    corrupt: u64,
+    skipped: u64,
+}
+
+impl Decoder {
+    /// A fresh decoder with an empty buffer.
+    pub fn new() -> Self {
+        Decoder::default()
+    }
+
+    /// Appends newly received bytes to the decode buffer.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Frames that failed validation (bad header fields or CRC) and
+    /// were skipped.
+    pub fn corrupt_frames(&self) -> u64 {
+        self.corrupt
+    }
+
+    /// Bytes discarded while hunting for the next frame header.
+    pub fn skipped_bytes(&self) -> u64 {
+        self.skipped
+    }
+
+    /// Bytes currently buffered but not yet consumed (a partial frame,
+    /// or garbage awaiting more context).
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn skip(&mut self, n: usize) {
+        self.pos += n;
+        self.skipped += n as u64;
+    }
+
+    /// Drops consumed bytes once they dominate the buffer, so the
+    /// buffer does not grow without bound on a long-lived connection.
+    fn compact(&mut self) {
+        if self.pos > 4096 && self.pos * 2 >= self.buf.len() {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+    }
+
+    /// Pops the next intact frame, skipping and counting damaged bytes.
+    /// Returns `None` when the buffer holds no complete frame (feed
+    /// more data, or the stream ended — see
+    /// [`drain_eof`](Decoder::drain_eof)).
+    pub fn next_frame(&mut self) -> Option<RawFrame> {
+        loop {
+            let avail = self.buf.len() - self.pos;
+            if avail == 0 {
+                self.compact();
+                return None;
+            }
+            // Hunt for the magic. A lone 'C' at the buffer tail might
+            // be the start of a frame whose 'W' has not arrived yet.
+            if self.buf[self.pos] != MAGIC[0] {
+                match self.buf[self.pos..].iter().position(|&b| b == MAGIC[0]) {
+                    Some(n) => {
+                        self.skip(n);
+                        continue;
+                    }
+                    None => {
+                        self.skip(avail);
+                        self.compact();
+                        return None;
+                    }
+                }
+            }
+            if avail < 2 {
+                self.compact();
+                return None; // 'C' at the tail: wait for more
+            }
+            if self.buf[self.pos + 1] != MAGIC[1] {
+                self.skip(1);
+                continue;
+            }
+            if avail < HEADER_LEN {
+                self.compact();
+                return None;
+            }
+            let h = &self.buf[self.pos..self.pos + HEADER_LEN];
+            let kind = h[3];
+            let len = u32::from_le_bytes(h[4..8].try_into().expect("4 bytes"));
+            if h[2] != VERSION || kind > MAX_KIND || len > MAX_FRAME_LEN {
+                // Implausible header: almost certainly a false magic
+                // inside garbage. Shift one byte and keep scanning.
+                self.corrupt += 1;
+                self.skip(1);
+                continue;
+            }
+            let total = HEADER_LEN + len as usize;
+            if avail < total {
+                self.compact();
+                return None; // plausible frame, payload still in flight
+            }
+            let expected = u32::from_le_bytes(h[8..12].try_into().expect("4 bytes"));
+            let payload = &self.buf[self.pos + HEADER_LEN..self.pos + total];
+            let mut crc = crc32::Crc32::new();
+            crc.update(&[kind]);
+            crc.update(payload);
+            if crc.finish() != expected {
+                // A real frame with a damaged payload, or a false
+                // header whose length field pointed into unrelated
+                // bytes. Either way, skip just the magic and rescan —
+                // a false length must not be trusted to delimit the
+                // skip, or it could swallow the next good frame.
+                self.corrupt += 1;
+                self.skip(2);
+                continue;
+            }
+            let frame = RawFrame {
+                kind,
+                payload: payload.to_vec(),
+            };
+            self.pos += total;
+            self.compact();
+            return Some(frame);
+        }
+    }
+
+    /// Signals that no more bytes will ever arrive: any pending partial
+    /// frame is garbage. Repeatedly rescans the remainder (a truncated
+    /// frame's payload may contain a later, complete frame after a
+    /// duplication fault) and returns any frames found; the buffer is
+    /// empty afterwards.
+    pub fn drain_eof(&mut self) -> Vec<RawFrame> {
+        let mut out = Vec::new();
+        while self.pending() > 0 {
+            if let Some(f) = self.next_frame() {
+                out.push(f);
+                continue;
+            }
+            // `next_frame` stalled on a partial frame: discard its first
+            // byte(s) and rescan what remains.
+            if self.pending() > 0 {
+                self.corrupt += 1;
+                self.skip(1);
+            }
+        }
+        self.buf.clear();
+        self.pos = 0;
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use cpvr_sim::{EventId, IoKind};
+    use proptest::prelude::*;
 
     fn sample_event() -> IoEvent {
         IoEvent {
@@ -348,18 +675,38 @@ mod tests {
         }
     }
 
-    #[test]
-    fn frames_roundtrip_through_bytes() {
-        let frames = vec![
+    fn sample_frames() -> Vec<Frame> {
+        vec![
             Frame::Hello(Hello {
                 source: RouterId(1),
                 n_routers: 3,
+                session: 0xfeed_beef,
+                first_seq: 17,
             }),
-            Frame::Event(sample_event()),
-            Frame::Watermark(SimTime::from_micros(987_654)),
-            Frame::Bye,
-        ];
-        for f in &frames {
+            Frame::Event {
+                seq: 9,
+                event: sample_event(),
+            },
+            Frame::Watermark {
+                t: SimTime::from_micros(987_654),
+                frontier: 10,
+            },
+            Frame::Ack { upto: 10 },
+            Frame::Heartbeat,
+            Frame::Evict {
+                source: RouterId(2),
+            },
+            Frame::Admit {
+                source: RouterId(2),
+            },
+            Frame::Fin,
+            Frame::Bye { frontier: 10 },
+        ]
+    }
+
+    #[test]
+    fn frames_roundtrip_through_bytes() {
+        for f in &sample_frames() {
             let bytes = encode_frame(f);
             let (raw, used) = decode_frame(&bytes).unwrap().expect("complete frame");
             assert_eq!(used, bytes.len());
@@ -370,14 +717,7 @@ mod tests {
     #[test]
     fn frames_roundtrip_through_a_stream() {
         let mut buf = Vec::new();
-        let frames = vec![
-            Frame::Hello(Hello {
-                source: RouterId(0),
-                n_routers: 1,
-            }),
-            Frame::Event(sample_event()),
-            Frame::Bye,
-        ];
+        let frames = sample_frames();
         for f in &frames {
             write_frame(&mut buf, f).unwrap();
         }
@@ -390,8 +730,20 @@ mod tests {
     }
 
     #[test]
+    fn encode_event_matches_frame_encoding() {
+        let e = sample_event();
+        assert_eq!(
+            encode_event(33, &e),
+            encode_frame(&Frame::Event { seq: 33, event: e })
+        );
+    }
+
+    #[test]
     fn corruption_is_detected() {
-        let mut bytes = encode_frame(&Frame::Event(sample_event()));
+        let mut bytes = encode_frame(&Frame::Event {
+            seq: 1,
+            event: sample_event(),
+        });
         // Flip one payload byte: CRC must catch it.
         let last = bytes.len() - 1;
         bytes[last] ^= 0x01;
@@ -400,7 +752,7 @@ mod tests {
             Err(CodecError::BadCrc { .. })
         ));
         // Flip the kind byte: also covered by the CRC.
-        let mut bytes = encode_frame(&Frame::Bye);
+        let mut bytes = encode_frame(&Frame::Heartbeat);
         bytes[3] = 2;
         assert!(matches!(
             decode_frame(&bytes),
@@ -410,7 +762,7 @@ mod tests {
 
     #[test]
     fn header_validation() {
-        let good = encode_frame(&Frame::Bye);
+        let good = encode_frame(&Frame::Heartbeat);
         let mut bad = good.clone();
         bad[0] = b'X';
         assert!(matches!(decode_frame(&bad), Err(CodecError::BadMagic(_))));
@@ -424,7 +776,10 @@ mod tests {
 
     #[test]
     fn truncated_frames_ask_for_more() {
-        let bytes = encode_frame(&Frame::Event(sample_event()));
+        let bytes = encode_frame(&Frame::Event {
+            seq: 0,
+            event: sample_event(),
+        });
         for cut in [0, 1, HEADER_LEN - 1, HEADER_LEN, bytes.len() - 1] {
             assert!(
                 decode_frame(&bytes[..cut]).unwrap().is_none(),
@@ -437,11 +792,226 @@ mod tests {
     }
 
     #[test]
-    fn watermark_payload_is_exactly_eight_bytes() {
-        let raw = RawFrame {
-            kind: 2,
-            payload: vec![1, 2, 3],
-        };
-        assert!(matches!(raw.decode(), Err(CodecError::BadPayload(_))));
+    fn fixed_size_payloads_are_validated() {
+        for (kind, wrong) in [(2u8, 3usize), (3, 7), (4, 9), (5, 1), (6, 3), (7, 8)] {
+            let raw = RawFrame {
+                kind,
+                payload: vec![1; wrong],
+            };
+            assert!(
+                matches!(raw.decode(), Err(CodecError::BadPayload(_))),
+                "kind {kind} with {wrong}-byte payload must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn decoder_decodes_a_clean_stream_fed_in_slivers() {
+        let frames = sample_frames();
+        let mut bytes = Vec::new();
+        for f in &frames {
+            bytes.extend_from_slice(&encode_frame(f));
+        }
+        let mut dec = Decoder::new();
+        let mut got = Vec::new();
+        // Feed one byte at a time: partial frames must never error.
+        for b in &bytes {
+            dec.feed(std::slice::from_ref(b));
+            while let Some(raw) = dec.next_frame() {
+                got.push(raw.decode().unwrap());
+            }
+        }
+        assert_eq!(got, frames);
+        assert_eq!(dec.corrupt_frames(), 0);
+        assert_eq!(dec.skipped_bytes(), 0);
+        assert_eq!(dec.pending(), 0);
+    }
+
+    #[test]
+    fn decoder_quarantines_a_flipped_frame_and_resyncs() {
+        let a = encode_frame(&Frame::Event {
+            seq: 1,
+            event: sample_event(),
+        });
+        let mut b = encode_frame(&Frame::Event {
+            seq: 2,
+            event: sample_event(),
+        });
+        let c = encode_frame(&Frame::Event {
+            seq: 3,
+            event: sample_event(),
+        });
+        let mid = b.len() / 2;
+        b[mid] ^= 0x40; // damage the middle frame's payload
+        let mut dec = Decoder::new();
+        dec.feed(&a);
+        dec.feed(&b);
+        dec.feed(&c);
+        let mut got = Vec::new();
+        while let Some(raw) = dec.next_frame() {
+            got.push(raw.decode().unwrap());
+        }
+        got.extend(dec.drain_eof().iter().map(|r| r.decode().unwrap()));
+        assert!(
+            got.contains(&Frame::Event {
+                seq: 1,
+                event: sample_event()
+            }) && got.contains(&Frame::Event {
+                seq: 3,
+                event: sample_event()
+            }),
+            "good frames must survive: {got:?}"
+        );
+        assert!(
+            !got.contains(&Frame::Event {
+                seq: 2,
+                event: sample_event()
+            }),
+            "the damaged frame must be quarantined"
+        );
+        assert!(dec.corrupt_frames() >= 1);
+    }
+
+    #[test]
+    fn decoder_skips_leading_garbage() {
+        let mut dec = Decoder::new();
+        dec.feed(b"not a frame at all, just noise CW?");
+        let frame = encode_frame(&Frame::Ack { upto: 5 });
+        dec.feed(&frame);
+        let got = dec.next_frame().expect("frame after garbage");
+        assert_eq!(got.decode().unwrap(), Frame::Ack { upto: 5 });
+        assert!(dec.skipped_bytes() > 0);
+    }
+
+    #[test]
+    fn decoder_survives_a_dropped_byte_range() {
+        let frames: Vec<Frame> = (0..5)
+            .map(|i| Frame::Event {
+                seq: i,
+                event: sample_event(),
+            })
+            .collect();
+        let mut bytes = Vec::new();
+        for f in &frames {
+            bytes.extend_from_slice(&encode_frame(f));
+        }
+        // Drop 30 bytes spanning the boundary of frames 1 and 2.
+        let flen = encode_frame(&frames[0]).len();
+        let cut = flen * 2 - 10;
+        bytes.drain(cut..cut + 30);
+        let mut dec = Decoder::new();
+        dec.feed(&bytes);
+        let mut got = Vec::new();
+        while let Some(raw) = dec.next_frame() {
+            if let Ok(f) = raw.decode() {
+                got.push(f);
+            }
+        }
+        got.extend(dec.drain_eof().iter().filter_map(|r| r.decode().ok()));
+        // Frames 0, 3, 4 are untouched and must all survive.
+        for seq in [0u64, 3, 4] {
+            assert!(
+                got.iter()
+                    .any(|f| matches!(f, Frame::Event { seq: s, .. } if *s == seq)),
+                "frame {seq} should survive the dropped range: {got:?}"
+            );
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(192))]
+
+        /// Arbitrary garbage through the decoder: never panics, never
+        /// yields a frame that fails CRC-validated decoding, and always
+        /// terminates with an empty buffer at EOF.
+        #[test]
+        fn decoder_never_panics_on_garbage(bytes in prop::collection::vec(any::<u8>(), 0..2048),
+                                           chunk in 1usize..64) {
+            let mut dec = Decoder::new();
+            for piece in bytes.chunks(chunk) {
+                dec.feed(piece);
+                while let Some(raw) = dec.next_frame() {
+                    // Whatever survives the CRC must be a known kind;
+                    // payload decoding may still reject it, cleanly.
+                    prop_assert!(raw.kind <= MAX_KIND);
+                    let _ = raw.decode();
+                }
+            }
+            for raw in dec.drain_eof() {
+                let _ = raw.decode();
+            }
+            prop_assert_eq!(dec.pending(), 0);
+        }
+
+        /// A valid frame stream with a random contiguous slice replaced
+        /// by garbage: the decoder resynchronizes and recovers every
+        /// frame that was not touched by the damage.
+        #[test]
+        fn decoder_resynchronizes_after_damage(n_frames in 2usize..12,
+                                               seed in any::<u64>(),
+                                               dmg_at in any::<u16>(),
+                                               dmg_len in 1usize..40,
+                                               flip in any::<u8>()) {
+            let frames: Vec<Frame> = (0..n_frames as u64).map(|i| Frame::Event {
+                seq: i,
+                event: IoEvent {
+                    id: EventId(i as u32),
+                    router: RouterId((seed % 4) as u32),
+                    time: SimTime::from_micros(seed % 100_000 + i),
+                    arrived_at: None,
+                    kind: IoKind::FibRemove { prefix: "10.0.0.0/8".parse().unwrap() },
+                },
+            }).collect();
+            let mut stream = Vec::new();
+            let mut bounds = vec![0usize];
+            for f in &frames {
+                stream.extend_from_slice(&encode_frame(f));
+                bounds.push(stream.len());
+            }
+            let at = dmg_at as usize % stream.len();
+            let end = (at + dmg_len).min(stream.len());
+            for b in &mut stream[at..end] {
+                *b ^= flip | 1; // guarantee a real change
+            }
+            let mut dec = Decoder::new();
+            dec.feed(&stream);
+            let mut got: Vec<u64> = Vec::new();
+            while let Some(raw) = dec.next_frame() {
+                if let Ok(Frame::Event { seq, .. }) = raw.decode() {
+                    got.push(seq);
+                }
+            }
+            for raw in dec.drain_eof() {
+                if let Ok(Frame::Event { seq, .. }) = raw.decode() {
+                    got.push(seq);
+                }
+            }
+            // Every frame wholly outside the damaged range survives.
+            for (i, w) in bounds.windows(2).enumerate() {
+                let untouched = w[1] <= at || w[0] >= end;
+                if untouched {
+                    prop_assert!(
+                        got.contains(&(i as u64)),
+                        "undamaged frame {} lost (damage {}..{}, got {:?})", i, at, end, got
+                    );
+                }
+            }
+            prop_assert_eq!(dec.pending(), 0);
+        }
+
+        /// Truncation at any point is a clean "need more data" from
+        /// `decode_frame`, never a panic or a bogus frame.
+        #[test]
+        fn truncation_never_yields_a_frame(cut_frac in 0.0f64..1.0) {
+            let bytes = encode_frame(&Frame::Event { seq: 3, event: IoEvent {
+                id: EventId(1),
+                router: RouterId(0),
+                time: SimTime::from_millis(5),
+                arrived_at: None,
+                kind: IoKind::FibRemove { prefix: "10.0.0.0/8".parse().unwrap() },
+            }});
+            let cut = ((bytes.len() - 1) as f64 * cut_frac) as usize;
+            prop_assert!(decode_frame(&bytes[..cut]).unwrap().is_none());
+        }
     }
 }

@@ -8,41 +8,93 @@
 //!
 //! - an **accept thread** polls a nonblocking listener and spawns one
 //!   **reader thread** per connection;
-//! - reader threads decode frames (the CPU-heavy JSON parse happens
-//!   here, in parallel across connections) and push typed messages into
-//!   a **bounded** channel — when the merger falls behind, readers
-//!   block, TCP windows fill, and backpressure reaches the senders;
-//! - a single **merger thread** owns the WAL and the pipeline. It
-//!   tracks a watermark per source router and folds events only up to
-//!   the *minimum* watermark over all `n_routers` sources, which is the
-//!   merge point at which the global `(time, id)` order is known — the
-//!   precondition for [`HbgBuilder::advance`]'s deterministic sweep.
+//! - reader threads decode frames through the resynchronizing
+//!   [`Decoder`] (the CPU-heavy JSON parse happens here, in parallel
+//!   across connections) and push typed messages into a **bounded**
+//!   channel — when the merger falls behind, readers block, TCP windows
+//!   fill, and backpressure reaches the senders. A corrupt frame is
+//!   *quarantined* (counted, skipped, the reader resynchronizes); only
+//!   protocol violations (bad hello, garbage that passed its CRC) kill
+//!   a connection;
+//! - a single **merger thread** owns the WAL, the pipeline, and its
+//!   [`SourceTable`]. It deduplicates events by per-source sequence
+//!   number, applies frontier-gated watermark promises, and folds
+//!   events only up to the *minimum* applied promise over all
+//!   non-evicted sources, which is the merge point at which the global
+//!   `(time, id)` order is known — the precondition for
+//!   [`HbgBuilder::advance`]'s deterministic sweep. It also writes
+//!   [`Frame::Ack`] frames back to each client so they can prune their
+//!   replay buffers, and runs the **liveness leases**: a source silent
+//!   past [`LeaseConfig::lagging_after`] is flagged, one silent past
+//!   [`LeaseConfig::evict_after`] is evicted from the watermark gate
+//!   (journaled, and re-admitted on its next handshake) so one dead
+//!   router cannot stall verification forever.
 //!
 //! ## Durability ordering
 //!
 //! The merger appends an event's wire frame to the WAL *before*
-//! ingesting it, and appends a (global) watermark frame *before*
-//! advancing. The log is therefore always at least as complete as the
-//! in-memory state, so replaying it (see
-//! [`IngestPipeline::recover`]) reconstructs the pre-crash pipeline
-//! exactly: at-least-once logging plus a deterministic fold is
-//! effectively exactly-once recovery.
+//! ingesting it, a (global) watermark frame *before* advancing, and an
+//! eviction/re-admission frame *before* changing the gate — and an ack
+//! is only sent *after* the events it covers were journaled. The log is
+//! therefore always at least as complete as the in-memory state, so
+//! replaying it (see [`IngestPipeline::recover`]) reconstructs the
+//! pre-crash pipeline exactly: at-least-once logging plus sequence
+//! deduplication plus a deterministic fold is effectively exactly-once
+//! recovery.
 //!
 //! [`HbgBuilder::advance`]: cpvr_core::builder::HbgBuilder::advance
+//! [`SourceTable`]: crate::pipeline::SourceTable
+//! [`Decoder`]: crate::codec::Decoder
 
-use crate::codec::{encode_frame, read_frame, CodecError, Frame, Hello, VERSION};
-use crate::pipeline::{IngestPipeline, PipelineConfig, RecoveryReport};
+use crate::codec::{encode_frame, Decoder, Frame, Hello, RawFrame, VERSION};
+use crate::pipeline::{IngestPipeline, Offer, PipelineConfig, RecoveryReport, SourceState};
 use crate::wal::{Wal, WalConfig};
 use cpvr_sim::IoEvent;
 use cpvr_types::{RouterId, SimTime};
 use std::collections::HashMap;
-use std::io::{self, Read};
+use std::io::{self, Read, Write};
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::{Receiver, SyncSender};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
+
+/// Liveness-lease thresholds for the merger's sweep.
+#[derive(Clone, Copy, Debug)]
+pub struct LeaseConfig {
+    /// A source silent this long is marked [`SourceState::Lagging`]
+    /// (diagnostic only — it still gates the watermark).
+    pub lagging_after: Duration,
+    /// A source silent this long is evicted from the watermark gate so
+    /// the fold can resume without it. Must exceed `lagging_after`.
+    pub evict_after: Duration,
+    /// How often the merger sweeps the leases (also the granularity of
+    /// its `recv` timeout).
+    pub sweep_interval: Duration,
+}
+
+impl Default for LeaseConfig {
+    fn default() -> Self {
+        LeaseConfig {
+            lagging_after: Duration::from_secs(15),
+            evict_after: Duration::from_secs(60),
+            sweep_interval: Duration::from_millis(500),
+        }
+    }
+}
+
+impl LeaseConfig {
+    /// Leases that never fire (for workloads where a stalled source
+    /// must stall the fold — the paper's strict §5 discipline).
+    pub fn disabled() -> Self {
+        LeaseConfig {
+            lagging_after: Duration::MAX,
+            evict_after: Duration::MAX,
+            sweep_interval: Duration::from_secs(1),
+        }
+    }
+}
 
 /// Collector tuning knobs.
 #[derive(Clone, Debug)]
@@ -53,11 +105,16 @@ pub struct CollectorConfig {
     /// Bounded channel capacity between readers and the merger. Full
     /// channel = blocked readers = TCP backpressure.
     pub channel_capacity: usize,
-    /// A connection that stays silent this long is dropped.
+    /// A connection that stays silent this long is dropped. (The
+    /// *source* behind it is governed separately by `lease` — a
+    /// heartbeating client never trips this.)
     pub idle_timeout: Duration,
     /// Poll tick for the nonblocking accept loop and reader-side stop /
     /// idle checks.
     pub poll_interval: Duration,
+    /// Liveness-lease thresholds for marking sources lagging and
+    /// evicting them from the watermark gate.
+    pub lease: LeaseConfig,
     /// Where to journal frames; `None` runs without durability.
     pub wal: Option<WalConfig>,
 }
@@ -70,6 +127,7 @@ impl CollectorConfig {
             channel_capacity: 1024,
             idle_timeout: Duration::from_secs(30),
             poll_interval: Duration::from_millis(10),
+            lease: LeaseConfig::default(),
             wal: None,
         }
     }
@@ -77,6 +135,12 @@ impl CollectorConfig {
     /// Enables the WAL.
     pub fn with_wal(mut self, wal: WalConfig) -> Self {
         self.wal = Some(wal);
+        self
+    }
+
+    /// Overrides the liveness leases.
+    pub fn with_lease(mut self, lease: LeaseConfig) -> Self {
+        self.lease = lease;
         self
     }
 }
@@ -88,7 +152,12 @@ struct SharedStats {
     events: AtomicU64,
     bytes: AtomicU64,
     decode_errors: AtomicU64,
+    corrupt_frames: AtomicU64,
+    duplicate_events: AtomicU64,
+    gap_events: AtomicU64,
     late_events: AtomicU64,
+    evictions: AtomicU64,
+    readmissions: AtomicU64,
     /// Nanos of the last globally advanced watermark; only meaningful
     /// once `watermark_set` is true (zero is a valid watermark, so it
     /// cannot double as the "never advanced" sentinel).
@@ -110,12 +179,28 @@ pub struct CollectorStats {
     pub connections: u64,
     /// Events ingested into the pipeline.
     pub events: u64,
-    /// Payload bytes received across all frames.
+    /// Raw bytes received across all connections.
     pub bytes: u64,
-    /// Frames that failed to decode (connection is closed on the first).
+    /// Fatal protocol errors (bad handshake, undecodable payload behind
+    /// a valid CRC); each one closes its connection.
     pub decode_errors: u64,
-    /// Events dropped for arriving at or behind the advanced watermark.
+    /// Frames quarantined by the resynchronizing decoder (damaged in
+    /// flight); these do *not* close the connection — the sequence
+    /// layer recovers the loss by retransmission.
+    pub corrupt_frames: u64,
+    /// Events dropped as already-accepted duplicates (reconnect
+    /// replays).
+    pub duplicate_events: u64,
+    /// Events dropped for arriving ahead of sequence (something before
+    /// them was lost; they will be retransmitted in order).
+    pub gap_events: u64,
+    /// Events dropped for arriving at or behind the advanced watermark
+    /// (only possible for sources re-admitted after eviction).
     pub late_events: u64,
+    /// Sources evicted from the watermark gate by the liveness lease.
+    pub evictions: u64,
+    /// Evicted sources re-admitted after reconnecting.
+    pub readmissions: u64,
     /// The last globally advanced watermark.
     pub watermark: Option<SimTime>,
 }
@@ -131,7 +216,12 @@ impl SharedStats {
             events: self.events.load(Ordering::Relaxed),
             bytes: self.bytes.load(Ordering::Relaxed),
             decode_errors: self.decode_errors.load(Ordering::Relaxed),
+            corrupt_frames: self.corrupt_frames.load(Ordering::Relaxed),
+            duplicate_events: self.duplicate_events.load(Ordering::Relaxed),
+            gap_events: self.gap_events.load(Ordering::Relaxed),
             late_events: self.late_events.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            readmissions: self.readmissions.load(Ordering::Relaxed),
             watermark,
         }
     }
@@ -140,6 +230,7 @@ impl SharedStats {
 /// One decoded event, carrying its wire encoding for the WAL when one
 /// is configured (re-encoding in the merger would serialize the cost).
 struct EventRec {
+    seq: u64,
     event: IoEvent,
     raw: Option<Vec<u8>>,
 }
@@ -147,21 +238,47 @@ struct EventRec {
 /// What a reader thread hands to the merger.
 ///
 /// Events travel in batches: nothing is folded until the next
-/// watermark anyway, so a reader may hold events back until it sees a
-/// watermark (or the batch cap) with zero semantic cost — and the
-/// channel carries hundreds of messages instead of one per event,
-/// which is what keeps the single merger from becoming the contention
-/// point.
+/// watermark anyway, so a reader may hold events back until the read
+/// chunk is drained (or the batch cap) with zero semantic cost — and
+/// the channel carries far fewer messages than one per event, which is
+/// what keeps the single merger from becoming the contention point.
 enum Msg {
-    Hello { conn: u64, hello: Hello },
-    Events { batch: Vec<EventRec> },
-    Watermark { conn: u64, t: SimTime },
-    Closed { conn: u64 },
+    Hello {
+        conn: u64,
+        hello: Hello,
+        /// A write handle to the connection, for acks. `None` if the
+        /// clone failed (the client then simply never sees acks on
+        /// this connection and will reconnect on stall).
+        ack: Option<TcpStream>,
+    },
+    Events {
+        conn: u64,
+        batch: Vec<EventRec>,
+    },
+    Watermark {
+        conn: u64,
+        t: SimTime,
+        frontier: u64,
+    },
+    Heartbeat {
+        conn: u64,
+    },
+    Bye {
+        conn: u64,
+        frontier: u64,
+    },
+    Closed {
+        conn: u64,
+    },
 }
 
 /// Cap on events per channel message; bounds merger-side latency and
 /// channel memory (capacity × batch × event size).
 const EVENT_BATCH_MAX: usize = 256;
+
+/// How long the merger will block writing an ack before giving the
+/// connection up for congested (the client reconnects on ack stall).
+const ACK_WRITE_TIMEOUT: Duration = Duration::from_millis(50);
 
 /// The final accounting returned by [`CollectorHandle::shutdown`].
 pub struct CollectorReport {
@@ -169,6 +286,10 @@ pub struct CollectorReport {
     pub pipeline: IngestPipeline,
     /// Final counters.
     pub stats: CollectorStats,
+    /// Sources that were still holding the watermark back at shutdown —
+    /// routers that never connected, never promised, or whose promise
+    /// is parked behind lost events. Empty for a fully drained run.
+    pub stalled: Vec<RouterId>,
     /// What WAL recovery found at startup (`Some` iff a WAL was
     /// configured).
     pub recovery: Option<RecoveryReport>,
@@ -213,10 +334,10 @@ impl Collector {
 
         let merger = {
             let stats = Arc::clone(&stats);
-            let n_routers = cfg.pipeline.n_routers;
+            let lease = cfg.lease;
             thread::Builder::new()
                 .name("cpvr-merger".into())
-                .spawn(move || merger_loop(rx, pipeline, wal, n_routers, &stats))?
+                .spawn(move || merger_loop(rx, pipeline, wal, lease, &stats))?
         };
 
         let accept = {
@@ -271,9 +392,11 @@ impl CollectorHandle {
         if let Some(e) = wal_err {
             return Err(e);
         }
+        let stalled = pipeline.stalled_sources();
         Ok(CollectorReport {
             pipeline,
             stats: self.stats.snapshot(),
+            stalled,
             recovery: self.recovery.take(),
         })
     }
@@ -335,8 +458,7 @@ fn accept_loop(
 
 /// A `Read` adapter over a nonblocking-timeout socket that turns
 /// `WouldBlock` ticks into stop-flag and idle-deadline checks, so
-/// `read_frame` can block "interruptibly" without losing partial
-/// progress (progress lives in `read_exact`'s buffer, not here).
+/// reads can block "interruptibly".
 struct PollingReader<'a> {
     stream: &'a TcpStream,
     stop: &'a AtomicBool,
@@ -374,6 +496,118 @@ impl Read for PollingReader<'_> {
     }
 }
 
+/// What processing one decoded frame decided about the connection.
+enum FrameOutcome {
+    /// Keep reading.
+    Continue,
+    /// Protocol violation: close the connection (already counted).
+    Fatal(String),
+    /// The merger hung up; nothing left to report to.
+    MergerGone,
+}
+
+/// Handles one intact frame from a connection: validates the protocol
+/// state machine and forwards typed messages to the merger.
+#[allow(clippy::too_many_arguments)]
+fn on_frame(
+    raw: RawFrame,
+    conn: u64,
+    stream: &TcpStream,
+    tx: &SyncSender<Msg>,
+    stats: &SharedStats,
+    greeted: &mut bool,
+    batch: &mut Vec<EventRec>,
+    expect_n_routers: u32,
+    wal_enabled: bool,
+) -> FrameOutcome {
+    let frame = match raw.decode() {
+        Ok(f) => f,
+        Err(e) => {
+            // The CRC was valid, so these bytes are what the peer
+            // actually sent: a peer bug, not line noise. Fatal.
+            stats.decode_errors.fetch_add(1, Ordering::Relaxed);
+            return FrameOutcome::Fatal(e.to_string());
+        }
+    };
+    let flush_before = !matches!(frame, Frame::Event { .. });
+    if flush_before && !batch.is_empty() {
+        // Pending events must land before the control frame that
+        // follows them — a watermark's promise covers them, and an ack
+        // solicited by a heartbeat must account for them.
+        let msg = Msg::Events {
+            conn,
+            batch: std::mem::take(batch),
+        };
+        if tx.send(msg).is_err() {
+            return FrameOutcome::MergerGone;
+        }
+    }
+    let msg = match frame {
+        Frame::Hello(hello) => {
+            if *greeted {
+                stats.decode_errors.fetch_add(1, Ordering::Relaxed);
+                return FrameOutcome::Fatal("duplicate hello".into());
+            }
+            if hello.n_routers != expect_n_routers {
+                stats.decode_errors.fetch_add(1, Ordering::Relaxed);
+                return FrameOutcome::Fatal(format!(
+                    "peer believes the network has {} routers, collector is configured for {} \
+                     (protocol v{VERSION})",
+                    hello.n_routers, expect_n_routers
+                ));
+            }
+            if hello.source.0 >= expect_n_routers {
+                stats.decode_errors.fetch_add(1, Ordering::Relaxed);
+                return FrameOutcome::Fatal(format!(
+                    "peer claims to be router {} of a {expect_n_routers}-router network",
+                    hello.source.0
+                ));
+            }
+            *greeted = true;
+            let ack = stream.try_clone().ok();
+            if let Some(a) = &ack {
+                let _ = a.set_write_timeout(Some(ACK_WRITE_TIMEOUT));
+            }
+            Msg::Hello { conn, hello, ack }
+        }
+        _ if !*greeted => {
+            stats.decode_errors.fetch_add(1, Ordering::Relaxed);
+            return FrameOutcome::Fatal("first frame was not a hello".into());
+        }
+        Frame::Event { seq, event } => {
+            batch.push(EventRec {
+                seq,
+                event,
+                raw: wal_enabled.then(|| raw.encode()),
+            });
+            if batch.len() >= EVENT_BATCH_MAX {
+                let msg = Msg::Events {
+                    conn,
+                    batch: std::mem::take(batch),
+                };
+                if tx.send(msg).is_err() {
+                    return FrameOutcome::MergerGone;
+                }
+            }
+            return FrameOutcome::Continue;
+        }
+        Frame::Watermark { t, frontier } => Msg::Watermark { conn, t, frontier },
+        Frame::Heartbeat => Msg::Heartbeat { conn },
+        Frame::Bye { frontier } => Msg::Bye { conn, frontier },
+        // Acks/fins flow collector → client; evictions/admissions exist
+        // only in the journal. Arriving over the wire they are
+        // meaningless — ignore rather than kill, in the spirit of
+        // resynchronization.
+        Frame::Ack { .. } | Frame::Fin | Frame::Evict { .. } | Frame::Admit { .. } => {
+            return FrameOutcome::Continue
+        }
+    };
+    if tx.send(msg).is_err() {
+        return FrameOutcome::MergerGone;
+    }
+    FrameOutcome::Continue
+}
+
 #[allow(clippy::too_many_arguments)]
 fn reader_loop(
     stream: TcpStream,
@@ -388,126 +622,188 @@ fn reader_loop(
 ) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(poll));
-    // Buffer above the polling layer: frames are small (~100–300 bytes)
-    // and unbuffered reads would cost two syscalls each.
-    let mut r = io::BufReader::with_capacity(
-        64 * 1024,
-        PollingReader {
-            stream: &stream,
-            stop: &stop,
-            idle,
-            last_data: Instant::now(),
-        },
-    );
+    let mut r = PollingReader {
+        stream: &stream,
+        stop: &stop,
+        idle,
+        last_data: Instant::now(),
+    };
+    let mut dec = Decoder::new();
+    let mut buf = vec![0u8; 64 * 1024];
     let mut greeted = false;
     let mut batch: Vec<EventRec> = Vec::new();
+    let mut reported_corrupt = 0u64;
     // The loop's break value describes why the connection ended; it is
     // currently only useful to a debugger, but the plumbing keeps the
     // failure paths honest about what went wrong.
-    let _why_closed: Option<String> = loop {
-        let raw = match read_frame(&mut r) {
-            Ok(Some(raw)) => raw,
-            Ok(None) => break None, // clean EOF at a frame boundary
-            Err(CodecError::Io(e)) => break Some(e.to_string()),
-            Err(e) => {
-                stats.decode_errors.fetch_add(1, Ordering::Relaxed);
-                break Some(e.to_string());
+    let _why_closed: Option<String> = 'conn: loop {
+        let n = match r.read(&mut buf) {
+            Ok(0) => {
+                // EOF: whatever is still buffered is all we will ever
+                // get — let the decoder fish out any complete frames.
+                for raw in dec.drain_eof() {
+                    match on_frame(
+                        raw,
+                        conn,
+                        &stream,
+                        &tx,
+                        &stats,
+                        &mut greeted,
+                        &mut batch,
+                        expect_n_routers,
+                        wal_enabled,
+                    ) {
+                        FrameOutcome::Continue => {}
+                        FrameOutcome::Fatal(why) => break 'conn Some(why),
+                        FrameOutcome::MergerGone => return,
+                    }
+                }
+                break None;
             }
+            Ok(n) => n,
+            Err(e) => break Some(e.to_string()),
         };
-        stats.bytes.fetch_add(
-            (raw.payload.len() + crate::codec::HEADER_LEN) as u64,
-            Ordering::Relaxed,
-        );
-        let frame = match raw.decode() {
-            Ok(f) => f,
-            Err(e) => {
-                stats.decode_errors.fetch_add(1, Ordering::Relaxed);
-                break Some(e.to_string());
-            }
-        };
-        let msg = match frame {
-            Frame::Hello(hello) => {
-                if greeted {
-                    stats.decode_errors.fetch_add(1, Ordering::Relaxed);
-                    break Some("duplicate hello".into());
-                }
-                if hello.n_routers != expect_n_routers {
-                    stats.decode_errors.fetch_add(1, Ordering::Relaxed);
-                    break Some(format!(
-                        "peer believes the network has {} routers, collector is configured for {} \
-                         (protocol v{VERSION})",
-                        hello.n_routers, expect_n_routers
-                    ));
-                }
-                greeted = true;
-                Msg::Hello { conn, hello }
-            }
-            _ if !greeted => {
-                stats.decode_errors.fetch_add(1, Ordering::Relaxed);
-                break Some("first frame was not a hello".into());
-            }
-            Frame::Event(e) => {
-                batch.push(EventRec {
-                    event: e,
-                    raw: wal_enabled.then(|| raw.encode()),
-                });
-                if batch.len() >= EVENT_BATCH_MAX
-                    && tx
-                        .send(Msg::Events {
-                            batch: std::mem::take(&mut batch),
-                        })
-                        .is_err()
-                {
-                    return; // merger is gone; nothing left to report to
-                }
-                continue;
-            }
-            Frame::Watermark(t) => Msg::Watermark { conn, t },
-            // A graceful goodbye: this source will never emit again, so
-            // its watermark jumps to infinity and stops gating the
-            // global merge.
-            Frame::Bye => Msg::Watermark {
+        stats.bytes.fetch_add(n as u64, Ordering::Relaxed);
+        dec.feed(&buf[..n]);
+        while let Some(raw) = dec.next_frame() {
+            match on_frame(
+                raw,
                 conn,
-                t: SimTime::MAX,
-            },
-        };
-        // Pending events must land before the control frame that
-        // follows them — a watermark's promise covers them.
+                &stream,
+                &tx,
+                &stats,
+                &mut greeted,
+                &mut batch,
+                expect_n_routers,
+                wal_enabled,
+            ) {
+                FrameOutcome::Continue => {}
+                FrameOutcome::Fatal(why) => break 'conn Some(why),
+                FrameOutcome::MergerGone => return,
+            }
+        }
+        // Quarantined frames accumulate in the decoder; publish the
+        // delta so the counter tracks live.
+        let corrupt = dec.corrupt_frames();
+        if corrupt > reported_corrupt {
+            stats
+                .corrupt_frames
+                .fetch_add(corrupt - reported_corrupt, Ordering::Relaxed);
+            reported_corrupt = corrupt;
+        }
+        // Flush per read chunk: the merger acks per batch, and a
+        // client's replay-buffer pruning is only as fresh as its acks.
         if !batch.is_empty()
             && tx
                 .send(Msg::Events {
+                    conn,
                     batch: std::mem::take(&mut batch),
                 })
                 .is_err()
         {
             return;
         }
-        if tx.send(msg).is_err() {
-            return; // merger is gone; nothing left to report to
-        }
     };
+    let corrupt = dec.corrupt_frames();
+    if corrupt > reported_corrupt {
+        stats
+            .corrupt_frames
+            .fetch_add(corrupt - reported_corrupt, Ordering::Relaxed);
+    }
     if !batch.is_empty() {
-        let _ = tx.send(Msg::Events { batch });
+        let _ = tx.send(Msg::Events { conn, batch });
     }
     let _ = tx.send(Msg::Closed { conn });
+}
+
+/// Appends one already-encoded frame to the WAL, latching the first
+/// error (the merger keeps running degraded rather than dropping the
+/// in-memory state on a full disk).
+fn journal(wal: &mut Option<Wal>, wal_err: &mut Option<io::Error>, bytes: &[u8]) {
+    if wal_err.is_some() {
+        return;
+    }
+    if let Some(w) = wal.as_mut() {
+        if let Err(e) = w.append(bytes) {
+            *wal_err = Some(e);
+        }
+    }
+}
+
+/// Advances the fold to the source table's global minimum promise, if
+/// it moved — journaling the new global watermark first.
+fn try_advance(
+    pipeline: &mut IngestPipeline,
+    wal: &mut Option<Wal>,
+    wal_err: &mut Option<io::Error>,
+    advanced: &mut Option<SimTime>,
+    stats: &SharedStats,
+) {
+    let Some(global) = pipeline.sources().global_min() else {
+        return;
+    };
+    if advanced.is_some_and(|wm| global <= wm) {
+        return;
+    }
+    // Journal the *global* watermark before advancing, so recovery
+    // re-advances to exactly the folded horizon. The frontier field is
+    // meaningless for a global watermark; zero by convention.
+    journal(
+        wal,
+        wal_err,
+        &encode_frame(&Frame::Watermark {
+            t: global,
+            frontier: 0,
+        }),
+    );
+    pipeline.advance(global);
+    *advanced = Some(global);
+    stats.set_watermark(global);
+}
+
+/// Writes an ack on a connection's write handle; a failed or timed-out
+/// write forfeits the handle (the client reconnects on ack stall).
+fn send_ack(acks: &mut HashMap<u64, TcpStream>, conn: u64, upto: u64) {
+    if let Some(s) = acks.get_mut(&conn) {
+        if s.write_all(&encode_frame(&Frame::Ack { upto })).is_err() {
+            acks.remove(&conn);
+        }
+    }
+}
+
+/// Acks a connection's contiguous prefix and, once the source's bye
+/// promise has been *applied*, confirms end-of-stream with a fin. Byes
+/// carry no sequence number, so the fin is the only way a draining
+/// client can know its bye was not lost in flight.
+fn acknowledge(
+    pipeline: &IngestPipeline,
+    acks: &mut HashMap<u64, TcpStream>,
+    conn: u64,
+    source: RouterId,
+) {
+    send_ack(acks, conn, pipeline.sources().next_seq(source));
+    if pipeline.sources().finished(source) {
+        if let Some(s) = acks.get_mut(&conn) {
+            if s.write_all(&encode_frame(&Frame::Fin)).is_err() {
+                acks.remove(&conn);
+            }
+        }
+    }
 }
 
 fn merger_loop(
     rx: Receiver<Msg>,
     mut pipeline: IngestPipeline,
     mut wal: Option<Wal>,
-    n_routers: u32,
+    lease: LeaseConfig,
     stats: &SharedStats,
 ) -> (IngestPipeline, Option<io::Error>) {
-    // Which router each live connection speaks for, and the most recent
-    // watermark promised per router. A reconnect replaces the
-    // connection but keeps the router's watermark monotone.
+    let n_routers = pipeline.config().n_routers;
+    // Which router each live connection speaks for, and the ack write
+    // handle per connection. A reconnect replaces the connection but
+    // the router's state lives in the pipeline's source table.
     let mut conn_source: HashMap<u64, RouterId> = HashMap::new();
-    // `None` = connected but has not promised anything yet. The entry
-    // must NOT default to time zero: that would let the other sources'
-    // watermarks advance the global fold to 0 before this source's
-    // own zero-stamped events arrive, dropping them as late.
-    let mut source_wm: HashMap<RouterId, Option<SimTime>> = HashMap::new();
+    let mut acks: HashMap<u64, TcpStream> = HashMap::new();
     let mut wal_err: Option<io::Error> = None;
 
     // Resuming after recovery: the recovered watermark keeps gating
@@ -517,87 +813,160 @@ fn merger_loop(
         stats.set_watermark(wm);
     }
 
-    while let Ok(msg) = rx.recv() {
-        match msg {
-            Msg::Hello { conn, hello } => {
-                conn_source.insert(conn, hello.source);
-                source_wm.entry(hello.source).or_insert(None);
-            }
-            Msg::Events { batch } => {
-                let mut ingested = 0u64;
-                let mut late = 0u64;
-                for rec in &batch {
-                    // Events at or behind the advanced watermark would
-                    // land behind the fold frontier; drop them (they
-                    // can only occur on sloppy reconnects that re-send
-                    // history).
-                    if advanced.is_some_and(|wm| rec.event.time <= wm) {
-                        late += 1;
-                        continue;
+    // Liveness leases: every source starts its clock at merger start,
+    // so a router that never comes up at all is still evicted on
+    // schedule instead of gating the fold forever.
+    let mut last_heard: Vec<Instant> = vec![Instant::now(); n_routers as usize];
+    let mut last_sweep = Instant::now();
+    // `recv_timeout` must not overflow Instant arithmetic on huge
+    // (disabled-lease) intervals.
+    let tick = lease.sweep_interval.min(Duration::from_secs(3600));
+
+    loop {
+        let msg = match rx.recv_timeout(tick) {
+            Ok(m) => Some(m),
+            Err(RecvTimeoutError::Timeout) => None,
+            Err(RecvTimeoutError::Disconnected) => break,
+        };
+        if let Some(msg) = msg {
+            match msg {
+                Msg::Hello { conn, hello, ack } => {
+                    let source = hello.source;
+                    last_heard[source.0 as usize] = Instant::now();
+                    if pipeline.sources().state(source) == SourceState::Evicted {
+                        // Journal the re-admission before widening the
+                        // gate, mirroring the eviction below.
+                        journal(
+                            &mut wal,
+                            &mut wal_err,
+                            &encode_frame(&Frame::Admit { source }),
+                        );
+                        pipeline.sources_mut().admit(source);
+                        stats.readmissions.fetch_add(1, Ordering::Relaxed);
                     }
-                    if wal_err.is_none() {
-                        if let (Some(w), Some(raw)) = (wal.as_mut(), rec.raw.as_ref()) {
-                            // Journal before ingesting: the log must
-                            // never lag the in-memory state.
-                            if let Err(e) = w.append(raw) {
-                                wal_err = Some(e);
+                    // Journal the handshake so recovery re-learns the
+                    // session and keeps deduplicating its replays.
+                    journal(
+                        &mut wal,
+                        &mut wal_err,
+                        &encode_frame(&Frame::Hello(hello.clone())),
+                    );
+                    pipeline
+                        .sources_mut()
+                        .hello(source, hello.session, hello.first_seq);
+                    conn_source.insert(conn, source);
+                    if let Some(a) = ack {
+                        acks.insert(conn, a);
+                    }
+                    // An immediate ack tells a reconnecting client how
+                    // much of its planned replay is already here.
+                    acknowledge(&pipeline, &mut acks, conn, source);
+                }
+                Msg::Events { conn, batch } => {
+                    let Some(&source) = conn_source.get(&conn) else {
+                        continue;
+                    };
+                    last_heard[source.0 as usize] = Instant::now();
+                    pipeline.sources_mut().refresh(source);
+                    let mut ingested = 0u64;
+                    let mut late = 0u64;
+                    let mut dups = 0u64;
+                    let mut gaps = 0u64;
+                    for rec in &batch {
+                        match pipeline.sources_mut().offer(source, rec.seq) {
+                            Offer::Duplicate => dups += 1,
+                            Offer::Gap => gaps += 1,
+                            Offer::Fresh => {
+                                // Events at or behind the advanced
+                                // watermark land behind the fold
+                                // frontier; only possible for sources
+                                // replaying after an eviction let the
+                                // fold pass them. Count and drop — the
+                                // ack still covers them so the client
+                                // stops re-sending.
+                                if advanced.is_some_and(|wm| rec.event.time <= wm) {
+                                    late += 1;
+                                    continue;
+                                }
+                                // Journal before ingesting: the log
+                                // must never lag the in-memory state.
+                                if let Some(raw) = rec.raw.as_ref() {
+                                    journal(&mut wal, &mut wal_err, raw);
+                                }
+                                pipeline.ingest(&rec.event);
+                                ingested += 1;
                             }
                         }
                     }
-                    pipeline.ingest(&rec.event);
-                    ingested += 1;
-                }
-                stats.events.fetch_add(ingested, Ordering::Relaxed);
-                if late > 0 {
-                    stats.late_events.fetch_add(late, Ordering::Relaxed);
-                }
-            }
-            Msg::Watermark { conn, t } => {
-                let Some(source) = conn_source.get(&conn) else {
-                    continue;
-                };
-                let wm = source_wm.entry(*source).or_insert(None);
-                *wm = Some(wm.map_or(t, |prev| prev.max(t)));
-                // Fold only once every router has connected AND made a
-                // first promise: before that, a straggler's events are
-                // still unordered against the rest and any fold would
-                // be premature (or, worse, ahead of its zero-stamped
-                // startup events).
-                if source_wm.len() < n_routers as usize {
-                    continue;
-                }
-                let Some(global) = source_wm
-                    .values()
-                    .copied()
-                    .min()
-                    .expect("n_routers > 0 sources present")
-                else {
-                    continue;
-                };
-                if advanced.is_some_and(|wm| global <= wm) {
-                    continue;
-                }
-                if wal_err.is_none() {
-                    if let Some(w) = wal.as_mut() {
-                        // Journal the *global* watermark before
-                        // advancing, so recovery re-advances to exactly
-                        // the folded horizon.
-                        let frame = encode_frame(&Frame::Watermark(global));
-                        if let Err(e) = w.append(&frame) {
-                            wal_err = Some(e);
-                        }
+                    stats.events.fetch_add(ingested, Ordering::Relaxed);
+                    if late > 0 {
+                        stats.late_events.fetch_add(late, Ordering::Relaxed);
                     }
+                    if dups > 0 {
+                        stats.duplicate_events.fetch_add(dups, Ordering::Relaxed);
+                    }
+                    if gaps > 0 {
+                        stats.gap_events.fetch_add(gaps, Ordering::Relaxed);
+                    }
+                    // Filling a gap may have settled a parked promise.
+                    try_advance(&mut pipeline, &mut wal, &mut wal_err, &mut advanced, stats);
+                    // Ack only after the batch was journaled: an acked
+                    // event is a durable event.
+                    acknowledge(&pipeline, &mut acks, conn, source);
                 }
-                pipeline.advance(global);
-                advanced = Some(global);
-                stats.set_watermark(global);
+                Msg::Watermark { conn, t, frontier } => {
+                    let Some(&source) = conn_source.get(&conn) else {
+                        continue;
+                    };
+                    last_heard[source.0 as usize] = Instant::now();
+                    pipeline.sources_mut().refresh(source);
+                    pipeline.sources_mut().promise(source, t, frontier);
+                    try_advance(&mut pipeline, &mut wal, &mut wal_err, &mut advanced, stats);
+                    acknowledge(&pipeline, &mut acks, conn, source);
+                }
+                Msg::Heartbeat { conn } => {
+                    let Some(&source) = conn_source.get(&conn) else {
+                        continue;
+                    };
+                    last_heard[source.0 as usize] = Instant::now();
+                    pipeline.sources_mut().refresh(source);
+                    acknowledge(&pipeline, &mut acks, conn, source);
+                }
+                Msg::Bye { conn, frontier } => {
+                    let Some(&source) = conn_source.get(&conn) else {
+                        continue;
+                    };
+                    last_heard[source.0 as usize] = Instant::now();
+                    pipeline.sources_mut().refresh(source);
+                    // A graceful goodbye: the source promises it will
+                    // never emit again, gated on its final frontier
+                    // like any other promise.
+                    pipeline.sources_mut().bye(source, frontier);
+                    try_advance(&mut pipeline, &mut wal, &mut wal_err, &mut advanced, stats);
+                    acknowledge(&pipeline, &mut acks, conn, source);
+                }
+                Msg::Closed { conn } => {
+                    // Keep the router's state: an abnormal close stalls
+                    // the global merge at its promise until the lease
+                    // evicts it — the conservative choice.
+                    conn_source.remove(&conn);
+                    acks.remove(&conn);
+                }
             }
-            Msg::Closed { conn, .. } => {
-                // Keep the router's last watermark: an abnormal close
-                // stalls the global merge at its promise, which is the
-                // conservative (correct) choice.
-                conn_source.remove(&conn);
-            }
+        }
+        if last_sweep.elapsed() >= tick {
+            sweep_leases(
+                &mut pipeline,
+                &mut wal,
+                &mut wal_err,
+                &mut advanced,
+                &last_heard,
+                &lease,
+                &mut conn_source,
+                &mut acks,
+                stats,
+            );
+            last_sweep = Instant::now();
         }
     }
     if let Some(w) = wal {
@@ -606,4 +975,58 @@ fn merger_loop(
         }
     }
     (pipeline, wal_err)
+}
+
+/// One pass of the liveness leases: flag silent sources as lagging,
+/// evict ones silent past the eviction threshold (journaled first), and
+/// advance the fold if an eviction released the gate.
+#[allow(clippy::too_many_arguments)]
+fn sweep_leases(
+    pipeline: &mut IngestPipeline,
+    wal: &mut Option<Wal>,
+    wal_err: &mut Option<io::Error>,
+    advanced: &mut Option<SimTime>,
+    last_heard: &[Instant],
+    lease: &LeaseConfig,
+    conn_source: &mut HashMap<u64, RouterId>,
+    acks: &mut HashMap<u64, TcpStream>,
+    stats: &SharedStats,
+) {
+    let now = Instant::now();
+    let mut evicted_any = false;
+    for (i, heard) in last_heard.iter().enumerate() {
+        let r = RouterId(i as u32);
+        // A source that delivered its whole stream (settled bye) owes
+        // nobody a heartbeat; an already evicted one is already out.
+        if pipeline.sources().state(r) == SourceState::Evicted || pipeline.sources().finished(r) {
+            continue;
+        }
+        let silent = now.saturating_duration_since(*heard);
+        if silent >= lease.evict_after {
+            journal(wal, wal_err, &encode_frame(&Frame::Evict { source: r }));
+            pipeline.sources_mut().evict(r);
+            stats.evictions.fetch_add(1, Ordering::Relaxed);
+            evicted_any = true;
+            // Hang up on the evicted source: re-admission requires a
+            // fresh hello, and clients only re-hello on reconnect, so
+            // leaving the connection up would strand a source that is
+            // merely slow (not dead) in un-admitted limbo.
+            let conns: Vec<u64> = conn_source
+                .iter()
+                .filter(|&(_, s)| *s == r)
+                .map(|(&c, _)| c)
+                .collect();
+            for c in conns {
+                conn_source.remove(&c);
+                if let Some(s) = acks.remove(&c) {
+                    let _ = s.shutdown(std::net::Shutdown::Both);
+                }
+            }
+        } else if silent >= lease.lagging_after {
+            pipeline.sources_mut().set_lagging(r);
+        }
+    }
+    if evicted_any {
+        try_advance(pipeline, wal, wal_err, advanced, stats);
+    }
 }

@@ -10,26 +10,40 @@
 //! incremental verification machinery requires — surviving crashes on
 //! the way.
 //!
-//! Four layers, bottom up:
+//! Five layers, bottom up:
 //!
 //! * [`codec`] — a versioned, CRC-protected wire format framing
 //!   [`IoEvent`](cpvr_sim::IoEvent)s in the workspace's own JSON
-//!   encoding, plus the `Hello` / `Watermark` / `Bye` control frames.
+//!   encoding, the `Hello` / `Watermark` / `Heartbeat` / `Bye` control
+//!   frames (v2: sequence numbers, acks, and watermark frontiers), and
+//!   a resynchronizing streaming [`Decoder`](codec::Decoder) that
+//!   quarantines corrupt frames instead of poisoning the connection.
 //! * [`wal`] — a segmented append-only write-ahead log whose records
 //!   are exactly the wire frames, with configurable fsync policy and
 //!   torn-tail detection on replay.
 //! * [`pipeline`] + [`collector`] — the threaded TCP server: one reader
 //!   thread per router connection, a bounded channel for backpressure,
-//!   and a single merger thread that journals to the WAL, tracks
-//!   per-source watermarks, and folds events into
+//!   and a single merger thread that journals to the WAL, deduplicates
+//!   events by sequence number, applies frontier-gated watermark
+//!   promises, runs per-source liveness leases (silent sources are
+//!   marked lagging, then evicted from the watermark gate so the fold
+//!   resumes), and folds events into
 //!   [`HbgBuilder`](cpvr_core::builder::HbgBuilder) and
 //!   [`ConsistencyTracker`](cpvr_core::snapshot::ConsistencyTracker)
-//!   only up to the minimum watermark across all sources — the merge
-//!   point where the global `(time, id)` order is known.
+//!   only up to the minimum applied promise across all non-evicted
+//!   sources — the merge point where the global `(time, id)` order is
+//!   known.
 //! * [`client`] — [`SocketSink`], an
 //!   [`EventSink`](cpvr_sim::EventSink) that ships a router's tap over
-//!   a socket, so a simulation doubles as a load generator for a real
-//!   collector process (see the `collectord` example).
+//!   a socket with a bounded replay buffer, ack-driven pruning, and
+//!   reconnect with capped exponential backoff — so a simulation
+//!   doubles as a load generator for a real collector process (see the
+//!   `collectord` example).
+//! * [`fault`] — a deterministic fault-injection harness: a seeded
+//!   [`FaultPlan`](fault::FaultPlan) applied by a
+//!   [`ChaosProxy`](fault::ChaosProxy) that sits between clients and
+//!   the collector, dropping, corrupting, duplicating, delaying, and
+//!   disconnecting the byte stream on a reproducible schedule.
 //!
 //! Crash recovery is the point of the WAL: the merger journals every
 //! event before ingesting it and every global watermark before
@@ -40,7 +54,8 @@
 //! no matter how the advances were batched. The `crash_recovery`
 //! integration test kills a run at every record boundary and proves the
 //! recovered state finishes the stream exactly like an uninterrupted
-//! run.
+//! run; the `chaos` integration test does the same under injected
+//! network faults, end to end.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -48,11 +63,17 @@
 pub mod client;
 pub mod codec;
 pub mod collector;
+pub mod fault;
 pub mod pipeline;
 pub mod wal;
 
-pub use client::SocketSink;
-pub use codec::{Frame, Hello, RawFrame};
-pub use collector::{Collector, CollectorConfig, CollectorHandle, CollectorReport, CollectorStats};
-pub use pipeline::{IngestPipeline, PipelineConfig, RecoveryReport};
+pub use client::{ReconnectPolicy, SocketSink};
+pub use codec::{Decoder, Frame, Hello, RawFrame};
+pub use collector::{
+    Collector, CollectorConfig, CollectorHandle, CollectorReport, CollectorStats, LeaseConfig,
+};
+pub use fault::{ChaosProxy, FaultKind, FaultPlan};
+pub use pipeline::{
+    IngestPipeline, Offer, PipelineConfig, RecoveryReport, SourceState, SourceTable,
+};
 pub use wal::{FsyncPolicy, Wal, WalConfig, WalReplay};

@@ -6,14 +6,26 @@
 //! one ingest/advance surface, so the collector's merger thread and the
 //! WAL recovery path drive them identically.
 //!
+//! The pipeline also owns the [`SourceTable`]: per-router sequence
+//! cursors (duplicate/gap detection for at-least-once delivery),
+//! frontier-gated watermark promises, and liveness state
+//! ([`SourceState`]). The table is what turns a set of unreliable
+//! per-router streams into one stream the deterministic fold can trust:
+//! an event is folded at most once, and the global watermark — the
+//! *minimum* applied promise across all non-evicted sources — never
+//! passes an event that was sent but lost in flight.
+//!
 //! Recovery ([`IngestPipeline::recover`]) replays the WAL: every intact
-//! record is decoded as a wire frame, events are re-ingested, and the
+//! record is decoded as a wire frame, events are re-ingested (and their
+//! sequence numbers replayed into the table, so a reconnecting client's
+//! replay is deduplicated even across a collector restart), eviction
+//! and re-admission records rebuild the watermark gate, and the
 //! pipeline advances once to the largest durably logged watermark.
 //! Because both consumers fold events in `(time, id)` order regardless
 //! of how advances were batched (see [`HbgBuilder::recover`] and
 //! [`ConsistencyTracker::recover`]), the recovered state is
 //! bit-identical to the state the crashed process had at that
-//! watermark — and the connection can resume from there.
+//! watermark — and the connections can resume from there.
 
 use crate::codec::{decode_frame, Frame};
 use crate::wal;
@@ -21,7 +33,7 @@ use cpvr_core::builder::HbgBuilder;
 use cpvr_core::infer::InferConfig;
 use cpvr_core::snapshot::{ConsistencyTracker, SnapshotStatus};
 use cpvr_sim::IoEvent;
-use cpvr_types::SimTime;
+use cpvr_types::{RouterId, SimTime};
 use std::io;
 use std::path::Path;
 
@@ -58,11 +70,322 @@ impl PipelineConfig {
     }
 }
 
+/// Liveness of one router source, as seen by the collector.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SourceState {
+    /// No connection has ever presented this router. The source still
+    /// gates the watermark — the fold must not run ahead of a router
+    /// that simply has not come up yet.
+    NeverConnected,
+    /// Heard from within its liveness lease.
+    Live,
+    /// Silent past the warning threshold but not yet evicted; still
+    /// gates the watermark.
+    Lagging,
+    /// Silent past the eviction threshold. Its promise is excluded from
+    /// the global minimum so the fold can resume without it; journaled,
+    /// and reversed by [`SourceTable::admit`] when it reconnects.
+    Evicted,
+}
+
+/// What [`SourceTable::offer`] decided about an incoming event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Offer {
+    /// Next in sequence: ingest it.
+    Fresh,
+    /// Already accepted (a reconnect replay): drop it.
+    Duplicate,
+    /// Ahead of the expected sequence — something in between was lost
+    /// in flight. Drop it and wait for the retransmission; accepting it
+    /// would let a later watermark promise seal the gap permanently.
+    Gap,
+}
+
+/// How a [`SourceTable::hello`] related to what the table knew.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HelloKind {
+    /// First handshake for this router.
+    First,
+    /// Same session as before: a reconnect. Sequence state is kept so
+    /// the replay deduplicates.
+    Resumed,
+    /// A different session: the client restarted and its numbering
+    /// starts over at its `first_seq`.
+    NewSession,
+}
+
+#[derive(Clone, Debug)]
+struct SourceEntry {
+    state: SourceState,
+    /// The applied watermark promise; `None` until the first one.
+    promise: Option<SimTime>,
+    /// A promise received but held back because events below its
+    /// frontier have not all arrived yet: `(time, frontier)`.
+    pending: Option<(SimTime, u64)>,
+    /// The next sequence number expected — equivalently, one past the
+    /// highest contiguously accepted one. This is also what the
+    /// collector acks.
+    next_seq: u64,
+    /// The session the cursor belongs to; `None` before the first hello
+    /// (including after recovery, where sessions are re-learned from
+    /// the journaled hellos).
+    session: Option<u64>,
+}
+
+impl SourceEntry {
+    fn new() -> Self {
+        SourceEntry {
+            state: SourceState::NeverConnected,
+            promise: None,
+            pending: None,
+            next_seq: 0,
+            session: None,
+        }
+    }
+
+    /// Applies the pending promise if its frontier has been reached.
+    fn settle_pending(&mut self) {
+        if let Some((t, frontier)) = self.pending {
+            if self.next_seq >= frontier {
+                self.promise = Some(self.promise.map_or(t, |p| p.max(t)));
+                self.pending = None;
+            }
+        }
+    }
+}
+
+/// Per-source delivery and liveness state for all routers of the
+/// deployment. See the module docs for the invariants it maintains.
+#[derive(Clone, Debug)]
+pub struct SourceTable {
+    entries: Vec<SourceEntry>,
+}
+
+impl SourceTable {
+    /// A table with every router [`SourceState::NeverConnected`].
+    pub fn new(n_routers: u32) -> Self {
+        SourceTable {
+            entries: (0..n_routers).map(|_| SourceEntry::new()).collect(),
+        }
+    }
+
+    fn entry(&self, r: RouterId) -> &SourceEntry {
+        &self.entries[r.0 as usize]
+    }
+
+    fn entry_mut(&mut self, r: RouterId) -> &mut SourceEntry {
+        &mut self.entries[r.0 as usize]
+    }
+
+    /// Whether `r` names a router this table was sized for.
+    pub fn contains(&self, r: RouterId) -> bool {
+        (r.0 as usize) < self.entries.len()
+    }
+
+    /// The liveness state of `r`.
+    pub fn state(&self, r: RouterId) -> SourceState {
+        self.entry(r).state
+    }
+
+    /// The sequence number `r`'s next event must carry — and the value
+    /// the collector acknowledges.
+    pub fn next_seq(&self, r: RouterId) -> u64 {
+        self.entry(r).next_seq
+    }
+
+    /// The applied promise of `r`, if any.
+    pub fn promise_of(&self, r: RouterId) -> Option<SimTime> {
+        self.entry(r).promise
+    }
+
+    /// Handshake: marks `r` live and reconciles the sequence cursor
+    /// with the client's session.
+    pub fn hello(&mut self, r: RouterId, session: u64, first_seq: u64) -> HelloKind {
+        let e = self.entry_mut(r);
+        let kind = match e.session {
+            None if e.state == SourceState::NeverConnected && e.next_seq == 0 => HelloKind::First,
+            // Session unknown (recovered log predates journaled hellos,
+            // or the entry was rebuilt from events alone): trust a
+            // replay that overlaps our cursor, reset otherwise.
+            None => {
+                if first_seq <= e.next_seq {
+                    HelloKind::Resumed
+                } else {
+                    HelloKind::NewSession
+                }
+            }
+            Some(s) if s == session => HelloKind::Resumed,
+            Some(_) => HelloKind::NewSession,
+        };
+        if kind == HelloKind::NewSession || kind == HelloKind::First {
+            e.next_seq = first_seq;
+            e.pending = None;
+        }
+        e.session = Some(session);
+        // An evicted source is only re-admitted explicitly (and
+        // journaled) via `admit` — a handshake alone must not widen
+        // the watermark gate behind the merger's back.
+        if e.state != SourceState::Evicted {
+            e.state = SourceState::Live;
+        }
+        kind
+    }
+
+    /// Classifies an incoming event by sequence number, advancing the
+    /// cursor (and settling any pending promise) when it is fresh.
+    pub fn offer(&mut self, r: RouterId, seq: u64) -> Offer {
+        let e = self.entry_mut(r);
+        if seq < e.next_seq {
+            Offer::Duplicate
+        } else if seq > e.next_seq {
+            Offer::Gap
+        } else {
+            e.next_seq += 1;
+            e.settle_pending();
+            Offer::Fresh
+        }
+    }
+
+    /// Records a watermark promise `(t, frontier)`. Returns whether it
+    /// was applied now; a promise whose frontier outruns the received
+    /// prefix is parked until [`offer`](SourceTable::offer) catches up.
+    /// Promises only ever tighten: the maximum of everything applied.
+    pub fn promise(&mut self, r: RouterId, t: SimTime, frontier: u64) -> bool {
+        let e = self.entry_mut(r);
+        if e.next_seq >= frontier {
+            e.promise = Some(e.promise.map_or(t, |p| p.max(t)));
+            // A newer promise supersedes a parked older one only if it
+            // is at least as late; keep whichever promises more.
+            if let Some((pt, _)) = e.pending {
+                if pt <= t {
+                    e.pending = None;
+                }
+            }
+            true
+        } else {
+            let replace = match e.pending {
+                Some((pt, _)) => pt <= t,
+                None => true,
+            };
+            if replace {
+                e.pending = Some((t, frontier));
+            }
+            false
+        }
+    }
+
+    /// Graceful end-of-stream: a promise of "forever", gated on the
+    /// final frontier like any other.
+    pub fn bye(&mut self, r: RouterId, frontier: u64) -> bool {
+        self.promise(r, SimTime::MAX, frontier)
+    }
+
+    /// Whether `r` has delivered its entire stream (a settled bye).
+    pub fn finished(&self, r: RouterId) -> bool {
+        self.entry(r).promise == Some(SimTime::MAX)
+    }
+
+    /// Marks a lagging source live again — it spoke within its lease.
+    /// No-op in any other state.
+    pub fn refresh(&mut self, r: RouterId) {
+        let e = self.entry_mut(r);
+        if e.state == SourceState::Lagging {
+            e.state = SourceState::Live;
+        }
+    }
+
+    /// Marks a silent source as lagging (diagnostic only — it still
+    /// gates the watermark). No-op unless currently live.
+    pub fn set_lagging(&mut self, r: RouterId) -> bool {
+        let e = self.entry_mut(r);
+        if e.state == SourceState::Live {
+            e.state = SourceState::Lagging;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Evicts a source from the watermark gate. Returns whether the
+    /// state changed (callers journal the eviction exactly when it
+    /// does).
+    pub fn evict(&mut self, r: RouterId) -> bool {
+        let e = self.entry_mut(r);
+        if e.state == SourceState::Evicted {
+            false
+        } else {
+            e.state = SourceState::Evicted;
+            true
+        }
+    }
+
+    /// Re-admits an evicted source (it reconnected). Returns whether
+    /// the state changed.
+    pub fn admit(&mut self, r: RouterId) -> bool {
+        let e = self.entry_mut(r);
+        if e.state == SourceState::Evicted {
+            e.state = SourceState::Live;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The global watermark the fold may advance to: the minimum
+    /// applied promise across all non-evicted sources, or `None` while
+    /// any non-evicted source has never promised. An evicted source
+    /// neither gates nor contributes — that is the whole point of
+    /// eviction.
+    pub fn global_min(&self) -> Option<SimTime> {
+        let mut min: Option<SimTime> = None;
+        let mut gated = false;
+        for e in &self.entries {
+            if e.state == SourceState::Evicted {
+                continue;
+            }
+            match e.promise {
+                None => gated = true,
+                Some(p) => min = Some(min.map_or(p, |m: SimTime| m.min(p))),
+            }
+        }
+        if gated {
+            None
+        } else {
+            min
+        }
+    }
+
+    /// The sources currently holding the watermark back: every
+    /// non-evicted router that has never applied a promise (it never
+    /// connected, never promised, or its promise is parked behind lost
+    /// events awaiting retransmission). Empty when the fold is free to
+    /// advance.
+    pub fn stalled(&self) -> Vec<RouterId> {
+        self.entries
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.state != SourceState::Evicted && e.promise.is_none())
+            .map(|(i, _)| RouterId(i as u32))
+            .collect()
+    }
+
+    /// Every currently evicted source.
+    pub fn evicted(&self) -> Vec<RouterId> {
+        self.entries
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.state == SourceState::Evicted)
+            .map(|(i, _)| RouterId(i as u32))
+            .collect()
+    }
+}
+
 /// The incremental verification state downstream of the collector.
 pub struct IngestPipeline {
     cfg: PipelineConfig,
     builder: HbgBuilder,
     tracker: ConsistencyTracker,
+    sources: SourceTable,
     /// The last globally advanced watermark; `None` until the first
     /// advance.
     watermark: Option<SimTime>,
@@ -75,13 +398,16 @@ impl IngestPipeline {
         IngestPipeline {
             builder: HbgBuilder::new(&cfg.infer()),
             tracker: ConsistencyTracker::new(cfg.n_routers as usize),
+            sources: SourceTable::new(cfg.n_routers),
             watermark: None,
             events: 0,
             cfg,
         }
     }
 
-    /// Buffers one event into both consumers.
+    /// Buffers one event into both consumers. The caller is responsible
+    /// for having deduplicated it (see [`SourceTable::offer`]); the
+    /// fold is deterministic, not idempotent.
     pub fn ingest(&mut self, e: &IoEvent) {
         self.builder.ingest(e);
         self.tracker.ingest(e);
@@ -106,6 +432,23 @@ impl IngestPipeline {
     /// Total events ingested.
     pub fn events(&self) -> u64 {
         self.events
+    }
+
+    /// The per-source delivery/liveness table.
+    pub fn sources(&self) -> &SourceTable {
+        &self.sources
+    }
+
+    /// Mutable access to the source table (the merger drives hellos,
+    /// offers, promises, and leases through this).
+    pub fn sources_mut(&mut self) -> &mut SourceTable {
+        &mut self.sources
+    }
+
+    /// The sources currently preventing the watermark from advancing.
+    /// See [`SourceTable::stalled`].
+    pub fn stalled_sources(&self) -> Vec<RouterId> {
+        self.sources.stalled()
     }
 
     /// The happens-before graph builder.
@@ -137,12 +480,20 @@ impl IngestPipeline {
     /// Rebuilds a pipeline from the WAL at `dir`.
     ///
     /// Every intact record is decoded as a wire frame; events are
-    /// ingested and the pipeline is advanced once to the largest logged
-    /// watermark. The collector logs an event frame *before* ingesting
-    /// it and a watermark frame *before* advancing, so the durable log
-    /// is always at least as complete as the in-memory state it is
-    /// recovered to — and deterministic folding makes "ingest all, then
-    /// advance once" equal to the live interleaving.
+    /// ingested (and their sequence numbers replayed into the source
+    /// table so reconnect replays stay deduplicated across the
+    /// restart), journaled evictions/re-admissions rebuild the
+    /// watermark gate, and the pipeline is advanced once to the largest
+    /// logged watermark. The collector logs an event frame *before*
+    /// ingesting it and a watermark frame *before* advancing, so the
+    /// durable log is always at least as complete as the in-memory
+    /// state it is recovered to — and deterministic folding makes
+    /// "ingest all, then advance once" equal to the live interleaving.
+    ///
+    /// Per-source *promises* are not journaled (only the global
+    /// advances they produced), so recovered sources start unpromised:
+    /// the watermark cannot move again until the reconnecting clients
+    /// re-promise, which they do as part of their reconnect protocol.
     pub fn recover(cfg: PipelineConfig, dir: &Path) -> io::Result<(Self, RecoveryReport)> {
         let replayed = wal::replay(dir)?;
         let mut pipeline = Self::new(cfg);
@@ -156,11 +507,39 @@ impl IngestPipeline {
             // count rather than abort recovery.
             match decode_frame(record) {
                 Ok(Some((raw, used))) if used == record.len() => match raw.decode() {
-                    Ok(Frame::Event(e)) => events.push(e),
-                    Ok(Frame::Watermark(t)) => {
+                    Ok(Frame::Event { seq, event }) => {
+                        if pipeline.sources.contains(event.router) {
+                            let e = pipeline.sources.entry_mut(event.router);
+                            e.next_seq = e.next_seq.max(seq + 1);
+                        }
+                        events.push(event);
+                    }
+                    Ok(Frame::Watermark { t, .. }) => {
                         watermark = Some(watermark.map_or(t, |w| w.max(t)));
                     }
-                    Ok(Frame::Hello(_)) | Ok(Frame::Bye) => {}
+                    Ok(Frame::Hello(h)) => {
+                        if pipeline.sources.contains(h.source) {
+                            let e = pipeline.sources.entry_mut(h.source);
+                            e.session = Some(h.session);
+                            if e.state == SourceState::NeverConnected {
+                                e.state = SourceState::Live;
+                            }
+                        }
+                    }
+                    Ok(Frame::Evict { source }) => {
+                        if pipeline.sources.contains(source) {
+                            pipeline.sources.evict(source);
+                        }
+                    }
+                    Ok(Frame::Admit { source }) => {
+                        if pipeline.sources.contains(source) {
+                            pipeline.sources.admit(source);
+                        }
+                    }
+                    Ok(Frame::Bye { .. })
+                    | Ok(Frame::Ack { .. })
+                    | Ok(Frame::Fin)
+                    | Ok(Frame::Heartbeat) => {}
                     Err(_) => corrupt += 1,
                 },
                 _ => corrupt += 1,
@@ -178,6 +557,7 @@ impl IngestPipeline {
             torn_tail: replayed.torn,
             segments: replayed.segments,
             corrupt_records: corrupt,
+            evicted: pipeline.sources.evicted(),
         };
         Ok((pipeline, report))
     }
@@ -199,4 +579,119 @@ pub struct RecoveryReport {
     /// Records that were intact on disk but failed frame decoding — a
     /// writer bug if ever nonzero.
     pub corrupt_records: usize,
+    /// Sources that were evicted at the time of the crash (journaled
+    /// evictions not cancelled by a journaled re-admission).
+    pub evicted: Vec<RouterId>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn offer_classifies_fresh_duplicate_gap() {
+        let mut t = SourceTable::new(2);
+        let r = RouterId(0);
+        t.hello(r, 1, 0);
+        assert_eq!(t.offer(r, 0), Offer::Fresh);
+        assert_eq!(t.offer(r, 1), Offer::Fresh);
+        assert_eq!(t.offer(r, 1), Offer::Duplicate);
+        assert_eq!(t.offer(r, 0), Offer::Duplicate);
+        assert_eq!(t.offer(r, 3), Offer::Gap, "seq 2 was never offered");
+        assert_eq!(t.next_seq(r), 2, "a gap must not advance the cursor");
+        assert_eq!(t.offer(r, 2), Offer::Fresh, "retransmission fills the gap");
+        assert_eq!(t.offer(r, 3), Offer::Fresh);
+    }
+
+    #[test]
+    fn promises_are_gated_on_the_frontier() {
+        let mut t = SourceTable::new(1);
+        let r = RouterId(0);
+        t.hello(r, 1, 0);
+        assert_eq!(t.offer(r, 0), Offer::Fresh);
+        // Promise covering 3 events when only 1 arrived: parked.
+        assert!(!t.promise(r, SimTime::from_millis(10), 3));
+        assert_eq!(t.promise_of(r), None);
+        assert_eq!(t.offer(r, 1), Offer::Fresh);
+        assert_eq!(t.promise_of(r), None, "frontier 3 still unreached");
+        assert_eq!(t.offer(r, 2), Offer::Fresh);
+        assert_eq!(
+            t.promise_of(r),
+            Some(SimTime::from_millis(10)),
+            "promise settles the moment the prefix is complete"
+        );
+    }
+
+    #[test]
+    fn global_min_requires_every_nonevicted_source() {
+        let mut t = SourceTable::new(3);
+        for r in 0..3 {
+            t.hello(RouterId(r), 1, 0);
+        }
+        assert_eq!(t.global_min(), None);
+        assert!(t.promise(RouterId(0), SimTime::from_millis(5), 0));
+        assert!(t.promise(RouterId(1), SimTime::from_millis(9), 0));
+        assert_eq!(t.global_min(), None, "router 2 never promised");
+        assert_eq!(t.stalled(), vec![RouterId(2)]);
+        // Evicting the straggler releases the fold at the others' min.
+        assert!(t.evict(RouterId(2)));
+        assert_eq!(t.global_min(), Some(SimTime::from_millis(5)));
+        assert!(t.stalled().is_empty());
+        // Re-admission restores the gate until it promises again.
+        assert!(t.admit(RouterId(2)));
+        assert_eq!(t.global_min(), None);
+        assert!(t.promise(RouterId(2), SimTime::from_millis(7), 0));
+        assert_eq!(t.global_min(), Some(SimTime::from_millis(5)));
+    }
+
+    #[test]
+    fn same_session_resumes_new_session_resets() {
+        let mut t = SourceTable::new(1);
+        let r = RouterId(0);
+        assert_eq!(t.hello(r, 42, 0), HelloKind::First);
+        for s in 0..5 {
+            assert_eq!(t.offer(r, s), Offer::Fresh);
+        }
+        // Reconnect, same session, replaying from its oldest unacked.
+        assert_eq!(t.hello(r, 42, 2), HelloKind::Resumed);
+        assert_eq!(t.offer(r, 2), Offer::Duplicate);
+        assert_eq!(t.offer(r, 5), Offer::Fresh);
+        // A restarted client with a fresh session renumbers from 0.
+        assert_eq!(t.hello(r, 43, 0), HelloKind::NewSession);
+        assert_eq!(t.next_seq(r), 0);
+        assert_eq!(t.offer(r, 0), Offer::Fresh);
+    }
+
+    #[test]
+    fn bye_is_a_gated_promise_of_forever() {
+        let mut t = SourceTable::new(1);
+        let r = RouterId(0);
+        t.hello(r, 1, 0);
+        assert_eq!(t.offer(r, 0), Offer::Fresh);
+        assert!(!t.bye(r, 2), "bye before its last event arrives parks");
+        assert!(!t.finished(r));
+        assert_eq!(t.offer(r, 1), Offer::Fresh);
+        assert!(t.finished(r));
+        assert_eq!(t.global_min(), Some(SimTime::MAX));
+    }
+
+    #[test]
+    fn lagging_is_diagnostic_eviction_is_not() {
+        let mut t = SourceTable::new(2);
+        t.hello(RouterId(0), 1, 0);
+        t.hello(RouterId(1), 1, 0);
+        assert!(t.promise(RouterId(0), SimTime::from_millis(3), 0));
+        assert!(t.set_lagging(RouterId(1)));
+        assert_eq!(t.state(RouterId(1)), SourceState::Lagging);
+        assert_eq!(t.global_min(), None, "lagging still gates");
+        assert!(t.evict(RouterId(1)));
+        assert!(!t.evict(RouterId(1)), "double eviction is a no-op");
+        assert_eq!(t.global_min(), Some(SimTime::from_millis(3)));
+        // A hello from the evicted source does not silently re-admit —
+        // the merger must do that explicitly (and journal it).
+        t.hello(RouterId(1), 2, 0);
+        assert_eq!(t.state(RouterId(1)), SourceState::Evicted);
+        assert!(t.admit(RouterId(1)));
+        assert_eq!(t.state(RouterId(1)), SourceState::Live);
+    }
 }

@@ -87,6 +87,8 @@ pub struct Wal {
     since_sync: u32,
     /// Total records appended through this handle.
     appended: u64,
+    /// Total explicit fsyncs issued through this handle.
+    syncs: u64,
 }
 
 fn segment_path(dir: &Path, index: u64) -> PathBuf {
@@ -130,6 +132,7 @@ impl Wal {
             file: BufWriter::new(file),
             since_sync: 0,
             appended: 0,
+            syncs: 0,
         })
     }
 
@@ -172,6 +175,7 @@ impl Wal {
         self.file.flush()?;
         self.file.get_ref().sync_data()?;
         self.since_sync = 0;
+        self.syncs += 1;
         Ok(())
     }
 
@@ -190,6 +194,21 @@ impl Wal {
     /// Total records appended through this handle.
     pub fn appended(&self) -> u64 {
         self.appended
+    }
+
+    /// Total explicit fsyncs issued (policy-driven, rotation, and
+    /// manual [`sync`](Wal::sync) calls alike).
+    pub fn syncs(&self) -> u64 {
+        self.syncs
+    }
+
+    /// Records appended since the last fsync — the worst-case loss
+    /// window if the machine dies right now. Under
+    /// [`FsyncPolicy::EveryN`] this must never reach `n`, including
+    /// across segment rotations (rotation syncs the old segment before
+    /// switching, so the window never silently widens per segment).
+    pub fn pending_sync(&self) -> u32 {
+        self.since_sync
     }
 
     /// Index of the active segment file.
@@ -414,6 +433,80 @@ mod tests {
         assert!(replayed.records.is_empty());
         assert!(!replayed.torn);
         assert_eq!(replayed.segments, 0);
+    }
+
+    #[test]
+    fn every_n_counter_carries_across_rotation() {
+        // EveryN's unsynced window must stay bounded by n even when
+        // appends straddle segment rotations: rotation itself syncs
+        // (counted), and the per-record counter must not be reset by a
+        // segment switch without that sync. 40 small records with
+        // 64-byte segments rotate many times; n = 7 never divides the
+        // per-segment record count evenly, so a per-segment counter
+        // reset would show up as pending_sync exceeding the cadence or
+        // syncs going missing.
+        let tmp = TempDir::new("wal-rotsync").unwrap();
+        let mut cfg = WalConfig::new(tmp.path());
+        cfg.segment_bytes = 64;
+        cfg.fsync = FsyncPolicy::EveryN(7);
+        let mut wal = Wal::open(cfg).unwrap();
+        let mut max_pending = 0u32;
+        for i in 0..40 {
+            wal.append(&record(i)).unwrap();
+            assert!(
+                wal.pending_sync() < 7,
+                "record {i}: {} records unsynced under EveryN(7)",
+                wal.pending_sync()
+            );
+            max_pending = max_pending.max(wal.pending_sync());
+        }
+        assert!(wal.segment_index() > 1, "test needs several rotations");
+        assert!(
+            max_pending > 0,
+            "policy should leave some records pending between syncs"
+        );
+        // Syncs come from the policy cadence and from rotations; with
+        // both active there must be at least ceil(40/7) of them.
+        assert!(wal.syncs() >= 40 / 7, "too few syncs: {}", wal.syncs());
+        let seg_before_close = wal.segment_index();
+        wal.close().unwrap();
+        // Nothing torn, nothing lost, order preserved across segments.
+        let replayed = replay(tmp.path()).unwrap();
+        assert_eq!(replayed.records.len(), 40);
+        assert!(!replayed.torn);
+        assert_eq!(replayed.segments as u64, seg_before_close + 1);
+    }
+
+    #[test]
+    fn replay_tolerates_an_empty_trailing_segment() {
+        // A collector that recovers and immediately crashes (or shuts
+        // down before journaling anything) leaves a zero-byte trailing
+        // segment. Replay must read through it: no tear, no phantom
+        // records, and the history before it intact.
+        let tmp = TempDir::new("wal-empty-tail").unwrap();
+        let mut wal = Wal::open(WalConfig::new(tmp.path())).unwrap();
+        for i in 0..6 {
+            wal.append(&record(i)).unwrap();
+        }
+        wal.close().unwrap();
+        // Open and close without appending: segment 1 stays empty.
+        Wal::open(WalConfig::new(tmp.path()))
+            .unwrap()
+            .close()
+            .unwrap();
+        let replayed = replay(tmp.path()).unwrap();
+        assert_eq!(replayed.segments, 2);
+        assert_eq!(replayed.records.len(), 6);
+        assert!(!replayed.torn, "an empty segment is not a torn one");
+        // And a third generation still appends after the empty one.
+        let mut wal = Wal::open(WalConfig::new(tmp.path())).unwrap();
+        assert_eq!(wal.segment_index(), 2);
+        wal.append(b"after-the-gap").unwrap();
+        wal.close().unwrap();
+        let replayed = replay(tmp.path()).unwrap();
+        assert_eq!(replayed.records.len(), 7);
+        assert_eq!(replayed.records[6], b"after-the-gap");
+        assert!(!replayed.torn);
     }
 
     #[test]

@@ -165,7 +165,9 @@ fn recovery_from_any_record_boundary_is_bit_identical() {
         // advanced to.
         let mut last_wm = None;
         for rec in &records[..cut] {
-            if let Frame::Watermark(t) = decode_frame(rec).unwrap().unwrap().0.decode().unwrap() {
+            if let Frame::Watermark { t, .. } =
+                decode_frame(rec).unwrap().unwrap().0.decode().unwrap()
+            {
                 last_wm = Some(t);
             }
         }
@@ -176,10 +178,12 @@ fn recovery_from_any_record_boundary_is_bit_identical() {
         // exactly as reconnecting routers would re-send it.
         for rec in &records[cut..] {
             match decode_frame(rec).unwrap().unwrap().0.decode().unwrap() {
-                Frame::Event(e) => pipeline.ingest(&e),
-                Frame::Watermark(t) => {
+                Frame::Event { event, .. } => pipeline.ingest(&event),
+                Frame::Watermark { t, .. } => {
                     pipeline.advance(t);
                 }
+                // Session bookkeeping doesn't affect the fold.
+                Frame::Hello(_) | Frame::Evict { .. } | Frame::Admit { .. } => {}
                 other => panic!("unexpected frame in log: {other:?}"),
             }
         }

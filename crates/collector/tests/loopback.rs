@@ -117,6 +117,11 @@ fn concurrent_streams_match_in_process_pipeline() {
     assert_eq!(report.stats.events, sent);
     assert_eq!(report.stats.decode_errors, 0);
     assert_eq!(report.stats.late_events, 0);
+    assert_eq!(report.stats.corrupt_frames, 0);
+    assert_eq!(report.stats.duplicate_events, 0);
+    assert_eq!(report.stats.gap_events, 0);
+    assert_eq!(report.stats.evictions, 0);
+    assert!(report.stalled.is_empty(), "every source promised MAX");
 
     // Bit-identical verification state.
     let got = report.pipeline;
@@ -138,18 +143,32 @@ fn concurrent_streams_match_in_process_pipeline() {
 
 #[test]
 fn hello_mismatch_is_rejected_without_poisoning_the_collector() {
+    use cpvr_collector::codec::{encode_frame, Frame, Hello};
+    use std::io::{Read, Write};
+
     let handle =
         Collector::start(CollectorConfig::new(N_ROUTERS), "127.0.0.1:0").expect("bind loopback");
     let addr = handle.local_addr();
 
-    // Wrong n_routers: the collector must drop the connection...
-    let mut bad = SocketSink::connect(addr, RouterId(0), N_ROUTERS + 1).expect("tcp connect");
+    // Wrong n_routers: the collector must drop the connection. A raw
+    // stream (not a `SocketSink`, which would dutifully reconnect and
+    // re-offend) keeps the counters deterministic.
+    let mut bad = std::net::TcpStream::connect(addr).expect("tcp connect");
+    bad.write_all(&encode_frame(&Frame::Hello(Hello {
+        source: RouterId(0),
+        n_routers: N_ROUTERS + 1,
+        session: 0xbad,
+        first_seq: 0,
+    })))
+    .expect("write bad hello");
     assert!(
         wait_for(Duration::from_secs(10), || handle.stats().decode_errors > 0),
         "mismatched hello was not rejected"
     );
-    // ...and the write side eventually observes the reset.
-    let _ = bad.watermark(SimTime::ZERO);
+    // ...and the peer observes the close (EOF, never an ack).
+    bad.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    let mut scratch = [0u8; 64];
+    assert_eq!(bad.read(&mut scratch).expect("read until close"), 0);
 
     // A well-formed client still works afterwards.
     let mut good = SocketSink::connect(addr, RouterId(1), N_ROUTERS).expect("tcp connect");
