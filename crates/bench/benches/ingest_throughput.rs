@@ -47,9 +47,10 @@ fn events_for(conn: u32) -> Vec<IoEvent> {
 }
 
 /// Runs one full collector session and returns the events moved.
-fn run_session(wal: Option<WalConfig>) -> u64 {
+fn run_session(wal: Option<WalConfig>, metrics: bool) -> u64 {
     let mut cfg = CollectorConfig::new(N_CONNS);
     cfg.wal = wal;
+    cfg.metrics = metrics;
     let handle = Collector::start(cfg, "127.0.0.1:0").expect("bind loopback");
     let addr = handle.local_addr();
     let mut threads = Vec::new();
@@ -84,7 +85,8 @@ fn run_session(wal: Option<WalConfig>) -> u64 {
 
 fn bench(c: &mut Criterion) {
     // Headline numbers for EXPERIMENTS.md A7: one timed session per
-    // configuration, reported as events/second.
+    // configuration, reported as events/second. Metrics stay on — the
+    // default deployment shape; A8 isolates their cost below.
     for (name, wal) in [
         ("no-wal", None),
         ("wal-everyn", Some(FsyncPolicy::EveryN(256))),
@@ -97,7 +99,7 @@ fn bench(c: &mut Criterion) {
             w
         });
         let t0 = std::time::Instant::now();
-        let moved = run_session(wal);
+        let moved = run_session(wal, true);
         let dt = t0.elapsed().as_secs_f64();
         println!(
             "[A7 {name}] {moved} events / {N_CONNS} conns in {dt:.3}s = {:.0} events/sec",
@@ -105,14 +107,38 @@ fn bench(c: &mut Criterion) {
         );
     }
 
+    // A8: telemetry overhead, A/B over otherwise identical sessions.
+    // Interleaved pairs so machine drift hits both arms equally.
+    let mut on = 0.0f64;
+    let mut off = 0.0f64;
+    const ROUNDS: u32 = 3;
+    for _ in 0..ROUNDS {
+        for (metrics, acc) in [(false, &mut off), (true, &mut on)] {
+            let t0 = std::time::Instant::now();
+            let moved = run_session(None, metrics);
+            *acc += moved as f64 / t0.elapsed().as_secs_f64();
+        }
+    }
+    let (on, off) = (on / f64::from(ROUNDS), off / f64::from(ROUNDS));
+    println!(
+        "[A8 obs-overhead] metrics-on {on:.0} events/sec vs metrics-off {off:.0} events/sec \
+         ({:+.1}% overhead)",
+        (off - on) / off * 100.0
+    );
+
     let mut g = c.benchmark_group("ingest_throughput");
     g.sample_size(10);
-    g.bench_function("loopback-8conns-no-wal", |b| b.iter(|| run_session(None)));
+    g.bench_function("loopback-8conns-no-wal", |b| {
+        b.iter(|| run_session(None, true))
+    });
+    g.bench_function("loopback-8conns-no-metrics", |b| {
+        b.iter(|| run_session(None, false))
+    });
     g.bench_function("loopback-8conns-wal", |b| {
         // Fresh directory per session so replay-at-start stays empty.
         b.iter(|| {
             let tmp = TempDir::new("ingest-bench-wal").unwrap();
-            run_session(Some(WalConfig::new(tmp.path())))
+            run_session(Some(WalConfig::new(tmp.path())), true)
         })
     });
     g.finish();

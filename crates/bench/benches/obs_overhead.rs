@@ -1,0 +1,98 @@
+//! A8 microbenchmarks: what one telemetry operation costs on the hot
+//! path. The ingest loop pays `counter.inc()` / `histogram.observe()`
+//! per event and the scraper pays `snapshot()` + render per scrape —
+//! these numbers bound the end-to-end overhead measured by the A/B run
+//! in `ingest_throughput` (`[A8 obs-overhead]`).
+
+use cpvr_obs::{render_prometheus, MetricKind, MetricsRegistry, SpanRecorder, Stage};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn registry_with_traffic() -> MetricsRegistry {
+    let r = MetricsRegistry::new();
+    r.declare("bench_counter_total", MetricKind::Counter, "bench");
+    r.declare("bench_gauge", MetricKind::Gauge, "bench");
+    r.declare("bench_histogram", MetricKind::Histogram, "bench");
+    for i in 0..1000u64 {
+        r.counter("bench_counter_total").add(i);
+        r.gauge("bench_gauge").set(i as i64);
+        r.histogram("bench_histogram").observe(i * 37);
+    }
+    r
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("obs_overhead");
+
+    // The per-event costs: one increment, one observation.
+    let reg = registry_with_traffic();
+    let counter = reg.counter("bench_counter_total");
+    let histogram = reg.histogram("bench_histogram");
+    g.bench_function("counter_inc", |b| b.iter(|| counter.inc()));
+    g.bench_function("histogram_observe", |b| {
+        let mut v = 0u64;
+        b.iter(|| {
+            v = v.wrapping_add(0x9e37_79b9);
+            histogram.observe(black_box(v));
+        })
+    });
+
+    // Contended increments: 4 writer threads hammering the same
+    // counter while the timed thread increments too — the sharded
+    // counters should keep the timed op near the uncontended cost.
+    {
+        let reg = Arc::new(registry_with_traffic());
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let writers: Vec<_> = (0..4)
+            .map(|_| {
+                let reg = Arc::clone(&reg);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let ctr = reg.counter("bench_counter_total");
+                    while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                        ctr.inc();
+                    }
+                })
+            })
+            .collect();
+        let ctr = reg.counter("bench_counter_total");
+        g.bench_function("counter_inc_contended_4writers", |b| b.iter(|| ctr.inc()));
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        for w in writers {
+            w.join().unwrap();
+        }
+    }
+
+    // Span stamping at the default 1-in-64 sampling: the common case is
+    // the cheap modulo miss, the rare case a mutex-guarded map insert.
+    {
+        let reg = MetricsRegistry::new();
+        let spans = SpanRecorder::new(&reg, 64, 4096);
+        let mut seq = 0u64;
+        g.bench_function("span_received_sampled_1_in_64", |b| {
+            b.iter(|| {
+                spans.received(0, seq);
+                spans.stamp(0, seq, Stage::Journaled);
+                seq = seq.wrapping_add(1);
+            })
+        });
+    }
+
+    // The scrape costs: folding every shard into a snapshot, and
+    // rendering it as Prometheus text.
+    let reg = registry_with_traffic();
+    g.bench_function("snapshot", |b| b.iter(|| black_box(reg.snapshot())));
+    let snap = reg.snapshot();
+    g.bench_function("render_prometheus", |b| {
+        b.iter(|| black_box(render_prometheus(&snap)))
+    });
+    g.bench_function("render_json", |b| {
+        b.iter(|| black_box(snap.to_json_string()))
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -5,13 +5,20 @@
 //! crash-recovery replay at the end.
 //!
 //! ```text
-//! cargo run --release -p cpvr-collector --example collectord [WAL_DIR]
+//! cargo run --release -p cpvr-collector --example collectord \
+//!     [--metrics-interval SECS] [WAL_DIR]
 //! ```
 //!
 //! Without a `WAL_DIR` argument the log lives in a temp directory that
 //! is removed on exit; with one, the directory persists and re-running
 //! the example demonstrates recovery across *process* lifetimes.
+//!
+//! `--metrics-interval SECS` starts a reporter thread that scrapes the
+//! daemon's own `/metrics`-style endpoint (a `MetricsReq` frame over
+//! the same TCP port) every SECS seconds and prints one-line summaries:
+//! ingest rate, worst per-source watermark lag, and WAL fsync p99.
 
+use cpvr_collector::client::scrape_snapshot;
 use cpvr_collector::collector::{Collector, CollectorConfig};
 use cpvr_collector::pipeline::{IngestPipeline, PipelineConfig};
 use cpvr_collector::wal::{wait_for, TempDir, WalConfig};
@@ -22,15 +29,34 @@ use cpvr_types::{RouterId, SimTime};
 use std::cell::RefCell;
 use std::path::PathBuf;
 use std::rc::Rc;
-use std::time::Duration;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 const N_ROUTERS: u32 = 3;
 
 fn main() -> std::io::Result<()> {
+    let mut wal_arg: Option<PathBuf> = None;
+    let mut metrics_interval: Option<Duration> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--metrics-interval" => {
+                let secs: u64 = args
+                    .next()
+                    .expect("--metrics-interval takes a number of seconds")
+                    .parse()
+                    .expect("--metrics-interval takes a number of seconds");
+                metrics_interval = Some(Duration::from_secs(secs.max(1)));
+            }
+            _ => wal_arg = Some(PathBuf::from(a)),
+        }
+    }
+
     // Keep the temp dir alive (and thus undeleted) until we are done.
     let mut _tmp_guard: Option<TempDir> = None;
-    let wal_dir: PathBuf = match std::env::args().nth(1) {
-        Some(dir) => PathBuf::from(dir),
+    let wal_dir: PathBuf = match wal_arg {
+        Some(dir) => dir,
         None => {
             let tmp = TempDir::new("collectord")?;
             let p = tmp.path().to_path_buf();
@@ -60,6 +86,49 @@ fn main() -> std::io::Result<()> {
             },
         );
     }
+
+    // --- periodic metrics reporter ---------------------------------------
+    // A scrape client like any other: connects to the daemon's port,
+    // sends a MetricsReq, reads the snapshot. Everything it prints is
+    // derived from the wire response, not from in-process state.
+    let reporter_stop = Arc::new(AtomicBool::new(false));
+    let reporter = metrics_interval.map(|every| {
+        let stop = Arc::clone(&reporter_stop);
+        std::thread::spawn(move || {
+            let mut last_events = 0u64;
+            let mut last_at = Instant::now();
+            let mut next_report = Instant::now() + every;
+            while !stop.load(Ordering::SeqCst) {
+                std::thread::sleep(Duration::from_millis(25));
+                if Instant::now() < next_report {
+                    continue;
+                }
+                next_report += every;
+                match scrape_snapshot(addr) {
+                    Ok(snap) => {
+                        let events = snap.counter_total("cpvr_events_received_total");
+                        let rate = (events - last_events) as f64 / last_at.elapsed().as_secs_f64();
+                        last_events = events;
+                        last_at = Instant::now();
+                        let worst_lag = (0..N_ROUTERS)
+                            .filter_map(|r| {
+                                snap.gauge("cpvr_source_lag_nanos", &[("router", &r.to_string())])
+                            })
+                            .max()
+                            .unwrap_or(-1);
+                        let fsync_p99 = snap
+                            .histogram("cpvr_wal_fsync_nanos", &[])
+                            .map_or(0, |h| h.p99());
+                        println!(
+                            "[metrics] {rate:.0} ev/s, worst source lag {worst_lag} ns, \
+                             wal fsync p99 {fsync_p99} ns"
+                        );
+                    }
+                    Err(e) => eprintln!("[metrics] scrape failed: {e}"),
+                }
+            }
+        })
+    });
 
     // --- three "routers": the simulation with per-router socket taps -----
     let mut s = paper_scenario(LatencyProfile::fast(), CaptureProfile::ideal(), 42);
@@ -135,6 +204,10 @@ fn main() -> std::io::Result<()> {
             handle.stats()
         );
     }
+    reporter_stop.store(true, Ordering::SeqCst);
+    if let Some(h) = reporter {
+        let _ = h.join();
+    }
     let report = handle.shutdown()?;
     println!(
         "collector: {} conns, {} events, {} bytes, {} late, {} decode errors",
@@ -167,6 +240,19 @@ fn main() -> std::io::Result<()> {
         p.builder().hbg().canonical_edges().len(),
         p.status(),
     );
+    if let Some(m) = &report.metrics {
+        println!(
+            "telemetry: {} journaled >= {} acked, {} scrapes served, wal fsync p99 {} ns, \
+             {} event flights sampled ({} completed)",
+            m.counter_total("cpvr_events_journaled_total"),
+            m.counter_total("cpvr_events_acked_total"),
+            m.counter_total("cpvr_metrics_scrapes_total"),
+            m.histogram("cpvr_wal_fsync_nanos", &[])
+                .map_or(0, |h| h.p99()),
+            m.counter_total("cpvr_flights_started_total"),
+            m.counter_total("cpvr_flights_completed_total"),
+        );
+    }
 
     // --- crash-recovery demo ---------------------------------------------
     // Rebuild the same state from nothing but the bytes on disk.

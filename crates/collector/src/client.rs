@@ -33,6 +33,7 @@
 //! last-resort failure mode.
 
 use crate::codec::{encode_event, encode_frame, write_frame, Decoder, Frame, Hello};
+use cpvr_obs::{Counter, ExpoFormat, Gauge, MetricKind, MetricsRegistry, Snapshot};
 use cpvr_sim::{EventSink, IoEvent};
 use cpvr_types::{RouterId, SimTime};
 use rand::rngs::StdRng;
@@ -72,6 +73,65 @@ impl Default for ReconnectPolicy {
             max_delay: Duration::from_secs(1),
             replay_capacity: 16 * 1024,
             stall_after: Duration::from_millis(500),
+        }
+    }
+}
+
+/// Client-side telemetry handles for one [`SocketSink`], labeled by the
+/// router it speaks for. [`declare`](SinkMetrics::declare) the families
+/// once per registry, then build one bundle per sink with
+/// [`for_router`](SinkMetrics::for_router) — splitting declaration from
+/// resolution is what keeps `obs-strict` happy when many sinks share a
+/// registry.
+pub struct SinkMetrics {
+    sent: Counter,
+    connects: Counter,
+    reconnects: Counter,
+    replay_depth: Gauge,
+    backoff_ms: Gauge,
+}
+
+impl SinkMetrics {
+    /// Declares the client metric families. Call exactly once per
+    /// registry, before any [`for_router`](Self::for_router).
+    pub fn declare(reg: &MetricsRegistry) {
+        reg.declare(
+            "cpvr_client_sent_total",
+            MetricKind::Counter,
+            "Events accepted by the sink (assigned a sequence number)",
+        );
+        reg.declare(
+            "cpvr_client_connects_total",
+            MetricKind::Counter,
+            "Successful connection establishments, including the first",
+        );
+        reg.declare(
+            "cpvr_client_reconnects_total",
+            MetricKind::Counter,
+            "Successful re-establishments after a failure (connects beyond the first)",
+        );
+        reg.declare(
+            "cpvr_client_replay_depth",
+            MetricKind::Gauge,
+            "Events currently held for replay (sent but unacknowledged)",
+        );
+        reg.declare(
+            "cpvr_client_backoff_ms",
+            MetricKind::Gauge,
+            "Current reconnect backoff delay in ms (0 while connected)",
+        );
+    }
+
+    /// Resolves the handles for one router's sink.
+    pub fn for_router(reg: &MetricsRegistry, source: RouterId) -> Self {
+        let label = source.0.to_string();
+        let l: &[(&str, &str)] = &[("router", &label)];
+        SinkMetrics {
+            sent: reg.counter_with("cpvr_client_sent_total", l),
+            connects: reg.counter_with("cpvr_client_connects_total", l),
+            reconnects: reg.counter_with("cpvr_client_reconnects_total", l),
+            replay_depth: reg.gauge_with("cpvr_client_replay_depth", l),
+            backoff_ms: reg.gauge_with("cpvr_client_backoff_ms", l),
         }
     }
 }
@@ -126,6 +186,8 @@ pub struct SocketSink {
     sent: u64,
     /// Successful connection establishments.
     connects: u64,
+    /// Optional telemetry; mirrors of the plain counters above.
+    metrics: Option<SinkMetrics>,
 }
 
 impl SocketSink {
@@ -165,9 +227,20 @@ impl SocketSink {
             error: None,
             sent: 0,
             connects: 0,
+            metrics: None,
         };
         sink.establish()?;
         Ok(sink)
+    }
+
+    /// Attaches a telemetry bundle. The first connect already happened
+    /// in `connect_with`, so it is credited here retroactively.
+    pub fn attach_metrics(&mut self, m: SinkMetrics) {
+        m.connects.add(self.connects);
+        m.reconnects.add(self.connects.saturating_sub(1));
+        m.sent.add(self.sent);
+        m.replay_depth.set(self.buffer.len() as i64);
+        self.metrics = Some(m);
     }
 
     /// The router this connection speaks for.
@@ -230,6 +303,9 @@ impl SocketSink {
         let mut last_err: Option<io::Error> = None;
         for attempt in 0..self.policy.max_attempts.max(1) {
             if attempt > 0 {
+                if let Some(m) = &self.metrics {
+                    m.backoff_ms.set(delay.as_millis() as i64);
+                }
                 // Jitter in [0.5, 1.5): reconnect storms from many
                 // clients decorrelate instead of synchronizing.
                 let jitter = self.rng.gen_range(0.5f64..1.5);
@@ -239,6 +315,13 @@ impl SocketSink {
             match self.try_establish() {
                 Ok(()) => {
                     self.connects += 1;
+                    if let Some(m) = &self.metrics {
+                        m.connects.inc();
+                        if self.connects > 1 {
+                            m.reconnects.inc();
+                        }
+                        m.backoff_ms.set(0);
+                    }
                     return Ok(());
                 }
                 Err(e) => last_err = Some(e),
@@ -346,6 +429,9 @@ impl SocketSink {
                                 while self.buffer.front().is_some_and(|(s, _)| *s < self.acked) {
                                     self.buffer.pop_front();
                                 }
+                                if let Some(m) = &self.metrics {
+                                    m.replay_depth.set(self.buffer.len() as i64);
+                                }
                             }
                             Ok(Frame::Fin) => self.fin_seen = true,
                             _ => {}
@@ -394,6 +480,10 @@ impl SocketSink {
         self.next_seq += 1;
         self.sent += 1;
         self.buffer.push_back((seq, bytes));
+        if let Some(m) = &self.metrics {
+            m.sent.inc();
+            m.replay_depth.set(self.buffer.len() as i64);
+        }
         // Write from the buffer (the clone lives there anyway); a
         // failure reconnects, and the reconnect replay covers it.
         let bytes = self.buffer.back().expect("just pushed").1.clone();
@@ -502,6 +592,70 @@ impl SocketSink {
             std::thread::sleep(Duration::from_millis(1));
         }
     }
+}
+
+/// Scrapes a collector's metrics over the wire: connects, sends one
+/// [`Frame::MetricsReq`], and returns the response body rendered in
+/// `format`. No hello is needed — scrapes are legal on a bare
+/// connection, so a monitoring probe stays a three-frame exchange.
+pub fn scrape(addr: impl ToSocketAddrs, format: ExpoFormat) -> io::Result<String> {
+    let addr = addr
+        .to_socket_addrs()?
+        .next()
+        .ok_or_else(|| io::Error::other("address resolved to nothing"))?;
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(Duration::from_millis(50)))?;
+    stream.write_all(&encode_frame(&Frame::MetricsReq {
+        format: format.as_byte(),
+    }))?;
+    stream.flush()?;
+    let deadline = Instant::now() + Duration::from_secs(5);
+    let mut dec = Decoder::new();
+    let mut buf = [0u8; 64 * 1024];
+    loop {
+        let n = match stream.read(&mut buf) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "collector closed the connection before answering the scrape",
+                ))
+            }
+            Ok(n) => n,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if Instant::now() >= deadline {
+                    return Err(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        "scrape timed out waiting for a metrics response",
+                    ));
+                }
+                continue;
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        };
+        dec.feed(&buf[..n]);
+        while let Some(raw) = dec.next_frame() {
+            if let Ok(Frame::MetricsResp { body }) = raw.decode() {
+                return String::from_utf8(body)
+                    .map_err(|_| io::Error::other("metrics response body was not UTF-8"));
+            }
+            // Anything else interleaved on the wire is not ours.
+        }
+    }
+}
+
+/// Scrapes a collector in JSON and parses the body back into a typed
+/// [`Snapshot`] — the programmatic twin of [`scrape`].
+pub fn scrape_snapshot(addr: impl ToSocketAddrs) -> io::Result<Snapshot> {
+    let body = scrape(addr, ExpoFormat::Json)?;
+    Snapshot::from_json_str(&body).map_err(|e| {
+        io::Error::other(format!(
+            "metrics response was not valid snapshot JSON: {e:?}"
+        ))
+    })
 }
 
 impl EventSink for SocketSink {

@@ -71,7 +71,7 @@ pub const MAX_FRAME_LEN: u32 = 1 << 24;
 pub const HEADER_LEN: usize = 12;
 
 /// Highest valid kind byte.
-const MAX_KIND: u8 = 8;
+const MAX_KIND: u8 = 10;
 
 /// The connection handshake: the first frame on every connection.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -166,6 +166,23 @@ pub enum Frame {
     /// client believes it is done; a draining client re-sends its bye
     /// until the fin arrives.
     Fin,
+    /// Monitoring client → collector: scrape the live metrics registry.
+    /// Permitted before (or entirely without) a [`Frame::Hello`], so an
+    /// operator tool can connect, scrape, and disconnect without
+    /// joining the event protocol. The payload is a single format byte
+    /// (see `cpvr_obs::ExpoFormat`).
+    MetricsReq {
+        /// Exposition format tag: 0 = compact JSON, 1 = Prometheus
+        /// text. Unknown tags fall back to JSON rather than erroring,
+        /// so old collectors stay scrapable by newer tools.
+        format: u8,
+    },
+    /// Collector → client: the rendered registry snapshot in the
+    /// requested exposition format.
+    MetricsResp {
+        /// UTF-8 exposition body (compact JSON or Prometheus text).
+        body: Vec<u8>,
+    },
 }
 
 impl Frame {
@@ -181,6 +198,8 @@ impl Frame {
             Frame::Evict { .. } => 6,
             Frame::Admit { .. } => 7,
             Frame::Fin => 8,
+            Frame::MetricsReq { .. } => 9,
+            Frame::MetricsResp { .. } => 10,
         }
     }
 }
@@ -328,6 +347,18 @@ impl RawFrame {
                     Err(CodecError::BadPayload("fin carries no payload"))
                 }
             }
+            9 => {
+                if self.payload.len() == 1 {
+                    Ok(Frame::MetricsReq {
+                        format: self.payload[0],
+                    })
+                } else {
+                    Err(CodecError::BadPayload("metrics request is one format byte"))
+                }
+            }
+            10 => Ok(Frame::MetricsResp {
+                body: self.payload.clone(),
+            }),
             k => Err(CodecError::BadKind(k)),
         }
     }
@@ -372,6 +403,8 @@ pub fn raw_frame(f: &Frame) -> RawFrame {
         Frame::Evict { source } => source.0.to_le_bytes().to_vec(),
         Frame::Admit { source } => source.0.to_le_bytes().to_vec(),
         Frame::Fin => Vec::new(),
+        Frame::MetricsReq { format } => vec![*format],
+        Frame::MetricsResp { body } => body.clone(),
     };
     RawFrame {
         kind: f.kind(),
@@ -700,6 +733,10 @@ mod tests {
                 source: RouterId(2),
             },
             Frame::Fin,
+            Frame::MetricsReq { format: 1 },
+            Frame::MetricsResp {
+                body: b"{\"counters\":[]}".to_vec(),
+            },
             Frame::Bye { frontier: 10 },
         ]
     }
@@ -793,7 +830,15 @@ mod tests {
 
     #[test]
     fn fixed_size_payloads_are_validated() {
-        for (kind, wrong) in [(2u8, 3usize), (3, 7), (4, 9), (5, 1), (6, 3), (7, 8)] {
+        for (kind, wrong) in [
+            (2u8, 3usize),
+            (3, 7),
+            (4, 9),
+            (5, 1),
+            (6, 3),
+            (7, 8),
+            (9, 2),
+        ] {
             let raw = RawFrame {
                 kind,
                 payload: vec![1; wrong],

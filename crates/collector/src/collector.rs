@@ -47,8 +47,10 @@
 //! [`Decoder`]: crate::codec::Decoder
 
 use crate::codec::{encode_frame, Decoder, Frame, Hello, RawFrame, VERSION};
+use crate::metrics::{CollectorMetrics, DEFAULT_SPAN_SAMPLE};
 use crate::pipeline::{IngestPipeline, Offer, PipelineConfig, RecoveryReport, SourceState};
-use crate::wal::{Wal, WalConfig};
+use crate::wal::{Wal, WalConfig, WalMetrics};
+use cpvr_obs::{ExpoFormat, Snapshot, Stage};
 use cpvr_sim::IoEvent;
 use cpvr_types::{RouterId, SimTime};
 use std::collections::HashMap;
@@ -117,6 +119,12 @@ pub struct CollectorConfig {
     pub lease: LeaseConfig,
     /// Where to journal frames; `None` runs without durability.
     pub wal: Option<WalConfig>,
+    /// Whether to run the telemetry registry (default on; the cost on
+    /// the ingest path is a handful of relaxed atomics per event).
+    pub metrics: bool,
+    /// Event-flight span sampling stride: one in this many sequence
+    /// numbers per source gets a causal latency breakdown.
+    pub span_sample: u64,
 }
 
 impl CollectorConfig {
@@ -129,6 +137,8 @@ impl CollectorConfig {
             poll_interval: Duration::from_millis(10),
             lease: LeaseConfig::default(),
             wal: None,
+            metrics: true,
+            span_sample: DEFAULT_SPAN_SAMPLE,
         }
     }
 
@@ -141,6 +151,20 @@ impl CollectorConfig {
     /// Overrides the liveness leases.
     pub fn with_lease(mut self, lease: LeaseConfig) -> Self {
         self.lease = lease;
+        self
+    }
+
+    /// Disables the telemetry registry entirely (the metrics-off arm of
+    /// the overhead benchmark; `MetricsReq` then serves an empty
+    /// snapshot).
+    pub fn without_metrics(mut self) -> Self {
+        self.metrics = false;
+        self
+    }
+
+    /// Overrides the event-flight span sampling stride.
+    pub fn with_span_sample(mut self, every: u64) -> Self {
+        self.span_sample = every.max(1);
         self
     }
 }
@@ -293,6 +317,9 @@ pub struct CollectorReport {
     /// What WAL recovery found at startup (`Some` iff a WAL was
     /// configured).
     pub recovery: Option<RecoveryReport>,
+    /// The final metrics snapshot, taken after the merger drained
+    /// (`Some` iff metrics were enabled) — the shutdown `dump`.
+    pub metrics: Option<Snapshot>,
 }
 
 /// A running collector. Dropping the handle without calling
@@ -306,6 +333,7 @@ pub struct CollectorHandle {
     accept: Option<JoinHandle<()>>,
     merger: Option<JoinHandle<(IngestPipeline, Option<io::Error>)>>,
     recovery: Option<RecoveryReport>,
+    metrics: Option<Arc<CollectorMetrics>>,
 }
 
 /// The collector entry point.
@@ -319,10 +347,27 @@ impl Collector {
         listener.set_nonblocking(true)?;
         let local = listener.local_addr()?;
 
+        let metrics = cfg.metrics.then(|| {
+            Arc::new(CollectorMetrics::new(
+                cfg.pipeline.n_routers,
+                cfg.span_sample,
+            ))
+        });
+
         let (pipeline, recovery, wal) = match &cfg.wal {
             Some(wal_cfg) => {
                 let (pipeline, report) = IngestPipeline::recover(cfg.pipeline, &wal_cfg.dir)?;
-                let wal = Wal::open(wal_cfg.clone())?;
+                let mut wal = Wal::open(wal_cfg.clone())?;
+                if let Some(m) = &metrics {
+                    let r = &m.registry;
+                    wal.set_metrics(WalMetrics {
+                        appends: r.counter("cpvr_wal_appends_total"),
+                        bytes: r.counter("cpvr_wal_bytes_total"),
+                        syncs: r.counter("cpvr_wal_syncs_total"),
+                        rotations: r.counter("cpvr_wal_rotations_total"),
+                        fsync_nanos: r.histogram("cpvr_wal_fsync_nanos"),
+                    });
+                }
                 (pipeline, Some(report), Some(wal))
             }
             None => (IngestPipeline::new(cfg.pipeline), None, None),
@@ -335,18 +380,20 @@ impl Collector {
         let merger = {
             let stats = Arc::clone(&stats);
             let lease = cfg.lease;
+            let metrics = metrics.clone();
             thread::Builder::new()
                 .name("cpvr-merger".into())
-                .spawn(move || merger_loop(rx, pipeline, wal, lease, &stats))?
+                .spawn(move || merger_loop(rx, pipeline, wal, lease, &stats, metrics.as_deref()))?
         };
 
         let accept = {
             let stop = Arc::clone(&stop);
             let stats = Arc::clone(&stats);
             let cfg = cfg.clone();
+            let metrics = metrics.clone();
             thread::Builder::new()
                 .name("cpvr-accept".into())
-                .spawn(move || accept_loop(listener, tx, stop, stats, cfg))?
+                .spawn(move || accept_loop(listener, tx, stop, stats, cfg, metrics))?
         };
 
         Ok(CollectorHandle {
@@ -356,6 +403,7 @@ impl Collector {
             accept: Some(accept),
             merger: Some(merger),
             recovery,
+            metrics,
         })
     }
 }
@@ -374,6 +422,12 @@ impl CollectorHandle {
     /// What WAL recovery found at startup, if a WAL was configured.
     pub fn recovery(&self) -> Option<&RecoveryReport> {
         self.recovery.as_ref()
+    }
+
+    /// The live telemetry bundle, if metrics are enabled. Scraping over
+    /// the wire (`Frame::MetricsReq`) sees the same registry.
+    pub fn metrics(&self) -> Option<&Arc<CollectorMetrics>> {
+        self.metrics.as_ref()
     }
 
     /// Stops accepting, drains every connection, closes the WAL, and
@@ -398,6 +452,9 @@ impl CollectorHandle {
             stats: self.stats.snapshot(),
             stalled,
             recovery: self.recovery.take(),
+            // Snapshot after the merger joined: these are the final
+            // values, nothing is still incrementing.
+            metrics: self.metrics.take().map(|m| m.snapshot()),
         })
     }
 }
@@ -408,6 +465,7 @@ fn accept_loop(
     stop: Arc<AtomicBool>,
     stats: Arc<SharedStats>,
     cfg: CollectorConfig,
+    metrics: Option<Arc<CollectorMetrics>>,
 ) {
     let mut readers: Vec<JoinHandle<()>> = Vec::new();
     let mut next_conn: u64 = 0;
@@ -417,9 +475,13 @@ fn accept_loop(
                 let conn = next_conn;
                 next_conn += 1;
                 stats.connections.fetch_add(1, Ordering::Relaxed);
+                if let Some(m) = &metrics {
+                    m.connections.inc();
+                }
                 let tx = tx.clone();
                 let stop = Arc::clone(&stop);
                 let stats = Arc::clone(&stats);
+                let metrics = metrics.clone();
                 let idle = cfg.idle_timeout;
                 let poll = cfg.poll_interval;
                 let expect_n = cfg.pipeline.n_routers;
@@ -437,6 +499,7 @@ fn accept_loop(
                             poll,
                             expect_n,
                             wal_enabled,
+                            metrics,
                         )
                     })
                     .expect("spawn reader thread");
@@ -516,17 +579,25 @@ fn on_frame(
     tx: &SyncSender<Msg>,
     stats: &SharedStats,
     greeted: &mut bool,
+    source: &mut Option<RouterId>,
     batch: &mut Vec<EventRec>,
     expect_n_routers: u32,
     wal_enabled: bool,
+    metrics: Option<&CollectorMetrics>,
 ) -> FrameOutcome {
+    let fatal_decode = |stats: &SharedStats, why: String| {
+        stats.decode_errors.fetch_add(1, Ordering::Relaxed);
+        if let Some(m) = metrics {
+            m.decode_errors.inc();
+        }
+        FrameOutcome::Fatal(why)
+    };
     let frame = match raw.decode() {
         Ok(f) => f,
         Err(e) => {
             // The CRC was valid, so these bytes are what the peer
             // actually sent: a peer bug, not line noise. Fatal.
-            stats.decode_errors.fetch_add(1, Ordering::Relaxed);
-            return FrameOutcome::Fatal(e.to_string());
+            return fatal_decode(stats, e.to_string());
         }
     };
     let flush_before = !matches!(frame, Frame::Event { .. });
@@ -545,36 +616,68 @@ fn on_frame(
     let msg = match frame {
         Frame::Hello(hello) => {
             if *greeted {
-                stats.decode_errors.fetch_add(1, Ordering::Relaxed);
-                return FrameOutcome::Fatal("duplicate hello".into());
+                return fatal_decode(stats, "duplicate hello".into());
             }
             if hello.n_routers != expect_n_routers {
-                stats.decode_errors.fetch_add(1, Ordering::Relaxed);
-                return FrameOutcome::Fatal(format!(
-                    "peer believes the network has {} routers, collector is configured for {} \
-                     (protocol v{VERSION})",
-                    hello.n_routers, expect_n_routers
-                ));
+                return fatal_decode(
+                    stats,
+                    format!(
+                        "peer believes the network has {} routers, collector is configured for {} \
+                         (protocol v{VERSION})",
+                        hello.n_routers, expect_n_routers
+                    ),
+                );
             }
             if hello.source.0 >= expect_n_routers {
-                stats.decode_errors.fetch_add(1, Ordering::Relaxed);
-                return FrameOutcome::Fatal(format!(
-                    "peer claims to be router {} of a {expect_n_routers}-router network",
-                    hello.source.0
-                ));
+                return fatal_decode(
+                    stats,
+                    format!(
+                        "peer claims to be router {} of a {expect_n_routers}-router network",
+                        hello.source.0
+                    ),
+                );
             }
             *greeted = true;
+            *source = Some(hello.source);
             let ack = stream.try_clone().ok();
             if let Some(a) = &ack {
                 let _ = a.set_write_timeout(Some(ACK_WRITE_TIMEOUT));
             }
             Msg::Hello { conn, hello, ack }
         }
+        // A scrape is answered inline by the reader thread — the
+        // registry is shared, so no merger round-trip — and is legal
+        // before (or entirely without) a hello: a monitoring probe is
+        // not an event source and owes the collector no handshake.
+        Frame::MetricsReq { format } => {
+            let body = match metrics {
+                Some(m) => m.render(format),
+                // Metrics disabled: an empty snapshot in the requested
+                // format, not a dead connection — probes stay cheap.
+                None => ExpoFormat::from_byte(format)
+                    .unwrap_or(ExpoFormat::Json)
+                    .render(&Snapshot::default())
+                    .into_bytes(),
+            };
+            let mut w = stream;
+            if w.write_all(&encode_frame(&Frame::MetricsResp { body }))
+                .is_err()
+            {
+                return FrameOutcome::Fatal("metrics response write failed".into());
+            }
+            return FrameOutcome::Continue;
+        }
+        // Responses flow collector → client; inbound ones are noise.
+        Frame::MetricsResp { .. } => return FrameOutcome::Continue,
         _ if !*greeted => {
-            stats.decode_errors.fetch_add(1, Ordering::Relaxed);
-            return FrameOutcome::Fatal("first frame was not a hello".into());
+            return fatal_decode(stats, "first frame was not a hello".into());
         }
         Frame::Event { seq, event } => {
+            // Open the causal span at the earliest point the event
+            // exists inside the collector process.
+            if let (Some(m), Some(src)) = (metrics, *source) {
+                m.spans.received(src.0, seq);
+            }
             batch.push(EventRec {
                 seq,
                 event,
@@ -619,7 +722,9 @@ fn reader_loop(
     poll: Duration,
     expect_n_routers: u32,
     wal_enabled: bool,
+    metrics: Option<Arc<CollectorMetrics>>,
 ) {
+    let metrics = metrics.as_deref();
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(poll));
     let mut r = PollingReader {
@@ -631,8 +736,10 @@ fn reader_loop(
     let mut dec = Decoder::new();
     let mut buf = vec![0u8; 64 * 1024];
     let mut greeted = false;
+    let mut source: Option<RouterId> = None;
     let mut batch: Vec<EventRec> = Vec::new();
     let mut reported_corrupt = 0u64;
+    let mut reported_skipped = 0u64;
     // The loop's break value describes why the connection ended; it is
     // currently only useful to a debugger, but the plumbing keeps the
     // failure paths honest about what went wrong.
@@ -649,9 +756,11 @@ fn reader_loop(
                         &tx,
                         &stats,
                         &mut greeted,
+                        &mut source,
                         &mut batch,
                         expect_n_routers,
                         wal_enabled,
+                        metrics,
                     ) {
                         FrameOutcome::Continue => {}
                         FrameOutcome::Fatal(why) => break 'conn Some(why),
@@ -664,6 +773,9 @@ fn reader_loop(
             Err(e) => break Some(e.to_string()),
         };
         stats.bytes.fetch_add(n as u64, Ordering::Relaxed);
+        if let Some(m) = metrics {
+            m.bytes.add(n as u64);
+        }
         dec.feed(&buf[..n]);
         while let Some(raw) = dec.next_frame() {
             match on_frame(
@@ -673,9 +785,11 @@ fn reader_loop(
                 &tx,
                 &stats,
                 &mut greeted,
+                &mut source,
                 &mut batch,
                 expect_n_routers,
                 wal_enabled,
+                metrics,
             ) {
                 FrameOutcome::Continue => {}
                 FrameOutcome::Fatal(why) => break 'conn Some(why),
@@ -689,7 +803,17 @@ fn reader_loop(
             stats
                 .corrupt_frames
                 .fetch_add(corrupt - reported_corrupt, Ordering::Relaxed);
+            if let Some(m) = metrics {
+                m.frames_corrupt.add(corrupt - reported_corrupt);
+            }
             reported_corrupt = corrupt;
+        }
+        let skipped = dec.skipped_bytes();
+        if skipped > reported_skipped {
+            if let Some(m) = metrics {
+                m.resync_bytes.add(skipped - reported_skipped);
+            }
+            reported_skipped = skipped;
         }
         // Flush per read chunk: the merger acks per batch, and a
         // client's replay-buffer pruning is only as fresh as its acks.
@@ -709,6 +833,15 @@ fn reader_loop(
         stats
             .corrupt_frames
             .fetch_add(corrupt - reported_corrupt, Ordering::Relaxed);
+        if let Some(m) = metrics {
+            m.frames_corrupt.add(corrupt - reported_corrupt);
+        }
+    }
+    let skipped = dec.skipped_bytes();
+    if skipped > reported_skipped {
+        if let Some(m) = metrics {
+            m.resync_bytes.add(skipped - reported_skipped);
+        }
     }
     if !batch.is_empty() {
         let _ = tx.send(Msg::Events { conn, batch });
@@ -738,6 +871,7 @@ fn try_advance(
     wal_err: &mut Option<io::Error>,
     advanced: &mut Option<SimTime>,
     stats: &SharedStats,
+    metrics: Option<&CollectorMetrics>,
 ) {
     let Some(global) = pipeline.sources().global_min() else {
         return;
@@ -756,32 +890,47 @@ fn try_advance(
             frontier: 0,
         }),
     );
-    pipeline.advance(global);
+    let folded_before = pipeline.builder().processed();
+    let start = Instant::now();
+    let status = pipeline.advance(global);
+    if let Some(m) = metrics {
+        m.fold_nanos.observe_since(start);
+        m.fold_batch
+            .observe((pipeline.builder().processed() - folded_before) as u64);
+        m.publish_pipeline(pipeline);
+        m.spans
+            .fold_up_to(global.as_nanos(), status.is_consistent());
+    }
     *advanced = Some(global);
     stats.set_watermark(global);
 }
 
 /// Writes an ack on a connection's write handle; a failed or timed-out
 /// write forfeits the handle (the client reconnects on ack stall).
-fn send_ack(acks: &mut HashMap<u64, TcpStream>, conn: u64, upto: u64) {
+/// Returns whether the ack actually went out — callers that count acked
+/// events must not count a forfeited write.
+fn send_ack(acks: &mut HashMap<u64, TcpStream>, conn: u64, upto: u64) -> bool {
     if let Some(s) = acks.get_mut(&conn) {
-        if s.write_all(&encode_frame(&Frame::Ack { upto })).is_err() {
-            acks.remove(&conn);
+        if s.write_all(&encode_frame(&Frame::Ack { upto })).is_ok() {
+            return true;
         }
+        acks.remove(&conn);
     }
+    false
 }
 
 /// Acks a connection's contiguous prefix and, once the source's bye
 /// promise has been *applied*, confirms end-of-stream with a fin. Byes
 /// carry no sequence number, so the fin is the only way a draining
-/// client can know its bye was not lost in flight.
+/// client can know its bye was not lost in flight. Returns whether the
+/// ack write succeeded.
 fn acknowledge(
     pipeline: &IngestPipeline,
     acks: &mut HashMap<u64, TcpStream>,
     conn: u64,
     source: RouterId,
-) {
-    send_ack(acks, conn, pipeline.sources().next_seq(source));
+) -> bool {
+    let acked = send_ack(acks, conn, pipeline.sources().next_seq(source));
     if pipeline.sources().finished(source) {
         if let Some(s) = acks.get_mut(&conn) {
             if s.write_all(&encode_frame(&Frame::Fin)).is_err() {
@@ -789,6 +938,7 @@ fn acknowledge(
             }
         }
     }
+    acked
 }
 
 fn merger_loop(
@@ -797,6 +947,7 @@ fn merger_loop(
     mut wal: Option<Wal>,
     lease: LeaseConfig,
     stats: &SharedStats,
+    metrics: Option<&CollectorMetrics>,
 ) -> (IngestPipeline, Option<io::Error>) {
     let n_routers = pipeline.config().n_routers;
     // Which router each live connection speaks for, and the ack write
@@ -811,6 +962,11 @@ fn merger_loop(
     let mut advanced: Option<SimTime> = pipeline.watermark();
     if let Some(wm) = advanced {
         stats.set_watermark(wm);
+    }
+    if let Some(m) = metrics {
+        // Scrapes arriving before any traffic should still see the
+        // recovered state, not all-zero gauges.
+        m.publish_pipeline(&pipeline);
     }
 
     // Liveness leases: every source starts its clock at merger start,
@@ -843,6 +999,9 @@ fn merger_loop(
                         );
                         pipeline.sources_mut().admit(source);
                         stats.readmissions.fetch_add(1, Ordering::Relaxed);
+                        if let Some(m) = metrics {
+                            m.readmissions.inc();
+                        }
                     }
                     // Journal the handshake so recovery re-learns the
                     // session and keeps deduplicating its replays.
@@ -861,6 +1020,12 @@ fn merger_loop(
                     // An immediate ack tells a reconnecting client how
                     // much of its planned replay is already here.
                     acknowledge(&pipeline, &mut acks, conn, source);
+                    if let Some(m) = metrics {
+                        // A hello can flip a source back to Live —
+                        // republish so lease-state scrapes see it now,
+                        // not at the next watermark advance.
+                        m.publish_pipeline(&pipeline);
+                    }
                 }
                 Msg::Events { conn, batch } => {
                     let Some(&source) = conn_source.get(&conn) else {
@@ -869,6 +1034,7 @@ fn merger_loop(
                     last_heard[source.0 as usize] = Instant::now();
                     pipeline.sources_mut().refresh(source);
                     let mut ingested = 0u64;
+                    let mut journaled = 0u64;
                     let mut late = 0u64;
                     let mut dups = 0u64;
                     let mut gaps = 0u64;
@@ -892,9 +1058,25 @@ fn merger_loop(
                                 // must never lag the in-memory state.
                                 if let Some(raw) = rec.raw.as_ref() {
                                     journal(&mut wal, &mut wal_err, raw);
+                                    if wal_err.is_none() {
+                                        journaled += 1;
+                                        if let Some(m) = metrics {
+                                            m.spans.stamp(source.0, rec.seq, Stage::Journaled);
+                                        }
+                                    }
                                 }
                                 pipeline.ingest(&rec.event);
                                 ingested += 1;
+                                if let Some(m) = metrics {
+                                    // The fold keys off simulated event
+                                    // time; the span needs it to know
+                                    // which watermark sweeps it up.
+                                    m.spans.event_time(
+                                        source.0,
+                                        rec.seq,
+                                        rec.event.time.as_nanos(),
+                                    );
+                                }
                             }
                         }
                     }
@@ -908,11 +1090,37 @@ fn merger_loop(
                     if gaps > 0 {
                         stats.gap_events.fetch_add(gaps, Ordering::Relaxed);
                     }
+                    if let Some(m) = metrics {
+                        m.events_received.add(ingested);
+                        m.events_journaled.add(journaled);
+                        m.events_duplicate.add(dups);
+                        m.events_gap.add(gaps);
+                        m.events_late.add(late);
+                    }
                     // Filling a gap may have settled a parked promise.
-                    try_advance(&mut pipeline, &mut wal, &mut wal_err, &mut advanced, stats);
+                    try_advance(
+                        &mut pipeline,
+                        &mut wal,
+                        &mut wal_err,
+                        &mut advanced,
+                        stats,
+                        metrics,
+                    );
                     // Ack only after the batch was journaled: an acked
                     // event is a durable event.
-                    acknowledge(&pipeline, &mut acks, conn, source);
+                    let acked = acknowledge(&pipeline, &mut acks, conn, source);
+                    if let Some(m) = metrics {
+                        if acked {
+                            // Acked ⇐ journaled by construction: only
+                            // ingested (hence journaled-if-WAL) events
+                            // are behind the acked cursor, and we count
+                            // them only when the ack actually went out.
+                            m.events_acked.add(ingested);
+                            for rec in &batch {
+                                m.spans.stamp(source.0, rec.seq, Stage::Acked);
+                            }
+                        }
+                    }
                 }
                 Msg::Watermark { conn, t, frontier } => {
                     let Some(&source) = conn_source.get(&conn) else {
@@ -921,7 +1129,14 @@ fn merger_loop(
                     last_heard[source.0 as usize] = Instant::now();
                     pipeline.sources_mut().refresh(source);
                     pipeline.sources_mut().promise(source, t, frontier);
-                    try_advance(&mut pipeline, &mut wal, &mut wal_err, &mut advanced, stats);
+                    try_advance(
+                        &mut pipeline,
+                        &mut wal,
+                        &mut wal_err,
+                        &mut advanced,
+                        stats,
+                        metrics,
+                    );
                     acknowledge(&pipeline, &mut acks, conn, source);
                 }
                 Msg::Heartbeat { conn } => {
@@ -942,7 +1157,14 @@ fn merger_loop(
                     // never emit again, gated on its final frontier
                     // like any other promise.
                     pipeline.sources_mut().bye(source, frontier);
-                    try_advance(&mut pipeline, &mut wal, &mut wal_err, &mut advanced, stats);
+                    try_advance(
+                        &mut pipeline,
+                        &mut wal,
+                        &mut wal_err,
+                        &mut advanced,
+                        stats,
+                        metrics,
+                    );
                     acknowledge(&pipeline, &mut acks, conn, source);
                 }
                 Msg::Closed { conn } => {
@@ -965,6 +1187,7 @@ fn merger_loop(
                 &mut conn_source,
                 &mut acks,
                 stats,
+                metrics,
             );
             last_sweep = Instant::now();
         }
@@ -991,6 +1214,7 @@ fn sweep_leases(
     conn_source: &mut HashMap<u64, RouterId>,
     acks: &mut HashMap<u64, TcpStream>,
     stats: &SharedStats,
+    metrics: Option<&CollectorMetrics>,
 ) {
     let now = Instant::now();
     let mut evicted_any = false;
@@ -1006,6 +1230,9 @@ fn sweep_leases(
             journal(wal, wal_err, &encode_frame(&Frame::Evict { source: r }));
             pipeline.sources_mut().evict(r);
             stats.evictions.fetch_add(1, Ordering::Relaxed);
+            if let Some(m) = metrics {
+                m.evictions.inc();
+            }
             evicted_any = true;
             // Hang up on the evicted source: re-admission requires a
             // fresh hello, and clients only re-hello on reconnect, so
@@ -1027,6 +1254,12 @@ fn sweep_leases(
         }
     }
     if evicted_any {
-        try_advance(pipeline, wal, wal_err, advanced, stats);
+        try_advance(pipeline, wal, wal_err, advanced, stats, metrics);
+    }
+    if let Some(m) = metrics {
+        // Every sweep republishes the lease gauges, so a scrape sees a
+        // source flip Live → Lagging → Evicted as it happens rather
+        // than only when the watermark next moves.
+        m.publish_pipeline(pipeline);
     }
 }

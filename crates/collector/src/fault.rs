@@ -143,6 +143,10 @@ struct FaultCursor {
     /// Ring of recently forwarded bytes, for duplication.
     recent: Vec<u8>,
     injected: u64,
+    /// Of the injected faults, flips that actually damaged a forwarded
+    /// byte (a flip scheduled past the end of its chunk fires without
+    /// damaging anything).
+    flipped: u64,
 }
 
 impl FaultCursor {
@@ -153,6 +157,7 @@ impl FaultCursor {
             idx: 0,
             recent: Vec::new(),
             injected: 0,
+            flipped: 0,
         }
     }
 
@@ -201,6 +206,7 @@ impl FaultCursor {
                                 pending.push(chunk[at] ^ (mask | 1));
                                 at += 1;
                                 self.offset += 1;
+                                self.flipped += 1;
                             }
                         }
                         FaultKind::Duplicate { len } => {
@@ -252,6 +258,7 @@ struct ProxyShared {
     connections: AtomicU64,
     injected: AtomicU64,
     disconnects: AtomicU64,
+    flipped: AtomicU64,
 }
 
 /// A point-in-time copy of a proxy's counters.
@@ -263,6 +270,11 @@ pub struct ProxyStats {
     pub injected: u64,
     /// Of those, forced disconnects.
     pub disconnects: u64,
+    /// Of those, bit flips that actually damaged a forwarded byte —
+    /// each one is guaranteed visible damage (`mask | 1` never
+    /// round-trips), so downstream quarantine/resync telemetry can be
+    /// checked against this.
+    pub flipped: u64,
 }
 
 /// A TCP proxy that applies a [`FaultPlan`] to the client→upstream byte
@@ -310,6 +322,7 @@ impl ChaosProxy {
             connections: self.shared.connections.load(Ordering::Relaxed),
             injected: self.shared.injected.load(Ordering::Relaxed),
             disconnects: self.shared.disconnects.load(Ordering::Relaxed),
+            flipped: self.shared.flipped.load(Ordering::Relaxed),
         }
     }
 
@@ -362,6 +375,7 @@ fn accept_loop(
         };
         run_connection(client, up, &mut cursor, &stop, &shared);
         shared.injected.store(cursor.injected, Ordering::Relaxed);
+        shared.flipped.store(cursor.flipped, Ordering::Relaxed);
     }
 }
 

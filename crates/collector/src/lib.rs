@@ -10,7 +10,7 @@
 //! incremental verification machinery requires — surviving crashes on
 //! the way.
 //!
-//! Five layers, bottom up:
+//! Six layers, bottom up:
 //!
 //! * [`codec`] — a versioned, CRC-protected wire format framing
 //!   [`IoEvent`](cpvr_sim::IoEvent)s in the workspace's own JSON
@@ -39,6 +39,14 @@
 //!   reconnect with capped exponential backoff — so a simulation
 //!   doubles as a load generator for a real collector process (see the
 //!   `collectord` example).
+//! * [`metrics`] — the collector's telemetry surface over
+//!   [`cpvr_obs`]: every counter/gauge/histogram the ingest path
+//!   publishes, declared in one place ([`CollectorMetrics`]), plus
+//!   sampled event-flight spans tracing individual events from
+//!   `received` through `journaled`/`acked` to `folded` and
+//!   `snapshot-consistent`. Scraped live over the same TCP port via
+//!   `Frame::MetricsReq` (Prometheus text or the workspace JSON), and
+//!   dumped into the [`CollectorReport`] at shutdown.
 //! * [`fault`] — a deterministic fault-injection harness: a seeded
 //!   [`FaultPlan`](fault::FaultPlan) applied by a
 //!   [`ChaosProxy`](fault::ChaosProxy) that sits between clients and
@@ -64,16 +72,18 @@ pub mod client;
 pub mod codec;
 pub mod collector;
 pub mod fault;
+pub mod metrics;
 pub mod pipeline;
 pub mod wal;
 
-pub use client::{ReconnectPolicy, SocketSink};
+pub use client::{scrape, scrape_snapshot, ReconnectPolicy, SinkMetrics, SocketSink};
 pub use codec::{Decoder, Frame, Hello, RawFrame};
 pub use collector::{
     Collector, CollectorConfig, CollectorHandle, CollectorReport, CollectorStats, LeaseConfig,
 };
 pub use fault::{ChaosProxy, FaultKind, FaultPlan};
+pub use metrics::{source_state_code, CollectorMetrics};
 pub use pipeline::{
     IngestPipeline, Offer, PipelineConfig, RecoveryReport, SourceState, SourceTable,
 };
-pub use wal::{FsyncPolicy, Wal, WalConfig, WalReplay};
+pub use wal::{FsyncPolicy, Wal, WalConfig, WalMetrics, WalReplay};

@@ -1,0 +1,372 @@
+//! The collector's metric surface: every counter, gauge, and histogram
+//! the ingest path publishes, declared up front in one place.
+//!
+//! [`CollectorMetrics`] is built once at [`Collector::start`] and shared
+//! (`Arc`) by the reader threads, the merger, and the WAL. Declaring
+//! every family here — before any handle is resolved — is what lets the
+//! `obs-strict` feature turn a typo'd or undeclared metric name into a
+//! panic in CI instead of a silently empty time series in production.
+//!
+//! The README's "Observability" section is the human-readable inventory
+//! of these names; keep the two in sync.
+//!
+//! [`Collector::start`]: crate::collector::Collector::start
+
+use std::sync::Arc;
+
+use cpvr_obs::{
+    Counter, ExpoFormat, Gauge, Histogram, MetricKind, MetricsRegistry, Snapshot, SpanRecorder,
+};
+use cpvr_types::{RouterId, SimTime};
+
+use crate::pipeline::{IngestPipeline, SourceState};
+
+/// Default sampling stride for event-flight spans: one in this many
+/// sequence numbers per source gets a full causal latency breakdown.
+pub const DEFAULT_SPAN_SAMPLE: u64 = 64;
+
+/// Cap on concurrently tracked flights (beyond it, new samples are
+/// dropped and counted, never allocated).
+const SPAN_CAP: usize = 4096;
+
+/// The numeric encoding of [`SourceState`] published by the per-source
+/// state gauge (`cpvr_source_state`).
+pub fn source_state_code(s: SourceState) -> i64 {
+    match s {
+        SourceState::NeverConnected => 0,
+        SourceState::Live => 1,
+        SourceState::Lagging => 2,
+        SourceState::Evicted => 3,
+    }
+}
+
+/// Per-source gauge handles, one slot per router.
+struct SourceGauges {
+    state: Vec<Gauge>,
+    lag_nanos: Vec<Gauge>,
+    next_seq: Vec<Gauge>,
+}
+
+/// All metric handles the collector's threads write through, plus the
+/// registry itself for scrapes.
+pub struct CollectorMetrics {
+    /// The registry every series lives in; scrapes snapshot this.
+    pub registry: Arc<MetricsRegistry>,
+    /// Sampled event-flight spans (received → … → consistent).
+    pub spans: SpanRecorder,
+
+    // Connection / decode layer (reader threads).
+    pub(crate) connections: Counter,
+    pub(crate) bytes: Counter,
+    pub(crate) frames_corrupt: Counter,
+    pub(crate) resync_bytes: Counter,
+    pub(crate) decode_errors: Counter,
+    pub(crate) metrics_scrapes: Counter,
+
+    // Merger: per-event accounting.
+    pub(crate) events_received: Counter,
+    pub(crate) events_journaled: Counter,
+    pub(crate) events_acked: Counter,
+    pub(crate) events_duplicate: Counter,
+    pub(crate) events_gap: Counter,
+    pub(crate) events_late: Counter,
+    pub(crate) evictions: Counter,
+    pub(crate) readmissions: Counter,
+
+    // Merger: fold / watermark state.
+    pub(crate) watermark_nanos: Gauge,
+    pub(crate) events_folded: Gauge,
+    pub(crate) events_pending: Gauge,
+    pub(crate) hbg_edges: Gauge,
+    pub(crate) snapshot_consistent: Gauge,
+    pub(crate) waits_issued: Gauge,
+    pub(crate) waits_resolved: Gauge,
+    pub(crate) fold_nanos: Histogram,
+    pub(crate) fold_batch: Histogram,
+
+    sources: SourceGauges,
+}
+
+impl CollectorMetrics {
+    /// Declares every family and resolves the static handles for a
+    /// deployment of `n_routers`.
+    pub fn new(n_routers: u32, span_sample: u64) -> Self {
+        let registry = Arc::new(MetricsRegistry::new());
+        let r = &registry;
+
+        // Connection / decode layer.
+        r.declare(
+            "cpvr_connections_total",
+            MetricKind::Counter,
+            "Connections accepted over the collector's lifetime",
+        );
+        r.declare(
+            "cpvr_bytes_received_total",
+            MetricKind::Counter,
+            "Raw bytes received across all connections",
+        );
+        r.declare(
+            "cpvr_frames_corrupt_total",
+            MetricKind::Counter,
+            "Frames quarantined by the resynchronizing decoder (CRC or header damage)",
+        );
+        r.declare(
+            "cpvr_decoder_resync_bytes_total",
+            MetricKind::Counter,
+            "Bytes skipped while hunting for the next frame header after damage",
+        );
+        r.declare(
+            "cpvr_decode_errors_total",
+            MetricKind::Counter,
+            "Fatal protocol errors (bad handshake, undecodable payload behind a valid CRC)",
+        );
+        r.declare(
+            "cpvr_metrics_scrapes_total",
+            MetricKind::Counter,
+            "MetricsReq frames served",
+        );
+
+        // Merger event accounting.
+        r.declare(
+            "cpvr_events_received_total",
+            MetricKind::Counter,
+            "Fresh events accepted by the merger (post dedup/gap/late filtering)",
+        );
+        r.declare(
+            "cpvr_events_journaled_total",
+            MetricKind::Counter,
+            "Fresh events appended to the WAL before ingestion",
+        );
+        r.declare(
+            "cpvr_events_acked_total",
+            MetricKind::Counter,
+            "Fresh events covered by a successfully written Ack",
+        );
+        r.declare(
+            "cpvr_events_duplicate_total",
+            MetricKind::Counter,
+            "Events dropped as already-accepted duplicates (reconnect replays)",
+        );
+        r.declare(
+            "cpvr_events_gap_total",
+            MetricKind::Counter,
+            "Events dropped for arriving ahead of sequence",
+        );
+        r.declare(
+            "cpvr_events_late_total",
+            MetricKind::Counter,
+            "Events dropped for arriving at or behind the advanced watermark",
+        );
+        r.declare(
+            "cpvr_evictions_total",
+            MetricKind::Counter,
+            "Sources evicted from the watermark gate by the liveness lease",
+        );
+        r.declare(
+            "cpvr_readmissions_total",
+            MetricKind::Counter,
+            "Evicted sources re-admitted after reconnecting",
+        );
+
+        // Fold / watermark state.
+        r.declare(
+            "cpvr_watermark_nanos",
+            MetricKind::Gauge,
+            "Last globally advanced watermark, in simulated nanoseconds (-1 before the first advance)",
+        );
+        r.declare(
+            "cpvr_events_folded",
+            MetricKind::Gauge,
+            "Events folded into the HBG so far",
+        );
+        r.declare(
+            "cpvr_events_pending",
+            MetricKind::Gauge,
+            "Ingested events still buffered behind the watermark",
+        );
+        r.declare(
+            "cpvr_hbg_edges",
+            MetricKind::Gauge,
+            "Happens-before edges resident in the graph",
+        );
+        r.declare(
+            "cpvr_hbg_edges_offered",
+            MetricKind::Gauge,
+            "Happens-before edges offered to the graph, by inference source (rule label)",
+        );
+        r.declare(
+            "cpvr_snapshot_consistent",
+            MetricKind::Gauge,
+            "1 while the consistency tracker's verdict is Consistent, 0 while it waits",
+        );
+        r.declare(
+            "cpvr_tracker_waits_issued",
+            MetricKind::Gauge,
+            "Consistent-to-wait verdict flips: times the tracker waited instead of alarming",
+        );
+        r.declare(
+            "cpvr_tracker_waits_resolved",
+            MetricKind::Gauge,
+            "Wait-to-consistent verdict flips: waits that resolved",
+        );
+        r.declare(
+            "cpvr_fold_nanos",
+            MetricKind::Histogram,
+            "Wall-clock latency of one watermark advance (builder fold + tracker recheck)",
+        );
+        r.declare(
+            "cpvr_fold_batch",
+            MetricKind::Histogram,
+            "Events folded per watermark advance",
+        );
+
+        // Per-source liveness / lag.
+        r.declare(
+            "cpvr_source_state",
+            MetricKind::Gauge,
+            "Source lease state: 0 never-connected, 1 live, 2 lagging, 3 evicted",
+        );
+        r.declare(
+            "cpvr_source_lag_nanos",
+            MetricKind::Gauge,
+            "How far the source's promise trails the furthest promise (-1 before it promises)",
+        );
+        r.declare(
+            "cpvr_source_next_seq",
+            MetricKind::Gauge,
+            "One past the highest contiguously accepted sequence number for the source",
+        );
+
+        // WAL.
+        r.declare(
+            "cpvr_wal_appends_total",
+            MetricKind::Counter,
+            "Records appended to the WAL",
+        );
+        r.declare(
+            "cpvr_wal_bytes_total",
+            MetricKind::Counter,
+            "Payload bytes appended to the WAL",
+        );
+        r.declare(
+            "cpvr_wal_syncs_total",
+            MetricKind::Counter,
+            "fsync (sync_data) calls issued by the WAL",
+        );
+        r.declare(
+            "cpvr_wal_rotations_total",
+            MetricKind::Counter,
+            "Segment rotations",
+        );
+        r.declare(
+            "cpvr_wal_fsync_nanos",
+            MetricKind::Histogram,
+            "Wall-clock latency of one WAL flush+fsync",
+        );
+
+        let spans = SpanRecorder::new(r, span_sample, SPAN_CAP);
+
+        let mut state = Vec::with_capacity(n_routers as usize);
+        let mut lag_nanos = Vec::with_capacity(n_routers as usize);
+        let mut next_seq = Vec::with_capacity(n_routers as usize);
+        for i in 0..n_routers {
+            let label = i.to_string();
+            let l: &[(&str, &str)] = &[("router", &label)];
+            state.push(r.gauge_with("cpvr_source_state", l));
+            lag_nanos.push(r.gauge_with("cpvr_source_lag_nanos", l));
+            next_seq.push(r.gauge_with("cpvr_source_next_seq", l));
+        }
+        for g in &lag_nanos {
+            g.set(-1);
+        }
+
+        CollectorMetrics {
+            spans,
+            connections: r.counter("cpvr_connections_total"),
+            bytes: r.counter("cpvr_bytes_received_total"),
+            frames_corrupt: r.counter("cpvr_frames_corrupt_total"),
+            resync_bytes: r.counter("cpvr_decoder_resync_bytes_total"),
+            decode_errors: r.counter("cpvr_decode_errors_total"),
+            metrics_scrapes: r.counter("cpvr_metrics_scrapes_total"),
+            events_received: r.counter("cpvr_events_received_total"),
+            events_journaled: r.counter("cpvr_events_journaled_total"),
+            events_acked: r.counter("cpvr_events_acked_total"),
+            events_duplicate: r.counter("cpvr_events_duplicate_total"),
+            events_gap: r.counter("cpvr_events_gap_total"),
+            events_late: r.counter("cpvr_events_late_total"),
+            evictions: r.counter("cpvr_evictions_total"),
+            readmissions: r.counter("cpvr_readmissions_total"),
+            watermark_nanos: {
+                let g = r.gauge("cpvr_watermark_nanos");
+                g.set(-1);
+                g
+            },
+            events_folded: r.gauge("cpvr_events_folded"),
+            events_pending: r.gauge("cpvr_events_pending"),
+            hbg_edges: r.gauge("cpvr_hbg_edges"),
+            snapshot_consistent: r.gauge("cpvr_snapshot_consistent"),
+            waits_issued: r.gauge("cpvr_tracker_waits_issued"),
+            waits_resolved: r.gauge("cpvr_tracker_waits_resolved"),
+            fold_nanos: r.histogram("cpvr_fold_nanos"),
+            fold_batch: r.histogram("cpvr_fold_batch"),
+            sources: SourceGauges {
+                state,
+                lag_nanos,
+                next_seq,
+            },
+            registry,
+        }
+    }
+
+    /// Renders the registry in the requested exposition format. Unknown
+    /// format tags fall back to JSON (see `Frame::MetricsReq`).
+    pub fn render(&self, format_tag: u8) -> Vec<u8> {
+        self.metrics_scrapes.inc();
+        let fmt = ExpoFormat::from_byte(format_tag).unwrap_or(ExpoFormat::Json);
+        fmt.render(&self.registry.snapshot()).into_bytes()
+    }
+
+    /// A point-in-time copy of every series.
+    pub fn snapshot(&self) -> Snapshot {
+        self.registry.snapshot()
+    }
+
+    /// Publishes the fold-side gauges from the pipeline's current
+    /// state: builder/tracker counters, HBG size, per-rule edge offers,
+    /// and the per-source lease/lag/cursor gauges.
+    pub(crate) fn publish_pipeline(&self, pipeline: &IngestPipeline) {
+        let b = pipeline.builder();
+        self.events_folded.set(b.processed() as i64);
+        self.events_pending.set(b.pending() as i64);
+        self.hbg_edges.set(b.hbg().edges().len() as i64);
+        for (source, n) in b.edge_counts() {
+            self.registry
+                .gauge_with("cpvr_hbg_edges_offered", &[("rule", source)])
+                .set(*n as i64);
+        }
+        let (issued, resolved) = pipeline.tracker().wait_stats();
+        self.waits_issued.set(issued as i64);
+        self.waits_resolved.set(resolved as i64);
+        self.snapshot_consistent
+            .set(pipeline.status().is_consistent() as i64);
+        if let Some(wm) = pipeline.watermark() {
+            self.watermark_nanos.set(wm.as_nanos() as i64);
+        }
+
+        let table = pipeline.sources();
+        let furthest: Option<SimTime> = (0..self.sources.state.len() as u32)
+            .filter_map(|i| table.promise_of(RouterId(i)))
+            .max();
+        for i in 0..self.sources.state.len() as u32 {
+            let r = RouterId(i);
+            let idx = i as usize;
+            self.sources.state[idx].set(source_state_code(table.state(r)));
+            self.sources.next_seq[idx].set(table.next_seq(r) as i64);
+            let lag = match (furthest, table.promise_of(r)) {
+                (Some(f), Some(p)) => f.as_nanos().saturating_sub(p.as_nanos()) as i64,
+                _ => -1,
+            };
+            self.sources.lag_nanos[idx].set(lag);
+        }
+    }
+}

@@ -539,7 +539,9 @@ impl IngestPipeline {
                     Ok(Frame::Bye { .. })
                     | Ok(Frame::Ack { .. })
                     | Ok(Frame::Fin)
-                    | Ok(Frame::Heartbeat) => {}
+                    | Ok(Frame::Heartbeat)
+                    | Ok(Frame::MetricsReq { .. })
+                    | Ok(Frame::MetricsResp { .. }) => {}
                     Err(_) => corrupt += 1,
                 },
                 _ => corrupt += 1,

@@ -89,6 +89,24 @@ pub struct Wal {
     appended: u64,
     /// Total explicit fsyncs issued through this handle.
     syncs: u64,
+    /// Registry handles, when the owning collector is instrumented.
+    metrics: Option<WalMetrics>,
+}
+
+/// Registry handles the WAL publishes through (see
+/// [`Wal::set_metrics`]); resolved by the collector so the WAL itself
+/// stays ignorant of metric names.
+pub struct WalMetrics {
+    /// Records appended.
+    pub appends: cpvr_obs::Counter,
+    /// Payload bytes appended.
+    pub bytes: cpvr_obs::Counter,
+    /// fsync (`sync_data`) calls issued.
+    pub syncs: cpvr_obs::Counter,
+    /// Segment rotations.
+    pub rotations: cpvr_obs::Counter,
+    /// Wall-clock latency of one flush+fsync, in nanoseconds.
+    pub fsync_nanos: cpvr_obs::Histogram,
 }
 
 fn segment_path(dir: &Path, index: u64) -> PathBuf {
@@ -133,7 +151,14 @@ impl Wal {
             since_sync: 0,
             appended: 0,
             syncs: 0,
+            metrics: None,
         })
+    }
+
+    /// Attaches registry handles; every later append/sync/rotation is
+    /// published through them.
+    pub fn set_metrics(&mut self, metrics: WalMetrics) {
+        self.metrics = Some(metrics);
     }
 
     /// Appends one record and applies the fsync policy. Returns only
@@ -156,6 +181,10 @@ impl Wal {
         self.seg_len += record_len;
         self.appended += 1;
         self.since_sync += 1;
+        if let Some(m) = &self.metrics {
+            m.appends.inc();
+            m.bytes.add(len);
+        }
         match self.cfg.fsync {
             FsyncPolicy::Always => self.sync()?,
             FsyncPolicy::EveryN(n) => {
@@ -172,15 +201,23 @@ impl Wal {
 
     /// Flushes and fsyncs the active segment.
     pub fn sync(&mut self) -> io::Result<()> {
+        let start = std::time::Instant::now();
         self.file.flush()?;
         self.file.get_ref().sync_data()?;
         self.since_sync = 0;
         self.syncs += 1;
+        if let Some(m) = &self.metrics {
+            m.syncs.inc();
+            m.fsync_nanos.observe_since(start);
+        }
         Ok(())
     }
 
     fn rotate(&mut self) -> io::Result<()> {
         self.sync()?;
+        if let Some(m) = &self.metrics {
+            m.rotations.inc();
+        }
         self.seg_index += 1;
         let file = OpenOptions::new()
             .create_new(true)

@@ -180,10 +180,12 @@ fn run_chaotic(events: &[IoEvent], seed: u64, dir: &TempDir) -> CollectorReport 
     );
 
     let injected: u64 = proxies.iter().map(|p| p.stats().injected).sum();
+    let flipped: u64 = proxies.iter().map(|p| p.stats().flipped).sum();
     for p in proxies {
         p.shutdown();
     }
     let report = handle.shutdown().expect("clean shutdown");
+    assert_telemetry_invariants(&report, sent, flipped, seed);
     // The plans are dense enough that a silent pass-through run would
     // be a test bug, not a lucky network.
     assert!(injected > 0, "seed {seed}: no faults fired");
@@ -203,6 +205,92 @@ fn run_chaotic(events: &[IoEvent], seed: u64, dir: &TempDir) -> CollectorReport 
         report.stats.corrupt_frames, report.stats.duplicate_events, report.stats.gap_events
     );
     report
+}
+
+/// Telemetry invariants that must hold after *every* seeded run, no
+/// matter which faults fired: the metrics registry is an independent
+/// account of the run, and it must agree with the protocol counters,
+/// with durability ordering, and with the damage the proxies dealt.
+fn assert_telemetry_invariants(report: &CollectorReport, sent: u64, flipped: u64, seed: u64) {
+    let m = report.metrics.as_ref().expect("metrics are on by default");
+
+    // The registry and the lock-free stats path count independently;
+    // they must tell the same story.
+    assert_eq!(
+        m.counter_total("cpvr_events_received_total"),
+        report.stats.events,
+        "seed {seed}: registry vs stats (events)"
+    );
+    assert_eq!(
+        m.counter_total("cpvr_frames_corrupt_total"),
+        report.stats.corrupt_frames,
+        "seed {seed}: registry vs stats (corrupt frames)"
+    );
+    assert_eq!(
+        m.counter_total("cpvr_events_duplicate_total"),
+        report.stats.duplicate_events,
+        "seed {seed}: registry vs stats (duplicates)"
+    );
+    assert_eq!(
+        m.counter_total("cpvr_events_gap_total"),
+        report.stats.gap_events,
+        "seed {seed}: registry vs stats (gaps)"
+    );
+    assert_eq!(
+        m.counter_total("cpvr_events_late_total"),
+        0,
+        "seed {seed}: no event may arrive behind the watermark"
+    );
+
+    // Exactly-once, telemetrically: everything sent was received
+    // exactly once and everything received was folded.
+    assert_eq!(
+        m.counter_total("cpvr_events_received_total"),
+        sent,
+        "seed {seed}: received == sent"
+    );
+    assert_eq!(
+        m.gauge("cpvr_events_folded", &[]),
+        Some(sent as i64),
+        "seed {seed}: folded == sent"
+    );
+    assert_eq!(
+        m.gauge("cpvr_events_pending", &[]),
+        Some(0),
+        "seed {seed}: nothing left buffered"
+    );
+
+    // Durability ordering: an ack is only ever counted for events that
+    // were journaled first, so acked can never outrun journaled.
+    let journaled = m.counter_total("cpvr_events_journaled_total");
+    let acked = m.counter_total("cpvr_events_acked_total");
+    assert!(
+        journaled >= acked,
+        "seed {seed}: journaled ({journaled}) must cover acked ({acked})"
+    );
+    assert_eq!(
+        journaled, sent,
+        "seed {seed}: every fresh event was journaled"
+    );
+    // Every journaled event is a WAL append (plus watermarks, hellos,
+    // evictions — hence >=).
+    assert!(
+        m.counter_total("cpvr_wal_appends_total") >= journaled,
+        "seed {seed}: WAL appends cover journaled events"
+    );
+
+    // Every flip that damaged a forwarded byte is guaranteed visible
+    // (`mask | 1`), and damage can only surface as a CRC quarantine or
+    // a header resync — one of the two counters must have moved.
+    if flipped > 0 {
+        let quarantined = m.counter_total("cpvr_frames_corrupt_total");
+        let resynced = m.counter_total("cpvr_decoder_resync_bytes_total");
+        assert!(
+            quarantined + resynced > 0,
+            "seed {seed}: {flipped} bytes flipped in flight but the decoder \
+             neither quarantined nor resynced"
+        );
+    }
 }
 
 fn chaos_seeds() -> Vec<u64> {

@@ -3,11 +3,12 @@
 //! watermarks — and require the resulting verification state to be
 //! bit-identical to an in-process run over the same events.
 
-use cpvr_collector::client::SocketSink;
+use cpvr_collector::client::{scrape, scrape_snapshot, SocketSink};
 use cpvr_collector::collector::{Collector, CollectorConfig};
 use cpvr_collector::pipeline::{IngestPipeline, PipelineConfig};
 use cpvr_collector::wal::wait_for;
 use cpvr_dataplane::{DataPlane, FibEntry};
+use cpvr_obs::ExpoFormat;
 use cpvr_sim::scenario::paper_scenario;
 use cpvr_sim::{CaptureProfile, IoEvent, LatencyProfile};
 use cpvr_types::{Ipv4Prefix, RouterId, SimTime};
@@ -112,8 +113,31 @@ fn concurrent_streams_match_in_process_pipeline() {
         handle.stats()
     );
 
+    // Live scrape over the same TCP port, no hello: the registry must
+    // agree with the pipeline exactly once everything has folded.
+    let snap = scrape_snapshot(addr).expect("scrape JSON snapshot");
+    assert_eq!(snap.counter_total("cpvr_events_received_total"), sent);
+    assert_eq!(snap.gauge("cpvr_events_folded", &[]), Some(sent as i64));
+    assert_eq!(snap.gauge("cpvr_events_pending", &[]), Some(0));
+    // The scrape's own connection is the +1: probes are connections too.
+    assert_eq!(
+        snap.counter_total("cpvr_connections_total"),
+        u64::from(N_ROUTERS) + 1
+    );
+    assert_eq!(snap.counter_total("cpvr_frames_corrupt_total"), 0);
+    assert!(
+        snap.counter_total("cpvr_flights_started_total") > 0,
+        "sampled event-flight spans should have opened"
+    );
+    // The same numbers in Prometheus text, for anything that speaks it.
+    let prom = scrape(addr, ExpoFormat::Prometheus).expect("scrape Prometheus");
+    assert!(prom.contains("# TYPE cpvr_events_received_total counter"));
+    assert!(prom.contains(&format!("cpvr_events_received_total {sent}")));
+    assert!(prom.contains(&format!("cpvr_events_folded {sent}")));
+
     let report = handle.shutdown().expect("clean shutdown");
-    assert_eq!(report.stats.connections, u64::from(N_ROUTERS));
+    // Router streams plus the two scrape probes above.
+    assert_eq!(report.stats.connections, u64::from(N_ROUTERS) + 2);
     assert_eq!(report.stats.events, sent);
     assert_eq!(report.stats.decode_errors, 0);
     assert_eq!(report.stats.late_events, 0);
@@ -138,6 +162,20 @@ fn concurrent_streams_match_in_process_pipeline() {
         dataplane_fingerprint(got.tracker().dataplane()),
         dataplane_fingerprint(reference.tracker().dataplane()),
         "assembled data plane must match"
+    );
+
+    // The shutdown metrics dump tells the same story bit-for-bit: what
+    // came over the wire is what the fold consumed.
+    let m = report.metrics.expect("metrics are on by default");
+    assert_eq!(m.counter_total("cpvr_events_received_total"), sent);
+    assert_eq!(
+        m.gauge("cpvr_events_folded", &[]),
+        Some(got.events() as i64)
+    );
+    assert_eq!(
+        m.counter_total("cpvr_events_received_total"),
+        got.events(),
+        "wire-received events must equal folded pipeline events"
     );
 }
 

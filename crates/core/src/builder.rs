@@ -30,7 +30,7 @@ use crate::rules::{RuleScope, RuleSweep};
 use cpvr_sim::{EventId, IoEvent};
 use cpvr_types::SimTime;
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BTreeMap, BinaryHeap, HashMap};
 
 /// An ingested event waiting for the watermark to pass it, ordered by
 /// `(time, id)` — the canonical sweep order.
@@ -81,6 +81,12 @@ pub struct HbgBuilder {
     /// have already run.
     last_folded: Option<(SimTime, EventId)>,
     processed: usize,
+    /// Edges offered to the graph, keyed by their [`HbrSource`]
+    /// rendering (`"rule:<name>"`, `"pattern"`, …) — the per-rule
+    /// attribution a scrape turns into labeled gauges.
+    ///
+    /// [`HbrSource`]: crate::hbg::HbrSource
+    edge_counts: BTreeMap<String, u64>,
     g: Hbg,
 }
 
@@ -100,6 +106,7 @@ impl HbgBuilder {
             watermark: None,
             last_folded: None,
             processed: 0,
+            edge_counts: BTreeMap::new(),
             g: Hbg::new(0),
         }
     }
@@ -143,6 +150,7 @@ impl HbgBuilder {
                 let mut out = Vec::new();
                 sweep.step(&e, RuleScope::All, &mut out);
                 for h in out {
+                    *self.edge_counts.entry(h.source.to_string()).or_default() += 1;
                     self.g.add(h);
                 }
             }
@@ -153,6 +161,7 @@ impl HbgBuilder {
                     PatternEngine::retain_proximate(&mut cands);
                 }
                 for (_, _, h) in cands {
+                    *self.edge_counts.entry(h.source.to_string()).or_default() += 1;
                     self.g.add(h);
                 }
             }
@@ -187,6 +196,15 @@ impl HbgBuilder {
     /// How many ingested events are still waiting for the watermark.
     pub fn pending(&self) -> usize {
         self.queue.len()
+    }
+
+    /// Edges *offered* to the graph so far, keyed by the rendering of
+    /// their [`HbrSource`](crate::hbg::HbrSource) (`"rule:<name>"`,
+    /// `"pattern"`). Offers, not residents: the graph keeps at most one
+    /// edge per target and prefers higher confidence, so the sum here
+    /// can exceed [`hbg`](Self::hbg)`().edges().len()`.
+    pub fn edge_counts(&self) -> &BTreeMap<String, u64> {
+        &self.edge_counts
     }
 
     /// Rebuilds a builder from a durably logged history: ingests every

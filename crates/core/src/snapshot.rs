@@ -187,6 +187,15 @@ pub struct ConsistencyTracker {
     /// [`drain_applied`](Self::drain_applied) — the delta feed for an
     /// incremental verifier mirroring this tracker's data plane.
     applied: Vec<FibUpdate>,
+    /// Consistent→waiting transitions seen by [`advance`](Self::advance):
+    /// how many times the tracker chose to *wait* instead of raising a
+    /// false alarm (the paper's Fig. 1c discipline, as a number).
+    waits_issued: u64,
+    /// Waiting→consistent transitions: waits that resolved once the
+    /// missing messages arrived.
+    waits_resolved: u64,
+    /// Whether the last advance verdict was a wait.
+    waiting: bool,
 }
 
 impl ConsistencyTracker {
@@ -200,6 +209,9 @@ impl ConsistencyTracker {
             bad: std::collections::BTreeSet::new(),
             dp: DataPlane::new(n_routers),
             applied: Vec::new(),
+            waits_issued: 0,
+            waits_resolved: 0,
+            waiting: false,
         }
     }
 
@@ -327,7 +339,28 @@ impl ConsistencyTracker {
             }
         }
         self.recheck_dirty();
-        self.status()
+        let st = self.status();
+        match (self.waiting, st.is_consistent()) {
+            (false, false) => {
+                self.waits_issued += 1;
+                self.waiting = true;
+            }
+            (true, true) => {
+                self.waits_resolved += 1;
+                self.waiting = false;
+            }
+            _ => {}
+        }
+        st
+    }
+
+    /// `(issued, resolved)` wait transitions over this tracker's life:
+    /// issued counts consistent→waiting flips of the
+    /// [`advance`](Self::advance) verdict, resolved counts the flips
+    /// back. `issued - resolved` is 1 while a wait is outstanding and 0
+    /// otherwise.
+    pub fn wait_stats(&self) -> (u64, u64) {
+        (self.waits_issued, self.waits_resolved)
     }
 
     fn recheck_dirty(&mut self) {

@@ -1,0 +1,38 @@
+//! # cpvr-obs — std-only telemetry for the CPVR pipeline
+//!
+//! The pipeline this workspace grows — socket ingest → WAL → watermark
+//! fold → `HbgBuilder` → `ConsistencyTracker` → `IncrementalVerifier` —
+//! is all about causal visibility *of the network*; this crate gives the
+//! pipeline the same visibility of *itself*, without taking on `tracing`
+//! or `prometheus` (the workspace builds hermetically from vendored
+//! code only).
+//!
+//! Three pieces:
+//!
+//! - [`MetricsRegistry`]: named counters (sharded across per-thread
+//!   cells, folded on scrape), gauges, and log-bucketed histograms with
+//!   p50/p90/p99/max. Writes are relaxed atomics — cheap enough for the
+//!   ingest hot path.
+//! - [`SpanRecorder`]: sampled *event-flight* spans keyed by
+//!   `(source, seq)`, stamped received → journaled → acked → folded →
+//!   snapshot-consistent → verified. Transition latencies land in
+//!   registry histograms.
+//! - [`expo`]: Prometheus text and compact-JSON exposition of a
+//!   [`Snapshot`], served live over the collector's `MetricsReq` /
+//!   `MetricsResp` frames and embedded in `CollectorReport` at
+//!   shutdown.
+//!
+//! With the `obs-strict` cargo feature, using an undeclared metric or
+//! declaring a family twice panics; CI runs the collector loopback test
+//! in that mode so instrumentation and declarations cannot drift apart.
+
+pub mod expo;
+pub mod registry;
+pub mod span;
+
+pub use expo::{parse_json, render_json, render_prometheus, ExpoFormat};
+pub use registry::{
+    Counter, CounterSample, Gauge, GaugeSample, Histogram, HistogramSample, MetricKind,
+    MetricsRegistry, Snapshot,
+};
+pub use span::{SpanRecorder, Stage};

@@ -1,0 +1,287 @@
+//! Event-flight spans: per-event causal latency through the pipeline.
+//!
+//! An event's life mirrors the paper's happens-before edges: it is
+//! *received* off a socket, *journaled* to the WAL, *acked* back to its
+//! source, *folded* into the HBG once the global min-watermark passes
+//! its timestamp, declared *snapshot-consistent* when the tracker stops
+//! waiting on slower routers, and (in a verifying deployment)
+//! *verified*. The [`SpanRecorder`] stamps a sampled subset of events —
+//! keyed by `(source, seq)` — at each stage and folds the transition
+//! latencies into registry histograms, so a scrape shows where time
+//! goes without tracing every event.
+//!
+//! Sampling keeps this off the hot path: only every `sample_every`-th
+//! sequence number per source touches the mutex-guarded flight table;
+//! everything else is a modulo and a branch.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::registry::{Counter, Histogram, MetricKind, MetricsRegistry};
+
+/// A pipeline stage an event-flight span can be stamped at.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Stage {
+    /// Decoded off the socket by a reader thread.
+    Received,
+    /// Appended to the WAL by the merger.
+    Journaled,
+    /// Covered by an `Ack` written back to the source.
+    Acked,
+    /// Folded into the HBG (global min-watermark passed its time).
+    Folded,
+    /// Part of a consistent snapshot (tracker no longer waiting).
+    Consistent,
+    /// Checked by the verifier.
+    Verified,
+}
+
+struct Flight {
+    t_received: Instant,
+    t_journaled: Option<Instant>,
+    t_folded: Option<Instant>,
+    /// The event's own (simulated) timestamp; a flight only completes
+    /// once the watermark passes it.
+    event_time: Option<u64>,
+}
+
+/// Records sampled event-flight spans into a registry.
+pub struct SpanRecorder {
+    sample_every: u64,
+    cap: usize,
+    inflight: Mutex<HashMap<(u32, u64), Flight>>,
+    started: Counter,
+    completed: Counter,
+    dropped: Counter,
+    recv_to_journal: Histogram,
+    journal_to_ack: Histogram,
+    recv_to_fold: Histogram,
+    fold_to_consistent: Histogram,
+}
+
+impl SpanRecorder {
+    /// Creates a recorder that samples every `sample_every`-th sequence
+    /// number per source and tracks at most `cap` flights at once.
+    pub fn new(reg: &MetricsRegistry, sample_every: u64, cap: usize) -> Self {
+        reg.declare(
+            "cpvr_flights_started_total",
+            MetricKind::Counter,
+            "Sampled event flights opened at Received",
+        );
+        reg.declare(
+            "cpvr_flights_completed_total",
+            MetricKind::Counter,
+            "Sampled event flights that reached a consistent snapshot",
+        );
+        reg.declare(
+            "cpvr_flights_dropped_total",
+            MetricKind::Counter,
+            "Sampled event flights evicted by the in-flight cap",
+        );
+        reg.declare(
+            "cpvr_flight_received_to_journaled_nanos",
+            MetricKind::Histogram,
+            "Latency from socket receive to WAL append",
+        );
+        reg.declare(
+            "cpvr_flight_journaled_to_acked_nanos",
+            MetricKind::Histogram,
+            "Latency from WAL append to the covering Ack",
+        );
+        reg.declare(
+            "cpvr_flight_received_to_folded_nanos",
+            MetricKind::Histogram,
+            "End-to-end latency from receive to HBG fold",
+        );
+        reg.declare(
+            "cpvr_flight_folded_to_consistent_nanos",
+            MetricKind::Histogram,
+            "Wait between HBG fold and snapshot consistency (the paper's wait-instead-of-false-alarm)",
+        );
+        SpanRecorder {
+            sample_every: sample_every.max(1),
+            cap: cap.max(1),
+            inflight: Mutex::new(HashMap::new()),
+            started: reg.counter("cpvr_flights_started_total"),
+            completed: reg.counter("cpvr_flights_completed_total"),
+            dropped: reg.counter("cpvr_flights_dropped_total"),
+            recv_to_journal: reg.histogram("cpvr_flight_received_to_journaled_nanos"),
+            journal_to_ack: reg.histogram("cpvr_flight_journaled_to_acked_nanos"),
+            recv_to_fold: reg.histogram("cpvr_flight_received_to_folded_nanos"),
+            fold_to_consistent: reg.histogram("cpvr_flight_folded_to_consistent_nanos"),
+        }
+    }
+
+    /// Whether `seq` falls in the sampled subset. Call this before
+    /// doing any work to build a stamp.
+    #[inline]
+    pub fn sampled(&self, seq: u64) -> bool {
+        seq.is_multiple_of(self.sample_every)
+    }
+
+    /// Opens a flight at [`Stage::Received`]. No-op for unsampled seqs.
+    pub fn received(&self, source: u32, seq: u64) {
+        if !self.sampled(seq) {
+            return;
+        }
+        let mut map = self.inflight.lock().unwrap();
+        if map.len() >= self.cap {
+            self.dropped.inc();
+            return;
+        }
+        map.insert(
+            (source, seq),
+            Flight {
+                t_received: Instant::now(),
+                t_journaled: None,
+                t_folded: None,
+                event_time: None,
+            },
+        );
+        self.started.inc();
+    }
+
+    /// Attaches the event's own timestamp so [`Self::fold_up_to`] knows
+    /// when the watermark has passed it.
+    pub fn event_time(&self, source: u32, seq: u64, time: u64) {
+        if !self.sampled(seq) {
+            return;
+        }
+        if let Some(f) = self.inflight.lock().unwrap().get_mut(&(source, seq)) {
+            f.event_time = Some(time);
+        }
+    }
+
+    /// Stamps an intermediate stage. Unknown flights (unsampled, capped
+    /// out, or already completed) are ignored.
+    pub fn stamp(&self, source: u32, seq: u64, stage: Stage) {
+        if !self.sampled(seq) {
+            return;
+        }
+        let now = Instant::now();
+        let mut map = self.inflight.lock().unwrap();
+        let Some(f) = map.get_mut(&(source, seq)) else {
+            return;
+        };
+        match stage {
+            Stage::Received => {}
+            Stage::Journaled => {
+                if f.t_journaled.is_none() {
+                    f.t_journaled = Some(now);
+                    self.recv_to_journal
+                        .observe(nanos_between(f.t_received, now));
+                }
+            }
+            Stage::Acked => {
+                if let Some(tj) = f.t_journaled {
+                    self.journal_to_ack.observe(nanos_between(tj, now));
+                }
+            }
+            // Folded / Consistent advance with the watermark, not per
+            // event — see `fold_up_to`. Verified is stamped by a
+            // verifying consumer; treat it as completing the flight.
+            Stage::Folded | Stage::Consistent => {}
+            Stage::Verified => {
+                map.remove(&(source, seq));
+                self.completed.inc();
+            }
+        }
+    }
+
+    /// Advances every flight whose event time the watermark has passed:
+    /// stamps [`Stage::Folded`] the first time, and completes the
+    /// flight at [`Stage::Consistent`] once `consistent` is true.
+    pub fn fold_up_to(&self, watermark: u64, consistent: bool) {
+        let now = Instant::now();
+        let mut map = self.inflight.lock().unwrap();
+        let mut done: Vec<(u32, u64)> = Vec::new();
+        for (key, f) in map.iter_mut() {
+            match f.event_time {
+                Some(t) if t <= watermark => {}
+                _ => continue,
+            }
+            if f.t_folded.is_none() {
+                f.t_folded = Some(now);
+                self.recv_to_fold.observe(nanos_between(f.t_received, now));
+            }
+            if consistent {
+                self.fold_to_consistent
+                    .observe(nanos_between(f.t_folded.unwrap(), now));
+                done.push(*key);
+            }
+        }
+        for key in done {
+            map.remove(&key);
+            self.completed.inc();
+        }
+    }
+
+    /// Flights currently being tracked.
+    pub fn inflight(&self) -> usize {
+        self.inflight.lock().unwrap().len()
+    }
+}
+
+fn nanos_between(from: Instant, to: Instant) -> u64 {
+    to.duration_since(from).as_nanos().min(u64::MAX as u128) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::MetricsRegistry;
+
+    #[test]
+    fn flight_walks_the_stages() {
+        let reg = MetricsRegistry::new();
+        let rec = SpanRecorder::new(&reg, 1, 1024);
+        rec.received(0, 0);
+        rec.event_time(0, 0, 100);
+        rec.stamp(0, 0, Stage::Journaled);
+        rec.stamp(0, 0, Stage::Acked);
+        assert_eq!(rec.inflight(), 1);
+        // Watermark below the event time folds nothing.
+        rec.fold_up_to(99, true);
+        assert_eq!(rec.inflight(), 1);
+        // Fold but stay inconsistent: the flight stays open.
+        rec.fold_up_to(100, false);
+        assert_eq!(rec.inflight(), 1);
+        rec.fold_up_to(100, true);
+        assert_eq!(rec.inflight(), 0);
+        let s = reg.snapshot();
+        assert_eq!(s.counter_total("cpvr_flights_started_total"), 1);
+        assert_eq!(s.counter_total("cpvr_flights_completed_total"), 1);
+        for h in [
+            "cpvr_flight_received_to_journaled_nanos",
+            "cpvr_flight_journaled_to_acked_nanos",
+            "cpvr_flight_received_to_folded_nanos",
+            "cpvr_flight_folded_to_consistent_nanos",
+        ] {
+            assert_eq!(s.histogram(h, &[]).unwrap().count, 1, "{h}");
+        }
+    }
+
+    #[test]
+    fn sampling_skips_off_stride_seqs() {
+        let reg = MetricsRegistry::new();
+        let rec = SpanRecorder::new(&reg, 64, 1024);
+        for seq in 0..200 {
+            rec.received(1, seq);
+        }
+        // 0, 64, 128, 192.
+        assert_eq!(rec.inflight(), 4);
+    }
+
+    #[test]
+    fn cap_drops_instead_of_growing() {
+        let reg = MetricsRegistry::new();
+        let rec = SpanRecorder::new(&reg, 1, 2);
+        rec.received(0, 0);
+        rec.received(0, 1);
+        rec.received(0, 2);
+        assert_eq!(rec.inflight(), 2);
+        let s = reg.snapshot();
+        assert_eq!(s.counter_total("cpvr_flights_dropped_total"), 1);
+    }
+}

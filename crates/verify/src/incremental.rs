@@ -43,6 +43,9 @@ pub struct IncrementalStats {
     pub classes_reused: usize,
     /// Forwarding traces executed (initial build + deltas).
     pub traces_run: usize,
+    /// [`IncrementalVerifier::gate`] calls that found a violation and
+    /// rolled the update back.
+    pub gate_rollbacks: usize,
 }
 
 /// The cached outcome of checking one policy against one class.
@@ -264,6 +267,7 @@ impl IncrementalVerifier {
             // Removing a missing entry changed nothing; no inverse.
             None => {}
         }
+        self.stats.gate_rollbacks += 1;
         Err(report)
     }
 
