@@ -2,85 +2,27 @@
 //! move captured events from 8 concurrent router connections through
 //! the codec, the (optional) WAL, and the incremental verification
 //! pipeline. One "session" is the full life cycle: start a collector on
-//! loopback, stream `TOTAL_EVENTS` across the connections with periodic
+//! loopback, stream the events across the connections with periodic
 //! watermarks, drain to the final watermark, shut down.
+//!
+//! A9 extends the sweep along the `--shards` axis: the same WAL-backed
+//! session folded by 1, 2, 4, and 8 shard workers (per-shard segment
+//! series, group-committed fsyncs).
+//!
+//! The workload itself lives in `cpvr_bench::ingest` so the CI
+//! perf-budget gate (`src/bin/perf_budget.rs`) measures the same thing.
 
-use cpvr_collector::collector::{Collector, CollectorConfig};
-use cpvr_collector::wal::{wait_for, FsyncPolicy, TempDir, WalConfig};
-use cpvr_collector::SocketSink;
-use cpvr_dataplane::FibAction;
-use cpvr_sim::{EventId, IoEvent, IoKind};
-use cpvr_types::{Ipv4Prefix, RouterId, SimTime};
+use cpvr_bench::ingest::IngestSession;
+use cpvr_collector::wal::{FsyncPolicy, TempDir, WalConfig};
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
 
-const N_CONNS: u32 = 8;
-const TOTAL_EVENTS: usize = 40_000;
-const WATERMARK_EVERY: usize = 500;
-
-/// The synthetic per-router event stream: FIB churn over a rolling
-/// prefix set, ids globally unique, times strictly increasing.
-fn events_for(conn: u32) -> Vec<IoEvent> {
-    let per = TOTAL_EVENTS / N_CONNS as usize;
-    (0..per)
-        .map(|j| {
-            let time = SimTime::from_micros(10 * (j as u64 + 1));
-            let prefix: Ipv4Prefix = format!("10.{}.{}.0/24", j % 256, conn)
-                .parse()
-                .expect("valid prefix");
-            IoEvent {
-                id: EventId((j as u32) * N_CONNS + conn),
-                router: RouterId(conn),
-                time,
-                arrived_at: Some(time),
-                kind: if j % 7 == 6 {
-                    IoKind::FibRemove { prefix }
-                } else {
-                    IoKind::FibInstall {
-                        prefix,
-                        action: FibAction::Local,
-                    }
-                },
-            }
-        })
-        .collect()
-}
-
-/// Runs one full collector session and returns the events moved.
 fn run_session(wal: Option<WalConfig>, metrics: bool) -> u64 {
-    let mut cfg = CollectorConfig::new(N_CONNS);
-    cfg.wal = wal;
-    cfg.metrics = metrics;
-    let handle = Collector::start(cfg, "127.0.0.1:0").expect("bind loopback");
-    let addr = handle.local_addr();
-    let mut threads = Vec::new();
-    for conn in 0..N_CONNS {
-        threads.push(std::thread::spawn(move || {
-            let mut sink = SocketSink::connect(addr, RouterId(conn), N_CONNS).expect("connect");
-            for (j, e) in events_for(conn).iter().enumerate() {
-                sink.send(e).expect("send");
-                if (j + 1) % WATERMARK_EVERY == 0 {
-                    sink.watermark(e.time).expect("watermark");
-                }
-            }
-            sink.bye().expect("bye");
-        }));
+    IngestSession {
+        wal,
+        metrics,
+        ..IngestSession::default()
     }
-    for t in threads {
-        t.join().unwrap();
-    }
-    let total = (TOTAL_EVENTS / N_CONNS as usize * N_CONNS as usize) as u64;
-    assert!(
-        wait_for(Duration::from_secs(60), || {
-            let s = handle.stats();
-            s.events == total && s.watermark == Some(SimTime::MAX)
-        }),
-        "collector did not drain: {:?}",
-        handle.stats()
-    );
-    let report = handle.shutdown().expect("shutdown");
-    assert_eq!(report.stats.decode_errors, 0);
-    report.stats.events
+    .run()
 }
 
 fn bench(c: &mut Criterion) {
@@ -98,11 +40,14 @@ fn bench(c: &mut Criterion) {
             w.fsync = fsync;
             w
         });
-        let t0 = std::time::Instant::now();
-        let moved = run_session(wal, true);
-        let dt = t0.elapsed().as_secs_f64();
+        let session = IngestSession {
+            wal,
+            ..IngestSession::default()
+        };
+        let (moved, dt) = session.run_timed();
         println!(
-            "[A7 {name}] {moved} events / {N_CONNS} conns in {dt:.3}s = {:.0} events/sec",
+            "[A7 {name}] {moved} events / {} conns in {dt:.3}s = {:.0} events/sec",
+            session.n_conns,
             moved as f64 / dt
         );
     }
@@ -114,9 +59,12 @@ fn bench(c: &mut Criterion) {
     const ROUNDS: u32 = 3;
     for _ in 0..ROUNDS {
         for (metrics, acc) in [(false, &mut off), (true, &mut on)] {
-            let t0 = std::time::Instant::now();
-            let moved = run_session(None, metrics);
-            *acc += moved as f64 / t0.elapsed().as_secs_f64();
+            let session = IngestSession {
+                metrics,
+                ..IngestSession::default()
+            };
+            let (moved, dt) = session.run_timed();
+            *acc += moved as f64 / dt;
         }
     }
     let (on, off) = (on / f64::from(ROUNDS), off / f64::from(ROUNDS));
@@ -125,6 +73,37 @@ fn bench(c: &mut Criterion) {
          ({:+.1}% overhead)",
         (off - on) / off * 100.0
     );
+
+    // A9: sharded-fold scaling under a durable WAL. Same workload at
+    // every point; only the worker count and fsync cadence move. The
+    // 1-shard point is the legacy inline merger (fsync on the fold
+    // thread); every other point is the sharded fold with per-shard
+    // segment series and group-committed fsyncs. Under `Always` that
+    // pairing is where the win lives: the single merger serializes one
+    // fsync per batch while the workers' sync tickets coalesce into
+    // shared group-commit cycles. Best of three rounds per point to
+    // shave scheduler noise.
+    for (cadence, fsync) in [
+        ("always", FsyncPolicy::Always),
+        ("everyn-256", FsyncPolicy::EveryN(256)),
+    ] {
+        for shards in [1u32, 2, 4, 8] {
+            let mut best = 0.0f64;
+            for _ in 0..3 {
+                let tmp = TempDir::new("ingest-bench-shards").unwrap();
+                let mut w = WalConfig::new(tmp.path());
+                w.fsync = fsync;
+                let session = IngestSession {
+                    shards,
+                    wal: Some(w),
+                    ..IngestSession::default()
+                };
+                let (moved, dt) = session.run_timed();
+                best = best.max(moved as f64 / dt);
+            }
+            println!("[A9 {cadence} shards={shards}] best-of-3 = {best:.0} events/sec");
+        }
+    }
 
     let mut g = c.benchmark_group("ingest_throughput");
     g.sample_size(10);
@@ -139,6 +118,17 @@ fn bench(c: &mut Criterion) {
         b.iter(|| {
             let tmp = TempDir::new("ingest-bench-wal").unwrap();
             run_session(Some(WalConfig::new(tmp.path())), true)
+        })
+    });
+    g.bench_function("loopback-8conns-wal-4shards", |b| {
+        b.iter(|| {
+            let tmp = TempDir::new("ingest-bench-wal4").unwrap();
+            IngestSession {
+                shards: 4,
+                wal: Some(WalConfig::new(tmp.path())),
+                ..IngestSession::default()
+            }
+            .run()
         })
     });
     g.finish();

@@ -1,0 +1,112 @@
+//! CI perf-budget gate: runs the A7 ingest workload in short smoke mode
+//! (fixed event count, `EveryN(256)` fsync through the WAL) and fails —
+//! exit code 1 — if the measured events/second drops below the floor
+//! checked in at `perf_budget.json`. The measurement is written to
+//! `BENCH_ingest.json` so the CI job can upload it as an artifact and a
+//! regression comes with its own evidence attached.
+//!
+//! ```text
+//! cargo run --release -p cpvr-bench --bin perf_budget -- \
+//!     [--budget perf_budget.json] [--out BENCH_ingest.json] \
+//!     [--events N] [--shards N] [--rounds N]
+//! ```
+//!
+//! The floor is deliberately set well under the CI baseline (~30%
+//! headroom): the gate exists to catch real regressions — an accidental
+//! fsync-per-record, a quadratic fold — not scheduler noise.
+
+use cpvr_bench::ingest::IngestSession;
+use cpvr_collector::wal::{FsyncPolicy, TempDir, WalConfig};
+use std::path::PathBuf;
+
+/// Pulls `"key": <number>` out of a small JSON document. Good enough
+/// for the flat budget file this binary owns; not a general parser.
+fn json_number(doc: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\"");
+    let at = doc.find(&needle)? + needle.len();
+    let rest = doc[at..].trim_start().strip_prefix(':')?.trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn main() {
+    let mut budget_path = PathBuf::from("perf_budget.json");
+    let mut out_path = PathBuf::from("BENCH_ingest.json");
+    let mut events = 40_000usize;
+    let mut shards = 1u32;
+    let mut rounds = 3u32;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut take = |what: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{what} takes a value"))
+        };
+        match a.as_str() {
+            "--budget" => budget_path = PathBuf::from(take("--budget")),
+            "--out" => out_path = PathBuf::from(take("--out")),
+            "--events" => events = take("--events").parse().expect("--events takes a count"),
+            "--shards" => shards = take("--shards").parse().expect("--shards takes a count"),
+            "--rounds" => rounds = take("--rounds").parse().expect("--rounds takes a count"),
+            other => panic!("unknown argument: {other}"),
+        }
+    }
+
+    let budget = std::fs::read_to_string(&budget_path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", budget_path.display()));
+    let floor = json_number(&budget, "floor_events_per_sec")
+        .unwrap_or_else(|| panic!("{} lacks floor_events_per_sec", budget_path.display()));
+
+    // Best-of-N: the floor guards against regressions in the code, not
+    // against a noisy neighbor stealing one round's cycles.
+    let mut per_round = Vec::new();
+    let mut best = 0.0f64;
+    for round in 0..rounds.max(1) {
+        let tmp = TempDir::new("perf-budget").expect("temp wal dir");
+        let mut wal = WalConfig::new(tmp.path());
+        wal.fsync = FsyncPolicy::EveryN(256);
+        let session = IngestSession {
+            total_events: events,
+            shards,
+            wal: Some(wal),
+            ..IngestSession::default()
+        };
+        let (moved, dt) = session.run_timed();
+        let rate = moved as f64 / dt;
+        println!("[perf-budget round {round}] {moved} events in {dt:.3}s = {rate:.0} events/sec");
+        per_round.push(rate);
+        best = best.max(rate);
+    }
+    let pass = best >= floor;
+
+    let rounds_json = per_round
+        .iter()
+        .map(|r| format!("{r:.0}"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let report = format!(
+        "{{\n  \"experiment\": \"ingest_throughput_smoke\",\n  \
+         \"events\": {events},\n  \
+         \"shards\": {shards},\n  \
+         \"fsync\": \"every_n_256\",\n  \
+         \"rounds_events_per_sec\": [{rounds_json}],\n  \
+         \"best_events_per_sec\": {best:.0},\n  \
+         \"floor_events_per_sec\": {floor:.0},\n  \
+         \"pass\": {pass}\n}}\n"
+    );
+    std::fs::write(&out_path, &report)
+        .unwrap_or_else(|e| panic!("cannot write {}: {e}", out_path.display()));
+    println!("wrote {}", out_path.display());
+
+    if pass {
+        println!("[perf-budget] PASS: best {best:.0} events/sec >= floor {floor:.0}");
+    } else {
+        eprintln!(
+            "[perf-budget] FAIL: best {best:.0} events/sec under floor {floor:.0} — \
+             ingest throughput regressed (or the floor in {} is set above this machine)",
+            budget_path.display()
+        );
+        std::process::exit(1);
+    }
+}

@@ -10,5 +10,6 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod ingest;
 
 pub use experiments::*;

@@ -6,7 +6,7 @@
 //!
 //! ```text
 //! cargo run --release -p cpvr-collector --example collectord \
-//!     [--metrics-interval SECS] [WAL_DIR]
+//!     [--metrics-interval SECS] [--shards N] [WAL_DIR]
 //! ```
 //!
 //! Without a `WAL_DIR` argument the log lives in a temp directory that
@@ -17,6 +17,10 @@
 //! daemon's own `/metrics`-style endpoint (a `MetricsReq` frame over
 //! the same TCP port) every SECS seconds and prints one-line summaries:
 //! ingest rate, worst per-source watermark lag, and WAL fsync p99.
+//!
+//! `--shards N` shards the merger fold across N worker threads (each
+//! with its own WAL segment series and group-committed fsyncs); the
+//! final state is provably identical to the single-merger default.
 
 use cpvr_collector::client::scrape_snapshot;
 use cpvr_collector::collector::{Collector, CollectorConfig};
@@ -38,6 +42,7 @@ const N_ROUTERS: u32 = 3;
 fn main() -> std::io::Result<()> {
     let mut wal_arg: Option<PathBuf> = None;
     let mut metrics_interval: Option<Duration> = None;
+    let mut fold_shards: u32 = 1;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -48,6 +53,13 @@ fn main() -> std::io::Result<()> {
                     .parse()
                     .expect("--metrics-interval takes a number of seconds");
                 metrics_interval = Some(Duration::from_secs(secs.max(1)));
+            }
+            "--shards" => {
+                fold_shards = args
+                    .next()
+                    .expect("--shards takes a worker count")
+                    .parse()
+                    .expect("--shards takes a worker count");
             }
             _ => wal_arg = Some(PathBuf::from(a)),
         }
@@ -66,11 +78,13 @@ fn main() -> std::io::Result<()> {
     };
 
     // --- the daemon ------------------------------------------------------
-    let cfg = CollectorConfig::new(N_ROUTERS).with_wal(WalConfig::new(&wal_dir));
+    let cfg = CollectorConfig::new(N_ROUTERS)
+        .with_wal(WalConfig::new(&wal_dir))
+        .with_shards(fold_shards);
     let handle = Collector::start(cfg, "127.0.0.1:0")?;
     let addr = handle.local_addr();
     println!(
-        "collectord listening on {addr}, wal at {}",
+        "collectord listening on {addr} ({fold_shards} fold shard(s)), wal at {}",
         wal_dir.display()
     );
     if let Some(r) = handle.recovery() {
@@ -236,8 +250,8 @@ fn main() -> std::io::Result<()> {
     println!(
         "pipeline: watermark {:?}, {} events folded, {} HBG edges, verdict {:?}",
         p.watermark(),
-        p.builder().processed(),
-        p.builder().hbg().canonical_edges().len(),
+        p.processed(),
+        p.canonical_edges().len(),
         p.status(),
     );
     if let Some(m) = &report.metrics {
@@ -255,8 +269,13 @@ fn main() -> std::io::Result<()> {
     }
 
     // --- crash-recovery demo ---------------------------------------------
-    // Rebuild the same state from nothing but the bytes on disk.
-    let (recovered, rr) = IngestPipeline::recover(PipelineConfig::new(N_ROUTERS), &wal_dir)?;
+    // Rebuild the same state from nothing but the bytes on disk — with
+    // one replay thread per shard series when the fold was sharded.
+    let (recovered, rr, _) = IngestPipeline::recover_parts(
+        PipelineConfig::new(N_ROUTERS),
+        &wal_dir,
+        fold_shards.max(1) as usize,
+    )?;
     println!(
         "replayed wal: {} events over {} segment(s) -> watermark {:?}, {} HBG edges, verdict {:?}",
         rr.events_replayed,
@@ -267,7 +286,7 @@ fn main() -> std::io::Result<()> {
     );
     assert_eq!(
         recovered.builder().hbg().canonical_edges(),
-        p.builder().hbg().canonical_edges(),
+        p.canonical_edges(),
         "recovered HBG must be bit-identical to the live one"
     );
     assert_eq!(recovered.status(), p.status());

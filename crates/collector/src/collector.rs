@@ -47,9 +47,12 @@
 //! [`Decoder`]: crate::codec::Decoder
 
 use crate::codec::{encode_frame, Decoder, Frame, Hello, RawFrame, VERSION};
+use crate::group_commit::{GroupCommit, GroupCommitHandle};
 use crate::metrics::{CollectorMetrics, DEFAULT_SPAN_SAMPLE};
 use crate::pipeline::{IngestPipeline, Offer, PipelineConfig, RecoveryReport, SourceState};
-use crate::wal::{Wal, WalConfig, WalMetrics};
+use crate::shard::{coordinator_loop, FoldReport};
+use crate::wal::{FsyncPolicy, Wal, WalConfig, WalMetrics};
+use cpvr_core::ShardPlan;
 use cpvr_obs::{ExpoFormat, Snapshot, Stage};
 use cpvr_sim::IoEvent;
 use cpvr_types::{RouterId, SimTime};
@@ -125,6 +128,18 @@ pub struct CollectorConfig {
     /// Event-flight span sampling stride: one in this many sequence
     /// numbers per source gets a causal latency breakdown.
     pub span_sample: u64,
+    /// How many fold workers to shard the merger across. `1` (the
+    /// default) runs the legacy single-merger path; `N > 1` partitions
+    /// routers and conversations across `N` worker threads joined by a
+    /// two-phase watermark barrier (see [`crate::shard`]), each with its
+    /// own WAL segment series and group-committed fsyncs.
+    pub shards: u32,
+    /// The partition to shard by. `None` uses
+    /// [`ShardPlan::uniform`]`(shards)`; deployments that know their
+    /// prefix layout should pass
+    /// [`ShardPlan::from_union_trie`]/[`ShardPlan::from_prefixes`] so
+    /// conversation ownership follows prefix ranges.
+    pub plan: Option<ShardPlan>,
 }
 
 impl CollectorConfig {
@@ -139,6 +154,8 @@ impl CollectorConfig {
             wal: None,
             metrics: true,
             span_sample: DEFAULT_SPAN_SAMPLE,
+            shards: 1,
+            plan: None,
         }
     }
 
@@ -167,21 +184,37 @@ impl CollectorConfig {
         self.span_sample = every.max(1);
         self
     }
+
+    /// Shards the merger fold across `shards` worker threads (uniform
+    /// router partition unless [`Self::with_plan`] overrides it).
+    pub fn with_shards(mut self, shards: u32) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+
+    /// Shards the merger fold by an explicit [`ShardPlan`] (e.g. built
+    /// from the deployment's union prefix trie).
+    pub fn with_plan(mut self, plan: ShardPlan) -> Self {
+        self.shards = plan.shards();
+        self.plan = Some(plan);
+        self
+    }
 }
 
-/// Live counters, observable while the collector runs.
+/// Live counters, observable while the collector runs. Shared with the
+/// sharded coordinator in [`crate::shard`].
 #[derive(Default)]
-struct SharedStats {
-    connections: AtomicU64,
-    events: AtomicU64,
-    bytes: AtomicU64,
-    decode_errors: AtomicU64,
-    corrupt_frames: AtomicU64,
-    duplicate_events: AtomicU64,
-    gap_events: AtomicU64,
-    late_events: AtomicU64,
-    evictions: AtomicU64,
-    readmissions: AtomicU64,
+pub(crate) struct SharedStats {
+    pub(crate) connections: AtomicU64,
+    pub(crate) events: AtomicU64,
+    pub(crate) bytes: AtomicU64,
+    pub(crate) decode_errors: AtomicU64,
+    pub(crate) corrupt_frames: AtomicU64,
+    pub(crate) duplicate_events: AtomicU64,
+    pub(crate) gap_events: AtomicU64,
+    pub(crate) late_events: AtomicU64,
+    pub(crate) evictions: AtomicU64,
+    pub(crate) readmissions: AtomicU64,
     /// Nanos of the last globally advanced watermark; only meaningful
     /// once `watermark_set` is true (zero is a valid watermark, so it
     /// cannot double as the "never advanced" sentinel).
@@ -190,7 +223,7 @@ struct SharedStats {
 }
 
 impl SharedStats {
-    fn set_watermark(&self, wm: SimTime) {
+    pub(crate) fn set_watermark(&self, wm: SimTime) {
         self.watermark_nanos.store(wm.as_nanos(), Ordering::Relaxed);
         self.watermark_set.store(true, Ordering::Release);
     }
@@ -253,10 +286,10 @@ impl SharedStats {
 
 /// One decoded event, carrying its wire encoding for the WAL when one
 /// is configured (re-encoding in the merger would serialize the cost).
-struct EventRec {
-    seq: u64,
-    event: IoEvent,
-    raw: Option<Vec<u8>>,
+pub(crate) struct EventRec {
+    pub(crate) seq: u64,
+    pub(crate) event: IoEvent,
+    pub(crate) raw: Option<Vec<u8>>,
 }
 
 /// What a reader thread hands to the merger.
@@ -266,7 +299,7 @@ struct EventRec {
 /// chunk is drained (or the batch cap) with zero semantic cost — and
 /// the channel carries far fewer messages than one per event, which is
 /// what keeps the single merger from becoming the contention point.
-enum Msg {
+pub(crate) enum Msg {
     Hello {
         conn: u64,
         hello: Hello,
@@ -306,8 +339,9 @@ const ACK_WRITE_TIMEOUT: Duration = Duration::from_millis(50);
 
 /// The final accounting returned by [`CollectorHandle::shutdown`].
 pub struct CollectorReport {
-    /// The verification state at shutdown.
-    pub pipeline: IngestPipeline,
+    /// The verification state at shutdown — the legacy pipeline for
+    /// `shards = 1`, the merged shard states otherwise.
+    pub pipeline: FoldReport,
     /// Final counters.
     pub stats: CollectorStats,
     /// Sources that were still holding the watermark back at shutdown —
@@ -331,9 +365,10 @@ pub struct CollectorHandle {
     stop: Arc<AtomicBool>,
     stats: Arc<SharedStats>,
     accept: Option<JoinHandle<()>>,
-    merger: Option<JoinHandle<(IngestPipeline, Option<io::Error>)>>,
+    merger: Option<JoinHandle<(FoldReport, Option<io::Error>)>>,
     recovery: Option<RecoveryReport>,
     metrics: Option<Arc<CollectorMetrics>>,
+    group_commit: Option<GroupCommitHandle>,
 }
 
 /// The collector entry point.
@@ -347,43 +382,135 @@ impl Collector {
         listener.set_nonblocking(true)?;
         let local = listener.local_addr()?;
 
+        let shards = cfg.shards.max(1);
         let metrics = cfg.metrics.then(|| {
             Arc::new(CollectorMetrics::new(
                 cfg.pipeline.n_routers,
                 cfg.span_sample,
+                shards,
             ))
         });
-
-        let (pipeline, recovery, wal) = match &cfg.wal {
-            Some(wal_cfg) => {
-                let (pipeline, report) = IngestPipeline::recover(cfg.pipeline, &wal_cfg.dir)?;
-                let mut wal = Wal::open(wal_cfg.clone())?;
-                if let Some(m) = &metrics {
-                    let r = &m.registry;
-                    wal.set_metrics(WalMetrics {
-                        appends: r.counter("cpvr_wal_appends_total"),
-                        bytes: r.counter("cpvr_wal_bytes_total"),
-                        syncs: r.counter("cpvr_wal_syncs_total"),
-                        rotations: r.counter("cpvr_wal_rotations_total"),
-                        fsync_nanos: r.histogram("cpvr_wal_fsync_nanos"),
-                    });
-                }
-                (pipeline, Some(report), Some(wal))
+        let wal_metrics = |m: &Arc<CollectorMetrics>| {
+            let r = &m.registry;
+            WalMetrics {
+                appends: r.counter("cpvr_wal_appends_total"),
+                bytes: r.counter("cpvr_wal_bytes_total"),
+                syncs: r.counter("cpvr_wal_syncs_total"),
+                rotations: r.counter("cpvr_wal_rotations_total"),
+                fsync_nanos: r.histogram("cpvr_wal_fsync_nanos"),
             }
-            None => (IngestPipeline::new(cfg.pipeline), None, None),
         };
 
         let stop = Arc::new(AtomicBool::new(false));
         let stats = Arc::new(SharedStats::default());
         let (tx, rx) = std::sync::mpsc::sync_channel::<Msg>(cfg.channel_capacity.max(1));
 
-        let merger = {
-            let stats = Arc::clone(&stats);
-            let lease = cfg.lease;
-            let metrics = metrics.clone();
-            thread::Builder::new()
-                .name("cpvr-merger".into())
-                .spawn(move || merger_loop(rx, pipeline, wal, lease, &stats, metrics.as_deref()))?
+        let mut group_commit = None;
+        let (merger, recovery) = if shards == 1 {
+            // The legacy single-merger path, byte for byte: the sharded
+            // fold's correctness oracle.
+            let (pipeline, recovery, wal) = match &cfg.wal {
+                Some(wal_cfg) => {
+                    let (pipeline, report) = IngestPipeline::recover(cfg.pipeline, &wal_cfg.dir)?;
+                    let mut wal = Wal::open(wal_cfg.clone())?;
+                    if let Some(m) = &metrics {
+                        wal.set_metrics(wal_metrics(m));
+                    }
+                    (pipeline, Some(report), Some(wal))
+                }
+                None => (IngestPipeline::new(cfg.pipeline), None, None),
+            };
+            let merger = {
+                let stats = Arc::clone(&stats);
+                let lease = cfg.lease;
+                let metrics = metrics.clone();
+                thread::Builder::new().name("cpvr-merger".into()).spawn(
+                    move || -> (FoldReport, Option<io::Error>) {
+                        let (pipeline, wal_err) =
+                            merger_loop(rx, pipeline, wal, lease, &stats, metrics.as_deref());
+                        (FoldReport::Single(Box::new(pipeline)), wal_err)
+                    },
+                )?
+            };
+            (merger, recovery)
+        } else {
+            let plan = cfg
+                .plan
+                .clone()
+                .unwrap_or_else(|| ShardPlan::uniform(shards));
+            // Recovery reuses the monolithic replay to reconstruct the
+            // source table and watermark, then reseeds the workers from
+            // the recovered event list.
+            let (sources, recovered_wm, recovered_events, recovery, wals) = match &cfg.wal {
+                Some(wal_cfg) => {
+                    let (pipeline, report, events) =
+                        IngestPipeline::recover_parts(cfg.pipeline, &wal_cfg.dir, shards as usize)?;
+                    let mut wals = Vec::with_capacity(shards as usize);
+                    for k in 0..shards {
+                        let mut series_cfg = wal_cfg.clone().for_series(k);
+                        series_cfg.deferred_sync = true;
+                        let mut w = Wal::open(series_cfg)?;
+                        if let Some(m) = &metrics {
+                            w.set_metrics(wal_metrics(m));
+                        }
+                        wals.push(w);
+                    }
+                    (
+                        pipeline.sources().clone(),
+                        pipeline.watermark(),
+                        events,
+                        Some(report),
+                        wals,
+                    )
+                }
+                None => (
+                    crate::pipeline::SourceTable::new(cfg.pipeline.n_routers),
+                    None,
+                    Vec::new(),
+                    None,
+                    Vec::new(),
+                ),
+            };
+            // The group-commit thread, shared by every worker's WAL
+            // series. Cadence: `EveryN(n)` syncs once per `n` appends
+            // across the whole fleet; `Always` syncs via per-batch
+            // tickets; `Never` only on rotation/close/stop.
+            let gc = (!wals.is_empty()).then(|| {
+                let cadence = match cfg.wal.as_ref().map_or(FsyncPolicy::Never, |w| w.fsync) {
+                    FsyncPolicy::EveryN(n) => n.max(1),
+                    FsyncPolicy::Always | FsyncPolicy::Never => u32::MAX,
+                };
+                let gc_metrics = metrics.as_ref().map(|m| {
+                    (
+                        m.registry.counter("cpvr_wal_syncs_total"),
+                        m.registry.histogram("cpvr_wal_fsync_nanos"),
+                    )
+                });
+                GroupCommit::start(cadence, gc_metrics)
+            });
+            group_commit = gc.as_ref().map(GroupCommit::handle);
+            let merger = {
+                let stats = Arc::clone(&stats);
+                let metrics = metrics.clone();
+                let cfg = cfg.clone();
+                thread::Builder::new().name("cpvr-merger".into()).spawn(
+                    move || -> (FoldReport, Option<io::Error>) {
+                        coordinator_loop(
+                            rx,
+                            cfg,
+                            plan,
+                            sources,
+                            recovered_wm,
+                            recovered_events,
+                            wals,
+                            gc,
+                            &stats,
+                            metrics,
+                        )
+                    },
+                )?
+            };
+            (merger, recovery)
         };
 
         let accept = {
@@ -404,6 +531,7 @@ impl Collector {
             merger: Some(merger),
             recovery,
             metrics,
+            group_commit,
         })
     }
 }
@@ -417,6 +545,15 @@ impl CollectorHandle {
     /// A snapshot of the live counters.
     pub fn stats(&self) -> CollectorStats {
         self.stats.snapshot()
+    }
+
+    /// The sharded fold's group-commit handle, when one is running
+    /// (`shards > 1` with a WAL). Exposed as a fault-injection hook:
+    /// [`crash`](GroupCommitHandle::crash) kills the sync thread as an
+    /// I/O fault would, after which `shutdown` must surface the error
+    /// while every event acked *before* the crash stays replayable.
+    pub fn group_commit(&self) -> Option<&GroupCommitHandle> {
+        self.group_commit.as_ref()
     }
 
     /// What WAL recovery found at startup, if a WAL was configured.

@@ -72,8 +72,10 @@ pub mod client;
 pub mod codec;
 pub mod collector;
 pub mod fault;
+pub mod group_commit;
 pub mod metrics;
 pub mod pipeline;
+pub mod shard;
 pub mod wal;
 
 pub use client::{scrape, scrape_snapshot, ReconnectPolicy, SinkMetrics, SocketSink};
@@ -82,8 +84,10 @@ pub use collector::{
     Collector, CollectorConfig, CollectorHandle, CollectorReport, CollectorStats, LeaseConfig,
 };
 pub use fault::{ChaosProxy, FaultKind, FaultPlan};
+pub use group_commit::{GroupCommit, GroupCommitHandle};
 pub use metrics::{source_state_code, CollectorMetrics};
 pub use pipeline::{
     IngestPipeline, Offer, PipelineConfig, RecoveryReport, SourceState, SourceTable,
 };
+pub use shard::{FoldReport, ShardedFold};
 pub use wal::{FsyncPolicy, Wal, WalConfig, WalMetrics, WalReplay};

@@ -19,7 +19,7 @@ use cpvr_obs::{
 };
 use cpvr_types::{RouterId, SimTime};
 
-use crate::pipeline::{IngestPipeline, SourceState};
+use crate::pipeline::{IngestPipeline, SourceState, SourceTable};
 
 /// Default sampling stride for event-flight spans: one in this many
 /// sequence numbers per source gets a full causal latency breakdown.
@@ -84,13 +84,20 @@ pub struct CollectorMetrics {
     pub(crate) fold_nanos: Histogram,
     pub(crate) fold_batch: Histogram,
 
+    // Sharded fold (empty vecs when the collector runs unsharded).
+    pub(crate) barrier_rounds: Counter,
+    pub(crate) shard_frontier: Vec<Gauge>,
+    pub(crate) shard_fold_lag: Vec<Gauge>,
+    pub(crate) shard_barrier_stall: Vec<Histogram>,
+
     sources: SourceGauges,
 }
 
 impl CollectorMetrics {
     /// Declares every family and resolves the static handles for a
-    /// deployment of `n_routers`.
-    pub fn new(n_routers: u32, span_sample: u64) -> Self {
+    /// deployment of `n_routers`, folded by `shards` workers (1 for the
+    /// legacy single-merger path).
+    pub fn new(n_routers: u32, span_sample: u64, shards: u32) -> Self {
         let registry = Arc::new(MetricsRegistry::new());
         let r = &registry;
 
@@ -220,6 +227,28 @@ impl CollectorMetrics {
             "Events folded per watermark advance",
         );
 
+        // Sharded fold.
+        r.declare(
+            "cpvr_barrier_rounds_total",
+            MetricKind::Counter,
+            "Two-phase cross-shard barrier rounds driven by the coordinator",
+        );
+        r.declare(
+            "cpvr_shard_frontier_nanos",
+            MetricKind::Gauge,
+            "Watermark a shard's fold last advanced to, in simulated nanoseconds",
+        );
+        r.declare(
+            "cpvr_shard_fold_lag_events",
+            MetricKind::Gauge,
+            "Ingested events a shard still buffers behind the watermark",
+        );
+        r.declare(
+            "cpvr_shard_barrier_stall_nanos",
+            MetricKind::Histogram,
+            "Wall-clock from barrier start to a shard's phase-1 reply",
+        );
+
         // Per-source liveness / lag.
         r.declare(
             "cpvr_source_state",
@@ -264,7 +293,27 @@ impl CollectorMetrics {
             "Wall-clock latency of one WAL flush+fsync",
         );
 
-        let spans = SpanRecorder::new(r, span_sample, SPAN_CAP);
+        let spans = if shards > 1 {
+            SpanRecorder::new_sharded(r, span_sample, SPAN_CAP, shards)
+        } else {
+            SpanRecorder::new(r, span_sample, SPAN_CAP)
+        };
+
+        let mut shard_frontier = Vec::new();
+        let mut shard_fold_lag = Vec::new();
+        let mut shard_barrier_stall = Vec::new();
+        if shards > 1 {
+            for k in 0..shards {
+                let label = k.to_string();
+                let l: &[(&str, &str)] = &[("shard", &label)];
+                shard_frontier.push(r.gauge_with("cpvr_shard_frontier_nanos", l));
+                shard_fold_lag.push(r.gauge_with("cpvr_shard_fold_lag_events", l));
+                shard_barrier_stall.push(r.histogram_with("cpvr_shard_barrier_stall_nanos", l));
+            }
+            for g in &shard_frontier {
+                g.set(-1);
+            }
+        }
 
         let mut state = Vec::with_capacity(n_routers as usize);
         let mut lag_nanos = Vec::with_capacity(n_routers as usize);
@@ -309,6 +358,10 @@ impl CollectorMetrics {
             waits_resolved: r.gauge("cpvr_tracker_waits_resolved"),
             fold_nanos: r.histogram("cpvr_fold_nanos"),
             fold_batch: r.histogram("cpvr_fold_batch"),
+            barrier_rounds: r.counter("cpvr_barrier_rounds_total"),
+            shard_frontier,
+            shard_fold_lag,
+            shard_barrier_stall,
             sources: SourceGauges {
                 state,
                 lag_nanos,
@@ -352,8 +405,13 @@ impl CollectorMetrics {
         if let Some(wm) = pipeline.watermark() {
             self.watermark_nanos.set(wm.as_nanos() as i64);
         }
+        self.publish_sources(pipeline.sources());
+    }
 
-        let table = pipeline.sources();
+    /// Publishes the per-source lease/lag/cursor gauges from a source
+    /// table. The sharded coordinator calls this directly — it owns the
+    /// table but not an [`IngestPipeline`].
+    pub(crate) fn publish_sources(&self, table: &SourceTable) {
         let furthest: Option<SimTime> = (0..self.sources.state.len() as u32)
             .filter_map(|i| table.promise_of(RouterId(i)))
             .max();

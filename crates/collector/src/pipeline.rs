@@ -60,7 +60,7 @@ impl PipelineConfig {
         }
     }
 
-    fn infer(&self) -> InferConfig<'static> {
+    pub(crate) fn infer(&self) -> InferConfig<'static> {
         InferConfig {
             rules: true,
             patterns: None,
@@ -495,58 +495,108 @@ impl IngestPipeline {
     /// the watermark cannot move again until the reconnecting clients
     /// re-promise, which they do as part of their reconnect protocol.
     pub fn recover(cfg: PipelineConfig, dir: &Path) -> io::Result<(Self, RecoveryReport)> {
-        let replayed = wal::replay(dir)?;
+        let (pipeline, report, _) = Self::recover_parts(cfg, dir, 1)?;
+        Ok((pipeline, report))
+    }
+
+    /// [`recover`](Self::recover), exposing the replayed event list
+    /// (for the sharded collector to redistribute to its workers) and
+    /// replaying independent WAL series on up to `threads` reader
+    /// threads. The result is identical at every thread count: series
+    /// are merged in deterministic series order regardless of which
+    /// thread read them.
+    ///
+    /// A sharded collector journals into one series per shard, each
+    /// worker logging every barrier watermark *before* folding to it.
+    /// The recovered watermark is therefore the **minimum over all
+    /// series of that series' largest logged watermark** (`None` if any
+    /// series never logged one): an event missing from series `k` was
+    /// accepted after `k` last logged a watermark `W_k`, and events
+    /// accepted after a barrier at `W` are stamped later than `W`, so
+    /// nothing at or below `min_k W_k` can be missing. With a single
+    /// series this degenerates to the largest logged watermark — the
+    /// legacy rule, byte for byte.
+    pub fn recover_parts(
+        cfg: PipelineConfig,
+        dir: &Path,
+        threads: usize,
+    ) -> io::Result<(Self, RecoveryReport, Vec<IoEvent>)> {
+        let replayed = wal::replay_all(dir, threads)?;
         let mut pipeline = Self::new(cfg);
         let mut events: Vec<IoEvent> = Vec::new();
-        let mut watermark: Option<SimTime> = None;
+        // Each series' largest logged watermark (`None` = that series
+        // never logged one).
+        let mut series_wms: Vec<Option<SimTime>> = Vec::with_capacity(replayed.len());
+        let mut torn = false;
+        let mut segments = 0usize;
         let mut corrupt = 0usize;
-        for record in &replayed.records {
-            // A WAL record is one full wire frame; its CRC was already
-            // checked by the record-level checksum, so a decode failure
-            // here means a writer bug, not disk corruption. Skip and
-            // count rather than abort recovery.
-            match decode_frame(record) {
-                Ok(Some((raw, used))) if used == record.len() => match raw.decode() {
-                    Ok(Frame::Event { seq, event }) => {
-                        if pipeline.sources.contains(event.router) {
-                            let e = pipeline.sources.entry_mut(event.router);
-                            e.next_seq = e.next_seq.max(seq + 1);
+        for (_series, r) in &replayed {
+            torn |= r.torn;
+            segments += r.segments;
+            let mut series_wm: Option<SimTime> = None;
+            for record in &r.records {
+                // A WAL record is one full wire frame; its CRC was
+                // already checked by the record-level checksum, so a
+                // decode failure here means a writer bug, not disk
+                // corruption. Skip and count rather than abort
+                // recovery.
+                match decode_frame(record) {
+                    Ok(Some((raw, used))) if used == record.len() => match raw.decode() {
+                        Ok(Frame::Event { seq, event }) => {
+                            if pipeline.sources.contains(event.router) {
+                                let e = pipeline.sources.entry_mut(event.router);
+                                e.next_seq = e.next_seq.max(seq + 1);
+                            }
+                            events.push(event);
                         }
-                        events.push(event);
-                    }
-                    Ok(Frame::Watermark { t, .. }) => {
-                        watermark = Some(watermark.map_or(t, |w| w.max(t)));
-                    }
-                    Ok(Frame::Hello(h)) => {
-                        if pipeline.sources.contains(h.source) {
-                            let e = pipeline.sources.entry_mut(h.source);
-                            e.session = Some(h.session);
-                            if e.state == SourceState::NeverConnected {
-                                e.state = SourceState::Live;
+                        Ok(Frame::Watermark { t, .. }) => {
+                            series_wm = Some(series_wm.map_or(t, |w| w.max(t)));
+                        }
+                        Ok(Frame::Hello(h)) => {
+                            if pipeline.sources.contains(h.source) {
+                                let e = pipeline.sources.entry_mut(h.source);
+                                e.session = Some(h.session);
+                                if e.state == SourceState::NeverConnected {
+                                    e.state = SourceState::Live;
+                                }
                             }
                         }
-                    }
-                    Ok(Frame::Evict { source }) => {
-                        if pipeline.sources.contains(source) {
-                            pipeline.sources.evict(source);
+                        Ok(Frame::Evict { source }) => {
+                            if pipeline.sources.contains(source) {
+                                pipeline.sources.evict(source);
+                            }
                         }
-                    }
-                    Ok(Frame::Admit { source }) => {
-                        if pipeline.sources.contains(source) {
-                            pipeline.sources.admit(source);
+                        Ok(Frame::Admit { source }) => {
+                            if pipeline.sources.contains(source) {
+                                pipeline.sources.admit(source);
+                            }
                         }
-                    }
-                    Ok(Frame::Bye { .. })
-                    | Ok(Frame::Ack { .. })
-                    | Ok(Frame::Fin)
-                    | Ok(Frame::Heartbeat)
-                    | Ok(Frame::MetricsReq { .. })
-                    | Ok(Frame::MetricsResp { .. }) => {}
-                    Err(_) => corrupt += 1,
-                },
-                _ => corrupt += 1,
+                        Ok(Frame::Bye { .. })
+                        | Ok(Frame::Ack { .. })
+                        | Ok(Frame::Fin)
+                        | Ok(Frame::Heartbeat)
+                        | Ok(Frame::MetricsReq { .. })
+                        | Ok(Frame::MetricsResp { .. }) => {}
+                        Err(_) => corrupt += 1,
+                    },
+                    _ => corrupt += 1,
+                }
             }
+            series_wms.push(series_wm);
         }
+        // min-of-max across series: any series without a watermark
+        // holds the recovered frontier at None (nothing was ever
+        // durably folded that every series has caught up to).
+        let watermark: Option<SimTime> = if series_wms.iter().any(Option::is_none) {
+            None
+        } else {
+            series_wms.iter().filter_map(|w| *w).min()
+        };
+        // Events may interleave across series in stamp order; sort so
+        // duplicate-free ingest order is deterministic. (Within one
+        // series the journal order already respects the fold frontier;
+        // across series only the (time, id) order is meaningful.)
+        events.sort_by_key(|e| (e.time, e.id));
         for e in &events {
             pipeline.ingest(e);
         }
@@ -556,12 +606,12 @@ impl IngestPipeline {
         let report = RecoveryReport {
             events_replayed: events.len(),
             watermark,
-            torn_tail: replayed.torn,
-            segments: replayed.segments,
+            torn_tail: torn,
+            segments,
             corrupt_records: corrupt,
             evicted: pipeline.sources.evicted(),
         };
-        Ok((pipeline, report))
+        Ok((pipeline, report, events))
     }
 }
 

@@ -64,17 +64,38 @@ pub struct WalConfig {
     pub segment_bytes: u64,
     /// Durability policy for the active segment.
     pub fsync: FsyncPolicy,
+    /// Which segment series this handle writes. `None` is the legacy
+    /// unnumbered series (`wal-NNNNNNNN.seg`); `Some(k)` is shard `k`'s
+    /// series (`wal-s<k>-NNNNNNNN.seg`). Series share the directory but
+    /// never a file, so one writer per series needs no locking.
+    pub series: Option<u32>,
+    /// When true, [`Wal::append`] neither flushes nor fsyncs — the
+    /// owner batches durability itself: [`Wal::flush`] per batch, and
+    /// fsyncs aggregated across all series by a group-commit thread
+    /// holding [`Wal::active_file`] clones. Rotation and
+    /// [`Wal::close`] still sync inline, so a finished segment is
+    /// always durable before the writer moves on.
+    pub deferred_sync: bool,
 }
 
 impl WalConfig {
     /// A config with default tuning (8 MiB segments, sync every 256
-    /// records) for the given directory.
+    /// records, legacy series, inline durability) for the given
+    /// directory.
     pub fn new(dir: impl Into<PathBuf>) -> Self {
         WalConfig {
             dir: dir.into(),
             segment_bytes: 8 * 1024 * 1024,
             fsync: FsyncPolicy::EveryN(256),
+            series: None,
+            deferred_sync: false,
         }
+    }
+
+    /// The same config, writing shard `k`'s segment series.
+    pub fn for_series(mut self, k: u32) -> Self {
+        self.series = Some(k);
+        self
     }
 }
 
@@ -109,22 +130,33 @@ pub struct WalMetrics {
     pub fsync_nanos: cpvr_obs::Histogram,
 }
 
-fn segment_path(dir: &Path, index: u64) -> PathBuf {
-    dir.join(format!("wal-{index:08}.seg"))
+fn segment_path(dir: &Path, series: Option<u32>, index: u64) -> PathBuf {
+    match series {
+        None => dir.join(format!("wal-{index:08}.seg")),
+        Some(k) => dir.join(format!("wal-s{k}-{index:08}.seg")),
+    }
 }
 
-/// Lists existing segment indices in ascending order.
-fn list_segments(dir: &Path) -> io::Result<Vec<u64>> {
+/// Parses a segment file name into `(series, index)`.
+fn parse_segment_name(name: &str) -> Option<(Option<u32>, u64)> {
+    let rest = name.strip_prefix("wal-")?.strip_suffix(".seg")?;
+    if let Some(tail) = rest.strip_prefix('s') {
+        let (series, idx) = tail.split_once('-')?;
+        Some((Some(series.parse().ok()?), idx.parse().ok()?))
+    } else {
+        Some((None, rest.parse().ok()?))
+    }
+}
+
+/// Lists one series' segment indices in ascending order.
+fn list_segments(dir: &Path, series: Option<u32>) -> io::Result<Vec<u64>> {
     let mut out = Vec::new();
     for entry in fs::read_dir(dir)? {
         let entry = entry?;
         let name = entry.file_name();
         let Some(name) = name.to_str() else { continue };
-        if let Some(num) = name
-            .strip_prefix("wal-")
-            .and_then(|rest| rest.strip_suffix(".seg"))
-        {
-            if let Ok(idx) = num.parse::<u64>() {
+        if let Some((s, idx)) = parse_segment_name(name) {
+            if s == series {
                 out.push(idx);
             }
         }
@@ -133,16 +165,39 @@ fn list_segments(dir: &Path) -> io::Result<Vec<u64>> {
     Ok(out)
 }
 
+/// Lists the segment series present in a WAL directory: the legacy
+/// unnumbered series first (if present), then shard series in ascending
+/// order. A missing directory lists as empty.
+pub fn list_series(dir: &Path) -> io::Result<Vec<Option<u32>>> {
+    let mut out = Vec::new();
+    if !dir.exists() {
+        return Ok(out);
+    }
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if let Some((s, _)) = parse_segment_name(name) {
+            out.push(s);
+        }
+    }
+    out.sort_unstable();
+    out.dedup();
+    Ok(out)
+}
+
 impl Wal {
     /// Opens (creating the directory if needed) and starts a *new*
     /// segment after any existing ones.
     pub fn open(cfg: WalConfig) -> io::Result<Self> {
         fs::create_dir_all(&cfg.dir)?;
-        let next = list_segments(&cfg.dir)?.last().map_or(0, |last| last + 1);
+        let next = list_segments(&cfg.dir, cfg.series)?
+            .last()
+            .map_or(0, |last| last + 1);
         let file = OpenOptions::new()
             .create_new(true)
             .write(true)
-            .open(segment_path(&cfg.dir, next))?;
+            .open(segment_path(&cfg.dir, cfg.series, next))?;
         Ok(Wal {
             cfg,
             seg_index: next,
@@ -185,6 +240,11 @@ impl Wal {
             m.appends.inc();
             m.bytes.add(len);
         }
+        if self.cfg.deferred_sync {
+            // Durability is batched by the owner (flush per batch,
+            // fsyncs aggregated by the group-commit thread).
+            return Ok(());
+        }
         match self.cfg.fsync {
             FsyncPolicy::Always => self.sync()?,
             FsyncPolicy::EveryN(n) => {
@@ -197,6 +257,31 @@ impl Wal {
             FsyncPolicy::Never => self.file.flush()?,
         }
         Ok(())
+    }
+
+    /// Flushes buffered writes to the OS without fsyncing — the
+    /// per-batch step of deferred-sync (group commit) operation.
+    pub fn flush(&mut self) -> io::Result<()> {
+        self.file.flush()
+    }
+
+    /// A clone of the active segment's file handle, for a group-commit
+    /// thread to fsync out-of-band. Must be re-fetched after a
+    /// rotation ([`segment_index`](Self::segment_index) changes).
+    pub fn active_file(&self) -> io::Result<File> {
+        self.file.get_ref().try_clone()
+    }
+
+    /// Credits `n` records as durably synced by an out-of-band fsync of
+    /// [`active_file`](Self::active_file) (group commit). Keeps
+    /// [`pending_sync`](Self::pending_sync) and
+    /// [`syncs`](Self::syncs) meaningful in deferred mode.
+    pub fn note_synced(&mut self, n: u32) {
+        self.since_sync = self.since_sync.saturating_sub(n);
+        self.syncs += 1;
+        if let Some(m) = &self.metrics {
+            m.syncs.inc();
+        }
     }
 
     /// Flushes and fsyncs the active segment.
@@ -222,7 +307,7 @@ impl Wal {
         let file = OpenOptions::new()
             .create_new(true)
             .write(true)
-            .open(segment_path(&self.cfg.dir, self.seg_index))?;
+            .open(segment_path(&self.cfg.dir, self.cfg.series, self.seg_index))?;
         self.file = BufWriter::new(file);
         self.seg_len = 0;
         Ok(())
@@ -276,39 +361,88 @@ pub struct WalReplay {
     pub bytes: u64,
 }
 
-/// Reads every intact record from the WAL directory, in order. A
-/// missing directory replays as empty (a collector that never wrote).
-pub fn replay(dir: &Path) -> io::Result<WalReplay> {
+/// Reads every intact record of one series, in append order across its
+/// segments. A missing directory replays as empty.
+pub fn replay_series(dir: &Path, series: Option<u32>) -> io::Result<WalReplay> {
     let mut out = WalReplay::default();
     if !dir.exists() {
         return Ok(out);
     }
-    for idx in list_segments(dir)? {
+    for idx in list_segments(dir, series)? {
         out.segments += 1;
         let mut data = Vec::new();
-        File::open(segment_path(dir, idx))?.read_to_end(&mut data)?;
+        File::open(segment_path(dir, series, idx))?.read_to_end(&mut data)?;
         let mut at = 0usize;
+        let mut torn_here = false;
         while data.len() - at >= RECORD_HEADER {
             let len = u32::from_le_bytes(data[at..at + 4].try_into().expect("4 bytes")) as usize;
             let crc = u32::from_le_bytes(data[at + 4..at + 8].try_into().expect("4 bytes"));
             let start = at + RECORD_HEADER;
             if len > MAX_RECORD_LEN as usize || data.len() - start < len {
-                out.torn = true;
+                torn_here = true;
                 break;
             }
             let payload = &data[start..start + len];
             if crc32::checksum(payload) != crc {
-                out.torn = true;
+                torn_here = true;
                 break;
             }
             out.records.push(payload.to_vec());
             out.bytes += len as u64;
             at = start + len;
         }
-        if at < data.len() && !out.torn {
+        if at < data.len() && !torn_here {
             // Trailing bytes too short to even hold a header.
-            out.torn = true;
+            torn_here = true;
         }
+        out.torn |= torn_here;
+    }
+    Ok(out)
+}
+
+/// Replays every series in a WAL directory, using up to `threads`
+/// reader threads (series are independent files, so they replay in
+/// parallel). Results are returned in deterministic series order (the
+/// legacy unnumbered series first, then shard series ascending) — the
+/// same result at any thread count.
+pub fn replay_all(dir: &Path, threads: usize) -> io::Result<Vec<(Option<u32>, WalReplay)>> {
+    let series = list_series(dir)?;
+    let threads = threads.clamp(1, series.len().max(1));
+    let mut out: Vec<(Option<u32>, io::Result<WalReplay>)> = Vec::with_capacity(series.len());
+    if threads <= 1 {
+        for s in series {
+            out.push((s, replay_series(dir, s)));
+        }
+    } else {
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let slots: Vec<std::sync::Mutex<Option<io::Result<WalReplay>>>> =
+            series.iter().map(|_| std::sync::Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    let Some(s) = series.get(i) else { break };
+                    *slots[i].lock().unwrap() = Some(replay_series(dir, *s));
+                });
+            }
+        });
+        for (s, slot) in series.iter().zip(slots) {
+            out.push((*s, slot.into_inner().unwrap().expect("worker filled slot")));
+        }
+    }
+    out.into_iter().map(|(s, r)| Ok((s, r?))).collect()
+}
+
+/// Reads every intact record from the WAL directory: all series, each
+/// in its own append order, concatenated in series order. For a
+/// single-series directory this is exactly the series' append order.
+pub fn replay(dir: &Path) -> io::Result<WalReplay> {
+    let mut out = WalReplay::default();
+    for (_, r) in replay_all(dir, 1)? {
+        out.records.extend(r.records);
+        out.torn |= r.torn;
+        out.segments += r.segments;
+        out.bytes += r.bytes;
     }
     Ok(out)
 }
@@ -418,7 +552,7 @@ mod tests {
         }
         wal.close().unwrap();
         // Append garbage simulating a crash mid-write.
-        let seg = segment_path(tmp.path(), 0);
+        let seg = segment_path(tmp.path(), None, 0);
         let mut f = OpenOptions::new().append(true).open(&seg).unwrap();
         f.write_all(&[0xde, 0xad, 0xbe, 0xef, 0x01]).unwrap();
         drop(f);
@@ -435,7 +569,7 @@ mod tests {
             wal.append(&record(i)).unwrap();
         }
         wal.close().unwrap();
-        let seg = segment_path(tmp.path(), 0);
+        let seg = segment_path(tmp.path(), None, 0);
         let mut data = fs::read(&seg).unwrap();
         let last = data.len() - 1;
         data[last] ^= 0xff; // corrupt the final record's payload

@@ -67,18 +67,18 @@ fn assert_bit_identical(report: &CollectorReport, reference: &IngestPipeline, la
     let got = &report.pipeline;
     assert_eq!(got.events(), reference.events(), "{label}: event count");
     assert_eq!(
-        got.builder().processed(),
+        got.processed(),
         reference.builder().processed(),
         "{label}: folded event count"
     );
     assert_eq!(
-        got.builder().hbg().canonical_edges(),
+        got.canonical_edges(),
         reference.builder().hbg().canonical_edges(),
         "{label}: HBG must be bit-identical"
     );
     assert_eq!(got.status(), reference.status(), "{label}: verdict");
     assert_eq!(
-        dataplane_fingerprint(got.tracker().dataplane()),
+        dataplane_fingerprint(got.dataplane()),
         dataplane_fingerprint(reference.tracker().dataplane()),
         "{label}: data plane"
     );
@@ -105,7 +105,8 @@ fn run_chaotic(events: &[IoEvent], seed: u64, dir: &TempDir) -> CollectorReport 
     // the eviction escape hatch — that path gets its own scripted test.
     let cfg = CollectorConfig::new(N_ROUTERS)
         .with_wal(WalConfig::new(dir.path()))
-        .with_lease(LeaseConfig::disabled());
+        .with_lease(LeaseConfig::disabled())
+        .with_shards(chaos_shards());
     let handle = Collector::start(cfg, "127.0.0.1:0").expect("bind loopback");
     let addr = handle.local_addr();
 
@@ -299,6 +300,16 @@ fn chaos_seeds() -> Vec<u64> {
     match std::env::var("CHAOS_SEED") {
         Ok(s) => vec![s.parse().expect("CHAOS_SEED must be a u64")],
         Err(_) => vec![1, 2, 3],
+    }
+}
+
+/// How many fold shards the chaos collector runs. CI's matrix crosses
+/// the seeds with `CHAOS_SHARDS` ∈ {1, 2, 4}; locally it defaults to
+/// the legacy single merger.
+fn chaos_shards() -> u32 {
+    match std::env::var("CHAOS_SHARDS") {
+        Ok(s) => s.parse().expect("CHAOS_SHARDS must be a u32"),
+        Err(_) => 1,
     }
 }
 

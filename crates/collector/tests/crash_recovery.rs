@@ -94,7 +94,10 @@ fn stream_through_collector(events: &[IoEvent], dir: &std::path::Path) -> Ingest
         "collector never folded the full stream: {:?}",
         handle.stats()
     );
-    handle.shutdown().expect("clean shutdown").pipeline
+    match handle.shutdown().expect("clean shutdown").pipeline {
+        cpvr_collector::FoldReport::Single(p) => *p,
+        cpvr_collector::FoldReport::Sharded(_) => unreachable!("collector runs unsharded here"),
+    }
 }
 
 #[test]
@@ -234,7 +237,7 @@ fn collector_restart_resumes_from_recovered_watermark() {
     assert!(!recovered.torn_tail);
     let report = handle.shutdown().expect("clean shutdown");
     assert_eq!(
-        report.pipeline.builder().hbg().canonical_edges(),
+        report.pipeline.canonical_edges(),
         reference.builder().hbg().canonical_edges()
     );
     assert_eq!(report.pipeline.status(), reference.status());

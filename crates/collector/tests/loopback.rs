@@ -150,16 +150,16 @@ fn concurrent_streams_match_in_process_pipeline() {
     // Bit-identical verification state.
     let got = report.pipeline;
     assert_eq!(got.events(), reference.events());
-    assert_eq!(got.builder().processed(), reference.builder().processed());
-    assert_eq!(got.builder().pending(), 0);
+    assert_eq!(got.processed(), reference.builder().processed());
+    assert_eq!(got.pending(), 0);
     assert_eq!(
-        got.builder().hbg().canonical_edges(),
+        got.canonical_edges(),
         reference.builder().hbg().canonical_edges(),
         "HBG must match the in-process run edge for edge"
     );
     assert_eq!(got.status(), ref_status);
     assert_eq!(
-        dataplane_fingerprint(got.tracker().dataplane()),
+        dataplane_fingerprint(got.dataplane()),
         dataplane_fingerprint(reference.tracker().dataplane()),
         "assembled data plane must match"
     );

@@ -70,6 +70,12 @@ impl Ord for Pending {
 #[derive(Clone)]
 pub struct HbgBuilder {
     rules: Option<RuleSweep>,
+    /// Which rule family this builder folds — [`RuleScope::All`] for
+    /// the monolithic pipeline; a sharded pipeline splits one builder
+    /// into a `LocalOnly` builder per router slice plus a `CrossOnly`
+    /// builder per conversation slice, whose edge union equals the
+    /// monolithic graph.
+    scope: RuleScope,
     patterns: Option<(PatternEngine, bool)>,
     state: SweepState,
     times: HashMap<EventId, SimTime>,
@@ -95,8 +101,19 @@ impl HbgBuilder {
     /// path. The pattern miner, if any, is compiled once up front; later
     /// training of the original miner does not affect this builder.
     pub fn new(cfg: &InferConfig<'_>) -> Self {
+        Self::new_scoped(cfg, RuleScope::All)
+    }
+
+    /// A builder whose rule sweep only fires the given scope's rules.
+    /// Used by the sharded fold: each shard runs a `LocalOnly` builder
+    /// over its routers' events and a `CrossOnly` builder over its
+    /// conversations' send/recv events; the union of edges across all
+    /// such builders equals a single [`RuleScope::All`] builder over
+    /// the whole stream.
+    pub fn new_scoped(cfg: &InferConfig<'_>, scope: RuleScope) -> Self {
         HbgBuilder {
             rules: cfg.rules.then(RuleSweep::new),
+            scope,
             patterns: cfg
                 .patterns
                 .map(|m| (PatternEngine::compile(m, cfg.min_confidence), cfg.proximate)),
@@ -148,7 +165,7 @@ impl HbgBuilder {
             let Reverse(Pending(e)) = self.queue.pop().expect("peeked");
             if let Some(sweep) = &mut self.rules {
                 let mut out = Vec::new();
-                sweep.step(&e, RuleScope::All, &mut out);
+                sweep.step(&e, self.scope, &mut out);
                 for h in out {
                     *self.edge_counts.entry(h.source.to_string()).or_default() += 1;
                     self.g.add(h);
@@ -351,6 +368,68 @@ mod tests {
         b.ingest(sorted[1]);
         b.advance(SimTime::MAX);
         b.ingest(sorted[0]);
+    }
+
+    /// Scoped shard builders (per-router `LocalOnly` + per-conversation
+    /// `CrossOnly`) must union to the monolithic `All` graph — the edge
+    /// half of the sharded-fold oracle.
+    #[test]
+    fn scoped_shard_builders_union_to_monolithic() {
+        use crate::shard::ShardPlan;
+        use crate::snapshot::classify_conv;
+        let trace = sample_trace(5);
+        let cfg = InferConfig {
+            rules: true,
+            patterns: None,
+            min_confidence: 0.0,
+            proximate: false,
+        };
+        let mono = {
+            let mut b = HbgBuilder::new(&cfg);
+            for e in &trace.events {
+                b.ingest(e);
+            }
+            b.advance(SimTime::MAX);
+            b
+        };
+        for shards in [2u32, 3] {
+            let plan = ShardPlan::uniform(shards);
+            let mut locals: Vec<HbgBuilder> = (0..shards)
+                .map(|_| HbgBuilder::new_scoped(&cfg, RuleScope::LocalOnly))
+                .collect();
+            let mut crosses: Vec<HbgBuilder> = (0..shards)
+                .map(|_| HbgBuilder::new_scoped(&cfg, RuleScope::CrossOnly))
+                .collect();
+            for e in &trace.events {
+                locals[plan.of_router(e.router) as usize].ingest(e);
+                if let Some((key, _)) = classify_conv(e) {
+                    crosses[plan.of_conv(&key) as usize].ingest(e);
+                }
+            }
+            let mut merged = crate::hbg::Hbg::new(0);
+            let mut processed = 0;
+            for b in locals.iter_mut() {
+                b.advance(SimTime::MAX);
+                processed += b.processed();
+                merged.grow_to(b.hbg().num_events());
+                for h in b.hbg().edges() {
+                    merged.add(*h);
+                }
+            }
+            for b in crosses.iter_mut() {
+                b.advance(SimTime::MAX);
+                merged.grow_to(b.hbg().num_events());
+                for h in b.hbg().edges() {
+                    merged.add(*h);
+                }
+            }
+            assert_eq!(processed, mono.processed(), "shards {shards}");
+            assert_eq!(
+                merged.canonical_edges(),
+                mono.hbg().canonical_edges(),
+                "shards {shards}"
+            );
+        }
     }
 
     #[test]

@@ -41,6 +41,7 @@ pub mod predict;
 pub mod provenance;
 pub mod repair;
 pub mod rules;
+pub mod shard;
 pub mod snapshot;
 pub mod whatif;
 
@@ -54,4 +55,8 @@ pub use infer::{infer_hbg, infer_hbg_parallel, InferConfig, InferStats, PatternM
 pub use predict::OutcomePredictor;
 pub use provenance::{root_causes, RootCause};
 pub use repair::{propose_repairs, RepairPlan};
-pub use snapshot::{consistency_check, consistent_snapshot, ConsistencyTracker, SnapshotStatus};
+pub use shard::ShardPlan;
+pub use snapshot::{
+    classify_conv, consistency_check, consistent_snapshot, ConsistencyTracker, ConvDigest, ConvKey,
+    SnapshotStatus, TrackerSlice,
+};

@@ -119,7 +119,42 @@ pub fn consistency_check_events(arrived: &[&IoEvent]) -> SnapshotStatus {
 }
 
 /// A send/recv conversation: `(sender, addressee, proto, prefix)`.
-type ConvKey = (RouterId, RouterId, Proto, Option<Ipv4Prefix>);
+pub type ConvKey = (RouterId, RouterId, Proto, Option<Ipv4Prefix>);
+
+/// Classifies an event as one side of an internal conversation:
+/// `Some((key, is_send))` for internal send/recv advert/withdraw
+/// events, `None` otherwise. This is the routing predicate the sharded
+/// collector uses to decide which shard's conversation slice an event
+/// must also reach.
+pub fn classify_conv(e: &IoEvent) -> Option<(ConvKey, bool)> {
+    match &e.kind {
+        IoKind::SendAdvert {
+            proto,
+            prefix,
+            to: Some(PeerRef::Internal(to)),
+            ..
+        }
+        | IoKind::SendWithdraw {
+            proto,
+            prefix,
+            to: Some(PeerRef::Internal(to)),
+            ..
+        } => Some(((e.router, *to, *proto, *prefix), true)),
+        IoKind::RecvAdvert {
+            proto,
+            prefix,
+            from: Some(PeerRef::Internal(from)),
+            ..
+        }
+        | IoKind::RecvWithdraw {
+            proto,
+            prefix,
+            from: Some(PeerRef::Internal(from)),
+            ..
+        } => Some(((*from, e.router, *proto, *prefix), false)),
+        _ => None,
+    }
+}
 
 /// What the tracker needs to remember about one event after ingest.
 #[derive(Clone)]
@@ -436,6 +471,241 @@ impl ConsistencyTracker {
         t.advance(horizon);
         t.drain_applied();
         t
+    }
+}
+
+/// One side of a conversation, observed on a router stream owned by
+/// some shard and addressed to the shard owning the conversation.
+///
+/// The exchange of these digests at each watermark barrier is the whole
+/// cross-shard interface of the sharded fold: everything else the
+/// tracker computes is per-router (streams, FIBs, capture clamps) and
+/// stays shard-local.
+#[derive(Clone, Debug)]
+pub struct ConvDigest {
+    /// The conversation.
+    pub key: ConvKey,
+    /// True for the send side, false for the recv side.
+    pub is_send: bool,
+    /// The record's canonical event time (already FIFO-clamp admitted
+    /// by the owning stream, so the receiving slice appends it without
+    /// re-deriving arrival order).
+    pub time: SimTime,
+}
+
+/// One shard's slice of a [`ConsistencyTracker`].
+///
+/// A slice owns a subset of router streams (whole streams — the FIFO
+/// arrival clamp makes a stream indivisible) and a subset of
+/// conversations (by [`ShardPlan::of_conv`](crate::shard::ShardPlan)).
+/// [`advance_collect`](Self::advance_collect) replays the owned streams
+/// exactly like [`ConsistencyTracker::advance`], but sends/recvs whose
+/// conversation another shard owns are emitted into a per-destination
+/// outbox instead of being applied; the destination slice applies them
+/// via [`absorb`](Self::absorb) and re-judges via
+/// [`recheck`](Self::recheck). Per conversation side, records originate
+/// from exactly one stream and are delivered in stream order, so each
+/// slice's send/recv lists are identical to the monolithic tracker's —
+/// which makes the union of [`missing`](Self::missing) across slices
+/// equal to the monolithic [`ConsistencyTracker::status`] verdict.
+///
+/// Wait-transition counting is deliberately absent: a wait is a verdict
+/// on the *merged* missing set, so the coordinator counts transitions
+/// on the merged sequence.
+#[derive(Clone)]
+pub struct TrackerSlice {
+    shard: u32,
+    plan: crate::shard::ShardPlan,
+    streams: Vec<RouterStream>,
+    sends: BTreeMap<ConvKey, Vec<SimTime>>,
+    recvs: BTreeMap<ConvKey, Vec<SimTime>>,
+    dirty: std::collections::BTreeSet<ConvKey>,
+    bad: std::collections::BTreeSet<ConvKey>,
+    dp: DataPlane,
+}
+
+impl TrackerSlice {
+    /// Shard `shard`'s slice of a tracker for `n_routers` routers.
+    pub fn new(n_routers: usize, plan: crate::shard::ShardPlan, shard: u32) -> Self {
+        TrackerSlice {
+            shard,
+            plan,
+            streams: vec![RouterStream::default(); n_routers],
+            sends: BTreeMap::new(),
+            recvs: BTreeMap::new(),
+            dirty: std::collections::BTreeSet::new(),
+            bad: std::collections::BTreeSet::new(),
+            dp: DataPlane::new(n_routers),
+        }
+    }
+
+    /// Buffers one captured event, exactly like
+    /// [`ConsistencyTracker::ingest`]. The caller routes events so that
+    /// `e.router` is owned by this slice's shard.
+    pub fn ingest(&mut self, e: &IoEvent) {
+        debug_assert_eq!(
+            self.plan.of_router(e.router),
+            self.shard,
+            "event for router {:?} ingested into slice {}",
+            e.router,
+            self.shard
+        );
+        let digest = match classify_conv(e) {
+            Some((key, true)) => Digest::Send(key),
+            Some((key, false)) => Digest::Recv(key),
+            None => match &e.kind {
+                IoKind::FibInstall { prefix, action } => Digest::FibInstall(*prefix, *action),
+                IoKind::FibRemove { prefix } => Digest::FibRemove(*prefix),
+                _ => Digest::Other,
+            },
+        };
+        let stream = &mut self.streams[e.router.index()];
+        let rec = StreamRecord {
+            time: e.time,
+            id: e.id,
+            raw: e.arrived_at,
+            digest,
+        };
+        let pos = stream
+            .records
+            .partition_point(|r| (r.time, r.id) < (rec.time, rec.id));
+        debug_assert!(
+            pos >= stream.next,
+            "event {} at {} ingested behind the consumption frontier",
+            e.id,
+            e.time
+        );
+        stream.records.insert(pos, rec);
+    }
+
+    /// Replays the owned streams up to `horizon` (the
+    /// [`ConsistencyTracker::advance`] loop, including the lost-record
+    /// and FIFO-clamp discipline), applying owned-conversation digests
+    /// locally and pushing foreign ones into `outbox[owner]`.
+    ///
+    /// Callers follow with the barrier exchange, [`absorb`](Self::absorb)
+    /// of delivered digests, and [`recheck`](Self::recheck).
+    pub fn advance_collect(&mut self, horizon: SimTime, outbox: &mut [Vec<ConvDigest>]) {
+        for (r, stream) in self.streams.iter_mut().enumerate() {
+            let router = RouterId(r as u32);
+            while let Some(rec) = stream.records.get(stream.next) {
+                let Some(raw) = rec.raw else {
+                    if rec.time > horizon {
+                        break;
+                    }
+                    stream.next += 1;
+                    continue;
+                };
+                let eff = stream.high.map_or(raw, |h| h.max(raw));
+                if eff > horizon {
+                    break;
+                }
+                stream.high = Some(eff);
+                match &rec.digest {
+                    Digest::Send(key) | Digest::Recv(key) => {
+                        let is_send = matches!(rec.digest, Digest::Send(_));
+                        let owner = self.plan.of_conv(key);
+                        if owner == self.shard {
+                            let side = if is_send {
+                                self.sends.entry(*key).or_default()
+                            } else {
+                                self.recvs.entry(*key).or_default()
+                            };
+                            side.push(rec.time);
+                            self.dirty.insert(*key);
+                        } else {
+                            outbox[owner as usize].push(ConvDigest {
+                                key: *key,
+                                is_send,
+                                time: rec.time,
+                            });
+                        }
+                    }
+                    Digest::FibInstall(prefix, action) => {
+                        self.dp.apply(&FibUpdate {
+                            router,
+                            prefix: *prefix,
+                            kind: UpdateKind::Install,
+                            action: *action,
+                            at: rec.time,
+                        });
+                    }
+                    Digest::FibRemove(prefix) => {
+                        self.dp.apply(&FibUpdate {
+                            router,
+                            prefix: *prefix,
+                            kind: UpdateKind::Remove,
+                            action: FibAction::Drop,
+                            at: rec.time,
+                        });
+                    }
+                    Digest::Other => {}
+                }
+                self.dp
+                    .set_taken_at(router, rec.time.max(self.dp.taken_at(router)));
+                stream.next += 1;
+            }
+        }
+    }
+
+    /// Applies a digest delivered from another shard's
+    /// [`advance_collect`](Self::advance_collect). Digests for one
+    /// conversation side must be applied in origin-stream order; the
+    /// barrier guarantees this by forwarding each origin's outbox as an
+    /// ordered batch.
+    pub fn absorb(&mut self, d: &ConvDigest) {
+        debug_assert_eq!(self.plan.of_conv(&d.key), self.shard);
+        let side = if d.is_send {
+            self.sends.entry(d.key).or_default()
+        } else {
+            self.recvs.entry(d.key).or_default()
+        };
+        side.push(d.time);
+        self.dirty.insert(d.key);
+    }
+
+    /// Re-judges causal closure for conversations that gained records
+    /// this round — the same merge-walk as the monolithic tracker.
+    pub fn recheck(&mut self) {
+        for key in std::mem::take(&mut self.dirty) {
+            let rs = self.recvs.get(&key).map_or(&[][..], |v| &v[..]);
+            let ss = self.sends.get(&key).map_or(&[][..], |v| &v[..]);
+            let mut avail = 0usize;
+            let mut si = 0usize;
+            let mut ok = true;
+            for (i, rt) in rs.iter().enumerate() {
+                while si < ss.len() && ss[si] <= *rt {
+                    si += 1;
+                    avail += 1;
+                }
+                if avail < i + 1 {
+                    ok = false;
+                    break;
+                }
+            }
+            if ok {
+                self.bad.remove(&key);
+            } else {
+                self.bad.insert(key);
+            }
+        }
+    }
+
+    /// Senders of this slice's failing conversations, sorted and
+    /// deduplicated. Concatenating all slices' lists, sorting, and
+    /// deduplicating yields exactly the monolithic
+    /// [`SnapshotStatus::WaitFor`] list.
+    pub fn missing(&self) -> Vec<RouterId> {
+        let mut rs: Vec<RouterId> = self.bad.iter().map(|k| k.0).collect();
+        rs.dedup();
+        rs
+    }
+
+    /// The slice's data plane: only the owned routers' FIBs and capture
+    /// times are ever touched, so the coordinator merges slices by
+    /// copying per-router state from each owner.
+    pub fn dataplane(&self) -> &DataPlane {
+        &self.dp
     }
 }
 
@@ -886,6 +1156,88 @@ mod tests {
             mirror.fib(RouterId(0)).entries(),
             tracker.dataplane().fib(RouterId(0)).entries()
         );
+    }
+
+    /// Sharded slices joined by the digest barrier must reproduce the
+    /// monolithic tracker's verdict and data plane at every horizon —
+    /// the §5 partitioning claim, as an executable oracle.
+    #[test]
+    fn sliced_tracker_matches_monolithic() {
+        use crate::shard::ShardPlan;
+        use cpvr_sim::scenario::paper_scenario;
+        use cpvr_sim::{CaptureProfile, LatencyProfile};
+        for seed in [1u64, 7] {
+            let mut s = paper_scenario(LatencyProfile::cisco(), CaptureProfile::syslog(), seed);
+            s.sim.start();
+            s.sim.run_to_quiescence(100_000);
+            s.sim.schedule_ext_announce(
+                s.sim.now() + SimTime::from_millis(5),
+                s.ext_r1,
+                &[s.prefix],
+            );
+            s.sim.schedule_ext_announce(
+                s.sim.now() + SimTime::from_millis(100),
+                s.ext_r2,
+                &[s.prefix],
+            );
+            s.sim.run_to_quiescence(100_000);
+            let trace = s.sim.trace().clone();
+            let n = 3;
+            for shards in [2u32, 3] {
+                let plan = ShardPlan::uniform(shards);
+                let mut mono = ConsistencyTracker::new(n);
+                let mut slices: Vec<TrackerSlice> = (0..shards)
+                    .map(|k| TrackerSlice::new(n, plan.clone(), k))
+                    .collect();
+                for e in &trace.events {
+                    mono.ingest(e);
+                    slices[plan.of_router(e.router) as usize].ingest(e);
+                }
+                let end = trace.events.iter().map(|e| e.time).max().unwrap();
+                for step in 1..=20u64 {
+                    let horizon = SimTime::from_nanos(end.as_nanos() / 20 * step + 1);
+                    // One barrier round.
+                    let mut outboxes: Vec<Vec<Vec<ConvDigest>>> = Vec::new();
+                    for slice in slices.iter_mut() {
+                        let mut out = vec![Vec::new(); shards as usize];
+                        slice.advance_collect(horizon, &mut out);
+                        outboxes.push(out);
+                    }
+                    for outbox in &outboxes {
+                        for (dest, digests) in outbox.iter().enumerate() {
+                            for d in digests {
+                                slices[dest].absorb(d);
+                            }
+                        }
+                    }
+                    let mut missing: Vec<RouterId> = Vec::new();
+                    for slice in slices.iter_mut() {
+                        slice.recheck();
+                        missing.extend(slice.missing());
+                    }
+                    missing.sort();
+                    missing.dedup();
+                    let merged = if missing.is_empty() {
+                        SnapshotStatus::Consistent
+                    } else {
+                        SnapshotStatus::WaitFor(missing)
+                    };
+                    assert_eq!(
+                        merged,
+                        mono.advance(horizon),
+                        "seed {seed} shards {shards} horizon {horizon}"
+                    );
+                    for r in 0..n {
+                        let router = RouterId(r as u32);
+                        let owner = plan.of_router(router) as usize;
+                        let sdp = slices[owner].dataplane();
+                        let mdp = mono.dataplane();
+                        assert_eq!(sdp.fib(router).entries(), mdp.fib(router).entries());
+                        assert_eq!(sdp.taken_at(router), mdp.taken_at(router));
+                    }
+                }
+            }
+        }
     }
 
     #[test]

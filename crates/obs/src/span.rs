@@ -44,6 +44,9 @@ struct Flight {
     /// The event's own (simulated) timestamp; a flight only completes
     /// once the watermark passes it.
     event_time: Option<u64>,
+    /// The fold shard that journaled/folded this event, when the
+    /// recorder was built sharded.
+    shard: Option<u32>,
 }
 
 /// Records sampled event-flight spans into a registry.
@@ -58,6 +61,9 @@ pub struct SpanRecorder {
     journal_to_ack: Histogram,
     recv_to_fold: Histogram,
     fold_to_consistent: Histogram,
+    /// Per-shard `fold_to_consistent` breakdown (shard-labeled series);
+    /// empty unless built with [`SpanRecorder::new_sharded`].
+    fold_to_consistent_shard: Vec<Histogram>,
 }
 
 impl SpanRecorder {
@@ -110,6 +116,36 @@ impl SpanRecorder {
             journal_to_ack: reg.histogram("cpvr_flight_journaled_to_acked_nanos"),
             recv_to_fold: reg.histogram("cpvr_flight_received_to_folded_nanos"),
             fold_to_consistent: reg.histogram("cpvr_flight_folded_to_consistent_nanos"),
+            fold_to_consistent_shard: Vec::new(),
+        }
+    }
+
+    /// Like [`SpanRecorder::new`], but additionally resolves a
+    /// shard-labeled `cpvr_flight_folded_to_consistent_nanos` series per
+    /// fold shard, so the §4.3 wait-cost breakdown survives sharding the
+    /// merger. Flights stamped with [`SpanRecorder::stamp_shard`] feed
+    /// their shard's series on completion (the unlabeled series still
+    /// sees every completion).
+    pub fn new_sharded(reg: &MetricsRegistry, sample_every: u64, cap: usize, shards: u32) -> Self {
+        let mut rec = Self::new(reg, sample_every, cap);
+        for k in 0..shards {
+            let label = k.to_string();
+            rec.fold_to_consistent_shard.push(reg.histogram_with(
+                "cpvr_flight_folded_to_consistent_nanos",
+                &[("shard", &label)],
+            ));
+        }
+        rec
+    }
+
+    /// Records which fold shard owns a flight's event. No-op for
+    /// unsampled or untracked flights, or on an unsharded recorder.
+    pub fn stamp_shard(&self, source: u32, seq: u64, shard: u32) {
+        if !self.sampled(seq) || self.fold_to_consistent_shard.is_empty() {
+            return;
+        }
+        if let Some(f) = self.inflight.lock().unwrap().get_mut(&(source, seq)) {
+            f.shard = Some(shard);
         }
     }
 
@@ -137,6 +173,7 @@ impl SpanRecorder {
                 t_journaled: None,
                 t_folded: None,
                 event_time: None,
+                shard: None,
             },
         );
         self.started.inc();
@@ -206,8 +243,14 @@ impl SpanRecorder {
                 self.recv_to_fold.observe(nanos_between(f.t_received, now));
             }
             if consistent {
-                self.fold_to_consistent
-                    .observe(nanos_between(f.t_folded.unwrap(), now));
+                let waited = nanos_between(f.t_folded.unwrap(), now);
+                self.fold_to_consistent.observe(waited);
+                if let Some(h) = f
+                    .shard
+                    .and_then(|k| self.fold_to_consistent_shard.get(k as usize))
+                {
+                    h.observe(waited);
+                }
                 done.push(*key);
             }
         }
@@ -271,6 +314,40 @@ mod tests {
         }
         // 0, 64, 128, 192.
         assert_eq!(rec.inflight(), 4);
+    }
+
+    #[test]
+    fn sharded_flights_feed_the_owning_shards_series() {
+        let reg = MetricsRegistry::new();
+        let rec = SpanRecorder::new_sharded(&reg, 1, 1024, 2);
+        for (source, shard) in [(0u32, 0u32), (1, 1), (2, 1)] {
+            rec.received(source, 0);
+            rec.event_time(source, 0, 10);
+            rec.stamp_shard(source, 0, shard);
+        }
+        rec.fold_up_to(10, true);
+        assert_eq!(rec.inflight(), 0);
+        let s = reg.snapshot();
+        // The unlabeled series sees every completion; the labeled ones
+        // split by owning shard.
+        assert_eq!(
+            s.histogram("cpvr_flight_folded_to_consistent_nanos", &[])
+                .unwrap()
+                .count,
+            3
+        );
+        assert_eq!(
+            s.histogram("cpvr_flight_folded_to_consistent_nanos", &[("shard", "0")])
+                .unwrap()
+                .count,
+            1
+        );
+        assert_eq!(
+            s.histogram("cpvr_flight_folded_to_consistent_nanos", &[("shard", "1")])
+                .unwrap()
+                .count,
+            2
+        );
     }
 
     #[test]
