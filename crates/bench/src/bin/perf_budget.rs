@@ -1,9 +1,11 @@
 //! CI perf-budget gate: runs the A7 ingest workload in short smoke mode
-//! (fixed event count, `EveryN(256)` fsync through the WAL) and fails —
-//! exit code 1 — if the measured events/second drops below the floor
-//! checked in at `perf_budget.json`. The measurement is written to
-//! `BENCH_ingest.json` so the CI job can upload it as an artifact and a
-//! regression comes with its own evidence attached.
+//! (fixed event count, `EveryN(256)` fsync through the WAL) under
+//! **both** event codecs — the v2 JSON arm and the v3 binary arm,
+//! interleaved round by round — and fails (exit code 1) if either arm's
+//! best round drops below its floor in `perf_budget.json`. The
+//! measurement is written to `BENCH_ingest.json` so the CI job can
+//! upload it as an artifact and a regression comes with its own
+//! evidence attached.
 //!
 //! ```text
 //! cargo run --release -p cpvr-bench --bin perf_budget -- \
@@ -11,12 +13,16 @@
 //!     [--events N] [--shards N] [--rounds N]
 //! ```
 //!
-//! The floor is deliberately set well under the CI baseline (~30%
+//! The floors are deliberately set well under the CI baseline (~30%
 //! headroom): the gate exists to catch real regressions — an accidental
-//! fsync-per-record, a quadratic fold — not scheduler noise.
+//! fsync-per-record, a quadratic fold, a codec path that re-grew its
+//! per-event allocations — not scheduler noise. The v3 floor sits above
+//! the v2 floor on purpose: the binary codec losing its lead over JSON
+//! *is* a regression, even if its absolute number still looks healthy.
 
 use cpvr_bench::ingest::IngestSession;
 use cpvr_collector::wal::{FsyncPolicy, TempDir, WalConfig};
+use cpvr_collector::CodecVersion;
 use std::path::PathBuf;
 
 /// Pulls `"key": <number>` out of a small JSON document. Good enough
@@ -35,7 +41,7 @@ fn main() {
     let mut budget_path = PathBuf::from("perf_budget.json");
     let mut out_path = PathBuf::from("BENCH_ingest.json");
     let mut events = 40_000usize;
-    let mut shards = 1u32;
+    let mut shards = 4u32;
     let mut rounds = 3u32;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -55,58 +61,95 @@ fn main() {
 
     let budget = std::fs::read_to_string(&budget_path)
         .unwrap_or_else(|e| panic!("cannot read {}: {e}", budget_path.display()));
-    let floor = json_number(&budget, "floor_events_per_sec")
-        .unwrap_or_else(|| panic!("{} lacks floor_events_per_sec", budget_path.display()));
+    let floor_v2 = json_number(&budget, "floor_events_per_sec_v2")
+        .unwrap_or_else(|| panic!("{} lacks floor_events_per_sec_v2", budget_path.display()));
+    let floor_v3 = json_number(&budget, "floor_events_per_sec_v3")
+        .unwrap_or_else(|| panic!("{} lacks floor_events_per_sec_v3", budget_path.display()));
 
-    // Best-of-N: the floor guards against regressions in the code, not
-    // against a noisy neighbor stealing one round's cycles.
-    let mut per_round = Vec::new();
-    let mut best = 0.0f64;
+    // Best-of-N per arm, arms interleaved within each round so machine
+    // drift hits both equally: the floors guard against regressions in
+    // the code, not against a noisy neighbor stealing one round's
+    // cycles.
+    let mut per_round_v2 = Vec::new();
+    let mut per_round_v3 = Vec::new();
+    let mut best_v2 = 0.0f64;
+    let mut best_v3 = 0.0f64;
     for round in 0..rounds.max(1) {
-        let tmp = TempDir::new("perf-budget").expect("temp wal dir");
-        let mut wal = WalConfig::new(tmp.path());
-        wal.fsync = FsyncPolicy::EveryN(256);
-        let session = IngestSession {
-            total_events: events,
-            shards,
-            wal: Some(wal),
-            ..IngestSession::default()
-        };
-        let (moved, dt) = session.run_timed();
-        let rate = moved as f64 / dt;
-        println!("[perf-budget round {round}] {moved} events in {dt:.3}s = {rate:.0} events/sec");
-        per_round.push(rate);
-        best = best.max(rate);
+        for (codec, label, per_round, best) in [
+            (CodecVersion::V2, "v2", &mut per_round_v2, &mut best_v2),
+            (CodecVersion::V3, "v3", &mut per_round_v3, &mut best_v3),
+        ] {
+            let tmp = TempDir::new("perf-budget").expect("temp wal dir");
+            let mut wal = WalConfig::new(tmp.path());
+            wal.fsync = FsyncPolicy::EveryN(256);
+            let session = IngestSession {
+                total_events: events,
+                shards,
+                wal: Some(wal),
+                codec,
+                ..IngestSession::default()
+            };
+            let (moved, dt) = session.run_timed();
+            let rate = moved as f64 / dt;
+            println!(
+                "[perf-budget round {round} {label}] {moved} events in {dt:.3}s = \
+                 {rate:.0} events/sec"
+            );
+            per_round.push(rate);
+            *best = best.max(rate);
+        }
     }
-    let pass = best >= floor;
+    let pass_v2 = best_v2 >= floor_v2;
+    let pass_v3 = best_v3 >= floor_v3;
+    let pass = pass_v2 && pass_v3;
+    let ratio = best_v3 / best_v2;
 
-    let rounds_json = per_round
-        .iter()
-        .map(|r| format!("{r:.0}"))
-        .collect::<Vec<_>>()
-        .join(", ");
+    let rounds_json = |rs: &[f64]| {
+        rs.iter()
+            .map(|r| format!("{r:.0}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
     let report = format!(
         "{{\n  \"experiment\": \"ingest_throughput_smoke\",\n  \
          \"events\": {events},\n  \
          \"shards\": {shards},\n  \
          \"fsync\": \"every_n_256\",\n  \
-         \"rounds_events_per_sec\": [{rounds_json}],\n  \
-         \"best_events_per_sec\": {best:.0},\n  \
-         \"floor_events_per_sec\": {floor:.0},\n  \
-         \"pass\": {pass}\n}}\n"
+         \"rounds_events_per_sec_v2\": [{}],\n  \
+         \"rounds_events_per_sec_v3\": [{}],\n  \
+         \"best_events_per_sec_v2\": {best_v2:.0},\n  \
+         \"best_events_per_sec_v3\": {best_v3:.0},\n  \
+         \"v3_over_v2\": {ratio:.2},\n  \
+         \"floor_events_per_sec_v2\": {floor_v2:.0},\n  \
+         \"floor_events_per_sec_v3\": {floor_v3:.0},\n  \
+         \"pass\": {pass}\n}}\n",
+        rounds_json(&per_round_v2),
+        rounds_json(&per_round_v3),
     );
     std::fs::write(&out_path, &report)
         .unwrap_or_else(|e| panic!("cannot write {}: {e}", out_path.display()));
     println!("wrote {}", out_path.display());
+    println!("[perf-budget] v3/v2 = {ratio:.2}x");
 
     if pass {
-        println!("[perf-budget] PASS: best {best:.0} events/sec >= floor {floor:.0}");
-    } else {
-        eprintln!(
-            "[perf-budget] FAIL: best {best:.0} events/sec under floor {floor:.0} — \
-             ingest throughput regressed (or the floor in {} is set above this machine)",
-            budget_path.display()
+        println!(
+            "[perf-budget] PASS: v2 best {best_v2:.0} >= {floor_v2:.0}, \
+             v3 best {best_v3:.0} >= {floor_v3:.0} events/sec"
         );
+    } else {
+        for (label, best, floor, ok) in [
+            ("v2", best_v2, floor_v2, pass_v2),
+            ("v3", best_v3, floor_v3, pass_v3),
+        ] {
+            if !ok {
+                eprintln!(
+                    "[perf-budget] FAIL ({label}): best {best:.0} events/sec under floor \
+                     {floor:.0} — ingest throughput regressed (or the floor in {} is set \
+                     above this machine)",
+                    budget_path.display()
+                );
+            }
+        }
         std::process::exit(1);
     }
 }

@@ -6,7 +6,7 @@
 
 use cpvr_collector::collector::{Collector, CollectorConfig};
 use cpvr_collector::wal::{wait_for, WalConfig};
-use cpvr_collector::SocketSink;
+use cpvr_collector::{CodecVersion, ReconnectPolicy, SocketSink};
 use cpvr_dataplane::FibAction;
 use cpvr_sim::{EventId, IoEvent, IoKind};
 use cpvr_types::{Ipv4Prefix, RouterId, SimTime};
@@ -62,6 +62,8 @@ pub struct IngestSession {
     pub wal: Option<WalConfig>,
     /// Whether the telemetry registry is live during the session.
     pub metrics: bool,
+    /// Event codec every connection speaks (v2 JSON or v3 binary).
+    pub codec: CodecVersion,
 }
 
 impl Default for IngestSession {
@@ -72,6 +74,7 @@ impl Default for IngestSession {
             shards: 1,
             wal: None,
             metrics: true,
+            codec: CodecVersion::V2,
         }
     }
 }
@@ -87,9 +90,16 @@ impl IngestSession {
         let addr = handle.local_addr();
         let mut threads = Vec::new();
         for conn in 0..self.n_conns {
-            let (n_conns, total) = (self.n_conns, self.total_events);
+            let (n_conns, total, codec) = (self.n_conns, self.total_events, self.codec);
             threads.push(std::thread::spawn(move || {
-                let mut sink = SocketSink::connect(addr, RouterId(conn), n_conns).expect("connect");
+                let mut sink = SocketSink::connect_with_codec(
+                    addr,
+                    RouterId(conn),
+                    n_conns,
+                    ReconnectPolicy::default(),
+                    codec,
+                )
+                .expect("connect");
                 for (j, e) in synthetic_events(conn, n_conns, total).iter().enumerate() {
                     sink.send(e).expect("send");
                     if (j + 1) % WATERMARK_EVERY == 0 {

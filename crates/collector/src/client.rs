@@ -32,7 +32,7 @@
 //! control plane it is observing — shedding the stream is the designed
 //! last-resort failure mode.
 
-use crate::codec::{encode_event, encode_frame, write_frame, Decoder, Frame, Hello};
+use crate::codec::{encode_frame, write_frame, CodecVersion, Decoder, EventEncoder, Frame, Hello};
 use cpvr_obs::{Counter, ExpoFormat, Gauge, MetricKind, MetricsRegistry, Snapshot};
 use cpvr_sim::{EventSink, IoEvent};
 use cpvr_types::{RouterId, SimTime};
@@ -178,6 +178,10 @@ pub struct SocketSink {
     fin_seen: bool,
     /// Decodes the collector→client ack stream; reset per connection.
     ack_dec: Decoder,
+    /// Encodes event frames (v2 JSON or v3 binary) into reusable
+    /// scratch buffers; for v3 it also owns this session's intern
+    /// tables, whose definition frames are replayed on every reconnect.
+    enc: EventEncoder,
     /// Backoff jitter.
     rng: StdRng,
     /// First unrecoverable error, latched; everything after is dropped.
@@ -197,12 +201,23 @@ impl SocketSink {
         Self::connect_with(addr, source, n_routers, ReconnectPolicy::default())
     }
 
-    /// Connects with an explicit policy.
+    /// Connects with an explicit policy, speaking v2 (JSON) events.
     pub fn connect_with(
         addr: impl ToSocketAddrs,
         source: RouterId,
         n_routers: u32,
         policy: ReconnectPolicy,
+    ) -> io::Result<Self> {
+        Self::connect_with_codec(addr, source, n_routers, policy, CodecVersion::V2)
+    }
+
+    /// Connects with an explicit policy and event codec.
+    pub fn connect_with_codec(
+        addr: impl ToSocketAddrs,
+        source: RouterId,
+        n_routers: u32,
+        policy: ReconnectPolicy,
+        codec: CodecVersion,
     ) -> io::Result<Self> {
         let addr = addr
             .to_socket_addrs()?
@@ -223,6 +238,7 @@ impl SocketSink {
             bye_frontier: None,
             fin_seen: false,
             ack_dec: Decoder::new(),
+            enc: EventEncoder::new(codec),
             rng: StdRng::seed_from_u64(session ^ u64::from(source.0)),
             error: None,
             sent: 0,
@@ -251,6 +267,11 @@ impl SocketSink {
     /// This client instance's session id.
     pub fn session(&self) -> u64 {
         self.session
+    }
+
+    /// The event codec this connection announced in its Hello.
+    pub fn codec(&self) -> CodecVersion {
+        self.enc.version()
     }
 
     /// Events accepted so far.
@@ -348,8 +369,16 @@ impl SocketSink {
                 n_routers: self.n_routers,
                 session: self.session,
                 first_seq,
+                codec: self.enc.version().byte(),
             }),
         )?;
+        // v3: re-send every intern definition made this session before
+        // any event can reference one. The collector we reach may have
+        // restarted with an empty symbol table, and acked (pruned)
+        // events may have been the ones carrying the original
+        // definitions; redefinition is idempotent, so blanket replay is
+        // always safe and always sufficient.
+        w.write_all(self.enc.definition_frames())?;
         for (_, bytes) in &self.buffer {
             w.write_all(bytes)?;
         }
@@ -476,7 +505,11 @@ impl SocketSink {
         self.check_latched()?;
         self.wait_for_room()?;
         let seq = self.next_seq;
-        let bytes = encode_event(seq, e);
+        // The buffered bytes include any fresh intern definition frames
+        // ahead of the event frame, so a go-back-N replay re-delivers
+        // the definitions in order too (redefinition is idempotent).
+        let mut bytes = Vec::new();
+        self.enc.encode_into(seq, e, &mut bytes);
         self.next_seq += 1;
         self.sent += 1;
         self.buffer.push_back((seq, bytes));
@@ -484,10 +517,16 @@ impl SocketSink {
             m.sent.inc();
             m.replay_depth.set(self.buffer.len() as i64);
         }
-        // Write from the buffer (the clone lives there anyway); a
-        // failure reconnects, and the reconnect replay covers it.
-        let bytes = self.buffer.back().expect("just pushed").1.clone();
-        self.write_or_reconnect(&bytes)
+        // Write straight from the buffer entry (no clone); a failure
+        // reconnects, and the reconnect replay covers it.
+        if let Some(w) = self.stream.as_mut() {
+            let bytes = &self.buffer.back().expect("just pushed").1;
+            if w.write_all(bytes).is_ok() {
+                return Ok(());
+            }
+            self.stream = None;
+        }
+        self.establish()
     }
 
     /// Promises that every event stamped ≤ `t` has been sent, and

@@ -46,22 +46,48 @@
 //! incrementally and **resynchronizes**: a corrupt frame is counted and
 //! skipped by scanning forward to the next plausible header instead of
 //! poisoning the whole connection.
+//!
+//! Protocol **v3** replaces the JSON event payload with the binary body
+//! of [`cpvr_sim::wire`]: varint integers and interned symbols instead
+//! of strings. The version byte is *per frame*, so v2 and v3 frames
+//! interleave freely on one stream (and in one WAL): control frames
+//! keep their v2 encodings, while a v3 sender marks its event frames
+//! with version 3 and precedes first symbol uses with [`Frame::Intern`]
+//! definition frames (kind 11). Negotiation is soft — [`Hello::codec`]
+//! announces the sender's event codec (old peers omit the field and
+//! default to 2) — and the [`Decoder`] accumulates intern definitions
+//! so v3 event bodies decode **in place, straight out of the read
+//! buffer** ([`Decoder::next_message`]): no payload copy, no JSON tree,
+//! no per-event `String` allocation.
 
+use cpvr_sim::wire::{self, InternDef, WireError};
 use cpvr_sim::IoEvent;
 use cpvr_types::crc32;
-use cpvr_types::json::{from_str, to_string_compact, JsonError};
-use cpvr_types::{RouterId, SimTime};
+use cpvr_types::intern::InternStore;
+use cpvr_types::json::{from_str, to_string_compact, to_string_compact_into, JsonError};
+use cpvr_types::{Interns, RouterId, SimTime};
 use std::fmt;
 use std::io::{self, Read, Write};
 
 /// First two bytes of every frame.
 pub const MAGIC: [u8; 2] = *b"CW";
 
-/// Current protocol version. Bump on any incompatible change to the
-/// header or payload encodings; the collector rejects mismatches at the
-/// [`Frame::Hello`] handshake and on every frame header. v2 added event
+/// Baseline protocol version: JSON event payloads. v2 added event
 /// sequence numbers, ack/heartbeat frames, and watermark frontiers.
+/// Control frames are encoded at this version regardless of the
+/// negotiated event codec, so any peer can read them.
 pub const VERSION: u8 = 2;
+
+/// Binary event codec version: varint/interned event bodies
+/// ([`cpvr_sim::wire`]) and [`Frame::Intern`] definition frames. The
+/// version byte is per frame — a stream may interleave v2 and v3
+/// frames — so this is a *capability*, not a mode switch.
+pub const VERSION_V3: u8 = 3;
+
+/// True for the frame header versions this build can read.
+fn version_ok(v: u8) -> bool {
+    v == VERSION || v == VERSION_V3
+}
 
 /// Frames larger than this are rejected before allocation — a corrupt or
 /// hostile length field must not OOM the collector.
@@ -71,7 +97,38 @@ pub const MAX_FRAME_LEN: u32 = 1 << 24;
 pub const HEADER_LEN: usize = 12;
 
 /// Highest valid kind byte.
-const MAX_KIND: u8 = 10;
+const MAX_KIND: u8 = 11;
+
+/// Which codec a sender uses for its event frames. Control frames are
+/// always v2; this only selects the `Frame::Event` encoding (and, for
+/// [`CodecVersion::V3`], the emission of [`Frame::Intern`] frames).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum CodecVersion {
+    /// Compact-JSON event payloads (the PR-4 wire format).
+    #[default]
+    V2,
+    /// Binary varint/interned event payloads ([`cpvr_sim::wire`]).
+    V3,
+}
+
+impl CodecVersion {
+    /// The header version byte for event frames of this codec.
+    pub fn byte(self) -> u8 {
+        match self {
+            CodecVersion::V2 => VERSION,
+            CodecVersion::V3 => VERSION_V3,
+        }
+    }
+
+    /// Parses a header/Hello codec byte; `None` if unknown.
+    pub fn from_byte(b: u8) -> Option<Self> {
+        match b {
+            VERSION => Some(CodecVersion::V2),
+            VERSION_V3 => Some(CodecVersion::V3),
+            _ => None,
+        }
+    }
+}
 
 /// The connection handshake: the first frame on every connection.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -92,14 +149,51 @@ pub struct Hello {
     /// send: 0 for a fresh stream, the oldest unacknowledged sequence
     /// for a reconnect replay.
     pub first_seq: u64,
+    /// The event codec this connection will use ([`VERSION`] or
+    /// [`VERSION_V3`]). Old senders omit the field, which decodes as 2
+    /// — that is the whole negotiation: the collector learns what to
+    /// expect (and reports it per source), while the per-frame version
+    /// byte keeps every frame self-describing.
+    pub codec: u8,
 }
 
-cpvr_types::impl_json_struct!(Hello {
-    source,
-    n_routers,
-    session,
-    first_seq
-});
+// Hand-rolled (not `impl_json_struct!`) because `codec` must be
+// *optional* on decode: a v2 peer's Hello has no such field, and the
+// macro rejects missing fields.
+impl cpvr_types::json::ToJson for Hello {
+    fn to_json(&self) -> cpvr_types::json::Value {
+        use cpvr_types::json::Value;
+        Value::Object(vec![
+            ("source".to_string(), self.source.to_json()),
+            ("n_routers".to_string(), self.n_routers.to_json()),
+            ("session".to_string(), self.session.to_json()),
+            ("first_seq".to_string(), self.first_seq.to_json()),
+            ("codec".to_string(), Value::U64(u64::from(self.codec))),
+        ])
+    }
+}
+
+impl cpvr_types::json::FromJson for Hello {
+    fn from_json(v: &cpvr_types::json::Value) -> Result<Self, cpvr_types::json::JsonError> {
+        use cpvr_types::json::FromJson;
+        let codec = match v.field("codec") {
+            Ok(val) => {
+                let n = u64::from_json(val)?;
+                u8::try_from(n).map_err(|_| {
+                    cpvr_types::json::JsonError::new(format!("codec {n} out of range"))
+                })?
+            }
+            Err(_) => VERSION,
+        };
+        Ok(Hello {
+            source: FromJson::from_json(v.field("source")?)?,
+            n_routers: FromJson::from_json(v.field("n_routers")?)?,
+            session: FromJson::from_json(v.field("session")?)?,
+            first_seq: FromJson::from_json(v.field("first_seq")?)?,
+            codec,
+        })
+    }
+}
 
 /// One unit of the wire protocol.
 #[derive(Clone, Debug, PartialEq)]
@@ -183,6 +277,12 @@ pub enum Frame {
         /// UTF-8 exposition body (compact JSON or Prometheus text).
         body: Vec<u8>,
     },
+    /// v3 only: binds an interned symbol (a description string or a
+    /// 5-byte prefix encoding) for a source router. A definition always
+    /// travels — and is journaled — *before* the first event frame that
+    /// uses the symbol, so decoding in arrival order (live or from the
+    /// WAL) never sees an unknown symbol.
+    Intern(InternDef),
 }
 
 impl Frame {
@@ -200,6 +300,7 @@ impl Frame {
             Frame::Fin => 8,
             Frame::MetricsReq { .. } => 9,
             Frame::MetricsResp { .. } => 10,
+            Frame::Intern(_) => 11,
         }
     }
 }
@@ -230,6 +331,9 @@ pub enum CodecError {
     /// The payload had the wrong shape for its kind (e.g. a watermark
     /// frame whose payload is not exactly 16 bytes).
     BadPayload(&'static str),
+    /// A v3 binary body failed to decode (truncated field, bad tag, or
+    /// a symbol used before its definition arrived).
+    Wire(WireError),
 }
 
 impl fmt::Display for CodecError {
@@ -250,6 +354,7 @@ impl fmt::Display for CodecError {
             }
             CodecError::Json(e) => write!(f, "payload parse: {e}"),
             CodecError::BadPayload(what) => write!(f, "malformed payload: {what}"),
+            CodecError::Wire(e) => write!(f, "binary body: {e}"),
         }
     }
 }
@@ -268,6 +373,12 @@ impl From<JsonError> for CodecError {
     }
 }
 
+impl From<WireError> for CodecError {
+    fn from(e: WireError) -> Self {
+        CodecError::Wire(e)
+    }
+}
+
 /// A frame as raw bytes: validated header + undecoded payload. This is
 /// what the collector's reader threads hand to the merger, so the WAL
 /// can append the already-encoded bytes without re-serializing, and
@@ -275,6 +386,9 @@ impl From<JsonError> for CodecError {
 /// [`decode`](RawFrame::decode).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct RawFrame {
+    /// The header version byte ([`VERSION`] or [`VERSION_V3`]): decides
+    /// how an event payload is interpreted (JSON vs binary body).
+    pub version: u8,
     /// The kind byte (already validated to be a known kind).
     pub kind: u8,
     /// The payload bytes (CRC already verified).
@@ -292,13 +406,26 @@ fn le_u32(bytes: &[u8], what: &'static str) -> Result<u32, CodecError> {
 }
 
 impl RawFrame {
-    /// Decodes the payload into a typed [`Frame`].
+    /// Decodes the payload into a typed [`Frame`], with no intern
+    /// context: v3 event bodies that reference symbols fail with
+    /// [`CodecError::Wire`]. Stateful readers (the live [`Decoder`],
+    /// WAL replay) use [`decode_with`](RawFrame::decode_with).
     pub fn decode(&self) -> Result<Frame, CodecError> {
+        self.decode_with(&InternStore::new())
+    }
+
+    /// Decodes the payload into a typed [`Frame`], resolving v3 event
+    /// bodies against the accumulated symbol definitions in `store`.
+    pub fn decode_with(&self, store: &InternStore) -> Result<Frame, CodecError> {
         match self.kind {
             0 => {
                 let text = std::str::from_utf8(&self.payload)
                     .map_err(|_| CodecError::BadPayload("hello payload is not utf-8"))?;
                 Ok(Frame::Hello(from_str(text)?))
+            }
+            1 if self.version == VERSION_V3 => {
+                let (seq, event) = wire::decode_event(&self.payload, store)?;
+                Ok(Frame::Event { seq, event })
             }
             1 => {
                 if self.payload.len() < 8 {
@@ -359,6 +486,7 @@ impl RawFrame {
             10 => Ok(Frame::MetricsResp {
                 body: self.payload.clone(),
             }),
+            11 => Ok(Frame::Intern(wire::decode_intern_def(&self.payload)?)),
             k => Err(CodecError::BadKind(k)),
         }
     }
@@ -366,18 +494,39 @@ impl RawFrame {
     /// The full wire encoding (header + payload) of this frame — also
     /// the WAL record payload format.
     pub fn encode(&self) -> Vec<u8> {
-        let mut crc = crc32::Crc32::new();
-        crc.update(&[self.kind]);
-        crc.update(&self.payload);
         let mut out = Vec::with_capacity(HEADER_LEN + self.payload.len());
-        out.extend_from_slice(&MAGIC);
-        out.push(VERSION);
-        out.push(self.kind);
-        out.extend_from_slice(&(self.payload.len() as u32).to_le_bytes());
-        out.extend_from_slice(&crc.finish().to_le_bytes());
-        out.extend_from_slice(&self.payload);
+        append_frame_with(&mut out, self.version, self.kind, |p| {
+            p.extend_from_slice(&self.payload)
+        });
         out
     }
+}
+
+/// Appends one whole frame to `out` in a single pass: the header is
+/// written with placeholder length/CRC fields, `fill` appends the
+/// payload bytes in place, and the placeholders are patched afterwards.
+/// No intermediate payload `Vec` — this is the allocation-free core
+/// both codecs' encoders share.
+pub fn append_frame_with<F: FnOnce(&mut Vec<u8>)>(
+    out: &mut Vec<u8>,
+    version: u8,
+    kind: u8,
+    fill: F,
+) {
+    let start = out.len();
+    out.extend_from_slice(&MAGIC);
+    out.push(version);
+    out.push(kind);
+    out.extend_from_slice(&[0u8; 8]); // len + crc, patched below
+    fill(out);
+    let len = out.len() - start - HEADER_LEN;
+    debug_assert!(len as u32 <= MAX_FRAME_LEN);
+    out[start + 4..start + 8].copy_from_slice(&(len as u32).to_le_bytes());
+    let mut crc = crc32::Crc32::new();
+    crc.update(&[kind]);
+    crc.update(&out[start + HEADER_LEN..]);
+    let crc = crc.finish();
+    out[start + 8..start + 12].copy_from_slice(&crc.to_le_bytes());
 }
 
 /// Serializes a typed frame to its raw form.
@@ -405,8 +554,21 @@ pub fn raw_frame(f: &Frame) -> RawFrame {
         Frame::Fin => Vec::new(),
         Frame::MetricsReq { format } => vec![*format],
         Frame::MetricsResp { body } => body.clone(),
+        Frame::Intern(def) => {
+            let mut p = Vec::new();
+            wire::encode_intern_def(def, &mut p);
+            p
+        }
     };
     RawFrame {
+        // Intern frames are a v3-only kind; everything else (including
+        // `Frame::Event`, which this typed path renders as JSON) stays
+        // at the baseline version any peer can read.
+        version: if matches!(f, Frame::Intern(_)) {
+            VERSION_V3
+        } else {
+            VERSION
+        },
         kind: f.kind(),
         payload,
     }
@@ -417,13 +579,95 @@ pub fn encode_frame(f: &Frame) -> Vec<u8> {
     raw_frame(f).encode()
 }
 
-/// Encodes an event frame without cloning the event.
+/// Encodes a v2 event frame without cloning the event. One-shot
+/// convenience; connections should hold an [`EventEncoder`] so the
+/// scratch buffers are reused across events.
 pub fn encode_event(seq: u64, event: &IoEvent) -> Vec<u8> {
-    let json = to_string_compact(event);
-    let mut payload = Vec::with_capacity(8 + json.len());
-    payload.extend_from_slice(&seq.to_le_bytes());
-    payload.extend_from_slice(json.as_bytes());
-    RawFrame { kind: 1, payload }.encode()
+    let mut out = Vec::new();
+    EventEncoder::new(CodecVersion::V2).encode_into(seq, event, &mut out);
+    out
+}
+
+/// A per-connection event encoder for either codec.
+///
+/// Owns the scratch state an event frame needs — the JSON render buffer
+/// (v2), the binary body buffer and intern tables (v3) — so steady-state
+/// encoding writes straight into the caller's output buffer without
+/// per-event allocations. (The old free-function path rendered the JSON
+/// `String`, copied it into a payload `Vec`, then copied *that* into the
+/// encoded frame: two allocations and a double copy per event.)
+///
+/// For [`CodecVersion::V3`], `encode_into` appends any fresh
+/// [`Frame::Intern`] definitions *before* the event frame, and
+/// [`definition_frames`](EventEncoder::definition_frames) replays every
+/// definition made so far — a reconnecting client must re-send those
+/// first, because the collector it reaches may have restarted without
+/// the session's symbol table.
+#[derive(Debug, Default)]
+pub struct EventEncoder {
+    version: CodecVersion,
+    interns: Interns,
+    defs: Vec<InternDef>,
+    all_defs: Vec<u8>,
+    json: String,
+    body: Vec<u8>,
+}
+
+impl EventEncoder {
+    /// A fresh encoder for the given codec.
+    pub fn new(version: CodecVersion) -> Self {
+        EventEncoder {
+            version,
+            ..Self::default()
+        }
+    }
+
+    /// The codec this encoder emits.
+    pub fn version(&self) -> CodecVersion {
+        self.version
+    }
+
+    /// Appends the frame(s) for one event to `out`: for v3, any fresh
+    /// intern definition frames first, then the event frame; for v2,
+    /// just the JSON event frame.
+    pub fn encode_into(&mut self, seq: u64, event: &IoEvent, out: &mut Vec<u8>) {
+        match self.version {
+            CodecVersion::V2 => {
+                self.json.clear();
+                to_string_compact_into(event, &mut self.json);
+                let json = &self.json;
+                append_frame_with(out, VERSION, 1, |p| {
+                    p.extend_from_slice(&seq.to_le_bytes());
+                    p.extend_from_slice(json.as_bytes());
+                });
+            }
+            CodecVersion::V3 => {
+                self.body.clear();
+                self.defs.clear();
+                wire::encode_event(
+                    seq,
+                    event,
+                    &mut self.interns,
+                    &mut self.defs,
+                    &mut self.body,
+                );
+                for def in &self.defs {
+                    append_frame_with(out, VERSION_V3, 11, |p| wire::encode_intern_def(def, p));
+                    append_frame_with(&mut self.all_defs, VERSION_V3, 11, |p| {
+                        wire::encode_intern_def(def, p)
+                    });
+                }
+                let body = &self.body;
+                append_frame_with(out, VERSION_V3, 1, |p| p.extend_from_slice(body));
+            }
+        }
+    }
+
+    /// The encoded bytes of *every* intern definition this encoder has
+    /// ever made, in definition order. Empty for v2.
+    pub fn definition_frames(&self) -> &[u8] {
+        &self.all_defs
+    }
 }
 
 /// Writes one frame.
@@ -442,7 +686,7 @@ pub fn decode_frame(bytes: &[u8]) -> Result<Option<(RawFrame, usize)>, CodecErro
     if header[0..2] != MAGIC {
         return Err(CodecError::BadMagic([header[0], header[1]]));
     }
-    if header[2] != VERSION {
+    if !version_ok(header[2]) {
         return Err(CodecError::BadVersion(header[2]));
     }
     let kind = header[3];
@@ -468,6 +712,7 @@ pub fn decode_frame(bytes: &[u8]) -> Result<Option<(RawFrame, usize)>, CodecErro
     }
     Ok(Some((
         RawFrame {
+            version: header[2],
             kind,
             payload: payload.to_vec(),
         },
@@ -500,7 +745,7 @@ pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<RawFrame>, CodecError> {
     if header[0..2] != MAGIC {
         return Err(CodecError::BadMagic([header[0], header[1]]));
     }
-    if header[2] != VERSION {
+    if !version_ok(header[2]) {
         return Err(CodecError::BadVersion(header[2]));
     }
     let kind = header[3];
@@ -521,7 +766,11 @@ pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<RawFrame>, CodecError> {
     if got != expected {
         return Err(CodecError::BadCrc { expected, got });
     }
-    Ok(Some(RawFrame { kind, payload }))
+    Ok(Some(RawFrame {
+        version: header[2],
+        kind,
+        payload,
+    }))
 }
 
 /// An incremental, resynchronizing frame decoder for byte streams that
@@ -537,12 +786,31 @@ pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<RawFrame>, CodecError> {
 /// frame passed its CRC, resynchronization can only ever *drop* data,
 /// never invent it — and the sequence-number layer above recovers the
 /// drops by retransmission.
+/// For v3 streams the decoder is also the **intern state holder**:
+/// [`next_message`](Decoder::next_message) absorbs [`Frame::Intern`]
+/// definitions into a per-router [`InternStore`] and decodes v3 event
+/// bodies *in place* — borrowed straight from the read buffer, through
+/// the store, into an [`IoEvent`] — with no payload copy and no JSON.
 #[derive(Debug, Default)]
 pub struct Decoder {
     buf: Vec<u8>,
     pos: usize,
     corrupt: u64,
     skipped: u64,
+    interns: InternStore,
+}
+
+/// One decoded unit from [`Decoder::next_message`].
+#[derive(Debug)]
+pub struct DecodedMsg {
+    /// The typed frame.
+    pub frame: Frame,
+    /// The header version the frame arrived with.
+    pub version: u8,
+    /// The frame's full wire bytes (header + payload), captured only
+    /// when requested — this is what the WAL journals, byte-for-byte as
+    /// received, so replay sees the same codec mix the live path saw.
+    pub raw: Option<Vec<u8>>,
 }
 
 impl Decoder {
@@ -587,11 +855,12 @@ impl Decoder {
         }
     }
 
-    /// Pops the next intact frame, skipping and counting damaged bytes.
-    /// Returns `None` when the buffer holds no complete frame (feed
-    /// more data, or the stream ended — see
-    /// [`drain_eof`](Decoder::drain_eof)).
-    pub fn next_frame(&mut self) -> Option<RawFrame> {
+    /// Scans to the next intact frame, skipping and counting damaged
+    /// bytes. On a hit, `pos` is advanced past the frame and the
+    /// returned range `(start, end)` locates it in `buf` — compaction
+    /// is deferred to the caller so the range stays valid while the
+    /// payload is borrowed in place.
+    fn scan_frame(&mut self) -> Option<(usize, usize)> {
         loop {
             let avail = self.buf.len() - self.pos;
             if avail == 0 {
@@ -628,7 +897,7 @@ impl Decoder {
             let h = &self.buf[self.pos..self.pos + HEADER_LEN];
             let kind = h[3];
             let len = u32::from_le_bytes(h[4..8].try_into().expect("4 bytes"));
-            if h[2] != VERSION || kind > MAX_KIND || len > MAX_FRAME_LEN {
+            if !version_ok(h[2]) || kind > MAX_KIND || len > MAX_FRAME_LEN {
                 // Implausible header: almost certainly a false magic
                 // inside garbage. Shift one byte and keep scanning.
                 self.corrupt += 1;
@@ -655,14 +924,65 @@ impl Decoder {
                 self.skip(2);
                 continue;
             }
-            let frame = RawFrame {
+            let start = self.pos;
+            self.pos += total;
+            return Some((start, start + total));
+        }
+    }
+
+    /// Pops the next intact frame, skipping and counting damaged bytes.
+    /// Returns `None` when the buffer holds no complete frame (feed
+    /// more data, or the stream ended — see
+    /// [`drain_eof`](Decoder::drain_eof)).
+    pub fn next_frame(&mut self) -> Option<RawFrame> {
+        let (start, end) = self.scan_frame()?;
+        let frame = RawFrame {
+            version: self.buf[start + 2],
+            kind: self.buf[start + 3],
+            payload: self.buf[start + HEADER_LEN..end].to_vec(),
+        };
+        self.compact();
+        Some(frame)
+    }
+
+    /// Pops and fully decodes the next intact frame — the collector's
+    /// hot path. v3 event bodies decode **in place** from the read
+    /// buffer through this decoder's intern store (no payload copy, no
+    /// JSON); [`Frame::Intern`] definitions are absorbed into the store
+    /// *and* returned, so the caller can journal them. `keep_raw`
+    /// captures the frame's original wire bytes (for WAL journaling).
+    ///
+    /// `None` means feed more data; `Some(Err(..))` is a frame that
+    /// passed its CRC but failed payload decoding — the caller decides
+    /// whether that is fatal for the connection.
+    pub fn next_message(&mut self, keep_raw: bool) -> Option<Result<DecodedMsg, CodecError>> {
+        let (start, end) = self.scan_frame()?;
+        let version = self.buf[start + 2];
+        let kind = self.buf[start + 3];
+        let payload = &self.buf[start + HEADER_LEN..end];
+        let decoded = if kind == 1 && version == VERSION_V3 {
+            wire::decode_event(payload, &self.interns)
+                .map(|(seq, event)| Frame::Event { seq, event })
+                .map_err(CodecError::from)
+        } else {
+            RawFrame {
+                version,
                 kind,
                 payload: payload.to_vec(),
-            };
-            self.pos += total;
-            self.compact();
-            return Some(frame);
+            }
+            .decode_with(&self.interns)
+        };
+        let raw = keep_raw.then(|| self.buf[start..end].to_vec());
+        if let Ok(Frame::Intern(def)) = &decoded {
+            self.interns
+                .apply(def.router, def.space, def.symbol, &def.bytes);
         }
+        self.compact();
+        Some(decoded.map(|frame| DecodedMsg {
+            frame,
+            version,
+            raw,
+        }))
     }
 
     /// Signals that no more bytes will ever arrive: any pending partial
@@ -679,6 +999,27 @@ impl Decoder {
             }
             // `next_frame` stalled on a partial frame: discard its first
             // byte(s) and rescan what remains.
+            if self.pending() > 0 {
+                self.corrupt += 1;
+                self.skip(1);
+            }
+        }
+        self.buf.clear();
+        self.pos = 0;
+        out
+    }
+
+    /// [`drain_eof`](Decoder::drain_eof) for the fully decoding path:
+    /// returns every remaining frame as a [`DecodedMsg`] (or its decode
+    /// error), with intern definitions absorbed along the way, and
+    /// leaves the buffer empty.
+    pub fn drain_eof_messages(&mut self, keep_raw: bool) -> Vec<Result<DecodedMsg, CodecError>> {
+        let mut out = Vec::new();
+        while self.pending() > 0 {
+            if let Some(m) = self.next_message(keep_raw) {
+                out.push(m);
+                continue;
+            }
             if self.pending() > 0 {
                 self.corrupt += 1;
                 self.skip(1);
@@ -715,6 +1056,13 @@ mod tests {
                 n_routers: 3,
                 session: 0xfeed_beef,
                 first_seq: 17,
+                codec: VERSION,
+            }),
+            Frame::Intern(InternDef {
+                router: 2,
+                space: cpvr_types::intern::SPACE_PREFIX,
+                symbol: 0,
+                bytes: vec![8, 0, 0, 0, 10],
             }),
             Frame::Event {
                 seq: 9,
@@ -803,8 +1151,9 @@ mod tests {
         let mut bad = good.clone();
         bad[0] = b'X';
         assert!(matches!(decode_frame(&bad), Err(CodecError::BadMagic(_))));
+        // Version 3 is valid now, so probe with one well past both.
         let mut bad = good.clone();
-        bad[2] = VERSION + 1;
+        bad[2] = 9;
         assert!(matches!(decode_frame(&bad), Err(CodecError::BadVersion(_))));
         let mut bad = good;
         bad[4..8].copy_from_slice(&(MAX_FRAME_LEN + 1).to_le_bytes());
@@ -840,6 +1189,7 @@ mod tests {
             (9, 2),
         ] {
             let raw = RawFrame {
+                version: VERSION,
                 kind,
                 payload: vec![1; wrong],
             };
@@ -961,6 +1311,146 @@ mod tests {
                 "frame {seq} should survive the dropped range: {got:?}"
             );
         }
+    }
+
+    #[test]
+    fn hello_without_codec_field_defaults_to_v2() {
+        // A v2 peer's Hello omits the codec field entirely; build that
+        // payload by hand and make sure decode still accepts it.
+        let json = br#"{"source":4,"n_routers":3,"session":99,"first_seq":0}"#;
+        let mut out = Vec::new();
+        append_frame_with(&mut out, VERSION, 0, |p| p.extend_from_slice(json));
+        let (raw, _) = decode_frame(&out).unwrap().expect("complete");
+        match raw.decode().unwrap() {
+            Frame::Hello(h) => {
+                assert_eq!(h.source, RouterId(4));
+                assert_eq!(h.codec, VERSION);
+            }
+            other => panic!("expected hello, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn v3_events_roundtrip_through_the_decoder_with_interleaved_defs() {
+        let mut enc = EventEncoder::new(CodecVersion::V3);
+        let mut stream = Vec::new();
+        let events: Vec<IoEvent> = (0..4)
+            .map(|i| IoEvent {
+                id: EventId(i),
+                router: RouterId(2),
+                time: SimTime::from_millis(42 + u64::from(i)),
+                arrived_at: None,
+                kind: IoKind::FibRemove {
+                    prefix: "10.0.0.0/8".parse().unwrap(),
+                },
+            })
+            .collect();
+        for (i, e) in events.iter().enumerate() {
+            enc.encode_into(i as u64, e, &mut stream);
+        }
+        // Only the first event should have cost a definition frame.
+        assert!(!enc.definition_frames().is_empty());
+        let mut dec = Decoder::new();
+        dec.feed(&stream);
+        let mut got = Vec::new();
+        let mut defs = 0;
+        while let Some(msg) = dec.next_message(true) {
+            let msg = msg.expect("clean stream decodes");
+            match msg.frame {
+                Frame::Event { seq, event } => {
+                    assert_eq!(msg.version, VERSION_V3);
+                    assert_eq!(seq, got.len() as u64);
+                    // Journaled bytes are the original wire bytes.
+                    let raw = msg.raw.expect("raw requested");
+                    let (reparsed, used) = decode_frame(&raw).unwrap().expect("full frame");
+                    assert_eq!(used, raw.len());
+                    assert_eq!(reparsed.version, VERSION_V3);
+                    got.push(event);
+                }
+                Frame::Intern(_) => defs += 1,
+                other => panic!("unexpected frame {other:?}"),
+            }
+        }
+        assert_eq!(got, events);
+        assert_eq!(defs, 1, "one prefix symbol, defined exactly once");
+        assert_eq!(dec.corrupt_frames(), 0);
+        assert_eq!(dec.pending(), 0);
+    }
+
+    #[test]
+    fn v2_and_v3_frames_interleave_on_one_stream() {
+        let event = sample_event();
+        let mut v2 = EventEncoder::new(CodecVersion::V2);
+        let mut v3 = EventEncoder::new(CodecVersion::V3);
+        let mut stream = Vec::new();
+        v2.encode_into(0, &event, &mut stream);
+        v3.encode_into(1, &event, &mut stream);
+        stream.extend_from_slice(&encode_frame(&Frame::Heartbeat));
+        v3.encode_into(2, &event, &mut stream);
+        v2.encode_into(3, &event, &mut stream);
+        let mut dec = Decoder::new();
+        dec.feed(&stream);
+        let mut seqs = Vec::new();
+        while let Some(msg) = dec.next_message(false) {
+            match msg.expect("clean stream").frame {
+                Frame::Event { seq, event: e } => {
+                    assert_eq!(e, event, "both codecs must yield the same event");
+                    seqs.push(seq);
+                }
+                Frame::Intern(_) | Frame::Heartbeat => {}
+                other => panic!("unexpected frame {other:?}"),
+            }
+        }
+        assert_eq!(seqs, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn v3_event_without_definitions_is_a_clean_error() {
+        // An event referencing a symbol the decoder never saw (e.g. the
+        // definition frame was lost to corruption) must be rejected,
+        // not misdecoded.
+        let mut enc = EventEncoder::new(CodecVersion::V3);
+        let mut stream = Vec::new();
+        enc.encode_into(7, &sample_event(), &mut stream);
+        // Strip the definition frames, keep only the final event frame.
+        let mut frames = Vec::new();
+        let mut rest = &stream[..];
+        while let Some((raw, used)) = decode_frame(rest).unwrap() {
+            frames.push((raw, rest[..used].to_vec()));
+            rest = &rest[used..];
+        }
+        let (event_raw, event_bytes) = frames.pop().expect("event frame");
+        assert_eq!(event_raw.kind, 1);
+        let mut dec = Decoder::new();
+        dec.feed(&event_bytes);
+        match dec.next_message(false) {
+            Some(Err(CodecError::Wire(WireError::UnknownSymbol { .. }))) => {}
+            other => panic!("expected unknown-symbol error, got {other:?}"),
+        }
+        // Stateless decode of the same raw frame fails the same way.
+        assert!(matches!(
+            event_raw.decode(),
+            Err(CodecError::Wire(WireError::UnknownSymbol { .. }))
+        ));
+    }
+
+    #[test]
+    fn event_encoder_reuses_scratch_and_matches_one_shot_encoding() {
+        let event = sample_event();
+        let mut enc = EventEncoder::new(CodecVersion::V2);
+        let mut a = Vec::new();
+        enc.encode_into(5, &event, &mut a);
+        let mut b = Vec::new();
+        enc.encode_into(5, &event, &mut b);
+        assert_eq!(a, b, "scratch reuse must not change the encoding");
+        assert_eq!(a, encode_event(5, &event));
+        assert_eq!(
+            a,
+            encode_frame(&Frame::Event {
+                seq: 5,
+                event: event.clone()
+            })
+        );
     }
 
     proptest! {

@@ -46,7 +46,7 @@
 //! [`SourceTable`]: crate::pipeline::SourceTable
 //! [`Decoder`]: crate::codec::Decoder
 
-use crate::codec::{encode_frame, Decoder, Frame, Hello, RawFrame, VERSION};
+use crate::codec::{encode_frame, DecodedMsg, Decoder, Frame, Hello, VERSION};
 use crate::group_commit::{GroupCommit, GroupCommitHandle};
 use crate::metrics::{CollectorMetrics, DEFAULT_SPAN_SAMPLE};
 use crate::pipeline::{IngestPipeline, Offer, PipelineConfig, RecoveryReport, SourceState};
@@ -323,6 +323,17 @@ pub(crate) enum Msg {
     Bye {
         conn: u64,
         frontier: u64,
+    },
+    /// A v3 intern definition frame, forwarded for journaling only (the
+    /// reader's decoder already absorbed it). Sent only when a WAL is
+    /// configured; always *after* the events that preceded it on the
+    /// stream, so the journal preserves define-before-use order.
+    Intern {
+        /// The defining router, for shard routing (the definition must
+        /// land in the same WAL series as the events that use it).
+        router: u32,
+        /// The definition frame's original wire bytes.
+        raw: Vec<u8>,
     },
     Closed {
         conn: u64,
@@ -706,11 +717,11 @@ enum FrameOutcome {
     MergerGone,
 }
 
-/// Handles one intact frame from a connection: validates the protocol
+/// Handles one decoded frame from a connection: validates the protocol
 /// state machine and forwards typed messages to the merger.
 #[allow(clippy::too_many_arguments)]
 fn on_frame(
-    raw: RawFrame,
+    msg: DecodedMsg,
     conn: u64,
     stream: &TcpStream,
     tx: &SyncSender<Msg>,
@@ -719,7 +730,6 @@ fn on_frame(
     source: &mut Option<RouterId>,
     batch: &mut Vec<EventRec>,
     expect_n_routers: u32,
-    wal_enabled: bool,
     metrics: Option<&CollectorMetrics>,
 ) -> FrameOutcome {
     let fatal_decode = |stats: &SharedStats, why: String| {
@@ -729,14 +739,7 @@ fn on_frame(
         }
         FrameOutcome::Fatal(why)
     };
-    let frame = match raw.decode() {
-        Ok(f) => f,
-        Err(e) => {
-            // The CRC was valid, so these bytes are what the peer
-            // actually sent: a peer bug, not line noise. Fatal.
-            return fatal_decode(stats, e.to_string());
-        }
-    };
+    let DecodedMsg { frame, raw, .. } = msg;
     let flush_before = !matches!(frame, Frame::Event { .. });
     if flush_before && !batch.is_empty() {
         // Pending events must land before the control frame that
@@ -815,11 +818,10 @@ fn on_frame(
             if let (Some(m), Some(src)) = (metrics, *source) {
                 m.spans.received(src.0, seq);
             }
-            batch.push(EventRec {
-                seq,
-                event,
-                raw: wal_enabled.then(|| raw.encode()),
-            });
+            // `raw` is the frame's original wire bytes (captured only
+            // when a WAL is configured): the journal preserves the
+            // sender's codec byte-for-byte instead of re-encoding.
+            batch.push(EventRec { seq, event, raw });
             if batch.len() >= EVENT_BATCH_MAX {
                 let msg = Msg::Events {
                     conn,
@@ -834,6 +836,16 @@ fn on_frame(
         Frame::Watermark { t, frontier } => Msg::Watermark { conn, t, frontier },
         Frame::Heartbeat => Msg::Heartbeat { conn },
         Frame::Bye { frontier } => Msg::Bye { conn, frontier },
+        // The reader's decoder already absorbed the definition; all the
+        // merger does with it is journal the original bytes, so there
+        // is nothing to forward on a WAL-less collector.
+        Frame::Intern(def) => match raw {
+            Some(raw) => Msg::Intern {
+                router: def.router,
+                raw,
+            },
+            None => return FrameOutcome::Continue,
+        },
         // Acks/fins flow collector → client; evictions/admissions exist
         // only in the journal. Arriving over the wire they are
         // meaningless — ignore rather than kill, in the spirit of
@@ -885,9 +897,19 @@ fn reader_loop(
             Ok(0) => {
                 // EOF: whatever is still buffered is all we will ever
                 // get — let the decoder fish out any complete frames.
-                for raw in dec.drain_eof() {
+                for msg in dec.drain_eof_messages(wal_enabled) {
+                    let msg = match msg {
+                        Ok(m) => m,
+                        Err(e) => {
+                            stats.decode_errors.fetch_add(1, Ordering::Relaxed);
+                            if let Some(m) = metrics {
+                                m.decode_errors.inc();
+                            }
+                            break 'conn Some(e.to_string());
+                        }
+                    };
                     match on_frame(
-                        raw,
+                        msg,
                         conn,
                         &stream,
                         &tx,
@@ -896,7 +918,6 @@ fn reader_loop(
                         &mut source,
                         &mut batch,
                         expect_n_routers,
-                        wal_enabled,
                         metrics,
                     ) {
                         FrameOutcome::Continue => {}
@@ -914,9 +935,32 @@ fn reader_loop(
             m.bytes.add(n as u64);
         }
         dec.feed(&buf[..n]);
-        while let Some(raw) = dec.next_frame() {
+        loop {
+            // Decode happens here, on the (parallel) reader thread —
+            // in place out of the read buffer for v3 — and the decode
+            // histogram times exactly this step.
+            let t0 = Instant::now();
+            let Some(msg) = dec.next_message(wal_enabled) else {
+                break;
+            };
+            if let Some(m) = metrics {
+                m.decode_nanos.observe_since(t0);
+            }
+            let msg = match msg {
+                Ok(m) => m,
+                Err(e) => {
+                    // The CRC was valid, so these bytes are what the
+                    // peer actually sent: a peer bug, not line noise.
+                    // Fatal.
+                    stats.decode_errors.fetch_add(1, Ordering::Relaxed);
+                    if let Some(m) = metrics {
+                        m.decode_errors.inc();
+                    }
+                    break 'conn Some(e.to_string());
+                }
+            };
             match on_frame(
-                raw,
+                msg,
                 conn,
                 &stream,
                 &tx,
@@ -925,7 +969,6 @@ fn reader_loop(
                 &mut source,
                 &mut batch,
                 expect_n_routers,
-                wal_enabled,
                 metrics,
             ) {
                 FrameOutcome::Continue => {}
@@ -1158,6 +1201,7 @@ fn merger_loop(
                     // much of its planned replay is already here.
                     acknowledge(&pipeline, &mut acks, conn, source);
                     if let Some(m) = metrics {
+                        m.set_source_codec(source.0, hello.codec);
                         // A hello can flip a source back to Live —
                         // republish so lease-state scrapes see it now,
                         // not at the next watermark advance.
@@ -1303,6 +1347,14 @@ fn merger_loop(
                         metrics,
                     );
                     acknowledge(&pipeline, &mut acks, conn, source);
+                }
+                Msg::Intern { router: _, raw } => {
+                    // Journal the definition before any event that uses
+                    // it (the reader flushed its batch first, so channel
+                    // order is stream order). Idempotent on replay, so
+                    // journaling a definition whose events never arrive
+                    // is harmless.
+                    journal(&mut wal, &mut wal_err, &raw);
                 }
                 Msg::Closed { conn } => {
                     // Keep the router's state: an abnormal close stalls

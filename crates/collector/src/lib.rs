@@ -79,7 +79,7 @@ pub mod shard;
 pub mod wal;
 
 pub use client::{scrape, scrape_snapshot, ReconnectPolicy, SinkMetrics, SocketSink};
-pub use codec::{Decoder, Frame, Hello, RawFrame};
+pub use codec::{CodecVersion, DecodedMsg, Decoder, EventEncoder, Frame, Hello, RawFrame};
 pub use collector::{
     Collector, CollectorConfig, CollectorHandle, CollectorReport, CollectorStats, LeaseConfig,
 };

@@ -45,6 +45,7 @@ struct SourceGauges {
     state: Vec<Gauge>,
     lag_nanos: Vec<Gauge>,
     next_seq: Vec<Gauge>,
+    codec: Vec<Gauge>,
 }
 
 /// All metric handles the collector's threads write through, plus the
@@ -61,6 +62,7 @@ pub struct CollectorMetrics {
     pub(crate) frames_corrupt: Counter,
     pub(crate) resync_bytes: Counter,
     pub(crate) decode_errors: Counter,
+    pub(crate) decode_nanos: Histogram,
     pub(crate) metrics_scrapes: Counter,
 
     // Merger: per-event accounting.
@@ -126,6 +128,11 @@ impl CollectorMetrics {
             "cpvr_decode_errors_total",
             MetricKind::Counter,
             "Fatal protocol errors (bad handshake, undecodable payload behind a valid CRC)",
+        );
+        r.declare(
+            "cpvr_decode_nanos",
+            MetricKind::Histogram,
+            "Wall-clock latency of decoding one frame off the read buffer (reader threads)",
         );
         r.declare(
             "cpvr_metrics_scrapes_total",
@@ -265,6 +272,11 @@ impl CollectorMetrics {
             MetricKind::Gauge,
             "One past the highest contiguously accepted sequence number for the source",
         );
+        r.declare(
+            "cpvr_source_codec",
+            MetricKind::Gauge,
+            "Event codec version the source's last hello announced (0 before any hello)",
+        );
 
         // WAL.
         r.declare(
@@ -318,12 +330,14 @@ impl CollectorMetrics {
         let mut state = Vec::with_capacity(n_routers as usize);
         let mut lag_nanos = Vec::with_capacity(n_routers as usize);
         let mut next_seq = Vec::with_capacity(n_routers as usize);
+        let mut codec = Vec::with_capacity(n_routers as usize);
         for i in 0..n_routers {
             let label = i.to_string();
             let l: &[(&str, &str)] = &[("router", &label)];
             state.push(r.gauge_with("cpvr_source_state", l));
             lag_nanos.push(r.gauge_with("cpvr_source_lag_nanos", l));
             next_seq.push(r.gauge_with("cpvr_source_next_seq", l));
+            codec.push(r.gauge_with("cpvr_source_codec", l));
         }
         for g in &lag_nanos {
             g.set(-1);
@@ -336,6 +350,7 @@ impl CollectorMetrics {
             frames_corrupt: r.counter("cpvr_frames_corrupt_total"),
             resync_bytes: r.counter("cpvr_decoder_resync_bytes_total"),
             decode_errors: r.counter("cpvr_decode_errors_total"),
+            decode_nanos: r.histogram("cpvr_decode_nanos"),
             metrics_scrapes: r.counter("cpvr_metrics_scrapes_total"),
             events_received: r.counter("cpvr_events_received_total"),
             events_journaled: r.counter("cpvr_events_journaled_total"),
@@ -366,6 +381,7 @@ impl CollectorMetrics {
                 state,
                 lag_nanos,
                 next_seq,
+                codec,
             },
             registry,
         }
@@ -382,6 +398,15 @@ impl CollectorMetrics {
     /// A point-in-time copy of every series.
     pub fn snapshot(&self) -> Snapshot {
         self.registry.snapshot()
+    }
+
+    /// Publishes the event codec a source's hello announced (the
+    /// per-frame version byte remains authoritative for decoding; this
+    /// gauge is the fleet-rollout observability signal).
+    pub(crate) fn set_source_codec(&self, router: u32, codec: u8) {
+        if let Some(g) = self.sources.codec.get(router as usize) {
+            g.set(i64::from(codec));
+        }
     }
 
     /// Publishes the fold-side gauges from the pipeline's current

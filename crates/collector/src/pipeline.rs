@@ -33,6 +33,7 @@ use cpvr_core::builder::HbgBuilder;
 use cpvr_core::infer::InferConfig;
 use cpvr_core::snapshot::{ConsistencyTracker, SnapshotStatus};
 use cpvr_sim::IoEvent;
+use cpvr_types::intern::InternStore;
 use cpvr_types::{RouterId, SimTime};
 use std::io;
 use std::path::Path;
@@ -534,6 +535,11 @@ impl IngestPipeline {
             torn |= r.torn;
             segments += r.segments;
             let mut series_wm: Option<SimTime> = None;
+            // v3 symbol definitions are journaled into the same series
+            // as the events that use them, *before* first use, so a
+            // per-series store replayed in scan order resolves every
+            // symbol — exactly like the live decoder did.
+            let mut interns = InternStore::new();
             for record in &r.records {
                 // A WAL record is one full wire frame; its CRC was
                 // already checked by the record-level checksum, so a
@@ -541,44 +547,49 @@ impl IngestPipeline {
                 // corruption. Skip and count rather than abort
                 // recovery.
                 match decode_frame(record) {
-                    Ok(Some((raw, used))) if used == record.len() => match raw.decode() {
-                        Ok(Frame::Event { seq, event }) => {
-                            if pipeline.sources.contains(event.router) {
-                                let e = pipeline.sources.entry_mut(event.router);
-                                e.next_seq = e.next_seq.max(seq + 1);
+                    Ok(Some((raw, used))) if used == record.len() => {
+                        match raw.decode_with(&interns) {
+                            Ok(Frame::Intern(def)) => {
+                                interns.apply(def.router, def.space, def.symbol, &def.bytes);
                             }
-                            events.push(event);
-                        }
-                        Ok(Frame::Watermark { t, .. }) => {
-                            series_wm = Some(series_wm.map_or(t, |w| w.max(t)));
-                        }
-                        Ok(Frame::Hello(h)) => {
-                            if pipeline.sources.contains(h.source) {
-                                let e = pipeline.sources.entry_mut(h.source);
-                                e.session = Some(h.session);
-                                if e.state == SourceState::NeverConnected {
-                                    e.state = SourceState::Live;
+                            Ok(Frame::Event { seq, event }) => {
+                                if pipeline.sources.contains(event.router) {
+                                    let e = pipeline.sources.entry_mut(event.router);
+                                    e.next_seq = e.next_seq.max(seq + 1);
+                                }
+                                events.push(event);
+                            }
+                            Ok(Frame::Watermark { t, .. }) => {
+                                series_wm = Some(series_wm.map_or(t, |w| w.max(t)));
+                            }
+                            Ok(Frame::Hello(h)) => {
+                                if pipeline.sources.contains(h.source) {
+                                    let e = pipeline.sources.entry_mut(h.source);
+                                    e.session = Some(h.session);
+                                    if e.state == SourceState::NeverConnected {
+                                        e.state = SourceState::Live;
+                                    }
                                 }
                             }
-                        }
-                        Ok(Frame::Evict { source }) => {
-                            if pipeline.sources.contains(source) {
-                                pipeline.sources.evict(source);
+                            Ok(Frame::Evict { source }) => {
+                                if pipeline.sources.contains(source) {
+                                    pipeline.sources.evict(source);
+                                }
                             }
-                        }
-                        Ok(Frame::Admit { source }) => {
-                            if pipeline.sources.contains(source) {
-                                pipeline.sources.admit(source);
+                            Ok(Frame::Admit { source }) => {
+                                if pipeline.sources.contains(source) {
+                                    pipeline.sources.admit(source);
+                                }
                             }
+                            Ok(Frame::Bye { .. })
+                            | Ok(Frame::Ack { .. })
+                            | Ok(Frame::Fin)
+                            | Ok(Frame::Heartbeat)
+                            | Ok(Frame::MetricsReq { .. })
+                            | Ok(Frame::MetricsResp { .. }) => {}
+                            Err(_) => corrupt += 1,
                         }
-                        Ok(Frame::Bye { .. })
-                        | Ok(Frame::Ack { .. })
-                        | Ok(Frame::Fin)
-                        | Ok(Frame::Heartbeat)
-                        | Ok(Frame::MetricsReq { .. })
-                        | Ok(Frame::MetricsResp { .. }) => {}
-                        Err(_) => corrupt += 1,
-                    },
+                    }
                     _ => corrupt += 1,
                 }
             }

@@ -725,6 +725,7 @@ pub(crate) fn coordinator_loop(
                     }
                     sources.hello(source, hello.session, hello.first_seq);
                     conn_source.insert(conn, source);
+                    let codec = hello.codec;
                     let journal = cfg
                         .wal
                         .is_some()
@@ -737,6 +738,7 @@ pub(crate) fn coordinator_loop(
                         fin: sources.finished(source),
                     });
                     if let Some(m) = &metrics {
+                        m.set_source_codec(source.0, codec);
                         m.publish_sources(&sources);
                     }
                 }
@@ -859,6 +861,16 @@ pub(crate) fn coordinator_loop(
                         metrics.as_deref(),
                     );
                     ack_via_worker(&workers, &plan, &sources, conn, source);
+                }
+                Msg::Intern { router, raw } => {
+                    // A symbol definition journals into the *owning
+                    // shard's* WAL series — the same series that will
+                    // journal the events using it — so a per-series
+                    // replay sees define-before-use, and a definition
+                    // is never stranded in a series whose events cannot
+                    // resolve it.
+                    let owner = plan.of_router(RouterId(router)) as usize;
+                    let _ = workers[owner].tx.send(WorkerMsg::Journal { bytes: raw });
                 }
                 Msg::Closed { conn } => {
                     if let Some(source) = conn_source.remove(&conn) {

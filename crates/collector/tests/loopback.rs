@@ -197,6 +197,7 @@ fn hello_mismatch_is_rejected_without_poisoning_the_collector() {
         n_routers: N_ROUTERS + 1,
         session: 0xbad,
         first_seq: 0,
+        codec: 2,
     })))
     .expect("write bad hello");
     assert!(

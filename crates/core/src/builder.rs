@@ -32,25 +32,55 @@ use cpvr_types::SimTime;
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap, HashMap};
 
-/// An ingested event waiting for the watermark to pass it, ordered by
-/// `(time, id)` — the canonical sweep order.
-#[derive(Clone)]
-struct Pending(IoEvent);
+/// Arena storage for ingested events awaiting the watermark.
+///
+/// Events land in stable slots (`Vec<Option<IoEvent>>` plus a free
+/// list), and the ordering heap holds only a compact copyable key —
+/// `(time, id, slot)` — instead of the event itself. Heap sifts during
+/// ingest/advance therefore move 24-byte keys, not multi-hundred-byte
+/// events dragging `String`/`Vec` fields around, and a drained slot is
+/// reused by the next ingest instead of round-tripping through the
+/// allocator. The slot index participates in the key only as a final
+/// tiebreak; `(time, id)` alone decides the canonical sweep order.
+#[derive(Clone, Default)]
+struct PendingArena {
+    slots: Vec<Option<IoEvent>>,
+    free: Vec<u32>,
+    heap: BinaryHeap<Reverse<(SimTime, EventId, u32)>>,
+}
 
-impl PartialEq for Pending {
-    fn eq(&self, other: &Self) -> bool {
-        (self.0.time, self.0.id) == (other.0.time, other.0.id)
+impl PendingArena {
+    fn push(&mut self, e: &IoEvent) {
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.slots[s as usize] = Some(e.clone());
+                s
+            }
+            None => {
+                let s = u32::try_from(self.slots.len()).expect("under 2^32 pending events");
+                self.slots.push(Some(e.clone()));
+                s
+            }
+        };
+        self.heap.push(Reverse((e.time, e.id, slot)));
     }
-}
-impl Eq for Pending {}
-impl PartialOrd for Pending {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
+
+    /// The `(time, id)` key of the earliest pending event.
+    fn peek_key(&self) -> Option<(SimTime, EventId)> {
+        self.heap.peek().map(|Reverse((t, id, _))| (*t, *id))
     }
-}
-impl Ord for Pending {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.0.time, self.0.id).cmp(&(other.0.time, other.0.id))
+
+    /// Removes and returns the earliest pending event, releasing its
+    /// slot for reuse.
+    fn pop(&mut self) -> Option<IoEvent> {
+        let Reverse((_, _, slot)) = self.heap.pop()?;
+        let e = self.slots[slot as usize].take().expect("slot occupied");
+        self.free.push(slot);
+        Some(e)
+    }
+
+    fn len(&self) -> usize {
+        self.heap.len()
     }
 }
 
@@ -79,7 +109,7 @@ pub struct HbgBuilder {
     patterns: Option<(PatternEngine, bool)>,
     state: SweepState,
     times: HashMap<EventId, SimTime>,
-    queue: BinaryHeap<Reverse<Pending>>,
+    pending: PendingArena,
     /// `None` until the first [`advance`](Self::advance).
     watermark: Option<SimTime>,
     /// `(time, id)` of the last event folded into the sweep. New ingests
@@ -119,7 +149,7 @@ impl HbgBuilder {
                 .map(|m| (PatternEngine::compile(m, cfg.min_confidence), cfg.proximate)),
             state: SweepState::default(),
             times: HashMap::new(),
-            queue: BinaryHeap::new(),
+            pending: PendingArena::default(),
             watermark: None,
             last_folded: None,
             processed: 0,
@@ -150,7 +180,7 @@ impl HbgBuilder {
         }
         self.g.grow_to(e.id.index() + 1);
         self.times.insert(e.id, e.time);
-        self.queue.push(Reverse(Pending(e.clone())));
+        self.pending.push(e);
     }
 
     /// Folds every buffered event stamped ≤ `watermark` into the graph,
@@ -158,11 +188,11 @@ impl HbgBuilder {
     /// watermark never moves backwards.
     pub fn advance(&mut self, watermark: SimTime) -> usize {
         let mut folded = 0;
-        while let Some(Reverse(p)) = self.queue.peek() {
-            if p.0.time > watermark {
+        while let Some((t, _)) = self.pending.peek_key() {
+            if t > watermark {
                 break;
             }
-            let Reverse(Pending(e)) = self.queue.pop().expect("peeked");
+            let e = self.pending.pop().expect("peeked");
             if let Some(sweep) = &mut self.rules {
                 let mut out = Vec::new();
                 sweep.step(&e, self.scope, &mut out);
@@ -212,7 +242,7 @@ impl HbgBuilder {
 
     /// How many ingested events are still waiting for the watermark.
     pub fn pending(&self) -> usize {
-        self.queue.len()
+        self.pending.len()
     }
 
     /// Edges *offered* to the graph so far, keyed by the rendering of

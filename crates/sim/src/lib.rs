@@ -38,6 +38,7 @@ pub mod latency;
 pub mod router;
 pub mod scenario;
 pub mod sink;
+pub mod wire;
 pub mod workload;
 
 pub use engine::{FibGate, Simulation};

@@ -1,0 +1,941 @@
+//! Binary event bodies for the collector's codec v3.
+//!
+//! Codec v2 ships every [`IoEvent`] as compact JSON: the router renders
+//! a `String`, the collector parses it back through a `Value` tree, and
+//! every router name, prefix, and description lands in its own heap
+//! allocation. This module is the v3 alternative: a dense binary layout
+//! read in a single left-to-right pass, with varint integers
+//! ([`cpvr_types::varint`]) and interned symbols
+//! ([`cpvr_types::intern`]) for the two repeated byte-string shapes —
+//! event descriptions and 5-byte prefix encodings.
+//!
+//! Layout of an event body (after the frame's varint sequence number):
+//!
+//! ```text
+//! varint id · varint router · varint time · flags u8
+//! [varint arrived_at if flags bit0] · kind tag u8 · fields…
+//! ```
+//!
+//! Kind tags follow [`IoKind`]'s declaration order (0 = `ConfigChange`
+//! … 10 = `SendWithdraw`). Prefixes appear as interned symbols whose
+//! definition bytes are `[len, bits₀, bits₁, bits₂, bits₃]` (bits
+//! little-endian); descriptions are interned UTF-8. The rare
+//! `cpvr_bgp::ConfigChange` payloads ride as length-prefixed compact
+//! JSON — they occur once per scenario mutation, so correctness beats
+//! compactness there.
+//!
+//! Interning makes encode stateful: the first use of a symbol emits an
+//! [`InternDef`] that the caller must frame *before* the event that
+//! uses it. Decode is strict — every byte must be consumed, every tag
+//! known, every symbol previously defined — so damaged frames are
+//! quarantined rather than misread.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use cpvr_bgp::{BgpRoute, NextHop, Origin, PeerRef};
+use cpvr_dataplane::FibAction;
+use cpvr_topo::{ExtPeerId, LinkId};
+use cpvr_types::intern::{InternStore, Interns, SPACE_PREFIX, SPACE_STRING};
+use cpvr_types::json::{from_str, to_string_compact};
+use cpvr_types::varint;
+use cpvr_types::{AsNum, Ipv4Prefix, RouterId, SimTime};
+
+use crate::io::{EventId, IoEvent, IoKind, Proto};
+
+/// Why a binary event body failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer ended before the field (or a varint terminator).
+    Truncated,
+    /// An enum tag byte was out of range for the named field.
+    BadTag(&'static str, u8),
+    /// An interned symbol was used before any definition bound it.
+    UnknownSymbol {
+        /// The symbol space ([`SPACE_STRING`] / [`SPACE_PREFIX`]).
+        space: u8,
+        /// The unresolved symbol.
+        symbol: u32,
+    },
+    /// A symbol resolved to bytes of the wrong shape (bad UTF-8 for a
+    /// string, wrong length or length > 32 for a prefix).
+    BadSymbolBytes(&'static str),
+    /// An embedded JSON blob failed to parse.
+    BadJson(&'static str),
+    /// Bytes were left over after the last field — the frame length
+    /// and the body disagree.
+    Trailing(usize),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "truncated event body"),
+            WireError::BadTag(what, b) => write!(f, "bad {what} tag {b}"),
+            WireError::UnknownSymbol { space, symbol } => {
+                write!(f, "undefined intern symbol {symbol} in space {space}")
+            }
+            WireError::BadSymbolBytes(what) => write!(f, "malformed interned {what}"),
+            WireError::BadJson(what) => write!(f, "bad embedded json for {what}"),
+            WireError::Trailing(n) => write!(f, "{n} trailing bytes after event body"),
+        }
+    }
+}
+
+/// A fresh symbol definition produced during encode. The transport must
+/// deliver it (as an `Intern` frame) before the event that uses it, and
+/// journal it to the WAL in the same order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InternDef {
+    /// Source router the symbol is scoped to.
+    pub router: u32,
+    /// Symbol space ([`SPACE_STRING`] / [`SPACE_PREFIX`]).
+    pub space: u8,
+    /// The symbol being defined.
+    pub symbol: u32,
+    /// Its meaning.
+    pub bytes: Vec<u8>,
+}
+
+/// Renders an intern definition as an `Intern` frame payload:
+/// `varint router · space u8 · varint symbol · varint len · bytes`.
+pub fn encode_intern_def(def: &InternDef, out: &mut Vec<u8>) {
+    varint::write_u32(out, def.router);
+    out.push(def.space);
+    varint::write_u32(out, def.symbol);
+    varint::write_u64(out, def.bytes.len() as u64);
+    out.extend_from_slice(&def.bytes);
+}
+
+/// Parses an `Intern` frame payload. Strict: consumes the whole buffer.
+pub fn decode_intern_def(buf: &[u8]) -> Result<InternDef, WireError> {
+    let mut pos = 0;
+    let router = varint::read_u32(buf, &mut pos).ok_or(WireError::Truncated)?;
+    let space = *buf.get(pos).ok_or(WireError::Truncated)?;
+    pos += 1;
+    if space != SPACE_STRING && space != SPACE_PREFIX {
+        return Err(WireError::BadTag("intern space", space));
+    }
+    let symbol = varint::read_u32(buf, &mut pos).ok_or(WireError::Truncated)?;
+    let len = varint::read_u64(buf, &mut pos).ok_or(WireError::Truncated)? as usize;
+    let rest = &buf[pos..];
+    if rest.len() < len {
+        return Err(WireError::Truncated);
+    }
+    if rest.len() > len {
+        return Err(WireError::Trailing(rest.len() - len));
+    }
+    Ok(InternDef {
+        router,
+        space,
+        symbol,
+        bytes: rest.to_vec(),
+    })
+}
+
+/// The 5-byte wire shape of a prefix: `[len, bits LE…]`.
+fn prefix_bytes(p: Ipv4Prefix) -> [u8; 5] {
+    let bits = p.bits().to_le_bytes();
+    [p.len(), bits[0], bits[1], bits[2], bits[3]]
+}
+
+fn prefix_from_bytes(bytes: &[u8]) -> Option<Ipv4Prefix> {
+    if bytes.len() != 5 || bytes[0] > 32 {
+        return None;
+    }
+    let bits = u32::from_le_bytes([bytes[1], bytes[2], bytes[3], bytes[4]]);
+    Some(Ipv4Prefix::from_bits(bits, bytes[0]))
+}
+
+/// Encoder state + output for one event body.
+struct Enc<'a> {
+    interns: &'a mut Interns,
+    defs: &'a mut Vec<InternDef>,
+    router: u32,
+    out: &'a mut Vec<u8>,
+}
+
+impl Enc<'_> {
+    fn byte(&mut self, b: u8) {
+        self.out.push(b);
+    }
+
+    fn u32v(&mut self, v: u32) {
+        varint::write_u32(self.out, v);
+    }
+
+    fn u64v(&mut self, v: u64) {
+        varint::write_u64(self.out, v);
+    }
+
+    fn str_sym(&mut self, s: &str) {
+        let (sym, fresh) = self.interns.strings.intern(s.as_bytes());
+        if fresh {
+            self.defs.push(InternDef {
+                router: self.router,
+                space: SPACE_STRING,
+                symbol: sym,
+                bytes: s.as_bytes().to_vec(),
+            });
+        }
+        self.u32v(sym);
+    }
+
+    fn pfx_sym(&mut self, p: Ipv4Prefix) {
+        let bytes = prefix_bytes(p);
+        let (sym, fresh) = self.interns.prefixes.intern(&bytes);
+        if fresh {
+            self.defs.push(InternDef {
+                router: self.router,
+                space: SPACE_PREFIX,
+                symbol: sym,
+                bytes: bytes.to_vec(),
+            });
+        }
+        self.u32v(sym);
+    }
+
+    fn opt_pfx(&mut self, p: &Option<Ipv4Prefix>) {
+        match p {
+            None => self.byte(0),
+            Some(p) => {
+                self.byte(1);
+                self.pfx_sym(*p);
+            }
+        }
+    }
+
+    fn proto(&mut self, p: Proto) {
+        self.byte(match p {
+            Proto::Bgp => 0,
+            Proto::Ospf => 1,
+            Proto::Rip => 2,
+            Proto::Eigrp => 3,
+        });
+    }
+
+    fn peer(&mut self, p: &PeerRef) {
+        match p {
+            PeerRef::Internal(r) => {
+                self.byte(0);
+                self.u32v(r.0);
+            }
+            PeerRef::External(x) => {
+                self.byte(1);
+                self.u32v(x.0);
+            }
+        }
+    }
+
+    fn opt_peer(&mut self, p: &Option<PeerRef>) {
+        match p {
+            None => self.byte(0),
+            Some(p) => {
+                self.byte(1);
+                self.peer(p);
+            }
+        }
+    }
+
+    fn route(&mut self, r: &BgpRoute) {
+        self.pfx_sym(r.prefix);
+        match r.next_hop {
+            NextHop::External(x) => {
+                self.byte(0);
+                self.u32v(x.0);
+            }
+            NextHop::Router(rt) => {
+                self.byte(1);
+                self.u32v(rt.0);
+            }
+        }
+        self.u32v(r.local_pref);
+        self.u64v(r.as_path.len() as u64);
+        for asn in &r.as_path {
+            self.u32v(asn.0);
+        }
+        self.byte(match r.origin {
+            Origin::Igp => 0,
+            Origin::Egp => 1,
+            Origin::Incomplete => 2,
+        });
+        self.u32v(r.med);
+        // BTreeSet iteration is sorted: the encoding is deterministic.
+        self.u64v(r.communities.len() as u64);
+        for c in &r.communities {
+            self.u32v(*c);
+        }
+        self.u32v(r.originator.0);
+    }
+
+    fn opt_route(&mut self, r: &Option<BgpRoute>) {
+        match r {
+            None => self.byte(0),
+            Some(r) => {
+                self.byte(1);
+                self.route(r);
+            }
+        }
+    }
+
+    /// `Option<ConfigChange>` rides as presence + length-prefixed JSON.
+    fn opt_blob(&mut self, c: &Option<cpvr_bgp::ConfigChange>) {
+        match c {
+            None => self.byte(0),
+            Some(c) => {
+                self.byte(1);
+                let json = to_string_compact(c);
+                self.u64v(json.len() as u64);
+                self.out.extend_from_slice(json.as_bytes());
+            }
+        }
+    }
+
+    fn action(&mut self, a: &FibAction) {
+        match a {
+            FibAction::Forward(l) => {
+                self.byte(0);
+                self.u32v(l.0);
+            }
+            FibAction::Exit(x) => {
+                self.byte(1);
+                self.u32v(x.0);
+            }
+            FibAction::Local => self.byte(2),
+            FibAction::Drop => self.byte(3),
+        }
+    }
+
+    fn opt_u32(&mut self, v: Option<u32>) {
+        match v {
+            None => self.byte(0),
+            Some(v) => {
+                self.byte(1);
+                self.u32v(v);
+            }
+        }
+    }
+}
+
+/// Appends `varint seq` + the binary body of `event` to `out`.
+///
+/// `interns` is the encoder's per-router symbol state; fresh symbols
+/// are appended to `defs` and must be framed (and journaled) before
+/// this event's frame.
+pub fn encode_event(
+    seq: u64,
+    event: &IoEvent,
+    interns: &mut Interns,
+    defs: &mut Vec<InternDef>,
+    out: &mut Vec<u8>,
+) {
+    varint::write_u64(out, seq);
+    let mut e = Enc {
+        interns,
+        defs,
+        router: event.router.0,
+        out,
+    };
+    e.u32v(event.id.0);
+    e.u32v(event.router.0);
+    e.u64v(event.time.0);
+    match event.arrived_at {
+        None => e.byte(0),
+        Some(t) => {
+            e.byte(1);
+            e.u64v(t.0);
+        }
+    }
+    match &event.kind {
+        IoKind::ConfigChange {
+            desc,
+            change,
+            inverse,
+        } => {
+            e.byte(0);
+            e.str_sym(desc);
+            e.opt_blob(change);
+            e.opt_blob(inverse);
+        }
+        IoKind::SoftReconfig { desc } => {
+            e.byte(1);
+            e.str_sym(desc);
+        }
+        IoKind::LinkStatus {
+            desc,
+            up,
+            link,
+            peer,
+        } => {
+            e.byte(2);
+            e.str_sym(desc);
+            e.byte(u8::from(*up));
+            e.opt_u32(link.map(|l| l.0));
+            e.opt_u32(peer.map(|p| p.0));
+        }
+        IoKind::RecvAdvert {
+            proto,
+            prefix,
+            from,
+            route,
+        } => {
+            e.byte(3);
+            e.proto(*proto);
+            e.opt_pfx(prefix);
+            e.opt_peer(from);
+            e.opt_route(route);
+        }
+        IoKind::RecvWithdraw {
+            proto,
+            prefix,
+            from,
+        } => {
+            e.byte(4);
+            e.proto(*proto);
+            e.opt_pfx(prefix);
+            e.opt_peer(from);
+        }
+        IoKind::RibInstall {
+            proto,
+            prefix,
+            route,
+        } => {
+            e.byte(5);
+            e.proto(*proto);
+            e.pfx_sym(*prefix);
+            e.opt_route(route);
+        }
+        IoKind::RibRemove { proto, prefix } => {
+            e.byte(6);
+            e.proto(*proto);
+            e.pfx_sym(*prefix);
+        }
+        IoKind::FibInstall { prefix, action } => {
+            e.byte(7);
+            e.pfx_sym(*prefix);
+            e.action(action);
+        }
+        IoKind::FibRemove { prefix } => {
+            e.byte(8);
+            e.pfx_sym(*prefix);
+        }
+        IoKind::SendAdvert {
+            proto,
+            prefix,
+            to,
+            route,
+        } => {
+            e.byte(9);
+            e.proto(*proto);
+            e.opt_pfx(prefix);
+            e.opt_peer(to);
+            e.opt_route(route);
+        }
+        IoKind::SendWithdraw { proto, prefix, to } => {
+            e.byte(10);
+            e.proto(*proto);
+            e.opt_pfx(prefix);
+            e.opt_peer(to);
+        }
+    }
+}
+
+/// Cursor over an event body during decode.
+struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    interns: &'a Interns,
+}
+
+impl<'a> Dec<'a> {
+    fn byte(&mut self) -> Result<u8, WireError> {
+        let b = *self.buf.get(self.pos).ok_or(WireError::Truncated)?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn u32v(&mut self) -> Result<u32, WireError> {
+        varint::read_u32(self.buf, &mut self.pos).ok_or(WireError::Truncated)
+    }
+
+    fn u64v(&mut self) -> Result<u64, WireError> {
+        varint::read_u64(self.buf, &mut self.pos).ok_or(WireError::Truncated)
+    }
+
+    fn desc(&mut self) -> Result<String, WireError> {
+        let sym = self.u32v()?;
+        let bytes = self
+            .interns
+            .strings
+            .resolve(sym)
+            .ok_or(WireError::UnknownSymbol {
+                space: SPACE_STRING,
+                symbol: sym,
+            })?;
+        std::str::from_utf8(bytes)
+            .map(str::to_owned)
+            .map_err(|_| WireError::BadSymbolBytes("string"))
+    }
+
+    fn pfx(&mut self) -> Result<Ipv4Prefix, WireError> {
+        let sym = self.u32v()?;
+        let bytes = self
+            .interns
+            .prefixes
+            .resolve(sym)
+            .ok_or(WireError::UnknownSymbol {
+                space: SPACE_PREFIX,
+                symbol: sym,
+            })?;
+        prefix_from_bytes(bytes).ok_or(WireError::BadSymbolBytes("prefix"))
+    }
+
+    fn presence(&mut self, what: &'static str) -> Result<bool, WireError> {
+        match self.byte()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(WireError::BadTag(what, b)),
+        }
+    }
+
+    fn opt_pfx(&mut self) -> Result<Option<Ipv4Prefix>, WireError> {
+        Ok(if self.presence("prefix presence")? {
+            Some(self.pfx()?)
+        } else {
+            None
+        })
+    }
+
+    fn proto(&mut self) -> Result<Proto, WireError> {
+        match self.byte()? {
+            0 => Ok(Proto::Bgp),
+            1 => Ok(Proto::Ospf),
+            2 => Ok(Proto::Rip),
+            3 => Ok(Proto::Eigrp),
+            b => Err(WireError::BadTag("proto", b)),
+        }
+    }
+
+    fn peer(&mut self) -> Result<PeerRef, WireError> {
+        match self.byte()? {
+            0 => Ok(PeerRef::Internal(RouterId(self.u32v()?))),
+            1 => Ok(PeerRef::External(ExtPeerId(self.u32v()?))),
+            b => Err(WireError::BadTag("peer", b)),
+        }
+    }
+
+    fn opt_peer(&mut self) -> Result<Option<PeerRef>, WireError> {
+        Ok(if self.presence("peer presence")? {
+            Some(self.peer()?)
+        } else {
+            None
+        })
+    }
+
+    fn route(&mut self) -> Result<BgpRoute, WireError> {
+        let prefix = self.pfx()?;
+        let next_hop = match self.byte()? {
+            0 => NextHop::External(ExtPeerId(self.u32v()?)),
+            1 => NextHop::Router(RouterId(self.u32v()?)),
+            b => return Err(WireError::BadTag("next_hop", b)),
+        };
+        let local_pref = self.u32v()?;
+        let n = self.u64v()? as usize;
+        if n > self.buf.len() - self.pos.min(self.buf.len()) {
+            // A length a damaged frame can't back: fail before allocating.
+            return Err(WireError::Truncated);
+        }
+        let mut as_path = Vec::with_capacity(n);
+        for _ in 0..n {
+            as_path.push(AsNum(self.u32v()?));
+        }
+        let origin = match self.byte()? {
+            0 => Origin::Igp,
+            1 => Origin::Egp,
+            2 => Origin::Incomplete,
+            b => return Err(WireError::BadTag("origin", b)),
+        };
+        let med = self.u32v()?;
+        let n = self.u64v()? as usize;
+        if n > self.buf.len() - self.pos.min(self.buf.len()) {
+            return Err(WireError::Truncated);
+        }
+        let mut communities = BTreeSet::new();
+        for _ in 0..n {
+            communities.insert(self.u32v()?);
+        }
+        let originator = RouterId(self.u32v()?);
+        Ok(BgpRoute {
+            prefix,
+            next_hop,
+            local_pref,
+            as_path,
+            origin,
+            med,
+            communities,
+            originator,
+        })
+    }
+
+    fn opt_route(&mut self) -> Result<Option<BgpRoute>, WireError> {
+        Ok(if self.presence("route presence")? {
+            Some(self.route()?)
+        } else {
+            None
+        })
+    }
+
+    fn opt_blob(&mut self) -> Result<Option<cpvr_bgp::ConfigChange>, WireError> {
+        if !self.presence("blob presence")? {
+            return Ok(None);
+        }
+        let len = self.u64v()? as usize;
+        let end = self.pos.checked_add(len).ok_or(WireError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(WireError::Truncated);
+        }
+        let text = std::str::from_utf8(&self.buf[self.pos..end])
+            .map_err(|_| WireError::BadJson("config change"))?;
+        self.pos = end;
+        from_str::<cpvr_bgp::ConfigChange>(text)
+            .map(Some)
+            .map_err(|_| WireError::BadJson("config change"))
+    }
+
+    fn action(&mut self) -> Result<FibAction, WireError> {
+        match self.byte()? {
+            0 => Ok(FibAction::Forward(LinkId(self.u32v()?))),
+            1 => Ok(FibAction::Exit(ExtPeerId(self.u32v()?))),
+            2 => Ok(FibAction::Local),
+            3 => Ok(FibAction::Drop),
+            b => Err(WireError::BadTag("fib action", b)),
+        }
+    }
+
+    fn opt_u32(&mut self, what: &'static str) -> Result<Option<u32>, WireError> {
+        Ok(if self.presence(what)? {
+            Some(self.u32v()?)
+        } else {
+            None
+        })
+    }
+}
+
+/// Decodes a v3 event payload (`varint seq` + body) against the symbol
+/// tables in `store`. Strict: every byte must be consumed.
+///
+/// The body's own router field selects which router's tables apply, so
+/// one store serves a whole fleet (and a WAL series that interleaves
+/// routers).
+pub fn decode_event(buf: &[u8], store: &InternStore) -> Result<(u64, IoEvent), WireError> {
+    let empty = Interns::new();
+    let mut pos = 0;
+    let seq = varint::read_u64(buf, &mut pos).ok_or(WireError::Truncated)?;
+    let id = varint::read_u32(buf, &mut pos).ok_or(WireError::Truncated)?;
+    let router = varint::read_u32(buf, &mut pos).ok_or(WireError::Truncated)?;
+    let mut d = Dec {
+        buf,
+        pos,
+        interns: store.of(router).unwrap_or(&empty),
+    };
+    let time = SimTime(d.u64v()?);
+    let arrived_at = match d.byte()? {
+        0 => None,
+        1 => Some(SimTime(d.u64v()?)),
+        b => return Err(WireError::BadTag("arrived_at presence", b)),
+    };
+    let kind = match d.byte()? {
+        0 => IoKind::ConfigChange {
+            desc: d.desc()?,
+            change: d.opt_blob()?,
+            inverse: d.opt_blob()?,
+        },
+        1 => IoKind::SoftReconfig { desc: d.desc()? },
+        2 => IoKind::LinkStatus {
+            desc: d.desc()?,
+            up: d.presence("link up")?,
+            link: d.opt_u32("link presence")?.map(LinkId),
+            peer: d.opt_u32("ext peer presence")?.map(ExtPeerId),
+        },
+        3 => IoKind::RecvAdvert {
+            proto: d.proto()?,
+            prefix: d.opt_pfx()?,
+            from: d.opt_peer()?,
+            route: d.opt_route()?,
+        },
+        4 => IoKind::RecvWithdraw {
+            proto: d.proto()?,
+            prefix: d.opt_pfx()?,
+            from: d.opt_peer()?,
+        },
+        5 => IoKind::RibInstall {
+            proto: d.proto()?,
+            prefix: d.pfx()?,
+            route: d.opt_route()?,
+        },
+        6 => IoKind::RibRemove {
+            proto: d.proto()?,
+            prefix: d.pfx()?,
+        },
+        7 => IoKind::FibInstall {
+            prefix: d.pfx()?,
+            action: d.action()?,
+        },
+        8 => IoKind::FibRemove { prefix: d.pfx()? },
+        9 => IoKind::SendAdvert {
+            proto: d.proto()?,
+            prefix: d.opt_pfx()?,
+            to: d.opt_peer()?,
+            route: d.opt_route()?,
+        },
+        10 => IoKind::SendWithdraw {
+            proto: d.proto()?,
+            prefix: d.opt_pfx()?,
+            to: d.opt_peer()?,
+        },
+        b => return Err(WireError::BadTag("io kind", b)),
+    };
+    if d.pos != buf.len() {
+        return Err(WireError::Trailing(buf.len() - d.pos));
+    }
+    Ok((
+        seq,
+        IoEvent {
+            id: EventId(id),
+            router: RouterId(router),
+            time,
+            arrived_at,
+            kind,
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_route(pfx: Ipv4Prefix) -> BgpRoute {
+        BgpRoute {
+            prefix: pfx,
+            next_hop: NextHop::Router(RouterId(3)),
+            local_pref: 200,
+            as_path: vec![AsNum(65000), AsNum(65001)],
+            origin: Origin::Igp,
+            med: 17,
+            communities: [65000u32, 12].into_iter().collect(),
+            originator: RouterId(3),
+        }
+    }
+
+    fn sample_events() -> Vec<IoEvent> {
+        let p = Ipv4Prefix::from_bits(0x0a000000, 24);
+        let q = Ipv4Prefix::from_bits(0xc0a80000, 16);
+        let mk = |id: u32, kind: IoKind| IoEvent {
+            id: EventId(id),
+            router: RouterId(2),
+            time: SimTime(1_000 + u64::from(id) * 300),
+            arrived_at: id.is_multiple_of(2).then(|| SimTime(2_000 + u64::from(id))),
+            kind,
+        };
+        vec![
+            mk(
+                0,
+                IoKind::SoftReconfig {
+                    desc: "clear ip bgp * soft".into(),
+                },
+            ),
+            mk(
+                1,
+                IoKind::LinkStatus {
+                    desc: "link 4 down".into(),
+                    up: false,
+                    link: Some(LinkId(4)),
+                    peer: None,
+                },
+            ),
+            mk(
+                2,
+                IoKind::RecvAdvert {
+                    proto: Proto::Bgp,
+                    prefix: Some(p),
+                    from: Some(PeerRef::External(ExtPeerId(7))),
+                    route: Some(sample_route(p)),
+                },
+            ),
+            mk(
+                3,
+                IoKind::RecvWithdraw {
+                    proto: Proto::Bgp,
+                    prefix: Some(q),
+                    from: Some(PeerRef::Internal(RouterId(1))),
+                },
+            ),
+            mk(
+                4,
+                IoKind::RibInstall {
+                    proto: Proto::Bgp,
+                    prefix: p,
+                    route: Some(sample_route(p)),
+                },
+            ),
+            mk(
+                5,
+                IoKind::RibRemove {
+                    proto: Proto::Ospf,
+                    prefix: q,
+                },
+            ),
+            mk(
+                6,
+                IoKind::FibInstall {
+                    prefix: p,
+                    action: FibAction::Forward(LinkId(2)),
+                },
+            ),
+            mk(7, IoKind::FibRemove { prefix: q }),
+            mk(
+                8,
+                IoKind::SendAdvert {
+                    proto: Proto::Bgp,
+                    prefix: Some(p),
+                    to: Some(PeerRef::Internal(RouterId(0))),
+                    route: None,
+                },
+            ),
+            mk(
+                9,
+                IoKind::SendWithdraw {
+                    proto: Proto::Eigrp,
+                    prefix: None,
+                    to: None,
+                },
+            ),
+        ]
+    }
+
+    fn store_from(defs: &[InternDef]) -> InternStore {
+        let mut store = InternStore::new();
+        for d in defs {
+            assert!(store.apply(d.router, d.space, d.symbol, &d.bytes));
+        }
+        store
+    }
+
+    #[test]
+    fn events_roundtrip_through_the_binary_body() {
+        let mut interns = Interns::new();
+        let mut defs = Vec::new();
+        for (i, event) in sample_events().iter().enumerate() {
+            let mut body = Vec::new();
+            encode_event(i as u64, event, &mut interns, &mut defs, &mut body);
+            let store = store_from(&defs);
+            let (seq, back) = decode_event(&body, &store).expect("decode");
+            assert_eq!(seq, i as u64);
+            assert_eq!(&back, event);
+            // Re-encoding with warm tables is deterministic and adds no
+            // fresh definitions.
+            let before = defs.len();
+            let mut body2 = Vec::new();
+            encode_event(i as u64, event, &mut interns, &mut defs, &mut body2);
+            assert_eq!(defs.len(), before);
+            assert_eq!(body2, body, "re-encode is deterministic");
+        }
+    }
+
+    #[test]
+    fn second_use_of_a_symbol_emits_no_definition() {
+        let mut interns = Interns::new();
+        let mut defs = Vec::new();
+        let e = &sample_events()[6]; // FibInstall: one prefix symbol
+        let mut body = Vec::new();
+        encode_event(0, e, &mut interns, &mut defs, &mut body);
+        let n = defs.len();
+        assert!(n >= 1);
+        let mut body2 = Vec::new();
+        encode_event(1, e, &mut interns, &mut defs, &mut body2);
+        assert_eq!(defs.len(), n, "no fresh definitions on reuse");
+    }
+
+    #[test]
+    fn undefined_symbols_are_rejected_not_guessed() {
+        let mut interns = Interns::new();
+        let mut defs = Vec::new();
+        let mut body = Vec::new();
+        encode_event(0, &sample_events()[7], &mut interns, &mut defs, &mut body);
+        // Decoding without the definitions must fail cleanly.
+        let empty = InternStore::new();
+        match decode_event(&body, &empty) {
+            Err(WireError::UnknownSymbol { .. }) => {}
+            other => panic!("expected UnknownSymbol, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncation_and_trailing_bytes_are_errors() {
+        let mut interns = Interns::new();
+        let mut defs = Vec::new();
+        let mut body = Vec::new();
+        encode_event(7, &sample_events()[2], &mut interns, &mut defs, &mut body);
+        let store = store_from(&defs);
+        for cut in 0..body.len() {
+            assert!(
+                decode_event(&body[..cut], &store).is_err(),
+                "truncation at {cut} must fail"
+            );
+        }
+        let mut padded = body.clone();
+        padded.push(0);
+        assert_eq!(
+            decode_event(&padded, &store),
+            Err(WireError::Trailing(1)),
+            "trailing bytes must fail"
+        );
+    }
+
+    #[test]
+    fn config_change_blobs_roundtrip() {
+        // ConfigChange payloads ride as embedded JSON; make sure the
+        // whole event still roundtrips.
+        let desc = "policy update".to_string();
+        let e = IoEvent {
+            id: EventId(42),
+            router: RouterId(0),
+            time: SimTime(123_456_789),
+            arrived_at: Some(SimTime(123_456_999)),
+            kind: IoKind::ConfigChange {
+                desc,
+                change: None,
+                inverse: None,
+            },
+        };
+        let mut interns = Interns::new();
+        let mut defs = Vec::new();
+        let mut body = Vec::new();
+        encode_event(9, &e, &mut interns, &mut defs, &mut body);
+        let store = store_from(&defs);
+        let (seq, back) = decode_event(&body, &store).expect("decode");
+        assert_eq!(seq, 9);
+        assert_eq!(back, e);
+    }
+
+    #[test]
+    fn intern_defs_roundtrip_as_frame_payloads() {
+        let def = InternDef {
+            router: 5,
+            space: SPACE_PREFIX,
+            symbol: 12,
+            bytes: vec![24, 10, 0, 0, 0],
+        };
+        let mut buf = Vec::new();
+        encode_intern_def(&def, &mut buf);
+        assert_eq!(decode_intern_def(&buf).expect("decode"), def);
+        for cut in 0..buf.len() {
+            assert!(decode_intern_def(&buf[..cut]).is_err());
+        }
+        buf.push(0);
+        assert!(matches!(
+            decode_intern_def(&buf),
+            Err(WireError::Trailing(1))
+        ));
+    }
+}

@@ -94,6 +94,13 @@ impl Value {
         out
     }
 
+    /// Appends the compact rendering to an existing buffer — lets hot
+    /// paths (the collector's per-connection encoders) reuse one scratch
+    /// `String` instead of allocating per value.
+    pub fn render_compact_into(&self, out: &mut String) {
+        self.write_compact(out);
+    }
+
     fn write_compact(&self, out: &mut String) {
         match self {
             Value::Null => out.push_str("null"),
@@ -226,6 +233,12 @@ pub trait FromJson: Sized {
 /// Serializes any [`ToJson`] type to pretty-printed JSON.
 pub fn to_string_pretty<T: ToJson + ?Sized>(value: &T) -> String {
     value.to_json().render_pretty()
+}
+
+/// Appends the compact JSON form of any [`ToJson`] type to `out`,
+/// reusing the caller's scratch buffer instead of allocating.
+pub fn to_string_compact_into<T: ToJson + ?Sized>(value: &T, out: &mut String) {
+    value.to_json().render_compact_into(out);
 }
 
 /// Serializes any [`ToJson`] type to compact (whitespace-free) JSON —

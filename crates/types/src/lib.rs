@@ -14,6 +14,8 @@
 //!   ordered, and printable in the units the paper's Fig. 5 uses ([`time`]).
 //! * CRC-32 (IEEE) checksums ([`crc32`]) — the integrity check shared by
 //!   the collector's wire codec and its write-ahead log.
+//! * LEB128 varints ([`varint`]) and intern tables ([`intern`]) — the
+//!   building blocks of the collector's binary wire codec (v3).
 //!
 //! The crate is deliberately dependency-free (per the workspace design
 //! rules) and fully deterministic: no hashing with random state leaks into
@@ -24,12 +26,15 @@
 
 pub mod crc32;
 pub mod ids;
+pub mod intern;
 pub mod json;
 pub mod prefix;
 pub mod time;
 pub mod trie;
+pub mod varint;
 
 pub use ids::{AsNum, IfaceId, RouterId};
+pub use intern::{InternStore, InternTable, Interns};
 pub use prefix::{Ipv4Prefix, PrefixParseError};
 pub use time::SimTime;
 pub use trie::{Covering, PrefixTrie};

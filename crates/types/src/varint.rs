@@ -1,0 +1,146 @@
+//! LEB128 variable-length integers.
+//!
+//! The collector's binary wire codec (v3) stamps every event with
+//! several small integers — sequence numbers, router ids, nanosecond
+//! timestamps whose deltas are small — and fixed-width fields would
+//! spend most of their bytes on zeros. LEB128 stores 7 value bits per
+//! byte, with the high bit marking continuation: values below 128 cost
+//! one byte, and a full `u64` costs at most ten.
+//!
+//! Encoding is canonical (no redundant trailing zero groups are
+//! emitted), and decoding rejects non-terminated or overlong sequences
+//! rather than wrapping silently.
+
+/// Maximum encoded size of a `u64` (⌈64 / 7⌉ bytes).
+pub const MAX_LEN: usize = 10;
+
+/// Appends the LEB128 encoding of `v` to `out`.
+#[inline]
+pub fn write_u64(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Appends the LEB128 encoding of `v` to `out`.
+#[inline]
+pub fn write_u32(out: &mut Vec<u8>, v: u32) {
+    write_u64(out, u64::from(v));
+}
+
+/// Reads one LEB128 `u64` from `buf` starting at `*pos`, advancing
+/// `*pos` past it. Returns `None` on truncation or on a sequence whose
+/// value would not fit in 64 bits.
+#[inline]
+pub fn read_u64(buf: &[u8], pos: &mut usize) -> Option<u64> {
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let byte = *buf.get(*pos)?;
+        *pos += 1;
+        let low = u64::from(byte & 0x7f);
+        // The tenth byte may only contribute the single remaining bit.
+        if shift == 63 && low > 1 {
+            return None;
+        }
+        v |= low << shift;
+        if byte & 0x80 == 0 {
+            return Some(v);
+        }
+        shift += 7;
+        if shift > 63 {
+            return None;
+        }
+    }
+}
+
+/// Reads one LEB128 `u32` from `buf` starting at `*pos`. Returns `None`
+/// on truncation, overlong input, or a value that exceeds `u32`.
+#[inline]
+pub fn read_u32(buf: &[u8], pos: &mut usize) -> Option<u32> {
+    let v = read_u64(buf, pos)?;
+    u32::try_from(v).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_edge_values() {
+        for v in [
+            0u64,
+            1,
+            127,
+            128,
+            129,
+            0x3fff,
+            0x4000,
+            u64::from(u32::MAX),
+            u64::MAX - 1,
+            u64::MAX,
+        ] {
+            let mut buf = Vec::new();
+            write_u64(&mut buf, v);
+            assert!(buf.len() <= MAX_LEN);
+            let mut pos = 0;
+            assert_eq!(read_u64(&buf, &mut pos), Some(v), "value {v}");
+            assert_eq!(pos, buf.len(), "value {v} must consume exactly its bytes");
+        }
+    }
+
+    #[test]
+    fn small_values_cost_one_byte() {
+        for v in 0u64..128 {
+            let mut buf = Vec::new();
+            write_u64(&mut buf, v);
+            assert_eq!(buf.len(), 1);
+        }
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, u64::MAX);
+        for cut in 0..buf.len() {
+            let mut pos = 0;
+            assert_eq!(read_u64(&buf[..cut], &mut pos), None);
+        }
+    }
+
+    #[test]
+    fn overlong_and_overflowing_sequences_are_rejected() {
+        // Eleven continuation bytes: longer than any valid u64.
+        let buf = [0x80u8; 11];
+        let mut pos = 0;
+        assert_eq!(read_u64(&buf, &mut pos), None);
+        // Ten bytes whose tenth contributes more than the last bit.
+        let buf = [0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x02];
+        let mut pos = 0;
+        assert_eq!(read_u64(&buf, &mut pos), None);
+        // u32 read rejects values beyond u32.
+        let mut buf = Vec::new();
+        write_u64(&mut buf, u64::from(u32::MAX) + 1);
+        let mut pos = 0;
+        assert_eq!(read_u32(&buf, &mut pos), None);
+    }
+
+    #[test]
+    fn sequential_reads_advance_the_cursor() {
+        let mut buf = Vec::new();
+        for v in [5u64, 300, 1_000_000] {
+            write_u64(&mut buf, v);
+        }
+        let mut pos = 0;
+        assert_eq!(read_u64(&buf, &mut pos), Some(5));
+        assert_eq!(read_u64(&buf, &mut pos), Some(300));
+        assert_eq!(read_u64(&buf, &mut pos), Some(1_000_000));
+        assert_eq!(pos, buf.len());
+    }
+}
