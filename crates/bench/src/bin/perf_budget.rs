@@ -1,8 +1,10 @@
 //! CI perf-budget gate: runs the A7 ingest workload in short smoke mode
 //! (fixed event count, `EveryN(256)` fsync through the WAL) under
 //! **both** event codecs — the v2 JSON arm and the v3 binary arm,
-//! interleaved round by round — and fails (exit code 1) if either arm's
-//! best round drops below its floor in `perf_budget.json`. The
+//! interleaved round by round — plus a *federated* arm (the same
+//! workload folded by a 3-member federation, experiment A11) and fails
+//! (exit code 1) if any arm's best round drops below its floor in
+//! `perf_budget.json`. The
 //! measurement is written to `BENCH_ingest.json` so the CI job can
 //! upload it as an artifact and a regression comes with its own
 //! evidence attached.
@@ -19,8 +21,12 @@
 //! per-event allocations — not scheduler noise. The v3 floor sits above
 //! the v2 floor on purpose: the binary codec losing its lead over JSON
 //! *is* a regression, even if its absolute number still looks healthy.
+//! The federated floor sits under the v2 floor: the federation pays for
+//! frontier/boundary/verdict exchange on top of the fold, and the gate
+//! bounds how much — alongside the boundary-byte and round-latency
+//! figures recorded in the artifact.
 
-use cpvr_bench::ingest::IngestSession;
+use cpvr_bench::ingest::{FedCost, FedIngestSession, IngestSession};
 use cpvr_collector::wal::{FsyncPolicy, TempDir, WalConfig};
 use cpvr_collector::CodecVersion;
 use std::path::PathBuf;
@@ -65,6 +71,8 @@ fn main() {
         .unwrap_or_else(|| panic!("{} lacks floor_events_per_sec_v2", budget_path.display()));
     let floor_v3 = json_number(&budget, "floor_events_per_sec_v3")
         .unwrap_or_else(|| panic!("{} lacks floor_events_per_sec_v3", budget_path.display()));
+    let floor_fed = json_number(&budget, "floor_events_per_sec_fed")
+        .unwrap_or_else(|| panic!("{} lacks floor_events_per_sec_fed", budget_path.display()));
 
     // Best-of-N per arm, arms interleaved within each round so machine
     // drift hits both equally: the floors guard against regressions in
@@ -72,8 +80,11 @@ fn main() {
     // cycles.
     let mut per_round_v2 = Vec::new();
     let mut per_round_v3 = Vec::new();
+    let mut per_round_fed = Vec::new();
     let mut best_v2 = 0.0f64;
     let mut best_v3 = 0.0f64;
+    let mut best_fed = 0.0f64;
+    let mut fed_cost = FedCost::default();
     for round in 0..rounds.max(1) {
         for (codec, label, per_round, best) in [
             (CodecVersion::V2, "v2", &mut per_round_v2, &mut best_v2),
@@ -98,10 +109,31 @@ fn main() {
             per_round.push(rate);
             *best = best.max(rate);
         }
+
+        // The federated arm, interleaved like the codec arms: same
+        // workload, same watermark cadence, but folded by 3 members
+        // exchanging frontiers/boundary edges/partial verdicts.
+        let session = FedIngestSession {
+            total_events: events,
+            ..FedIngestSession::default()
+        };
+        let (moved, dt, cost) = session.run_timed();
+        let rate = moved as f64 / dt;
+        println!(
+            "[perf-budget round {round} fed] {moved} events in {dt:.3}s = {rate:.0} events/sec, \
+             {} boundary events ({} B), round p99 {} ns",
+            cost.boundary_events, cost.boundary_bytes, cost.round_p99_nanos
+        );
+        per_round_fed.push(rate);
+        if rate > best_fed {
+            best_fed = rate;
+            fed_cost = cost;
+        }
     }
     let pass_v2 = best_v2 >= floor_v2;
     let pass_v3 = best_v3 >= floor_v3;
-    let pass = pass_v2 && pass_v3;
+    let pass_fed = best_fed >= floor_fed;
+    let pass = pass_v2 && pass_v3 && pass_fed;
     let ratio = best_v3 / best_v2;
 
     let rounds_json = |rs: &[f64]| {
@@ -117,14 +149,25 @@ fn main() {
          \"fsync\": \"every_n_256\",\n  \
          \"rounds_events_per_sec_v2\": [{}],\n  \
          \"rounds_events_per_sec_v3\": [{}],\n  \
+         \"rounds_events_per_sec_fed\": [{}],\n  \
          \"best_events_per_sec_v2\": {best_v2:.0},\n  \
          \"best_events_per_sec_v3\": {best_v3:.0},\n  \
+         \"best_events_per_sec_fed\": {best_fed:.0},\n  \
          \"v3_over_v2\": {ratio:.2},\n  \
+         \"fed_members\": 3,\n  \
+         \"fed_boundary_events\": {},\n  \
+         \"fed_boundary_bytes\": {},\n  \
+         \"fed_round_p99_nanos\": {},\n  \
          \"floor_events_per_sec_v2\": {floor_v2:.0},\n  \
          \"floor_events_per_sec_v3\": {floor_v3:.0},\n  \
+         \"floor_events_per_sec_fed\": {floor_fed:.0},\n  \
          \"pass\": {pass}\n}}\n",
         rounds_json(&per_round_v2),
         rounds_json(&per_round_v3),
+        rounds_json(&per_round_fed),
+        fed_cost.boundary_events,
+        fed_cost.boundary_bytes,
+        fed_cost.round_p99_nanos,
     );
     std::fs::write(&out_path, &report)
         .unwrap_or_else(|e| panic!("cannot write {}: {e}", out_path.display()));
@@ -134,12 +177,14 @@ fn main() {
     if pass {
         println!(
             "[perf-budget] PASS: v2 best {best_v2:.0} >= {floor_v2:.0}, \
-             v3 best {best_v3:.0} >= {floor_v3:.0} events/sec"
+             v3 best {best_v3:.0} >= {floor_v3:.0}, \
+             fed best {best_fed:.0} >= {floor_fed:.0} events/sec"
         );
     } else {
         for (label, best, floor, ok) in [
             ("v2", best_v2, floor_v2, pass_v2),
             ("v3", best_v3, floor_v3, pass_v3),
+            ("fed", best_fed, floor_fed, pass_fed),
         ] {
             if !ok {
                 eprintln!(

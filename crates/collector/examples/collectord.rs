@@ -6,7 +6,7 @@
 //!
 //! ```text
 //! cargo run --release -p cpvr-collector --example collectord \
-//!     [--metrics-interval SECS] [--shards N] [WAL_DIR]
+//!     [--metrics-interval SECS] [--shards N] [--federate N] [WAL_DIR]
 //! ```
 //!
 //! Without a `WAL_DIR` argument the log lives in a temp directory that
@@ -16,21 +16,32 @@
 //! `--metrics-interval SECS` starts a reporter thread that scrapes the
 //! daemon's own `/metrics`-style endpoint (a `MetricsReq` frame over
 //! the same TCP port) every SECS seconds and prints one-line summaries:
-//! ingest rate, worst per-source watermark lag, and WAL fsync p99.
+//! ingest rate, worst per-source watermark lag, worst per-peer frontier
+//! lag (federated mode), and WAL fsync p99.
 //!
 //! `--shards N` shards the merger fold across N worker threads (each
 //! with its own WAL segment series and group-committed fsyncs); the
 //! final state is provably identical to the single-merger default.
+//!
+//! `--federate N` runs N peer-connected collector *processes-worth* of
+//! members instead of one daemon: each member owns a router subset,
+//! folds only its owners' streams, and exchanges frontiers, boundary
+//! edges, and partial verdicts over the same TCP codec. The shutdown
+//! merge is provably identical to the single collector. Mutually
+//! exclusive with `--shards`.
 
 use cpvr_collector::client::scrape_snapshot;
 use cpvr_collector::collector::{Collector, CollectorConfig};
 use cpvr_collector::pipeline::{IngestPipeline, PipelineConfig};
 use cpvr_collector::wal::{wait_for, TempDir, WalConfig};
 use cpvr_collector::SocketSink;
+use cpvr_core::FederationPlan;
+use cpvr_federation::Federation;
 use cpvr_sim::scenario::paper_scenario;
 use cpvr_sim::{CaptureProfile, EventSink, IoEvent, LatencyProfile, RouterShardSink};
 use cpvr_types::{RouterId, SimTime};
 use std::cell::RefCell;
+use std::net::SocketAddr;
 use std::path::PathBuf;
 use std::rc::Rc;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -43,6 +54,7 @@ fn main() -> std::io::Result<()> {
     let mut wal_arg: Option<PathBuf> = None;
     let mut metrics_interval: Option<Duration> = None;
     let mut fold_shards: u32 = 1;
+    let mut federate: u32 = 0;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -61,9 +73,20 @@ fn main() -> std::io::Result<()> {
                     .parse()
                     .expect("--shards takes a worker count");
             }
+            "--federate" => {
+                federate = args
+                    .next()
+                    .expect("--federate takes a member count")
+                    .parse()
+                    .expect("--federate takes a member count");
+            }
             _ => wal_arg = Some(PathBuf::from(a)),
         }
     }
+    assert!(
+        federate <= 1 || fold_shards <= 1,
+        "--federate and --shards are mutually exclusive"
+    );
 
     // Keep the temp dir alive (and thus undeleted) until we are done.
     let mut _tmp_guard: Option<TempDir> = None;
@@ -77,68 +100,152 @@ fn main() -> std::io::Result<()> {
         }
     };
 
-    // --- the daemon ------------------------------------------------------
-    let cfg = CollectorConfig::new(N_ROUTERS)
-        .with_wal(WalConfig::new(&wal_dir))
-        .with_shards(fold_shards);
-    let handle = Collector::start(cfg, "127.0.0.1:0")?;
-    let addr = handle.local_addr();
-    println!(
-        "collectord listening on {addr} ({fold_shards} fold shard(s)), wal at {}",
-        wal_dir.display()
-    );
-    if let Some(r) = handle.recovery() {
+    // --- the daemon(s) ----------------------------------------------------
+    // Either one collector (optionally sharded in-process), or a
+    // federation of N members each owning a router subset.
+    let mut single: Option<_> = None;
+    let mut fed: Option<Federation> = None;
+    if federate > 1 {
+        let f = Federation::launch(FederationPlan::uniform(federate), N_ROUTERS, &wal_dir)?;
         println!(
-            "recovered from wal: {} events, watermark {:?}, {} segment(s){}",
-            r.events_replayed,
-            r.watermark,
-            r.segments,
-            if r.torn_tail {
-                ", torn tail discarded"
-            } else {
-                ""
-            },
+            "collectord federation of {federate} members, wal root {}",
+            wal_dir.display()
         );
+        for m in 0..f.members() {
+            let owned: Vec<u32> = (0..N_ROUTERS)
+                .filter(|&r| f.plan().of_router(RouterId(r)) == m)
+                .collect();
+            println!(
+                "  member {m} listening on {} owns routers {owned:?}",
+                f.addr(m)
+            );
+            if let Some(r) = f.handle(m).recovery() {
+                println!(
+                    "  member {m} recovered from wal: {} events, watermark {:?}, {} segment(s){}",
+                    r.events_replayed,
+                    r.watermark,
+                    r.segments,
+                    if r.torn_tail {
+                        ", torn tail discarded"
+                    } else {
+                        ""
+                    },
+                );
+            }
+        }
+        fed = Some(f);
+    } else {
+        let cfg = CollectorConfig::new(N_ROUTERS)
+            .with_wal(WalConfig::new(&wal_dir))
+            .with_shards(fold_shards);
+        let handle = Collector::start(cfg, "127.0.0.1:0")?;
+        println!(
+            "collectord listening on {} ({fold_shards} fold shard(s)), wal at {}",
+            handle.local_addr(),
+            wal_dir.display()
+        );
+        if let Some(r) = handle.recovery() {
+            println!(
+                "recovered from wal: {} events, watermark {:?}, {} segment(s){}",
+                r.events_replayed,
+                r.watermark,
+                r.segments,
+                if r.torn_tail {
+                    ", torn tail discarded"
+                } else {
+                    ""
+                },
+            );
+        }
+        single = Some(handle);
     }
+    let scrape_addrs: Vec<SocketAddr> = match (&single, &fed) {
+        (Some(h), _) => vec![h.local_addr()],
+        (_, Some(f)) => (0..f.members()).map(|m| f.addr(m)).collect(),
+        _ => unreachable!(),
+    };
+    let addr_of_router = |r: RouterId| -> SocketAddr {
+        match (&single, &fed) {
+            (Some(h), _) => h.local_addr(),
+            (_, Some(f)) => f.addr_of_router(r),
+            _ => unreachable!(),
+        }
+    };
 
     // --- periodic metrics reporter ---------------------------------------
-    // A scrape client like any other: connects to the daemon's port,
+    // A scrape client like any other: connects to each daemon's port,
     // sends a MetricsReq, reads the snapshot. Everything it prints is
-    // derived from the wire response, not from in-process state.
+    // derived from the wire responses, not from in-process state.
     let reporter_stop = Arc::new(AtomicBool::new(false));
     let reporter = metrics_interval.map(|every| {
         let stop = Arc::clone(&reporter_stop);
+        let addrs = scrape_addrs.clone();
+        let members = federate.max(1);
         std::thread::spawn(move || {
             let mut last_events = 0u64;
             let mut last_at = Instant::now();
             let mut next_report = Instant::now() + every;
-            while !stop.load(Ordering::SeqCst) {
-                std::thread::sleep(Duration::from_millis(25));
-                if Instant::now() < next_report {
+            let mut stopping = false;
+            while !stopping {
+                stopping = stop.load(Ordering::SeqCst);
+                if !stopping {
+                    std::thread::sleep(Duration::from_millis(25));
+                    if Instant::now() < next_report {
+                        continue;
+                    }
+                    next_report += every;
+                }
+                // On stop, one last scrape so short runs still show the
+                // lag picture before shutdown tears the ports down.
+                let mut events = 0u64;
+                let mut worst_src = -1i64;
+                let mut worst_peer = -1i64;
+                let mut fsync_p99 = 0u64;
+                let mut scraped = 0usize;
+                for &addr in &addrs {
+                    match scrape_snapshot(addr) {
+                        Ok(snap) => {
+                            scraped += 1;
+                            events += snap.counter_total("cpvr_events_received_total");
+                            for r in 0..N_ROUTERS {
+                                if let Some(l) = snap
+                                    .gauge("cpvr_source_lag_nanos", &[("router", &r.to_string())])
+                                {
+                                    worst_src = worst_src.max(l);
+                                }
+                            }
+                            for p in 0..members {
+                                if let Some(l) =
+                                    snap.gauge("cpvr_peer_lag_nanos", &[("peer", &p.to_string())])
+                                {
+                                    worst_peer = worst_peer.max(l);
+                                }
+                            }
+                            fsync_p99 = fsync_p99.max(
+                                snap.histogram("cpvr_wal_fsync_nanos", &[])
+                                    .map_or(0, |h| h.p99()),
+                            );
+                        }
+                        Err(e) => eprintln!("[metrics] scrape of {addr} failed: {e}"),
+                    }
+                }
+                if scraped == 0 {
                     continue;
                 }
-                next_report += every;
-                match scrape_snapshot(addr) {
-                    Ok(snap) => {
-                        let events = snap.counter_total("cpvr_events_received_total");
-                        let rate = (events - last_events) as f64 / last_at.elapsed().as_secs_f64();
-                        last_events = events;
-                        last_at = Instant::now();
-                        let worst_lag = (0..N_ROUTERS)
-                            .filter_map(|r| {
-                                snap.gauge("cpvr_source_lag_nanos", &[("router", &r.to_string())])
-                            })
-                            .max()
-                            .unwrap_or(-1);
-                        let fsync_p99 = snap
-                            .histogram("cpvr_wal_fsync_nanos", &[])
-                            .map_or(0, |h| h.p99());
-                        println!(
-                            "[metrics] {rate:.0} ev/s, worst source lag {worst_lag} ns, \
-                             wal fsync p99 {fsync_p99} ns"
-                        );
-                    }
-                    Err(e) => eprintln!("[metrics] scrape failed: {e}"),
+                let rate =
+                    events.saturating_sub(last_events) as f64 / last_at.elapsed().as_secs_f64();
+                last_events = events;
+                last_at = Instant::now();
+                if members > 1 {
+                    println!(
+                        "[metrics] {rate:.0} ev/s, worst source lag {worst_src} ns, \
+                         worst peer lag {worst_peer} ns, wal fsync p99 {fsync_p99} ns"
+                    );
+                } else {
+                    println!(
+                        "[metrics] {rate:.0} ev/s, worst source lag {worst_src} ns, \
+                         wal fsync p99 {fsync_p99} ns"
+                    );
                 }
             }
         })
@@ -148,7 +255,8 @@ fn main() -> std::io::Result<()> {
     let mut s = paper_scenario(LatencyProfile::fast(), CaptureProfile::ideal(), 42);
     let sinks: Vec<Rc<RefCell<SocketSink>>> = (0..N_ROUTERS)
         .map(|r| {
-            SocketSink::connect(addr, RouterId(r), N_ROUTERS).map(|s| Rc::new(RefCell::new(s)))
+            SocketSink::connect(addr_of_router(RouterId(r)), RouterId(r), N_ROUTERS)
+                .map(|s| Rc::new(RefCell::new(s)))
         })
         .collect::<std::io::Result<_>>()?;
     let shards: Vec<Box<dyn EventSink>> = sinks
@@ -207,7 +315,47 @@ fn main() -> std::io::Result<()> {
     drop(sinks);
     println!("streamed {streamed} events from {N_ROUTERS} routers");
 
-    // --- drain and report ------------------------------------------------
+    // --- drain, report, and (single mode) crash-recovery demo -------------
+    if let Some(f) = fed {
+        for m in 0..f.members() {
+            if !wait_for(Duration::from_secs(30), || {
+                f.handle(m).stats().watermark == Some(SimTime::MAX)
+            }) {
+                eprintln!(
+                    "warning: member {m} did not drain in time: {:?}",
+                    f.handle(m).stats()
+                );
+            }
+        }
+        reporter_stop.store(true, Ordering::SeqCst);
+        if let Some(h) = reporter {
+            let _ = h.join();
+        }
+        let report = f.shutdown()?;
+        for (m, member) in report.members.iter().enumerate() {
+            let (sent, bytes) = member.metrics.as_ref().map_or((0, 0), |s| {
+                (
+                    s.counter_total("cpvr_boundary_events_sent_total"),
+                    s.counter_total("cpvr_boundary_bytes_sent_total"),
+                )
+            });
+            println!(
+                "member {m}: {} conns, {} local events, {sent} boundary events out ({bytes} B)",
+                member.stats.connections, member.stats.events,
+            );
+        }
+        let g = &report.global;
+        println!(
+            "merged fold: watermark {:?}, {} events folded, {} HBG edges, verdict {:?}",
+            g.watermark(),
+            g.processed(),
+            g.canonical_edges().len(),
+            g.status(),
+        );
+        return Ok(());
+    }
+
+    let handle = single.expect("not federated");
     let expected = handle.recovery().map_or(0, |r| r.events_replayed as u64) + streamed;
     if !wait_for(Duration::from_secs(30), || {
         let st = handle.stats();

@@ -541,6 +541,14 @@ impl SocketSink {
         self.write_or_reconnect(&encode_frame(&Frame::Watermark { t, frontier }))?;
         self.flush_stream()?;
         self.pump_acks();
+        if self.stream.is_none() {
+            // The write landed in a kernel buffer the peer will never
+            // read (it closed under us — restart or fault injection);
+            // the ack pump just noticed. Re-establish now rather than
+            // lazily: a quiet source may not write again for a long
+            // time, and the reconnect replay re-delivers this promise.
+            self.establish()?;
+        }
         Ok(())
     }
 
@@ -552,6 +560,11 @@ impl SocketSink {
         self.write_or_reconnect(&encode_frame(&Frame::Heartbeat))?;
         self.flush_stream()?;
         self.pump_acks();
+        if self.stream.is_none() {
+            // Same eager reconnect as `watermark`: liveness pings are
+            // exactly the traffic of an otherwise-quiet source.
+            self.establish()?;
+        }
         Ok(())
     }
 

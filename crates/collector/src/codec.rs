@@ -60,6 +60,7 @@
 //! buffer** ([`Decoder::next_message`]): no payload copy, no JSON tree,
 //! no per-event `String` allocation.
 
+use cpvr_core::snapshot::ConvDigest;
 use cpvr_sim::wire::{self, InternDef, WireError};
 use cpvr_sim::IoEvent;
 use cpvr_types::crc32;
@@ -97,7 +98,7 @@ pub const MAX_FRAME_LEN: u32 = 1 << 24;
 pub const HEADER_LEN: usize = 12;
 
 /// Highest valid kind byte.
-const MAX_KIND: u8 = 11;
+const MAX_KIND: u8 = 15;
 
 /// Which codec a sender uses for its event frames. Control frames are
 /// always v2; this only selects the `Frame::Event` encoding (and, for
@@ -195,6 +196,132 @@ impl cpvr_types::json::FromJson for Hello {
     }
 }
 
+/// The handshake on a collector↔collector federation link: the first
+/// frame a federation member sends to a peer. Mirrors [`Hello`] but
+/// identifies a *member* of a [`FederationPlan`] rather than a router
+/// source.
+///
+/// [`FederationPlan`]: cpvr_core::shard::FederationPlan
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PeerHello {
+    /// The sending member's index in the federation plan.
+    pub member: u32,
+    /// How many members the sender's plan has; the receiver rejects the
+    /// link if this disagrees with its own plan.
+    pub members: u32,
+    /// Total routers in the sender's plan (must match the receiver's).
+    pub n_routers: u32,
+    /// Identifies the member *process instance*: a member that restarts
+    /// after a crash presents a fresh session, telling the receiver the
+    /// link's sequence numbering starts over (semantic deduplication
+    /// absorbs the regenerated replay).
+    pub session: u64,
+    /// The link sequence number of the first peer frame this connection
+    /// will carry (the oldest unacknowledged frame on a reconnect).
+    pub first_seq: u64,
+}
+
+cpvr_types::impl_json_struct!(PeerHello {
+    member,
+    members,
+    n_routers,
+    session,
+    first_seq
+});
+
+/// A federation member's watermark frontier: for every source router it
+/// owns, the latest applied promise. Broadcast to all peers whenever
+/// the member's *local* minimum changes, one step at a time, so every
+/// member observes every value the federated minimum takes — that is
+/// what makes the federated advance sequence identical to a single
+/// merged collector's.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FrontierExchange {
+    /// The sending member.
+    pub member: u32,
+    /// Link sequence number (shared counter with the sender's other
+    /// peer frames on this link).
+    pub seq: u64,
+    /// The sender's local minimum applied promise across its non-evicted
+    /// owned sources; `None` while any owned source has yet to promise.
+    /// Authoritative — receivers gate the federated minimum on this, not
+    /// on a recomputation over `frontier`.
+    pub min: Option<SimTime>,
+    /// Per-owned-source applied promises (evicted sources excluded).
+    pub frontier: Vec<(RouterId, Option<SimTime>)>,
+}
+
+cpvr_types::impl_json_struct!(FrontierExchange {
+    member,
+    seq,
+    min,
+    frontier
+});
+
+/// Happened-before material whose endpoints span a federation ownership
+/// boundary, shipped member→member. Dual use:
+///
+/// * **Eager batches** (`round: None`): full [`IoEvent`]s belonging to
+///   conversations *owned by the receiver* but captured at routers owned
+///   by the sender, each tagged with its origin source sequence number
+///   so the receiver can deduplicate regenerated replays. The receiver
+///   feeds them to its cross-scope HBG builder, which buffers pending
+///   events and folds in `(time, id)` order at the next advance — so
+///   eager delivery order never matters.
+/// * **Round batches** (`round: Some(t)`): the sender's conversation
+///   digests for the snapshot round at horizon `t`, exactly the
+///   [`ConvDigest`]s the sharded fold exchanges at a watermark barrier.
+///   One frame per peer per round, possibly empty — an empty round
+///   batch is the round-completion marker.
+///
+/// [`ConvDigest`]: cpvr_core::snapshot::ConvDigest
+#[derive(Clone, Debug, PartialEq)]
+pub struct BoundaryEdges {
+    /// The sending member.
+    pub member: u32,
+    /// Link sequence number.
+    pub seq: u64,
+    /// `None` for an eager event batch; `Some(horizon)` for a snapshot
+    /// round's digest batch.
+    pub round: Option<SimTime>,
+    /// Eager boundary events as `(origin_seq, event)` pairs.
+    pub events: Vec<(u64, IoEvent)>,
+    /// Round digests in the sender's per-stream origin order.
+    pub digests: Vec<ConvDigest>,
+}
+
+cpvr_types::impl_json_struct!(BoundaryEdges {
+    member,
+    seq,
+    round,
+    events,
+    digests
+});
+
+/// A member's partial verdict for one snapshot round: the routers its
+/// consistency-tracker slice is still waiting on at the round horizon.
+/// The union of every member's `missing` (sorted, deduplicated) is the
+/// global snapshot verdict — empty means `Consistent`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PartialVerdict {
+    /// The sending member.
+    pub member: u32,
+    /// Link sequence number.
+    pub seq: u64,
+    /// The snapshot round horizon this verdict belongs to.
+    pub round: SimTime,
+    /// Routers the sender's slice is waiting for (its local WaitFor
+    /// set); empty if the sender's slice is consistent at `round`.
+    pub missing: Vec<RouterId>,
+}
+
+cpvr_types::impl_json_struct!(PartialVerdict {
+    member,
+    seq,
+    round,
+    missing
+});
+
 /// One unit of the wire protocol.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Frame {
@@ -283,6 +410,17 @@ pub enum Frame {
     /// uses the symbol, so decoding in arrival order (live or from the
     /// WAL) never sees an unknown symbol.
     Intern(InternDef),
+    /// Federation: handshake on a collector↔collector peer link; must
+    /// be the first frame of such a link and is only legal when the
+    /// receiving collector is configured as a federation member.
+    PeerHello(PeerHello),
+    /// Federation: a member's per-source watermark frontier.
+    FrontierExchange(FrontierExchange),
+    /// Federation: boundary events / round digests crossing an
+    /// ownership boundary.
+    BoundaryEdges(BoundaryEdges),
+    /// Federation: a member's partial snapshot verdict for one round.
+    PartialVerdict(PartialVerdict),
 }
 
 impl Frame {
@@ -301,6 +439,10 @@ impl Frame {
             Frame::MetricsReq { .. } => 9,
             Frame::MetricsResp { .. } => 10,
             Frame::Intern(_) => 11,
+            Frame::PeerHello(_) => 12,
+            Frame::FrontierExchange(_) => 13,
+            Frame::BoundaryEdges(_) => 14,
+            Frame::PartialVerdict(_) => 15,
         }
     }
 }
@@ -487,6 +629,26 @@ impl RawFrame {
                 body: self.payload.clone(),
             }),
             11 => Ok(Frame::Intern(wire::decode_intern_def(&self.payload)?)),
+            12 => {
+                let text = std::str::from_utf8(&self.payload)
+                    .map_err(|_| CodecError::BadPayload("peer hello payload is not utf-8"))?;
+                Ok(Frame::PeerHello(from_str(text)?))
+            }
+            13 => {
+                let text = std::str::from_utf8(&self.payload)
+                    .map_err(|_| CodecError::BadPayload("frontier payload is not utf-8"))?;
+                Ok(Frame::FrontierExchange(from_str(text)?))
+            }
+            14 => {
+                let text = std::str::from_utf8(&self.payload)
+                    .map_err(|_| CodecError::BadPayload("boundary payload is not utf-8"))?;
+                Ok(Frame::BoundaryEdges(from_str(text)?))
+            }
+            15 => {
+                let text = std::str::from_utf8(&self.payload)
+                    .map_err(|_| CodecError::BadPayload("partial verdict payload is not utf-8"))?;
+                Ok(Frame::PartialVerdict(from_str(text)?))
+            }
             k => Err(CodecError::BadKind(k)),
         }
     }
@@ -559,6 +721,13 @@ pub fn raw_frame(f: &Frame) -> RawFrame {
             wire::encode_intern_def(def, &mut p);
             p
         }
+        // Peer frames are v2 JSON by design: federation links must stay
+        // readable by any member regardless of the event codec its
+        // routers negotiated.
+        Frame::PeerHello(h) => to_string_compact(h).into_bytes(),
+        Frame::FrontierExchange(f) => to_string_compact(f).into_bytes(),
+        Frame::BoundaryEdges(b) => to_string_compact(b).into_bytes(),
+        Frame::PartialVerdict(p) => to_string_compact(p).into_bytes(),
     };
     RawFrame {
         // Intern frames are a v3-only kind; everything else (including
@@ -1085,6 +1254,51 @@ mod tests {
             Frame::MetricsResp {
                 body: b"{\"counters\":[]}".to_vec(),
             },
+            Frame::PeerHello(PeerHello {
+                member: 1,
+                members: 3,
+                n_routers: 6,
+                session: 0xdead_cafe,
+                first_seq: 4,
+            }),
+            Frame::FrontierExchange(FrontierExchange {
+                member: 1,
+                seq: 5,
+                min: Some(SimTime::from_millis(40)),
+                frontier: vec![
+                    (RouterId(2), Some(SimTime::from_millis(40))),
+                    (RouterId(5), None),
+                ],
+            }),
+            Frame::BoundaryEdges(BoundaryEdges {
+                member: 2,
+                seq: 6,
+                round: None,
+                events: vec![(9, sample_event())],
+                digests: Vec::new(),
+            }),
+            Frame::BoundaryEdges(BoundaryEdges {
+                member: 2,
+                seq: 7,
+                round: Some(SimTime::from_millis(42)),
+                events: Vec::new(),
+                digests: vec![ConvDigest {
+                    key: (
+                        RouterId(0),
+                        RouterId(4),
+                        cpvr_sim::Proto::Bgp,
+                        Some("10.0.0.0/8".parse().unwrap()),
+                    ),
+                    is_send: true,
+                    time: SimTime::from_millis(41),
+                }],
+            }),
+            Frame::PartialVerdict(PartialVerdict {
+                member: 0,
+                seq: 8,
+                round: SimTime::from_millis(42),
+                missing: vec![RouterId(1), RouterId(3)],
+            }),
             Frame::Bye { frontier: 10 },
         ]
     }

@@ -46,7 +46,8 @@
 //! [`SourceTable`]: crate::pipeline::SourceTable
 //! [`Decoder`]: crate::codec::Decoder
 
-use crate::codec::{encode_frame, DecodedMsg, Decoder, Frame, Hello, VERSION};
+use crate::codec::{encode_frame, DecodedMsg, Decoder, Frame, Hello, PeerHello, VERSION};
+use crate::federation::{member_loop, recover_member, CollectorRole, FederationConfig, PeerFrame};
 use crate::group_commit::{GroupCommit, GroupCommitHandle};
 use crate::metrics::{CollectorMetrics, DEFAULT_SPAN_SAMPLE};
 use crate::pipeline::{IngestPipeline, Offer, PipelineConfig, RecoveryReport, SourceState};
@@ -140,6 +141,12 @@ pub struct CollectorConfig {
     /// [`ShardPlan::from_union_trie`]/[`ShardPlan::from_prefixes`] so
     /// conversation ownership follows prefix ranges.
     pub plan: Option<ShardPlan>,
+    /// Runs this collector as one member of a federation: it folds only
+    /// the routers its [`FederationPlan`](cpvr_core::FederationPlan)
+    /// assigns to it and exchanges frontiers, boundary edges, and
+    /// partial verdicts with its peers (see [`crate::federation`]).
+    /// Requires a WAL and `shards == 1`.
+    pub federation: Option<FederationConfig>,
 }
 
 impl CollectorConfig {
@@ -156,6 +163,7 @@ impl CollectorConfig {
             span_sample: DEFAULT_SPAN_SAMPLE,
             shards: 1,
             plan: None,
+            federation: None,
         }
     }
 
@@ -197,6 +205,16 @@ impl CollectorConfig {
     pub fn with_plan(mut self, plan: ShardPlan) -> Self {
         self.shards = plan.shards();
         self.plan = Some(plan);
+        self
+    }
+
+    /// Runs this collector as one federation member (see
+    /// [`crate::federation`]). [`Collector::start`] rejects the config
+    /// unless a WAL is configured and `shards == 1` — a member *is* a
+    /// shard of the federation, and its durability story (regenerating
+    /// outbound peer traffic on recovery) requires the journal.
+    pub fn with_federation(mut self, fed: FederationConfig) -> Self {
+        self.federation = Some(fed);
         self
     }
 }
@@ -335,6 +353,24 @@ pub(crate) enum Msg {
         /// The definition frame's original wire bytes.
         raw: Vec<u8>,
     },
+    /// A federation peer's handshake (only on federated collectors; the
+    /// reader kills the connection otherwise).
+    PeerHello {
+        conn: u64,
+        hello: PeerHello,
+        /// A write handle to the connection, for go-back-N acks back to
+        /// the sending member.
+        ack: Option<TcpStream>,
+    },
+    /// A frontier / boundary-edge / partial-verdict frame from a
+    /// federation peer, with its original wire bytes for the journal
+    /// (`None` on a WAL-less collector — which `start` rejects for
+    /// members, so in practice always `Some`).
+    Peer {
+        conn: u64,
+        frame: PeerFrame,
+        raw: Option<Vec<u8>>,
+    },
     Closed {
         conn: u64,
     },
@@ -365,6 +401,9 @@ pub struct CollectorReport {
     /// The final metrics snapshot, taken after the merger drained
     /// (`Some` iff metrics were enabled) — the shutdown `dump`.
     pub metrics: Option<Snapshot>,
+    /// Whether this collector ran standalone or as a federation member
+    /// — and, for a member, the final per-peer frontier summary.
+    pub role: CollectorRole,
 }
 
 /// A running collector. Dropping the handle without calling
@@ -389,16 +428,46 @@ impl Collector {
     /// Binds `addr`, recovers from the WAL if one is configured, and
     /// starts the accept/reader/merger threads.
     pub fn start(cfg: CollectorConfig, addr: impl ToSocketAddrs) -> io::Result<CollectorHandle> {
-        let listener = TcpListener::bind(addr)?;
+        Self::start_on(cfg, TcpListener::bind(addr)?)
+    }
+
+    /// Like [`start`](Self::start), on a pre-bound listener. Federation
+    /// launchers use this to bind every member's listener *first*, so
+    /// each member's config can carry the full peer address list before
+    /// any member runs.
+    pub fn start_on(cfg: CollectorConfig, listener: TcpListener) -> io::Result<CollectorHandle> {
         listener.set_nonblocking(true)?;
         let local = listener.local_addr()?;
 
         let shards = cfg.shards.max(1);
+        if let Some(fed) = &cfg.federation {
+            let bad = |why: &str| Err(io::Error::new(io::ErrorKind::InvalidInput, why));
+            if shards != 1 {
+                return bad(
+                    "a federation member is itself one shard of the federation; shards must be 1",
+                );
+            }
+            if cfg.wal.is_none() {
+                return bad(
+                    "federation requires a WAL: recovery regenerates peer traffic from the journal",
+                );
+            }
+            if fed.member >= fed.plan.members() {
+                return bad("federation member index out of range for the plan");
+            }
+            if fed.peers.len() != fed.plan.members() as usize {
+                return bad(
+                    "federation peer list must have one address per member (self included)",
+                );
+            }
+        }
+        let members = cfg.federation.as_ref().map_or(0, |f| f.plan.members());
         let metrics = cfg.metrics.then(|| {
-            Arc::new(CollectorMetrics::new(
+            Arc::new(CollectorMetrics::new_federated(
                 cfg.pipeline.n_routers,
                 cfg.span_sample,
                 shards,
+                members,
             ))
         });
         let wal_metrics = |m: &Arc<CollectorMetrics>| {
@@ -417,7 +486,32 @@ impl Collector {
         let (tx, rx) = std::sync::mpsc::sync_channel::<Msg>(cfg.channel_capacity.max(1));
 
         let mut group_commit = None;
-        let (merger, recovery) = if shards == 1 {
+        let (merger, recovery) = if let Some(fed) = cfg.federation.clone() {
+            // Federation member: a single merger-style thread owns the
+            // WAL, this member's fold slice, and the peer links.
+            // Recovery replays the journal through the same accept
+            // logic the live loop uses, *regenerating* every outbound
+            // peer frame from genesis under a fresh session (peers
+            // dedup semantically), so no outbound state needs
+            // journaling beyond this member's own frontier history.
+            let wal_cfg = cfg.wal.clone().expect("validated above");
+            let (state, report) = recover_member(&cfg, fed, &wal_cfg)?;
+            let mut wal = Wal::open(wal_cfg)?;
+            if let Some(m) = &metrics {
+                wal.set_metrics(wal_metrics(m));
+            }
+            let merger = {
+                let stats = Arc::clone(&stats);
+                let lease = cfg.lease;
+                let metrics = metrics.clone();
+                thread::Builder::new().name("cpvr-member".into()).spawn(
+                    move || -> (FoldReport, Option<io::Error>) {
+                        member_loop(rx, state, wal, lease, &stats, metrics)
+                    },
+                )?
+            };
+            (merger, Some(report))
+        } else if shards == 1 {
             // The legacy single-merger path, byte for byte: the sharded
             // fold's correctness oracle.
             let (pipeline, recovery, wal) = match &cfg.wal {
@@ -595,10 +689,15 @@ impl CollectorHandle {
             return Err(e);
         }
         let stalled = pipeline.stalled_sources();
+        let role = match &pipeline {
+            FoldReport::Member(m) => m.role(),
+            _ => CollectorRole::Standalone,
+        };
         Ok(CollectorReport {
             pipeline,
             stats: self.stats.snapshot(),
             stalled,
+            role,
             recovery: self.recovery.take(),
             // Snapshot after the merger joined: these are the final
             // values, nothing is still incrementing.
@@ -634,6 +733,7 @@ fn accept_loop(
                 let poll = cfg.poll_interval;
                 let expect_n = cfg.pipeline.n_routers;
                 let wal_enabled = cfg.wal.is_some();
+                let federated = cfg.federation.is_some();
                 let h = thread::Builder::new()
                     .name(format!("cpvr-reader-{conn}"))
                     .spawn(move || {
@@ -647,6 +747,7 @@ fn accept_loop(
                             poll,
                             expect_n,
                             wal_enabled,
+                            federated,
                             metrics,
                         )
                     })
@@ -728,8 +829,10 @@ fn on_frame(
     stats: &SharedStats,
     greeted: &mut bool,
     source: &mut Option<RouterId>,
+    is_peer: &mut bool,
     batch: &mut Vec<EventRec>,
     expect_n_routers: u32,
+    federated: bool,
     metrics: Option<&CollectorMetrics>,
 ) -> FrameOutcome {
     let fatal_decode = |stats: &SharedStats, why: String| {
@@ -809,9 +912,62 @@ fn on_frame(
         }
         // Responses flow collector → client; inbound ones are noise.
         Frame::MetricsResp { .. } => return FrameOutcome::Continue,
+        // A peer collector's handshake: only meaningful on a federation
+        // member, and — like a router hello — only as the connection's
+        // first frame.
+        Frame::PeerHello(hello) => {
+            if !federated {
+                return fatal_decode(
+                    stats,
+                    "peer hello on a collector that is not a federation member".into(),
+                );
+            }
+            if *greeted {
+                return fatal_decode(stats, "duplicate hello".into());
+            }
+            if hello.n_routers != expect_n_routers {
+                return fatal_decode(
+                    stats,
+                    format!(
+                        "peer member believes the network has {} routers, collector is \
+                         configured for {}",
+                        hello.n_routers, expect_n_routers
+                    ),
+                );
+            }
+            *greeted = true;
+            *is_peer = true;
+            let ack = stream.try_clone().ok();
+            if let Some(a) = &ack {
+                let _ = a.set_write_timeout(Some(ACK_WRITE_TIMEOUT));
+            }
+            Msg::PeerHello { conn, hello, ack }
+        }
         _ if !*greeted => {
             return fatal_decode(stats, "first frame was not a hello".into());
         }
+        // Peer traffic is only legal on a connection a PeerHello opened;
+        // a router client sending it is a peer bug, not line noise.
+        Frame::FrontierExchange(_) | Frame::BoundaryEdges(_) | Frame::PartialVerdict(_)
+            if !*is_peer =>
+        {
+            return fatal_decode(stats, "peer frame on a router connection".into());
+        }
+        Frame::FrontierExchange(f) => Msg::Peer {
+            conn,
+            frame: PeerFrame::Frontier(f),
+            raw,
+        },
+        Frame::BoundaryEdges(b) => Msg::Peer {
+            conn,
+            frame: PeerFrame::Boundary(b),
+            raw,
+        },
+        Frame::PartialVerdict(p) => Msg::Peer {
+            conn,
+            frame: PeerFrame::Partial(p),
+            raw,
+        },
         Frame::Event { seq, event } => {
             // Open the causal span at the earliest point the event
             // exists inside the collector process.
@@ -871,6 +1027,7 @@ fn reader_loop(
     poll: Duration,
     expect_n_routers: u32,
     wal_enabled: bool,
+    federated: bool,
     metrics: Option<Arc<CollectorMetrics>>,
 ) {
     let metrics = metrics.as_deref();
@@ -886,6 +1043,7 @@ fn reader_loop(
     let mut buf = vec![0u8; 64 * 1024];
     let mut greeted = false;
     let mut source: Option<RouterId> = None;
+    let mut is_peer = false;
     let mut batch: Vec<EventRec> = Vec::new();
     let mut reported_corrupt = 0u64;
     let mut reported_skipped = 0u64;
@@ -916,8 +1074,10 @@ fn reader_loop(
                         &stats,
                         &mut greeted,
                         &mut source,
+                        &mut is_peer,
                         &mut batch,
                         expect_n_routers,
+                        federated,
                         metrics,
                     ) {
                         FrameOutcome::Continue => {}
@@ -967,8 +1127,10 @@ fn reader_loop(
                 &stats,
                 &mut greeted,
                 &mut source,
+                &mut is_peer,
                 &mut batch,
                 expect_n_routers,
+                federated,
                 metrics,
             ) {
                 FrameOutcome::Continue => {}
@@ -1032,7 +1194,7 @@ fn reader_loop(
 /// Appends one already-encoded frame to the WAL, latching the first
 /// error (the merger keeps running degraded rather than dropping the
 /// in-memory state on a full disk).
-fn journal(wal: &mut Option<Wal>, wal_err: &mut Option<io::Error>, bytes: &[u8]) {
+pub(crate) fn journal(wal: &mut Option<Wal>, wal_err: &mut Option<io::Error>, bytes: &[u8]) {
     if wal_err.is_some() {
         return;
     }
@@ -1089,7 +1251,7 @@ fn try_advance(
 /// write forfeits the handle (the client reconnects on ack stall).
 /// Returns whether the ack actually went out — callers that count acked
 /// events must not count a forfeited write.
-fn send_ack(acks: &mut HashMap<u64, TcpStream>, conn: u64, upto: u64) -> bool {
+pub(crate) fn send_ack(acks: &mut HashMap<u64, TcpStream>, conn: u64, upto: u64) -> bool {
     if let Some(s) = acks.get_mut(&conn) {
         if s.write_all(&encode_frame(&Frame::Ack { upto })).is_ok() {
             return true;
@@ -1356,6 +1518,10 @@ fn merger_loop(
                     // is harmless.
                     journal(&mut wal, &mut wal_err, &raw);
                 }
+                // Peer frames exist only on federated collectors, whose
+                // member loop replaces this one; on_frame kills any
+                // connection that sends them here first.
+                Msg::PeerHello { .. } | Msg::Peer { .. } => {}
                 Msg::Closed { conn } => {
                     // Keep the router's state: an abnormal close stalls
                     // the global merge at its promise until the lease

@@ -259,6 +259,11 @@ struct ProxyShared {
     injected: AtomicU64,
     disconnects: AtomicU64,
     flipped: AtomicU64,
+    /// While set, the proxy models a network partition: live
+    /// connections are torn down and new ones are accepted but dropped
+    /// immediately, so both ends see a dead link rather than a refused
+    /// dial (exactly how a partition looks to TCP keepalives).
+    partitioned: AtomicBool,
 }
 
 /// A point-in-time copy of a proxy's counters.
@@ -316,6 +321,20 @@ impl ChaosProxy {
         self.addr
     }
 
+    /// Severs the link: existing connections drop and new ones are
+    /// accepted but immediately closed, until [`heal`](Self::heal).
+    /// The fault cursor keeps its position — a partition interrupts
+    /// the byte story, it does not rewrite it.
+    pub fn partition(&self) {
+        self.shared.partitioned.store(true, Ordering::SeqCst);
+    }
+
+    /// Ends a [`partition`](Self::partition): the next reconnect
+    /// through the proxy reaches the upstream again.
+    pub fn heal(&self) {
+        self.shared.partitioned.store(false, Ordering::SeqCst);
+    }
+
     /// A snapshot of the proxy's counters.
     pub fn stats(&self) -> ProxyStats {
         ProxyStats {
@@ -367,6 +386,12 @@ fn accept_loop(
                 continue;
             }
         };
+        if shared.partitioned.load(Ordering::SeqCst) {
+            // Partitioned: the dial succeeds (the listener is up) but
+            // the link is dead — hang up without touching the upstream.
+            let _ = client.shutdown(Shutdown::Both);
+            continue;
+        }
         shared.connections.fetch_add(1, Ordering::Relaxed);
         // The collector should be up, but don't die if it is mid-restart.
         let up = match TcpStream::connect(upstream) {
@@ -405,13 +430,17 @@ fn run_connection(
         };
         let done = Arc::clone(&done);
         let stop = Arc::clone(stop);
+        let shared_ack = Arc::clone(shared);
         thread::spawn(move || {
             let _ = up.set_read_timeout(Some(Duration::from_millis(5)));
             let mut up = up;
             let mut client = client;
             let mut buf = [0u8; 4096];
             loop {
-                if done.load(Ordering::SeqCst) || stop.load(Ordering::SeqCst) {
+                if done.load(Ordering::SeqCst)
+                    || stop.load(Ordering::SeqCst)
+                    || shared_ack.partitioned.load(Ordering::SeqCst)
+                {
                     return;
                 }
                 match up.read(&mut buf) {
@@ -436,7 +465,7 @@ fn run_connection(
     let mut up_w = up.try_clone().ok();
     let mut buf = [0u8; 4096];
     'pump: loop {
-        if stop.load(Ordering::SeqCst) {
+        if stop.load(Ordering::SeqCst) || shared.partitioned.load(Ordering::SeqCst) {
             break;
         }
         let (Some(cr), Some(uw)) = (client_r.as_mut(), up_w.as_mut()) else {

@@ -72,6 +72,7 @@ pub mod client;
 pub mod codec;
 pub mod collector;
 pub mod fault;
+pub mod federation;
 pub mod group_commit;
 pub mod metrics;
 pub mod pipeline;
@@ -84,6 +85,7 @@ pub use collector::{
     Collector, CollectorConfig, CollectorHandle, CollectorReport, CollectorStats, LeaseConfig,
 };
 pub use fault::{ChaosProxy, FaultKind, FaultPlan};
+pub use federation::{merge_members, CollectorRole, FederationConfig, MemberFold, PeerSummary};
 pub use group_commit::{GroupCommit, GroupCommitHandle};
 pub use metrics::{source_state_code, CollectorMetrics};
 pub use pipeline::{

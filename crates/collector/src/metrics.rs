@@ -92,6 +92,16 @@ pub struct CollectorMetrics {
     pub(crate) shard_fold_lag: Vec<Gauge>,
     pub(crate) shard_barrier_stall: Vec<Histogram>,
 
+    // Federation (empty vecs when the collector is not a federation
+    // member; the self slot in the per-peer vecs stays at -1).
+    pub(crate) fed_rounds: Counter,
+    pub(crate) boundary_events_sent: Counter,
+    pub(crate) boundary_events_received: Counter,
+    pub(crate) boundary_bytes_sent: Counter,
+    pub(crate) partial_verdict_nanos: Histogram,
+    pub(crate) peer_frontier: Vec<Gauge>,
+    pub(crate) peer_lag: Vec<Gauge>,
+
     sources: SourceGauges,
 }
 
@@ -100,6 +110,13 @@ impl CollectorMetrics {
     /// deployment of `n_routers`, folded by `shards` workers (1 for the
     /// legacy single-merger path).
     pub fn new(n_routers: u32, span_sample: u64, shards: u32) -> Self {
+        Self::new_federated(n_routers, span_sample, shards, 0)
+    }
+
+    /// Like [`new`](Self::new), but for a federation member of an
+    /// `members`-way federation (`members == 0` or `1` means standalone:
+    /// no per-peer series are resolved).
+    pub fn new_federated(n_routers: u32, span_sample: u64, shards: u32, members: u32) -> Self {
         let registry = Arc::new(MetricsRegistry::new());
         let r = &registry;
 
@@ -256,6 +273,43 @@ impl CollectorMetrics {
             "Wall-clock from barrier start to a shard's phase-1 reply",
         );
 
+        // Federation.
+        r.declare(
+            "cpvr_federation_rounds_total",
+            MetricKind::Counter,
+            "Federated verdict rounds completed (partial verdicts merged into a global verdict)",
+        );
+        r.declare(
+            "cpvr_boundary_events_sent_total",
+            MetricKind::Counter,
+            "Ownership-boundary HBG events forwarded eagerly to the owning peer",
+        );
+        r.declare(
+            "cpvr_boundary_events_received_total",
+            MetricKind::Counter,
+            "Ownership-boundary HBG events accepted from peers (post dedup)",
+        );
+        r.declare(
+            "cpvr_boundary_bytes_sent_total",
+            MetricKind::Counter,
+            "Wire bytes of peer frames sent to federation peers",
+        );
+        r.declare(
+            "cpvr_partial_verdict_nanos",
+            MetricKind::Histogram,
+            "Wall-clock from opening a federated round to merging its global verdict",
+        );
+        r.declare(
+            "cpvr_peer_frontier_nanos",
+            MetricKind::Gauge,
+            "Min watermark a peer's last frontier exchange announced (-1 before the first)",
+        );
+        r.declare(
+            "cpvr_peer_lag_nanos",
+            MetricKind::Gauge,
+            "How far a peer's exchanged frontier trails the furthest member (-1 before it exchanges)",
+        );
+
         // Per-source liveness / lag.
         r.declare(
             "cpvr_source_state",
@@ -327,6 +381,20 @@ impl CollectorMetrics {
             }
         }
 
+        let mut peer_frontier = Vec::new();
+        let mut peer_lag = Vec::new();
+        if members > 1 {
+            for k in 0..members {
+                let label = k.to_string();
+                let l: &[(&str, &str)] = &[("peer", &label)];
+                peer_frontier.push(r.gauge_with("cpvr_peer_frontier_nanos", l));
+                peer_lag.push(r.gauge_with("cpvr_peer_lag_nanos", l));
+            }
+            for g in peer_frontier.iter().chain(&peer_lag) {
+                g.set(-1);
+            }
+        }
+
         let mut state = Vec::with_capacity(n_routers as usize);
         let mut lag_nanos = Vec::with_capacity(n_routers as usize);
         let mut next_seq = Vec::with_capacity(n_routers as usize);
@@ -377,6 +445,13 @@ impl CollectorMetrics {
             shard_frontier,
             shard_fold_lag,
             shard_barrier_stall,
+            fed_rounds: r.counter("cpvr_federation_rounds_total"),
+            boundary_events_sent: r.counter("cpvr_boundary_events_sent_total"),
+            boundary_events_received: r.counter("cpvr_boundary_events_received_total"),
+            boundary_bytes_sent: r.counter("cpvr_boundary_bytes_sent_total"),
+            partial_verdict_nanos: r.histogram("cpvr_partial_verdict_nanos"),
+            peer_frontier,
+            peer_lag,
             sources: SourceGauges {
                 state,
                 lag_nanos,

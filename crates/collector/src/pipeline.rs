@@ -581,12 +581,20 @@ impl IngestPipeline {
                                     pipeline.sources.admit(source);
                                 }
                             }
+                            // Peer frames are only journaled by
+                            // federation members, which recover through
+                            // their own ordered replay; a standalone or
+                            // sharded pipeline ignores any it finds.
                             Ok(Frame::Bye { .. })
                             | Ok(Frame::Ack { .. })
                             | Ok(Frame::Fin)
                             | Ok(Frame::Heartbeat)
                             | Ok(Frame::MetricsReq { .. })
-                            | Ok(Frame::MetricsResp { .. }) => {}
+                            | Ok(Frame::MetricsResp { .. })
+                            | Ok(Frame::PeerHello(_))
+                            | Ok(Frame::FrontierExchange(_))
+                            | Ok(Frame::BoundaryEdges(_))
+                            | Ok(Frame::PartialVerdict(_)) => {}
                             Err(_) => corrupt += 1,
                         }
                     }

@@ -85,6 +85,13 @@ pub enum FoldReport {
     Single(Box<IngestPipeline>),
     /// The merged result of a sharded fold.
     Sharded(Box<ShardedFold>),
+    /// One federation member's fold slice (see [`crate::federation`]):
+    /// a *partial* view — its HBG holds only the member's local and
+    /// owned-conversation edges, its data plane only the owned routers.
+    /// [`merge_members`](crate::federation::merge_members) combines the
+    /// members of one federation into a [`ShardedFold`]-shaped global
+    /// state for comparison against a single collector.
+    Member(Box<crate::federation::MemberFold>),
 }
 
 /// The materialized merge of every shard worker's state at shutdown.
@@ -108,6 +115,7 @@ impl FoldReport {
         match self {
             FoldReport::Single(_) => 1,
             FoldReport::Sharded(s) => s.shards,
+            FoldReport::Member(_) => 1,
         }
     }
 
@@ -116,6 +124,7 @@ impl FoldReport {
         match self {
             FoldReport::Single(p) => p.events(),
             FoldReport::Sharded(s) => s.events,
+            FoldReport::Member(m) => m.events,
         }
     }
 
@@ -125,6 +134,7 @@ impl FoldReport {
         match self {
             FoldReport::Single(p) => p.builder().processed(),
             FoldReport::Sharded(s) => s.processed,
+            FoldReport::Member(m) => m.local.processed(),
         }
     }
 
@@ -133,6 +143,7 @@ impl FoldReport {
         match self {
             FoldReport::Single(p) => p.builder().pending(),
             FoldReport::Sharded(s) => s.pending,
+            FoldReport::Member(m) => m.local.pending(),
         }
     }
 
@@ -141,6 +152,7 @@ impl FoldReport {
         match self {
             FoldReport::Single(p) => p.builder().hbg().canonical_edges(),
             FoldReport::Sharded(s) => s.hbg.canonical_edges(),
+            FoldReport::Member(m) => m.partial_hbg().canonical_edges(),
         }
     }
 
@@ -149,6 +161,7 @@ impl FoldReport {
         match self {
             FoldReport::Single(p) => p.builder().edge_counts().clone(),
             FoldReport::Sharded(s) => s.edge_counts.clone(),
+            FoldReport::Member(m) => m.edge_counts(),
         }
     }
 
@@ -157,6 +170,7 @@ impl FoldReport {
         match self {
             FoldReport::Single(p) => p.status(),
             FoldReport::Sharded(s) => s.status.clone(),
+            FoldReport::Member(m) => m.status.clone(),
         }
     }
 
@@ -165,6 +179,7 @@ impl FoldReport {
         match self {
             FoldReport::Single(p) => p.tracker().wait_stats(),
             FoldReport::Sharded(s) => s.waits,
+            FoldReport::Member(m) => m.waits,
         }
     }
 
@@ -174,6 +189,7 @@ impl FoldReport {
         match self {
             FoldReport::Single(p) => p.tracker().dataplane(),
             FoldReport::Sharded(s) => &s.dataplane,
+            FoldReport::Member(m) => m.slice.dataplane(),
         }
     }
 
@@ -182,6 +198,7 @@ impl FoldReport {
         match self {
             FoldReport::Single(p) => p.watermark(),
             FoldReport::Sharded(s) => s.watermark,
+            FoldReport::Member(m) => m.watermark,
         }
     }
 
@@ -190,6 +207,7 @@ impl FoldReport {
         match self {
             FoldReport::Single(p) => p.stalled_sources(),
             FoldReport::Sharded(s) => s.stalled.clone(),
+            FoldReport::Member(m) => m.stalled.clone(),
         }
     }
 
@@ -197,7 +215,7 @@ impl FoldReport {
     pub fn as_single(&self) -> Option<&IngestPipeline> {
         match self {
             FoldReport::Single(p) => Some(p.as_ref()),
-            FoldReport::Sharded(_) => None,
+            FoldReport::Sharded(_) | FoldReport::Member(_) => None,
         }
     }
 }
@@ -872,6 +890,10 @@ pub(crate) fn coordinator_loop(
                     let owner = plan.of_router(RouterId(router)) as usize;
                     let _ = workers[owner].tx.send(WorkerMsg::Journal { bytes: raw });
                 }
+                // Peer frames exist only on federated collectors, whose
+                // member loop replaces this one; on_frame kills any
+                // connection that sends them here first.
+                Msg::PeerHello { .. } | Msg::Peer { .. } => {}
                 Msg::Closed { conn } => {
                     if let Some(source) = conn_source.remove(&conn) {
                         let owner = plan.of_router(source) as usize;

@@ -96,7 +96,7 @@ fn stream_through_collector(events: &[IoEvent], dir: &std::path::Path) -> Ingest
     );
     match handle.shutdown().expect("clean shutdown").pipeline {
         cpvr_collector::FoldReport::Single(p) => *p,
-        cpvr_collector::FoldReport::Sharded(_) => unreachable!("collector runs unsharded here"),
+        _ => unreachable!("collector runs unsharded here"),
     }
 }
 

@@ -1,0 +1,275 @@
+//! Peer-frame codec properties (federation wire surface, kinds 12–15).
+//!
+//! The collector↔collector frames — [`PeerHello`], [`FrontierExchange`],
+//! [`BoundaryEdges`], [`PartialVerdict`] — ride the same 12-byte
+//! header + CRC envelope as router traffic and are always v2 JSON.
+//! These tests pin the adversarial corners: round-tripping frontiers
+//! and digest sets with degenerate times and hostile description
+//! strings, arbitrary chunk boundaries, truncation, line garbage, and
+//! in-flight corruption. A peer frame must decode to exactly what was
+//! sent or be cleanly quarantined by the CRC/resync layer — never
+//! panic, never a silently different frame.
+
+use cpvr_collector::codec::{
+    encode_frame, BoundaryEdges, Decoder, Frame, FrontierExchange, PartialVerdict, PeerHello,
+};
+use cpvr_core::ConvDigest;
+use cpvr_sim::{EventId, IoEvent, IoKind, Proto};
+use cpvr_types::{Ipv4Prefix, RouterId, SimTime};
+use proptest::prelude::*;
+
+/// JSON metacharacters, escapes, multi-byte UTF-8, and control bytes —
+/// the payloads that break hand-rolled JSON first.
+const DESC_PALETTE: &[char] = &[
+    'a', '0', ' ', '"', '\\', '/', '\n', '\r', '\t', '\0', '\u{7f}', 'é', '中', '🦀', '\u{202e}',
+];
+
+fn arb_desc() -> impl Strategy<Value = String> {
+    prop::collection::vec(0usize..DESC_PALETTE.len(), 0..12)
+        .prop_map(|idxs| idxs.into_iter().map(|i| DESC_PALETTE[i]).collect())
+}
+
+/// Times that stress ordering and encoding: arbitrary, zero, and the
+/// MAX sentinel a bye turns into.
+fn arb_time() -> impl Strategy<Value = SimTime> {
+    prop_oneof![
+        any::<u64>().prop_map(SimTime::from_nanos),
+        any::<u64>().prop_map(SimTime::from_nanos),
+        Just(SimTime::ZERO),
+        Just(SimTime::MAX),
+    ]
+}
+
+fn arb_frontier() -> impl Strategy<Value = Vec<(RouterId, Option<SimTime>)>> {
+    prop::collection::vec(
+        (
+            any::<u32>().prop_map(RouterId),
+            prop::option::of(arb_time()),
+        ),
+        0..24,
+    )
+}
+
+fn arb_proto() -> impl Strategy<Value = Proto> {
+    prop_oneof![
+        Just(Proto::Bgp),
+        Just(Proto::Ospf),
+        Just(Proto::Rip),
+        Just(Proto::Eigrp)
+    ]
+}
+
+fn arb_prefix() -> impl Strategy<Value = Ipv4Prefix> {
+    (any::<u32>(), 0u8..=32).prop_map(|(bits, len)| Ipv4Prefix::from_bits(bits, len))
+}
+
+fn arb_digest() -> impl Strategy<Value = ConvDigest> {
+    (
+        any::<u32>().prop_map(RouterId),
+        any::<u32>().prop_map(RouterId),
+        arb_proto(),
+        prop::option::of(arb_prefix()),
+        any::<bool>(),
+        arb_time(),
+    )
+        .prop_map(|(a, b, proto, prefix, is_send, time)| ConvDigest {
+            key: (a, b, proto, prefix),
+            is_send,
+            time,
+        })
+}
+
+/// A compact event strategy for eager boundary batches — the full event
+/// codec surface is pinned by `cross_codec.rs`; here the event is cargo
+/// inside the peer-frame container.
+fn arb_event() -> impl Strategy<Value = IoEvent> {
+    (
+        any::<u32>(),
+        any::<u32>(),
+        any::<u64>(),
+        prop::option::of(any::<u64>()),
+        prop_oneof![
+            arb_desc().prop_map(|desc| IoKind::SoftReconfig { desc }),
+            (arb_proto(), prop::option::of(arb_prefix())).prop_map(|(proto, prefix)| {
+                IoKind::RecvAdvert {
+                    proto,
+                    prefix,
+                    from: None,
+                    route: None,
+                }
+            }),
+            (arb_proto(), arb_prefix())
+                .prop_map(|(proto, prefix)| IoKind::RibRemove { proto, prefix }),
+        ],
+    )
+        .prop_map(|(id, router, time, arrived, kind)| IoEvent {
+            id: EventId(id),
+            router: RouterId(router),
+            time: SimTime::from_nanos(time),
+            arrived_at: arrived.map(SimTime::from_nanos),
+            kind,
+        })
+}
+
+fn arb_peer_frame() -> impl Strategy<Value = Frame> {
+    prop_oneof![
+        (
+            any::<u32>(),
+            any::<u32>(),
+            any::<u32>(),
+            any::<u64>(),
+            any::<u64>()
+        )
+            .prop_map(|(member, members, n_routers, session, first_seq)| {
+                Frame::PeerHello(PeerHello {
+                    member,
+                    members,
+                    n_routers,
+                    session,
+                    first_seq,
+                })
+            }),
+        (
+            any::<u32>(),
+            any::<u64>(),
+            prop::option::of(arb_time()),
+            arb_frontier()
+        )
+            .prop_map(|(member, seq, min, frontier)| {
+                Frame::FrontierExchange(FrontierExchange {
+                    member,
+                    seq,
+                    min,
+                    frontier,
+                })
+            }),
+        (
+            any::<u32>(),
+            any::<u64>(),
+            prop::option::of(arb_time()),
+            prop::collection::vec((any::<u64>(), arb_event()), 0..6),
+            prop::collection::vec(arb_digest(), 0..12),
+        )
+            .prop_map(|(member, seq, round, events, digests)| {
+                Frame::BoundaryEdges(BoundaryEdges {
+                    member,
+                    seq,
+                    round,
+                    events,
+                    digests,
+                })
+            }),
+        (
+            any::<u32>(),
+            any::<u64>(),
+            arb_time(),
+            prop::collection::vec(any::<u32>().prop_map(RouterId), 0..16),
+        )
+            .prop_map(|(member, seq, round, missing)| {
+                Frame::PartialVerdict(PartialVerdict {
+                    member,
+                    seq,
+                    round,
+                    missing,
+                })
+            }),
+    ]
+}
+
+fn drain(dec: &mut Decoder) -> Vec<Frame> {
+    let mut out = Vec::new();
+    while let Some(msg) = dec.next_message(false) {
+        if let Ok(m) = msg {
+            out.push(m.frame);
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Every peer frame round-trips bit-exactly through the wire
+    /// envelope regardless of how TCP fragments the byte stream.
+    #[test]
+    fn peer_frames_roundtrip_under_any_chunking(
+        frames in prop::collection::vec(arb_peer_frame(), 1..5),
+        chunk in 1usize..64,
+    ) {
+        let mut stream = Vec::new();
+        for f in &frames {
+            stream.extend_from_slice(&encode_frame(f));
+        }
+        let mut dec = Decoder::new();
+        let mut decoded = Vec::new();
+        for piece in stream.chunks(chunk) {
+            dec.feed(piece);
+            decoded.extend(drain(&mut dec));
+        }
+        prop_assert_eq!(&decoded, &frames);
+        prop_assert_eq!(dec.corrupt_frames(), 0);
+        prop_assert_eq!(dec.pending(), 0);
+    }
+
+    /// A peer frame cut off mid-flight is held as a pending partial
+    /// frame: no panic, no output, and the remainder completes it.
+    #[test]
+    fn truncated_peer_frames_stay_pending(frame in arb_peer_frame(), cut_frac in 0.0f64..1.0) {
+        let bytes = encode_frame(&frame);
+        let cut = ((bytes.len() as f64 * cut_frac) as usize).min(bytes.len() - 1);
+        let mut dec = Decoder::new();
+        dec.feed(&bytes[..cut]);
+        prop_assert!(drain(&mut dec).is_empty(), "truncated frame must not decode");
+        prop_assert_eq!(dec.corrupt_frames(), 0);
+        dec.feed(&bytes[cut..]);
+        prop_assert_eq!(drain(&mut dec), vec![frame]);
+    }
+
+    /// Arbitrary line noise never panics the decoder, and a valid peer
+    /// frame behind magic-free garbage is recovered by the resync scan.
+    #[test]
+    fn garbage_then_peer_frame_resyncs(
+        garbage in prop::collection::vec(
+            // Remap the frame magic away so the resync scan can never
+            // mistake noise for a header start.
+            any::<u8>().prop_map(|b| if b == b'C' { b'X' } else { b }),
+            0..128
+        ),
+        frame in arb_peer_frame(),
+    ) {
+        // Pure noise first: must only ever skip or buffer.
+        let mut noise_only = Decoder::new();
+        noise_only.feed(&garbage);
+        let _ = drain(&mut noise_only);
+
+        let mut dec = Decoder::new();
+        dec.feed(&garbage);
+        dec.feed(&encode_frame(&frame));
+        prop_assert_eq!(drain(&mut dec), vec![frame]);
+        prop_assert_eq!(dec.skipped_bytes(), garbage.len() as u64);
+    }
+
+    /// A byte flipped inside a peer frame's payload fails the CRC and
+    /// the frame is quarantined — the neighbouring frame decodes
+    /// unharmed, and the damaged one never surfaces as a different
+    /// value.
+    #[test]
+    fn corrupted_peer_frames_are_quarantined(
+        frame in arb_peer_frame(),
+        flip in any::<u8>(),
+    ) {
+        let good = encode_frame(&frame);
+        let mut bad = encode_frame(&frame);
+        let last = bad.len() - 1;
+        bad[last] ^= flip | 1;
+        let mut dec = Decoder::new();
+        dec.feed(&good);
+        dec.feed(&bad);
+        let decoded = drain(&mut dec);
+        prop_assert_eq!(decoded, vec![frame]);
+        prop_assert!(
+            dec.corrupt_frames() + dec.skipped_bytes() > 0,
+            "damage must be accounted as quarantine or resync skip"
+        );
+    }
+}

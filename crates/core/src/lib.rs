@@ -55,7 +55,7 @@ pub use infer::{infer_hbg, infer_hbg_parallel, InferConfig, InferStats, PatternM
 pub use predict::OutcomePredictor;
 pub use provenance::{root_causes, RootCause};
 pub use repair::{propose_repairs, RepairPlan};
-pub use shard::ShardPlan;
+pub use shard::{FederationPlan, ShardPlan};
 pub use snapshot::{
     classify_conv, consistency_check, consistent_snapshot, ConsistencyTracker, ConvDigest, ConvKey,
     SnapshotStatus, TrackerSlice,

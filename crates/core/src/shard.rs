@@ -100,6 +100,62 @@ impl ShardPlan {
     }
 }
 
+/// Ownership routing for a *federation* of collector processes: the
+/// cross-process analogue of [`ShardPlan`]. Member `k` of an `members`-way
+/// federation owns exactly the routers and conversations the inner plan
+/// assigns to shard `k` — the same indivisible-stream and
+/// conversation-affinity arguments apply, only the "shards" are now
+/// separate collectors exchanging peer frames over TCP instead of worker
+/// threads exchanging messages over channels.
+///
+/// Every member holds an identical copy (it is pure data), so routing
+/// decisions — which member a router's stream belongs to, which member
+/// judges a conversation — never need coordination.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FederationPlan {
+    inner: ShardPlan,
+}
+
+impl FederationPlan {
+    /// A federation of `members` collectors splitting the address space
+    /// uniformly. `members` is clamped to at least 1.
+    pub fn uniform(members: u32) -> Self {
+        FederationPlan {
+            inner: ShardPlan::uniform(members),
+        }
+    }
+
+    /// A federation whose conversation ranges balance the given observed
+    /// prefixes (see [`ShardPlan::from_prefixes`]).
+    pub fn from_prefixes(prefixes: &[Ipv4Prefix], members: u32) -> Self {
+        FederationPlan {
+            inner: ShardPlan::from_prefixes(prefixes, members),
+        }
+    }
+
+    /// Number of members in the federation.
+    pub fn members(&self) -> u32 {
+        self.inner.shards()
+    }
+
+    /// The member owning a router's export stream.
+    pub fn of_router(&self, r: RouterId) -> u32 {
+        self.inner.of_router(r)
+    }
+
+    /// The member owning (judging) a conversation.
+    pub fn of_conv(&self, key: &crate::snapshot::ConvKey) -> u32 {
+        self.inner.of_conv(key)
+    }
+
+    /// The underlying shard plan — what a member hands to its
+    /// [`TrackerSlice`](crate::snapshot::TrackerSlice), whose slice
+    /// index is the member index.
+    pub fn as_shard_plan(&self) -> &ShardPlan {
+        &self.inner
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -147,5 +203,25 @@ mod tests {
         let plan = ShardPlan::uniform(4);
         let key = (RouterId(0), RouterId(3), cpvr_sim::Proto::Bgp, None);
         assert_eq!(plan.of_conv(&key), plan.of_router(RouterId(3)));
+    }
+
+    #[test]
+    fn federation_plan_mirrors_its_shard_plan() {
+        let fed = FederationPlan::uniform(3);
+        let shards = ShardPlan::uniform(3);
+        assert_eq!(fed.members(), 3);
+        for r in 0..12u32 {
+            assert_eq!(fed.of_router(RouterId(r)), shards.of_router(RouterId(r)));
+        }
+        for a in [0u32, 1 << 20, u32::MAX / 2, u32::MAX] {
+            let key = (
+                RouterId(0),
+                RouterId(1),
+                cpvr_sim::Proto::Bgp,
+                Some(Ipv4Prefix::from_bits(a, 32)),
+            );
+            assert_eq!(fed.of_conv(&key), shards.of_conv(&key));
+        }
+        assert_eq!(fed.as_shard_plan(), &shards);
     }
 }

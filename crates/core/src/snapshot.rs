@@ -481,7 +481,7 @@ impl ConsistencyTracker {
 /// cross-shard interface of the sharded fold: everything else the
 /// tracker computes is per-router (streams, FIBs, capture clamps) and
 /// stays shard-local.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ConvDigest {
     /// The conversation.
     pub key: ConvKey,
@@ -491,6 +491,41 @@ pub struct ConvDigest {
     /// by the owning stream, so the receiving slice appends it without
     /// re-deriving arrival order).
     pub time: SimTime,
+}
+
+// Hand-rolled (not `impl_json_struct!`) because `ConvKey` is a 4-tuple
+// and the JSON layer only derives pairs; the key is flattened into the
+// digest object. This is the wire form federation peers exchange in
+// `BoundaryEdges` round batches.
+impl cpvr_types::json::ToJson for ConvDigest {
+    fn to_json(&self) -> cpvr_types::json::Value {
+        use cpvr_types::json::Value;
+        let (from, to, proto, prefix) = &self.key;
+        Value::Object(vec![
+            ("from".to_string(), from.to_json()),
+            ("to".to_string(), to.to_json()),
+            ("proto".to_string(), proto.to_json()),
+            ("prefix".to_string(), prefix.to_json()),
+            ("is_send".to_string(), self.is_send.to_json()),
+            ("time".to_string(), self.time.to_json()),
+        ])
+    }
+}
+
+impl cpvr_types::json::FromJson for ConvDigest {
+    fn from_json(v: &cpvr_types::json::Value) -> Result<Self, cpvr_types::json::JsonError> {
+        use cpvr_types::json::FromJson;
+        Ok(ConvDigest {
+            key: (
+                FromJson::from_json(v.field("from")?)?,
+                FromJson::from_json(v.field("to")?)?,
+                FromJson::from_json(v.field("proto")?)?,
+                FromJson::from_json(v.field("prefix")?)?,
+            ),
+            is_send: FromJson::from_json(v.field("is_send")?)?,
+            time: FromJson::from_json(v.field("time")?)?,
+        })
+    }
 }
 
 /// One shard's slice of a [`ConsistencyTracker`].

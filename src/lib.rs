@@ -4,8 +4,10 @@
 //! integration tests can use a single dependency.
 
 pub use cpvr_bgp as bgp;
+pub use cpvr_collector as collector;
 pub use cpvr_core as core;
 pub use cpvr_dataplane as dataplane;
+pub use cpvr_federation as federation;
 pub use cpvr_igp as igp;
 pub use cpvr_sim as sim;
 pub use cpvr_topo as topo;
