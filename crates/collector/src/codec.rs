@@ -66,7 +66,7 @@ use cpvr_sim::IoEvent;
 use cpvr_types::crc32;
 use cpvr_types::intern::InternStore;
 use cpvr_types::json::{from_str, to_string_compact, to_string_compact_into, JsonError};
-use cpvr_types::{Interns, RouterId, SimTime};
+use cpvr_types::{varint, Interns, RouterId, SimTime};
 use std::fmt;
 use std::io::{self, Read, Write};
 
@@ -98,7 +98,7 @@ pub const MAX_FRAME_LEN: u32 = 1 << 24;
 pub const HEADER_LEN: usize = 12;
 
 /// Highest valid kind byte.
-const MAX_KIND: u8 = 15;
+const MAX_KIND: u8 = 17;
 
 /// Which codec a sender uses for its event frames. Control frames are
 /// always v2; this only selects the `Frame::Event` encoding (and, for
@@ -322,6 +322,179 @@ cpvr_types::impl_json_struct!(PartialVerdict {
     missing
 });
 
+/// Where a repair is in its proof-carrying lifecycle. Journaled as
+/// [`Frame::Repair`] WAL records so recovery replays an in-flight
+/// repair to the same decision the live run reached.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RepairStage {
+    /// A plan was proposed for a root cause.
+    Proposed,
+    /// Its evidence artifact ([`RepairProof`]) was minted; the record
+    /// carries the proof's v3 binary bytes.
+    ///
+    /// [`RepairProof`]: cpvr_core::RepairProof
+    Proven,
+    /// The replay gate ran; the record carries the verdict code.
+    Gated,
+    /// The gate said REPRODUCED and the repair reached the network.
+    Applied,
+    /// The gate said DIVERGED or ERROR; the tentative apply was rolled
+    /// back and nothing reached the network.
+    Blocked,
+    /// An applied repair was later undone.
+    RolledBack,
+}
+
+impl RepairStage {
+    /// Wire byte for this stage.
+    pub fn byte(self) -> u8 {
+        match self {
+            RepairStage::Proposed => 0,
+            RepairStage::Proven => 1,
+            RepairStage::Gated => 2,
+            RepairStage::Applied => 3,
+            RepairStage::Blocked => 4,
+            RepairStage::RolledBack => 5,
+        }
+    }
+
+    /// Inverse of [`byte`](RepairStage::byte).
+    pub fn from_byte(b: u8) -> Option<Self> {
+        Some(match b {
+            0 => RepairStage::Proposed,
+            1 => RepairStage::Proven,
+            2 => RepairStage::Gated,
+            3 => RepairStage::Applied,
+            4 => RepairStage::Blocked,
+            5 => RepairStage::RolledBack,
+            _ => return None,
+        })
+    }
+}
+
+/// One journaled repair-lifecycle transition (wire kind 16). Binary
+/// payload: the proof bytes ride the v3 proof codec and are opaque to
+/// the collector — only recovery and the gate decode them.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RepairRecord {
+    /// Content digest of the proof's binary encoding
+    /// ([`RepairProof::repair_id`]); identifies one repair across its
+    /// lifecycle records.
+    ///
+    /// [`RepairProof::repair_id`]: cpvr_core::RepairProof::repair_id
+    pub repair_id: u64,
+    /// The lifecycle transition this record journals.
+    pub stage: RepairStage,
+    /// Verification-epoch time of the transition.
+    pub at: SimTime,
+    /// The gate verdict code (0 = reproduced, 1 = diverged, 2 = error)
+    /// for [`Gated`](RepairStage::Gated) and later stages.
+    pub verdict: Option<u8>,
+    /// The proof's v3 binary bytes; non-empty only on
+    /// [`Proven`](RepairStage::Proven).
+    pub proof: Vec<u8>,
+}
+
+impl RepairRecord {
+    /// Serializes the binary payload.
+    pub fn encode_payload(&self) -> Vec<u8> {
+        let mut p = Vec::with_capacity(26 + self.proof.len());
+        p.extend_from_slice(&self.repair_id.to_le_bytes());
+        p.push(self.stage.byte());
+        p.extend_from_slice(&self.at.as_nanos().to_le_bytes());
+        match self.verdict {
+            Some(v) => {
+                p.push(1);
+                p.push(v);
+            }
+            None => p.push(0),
+        }
+        varint::write_u64(&mut p, self.proof.len() as u64);
+        p.extend_from_slice(&self.proof);
+        p
+    }
+
+    /// Decodes the binary payload; rejects truncation, unknown stage
+    /// bytes, and trailing garbage.
+    pub fn decode_payload(p: &[u8]) -> Result<Self, CodecError> {
+        let bad = CodecError::BadPayload("repair record truncated");
+        if p.len() < 18 {
+            return Err(bad);
+        }
+        let repair_id = u64::from_le_bytes(p[..8].try_into().expect("8 bytes"));
+        let stage =
+            RepairStage::from_byte(p[8]).ok_or(CodecError::BadPayload("unknown repair stage"))?;
+        let at = SimTime::from_nanos(u64::from_le_bytes(p[9..17].try_into().expect("8 bytes")));
+        let mut pos = 17;
+        let verdict = match p[pos] {
+            0 => {
+                pos += 1;
+                None
+            }
+            1 => {
+                pos += 1;
+                let v = *p
+                    .get(pos)
+                    .ok_or(CodecError::BadPayload("repair record truncated at verdict"))?;
+                pos += 1;
+                Some(v)
+            }
+            _ => return Err(CodecError::BadPayload("bad verdict option tag")),
+        };
+        let len = varint::read_u64(p, &mut pos).ok_or(CodecError::BadPayload(
+            "repair record truncated at proof len",
+        ))?;
+        let len =
+            usize::try_from(len).map_err(|_| CodecError::BadPayload("proof length overflows"))?;
+        let end = pos
+            .checked_add(len)
+            .ok_or(CodecError::BadPayload("proof length overflows"))?;
+        if end != p.len() {
+            return Err(CodecError::BadPayload(
+                "repair record length disagrees with payload",
+            ));
+        }
+        Ok(RepairRecord {
+            repair_id,
+            stage,
+            at,
+            verdict,
+            proof: p[pos..end].to_vec(),
+        })
+    }
+}
+
+/// Federation: the owning member shares a repair proof (wire kind 17)
+/// so every peer can independently re-validate the gate decision. The
+/// proof travels as its compact JSON rendering — peer frames stay v2
+/// JSON by design — and `digest` commits to the *binary* encoding so a
+/// peer can cross-check integrity after re-encoding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PeerRepairProof {
+    /// The sending (owning) member.
+    pub member: u32,
+    /// Link sequence number.
+    pub seq: u64,
+    /// [`RepairRecord::repair_id`] of the proof.
+    pub repair_id: u64,
+    /// FNV-1a 64 of the proof's v3 binary encoding.
+    pub digest: u64,
+    /// The owner's gate verdict code (0 = reproduced, 1 = diverged,
+    /// 2 = error).
+    pub verdict: u8,
+    /// The proof as compact `cpvr_types::json`.
+    pub proof: String,
+}
+
+cpvr_types::impl_json_struct!(PeerRepairProof {
+    member,
+    seq,
+    repair_id,
+    digest,
+    verdict,
+    proof
+});
+
 /// One unit of the wire protocol.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Frame {
@@ -421,6 +594,12 @@ pub enum Frame {
     BoundaryEdges(BoundaryEdges),
     /// Federation: a member's partial snapshot verdict for one round.
     PartialVerdict(PartialVerdict),
+    /// A repair-lifecycle transition, journaled to the WAL so recovery
+    /// replays in-flight repairs to a bit-identical decision.
+    Repair(RepairRecord),
+    /// Federation: a repair proof shared by its owning member for
+    /// independent re-validation by peers.
+    PeerRepairProof(PeerRepairProof),
 }
 
 impl Frame {
@@ -443,6 +622,8 @@ impl Frame {
             Frame::FrontierExchange(_) => 13,
             Frame::BoundaryEdges(_) => 14,
             Frame::PartialVerdict(_) => 15,
+            Frame::Repair(_) => 16,
+            Frame::PeerRepairProof(_) => 17,
         }
     }
 }
@@ -649,6 +830,12 @@ impl RawFrame {
                     .map_err(|_| CodecError::BadPayload("partial verdict payload is not utf-8"))?;
                 Ok(Frame::PartialVerdict(from_str(text)?))
             }
+            16 => Ok(Frame::Repair(RepairRecord::decode_payload(&self.payload)?)),
+            17 => {
+                let text = std::str::from_utf8(&self.payload)
+                    .map_err(|_| CodecError::BadPayload("peer repair proof is not utf-8"))?;
+                Ok(Frame::PeerRepairProof(from_str(text)?))
+            }
             k => Err(CodecError::BadKind(k)),
         }
     }
@@ -728,6 +915,8 @@ pub fn raw_frame(f: &Frame) -> RawFrame {
         Frame::FrontierExchange(f) => to_string_compact(f).into_bytes(),
         Frame::BoundaryEdges(b) => to_string_compact(b).into_bytes(),
         Frame::PartialVerdict(p) => to_string_compact(p).into_bytes(),
+        Frame::Repair(r) => r.encode_payload(),
+        Frame::PeerRepairProof(p) => to_string_compact(p).into_bytes(),
     };
     RawFrame {
         // Intern frames are a v3-only kind; everything else (including

@@ -46,7 +46,9 @@
 //! [`SourceTable`]: crate::pipeline::SourceTable
 //! [`Decoder`]: crate::codec::Decoder
 
-use crate::codec::{encode_frame, DecodedMsg, Decoder, Frame, Hello, PeerHello, VERSION};
+use crate::codec::{
+    encode_frame, DecodedMsg, Decoder, Frame, Hello, PeerHello, RepairRecord, VERSION,
+};
 use crate::federation::{member_loop, recover_member, CollectorRole, FederationConfig, PeerFrame};
 use crate::group_commit::{GroupCommit, GroupCommitHandle};
 use crate::metrics::{CollectorMetrics, DEFAULT_SPAN_SAMPLE};
@@ -233,6 +235,7 @@ pub(crate) struct SharedStats {
     pub(crate) late_events: AtomicU64,
     pub(crate) evictions: AtomicU64,
     pub(crate) readmissions: AtomicU64,
+    pub(crate) repair_records: AtomicU64,
     /// Nanos of the last globally advanced watermark; only meaningful
     /// once `watermark_set` is true (zero is a valid watermark, so it
     /// cannot double as the "never advanced" sentinel).
@@ -276,6 +279,9 @@ pub struct CollectorStats {
     pub evictions: u64,
     /// Evicted sources re-admitted after reconnecting.
     pub readmissions: u64,
+    /// Repair-lifecycle records journaled through
+    /// [`CollectorHandle::journal_repair`].
+    pub repair_records: u64,
     /// The last globally advanced watermark.
     pub watermark: Option<SimTime>,
 }
@@ -297,6 +303,7 @@ impl SharedStats {
             late_events: self.late_events.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             readmissions: self.readmissions.load(Ordering::Relaxed),
+            repair_records: self.repair_records.load(Ordering::Relaxed),
             watermark,
         }
     }
@@ -371,6 +378,14 @@ pub(crate) enum Msg {
         frame: PeerFrame,
         raw: Option<Vec<u8>>,
     },
+    /// A repair-lifecycle record submitted through
+    /// [`CollectorHandle::journal_repair`]. The merger journals it
+    /// (kind 16) before folding it into the ledger, then signals
+    /// `done` — so the caller returns only once the record is durable.
+    Repair {
+        record: RepairRecord,
+        done: Option<std::sync::mpsc::SyncSender<()>>,
+    },
     Closed {
         conn: u64,
     },
@@ -419,6 +434,9 @@ pub struct CollectorHandle {
     recovery: Option<RecoveryReport>,
     metrics: Option<Arc<CollectorMetrics>>,
     group_commit: Option<GroupCommitHandle>,
+    /// Local channel into the merger for repair-lifecycle records;
+    /// dropped in `shutdown` so the merger's receive loop can end.
+    tx: Option<SyncSender<Msg>>,
 }
 
 /// The collector entry point.
@@ -546,36 +564,42 @@ impl Collector {
             // Recovery reuses the monolithic replay to reconstruct the
             // source table and watermark, then reseeds the workers from
             // the recovered event list.
-            let (sources, recovered_wm, recovered_events, recovery, wals) = match &cfg.wal {
-                Some(wal_cfg) => {
-                    let (pipeline, report, events) =
-                        IngestPipeline::recover_parts(cfg.pipeline, &wal_cfg.dir, shards as usize)?;
-                    let mut wals = Vec::with_capacity(shards as usize);
-                    for k in 0..shards {
-                        let mut series_cfg = wal_cfg.clone().for_series(k);
-                        series_cfg.deferred_sync = true;
-                        let mut w = Wal::open(series_cfg)?;
-                        if let Some(m) = &metrics {
-                            w.set_metrics(wal_metrics(m));
+            let (sources, recovered_wm, recovered_events, recovered_repairs, recovery, wals) =
+                match &cfg.wal {
+                    Some(wal_cfg) => {
+                        let (pipeline, report, events) = IngestPipeline::recover_parts(
+                            cfg.pipeline,
+                            &wal_cfg.dir,
+                            shards as usize,
+                        )?;
+                        let mut wals = Vec::with_capacity(shards as usize);
+                        for k in 0..shards {
+                            let mut series_cfg = wal_cfg.clone().for_series(k);
+                            series_cfg.deferred_sync = true;
+                            let mut w = Wal::open(series_cfg)?;
+                            if let Some(m) = &metrics {
+                                w.set_metrics(wal_metrics(m));
+                            }
+                            wals.push(w);
                         }
-                        wals.push(w);
+                        (
+                            pipeline.sources().clone(),
+                            pipeline.watermark(),
+                            events,
+                            pipeline.repairs().clone(),
+                            Some(report),
+                            wals,
+                        )
                     }
-                    (
-                        pipeline.sources().clone(),
-                        pipeline.watermark(),
-                        events,
-                        Some(report),
-                        wals,
-                    )
-                }
-                None => (
-                    crate::pipeline::SourceTable::new(cfg.pipeline.n_routers),
-                    None,
-                    Vec::new(),
-                    None,
-                    Vec::new(),
-                ),
-            };
+                    None => (
+                        crate::pipeline::SourceTable::new(cfg.pipeline.n_routers),
+                        None,
+                        Vec::new(),
+                        crate::repair_journal::RepairLedger::new(),
+                        None,
+                        Vec::new(),
+                    ),
+                };
             // The group-commit thread, shared by every worker's WAL
             // series. Cadence: `EveryN(n)` syncs once per `n` appends
             // across the whole fleet; `Always` syncs via per-batch
@@ -607,6 +631,7 @@ impl Collector {
                             sources,
                             recovered_wm,
                             recovered_events,
+                            recovered_repairs,
                             wals,
                             gc,
                             &stats,
@@ -618,6 +643,7 @@ impl Collector {
             (merger, recovery)
         };
 
+        let handle_tx = tx.clone();
         let accept = {
             let stop = Arc::clone(&stop);
             let stats = Arc::clone(&stats);
@@ -637,6 +663,7 @@ impl Collector {
             recovery,
             metrics,
             group_commit,
+            tx: Some(handle_tx),
         })
     }
 }
@@ -672,10 +699,32 @@ impl CollectorHandle {
         self.metrics.as_ref()
     }
 
+    /// Journals one repair-lifecycle record through the merger,
+    /// blocking until the record has been appended to the WAL and
+    /// folded into the ledger — so the control plane may act on a
+    /// stage only after it is durable, and a crash between any two
+    /// stages recovers to the same decision.
+    pub fn journal_repair(&self, record: RepairRecord) -> io::Result<()> {
+        let tx = self
+            .tx
+            .as_ref()
+            .ok_or_else(|| io::Error::other("collector is shut down"))?;
+        let (done_tx, done_rx) = std::sync::mpsc::sync_channel(1);
+        tx.send(Msg::Repair {
+            record,
+            done: Some(done_tx),
+        })
+        .map_err(|_| io::Error::other("collector merger is gone"))?;
+        done_rx
+            .recv()
+            .map_err(|_| io::Error::other("collector merger dropped the repair record"))
+    }
+
     /// Stops accepting, drains every connection, closes the WAL, and
     /// returns the final pipeline state.
     pub fn shutdown(mut self) -> io::Result<CollectorReport> {
         self.stop.store(true, Ordering::SeqCst);
+        drop(self.tx.take());
         if let Some(h) = self.accept.take() {
             let _ = h.join();
         }
@@ -948,7 +997,10 @@ fn on_frame(
         }
         // Peer traffic is only legal on a connection a PeerHello opened;
         // a router client sending it is a peer bug, not line noise.
-        Frame::FrontierExchange(_) | Frame::BoundaryEdges(_) | Frame::PartialVerdict(_)
+        Frame::FrontierExchange(_)
+        | Frame::BoundaryEdges(_)
+        | Frame::PartialVerdict(_)
+        | Frame::PeerRepairProof(_)
             if !*is_peer =>
         {
             return fatal_decode(stats, "peer frame on a router connection".into());
@@ -966,6 +1018,11 @@ fn on_frame(
         Frame::PartialVerdict(p) => Msg::Peer {
             conn,
             frame: PeerFrame::Partial(p),
+            raw,
+        },
+        Frame::PeerRepairProof(p) => Msg::Peer {
+            conn,
+            frame: PeerFrame::Repair(p),
             raw,
         },
         Frame::Event { seq, event } => {
@@ -1002,13 +1059,16 @@ fn on_frame(
             },
             None => return FrameOutcome::Continue,
         },
-        // Acks/fins flow collector → client; evictions/admissions exist
-        // only in the journal. Arriving over the wire they are
-        // meaningless — ignore rather than kill, in the spirit of
-        // resynchronization.
-        Frame::Ack { .. } | Frame::Fin | Frame::Evict { .. } | Frame::Admit { .. } => {
-            return FrameOutcome::Continue
-        }
+        // Acks/fins flow collector → client; evictions/admissions and
+        // repair-lifecycle records exist only in the journal (repairs
+        // enter through [`CollectorHandle::journal_repair`], not the
+        // wire). Arriving over the wire they are meaningless — ignore
+        // rather than kill, in the spirit of resynchronization.
+        Frame::Ack { .. }
+        | Frame::Fin
+        | Frame::Evict { .. }
+        | Frame::Admit { .. }
+        | Frame::Repair(_) => return FrameOutcome::Continue,
     };
     if tx.send(msg).is_err() {
         return FrameOutcome::MergerGone;
@@ -1517,6 +1577,25 @@ fn merger_loop(
                     // journaling a definition whose events never arrive
                     // is harmless.
                     journal(&mut wal, &mut wal_err, &raw);
+                }
+                Msg::Repair { record, done } => {
+                    // Journal the lifecycle record before folding it, so
+                    // the ledger never runs ahead of the log; the `done`
+                    // ack (sent after both) is the caller's durability
+                    // barrier.
+                    journal(
+                        &mut wal,
+                        &mut wal_err,
+                        &encode_frame(&Frame::Repair(record.clone())),
+                    );
+                    pipeline.accept_repair(&record);
+                    stats.repair_records.fetch_add(1, Ordering::Relaxed);
+                    if let Some(m) = metrics {
+                        m.publish_repair(&record, pipeline.repairs().in_flight().len());
+                    }
+                    if let Some(done) = done {
+                        let _ = done.send(());
+                    }
                 }
                 // Peer frames exist only on federated collectors, whose
                 // member loop replaces this one; on_frame kills any

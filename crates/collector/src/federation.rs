@@ -61,22 +61,24 @@
 
 use crate::codec::{
     decode_frame, encode_frame, BoundaryEdges, Decoder, Frame, FrontierExchange, PartialVerdict,
-    PeerHello,
+    PeerHello, PeerRepairProof, RepairRecord, RepairStage,
 };
 use crate::collector::{journal, send_ack, CollectorConfig, LeaseConfig, Msg, SharedStats};
 use crate::metrics::CollectorMetrics;
 use crate::pipeline::{Offer, RecoveryReport, SourceState, SourceTable};
+use crate::repair_journal::RepairLedger;
 use crate::shard::{FoldReport, ShardedFold};
 use crate::wal::{self, Wal, WalConfig};
 use cpvr_core::builder::HbgBuilder;
 use cpvr_core::hbg::Hbg;
 use cpvr_core::rules::RuleScope;
 use cpvr_core::snapshot::{classify_conv, ConvDigest, SnapshotStatus, TrackerSlice};
-use cpvr_core::FederationPlan;
+use cpvr_core::{chain_over, FederationPlan, RepairProof};
 use cpvr_dataplane::DataPlane;
 use cpvr_sim::{EventId, IoEvent};
 use cpvr_types::intern::InternStore;
-use cpvr_types::{RouterId, SimTime};
+use cpvr_types::json::{from_str, to_string_compact};
+use cpvr_types::{fnv1a64, RouterId, SimTime};
 use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -164,14 +166,16 @@ pub(crate) enum PeerFrame {
     Frontier(FrontierExchange),
     Boundary(BoundaryEdges),
     Partial(PartialVerdict),
+    Repair(PeerRepairProof),
 }
 
 impl PeerFrame {
-    fn member(&self) -> u32 {
+    pub(crate) fn member(&self) -> u32 {
         match self {
             PeerFrame::Frontier(f) => f.member,
             PeerFrame::Boundary(b) => b.member,
             PeerFrame::Partial(p) => p.member,
+            PeerFrame::Repair(r) => r.member,
         }
     }
 
@@ -180,7 +184,35 @@ impl PeerFrame {
             PeerFrame::Frontier(f) => f.seq,
             PeerFrame::Boundary(b) => b.seq,
             PeerFrame::Partial(p) => p.seq,
+            PeerFrame::Repair(r) => r.seq,
         }
+    }
+}
+
+/// A member's record of one peer-advertised repair proof, after
+/// independent re-validation: the receiving member does not trust the
+/// owner's verdict blindly — it reparses the proof, recomputes the
+/// provenance hash chain, and re-derives the content digest.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PeerProofStatus {
+    /// Which member gated (and advertised) the repair.
+    pub from: u32,
+    /// The owner's gate verdict code (0 reproduced / 1 diverged /
+    /// 2 error).
+    pub verdict: u8,
+    /// Whether the proof parsed and its recomputed hash chain over the
+    /// provenance path matches the embedded chain (and is non-empty).
+    pub chain_ok: bool,
+    /// Whether the proof's re-encoded binary digest matches the digest
+    /// the owner advertised — i.e. both members hold the same bytes.
+    pub digest_ok: bool,
+}
+
+impl PeerProofStatus {
+    /// A peer verdict this member may act on: the owner said
+    /// REPRODUCED *and* both independent re-checks passed.
+    pub fn trusted_reproduced(&self) -> bool {
+        self.verdict == 0 && self.chain_ok && self.digest_ok
     }
 }
 
@@ -407,6 +439,13 @@ pub(crate) struct MemberState {
     wal: Option<Wal>,
     wal_err: Option<io::Error>,
     metrics: Option<Arc<CollectorMetrics>>,
+    /// This member's own repair-lifecycle ledger (journaled kind-16
+    /// records submitted through the handle).
+    repairs: RepairLedger,
+    /// Peer-gated repairs received as [`PeerRepairProof`] frames, after
+    /// independent re-validation. Keyed by repair id; first frame wins
+    /// (regenerated replays are duplicates).
+    peer_repairs: BTreeMap<u64, PeerProofStatus>,
 }
 
 impl MemberState {
@@ -471,6 +510,8 @@ impl MemberState {
             wal: None,
             wal_err: None,
             metrics: None,
+            repairs: RepairLedger::new(),
+            peer_repairs: BTreeMap::new(),
         }
     }
 
@@ -545,6 +586,61 @@ impl MemberState {
             if let Some(m) = &self.metrics {
                 m.boundary_events_sent.add(count);
             }
+        }
+    }
+
+    /// Folds one repair-lifecycle record: journal (no-op on replay —
+    /// the WAL handle is absent, like every other replayed record),
+    /// ledger, metrics, and — the moment a repair is `Gated` — the
+    /// proof broadcast to every peer. Recovery replays this same path,
+    /// so a recovering owner regenerates its proof advertisements the
+    /// way it regenerates frontier history.
+    pub(crate) fn accept_repair_record(&mut self, r: &RepairRecord) {
+        self.journal_bytes(&encode_frame(&Frame::Repair(r.clone())));
+        if !self.repairs.accept(r) {
+            return;
+        }
+        if let Some(m) = &self.metrics {
+            m.publish_repair(r, self.repairs.in_flight().len());
+        }
+        if r.stage == RepairStage::Gated {
+            self.broadcast_repair(r.repair_id);
+        }
+    }
+
+    /// Ships a gated repair's proof (and this member's verdict for it)
+    /// to every peer. The proof travels as its JSON encoding plus the
+    /// FNV-1a digest of the stored binary bytes, so receivers can prove
+    /// they reconstructed the identical artifact.
+    fn broadcast_repair(&mut self, repair_id: u64) {
+        let Some(e) = self.repairs.get(repair_id) else {
+            return;
+        };
+        let Some(verdict) = e.verdict else { return };
+        if e.proof.is_empty() {
+            return;
+        }
+        let digest = fnv1a64(&e.proof);
+        let proof_json = match RepairProof::decode_binary(&e.proof) {
+            Ok(p) => to_string_compact(&p),
+            Err(_) => return,
+        };
+        let member = self.member;
+        for j in 0..self.members as usize {
+            if j == self.member as usize {
+                continue;
+            }
+            let proof = proof_json.clone();
+            self.send_to(j, move |seq| {
+                Frame::PeerRepairProof(PeerRepairProof {
+                    member,
+                    seq,
+                    repair_id,
+                    digest,
+                    verdict,
+                    proof,
+                })
+            });
         }
     }
 
@@ -925,6 +1021,35 @@ impl MemberState {
                 }
                 self.pump(stats);
             }
+            PeerFrame::Repair(p) => {
+                // First frame per repair wins: a recovering owner's
+                // regenerated broadcast is a duplicate, and the
+                // validation is deterministic in the frame contents
+                // anyway.
+                if self.peer_repairs.contains_key(&p.repair_id) {
+                    return;
+                }
+                let (chain_ok, digest_ok) = match from_str::<RepairProof>(&p.proof) {
+                    Ok(proof) => (
+                        !proof.provenance.is_empty()
+                            && chain_over(&proof.provenance) == proof.chain,
+                        fnv1a64(&proof.encode_binary()) == p.digest,
+                    ),
+                    Err(_) => (false, false),
+                };
+                self.peer_repairs.insert(
+                    p.repair_id,
+                    PeerProofStatus {
+                        from: p.member,
+                        verdict: p.verdict,
+                        chain_ok,
+                        digest_ok,
+                    },
+                );
+                if let Some(m) = &self.metrics {
+                    m.repair_peer_proofs.inc();
+                }
+            }
         }
     }
 
@@ -1107,6 +1232,8 @@ impl MemberState {
             watermark: self.completed,
             stalled: self.sources.stalled(),
             peers,
+            repairs: self.repairs,
+            peer_repairs: self.peer_repairs,
         }
     }
 }
@@ -1127,6 +1254,8 @@ pub struct MemberFold {
     pub(crate) watermark: Option<SimTime>,
     pub(crate) stalled: Vec<RouterId>,
     pub(crate) peers: Vec<PeerSummary>,
+    pub(crate) repairs: RepairLedger,
+    pub(crate) peer_repairs: BTreeMap<u64, PeerProofStatus>,
 }
 
 impl MemberFold {
@@ -1143,6 +1272,12 @@ impl MemberFold {
     /// Final per-peer link state.
     pub fn peer_summaries(&self) -> &[PeerSummary] {
         &self.peers
+    }
+
+    /// Repairs other members gated and advertised to this one, with the
+    /// outcome of this member's independent re-validation.
+    pub fn peer_repairs(&self) -> &BTreeMap<u64, PeerProofStatus> {
+        &self.peer_repairs
     }
 
     /// The member's role, for the collector report.
@@ -1221,10 +1356,12 @@ pub fn merge_members(mut folds: Vec<MemberFold>) -> io::Result<FoldReport> {
     let mut processed = 0usize;
     let mut pending = 0usize;
     let mut stalled: Vec<RouterId> = Vec::new();
+    let mut repairs = RepairLedger::new();
     let status = folds[0].status.clone();
     let waits = folds[0].waits;
     let watermark = folds[0].watermark;
     for f in folds {
+        repairs.absorb(&f.repairs);
         events += f.events;
         processed += f.local.processed();
         pending += f.local.pending();
@@ -1264,6 +1401,7 @@ pub fn merge_members(mut folds: Vec<MemberFold>) -> io::Result<FoldReport> {
         dataplane,
         watermark,
         stalled,
+        repairs,
     })))
 }
 
@@ -1280,6 +1418,7 @@ pub(crate) fn recover_member(
     let replay = wal::replay(&wal_cfg.dir)?;
     let mut interns = InternStore::new();
     let mut events_replayed = 0usize;
+    let mut repairs_replayed = 0usize;
     let mut corrupt = 0usize;
     for record in &replay.records {
         match decode_frame(record) {
@@ -1321,6 +1460,16 @@ pub(crate) fn recover_member(
                 Ok(Frame::PartialVerdict(p)) => {
                     st.accept_peer_frame(&PeerFrame::Partial(p), None, None);
                 }
+                Ok(Frame::Repair(r)) => {
+                    // Replaying through the live path regenerates the
+                    // proof broadcast for gated repairs (peers dedup by
+                    // repair id), exactly like frontier history.
+                    st.accept_repair_record(&r);
+                    repairs_replayed += 1;
+                }
+                Ok(Frame::PeerRepairProof(p)) => {
+                    st.accept_peer_frame(&PeerFrame::Repair(p), None, None);
+                }
                 Ok(_) => {}
                 Err(_) => corrupt += 1,
             },
@@ -1329,6 +1478,7 @@ pub(crate) fn recover_member(
     }
     let report = RecoveryReport {
         events_replayed,
+        repairs_replayed,
         watermark: st.completed,
         torn_tail: replay.torn,
         segments: replay.segments,
@@ -1511,6 +1661,16 @@ pub(crate) fn member_loop(
                 }
                 Msg::Intern { router: _, raw } => {
                     st.journal_bytes(&raw);
+                }
+                Msg::Repair { record, done } => {
+                    // Journal + fold + (on Gated) the peer broadcast;
+                    // the `done` ack after all of it is the caller's
+                    // durability barrier.
+                    st.accept_repair_record(&record);
+                    stats.repair_records.fetch_add(1, Ordering::Relaxed);
+                    if let Some(done) = done {
+                        let _ = done.send(());
+                    }
                 }
                 Msg::PeerHello { conn, hello, ack } => {
                     if !st.on_peer_hello(&hello) {

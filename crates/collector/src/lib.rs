@@ -76,20 +76,27 @@ pub mod federation;
 pub mod group_commit;
 pub mod metrics;
 pub mod pipeline;
+pub mod repair_journal;
 pub mod shard;
 pub mod wal;
 
 pub use client::{scrape, scrape_snapshot, ReconnectPolicy, SinkMetrics, SocketSink};
-pub use codec::{CodecVersion, DecodedMsg, Decoder, EventEncoder, Frame, Hello, RawFrame};
+pub use codec::{
+    CodecVersion, DecodedMsg, Decoder, EventEncoder, Frame, Hello, PeerRepairProof, RawFrame,
+    RepairRecord, RepairStage,
+};
 pub use collector::{
     Collector, CollectorConfig, CollectorHandle, CollectorReport, CollectorStats, LeaseConfig,
 };
 pub use fault::{ChaosProxy, FaultKind, FaultPlan};
-pub use federation::{merge_members, CollectorRole, FederationConfig, MemberFold, PeerSummary};
+pub use federation::{
+    merge_members, CollectorRole, FederationConfig, MemberFold, PeerProofStatus, PeerSummary,
+};
 pub use group_commit::{GroupCommit, GroupCommitHandle};
 pub use metrics::{source_state_code, CollectorMetrics};
 pub use pipeline::{
     IngestPipeline, Offer, PipelineConfig, RecoveryReport, SourceState, SourceTable,
 };
+pub use repair_journal::{RepairEntry, RepairLedger};
 pub use shard::{FoldReport, ShardedFold};
 pub use wal::{FsyncPolicy, Wal, WalConfig, WalMetrics, WalReplay};

@@ -19,6 +19,7 @@ use cpvr_obs::{
 };
 use cpvr_types::{RouterId, SimTime};
 
+use crate::codec::{RepairRecord, RepairStage};
 use crate::pipeline::{IngestPipeline, SourceState, SourceTable};
 
 /// Default sampling stride for event-flight spans: one in this many
@@ -101,6 +102,25 @@ pub struct CollectorMetrics {
     pub(crate) partial_verdict_nanos: Histogram,
     pub(crate) peer_frontier: Vec<Gauge>,
     pub(crate) peer_lag: Vec<Gauge>,
+
+    // Proof-carrying repair lifecycle.
+    pub(crate) repair_records: Counter,
+    pub(crate) repair_gate_reproduced: Counter,
+    pub(crate) repair_gate_diverged: Counter,
+    pub(crate) repair_gate_error: Counter,
+    pub(crate) repairs_in_flight: Gauge,
+    /// Wall-clock of one replay-gate execution. Public: the gate runs
+    /// in the control plane, which observes here after journaling the
+    /// `Gated` record.
+    pub repair_replay_nanos: Histogram,
+    /// Root causes skipped for falling below the control loop's
+    /// confidence threshold. Public: published from
+    /// [`GuardReport::skipped_low_confidence`](cpvr_core::GuardReport).
+    pub repair_skipped_low_confidence: Counter,
+    /// Peer-advertised repair proofs received and independently
+    /// re-validated by this federation member. Public so harnesses can
+    /// wait on proof propagation.
+    pub repair_peer_proofs: Counter,
 
     sources: SourceGauges,
 }
@@ -310,6 +330,48 @@ impl CollectorMetrics {
             "How far a peer's exchanged frontier trails the furthest member (-1 before it exchanges)",
         );
 
+        // Proof-carrying repair lifecycle.
+        r.declare(
+            "cpvr_repair_records_total",
+            MetricKind::Counter,
+            "Repair-lifecycle records journaled (duplicates excluded)",
+        );
+        r.declare(
+            "cpvr_repair_gate_reproduced_total",
+            MetricKind::Counter,
+            "Replay gates that returned REPRODUCED (the repair was applied)",
+        );
+        r.declare(
+            "cpvr_repair_gate_diverged_total",
+            MetricKind::Counter,
+            "Replay gates that returned DIVERGED (the repair was blocked)",
+        );
+        r.declare(
+            "cpvr_repair_gate_error_total",
+            MetricKind::Counter,
+            "Replay gates that returned ERROR (tampered or structurally invalid proof)",
+        );
+        r.declare(
+            "cpvr_repairs_in_flight",
+            MetricKind::Gauge,
+            "Repairs journaled but not yet decided (Applied/Blocked/RolledBack)",
+        );
+        r.declare(
+            "cpvr_repair_replay_nanos",
+            MetricKind::Histogram,
+            "Wall-clock of one replay-gate execution over a proof's transcript",
+        );
+        r.declare(
+            "cpvr_repair_skipped_low_confidence_total",
+            MetricKind::Counter,
+            "Root causes skipped for confidence below the control loop's threshold",
+        );
+        r.declare(
+            "cpvr_repair_peer_proofs_total",
+            MetricKind::Counter,
+            "Peer-advertised repair proofs received and re-validated by this member",
+        );
+
         // Per-source liveness / lag.
         r.declare(
             "cpvr_source_state",
@@ -452,6 +514,14 @@ impl CollectorMetrics {
             partial_verdict_nanos: r.histogram("cpvr_partial_verdict_nanos"),
             peer_frontier,
             peer_lag,
+            repair_records: r.counter("cpvr_repair_records_total"),
+            repair_gate_reproduced: r.counter("cpvr_repair_gate_reproduced_total"),
+            repair_gate_diverged: r.counter("cpvr_repair_gate_diverged_total"),
+            repair_gate_error: r.counter("cpvr_repair_gate_error_total"),
+            repairs_in_flight: r.gauge("cpvr_repairs_in_flight"),
+            repair_replay_nanos: r.histogram("cpvr_repair_replay_nanos"),
+            repair_skipped_low_confidence: r.counter("cpvr_repair_skipped_low_confidence_total"),
+            repair_peer_proofs: r.counter("cpvr_repair_peer_proofs_total"),
             sources: SourceGauges {
                 state,
                 lag_nanos,
@@ -506,6 +576,22 @@ impl CollectorMetrics {
             self.watermark_nanos.set(wm.as_nanos() as i64);
         }
         self.publish_sources(pipeline.sources());
+    }
+
+    /// Publishes the effects of one freshly journaled repair-lifecycle
+    /// record: the record counter, the verdict counter its `Gated`
+    /// stage carries, and the in-flight gauge.
+    pub(crate) fn publish_repair(&self, record: &RepairRecord, in_flight: usize) {
+        self.repair_records.inc();
+        if record.stage == RepairStage::Gated {
+            match record.verdict {
+                Some(0) => self.repair_gate_reproduced.inc(),
+                Some(1) => self.repair_gate_diverged.inc(),
+                Some(_) => self.repair_gate_error.inc(),
+                None => {}
+            }
+        }
+        self.repairs_in_flight.set(in_flight as i64);
     }
 
     /// Publishes the per-source lease/lag/cursor gauges from a source

@@ -27,7 +27,8 @@
 //! bit-identical to the state the crashed process had at that
 //! watermark — and the connections can resume from there.
 
-use crate::codec::{decode_frame, Frame};
+use crate::codec::{decode_frame, Frame, RepairRecord};
+use crate::repair_journal::RepairLedger;
 use crate::wal;
 use cpvr_core::builder::HbgBuilder;
 use cpvr_core::infer::InferConfig;
@@ -391,6 +392,8 @@ pub struct IngestPipeline {
     /// advance.
     watermark: Option<SimTime>,
     events: u64,
+    /// The repair-lifecycle fold over journaled kind-16 records.
+    repairs: RepairLedger,
 }
 
 impl IngestPipeline {
@@ -402,8 +405,20 @@ impl IngestPipeline {
             sources: SourceTable::new(cfg.n_routers),
             watermark: None,
             events: 0,
+            repairs: RepairLedger::new(),
             cfg,
         }
+    }
+
+    /// Folds one journaled repair-lifecycle record into the ledger.
+    /// Returns `false` for an exact duplicate.
+    pub fn accept_repair(&mut self, r: &RepairRecord) -> bool {
+        self.repairs.accept(r)
+    }
+
+    /// The repair-lifecycle ledger.
+    pub fn repairs(&self) -> &RepairLedger {
+        &self.repairs
     }
 
     /// Buffers one event into both consumers. The caller is responsible
@@ -525,6 +540,7 @@ impl IngestPipeline {
         let replayed = wal::replay_all(dir, threads)?;
         let mut pipeline = Self::new(cfg);
         let mut events: Vec<IoEvent> = Vec::new();
+        let mut repair_records: Vec<RepairRecord> = Vec::new();
         // Each series' largest logged watermark (`None` = that series
         // never logged one).
         let mut series_wms: Vec<Option<SimTime>> = Vec::with_capacity(replayed.len());
@@ -581,6 +597,12 @@ impl IngestPipeline {
                                     pipeline.sources.admit(source);
                                 }
                             }
+                            // Repair lifecycle records fold into the
+                            // ledger after the scan: `replay_all`
+                            // returns series in deterministic order,
+                            // so the fold order — and hence the ledger
+                            // — is identical on every recovery.
+                            Ok(Frame::Repair(r)) => repair_records.push(r),
                             // Peer frames are only journaled by
                             // federation members, which recover through
                             // their own ordered replay; a standalone or
@@ -594,7 +616,8 @@ impl IngestPipeline {
                             | Ok(Frame::PeerHello(_))
                             | Ok(Frame::FrontierExchange(_))
                             | Ok(Frame::BoundaryEdges(_))
-                            | Ok(Frame::PartialVerdict(_)) => {}
+                            | Ok(Frame::PartialVerdict(_))
+                            | Ok(Frame::PeerRepairProof(_)) => {}
                             Err(_) => corrupt += 1,
                         }
                     }
@@ -622,8 +645,15 @@ impl IngestPipeline {
         if let Some(wm) = watermark {
             pipeline.advance(wm);
         }
+        let mut repairs_replayed = 0usize;
+        for r in &repair_records {
+            if pipeline.repairs.accept(r) {
+                repairs_replayed += 1;
+            }
+        }
         let report = RecoveryReport {
             events_replayed: events.len(),
+            repairs_replayed,
             watermark,
             torn_tail: torn,
             segments,
@@ -639,6 +669,9 @@ impl IngestPipeline {
 pub struct RecoveryReport {
     /// Event frames replayed into the pipeline.
     pub events_replayed: usize,
+    /// Repair-lifecycle records replayed into the ledger (duplicates
+    /// excluded).
+    pub repairs_replayed: usize,
     /// The watermark the pipeline was advanced to (`None` if the log
     /// held no watermark record — nothing was ever durably folded).
     pub watermark: Option<SimTime>,

@@ -55,6 +55,7 @@ use crate::collector::{CollectorConfig, EventRec, LeaseConfig, Msg, SharedStats}
 use crate::group_commit::{GroupCommit, GroupCommitHandle};
 use crate::metrics::CollectorMetrics;
 use crate::pipeline::{IngestPipeline, Offer, SourceState, SourceTable};
+use crate::repair_journal::RepairLedger;
 use crate::wal::{FsyncPolicy, Wal};
 use cpvr_core::builder::HbgBuilder;
 use cpvr_core::hbg::{Hbg, Hbr};
@@ -107,6 +108,7 @@ pub struct ShardedFold {
     pub(crate) dataplane: DataPlane,
     pub(crate) watermark: Option<SimTime>,
     pub(crate) stalled: Vec<RouterId>,
+    pub(crate) repairs: RepairLedger,
 }
 
 impl FoldReport {
@@ -211,6 +213,17 @@ impl FoldReport {
         }
     }
 
+    /// The repair-lifecycle ledger folded from the journal's kind-16
+    /// records — same fold on every shape, so the bit-identity oracle
+    /// extends to repair decisions.
+    pub fn repairs(&self) -> &RepairLedger {
+        match self {
+            FoldReport::Single(p) => p.repairs(),
+            FoldReport::Sharded(s) => &s.repairs,
+            FoldReport::Member(m) => &m.repairs,
+        }
+    }
+
     /// The underlying pipeline, when this is a single-merger fold.
     pub fn as_single(&self) -> Option<&IngestPipeline> {
         match self {
@@ -248,8 +261,13 @@ pub(crate) enum WorkerMsg {
     /// WAL-recovered events for owned routers: ingest without
     /// journaling or acking (they are already durable).
     Seed { events: Vec<IoEvent> },
-    /// Journal a control record (hello/evict/admit) without acking.
-    Journal { bytes: Vec<u8> },
+    /// Journal a control record (hello/evict/admit/repair) without
+    /// acking; `done` (repair records only) is signalled once the
+    /// append is flushed, as the submitter's durability barrier.
+    Journal {
+        bytes: Vec<u8>,
+        done: Option<SyncSender<()>>,
+    },
     /// Write an ack (and fin, if the source finished) on a connection.
     Ack { conn: u64, upto: u64, fin: bool },
     /// Drop (and hang up) a connection's ack socket.
@@ -483,9 +501,12 @@ impl Worker {
                         self.ingest(e);
                     }
                 }
-                WorkerMsg::Journal { bytes } => {
+                WorkerMsg::Journal { bytes, done } => {
                     if self.journal(&bytes) {
                         self.commit(1);
+                    }
+                    if let Some(done) = done {
+                        let _ = done.send(());
                     }
                 }
                 WorkerMsg::Ack { conn, upto, fin } => {
@@ -614,12 +635,14 @@ pub(crate) fn coordinator_loop(
     mut sources: SourceTable,
     recovered_wm: Option<SimTime>,
     recovered_events: Vec<IoEvent>,
+    recovered_repairs: RepairLedger,
     wals: Vec<Wal>,
     gc: Option<GroupCommit>,
     stats: &SharedStats,
     metrics: Option<Arc<CollectorMetrics>>,
 ) -> (FoldReport, Option<io::Error>) {
     let shards = plan.shards();
+    let mut repairs = recovered_repairs;
     let n_routers = cfg.pipeline.n_routers;
     let lease = cfg.lease;
     let infer = cfg.pipeline.infer();
@@ -734,6 +757,7 @@ pub(crate) fn coordinator_loop(
                     if sources.state(source) == SourceState::Evicted {
                         let _ = workers[owner].tx.send(WorkerMsg::Journal {
                             bytes: encode_frame(&Frame::Admit { source }),
+                            done: None,
                         });
                         sources.admit(source);
                         stats.readmissions.fetch_add(1, Ordering::Relaxed);
@@ -888,7 +912,24 @@ pub(crate) fn coordinator_loop(
                     // is never stranded in a series whose events cannot
                     // resolve it.
                     let owner = plan.of_router(RouterId(router)) as usize;
-                    let _ = workers[owner].tx.send(WorkerMsg::Journal { bytes: raw });
+                    let _ = workers[owner].tx.send(WorkerMsg::Journal {
+                        bytes: raw,
+                        done: None,
+                    });
+                }
+                Msg::Repair { record, done } => {
+                    // Repairs are global, not per-router: shard 0's
+                    // series is their one canonical home, so a replay
+                    // reassembles the same lifecycle order. The caller's
+                    // `done` ack rides the worker's append — the
+                    // durability barrier crosses both channels.
+                    repairs.accept(&record);
+                    stats.repair_records.fetch_add(1, Ordering::Relaxed);
+                    if let Some(m) = &metrics {
+                        m.publish_repair(&record, repairs.in_flight().len());
+                    }
+                    let bytes = encode_frame(&Frame::Repair(record));
+                    let _ = workers[0].tx.send(WorkerMsg::Journal { bytes, done });
                 }
                 // Peer frames exist only on federated collectors, whose
                 // member loop replaces this one; on_frame kills any
@@ -996,6 +1037,7 @@ pub(crate) fn coordinator_loop(
         dataplane,
         watermark: advanced,
         stalled: sources.stalled(),
+        repairs,
     }));
     (report, wal_err)
 }
@@ -1205,6 +1247,7 @@ fn sweep_leases(
             // any barrier watermark the eviction releases.
             let _ = workers[owner].tx.send(WorkerMsg::Journal {
                 bytes: encode_frame(&Frame::Evict { source: r }),
+                done: None,
             });
             sources.evict(r);
             stats.evictions.fetch_add(1, Ordering::Relaxed);

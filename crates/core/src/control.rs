@@ -14,14 +14,15 @@
 
 use crate::builder::HbgBuilder;
 use crate::infer::InferConfig;
+use crate::proof::{gate_repair, prove, RepairProof};
 use crate::provenance::{root_causes, RootCauseKind};
-use crate::repair::{propose_repairs, RepairAction, RepairPlan};
+use crate::repair::{propose_repairs_report, RepairAction, RepairPlan};
 use crate::snapshot::{ConsistencyTracker, SnapshotStatus};
 use cpvr_bgp::ConfigChange;
 use cpvr_sim::{EventId, IoKind, Simulation};
 use cpvr_topo::Topology;
 use cpvr_types::{RouterId, SimTime};
-use cpvr_verify::{verify, IncrementalVerifier, Policy};
+use cpvr_verify::{verify, IncrementalVerifier, Policy, ReplayVerdict};
 use std::cell::RefCell;
 use std::collections::BTreeSet;
 use std::rc::Rc;
@@ -51,10 +52,20 @@ pub enum GuardAction {
         /// Number of violations.
         violations: usize,
     },
-    /// A root cause was reverted.
+    /// A root cause was reverted — after its proof's replay gate
+    /// returned REPRODUCED.
     Repaired {
         /// The plan that was applied.
         plan: RepairPlan,
+    },
+    /// A proposed repair was *blocked*: its proof's replay gate
+    /// returned DIVERGED or ERROR, so the tentative apply was rolled
+    /// back and nothing reached the network.
+    Blocked {
+        /// The plan that was not applied.
+        plan: RepairPlan,
+        /// Why the gate refused it.
+        verdict: ReplayVerdict,
     },
     /// A non-revertible root cause was reported.
     Notified {
@@ -70,6 +81,12 @@ pub struct GuardReport {
     pub timeline: Vec<(SimTime, GuardAction)>,
     /// Whether the live data plane satisfied every policy at the end.
     pub final_ok: bool,
+    /// Root causes found but not acted on because their confidence fell
+    /// below the loop's threshold (previously dropped silently).
+    pub skipped_low_confidence: usize,
+    /// Every proof minted during the run, in mint order — applied and
+    /// blocked alike, for auditing and journaling.
+    pub proofs: Vec<RepairProof>,
 }
 
 impl GuardReport {
@@ -78,6 +95,14 @@ impl GuardReport {
         self.timeline
             .iter()
             .filter(|(_, a)| matches!(a, GuardAction::Repaired { .. }))
+            .count()
+    }
+
+    /// Number of repairs blocked by the replay gate.
+    pub fn blocked(&self) -> usize {
+        self.timeline
+            .iter()
+            .filter(|(_, a)| matches!(a, GuardAction::Blocked { .. }))
             .count()
     }
 
@@ -101,6 +126,9 @@ impl GuardReport {
                     format!("[{t}] VIOLATION: {violations} policy check(s) failed")
                 }
                 GuardAction::Repaired { plan } => format!("[{t}] REPAIR: {plan}"),
+                GuardAction::Blocked { plan, verdict } => {
+                    format!("[{t}] BLOCKED ({}): {plan} — {verdict:?}", verdict.label())
+                }
                 GuardAction::Notified { plan } => format!("[{t}] NOTIFY: {plan}"),
             };
             s.push_str(&line);
@@ -246,7 +274,9 @@ impl ControlLoop {
                     )
                 })
                 .max_by_key(|e| (e.time, e.id));
-            let Some(bad_fib) = bad_fib else { continue };
+            let Some(bad_fib) = bad_fib.map(|e| e.id) else {
+                continue;
+            };
             // Fold everything stamped up to the verification horizon into
             // the incremental HBG, then walk to root causes. Edges never
             // point backward in time, so the ancestors of an event stamped
@@ -254,7 +284,7 @@ impl ControlLoop {
             // sees exactly the graph batch inference would produce.
             let mut b = builder.borrow_mut();
             b.advance(t);
-            let causes = root_causes(sim.trace(), b.hbg(), bad_fib.id, self.min_confidence);
+            let causes = root_causes(sim.trace(), b.hbg(), bad_fib, self.min_confidence);
             drop(b);
             // Never "repair" our own repairs, and never repeat one.
             let fresh: Vec<_> = causes
@@ -267,19 +297,39 @@ impl ControlLoop {
                     _ => true,
                 })
                 .collect();
-            let plans = propose_repairs(&fresh, self.min_confidence);
+            let planned = propose_repairs_report(&fresh, self.min_confidence);
+            report.skipped_low_confidence += planned.skipped_low_confidence.len();
             let mut acted = false;
-            for plan in plans {
+            for plan in planned.plans {
                 match &plan.action {
                     RepairAction::RevertConfig(inv) => {
                         if acted {
                             continue; // one repair at a time; reassess after
                         }
-                        sim.schedule_config(sim.now(), plan.router, inv.clone());
-                        own_changes.push(inv.clone());
-                        repaired_roots.insert(plan.root.event);
-                        report.timeline.push((t, GuardAction::Repaired { plan }));
-                        acted = true;
+                        // Proof-carrying repair: mint the evidence
+                        // artifact and re-execute its replay transcript
+                        // against the resident verifier's shadow state.
+                        // Only REPRODUCED commits; DIVERGED and ERROR
+                        // block the plan, and the tentative apply was
+                        // confined to the discarded shadow.
+                        let v = verifier.as_ref().expect("resident verifier");
+                        let b = builder.borrow();
+                        let proof =
+                            prove(sim.trace(), b.hbg(), v, &plan, bad_fib, self.min_confidence);
+                        drop(b);
+                        let verdict = gate_repair(v, &proof);
+                        report.proofs.push(proof);
+                        if verdict.is_reproduced() {
+                            sim.schedule_config(sim.now(), plan.router, inv.clone());
+                            own_changes.push(inv.clone());
+                            repaired_roots.insert(plan.root.event);
+                            report.timeline.push((t, GuardAction::Repaired { plan }));
+                            acted = true;
+                        } else if notified_roots.insert(plan.root.event) {
+                            report
+                                .timeline
+                                .push((t, GuardAction::Blocked { plan, verdict }));
+                        }
                     }
                     RepairAction::NotifyOperator(_) => {
                         if notified_roots.insert(plan.root.event) {

@@ -38,6 +38,7 @@ pub mod gate;
 pub mod hbg;
 pub mod infer;
 pub mod predict;
+pub mod proof;
 pub mod provenance;
 pub mod repair;
 pub mod rules;
@@ -53,8 +54,9 @@ pub use gate::{install_inline_gate, GateStats};
 pub use hbg::{Hbg, Hbr, HbrSource};
 pub use infer::{infer_hbg, infer_hbg_parallel, InferConfig, InferStats, PatternMiner};
 pub use predict::OutcomePredictor;
-pub use provenance::{root_causes, RootCause};
-pub use repair::{propose_repairs, RepairPlan};
+pub use proof::{chain_over, gate_repair, prove, PredictedBehavior, ProvenanceHop, RepairProof};
+pub use provenance::{provenance_path, root_causes, RootCause};
+pub use repair::{propose_repairs, propose_repairs_report, RepairPlan, RepairReport};
 pub use shard::{FederationPlan, ShardPlan};
 pub use snapshot::{
     classify_conv, consistency_check, consistent_snapshot, ConsistencyTracker, ConvDigest, ConvKey,

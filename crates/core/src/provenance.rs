@@ -169,6 +169,37 @@ pub fn root_causes(trace: &Trace, hbg: &Hbg, from: EventId, min_conf: f64) -> Ve
 /// exists (shouldn't happen for a reported leaf), 1.0 when
 /// `leaf == target`.
 pub fn bottleneck_confidence(hbg: &Hbg, leaf: EventId, target: EventId, min_conf: f64) -> f64 {
+    match widest_path(hbg, leaf, target, min_conf) {
+        Some((conf, _)) => conf,
+        None => 0.0,
+    }
+}
+
+/// The widest-path node sequence from `leaf` down to `target`
+/// (inclusive on both ends), considering only edges ≥ `min_conf` — the
+/// provenance path a repair proof carries as evidence.
+///
+/// Defined for every input, never panicking: `leaf == target` yields
+/// the one-node path `[leaf]` (a self-loop provenance path carries no
+/// edges), an out-of-range id or an unreachable target yields an empty
+/// path.
+pub fn provenance_path(hbg: &Hbg, leaf: EventId, target: EventId, min_conf: f64) -> Vec<EventId> {
+    match widest_path(hbg, leaf, target, min_conf) {
+        Some((_, path)) => path,
+        None => Vec::new(),
+    }
+}
+
+/// Widest-path (maximum bottleneck) search from `leaf` to `target`:
+/// the shared engine behind [`bottleneck_confidence`] and
+/// [`provenance_path`]. Returns the bottleneck confidence and the node
+/// sequence, or `None` when no path exists or an id is out of range.
+fn widest_path(
+    hbg: &Hbg,
+    leaf: EventId,
+    target: EventId,
+    min_conf: f64,
+) -> Option<(f64, Vec<EventId>)> {
     use std::cmp::Ordering;
     use std::collections::BinaryHeap;
 
@@ -186,13 +217,25 @@ pub fn bottleneck_confidence(hbg: &Hbg, leaf: EventId, target: EventId, min_conf
         }
     }
 
-    let mut best = vec![0.0f64; hbg.num_events()];
+    let n = hbg.num_events();
+    if leaf.index() >= n || target.index() >= n {
+        return None;
+    }
+    let mut best = vec![0.0f64; n];
+    let mut prev: Vec<Option<EventId>> = vec![None; n];
     let mut heap = BinaryHeap::new();
     best[leaf.index()] = 1.0;
     heap.push(Entry(1.0, leaf));
     while let Some(Entry(conf, node)) = heap.pop() {
         if node == target {
-            return conf;
+            let mut path = vec![target];
+            let mut cur = target;
+            while cur != leaf {
+                cur = prev[cur.index()]?;
+                path.push(cur);
+            }
+            path.reverse();
+            return Some((conf, path));
         }
         if conf < best[node.index()] {
             continue;
@@ -208,11 +251,12 @@ pub fn bottleneck_confidence(hbg: &Hbg, leaf: EventId, target: EventId, min_conf
             let nc = conf.min(edge_conf);
             if nc > best[child.index()] {
                 best[child.index()] = nc;
+                prev[child.index()] = Some(node);
                 heap.push(Entry(nc, child));
             }
         }
     }
-    best[target.index()]
+    None
 }
 
 #[cfg(test)]
@@ -411,3 +455,18 @@ mod tests {
         assert_eq!(causes[0].kind, RootCauseKind::Unexplained);
     }
 }
+
+cpvr_types::impl_json_enum!(RootCauseKind {
+    ConfigChange { change, inverse },
+    Hardware { up, link, peer },
+    ExternalRoute { peer, prefix, withdraw },
+    ProtocolStart,
+    Unexplained,
+});
+cpvr_types::impl_json_struct!(RootCause {
+    event,
+    router,
+    time,
+    kind,
+    confidence,
+});

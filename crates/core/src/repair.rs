@@ -67,13 +67,29 @@ impl fmt::Display for RepairPlan {
     }
 }
 
+/// The outcome of turning root causes into plans: the plans, plus every
+/// cause that was *not* planned because its confidence fell below the
+/// threshold. Skipped causes used to be dropped silently, which left
+/// operators unable to tell "no cause found" from "cause found but too
+/// uncertain to act on" — now they ride along for reporting and feed
+/// the `cpvr_repair_skipped_low_confidence_total` metric.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct RepairReport {
+    /// Actionable and notify plans, most-confident cause first.
+    pub plans: Vec<RepairPlan>,
+    /// Causes below the confidence threshold, in input order.
+    pub skipped_low_confidence: Vec<RootCause>,
+}
+
 /// Turns root causes into repair plans, most-confident first. Root
-/// causes below `min_confidence` are skipped entirely (the §4.2 plan:
-/// only act when confidence is high enough).
-pub fn propose_repairs(causes: &[RootCause], min_confidence: f64) -> Vec<RepairPlan> {
-    let mut out = Vec::new();
+/// causes below `min_confidence` are skipped (the §4.2 plan: only act
+/// when confidence is high enough) — but surfaced, not swallowed.
+pub fn propose_repairs_report(causes: &[RootCause], min_confidence: f64) -> RepairReport {
+    let mut report = RepairReport::default();
+    let out = &mut report.plans;
     for root in causes {
         if root.confidence < min_confidence {
+            report.skipped_low_confidence.push(root.clone());
             continue;
         }
         let plan = match &root.kind {
@@ -132,7 +148,13 @@ pub fn propose_repairs(causes: &[RootCause], min_confidence: f64) -> Vec<RepairP
         };
         out.push(plan);
     }
-    out
+    report
+}
+
+/// Compatibility wrapper over [`propose_repairs_report`] returning the
+/// plans alone.
+pub fn propose_repairs(causes: &[RootCause], min_confidence: f64) -> Vec<RepairPlan> {
+    propose_repairs_report(causes, min_confidence).plans
 }
 
 /// Measures the control-plane/data-plane divergence created by blocking:
@@ -140,14 +162,33 @@ pub fn propose_repairs(causes: &[RootCause], min_confidence: f64) -> Vec<RepairP
 /// reconstructed from all captured FIB events up to `horizon` by event
 /// time) differs from the *live* hardware FIB. Each divergent
 /// `(router, prefix)` is a place where the Fig. 2b hazard is armed.
+///
+/// Defined (and non-panicking) on every input: an empty trace yields a
+/// divergence entry per live FIB entry (the control plane believes in
+/// an empty network), and trace events referencing routers the live
+/// plane doesn't cover are diffed against an empty FIB rather than
+/// indexing out of range.
 pub fn blocking_divergence(
     trace: &Trace,
     live: &DataPlane,
     horizon: SimTime,
 ) -> Vec<(RouterId, Ipv4Prefix)> {
-    let mut intended = DataPlane::new(live.num_routers());
     let mut events: Vec<&cpvr_sim::IoEvent> = trace.events.iter().collect();
     events.sort_by_key(|e| (e.time, e.id));
+    // Cover every router either side mentions: captured FIB events may
+    // reference routers the live snapshot doesn't carry (partial
+    // capture), and those entries are divergent by definition.
+    let n = events
+        .iter()
+        .filter(|e| {
+            e.time <= horizon
+                && matches!(e.kind, IoKind::FibInstall { .. } | IoKind::FibRemove { .. })
+        })
+        .map(|e| e.router.index() + 1)
+        .chain([live.num_routers()])
+        .max()
+        .unwrap_or(0);
+    let mut intended = DataPlane::new(n);
     for e in events {
         if e.time > horizon {
             break;
@@ -169,15 +210,19 @@ pub fn blocking_divergence(
         }
     }
     let mut out = Vec::new();
-    for r in 0..live.num_routers() as u32 {
+    for r in 0..n as u32 {
         let rid = RouterId(r);
         let mut prefixes: Vec<Ipv4Prefix> = intended.fib(rid).prefixes();
-        prefixes.extend(live.fib(rid).prefixes());
+        if rid.index() < live.num_routers() {
+            prefixes.extend(live.fib(rid).prefixes());
+        }
         prefixes.sort();
         prefixes.dedup();
         for p in prefixes {
             let want = intended.fib(rid).get(&p).map(|e| e.action);
-            let have = live.fib(rid).get(&p).map(|e| e.action);
+            let have = (rid.index() < live.num_routers())
+                .then(|| live.fib(rid).get(&p).map(|e| e.action))
+                .flatten();
             if want != have {
                 out.push((rid, p));
             }
@@ -260,6 +305,28 @@ mod tests {
     }
 
     #[test]
+    fn skipped_causes_are_surfaced_not_swallowed() {
+        let causes = vec![
+            root(
+                RootCauseKind::ConfigChange {
+                    change: Some(ConfigChange::SetAddPath(true)),
+                    inverse: Some(ConfigChange::SetAddPath(false)),
+                },
+                0.9,
+            ),
+            root(RootCauseKind::Unexplained, 0.3),
+            root(RootCauseKind::ProtocolStart, 0.1),
+        ];
+        let report = propose_repairs_report(&causes, 0.5);
+        assert_eq!(report.plans.len(), 1);
+        assert_eq!(report.skipped_low_confidence.len(), 2);
+        assert_eq!(report.skipped_low_confidence[0].confidence, 0.3);
+        assert_eq!(report.skipped_low_confidence[1].confidence, 0.1);
+        // The wrapper stays equivalent to the plans half.
+        assert_eq!(propose_repairs(&causes, 0.5), report.plans);
+    }
+
+    #[test]
     fn missing_inverse_degrades_to_notification() {
         let causes = vec![root(
             RootCauseKind::ConfigChange {
@@ -303,6 +370,49 @@ mod tests {
     }
 
     #[test]
+    fn divergence_on_empty_trace_is_defined() {
+        // Empty provenance: no captured FIB events at all. The verdict
+        // is defined — every live entry diverges from the (empty)
+        // intended plane — and nothing panics.
+        let p: Ipv4Prefix = "8.8.8.0/24".parse().unwrap();
+        let trace = Trace::default();
+        let empty_live = DataPlane::new(2);
+        assert!(blocking_divergence(&trace, &empty_live, SimTime::from_millis(100)).is_empty());
+        let mut live = DataPlane::new(2);
+        live.fib_mut(RouterId(1)).install(
+            p,
+            FibEntry {
+                action: FibAction::Drop,
+                installed_at: SimTime::ZERO,
+            },
+        );
+        let div = blocking_divergence(&trace, &live, SimTime::from_millis(100));
+        assert_eq!(div, vec![(RouterId(1), p)]);
+    }
+
+    #[test]
+    fn divergence_with_out_of_range_router_is_defined() {
+        // A captured FIB event on a router the live plane doesn't cover
+        // (partial capture) must not panic: the entry diverges against
+        // an empty FIB.
+        let p: Ipv4Prefix = "8.8.8.0/24".parse().unwrap();
+        let mut trace = Trace::default();
+        trace.events.push(IoEvent {
+            id: EventId(0),
+            router: RouterId(7),
+            time: SimTime::from_millis(10),
+            arrived_at: Some(SimTime::from_millis(10)),
+            kind: IoKind::FibInstall {
+                prefix: p,
+                action: FibAction::Drop,
+            },
+        });
+        let live = DataPlane::new(1);
+        let div = blocking_divergence(&trace, &live, SimTime::from_millis(100));
+        assert_eq!(div, vec![(RouterId(7), p)]);
+    }
+
+    #[test]
     fn divergence_respects_horizon() {
         let p: Ipv4Prefix = "8.8.8.0/24".parse().unwrap();
         let mut trace = Trace::default();
@@ -320,3 +430,14 @@ mod tests {
         assert!(blocking_divergence(&trace, &live, SimTime::from_millis(100)).is_empty());
     }
 }
+
+cpvr_types::impl_json_enum!(RepairAction {
+    RevertConfig(change),
+    NotifyOperator(msg),
+});
+cpvr_types::impl_json_struct!(RepairPlan {
+    router,
+    action,
+    root,
+    rationale,
+});

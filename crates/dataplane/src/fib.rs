@@ -243,3 +243,13 @@ cpvr_types::impl_json_enum!(FibAction {
     Local,
     Drop,
 });
+
+cpvr_types::impl_json_enum!(UpdateKind { Install, Remove });
+
+cpvr_types::impl_json_struct!(FibUpdate {
+    router,
+    prefix,
+    kind,
+    action,
+    at,
+});

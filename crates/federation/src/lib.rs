@@ -59,6 +59,11 @@ pub struct MemberReport {
     pub recovery: Option<RecoveryReport>,
     /// The member's shutdown metrics dump, if metrics were enabled.
     pub metrics: Option<Snapshot>,
+    /// The member's fold at exit. Present from
+    /// [`Federation::stop_member`], where it would otherwise be lost;
+    /// `None` from [`Federation::shutdown`], where every fold went into
+    /// the merged [`FederationReport::global`].
+    pub fold: Option<FoldReport>,
 }
 
 /// The federation's merged shutdown state.
@@ -202,6 +207,7 @@ impl Federation {
             stalled: report.stalled,
             recovery: report.recovery,
             metrics: report.metrics,
+            fold: Some(report.pipeline),
         })
     }
 
@@ -248,6 +254,7 @@ impl Federation {
                 stalled: report.stalled,
                 recovery: report.recovery,
                 metrics: report.metrics,
+                fold: None,
             });
         }
         Ok(FederationReport {

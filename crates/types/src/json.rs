@@ -542,8 +542,9 @@ pub fn variant_value(name: &str, mut vals: Vec<Value>) -> Value {
 }
 
 /// Implements `ToJson` / `FromJson` for an enum in serde's
-/// externally-tagged encoding. Every variant (including the last) must
-/// end with a comma; unit, tuple, and struct variants are all supported.
+/// externally-tagged encoding. Unit, tuple, and struct variants are all
+/// supported; the trailing comma on the last variant is optional (so
+/// rustfmt may collapse short invocations onto one line).
 #[macro_export]
 macro_rules! impl_json_enum {
     ($ty:ident { $($body:tt)* }) => {
@@ -592,6 +593,16 @@ macro_rules! impl_json_enum {
             $ty::$var => $crate::json::Value::Str(stringify!($var).to_string()),
         ], $($rest)*)
     };
+    // A last variant without a trailing comma: normalize and recurse.
+    (@to_arms $self:ident, $ty:ident, [$($arms:tt)*], $var:ident { $($f:ident),+ $(,)? }) => {
+        $crate::impl_json_enum!(@to_arms $self, $ty, [$($arms)*], $var { $($f),+ },)
+    };
+    (@to_arms $self:ident, $ty:ident, [$($arms:tt)*], $var:ident ( $($f:ident),+ $(,)? )) => {
+        $crate::impl_json_enum!(@to_arms $self, $ty, [$($arms)*], $var($($f),+),)
+    };
+    (@to_arms $self:ident, $ty:ident, [$($arms:tt)*], $var:ident) => {
+        $crate::impl_json_enum!(@to_arms $self, $ty, [$($arms)*], $var,)
+    };
 
     // --- deserialization: a chain of early-return matches.
     (@from_chain $v:ident, $ty:ident,) => {};
@@ -622,6 +633,16 @@ macro_rules! impl_json_enum {
             }
         }
         $crate::impl_json_enum!(@from_chain $v, $ty, $($rest)*);
+    };
+    // A last variant without a trailing comma: normalize and recurse.
+    (@from_chain $v:ident, $ty:ident, $var:ident { $($f:ident),+ $(,)? }) => {
+        $crate::impl_json_enum!(@from_chain $v, $ty, $var { $($f),+ },)
+    };
+    (@from_chain $v:ident, $ty:ident, $var:ident ( $($f:ident),+ $(,)? )) => {
+        $crate::impl_json_enum!(@from_chain $v, $ty, $var($($f),+),)
+    };
+    (@from_chain $v:ident, $ty:ident, $var:ident) => {
+        $crate::impl_json_enum!(@from_chain $v, $ty, $var,)
     };
 }
 

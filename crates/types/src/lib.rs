@@ -25,6 +25,7 @@
 #![warn(missing_docs)]
 
 pub mod crc32;
+pub mod hash;
 pub mod ids;
 pub mod intern;
 pub mod json;
@@ -33,6 +34,7 @@ pub mod time;
 pub mod trie;
 pub mod varint;
 
+pub use hash::{fnv1a64, Fnv1a64};
 pub use ids::{AsNum, IfaceId, RouterId};
 pub use intern::{InternStore, InternTable, Interns};
 pub use prefix::{Ipv4Prefix, PrefixParseError};

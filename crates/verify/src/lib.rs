@@ -22,6 +22,11 @@
 //!   keeps the equivalence classes and per-class verdicts live across a
 //!   stream of FIB updates, re-checking only classes whose address space
 //!   intersects each update.
+//! * [`replay`] — replay-validated repair gating: [`ReplayGate`]
+//!   re-executes a repair proof's deterministic transcript against a
+//!   shadow clone of the resident verifier and returns
+//!   REPRODUCED/DIVERGED/ERROR; the blocking verdicts roll back the
+//!   tentative apply by discarding the shadow.
 //! * [`distributed`] — the §5 sketch of distributed verification: routers
 //!   exchange partial per-EC results instead of centralizing the
 //!   snapshot; this module models the message/work tradeoff.
@@ -44,6 +49,7 @@ pub mod distributed;
 pub mod ec;
 pub mod incremental;
 pub mod policy;
+pub mod replay;
 pub mod verifier;
 
 pub use distributed::{distributed_verify, distributed_verify_delta, DistStats};
@@ -53,6 +59,7 @@ pub use ec::{
 };
 pub use incremental::{IncrementalStats, IncrementalVerifier};
 pub use policy::{Policy, Violation};
+pub use replay::{violation_sigs, ReplayGate, ReplayTranscript, ReplayVerdict, ViolationSig};
 pub use verifier::{
     policy_equivalence_classes, verify, verify_incremental, verify_parallel, VerifyReport,
 };
