@@ -6,7 +6,8 @@
 //!
 //! ```text
 //! cargo run --release -p cpvr-collector --example collectord \
-//!     [--metrics-interval SECS] [--shards N] [--federate N] [WAL_DIR]
+//!     [--metrics-interval SECS] [--shards N] [--federate N] \
+//!     [--trace-every N] [WAL_DIR]
 //! ```
 //!
 //! Without a `WAL_DIR` argument the log lives in a temp directory that
@@ -17,7 +18,15 @@
 //! daemon's own `/metrics`-style endpoint (a `MetricsReq` frame over
 //! the same TCP port) every SECS seconds and prints one-line summaries:
 //! ingest rate, worst per-source watermark lag, worst per-peer frontier
-//! lag (federated mode), and WAL fsync p99.
+//! lag (federated mode), WAL fsync p99, and the flight recorder's
+//! state (anomaly dumps written so far and the watermark-stall gauge).
+//!
+//! `--trace-every N` samples every Nth event per router for causal
+//! tracing: the sinks speak the v3 codec and stamp sampled frames with
+//! a `TraceCtx` trailer, so the collector's flight recorder chains
+//! decode → journal → fold hops for those flights. Dumps written on an
+//! anomaly (or fetched with `DumpReq`) stitch into causal timelines
+//! with `cpvr-trace`.
 //!
 //! `--shards N` shards the merger fold across N worker threads (each
 //! with its own WAL segment series and group-committed fsyncs); the
@@ -31,6 +40,7 @@
 //! exclusive with `--shards`.
 
 use cpvr_collector::client::scrape_snapshot;
+use cpvr_collector::codec::CodecVersion;
 use cpvr_collector::collector::{Collector, CollectorConfig};
 use cpvr_collector::pipeline::{IngestPipeline, PipelineConfig};
 use cpvr_collector::wal::{wait_for, TempDir, WalConfig};
@@ -55,9 +65,25 @@ fn main() -> std::io::Result<()> {
     let mut metrics_interval: Option<Duration> = None;
     let mut fold_shards: u32 = 1;
     let mut federate: u32 = 0;
+    let mut trace_every: u64 = 0;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
+            "-h" | "--help" => {
+                println!(
+                    "usage: collectord [--metrics-interval SECS] [--shards N] \
+                     [--federate N] [--trace-every N] [WAL_DIR]\n\n\
+                     \x20 --metrics-interval SECS  scrape the daemon(s) every SECS seconds and\n\
+                     \x20                          print ingest rate, lag, wal fsync p99, and\n\
+                     \x20                          flight-recorder state (dumps written, stall)\n\
+                     \x20 --shards N               shard the merger fold across N workers\n\
+                     \x20 --federate N             run N peer-connected members (excludes --shards)\n\
+                     \x20 --trace-every N          sample every Nth event per router for causal\n\
+                     \x20                          tracing (v3 trailer; stitch dumps with cpvr-trace)\n\
+                     \x20 WAL_DIR                  persist the write-ahead log here (default: temp)"
+                );
+                return Ok(());
+            }
             "--metrics-interval" => {
                 let secs: u64 = args
                     .next()
@@ -79,6 +105,13 @@ fn main() -> std::io::Result<()> {
                     .expect("--federate takes a member count")
                     .parse()
                     .expect("--federate takes a member count");
+            }
+            "--trace-every" => {
+                trace_every = args
+                    .next()
+                    .expect("--trace-every takes a sampling period")
+                    .parse()
+                    .expect("--trace-every takes a sampling period");
             }
             _ => wal_arg = Some(PathBuf::from(a)),
         }
@@ -201,6 +234,8 @@ fn main() -> std::io::Result<()> {
                 let mut worst_src = -1i64;
                 let mut worst_peer = -1i64;
                 let mut fsync_p99 = 0u64;
+                let mut flight_dumps = 0u64;
+                let mut worst_stall = 0i64;
                 let mut scraped = 0usize;
                 for &addr in &addrs {
                     match scrape_snapshot(addr) {
@@ -225,6 +260,10 @@ fn main() -> std::io::Result<()> {
                                 snap.histogram("cpvr_wal_fsync_nanos", &[])
                                     .map_or(0, |h| h.p99()),
                             );
+                            flight_dumps += snap.counter_total("cpvr_flight_dumps_total");
+                            if let Some(s) = snap.gauge("cpvr_watermark_stall_seconds", &[]) {
+                                worst_stall = worst_stall.max(s);
+                            }
                         }
                         Err(e) => eprintln!("[metrics] scrape of {addr} failed: {e}"),
                     }
@@ -239,12 +278,14 @@ fn main() -> std::io::Result<()> {
                 if members > 1 {
                     println!(
                         "[metrics] {rate:.0} ev/s, worst source lag {worst_src} ns, \
-                         worst peer lag {worst_peer} ns, wal fsync p99 {fsync_p99} ns"
+                         worst peer lag {worst_peer} ns, wal fsync p99 {fsync_p99} ns, \
+                         {flight_dumps} flight dump(s), worst stall {worst_stall} s"
                     );
                 } else {
                     println!(
                         "[metrics] {rate:.0} ev/s, worst source lag {worst_src} ns, \
-                         wal fsync p99 {fsync_p99} ns"
+                         wal fsync p99 {fsync_p99} ns, {flight_dumps} flight dump(s), \
+                         worst stall {worst_stall} s"
                     );
                 }
             }
@@ -255,8 +296,24 @@ fn main() -> std::io::Result<()> {
     let mut s = paper_scenario(LatencyProfile::fast(), CaptureProfile::ideal(), 42);
     let sinks: Vec<Rc<RefCell<SocketSink>>> = (0..N_ROUTERS)
         .map(|r| {
-            SocketSink::connect(addr_of_router(RouterId(r)), RouterId(r), N_ROUTERS)
-                .map(|s| Rc::new(RefCell::new(s)))
+            // Tracing needs the v3 trailer on the wire; without it the
+            // default codec keeps the hot path byte-identical to v2.
+            let codec = if trace_every > 0 {
+                CodecVersion::V3
+            } else {
+                CodecVersion::default()
+            };
+            SocketSink::connect_with_codec(
+                addr_of_router(RouterId(r)),
+                RouterId(r),
+                N_ROUTERS,
+                Default::default(),
+                codec,
+            )
+            .map(|mut s| {
+                s.set_trace_sampling(trace_every);
+                Rc::new(RefCell::new(s))
+            })
         })
         .collect::<std::io::Result<_>>()?;
     let shards: Vec<Box<dyn EventSink>> = sinks
@@ -370,6 +427,11 @@ fn main() -> std::io::Result<()> {
     if let Some(h) = reporter {
         let _ = h.join();
     }
+    // Flight-recorder state lives on the in-process handle; read it
+    // before shutdown tears the metrics registry down.
+    let flight = handle
+        .metrics()
+        .map(|m| (m.flight.dumps_written(), m.flight.last_reason()));
     let report = handle.shutdown()?;
     println!(
         "collector: {} conns, {} events, {} bytes, {} late, {} decode errors",
@@ -414,6 +476,17 @@ fn main() -> std::io::Result<()> {
             m.counter_total("cpvr_flights_started_total"),
             m.counter_total("cpvr_flights_completed_total"),
         );
+        let trace_bytes = m.counter_total("cpvr_trace_bytes_total");
+        match &flight {
+            Some((dumps, Some(reason))) => println!(
+                "flight recorder: {dumps} dump(s) written (last: {reason}), \
+                 {trace_bytes} trace trailer bytes"
+            ),
+            Some((dumps, None)) => println!(
+                "flight recorder: {dumps} dump(s) written, {trace_bytes} trace trailer bytes"
+            ),
+            None => {}
+        }
     }
 
     // --- crash-recovery demo ---------------------------------------------

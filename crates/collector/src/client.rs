@@ -35,7 +35,7 @@
 use crate::codec::{encode_frame, write_frame, CodecVersion, Decoder, EventEncoder, Frame, Hello};
 use cpvr_obs::{Counter, ExpoFormat, Gauge, MetricKind, MetricsRegistry, Snapshot};
 use cpvr_sim::{EventSink, IoEvent};
-use cpvr_types::{RouterId, SimTime};
+use cpvr_types::{RouterId, SimTime, TraceCtx};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::VecDeque;
@@ -192,6 +192,11 @@ pub struct SocketSink {
     connects: u64,
     /// Optional telemetry; mirrors of the plain counters above.
     metrics: Option<SinkMetrics>,
+    /// Trace-stamp every Nth event with a [`TraceCtx`] trailer
+    /// (0 = tracing off). Only the v3 codec carries the trailer; a v2
+    /// sink's stamps are dropped at encode time, byte-identically to an
+    /// untraced stream.
+    trace_every: u64,
 }
 
 impl SocketSink {
@@ -244,6 +249,7 @@ impl SocketSink {
             sent: 0,
             connects: 0,
             metrics: None,
+            trace_every: 0,
         };
         sink.establish()?;
         Ok(sink)
@@ -257,6 +263,16 @@ impl SocketSink {
         m.sent.add(self.sent);
         m.replay_depth.set(self.buffer.len() as i64);
         self.metrics = Some(m);
+    }
+
+    /// Samples every `every`-th event for causal tracing: the sampled
+    /// event's frame carries a [`TraceCtx`] trailer minted from
+    /// `(session, seq)`, which the collector's flight recorder picks up
+    /// at every hop (decode, journal, fold). `0` disables tracing.
+    /// Deterministic: the same session and sequence always mint the
+    /// same trace id, so a go-back-N replay re-sends the same context.
+    pub fn set_trace_sampling(&mut self, every: u64) {
+        self.trace_every = every;
     }
 
     /// The router this connection speaks for.
@@ -509,7 +525,9 @@ impl SocketSink {
         // ahead of the event frame, so a go-back-N replay re-delivers
         // the definitions in order too (redefinition is idempotent).
         let mut bytes = Vec::new();
-        self.enc.encode_into(seq, e, &mut bytes);
+        let ctx = (self.trace_every > 0 && seq.is_multiple_of(self.trace_every))
+            .then(|| TraceCtx::for_flight(self.session, seq));
+        self.enc.encode_into_traced(seq, e, ctx, &mut bytes);
         self.next_seq += 1;
         self.sent += 1;
         self.buffer.push_back((seq, bytes));
@@ -695,6 +713,57 @@ pub fn scrape(addr: impl ToSocketAddrs, format: ExpoFormat) -> io::Result<String
                     .map_err(|_| io::Error::other("metrics response body was not UTF-8"));
             }
             // Anything else interleaved on the wire is not ours.
+        }
+    }
+}
+
+/// Requests an on-demand flight-recorder dump over the wire: connects,
+/// sends one [`Frame::DumpReq`], and returns the JSON-encoded
+/// [`FlightDump`](cpvr_obs::FlightDump) body. Like a metrics scrape, no
+/// hello is needed — a stuck collector can be interrogated from a bare
+/// connection without joining the protocol.
+pub fn dump_flight(addr: impl ToSocketAddrs) -> io::Result<String> {
+    let addr = addr
+        .to_socket_addrs()?
+        .next()
+        .ok_or_else(|| io::Error::other("address resolved to nothing"))?;
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(Duration::from_millis(50)))?;
+    stream.write_all(&encode_frame(&Frame::DumpReq))?;
+    stream.flush()?;
+    let deadline = Instant::now() + Duration::from_secs(5);
+    let mut dec = Decoder::new();
+    let mut buf = [0u8; 64 * 1024];
+    loop {
+        let n = match stream.read(&mut buf) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "collector closed the connection before answering the dump request",
+                ))
+            }
+            Ok(n) => n,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if Instant::now() >= deadline {
+                    return Err(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        "dump request timed out waiting for a response",
+                    ));
+                }
+                continue;
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        };
+        dec.feed(&buf[..n]);
+        while let Some(raw) = dec.next_frame() {
+            if let Ok(Frame::DumpResp { body }) = raw.decode() {
+                return String::from_utf8(body)
+                    .map_err(|_| io::Error::other("dump response body was not UTF-8"));
+            }
         }
     }
 }

@@ -66,7 +66,8 @@ use cpvr_sim::IoEvent;
 use cpvr_types::crc32;
 use cpvr_types::intern::InternStore;
 use cpvr_types::json::{from_str, to_string_compact, to_string_compact_into, JsonError};
-use cpvr_types::{varint, Interns, RouterId, SimTime};
+use cpvr_types::trace::TRACE_CTX_WIRE_LEN;
+use cpvr_types::{varint, Interns, RouterId, SimTime, TraceCtx};
 use std::fmt;
 use std::io::{self, Read, Write};
 
@@ -98,7 +99,7 @@ pub const MAX_FRAME_LEN: u32 = 1 << 24;
 pub const HEADER_LEN: usize = 12;
 
 /// Highest valid kind byte.
-const MAX_KIND: u8 = 17;
+const MAX_KIND: u8 = 19;
 
 /// Which codec a sender uses for its event frames. Control frames are
 /// always v2; this only selects the `Frame::Event` encoding (and, for
@@ -288,15 +289,48 @@ pub struct BoundaryEdges {
     pub events: Vec<(u64, IoEvent)>,
     /// Round digests in the sender's per-stream origin order.
     pub digests: Vec<ConvDigest>,
+    /// Causal-trace context for the round this batch belongs to.
+    /// Omitted from the JSON when absent, so un-upgraded peers (which
+    /// reject unknown *missing* fields, not extra ones) interoperate:
+    /// their frames simply decode as untraced.
+    pub trace: Option<TraceCtx>,
 }
 
-cpvr_types::impl_json_struct!(BoundaryEdges {
-    member,
-    seq,
-    round,
-    events,
-    digests
-});
+// Hand-rolled (not `impl_json_struct!`) because `trace` must be
+// optional on decode — a pre-trace peer's frame has no such field.
+impl cpvr_types::json::ToJson for BoundaryEdges {
+    fn to_json(&self) -> cpvr_types::json::Value {
+        use cpvr_types::json::Value;
+        let mut fields = vec![
+            ("member".to_string(), self.member.to_json()),
+            ("seq".to_string(), self.seq.to_json()),
+            ("round".to_string(), self.round.to_json()),
+            ("events".to_string(), self.events.to_json()),
+            ("digests".to_string(), self.digests.to_json()),
+        ];
+        if let Some(ctx) = self.trace {
+            fields.push(("trace".to_string(), ctx.to_json()));
+        }
+        Value::Object(fields)
+    }
+}
+
+impl cpvr_types::json::FromJson for BoundaryEdges {
+    fn from_json(v: &cpvr_types::json::Value) -> Result<Self, cpvr_types::json::JsonError> {
+        use cpvr_types::json::FromJson;
+        Ok(BoundaryEdges {
+            member: FromJson::from_json(v.field("member")?)?,
+            seq: FromJson::from_json(v.field("seq")?)?,
+            round: FromJson::from_json(v.field("round")?)?,
+            events: FromJson::from_json(v.field("events")?)?,
+            digests: FromJson::from_json(v.field("digests")?)?,
+            trace: match v.field("trace") {
+                Ok(t) => Some(TraceCtx::from_json(t)?),
+                Err(_) => None,
+            },
+        })
+    }
+}
 
 /// A member's partial verdict for one snapshot round: the routers its
 /// consistency-tracker slice is still waiting on at the round horizon.
@@ -313,14 +347,42 @@ pub struct PartialVerdict {
     /// Routers the sender's slice is waiting for (its local WaitFor
     /// set); empty if the sender's slice is consistent at `round`.
     pub missing: Vec<RouterId>,
+    /// Causal-trace context for the round (optional on the wire; a
+    /// pre-trace peer's verdicts decode as untraced).
+    pub trace: Option<TraceCtx>,
 }
 
-cpvr_types::impl_json_struct!(PartialVerdict {
-    member,
-    seq,
-    round,
-    missing
-});
+impl cpvr_types::json::ToJson for PartialVerdict {
+    fn to_json(&self) -> cpvr_types::json::Value {
+        use cpvr_types::json::Value;
+        let mut fields = vec![
+            ("member".to_string(), self.member.to_json()),
+            ("seq".to_string(), self.seq.to_json()),
+            ("round".to_string(), self.round.to_json()),
+            ("missing".to_string(), self.missing.to_json()),
+        ];
+        if let Some(ctx) = self.trace {
+            fields.push(("trace".to_string(), ctx.to_json()));
+        }
+        Value::Object(fields)
+    }
+}
+
+impl cpvr_types::json::FromJson for PartialVerdict {
+    fn from_json(v: &cpvr_types::json::Value) -> Result<Self, cpvr_types::json::JsonError> {
+        use cpvr_types::json::FromJson;
+        Ok(PartialVerdict {
+            member: FromJson::from_json(v.field("member")?)?,
+            seq: FromJson::from_json(v.field("seq")?)?,
+            round: FromJson::from_json(v.field("round")?)?,
+            missing: FromJson::from_json(v.field("missing")?)?,
+            trace: match v.field("trace") {
+                Ok(t) => Some(TraceCtx::from_json(t)?),
+                Err(_) => None,
+            },
+        })
+    }
+}
 
 /// Where a repair is in its proof-carrying lifecycle. Journaled as
 /// [`Frame::Repair`] WAL records so recovery replays an in-flight
@@ -393,12 +455,16 @@ pub struct RepairRecord {
     /// The proof's v3 binary bytes; non-empty only on
     /// [`Proven`](RepairStage::Proven).
     pub proof: Vec<u8>,
+    /// Causal-trace context for the repair lifecycle, encoded as an
+    /// optional 12-byte trailer after the proof bytes. Records from
+    /// pre-trace WALs have no trailer and decode as untraced.
+    pub trace: Option<TraceCtx>,
 }
 
 impl RepairRecord {
     /// Serializes the binary payload.
     pub fn encode_payload(&self) -> Vec<u8> {
-        let mut p = Vec::with_capacity(26 + self.proof.len());
+        let mut p = Vec::with_capacity(38 + self.proof.len());
         p.extend_from_slice(&self.repair_id.to_le_bytes());
         p.push(self.stage.byte());
         p.extend_from_slice(&self.at.as_nanos().to_le_bytes());
@@ -411,6 +477,9 @@ impl RepairRecord {
         }
         varint::write_u64(&mut p, self.proof.len() as u64);
         p.extend_from_slice(&self.proof);
+        if let Some(ctx) = self.trace {
+            ctx.encode_to(&mut p);
+        }
         p
     }
 
@@ -449,17 +518,32 @@ impl RepairRecord {
         let end = pos
             .checked_add(len)
             .ok_or(CodecError::BadPayload("proof length overflows"))?;
-        if end != p.len() {
+        if end > p.len() {
             return Err(CodecError::BadPayload(
                 "repair record length disagrees with payload",
             ));
         }
+        // Anything after the proof must be exactly one trace trailer
+        // (records from pre-trace WALs end at the proof).
+        let trace = match p.len() - end {
+            0 => None,
+            TRACE_CTX_WIRE_LEN => Some(
+                TraceCtx::decode(&p[end..])
+                    .ok_or(CodecError::BadPayload("malformed trace trailer"))?,
+            ),
+            _ => {
+                return Err(CodecError::BadPayload(
+                    "repair record length disagrees with payload",
+                ))
+            }
+        };
         Ok(RepairRecord {
             repair_id,
             stage,
             at,
             verdict,
             proof: p[pos..end].to_vec(),
+            trace,
         })
     }
 }
@@ -484,16 +568,52 @@ pub struct PeerRepairProof {
     pub verdict: u8,
     /// The proof as compact `cpvr_types::json`.
     pub proof: String,
+    /// Causal-trace context for the repair lifecycle (optional on the
+    /// wire; proofs from pre-trace members decode as untraced).
+    pub trace: Option<TraceCtx>,
 }
 
-cpvr_types::impl_json_struct!(PeerRepairProof {
-    member,
-    seq,
-    repair_id,
-    digest,
-    verdict,
-    proof
-});
+impl cpvr_types::json::ToJson for PeerRepairProof {
+    fn to_json(&self) -> cpvr_types::json::Value {
+        use cpvr_types::json::Value;
+        let mut fields = vec![
+            ("member".to_string(), self.member.to_json()),
+            ("seq".to_string(), self.seq.to_json()),
+            ("repair_id".to_string(), self.repair_id.to_json()),
+            ("digest".to_string(), self.digest.to_json()),
+            ("verdict".to_string(), Value::U64(u64::from(self.verdict))),
+            ("proof".to_string(), self.proof.to_json()),
+        ];
+        if let Some(ctx) = self.trace {
+            fields.push(("trace".to_string(), ctx.to_json()));
+        }
+        Value::Object(fields)
+    }
+}
+
+impl cpvr_types::json::FromJson for PeerRepairProof {
+    fn from_json(v: &cpvr_types::json::Value) -> Result<Self, cpvr_types::json::JsonError> {
+        use cpvr_types::json::FromJson;
+        let verdict = {
+            let n = u64::from_json(v.field("verdict")?)?;
+            u8::try_from(n).map_err(|_| {
+                cpvr_types::json::JsonError::new(format!("verdict {n} out of range"))
+            })?
+        };
+        Ok(PeerRepairProof {
+            member: FromJson::from_json(v.field("member")?)?,
+            seq: FromJson::from_json(v.field("seq")?)?,
+            repair_id: FromJson::from_json(v.field("repair_id")?)?,
+            digest: FromJson::from_json(v.field("digest")?)?,
+            verdict,
+            proof: FromJson::from_json(v.field("proof")?)?,
+            trace: match v.field("trace") {
+                Ok(t) => Some(TraceCtx::from_json(t)?),
+                Err(_) => None,
+            },
+        })
+    }
+}
 
 /// One unit of the wire protocol.
 #[derive(Clone, Debug, PartialEq)]
@@ -600,6 +720,17 @@ pub enum Frame {
     /// Federation: a repair proof shared by its owning member for
     /// independent re-validation by peers.
     PeerRepairProof(PeerRepairProof),
+    /// Monitoring client → collector: freeze and return the flight
+    /// recorder's rings. Like [`Frame::MetricsReq`], legal before (or
+    /// without) a [`Frame::Hello`], so an operator tool can snapshot a
+    /// live collector's black box without joining the event protocol.
+    DumpReq,
+    /// Collector → client: the frozen flight dump as compact JSON
+    /// (`cpvr_obs::trace::FlightDump`).
+    DumpResp {
+        /// UTF-8 compact-JSON dump body.
+        body: Vec<u8>,
+    },
 }
 
 impl Frame {
@@ -624,6 +755,8 @@ impl Frame {
             Frame::PartialVerdict(_) => 15,
             Frame::Repair(_) => 16,
             Frame::PeerRepairProof(_) => 17,
+            Frame::DumpReq => 18,
+            Frame::DumpResp { .. } => 19,
         }
     }
 }
@@ -836,6 +969,16 @@ impl RawFrame {
                     .map_err(|_| CodecError::BadPayload("peer repair proof is not utf-8"))?;
                 Ok(Frame::PeerRepairProof(from_str(text)?))
             }
+            18 => {
+                if self.payload.is_empty() {
+                    Ok(Frame::DumpReq)
+                } else {
+                    Err(CodecError::BadPayload("dump request carries no payload"))
+                }
+            }
+            19 => Ok(Frame::DumpResp {
+                body: self.payload.clone(),
+            }),
             k => Err(CodecError::BadKind(k)),
         }
     }
@@ -917,6 +1060,8 @@ pub fn raw_frame(f: &Frame) -> RawFrame {
         Frame::PartialVerdict(p) => to_string_compact(p).into_bytes(),
         Frame::Repair(r) => r.encode_payload(),
         Frame::PeerRepairProof(p) => to_string_compact(p).into_bytes(),
+        Frame::DumpReq => Vec::new(),
+        Frame::DumpResp { body } => body.clone(),
     };
     RawFrame {
         // Intern frames are a v3-only kind; everything else (including
@@ -989,6 +1134,20 @@ impl EventEncoder {
     /// intern definition frames first, then the event frame; for v2,
     /// just the JSON event frame.
     pub fn encode_into(&mut self, seq: u64, event: &IoEvent, out: &mut Vec<u8>) {
+        self.encode_into_traced(seq, event, None, out);
+    }
+
+    /// [`encode_into`](EventEncoder::encode_into) with an optional
+    /// causal-trace trailer on the event body. Only the v3 codec can
+    /// carry the trailer; for v2 the context is silently dropped (the
+    /// JSON event layout predates tracing and must stay byte-stable).
+    pub fn encode_into_traced(
+        &mut self,
+        seq: u64,
+        event: &IoEvent,
+        trace: Option<TraceCtx>,
+        out: &mut Vec<u8>,
+    ) {
         match self.version {
             CodecVersion::V2 => {
                 self.json.clear();
@@ -1002,9 +1161,10 @@ impl EventEncoder {
             CodecVersion::V3 => {
                 self.body.clear();
                 self.defs.clear();
-                wire::encode_event(
+                wire::encode_event_traced(
                     seq,
                     event,
+                    trace,
                     &mut self.interns,
                     &mut self.defs,
                     &mut self.body,
@@ -1169,6 +1329,9 @@ pub struct DecodedMsg {
     /// when requested — this is what the WAL journals, byte-for-byte as
     /// received, so replay sees the same codec mix the live path saw.
     pub raw: Option<Vec<u8>>,
+    /// The causal-trace trailer of a v3 event frame, if it carried one
+    /// (`None` for every other frame and for untraced events).
+    pub trace: Option<TraceCtx>,
 }
 
 impl Decoder {
@@ -1318,9 +1481,13 @@ impl Decoder {
         let version = self.buf[start + 2];
         let kind = self.buf[start + 3];
         let payload = &self.buf[start + HEADER_LEN..end];
+        let mut trace = None;
         let decoded = if kind == 1 && version == VERSION_V3 {
-            wire::decode_event(payload, &self.interns)
-                .map(|(seq, event)| Frame::Event { seq, event })
+            wire::decode_event_traced(payload, &self.interns)
+                .map(|(seq, event, ctx)| {
+                    trace = ctx;
+                    Frame::Event { seq, event }
+                })
                 .map_err(CodecError::from)
         } else {
             RawFrame {
@@ -1340,6 +1507,7 @@ impl Decoder {
             frame,
             version,
             raw,
+            trace,
         }))
     }
 
@@ -1465,6 +1633,7 @@ mod tests {
                 round: None,
                 events: vec![(9, sample_event())],
                 digests: Vec::new(),
+                trace: None,
             }),
             Frame::BoundaryEdges(BoundaryEdges {
                 member: 2,
@@ -1481,13 +1650,36 @@ mod tests {
                     is_send: true,
                     time: SimTime::from_millis(41),
                 }],
+                trace: Some(TraceCtx::for_round(SimTime::from_millis(42))),
             }),
             Frame::PartialVerdict(PartialVerdict {
                 member: 0,
                 seq: 8,
                 round: SimTime::from_millis(42),
                 missing: vec![RouterId(1), RouterId(3)],
+                trace: Some(TraceCtx::for_round(SimTime::from_millis(42)).child(21)),
             }),
+            Frame::Repair(RepairRecord {
+                repair_id: 0xabc,
+                stage: RepairStage::Gated,
+                at: SimTime::from_millis(44),
+                verdict: Some(0),
+                proof: vec![1, 2, 3],
+                trace: Some(TraceCtx::for_repair(0xabc).child(11)),
+            }),
+            Frame::PeerRepairProof(PeerRepairProof {
+                member: 1,
+                seq: 9,
+                repair_id: 0xabc,
+                digest: 0xfeed,
+                verdict: 0,
+                proof: "{\"v\":1}".to_string(),
+                trace: Some(TraceCtx::for_repair(0xabc).child(16)),
+            }),
+            Frame::DumpReq,
+            Frame::DumpResp {
+                body: b"{\"member\":0,\"reason\":\"dump-req\",\"records\":[]}".to_vec(),
+            },
             Frame::Bye { frontier: 10 },
         ]
     }
@@ -1590,6 +1782,7 @@ mod tests {
             (6, 3),
             (7, 8),
             (9, 2),
+            (18, 1),
         ] {
             let raw = RawFrame {
                 version: VERSION,
@@ -1713,6 +1906,61 @@ mod tests {
                     .any(|f| matches!(f, Frame::Event { seq: s, .. } if *s == seq)),
                 "frame {seq} should survive the dropped range: {got:?}"
             );
+        }
+    }
+
+    #[test]
+    fn peer_frames_without_trace_field_decode_as_untraced() {
+        // Pre-trace peers emit JSON with no "trace" member at all;
+        // build those payloads by hand and check absent ⇒ None.
+        let cases: Vec<(u8, &[u8])> = vec![
+            (
+                14,
+                br#"{"member":2,"seq":6,"round":null,"events":[],"digests":[]}"#,
+            ),
+            (15, br#"{"member":0,"seq":8,"round":42000000,"missing":[]}"#),
+            (
+                17,
+                br#"{"member":1,"seq":9,"repair_id":7,"digest":8,"verdict":0,"proof":"{}"}"#,
+            ),
+        ];
+        for (kind, json) in cases {
+            let mut out = Vec::new();
+            append_frame_with(&mut out, VERSION, kind, |p| p.extend_from_slice(json));
+            let (raw, _) = decode_frame(&out).unwrap().expect("complete");
+            match raw.decode().unwrap() {
+                Frame::BoundaryEdges(b) => assert_eq!(b.trace, None),
+                Frame::PartialVerdict(p) => assert_eq!(p.trace, None),
+                Frame::PeerRepairProof(p) => assert_eq!(p.trace, None),
+                other => panic!("unexpected frame {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn repair_record_trailer_is_optional_and_strict() {
+        let untraced = RepairRecord {
+            repair_id: 5,
+            stage: RepairStage::Proven,
+            at: SimTime::from_millis(7),
+            verdict: None,
+            proof: vec![9, 9, 9],
+            trace: None,
+        };
+        let traced = RepairRecord {
+            trace: Some(TraceCtx::for_repair(5).child(10)),
+            ..untraced.clone()
+        };
+        // Round-trips, and a pre-trace payload (no trailer) decodes
+        // unchanged as untraced.
+        let p0 = untraced.encode_payload();
+        assert_eq!(RepairRecord::decode_payload(&p0).unwrap(), untraced);
+        let p1 = traced.encode_payload();
+        assert_eq!(p1.len(), p0.len() + TRACE_CTX_WIRE_LEN);
+        assert_eq!(RepairRecord::decode_payload(&p1).unwrap(), traced);
+        // A partial trailer is a malformed record, never a guess.
+        for cut in p0.len() + 1..p1.len() {
+            assert!(RepairRecord::decode_payload(&p1[..cut]).is_err());
         }
     }
 
@@ -1935,6 +2183,73 @@ mod tests {
                 }
             }
             prop_assert_eq!(dec.pending(), 0);
+        }
+
+        /// Trace contexts round-trip across the codecs: a v3 event
+        /// carries its trailer through the decoder; v2 events drop it
+        /// byte-identically to an untraced encode; peer frames carry
+        /// their optional ctx through JSON (absent stays absent).
+        #[test]
+        fn trace_ctx_round_trips_across_codecs(trace_id in 1u64..u64::MAX,
+                                               parent in any::<u32>(),
+                                               seq in any::<u64>(),
+                                               traced in any::<bool>()) {
+            let ctx = traced.then_some(TraceCtx { trace_id, parent });
+            let event = sample_event();
+            let mut enc = EventEncoder::new(CodecVersion::V3);
+            let mut stream = Vec::new();
+            enc.encode_into_traced(seq, &event, ctx, &mut stream);
+            let mut dec = Decoder::new();
+            dec.feed(&stream);
+            let mut seen = None;
+            while let Some(msg) = dec.next_message(false) {
+                let msg = msg.expect("clean stream");
+                if let Frame::Event { seq: s, event: ref e } = msg.frame {
+                    prop_assert_eq!(s, seq);
+                    prop_assert_eq!(e, &event);
+                    seen = Some(msg.trace);
+                }
+            }
+            prop_assert_eq!(seen, Some(ctx));
+            // The v2 JSON layout predates tracing: a traced encode is
+            // byte-identical to an untraced one.
+            let mut v2 = EventEncoder::new(CodecVersion::V2);
+            let mut a = Vec::new();
+            v2.encode_into_traced(seq, &event, ctx, &mut a);
+            let mut b = Vec::new();
+            v2.encode_into(seq, &event, &mut b);
+            prop_assert_eq!(a, b);
+            // Peer frames: optional ctx through v2 JSON.
+            for f in [
+                Frame::PartialVerdict(PartialVerdict {
+                    member: 0,
+                    seq,
+                    round: SimTime::from_millis(1),
+                    missing: Vec::new(),
+                    trace: ctx,
+                }),
+                Frame::PeerRepairProof(PeerRepairProof {
+                    member: 2,
+                    seq,
+                    repair_id: trace_id,
+                    digest: 1,
+                    verdict: 0,
+                    proof: "{}".to_string(),
+                    trace: ctx,
+                }),
+                Frame::Repair(RepairRecord {
+                    repair_id: trace_id,
+                    stage: RepairStage::Proposed,
+                    at: SimTime::from_millis(2),
+                    verdict: None,
+                    proof: Vec::new(),
+                    trace: ctx,
+                }),
+            ] {
+                let bytes = encode_frame(&f);
+                let (raw, _) = decode_frame(&bytes).unwrap().expect("complete");
+                prop_assert_eq!(raw.decode().unwrap(), f);
+            }
         }
 
         /// Truncation at any point is a clean "need more data" from

@@ -47,7 +47,7 @@
 //! [`Decoder`]: crate::codec::Decoder
 
 use crate::codec::{
-    encode_frame, DecodedMsg, Decoder, Frame, Hello, PeerHello, RepairRecord, VERSION,
+    encode_frame, DecodedMsg, Decoder, Frame, Hello, PeerHello, RepairRecord, RepairStage, VERSION,
 };
 use crate::federation::{member_loop, recover_member, CollectorRole, FederationConfig, PeerFrame};
 use crate::group_commit::{GroupCommit, GroupCommitHandle};
@@ -56,9 +56,11 @@ use crate::pipeline::{IngestPipeline, Offer, PipelineConfig, RecoveryReport, Sou
 use crate::shard::{coordinator_loop, FoldReport};
 use crate::wal::{FsyncPolicy, Wal, WalConfig, WalMetrics};
 use cpvr_core::ShardPlan;
-use cpvr_obs::{ExpoFormat, Snapshot, Stage};
+use cpvr_obs::trace::stage;
+use cpvr_obs::{ExpoFormat, FlightDump, RingHandle, Snapshot, Stage};
 use cpvr_sim::IoEvent;
-use cpvr_types::{RouterId, SimTime};
+use cpvr_types::trace::TRACE_CTX_WIRE_LEN;
+use cpvr_types::{RouterId, SimTime, TraceCtx};
 use std::collections::HashMap;
 use std::io::{self, Read, Write};
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
@@ -80,6 +82,12 @@ pub struct LeaseConfig {
     /// How often the merger sweeps the leases (also the granularity of
     /// its `recv` timeout).
     pub sweep_interval: Duration,
+    /// Watermark-stall watchdog: if events have been ingested but the
+    /// global min-watermark has not advanced for this long, the
+    /// `cpvr_watermark_stall_seconds` gauge keeps climbing and the
+    /// flight recorder takes a one-shot `stall` dump (re-armed when the
+    /// watermark next moves). Diagnostic only — never evicts anything.
+    pub stall_after: Duration,
 }
 
 impl Default for LeaseConfig {
@@ -88,6 +96,7 @@ impl Default for LeaseConfig {
             lagging_after: Duration::from_secs(15),
             evict_after: Duration::from_secs(60),
             sweep_interval: Duration::from_millis(500),
+            stall_after: Duration::from_secs(30),
         }
     }
 }
@@ -100,6 +109,7 @@ impl LeaseConfig {
             lagging_after: Duration::MAX,
             evict_after: Duration::MAX,
             sweep_interval: Duration::from_secs(1),
+            stall_after: Duration::MAX,
         }
     }
 }
@@ -315,6 +325,9 @@ pub(crate) struct EventRec {
     pub(crate) seq: u64,
     pub(crate) event: IoEvent,
     pub(crate) raw: Option<Vec<u8>>,
+    /// The trace context the frame's v3 trailer carried, if the sender
+    /// sampled this flight for causal tracing.
+    pub(crate) trace: Option<TraceCtx>,
 }
 
 /// What a reader thread hands to the merger.
@@ -398,6 +411,132 @@ const EVENT_BATCH_MAX: usize = 256;
 /// How long the merger will block writing an ack before giving the
 /// connection up for congested (the client reconnects on ack stall).
 const ACK_WRITE_TIMEOUT: Duration = Duration::from_millis(50);
+
+/// Flight-recorder ring capacities: readers record one decode stamp
+/// per traced frame plus anomaly markers; the merger records every
+/// journal/fold/repair stamp, so its ring is deeper.
+const READER_RING_SLOTS: usize = 128;
+pub(crate) const MERGER_RING_SLOTS: usize = 512;
+
+/// Quarantined frames on one connection within one burst window before
+/// the reader takes a `crc-burst` flight dump.
+const CRC_BURST_THRESHOLD: u64 = 32;
+
+/// Traced events the merger holds between journaling and the watermark
+/// advance that folds them (overflow simply drops the oldest stamp —
+/// tracing is best-effort by design).
+const TRACED_PENDING_MAX: usize = 1024;
+
+/// The flight-recorder stage code for one repair-lifecycle stage.
+pub(crate) fn repair_stage_code(s: RepairStage) -> u32 {
+    match s {
+        RepairStage::Proposed => stage::REPAIR_PROPOSED,
+        RepairStage::Proven => stage::REPAIR_PROVEN,
+        RepairStage::Gated => stage::REPAIR_GATED,
+        RepairStage::Applied => stage::REPAIR_APPLIED,
+        RepairStage::Blocked => stage::REPAIR_BLOCKED,
+        RepairStage::RolledBack => stage::REPAIR_ROLLED_BACK,
+    }
+}
+
+/// Emits one repair-lifecycle flight record (minting the deterministic
+/// repair trace when the journaled record carries none) and, when the
+/// gate came back DIVERGED or ERROR, freezes an anomaly dump. Shared by
+/// the merger, the sharded coordinator, and federation members.
+pub(crate) fn flight_repair_record(
+    record: &RepairRecord,
+    flight: Option<&RingHandle>,
+    metrics: Option<&CollectorMetrics>,
+) {
+    let ctx = record
+        .trace
+        .unwrap_or_else(|| TraceCtx::for_repair(record.repair_id));
+    let verdict = u64::from(record.verdict.unwrap_or(0));
+    if let Some(f) = flight {
+        f.record(
+            repair_stage_code(record.stage),
+            Some(ctx),
+            record.repair_id,
+            verdict,
+        );
+    }
+    if record.stage == RepairStage::Gated && matches!(record.verdict, Some(1) | Some(2)) {
+        if let Some(f) = flight {
+            f.record(
+                stage::GATE_ANOMALY,
+                Some(ctx.child(stage::REPAIR_GATED)),
+                record.repair_id,
+                verdict,
+            );
+        }
+        if let Some(m) = metrics {
+            m.flight_dump(if record.verdict == Some(1) {
+                "diverged"
+            } else {
+                "gate-error"
+            });
+        }
+    }
+}
+
+/// The watermark-stall watchdog: tracks how long the fold horizon has
+/// sat still while ingested events wait behind it, publishing the
+/// `cpvr_watermark_stall_seconds` gauge and firing the one-shot flight
+/// dump past [`LeaseConfig::stall_after`].
+pub(crate) struct StallWatch {
+    last: Option<SimTime>,
+    since: Instant,
+    /// Events ingested since the watermark last moved — a still
+    /// watermark with nothing behind it is idle, not stalled.
+    pending: bool,
+}
+
+impl StallWatch {
+    pub(crate) fn new(initial: Option<SimTime>) -> StallWatch {
+        StallWatch {
+            last: initial,
+            since: Instant::now(),
+            pending: false,
+        }
+    }
+
+    /// Marks that events arrived (they now wait on the next advance).
+    pub(crate) fn ingested(&mut self) {
+        self.pending = true;
+    }
+
+    /// One watchdog tick against the current watermark.
+    pub(crate) fn observe(
+        &mut self,
+        wm: Option<SimTime>,
+        stall_after: Duration,
+        metrics: Option<&CollectorMetrics>,
+        flight: Option<&RingHandle>,
+    ) {
+        if wm != self.last {
+            self.last = wm;
+            self.since = Instant::now();
+            self.pending = false;
+            if let Some(m) = metrics {
+                m.watermark_stall_seconds.set(0);
+                m.flight.clear_stall();
+            }
+            return;
+        }
+        if !self.pending {
+            return;
+        }
+        let stalled = self.since.elapsed();
+        let Some(m) = metrics else { return };
+        m.watermark_stall_seconds.set(stalled.as_secs() as i64);
+        if stalled >= stall_after {
+            if let Some(f) = flight {
+                f.record(stage::WATERMARK_STALL, None, stalled.as_secs(), 0);
+            }
+            m.flight_stall_dump();
+        }
+    }
+}
 
 /// The final accounting returned by [`CollectorHandle::shutdown`].
 pub struct CollectorReport {
@@ -488,6 +627,17 @@ impl Collector {
                 members,
             ))
         });
+        if let Some(m) = &metrics {
+            // Anomaly dumps land next to the WAL (a WAL-less collector
+            // keeps recording but never dumps), tagged with the member
+            // id so cpvr-trace can stitch dumps across a federation.
+            if let Some(wal_cfg) = &cfg.wal {
+                m.flight.arm(&wal_cfg.dir);
+            }
+            if let Some(fed) = &cfg.federation {
+                m.flight.set_member(i64::from(fed.member));
+            }
+        }
         let wal_metrics = |m: &Arc<CollectorMetrics>| {
             let r = &m.registry;
             WalMetrics {
@@ -883,6 +1033,7 @@ fn on_frame(
     expect_n_routers: u32,
     federated: bool,
     metrics: Option<&CollectorMetrics>,
+    flight: Option<&RingHandle>,
 ) -> FrameOutcome {
     let fatal_decode = |stats: &SharedStats, why: String| {
         stats.decode_errors.fetch_add(1, Ordering::Relaxed);
@@ -891,7 +1042,9 @@ fn on_frame(
         }
         FrameOutcome::Fatal(why)
     };
-    let DecodedMsg { frame, raw, .. } = msg;
+    let DecodedMsg {
+        frame, raw, trace, ..
+    } = msg;
     let flush_before = !matches!(frame, Frame::Event { .. });
     if flush_before && !batch.is_empty() {
         // Pending events must land before the control frame that
@@ -961,6 +1114,29 @@ fn on_frame(
         }
         // Responses flow collector → client; inbound ones are noise.
         Frame::MetricsResp { .. } => return FrameOutcome::Continue,
+        // An on-demand flight-recorder snapshot, answered inline like a
+        // scrape (and, like one, legal without a hello — a debugging
+        // probe owes no handshake). Metrics disabled means there is no
+        // recorder; an empty dump keeps the probe protocol total.
+        Frame::DumpReq => {
+            let dump = match metrics {
+                Some(m) => m.flight.snapshot("dump-req"),
+                None => FlightDump {
+                    member: -1,
+                    reason: "dump-req".into(),
+                    records: Vec::new(),
+                },
+            };
+            let body = cpvr_types::json::to_string_compact(&dump).into_bytes();
+            let mut w = stream;
+            if w.write_all(&encode_frame(&Frame::DumpResp { body }))
+                .is_err()
+            {
+                return FrameOutcome::Fatal("dump response write failed".into());
+            }
+            return FrameOutcome::Continue;
+        }
+        Frame::DumpResp { .. } => return FrameOutcome::Continue,
         // A peer collector's handshake: only meaningful on a federation
         // member, and — like a router hello — only as the connection's
         // first frame.
@@ -1031,10 +1207,28 @@ fn on_frame(
             if let (Some(m), Some(src)) = (metrics, *source) {
                 m.spans.received(src.0, seq);
             }
+            if let Some(ctx) = trace {
+                if let Some(m) = metrics {
+                    m.trace_bytes.add(TRACE_CTX_WIRE_LEN as u64);
+                }
+                if let Some(f) = flight {
+                    f.record(
+                        stage::DECODED,
+                        Some(ctx.child(stage::SINK_SEND)),
+                        u64::from(event.router.0),
+                        seq,
+                    );
+                }
+            }
             // `raw` is the frame's original wire bytes (captured only
             // when a WAL is configured): the journal preserves the
             // sender's codec byte-for-byte instead of re-encoding.
-            batch.push(EventRec { seq, event, raw });
+            batch.push(EventRec {
+                seq,
+                event,
+                raw,
+                trace,
+            });
             if batch.len() >= EVENT_BATCH_MAX {
                 let msg = Msg::Events {
                     conn,
@@ -1107,6 +1301,14 @@ fn reader_loop(
     let mut batch: Vec<EventRec> = Vec::new();
     let mut reported_corrupt = 0u64;
     let mut reported_skipped = 0u64;
+    // This connection's flight-recorder ring (decode-stage records and
+    // the CRC-burst anomaly trigger).
+    let flight = metrics.map(|m| {
+        m.flight
+            .register(&format!("reader-{conn}"), READER_RING_SLOTS)
+    });
+    let flight = flight.as_ref();
+    let mut crc_burst_base = 0u64;
     // The loop's break value describes why the connection ended; it is
     // currently only useful to a debugger, but the plumbing keeps the
     // failure paths honest about what went wrong.
@@ -1139,6 +1341,7 @@ fn reader_loop(
                         expect_n_routers,
                         federated,
                         metrics,
+                        flight,
                     ) {
                         FrameOutcome::Continue => {}
                         FrameOutcome::Fatal(why) => break 'conn Some(why),
@@ -1192,6 +1395,7 @@ fn reader_loop(
                 expect_n_routers,
                 federated,
                 metrics,
+                flight,
             ) {
                 FrameOutcome::Continue => {}
                 FrameOutcome::Fatal(why) => break 'conn Some(why),
@@ -1209,6 +1413,19 @@ fn reader_loop(
                 m.frames_corrupt.add(corrupt - reported_corrupt);
             }
             reported_corrupt = corrupt;
+        }
+        // A burst of quarantined frames on one connection is an anomaly
+        // worth a black-box dump (one per burst; the base re-arms so a
+        // persistently noisy link produces one dump per threshold run,
+        // not one per frame).
+        if corrupt.saturating_sub(crc_burst_base) >= CRC_BURST_THRESHOLD {
+            if let Some(f) = flight {
+                f.record(stage::CRC_BURST, None, conn, corrupt);
+            }
+            if let Some(m) = metrics {
+                m.flight_dump("crc-burst");
+            }
+            crc_burst_base = corrupt;
         }
         let skipped = dec.skipped_bytes();
         if skipped > reported_skipped {
@@ -1267,6 +1484,7 @@ pub(crate) fn journal(wal: &mut Option<Wal>, wal_err: &mut Option<io::Error>, by
 
 /// Advances the fold to the source table's global minimum promise, if
 /// it moved — journaling the new global watermark first.
+#[allow(clippy::too_many_arguments)]
 fn try_advance(
     pipeline: &mut IngestPipeline,
     wal: &mut Option<Wal>,
@@ -1274,6 +1492,8 @@ fn try_advance(
     advanced: &mut Option<SimTime>,
     stats: &SharedStats,
     metrics: Option<&CollectorMetrics>,
+    flight: Option<&RingHandle>,
+    traced: &mut Vec<(SimTime, TraceCtx)>,
 ) {
     let Some(global) = pipeline.sources().global_min() else {
         return;
@@ -1302,6 +1522,24 @@ fn try_advance(
         m.publish_pipeline(pipeline);
         m.spans
             .fold_up_to(global.as_nanos(), status.is_consistent());
+    }
+    // Traced flights at or behind the new horizon just got folded —
+    // close their merger-side hop.
+    if let Some(f) = flight {
+        traced.retain(|(t, ctx)| {
+            if *t > global {
+                return true;
+            }
+            f.record(
+                stage::FOLDED,
+                Some(ctx.child(stage::JOURNALED)),
+                t.as_nanos(),
+                0,
+            );
+            false
+        });
+    } else {
+        traced.clear();
     }
     *advanced = Some(global);
     stats.set_watermark(global);
@@ -1358,10 +1596,15 @@ fn merger_loop(
     let mut conn_source: HashMap<u64, RouterId> = HashMap::new();
     let mut acks: HashMap<u64, TcpStream> = HashMap::new();
     let mut wal_err: Option<io::Error> = None;
+    let flight = metrics.map(|m| m.flight.register("merger", MERGER_RING_SLOTS));
+    let flight = flight.as_ref();
+    // Traced flights journaled but not yet swept up by a watermark.
+    let mut traced: Vec<(SimTime, TraceCtx)> = Vec::new();
 
     // Resuming after recovery: the recovered watermark keeps gating
     // late events even before sources reconnect.
     let mut advanced: Option<SimTime> = pipeline.watermark();
+    let mut stall = StallWatch::new(advanced);
     if let Some(wm) = advanced {
         stats.set_watermark(wm);
     }
@@ -1468,6 +1711,19 @@ fn merger_loop(
                                         }
                                     }
                                 }
+                                if let Some(ctx) = rec.trace {
+                                    if let Some(f) = flight {
+                                        f.record(
+                                            stage::JOURNALED,
+                                            Some(ctx.child(stage::DECODED)),
+                                            u64::from(source.0),
+                                            rec.seq,
+                                        );
+                                    }
+                                    if traced.len() < TRACED_PENDING_MAX {
+                                        traced.push((rec.event.time, ctx));
+                                    }
+                                }
                                 pipeline.ingest(&rec.event);
                                 ingested += 1;
                                 if let Some(m) = metrics {
@@ -1500,6 +1756,9 @@ fn merger_loop(
                         m.events_gap.add(gaps);
                         m.events_late.add(late);
                     }
+                    if ingested > 0 {
+                        stall.ingested();
+                    }
                     // Filling a gap may have settled a parked promise.
                     try_advance(
                         &mut pipeline,
@@ -1508,6 +1767,8 @@ fn merger_loop(
                         &mut advanced,
                         stats,
                         metrics,
+                        flight,
+                        &mut traced,
                     );
                     // Ack only after the batch was journaled: an acked
                     // event is a durable event.
@@ -1539,6 +1800,8 @@ fn merger_loop(
                         &mut advanced,
                         stats,
                         metrics,
+                        flight,
+                        &mut traced,
                     );
                     acknowledge(&pipeline, &mut acks, conn, source);
                 }
@@ -1567,6 +1830,8 @@ fn merger_loop(
                         &mut advanced,
                         stats,
                         metrics,
+                        flight,
+                        &mut traced,
                     );
                     acknowledge(&pipeline, &mut acks, conn, source);
                 }
@@ -1593,6 +1858,7 @@ fn merger_loop(
                     if let Some(m) = metrics {
                         m.publish_repair(&record, pipeline.repairs().in_flight().len());
                     }
+                    flight_repair_record(&record, flight, metrics);
                     if let Some(done) = done {
                         let _ = done.send(());
                     }
@@ -1622,9 +1888,12 @@ fn merger_loop(
                 &mut acks,
                 stats,
                 metrics,
+                flight,
+                &mut traced,
             );
             last_sweep = Instant::now();
         }
+        stall.observe(advanced, lease.stall_after, metrics, flight);
     }
     if let Some(w) = wal {
         if let (Err(e), None) = (w.close(), &wal_err) {
@@ -1649,6 +1918,8 @@ fn sweep_leases(
     acks: &mut HashMap<u64, TcpStream>,
     stats: &SharedStats,
     metrics: Option<&CollectorMetrics>,
+    flight: Option<&RingHandle>,
+    traced: &mut Vec<(SimTime, TraceCtx)>,
 ) {
     let now = Instant::now();
     let mut evicted_any = false;
@@ -1666,6 +1937,15 @@ fn sweep_leases(
             stats.evictions.fetch_add(1, Ordering::Relaxed);
             if let Some(m) = metrics {
                 m.evictions.inc();
+            }
+            // Every eviction freezes exactly one black box: the dump
+            // holds the ring state that explains *why* the fold was
+            // gated when the lease gave up on this source.
+            if let Some(f) = flight {
+                f.record(stage::EVICTION, None, u64::from(r.0), silent.as_secs());
+            }
+            if let Some(m) = metrics {
+                m.flight_dump("eviction");
             }
             evicted_any = true;
             // Hang up on the evicted source: re-admission requires a
@@ -1688,7 +1968,9 @@ fn sweep_leases(
         }
     }
     if evicted_any {
-        try_advance(pipeline, wal, wal_err, advanced, stats, metrics);
+        try_advance(
+            pipeline, wal, wal_err, advanced, stats, metrics, flight, traced,
+        );
     }
     if let Some(m) = metrics {
         // Every sweep republishes the lease gauges, so a scrape sees a

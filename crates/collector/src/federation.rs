@@ -63,7 +63,10 @@ use crate::codec::{
     decode_frame, encode_frame, BoundaryEdges, Decoder, Frame, FrontierExchange, PartialVerdict,
     PeerHello, PeerRepairProof, RepairRecord, RepairStage,
 };
-use crate::collector::{journal, send_ack, CollectorConfig, LeaseConfig, Msg, SharedStats};
+use crate::collector::{
+    flight_repair_record, journal, send_ack, CollectorConfig, LeaseConfig, Msg, SharedStats,
+    StallWatch, MERGER_RING_SLOTS,
+};
 use crate::metrics::CollectorMetrics;
 use crate::pipeline::{Offer, RecoveryReport, SourceState, SourceTable};
 use crate::repair_journal::RepairLedger;
@@ -75,10 +78,13 @@ use cpvr_core::rules::RuleScope;
 use cpvr_core::snapshot::{classify_conv, ConvDigest, SnapshotStatus, TrackerSlice};
 use cpvr_core::{chain_over, FederationPlan, RepairProof};
 use cpvr_dataplane::DataPlane;
+use cpvr_obs::trace::stage;
+use cpvr_obs::RingHandle;
 use cpvr_sim::{EventId, IoEvent};
 use cpvr_types::intern::InternStore;
 use cpvr_types::json::{from_str, to_string_compact};
-use cpvr_types::{fnv1a64, RouterId, SimTime};
+use cpvr_types::trace::TRACE_CTX_WIRE_LEN;
+use cpvr_types::{fnv1a64, RouterId, SimTime, TraceCtx};
 use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -439,6 +445,10 @@ pub(crate) struct MemberState {
     wal: Option<Wal>,
     wal_err: Option<io::Error>,
     metrics: Option<Arc<CollectorMetrics>>,
+    /// Flight-recorder ring for this member's fold thread (`None`
+    /// during replay and when metrics are off — recovery must not
+    /// re-emit anomaly dumps the live run already wrote).
+    flight: Option<RingHandle>,
     /// This member's own repair-lifecycle ledger (journaled kind-16
     /// records submitted through the handle).
     repairs: RepairLedger,
@@ -510,6 +520,7 @@ impl MemberState {
             wal: None,
             wal_err: None,
             metrics: None,
+            flight: None,
             repairs: RepairLedger::new(),
             peer_repairs: BTreeMap::new(),
         }
@@ -581,6 +592,12 @@ impl MemberState {
                     round: None,
                     events,
                     digests: Vec::new(),
+                    // Eager per-event forwards stay untraced: stamping
+                    // every boundary event would put the 12-byte
+                    // trailer on the hot path for no causal gain — the
+                    // flight they belong to is already traced at the
+                    // sink.
+                    trace: None,
                 })
             });
             if let Some(m) = &self.metrics {
@@ -603,6 +620,7 @@ impl MemberState {
         if let Some(m) = &self.metrics {
             m.publish_repair(r, self.repairs.in_flight().len());
         }
+        flight_repair_record(r, self.flight.as_ref(), self.metrics.as_deref());
         if r.stage == RepairStage::Gated {
             self.broadcast_repair(r.repair_id);
         }
@@ -626,6 +644,17 @@ impl MemberState {
             Err(_) => return,
         };
         let member = self.member;
+        // The proof advertisement carries the repair's trace context so
+        // peers stitch their re-validation onto the same causal chain.
+        let trace = Some(TraceCtx::for_repair(repair_id).child(stage::PROOF_BROADCAST));
+        if let Some(f) = self.flight.as_ref() {
+            f.record(
+                stage::PROOF_BROADCAST,
+                Some(TraceCtx::for_repair(repair_id).child(stage::REPAIR_GATED)),
+                repair_id,
+                u64::from(verdict),
+            );
+        }
         for j in 0..self.members as usize {
             if j == self.member as usize {
                 continue;
@@ -639,8 +668,12 @@ impl MemberState {
                     digest,
                     verdict,
                     proof,
+                    trace,
                 })
             });
+            if let Some(m) = &self.metrics {
+                m.trace_bytes.add(TRACE_CTX_WIRE_LEN as u64);
+            }
         }
     }
 
@@ -762,6 +795,18 @@ impl MemberState {
         // gate drops those first).
         self.cross_seen.retain(|_, t| *t > f);
         let member = self.member;
+        // Round frames are trace-stamped with the horizon-derived
+        // context: every member mints the same id for the same horizon,
+        // so the round's hops stitch without any clock agreement.
+        let round_trace = Some(TraceCtx::for_round(f).child(stage::ROUND_OPENED));
+        if let Some(fl) = self.flight.as_ref() {
+            fl.record(
+                stage::ROUND_OPENED,
+                Some(TraceCtx::for_round(f)),
+                f.as_nanos(),
+                u64::from(member),
+            );
+        }
         for (j, digests) in outboxes.into_iter().enumerate() {
             if j == self.member as usize {
                 continue;
@@ -773,8 +818,12 @@ impl MemberState {
                     round: Some(f),
                     events: Vec::new(),
                     digests,
+                    trace: round_trace,
                 })
             });
+            if let Some(m) = &self.metrics {
+                m.trace_bytes.add(TRACE_CTX_WIRE_LEN as u64);
+            }
         }
         let r = self
             .rounds
@@ -829,6 +878,15 @@ impl MemberState {
                 .expect("round checked above")
                 .local_missing = Some(missing.clone());
             let member = self.member;
+            let partial_trace = Some(TraceCtx::for_round(f).child(stage::ROUND_PARTIAL));
+            if let Some(fl) = self.flight.as_ref() {
+                fl.record(
+                    stage::ROUND_PARTIAL,
+                    Some(TraceCtx::for_round(f).child(stage::ROUND_BOUNDARY)),
+                    f.as_nanos(),
+                    missing.len() as u64,
+                );
+            }
             for j in 0..members {
                 if j == me {
                     continue;
@@ -840,8 +898,12 @@ impl MemberState {
                         seq,
                         round: f,
                         missing,
+                        trace: partial_trace,
                     })
                 });
+                if let Some(m) = &self.metrics {
+                    m.trace_bytes.add(TRACE_CTX_WIRE_LEN as u64);
+                }
             }
         }
         // Phase 3: merge every member's partial into the global verdict.
@@ -862,6 +924,7 @@ impl MemberState {
         }
         missing.sort_unstable();
         missing.dedup();
+        let missing_n = missing.len() as u64;
         self.status = if missing.is_empty() {
             SnapshotStatus::Consistent
         } else {
@@ -881,6 +944,14 @@ impl MemberState {
             _ => {}
         }
         self.completed = Some(f);
+        if let Some(fl) = self.flight.as_ref() {
+            fl.record(
+                stage::ROUND_COMPLETE,
+                Some(TraceCtx::for_round(f).child(stage::ROUND_PARTIAL)),
+                f.as_nanos(),
+                missing_n,
+            );
+        }
         if let Some(s) = stats {
             // The watermark stat is the *completed* round: once a
             // client (or harness) observes it, the global verdict for
@@ -1046,8 +1117,27 @@ impl MemberState {
                         digest_ok,
                     },
                 );
+                if let Some(fl) = self.flight.as_ref() {
+                    // Stitch the peer's re-validation onto the owner's
+                    // repair chain: the frame's context (or the
+                    // digest-minted fallback) keys the same trace id on
+                    // every member.
+                    let ctx = p
+                        .trace
+                        .unwrap_or_else(|| TraceCtx::for_repair(p.repair_id))
+                        .child(stage::PROOF_BROADCAST);
+                    fl.record(
+                        stage::PEER_PROOF_VERIFIED,
+                        Some(ctx),
+                        p.repair_id,
+                        u64::from(p.member) << 2 | u64::from(chain_ok) << 1 | u64::from(digest_ok),
+                    );
+                }
                 if let Some(m) = &self.metrics {
                     m.repair_peer_proofs.inc();
+                    if p.trace.is_some() {
+                        m.trace_bytes.add(TRACE_CTX_WIRE_LEN as u64);
+                    }
                 }
             }
         }
@@ -1105,8 +1195,12 @@ impl MemberState {
                 self.journal_bytes(&encode_frame(&Frame::Evict { source: r }));
                 self.sources.evict(r);
                 stats.evictions.fetch_add(1, Ordering::Relaxed);
+                if let Some(fl) = self.flight.as_ref() {
+                    fl.record(stage::EVICTION, None, u64::from(r.0), silent.as_secs());
+                }
                 if let Some(m) = &self.metrics {
                     m.evictions.inc();
+                    m.flight_dump("eviction");
                 }
                 evicted_any = true;
                 let conns: Vec<u64> = conn_source
@@ -1508,7 +1602,14 @@ pub(crate) fn member_loop(
 ) -> (FoldReport, Option<io::Error>) {
     st.wal = Some(wal);
     st.metrics = metrics.clone();
+    st.flight = metrics
+        .as_ref()
+        .map(|m| m.flight.register("member", MERGER_RING_SLOTS));
     st.replaying = false;
+    // The member's stall watchdog runs over the *completed* (global)
+    // horizon: a member whose rounds stop landing is stalled even if
+    // its own sources stay chatty.
+    let mut stall = StallWatch::new(st.completed);
     if let Some(wm) = st.completed {
         stats.set_watermark(wm);
     }
@@ -1603,6 +1704,9 @@ pub(crate) fn member_loop(
                         }
                     }
                     st.flush_eager();
+                    if ingested > 0 {
+                        stall.ingested();
+                    }
                     stats.events.fetch_add(ingested, Ordering::Relaxed);
                     if late > 0 {
                         stats.late_events.fetch_add(late, Ordering::Relaxed);
@@ -1711,6 +1815,12 @@ pub(crate) fn member_loop(
             st.sweep(&last_heard, &lease, &mut conn_source, &mut acks, stats);
             last_sweep = Instant::now();
         }
+        stall.observe(
+            st.completed,
+            lease.stall_after,
+            metrics.as_deref(),
+            st.flight.as_ref(),
+        );
     }
     let wal_err = st.close();
     (FoldReport::Member(Box::new(st.into_fold())), wal_err)

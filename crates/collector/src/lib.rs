@@ -80,7 +80,7 @@ pub mod repair_journal;
 pub mod shard;
 pub mod wal;
 
-pub use client::{scrape, scrape_snapshot, ReconnectPolicy, SinkMetrics, SocketSink};
+pub use client::{dump_flight, scrape, scrape_snapshot, ReconnectPolicy, SinkMetrics, SocketSink};
 pub use codec::{
     CodecVersion, DecodedMsg, Decoder, EventEncoder, Frame, Hello, PeerRepairProof, RawFrame,
     RepairRecord, RepairStage,

@@ -15,7 +15,8 @@
 use std::sync::Arc;
 
 use cpvr_obs::{
-    Counter, ExpoFormat, Gauge, Histogram, MetricKind, MetricsRegistry, Snapshot, SpanRecorder,
+    Counter, ExpoFormat, FlightRecorder, Gauge, Histogram, MetricKind, MetricsRegistry, Snapshot,
+    SpanRecorder,
 };
 use cpvr_types::{RouterId, SimTime};
 
@@ -121,6 +122,15 @@ pub struct CollectorMetrics {
     /// re-validated by this federation member. Public so harnesses can
     /// wait on proof propagation.
     pub repair_peer_proofs: Counter,
+
+    // Flight recorder / causal tracing.
+    /// The collector's black-box flight recorder. Public so harnesses
+    /// can snapshot or arm it directly; the collector arms it with the
+    /// WAL directory at start.
+    pub flight: Arc<FlightRecorder>,
+    pub(crate) flight_ring_overwrites: Gauge,
+    pub(crate) trace_bytes: Counter,
+    pub(crate) watermark_stall_seconds: Gauge,
 
     sources: SourceGauges,
 }
@@ -372,6 +382,28 @@ impl CollectorMetrics {
             "Peer-advertised repair proofs received and re-validated by this member",
         );
 
+        // Flight recorder / causal tracing.
+        r.declare(
+            "cpvr_flight_dumps_total",
+            MetricKind::Counter,
+            "Flight-recorder dumps written, by trigger reason",
+        );
+        r.declare(
+            "cpvr_flight_ring_overwrites",
+            MetricKind::Gauge,
+            "Flight-recorder ring records lost to wrap-around before any dump captured them",
+        );
+        r.declare(
+            "cpvr_trace_bytes_total",
+            MetricKind::Counter,
+            "Trace-context trailer bytes carried on the wire (sent and received)",
+        );
+        r.declare(
+            "cpvr_watermark_stall_seconds",
+            MetricKind::Gauge,
+            "Seconds since the global min-watermark last advanced (0 while it moves)",
+        );
+
         // Per-source liveness / lag.
         r.declare(
             "cpvr_source_state",
@@ -522,6 +554,10 @@ impl CollectorMetrics {
             repair_replay_nanos: r.histogram("cpvr_repair_replay_nanos"),
             repair_skipped_low_confidence: r.counter("cpvr_repair_skipped_low_confidence_total"),
             repair_peer_proofs: r.counter("cpvr_repair_peer_proofs_total"),
+            flight: Arc::new(FlightRecorder::new()),
+            flight_ring_overwrites: r.gauge("cpvr_flight_ring_overwrites"),
+            trace_bytes: r.counter("cpvr_trace_bytes_total"),
+            watermark_stall_seconds: r.gauge("cpvr_watermark_stall_seconds"),
             sources: SourceGauges {
                 state,
                 lag_nanos,
@@ -543,6 +579,36 @@ impl CollectorMetrics {
     /// A point-in-time copy of every series.
     pub fn snapshot(&self) -> Snapshot {
         self.registry.snapshot()
+    }
+
+    /// Takes an anomaly dump of the flight recorder (a no-op when the
+    /// recorder is unarmed) and publishes the dump/overwrite series.
+    /// Returns the artifact path if one was written.
+    pub(crate) fn flight_dump(&self, reason: &str) -> Option<std::path::PathBuf> {
+        let path = self.flight.dump(reason);
+        if path.is_some() {
+            self.registry
+                .counter_with("cpvr_flight_dumps_total", &[("reason", reason)])
+                .inc();
+        }
+        self.flight_ring_overwrites
+            .set(self.flight.ring_overwrites() as i64);
+        path
+    }
+
+    /// The one-shot watermark-stall dump (see
+    /// [`FlightRecorder::dump_stall_once`]); counts it like any other
+    /// anomaly dump on the episode's first firing.
+    pub(crate) fn flight_stall_dump(&self) -> Option<std::path::PathBuf> {
+        let path = self.flight.dump_stall_once("stall");
+        if path.is_some() {
+            self.registry
+                .counter_with("cpvr_flight_dumps_total", &[("reason", "stall")])
+                .inc();
+            self.flight_ring_overwrites
+                .set(self.flight.ring_overwrites() as i64);
+        }
+        path
     }
 
     /// Publishes the event codec a source's hello announced (the

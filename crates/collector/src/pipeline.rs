@@ -603,6 +603,10 @@ impl IngestPipeline {
                             // so the fold order — and hence the ledger
                             // — is identical on every recovery.
                             Ok(Frame::Repair(r)) => repair_records.push(r),
+                            // Flight-recorder dump requests are a live
+                            // diagnostic exchange; they are never
+                            // journaled, but tolerate them if found.
+                            Ok(Frame::DumpReq) | Ok(Frame::DumpResp { .. }) => {}
                             // Peer frames are only journaled by
                             // federation members, which recover through
                             // their own ordered replay; a standalone or

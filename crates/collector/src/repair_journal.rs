@@ -149,6 +149,7 @@ impl RepairLedger {
                     at,
                     verdict: e.verdict,
                     proof: e.proof.clone(),
+                    trace: None,
                 });
             }
         }
@@ -166,6 +167,7 @@ mod tests {
             at: SimTime::from_nanos(42),
             verdict,
             proof: proof.to_vec(),
+            trace: None,
         }
     }
 

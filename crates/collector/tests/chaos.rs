@@ -405,6 +405,7 @@ fn eviction_unblocks_the_fold_and_readmission_restores_identity() {
         lagging_after: Duration::from_millis(100),
         evict_after: Duration::from_millis(300),
         sweep_interval: Duration::from_millis(25),
+        stall_after: Duration::from_secs(30),
     };
     let dir = TempDir::new("chaos-evict").unwrap();
     let cfg = CollectorConfig::new(N_ROUTERS)
@@ -517,6 +518,22 @@ fn eviction_unblocks_the_fold_and_readmission_restores_identity() {
     let report = handle.shutdown().expect("clean shutdown");
     assert!(report.stats.evictions >= 1);
     assert!(report.stats.readmissions >= 1);
+
+    // Every eviction froze the flight recorder into exactly one
+    // anomaly dump next to the WAL — the black-box record of *why* the
+    // fold was stuck when the lease fired.
+    let eviction_dumps = std::fs::read_dir(dir.path())
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .filter(|e| {
+            let name = e.file_name().to_string_lossy().into_owned();
+            name.starts_with("flight-eviction-") && name.ends_with(".json")
+        })
+        .count() as u64;
+    assert_eq!(
+        eviction_dumps, report.stats.evictions,
+        "expected exactly one flight dump per eviction"
+    );
     // The straggler's phase-1 events were delivered (and journaled)
     // before the eviction, and its phase-2 events are all above `mid`,
     // so nothing was folded past — identity survives the eviction.

@@ -15,7 +15,7 @@ use cpvr_collector::codec::{
 };
 use cpvr_core::ConvDigest;
 use cpvr_sim::{EventId, IoEvent, IoKind, Proto};
-use cpvr_types::{Ipv4Prefix, RouterId, SimTime};
+use cpvr_types::{Ipv4Prefix, RouterId, SimTime, TraceCtx};
 use proptest::prelude::*;
 
 /// JSON metacharacters, escapes, multi-byte UTF-8, and control bytes —
@@ -111,6 +111,14 @@ fn arb_event() -> impl Strategy<Value = IoEvent> {
         })
 }
 
+/// Optional trace contexts, including the all-zero and all-ones
+/// corners (absent = untraced, the v2 compatibility path).
+fn arb_trace() -> impl Strategy<Value = Option<TraceCtx>> {
+    prop::option::of(
+        (any::<u64>(), any::<u32>()).prop_map(|(trace_id, parent)| TraceCtx { trace_id, parent }),
+    )
+}
+
 fn arb_peer_frame() -> impl Strategy<Value = Frame> {
     prop_oneof![
         (
@@ -149,14 +157,16 @@ fn arb_peer_frame() -> impl Strategy<Value = Frame> {
             prop::option::of(arb_time()),
             prop::collection::vec((any::<u64>(), arb_event()), 0..6),
             prop::collection::vec(arb_digest(), 0..12),
+            arb_trace(),
         )
-            .prop_map(|(member, seq, round, events, digests)| {
+            .prop_map(|(member, seq, round, events, digests, trace)| {
                 Frame::BoundaryEdges(BoundaryEdges {
                     member,
                     seq,
                     round,
                     events,
                     digests,
+                    trace,
                 })
             }),
         (
@@ -164,13 +174,15 @@ fn arb_peer_frame() -> impl Strategy<Value = Frame> {
             any::<u64>(),
             arb_time(),
             prop::collection::vec(any::<u32>().prop_map(RouterId), 0..16),
+            arb_trace(),
         )
-            .prop_map(|(member, seq, round, missing)| {
+            .prop_map(|(member, seq, round, missing, trace)| {
                 Frame::PartialVerdict(PartialVerdict {
                     member,
                     seq,
                     round,
                     missing,
+                    trace,
                 })
             }),
     ]

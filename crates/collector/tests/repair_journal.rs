@@ -122,6 +122,7 @@ fn rec(id: u64, stage: RepairStage, at: u64, verdict: Option<u8>, proof: Vec<u8>
         at: SimTime::from_millis(at),
         verdict,
         proof,
+        trace: None,
     }
 }
 

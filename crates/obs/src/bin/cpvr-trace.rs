@@ -1,0 +1,133 @@
+//! `cpvr-trace` — stitch flight-recorder dumps into a causal timeline.
+//!
+//! Reads one or more `flight-<reason>-<n>.json` dumps (written by a
+//! collector's flight recorder on an anomaly trigger, or fetched on
+//! demand over `DumpReq`), merges their records by trace id, and emits
+//! either a human-readable causal timeline per trace or Chrome
+//! `trace_event` JSON openable in Perfetto / `chrome://tracing`.
+//!
+//! ```text
+//! cpvr-trace [--chrome] [-o OUT] DUMP.json [DUMP.json ...]
+//! ```
+//!
+//! Dumps from different federation members have incomparable clocks;
+//! the stitcher orders hops by their parent stage code (the causal hop
+//! counter carried in every [`TraceCtx`](cpvr_types::TraceCtx)), which
+//! is comparable everywhere.
+
+use cpvr_obs::{chrome_trace, stitch, FlightDump};
+use cpvr_types::json::from_str;
+use std::io::Write;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: cpvr-trace [--chrome] [-o OUT] DUMP.json [DUMP.json ...]");
+    eprintln!();
+    eprintln!("  --chrome   emit Chrome trace_event JSON (Perfetto-openable)");
+    eprintln!("             instead of the default text timeline");
+    eprintln!("  -o OUT     write to OUT instead of stdout");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut chrome = false;
+    let mut out: Option<String> = None;
+    let mut paths: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--chrome" => chrome = true,
+            "-o" | "--out" => match args.next() {
+                Some(p) => out = Some(p),
+                None => return usage(),
+            },
+            "-h" | "--help" => {
+                return usage();
+            }
+            _ if a.starts_with('-') => return usage(),
+            _ => paths.push(a),
+        }
+    }
+    if paths.is_empty() {
+        return usage();
+    }
+
+    let mut dumps: Vec<FlightDump> = Vec::new();
+    for p in &paths {
+        let body = match std::fs::read_to_string(p) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("cpvr-trace: {p}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match from_str::<FlightDump>(&body) {
+            Ok(d) => dumps.push(d),
+            Err(e) => {
+                eprintln!("cpvr-trace: {p}: not a flight dump: {e:?}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let rendered = if chrome {
+        chrome_trace(&dumps)
+    } else {
+        render_text(&dumps)
+    };
+
+    match out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, rendered) {
+                eprintln!("cpvr-trace: {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        None => {
+            let mut stdout = std::io::stdout().lock();
+            if stdout.write_all(rendered.as_bytes()).is_err() {
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// The default human-readable rendering: one block per stitched trace,
+/// hops in causal order, one line per hop.
+fn render_text(dumps: &[FlightDump]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let timelines = stitch(dumps);
+    let _ = writeln!(
+        out,
+        "{} dump(s), {} stitched trace(s)",
+        dumps.len(),
+        timelines.len()
+    );
+    for tl in &timelines {
+        let members: std::collections::BTreeSet<i64> = tl.records.iter().map(|(m, _)| *m).collect();
+        let _ = writeln!(
+            out,
+            "\ntrace {:016x}  ({} hops across {} member(s))",
+            tl.trace_id,
+            tl.records.len(),
+            members.len()
+        );
+        for (member, r) in &tl.records {
+            let parent = r.trace.map_or(0, |c| c.parent);
+            let _ = writeln!(
+                out,
+                "  member {:>2}  {:<22} parent={:<22} ring={} t={}ns a={} b={}",
+                member,
+                cpvr_obs::trace::stage::name(r.stage),
+                cpvr_obs::trace::stage::name(parent),
+                r.ring,
+                r.t_nanos,
+                r.a,
+                r.b
+            );
+        }
+    }
+    out
+}

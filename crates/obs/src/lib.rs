@@ -7,7 +7,7 @@
 //! or `prometheus` (the workspace builds hermetically from vendored
 //! code only).
 //!
-//! Three pieces:
+//! Four pieces:
 //!
 //! - [`MetricsRegistry`]: named counters (sharded across per-thread
 //!   cells, folded on scrape), gauges, and log-bucketed histograms with
@@ -17,6 +17,10 @@
 //!   `(source, seq)`, stamped received → journaled → acked → folded →
 //!   snapshot-consistent → verified. Transition latencies land in
 //!   registry histograms.
+//! - [`trace`]: the black-box flight recorder — per-thread lock-free
+//!   ring buffers of causal records, anomaly-triggered `flight-*.json`
+//!   dumps, and stitching of dumps from federation members into Chrome
+//!   `trace_event` timelines keyed by `TraceCtx` trace ids.
 //! - [`expo`]: Prometheus text and compact-JSON exposition of a
 //!   [`Snapshot`], served live over the collector's `MetricsReq` /
 //!   `MetricsResp` frames and embedded in `CollectorReport` at
@@ -29,6 +33,7 @@
 pub mod expo;
 pub mod registry;
 pub mod span;
+pub mod trace;
 
 pub use expo::{parse_json, render_json, render_prometheus, ExpoFormat};
 pub use registry::{
@@ -36,3 +41,4 @@ pub use registry::{
     MetricsRegistry, Snapshot,
 };
 pub use span::{SpanRecorder, Stage};
+pub use trace::{chrome_trace, stitch, FlightDump, FlightRecord, FlightRecorder, RingHandle};

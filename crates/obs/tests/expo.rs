@@ -29,10 +29,31 @@ fn sample_registry() -> MetricsRegistry {
         MetricKind::Histogram,
         "WAL fsync latency",
     );
+    r.declare(
+        "cpvr_flight_dumps_total",
+        MetricKind::Counter,
+        "Flight-recorder dumps frozen, by anomaly trigger",
+    );
+    r.declare(
+        "cpvr_trace_bytes_total",
+        MetricKind::Counter,
+        "Bytes of TraceCtx trailers sent and received",
+    );
+    r.declare(
+        "cpvr_watermark_stall_seconds",
+        MetricKind::Gauge,
+        "Seconds the global watermark has been stuck",
+    );
     r.counter("cpvr_events_received_total").add(42);
     r.counter_with("cpvr_events_received_total", &[("router", "1")])
         .add(7);
+    r.counter_with("cpvr_flight_dumps_total", &[("reason", "eviction")])
+        .add(1);
+    r.counter_with("cpvr_flight_dumps_total", &[("reason", "diverged")])
+        .add(2);
+    r.counter("cpvr_trace_bytes_total").add(1536);
     r.gauge("cpvr_watermark_nanos").set(123);
+    r.gauge("cpvr_watermark_stall_seconds").set(31);
     let h = r.histogram("cpvr_wal_fsync_nanos");
     for v in [0u64, 1, 900, 1000, 1_000_000] {
         h.observe(v);

@@ -31,6 +31,7 @@ pub mod intern;
 pub mod json;
 pub mod prefix;
 pub mod time;
+pub mod trace;
 pub mod trie;
 pub mod varint;
 
@@ -39,4 +40,5 @@ pub use ids::{AsNum, IfaceId, RouterId};
 pub use intern::{InternStore, InternTable, Interns};
 pub use prefix::{Ipv4Prefix, PrefixParseError};
 pub use time::SimTime;
+pub use trace::TraceCtx;
 pub use trie::{Covering, PrefixTrie};
